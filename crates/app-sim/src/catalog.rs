@@ -1,0 +1,184 @@
+//! The 18 subject apps of the paper (Table 3), as synthetic equivalents.
+//!
+//! Each entry carries the metadata row from Table 3 (name, version,
+//! category, approximate install count, login requirement) plus a size
+//! class that shapes the generated app so that relative method-pool sizes
+//! track the relative coverage magnitudes reported in Table 4.
+
+use crate::app::App;
+use crate::generator::{generate_app, GeneratorConfig};
+
+/// Relative size of an app's code base and UI space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// ~5k methods (e.g. Filters For Selfie).
+    Small,
+    /// ~15k methods.
+    Medium,
+    /// ~35k methods.
+    Large,
+    /// ~70k methods (e.g. Zedge).
+    ExtraLarge,
+}
+
+/// One row of the subject-app table.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// App name as in Table 3.
+    pub name: &'static str,
+    /// Version string from Table 3.
+    pub version: &'static str,
+    /// Play-Store category from Table 3.
+    pub category: &'static str,
+    /// Approximate install count from Table 3 (e.g. "100m+").
+    pub downloads: &'static str,
+    /// Whether the app requires login (asterisked in Table 3).
+    pub login: bool,
+    /// Size class shaping the synthetic app.
+    pub size: SizeClass,
+}
+
+impl CatalogEntry {
+    /// A deterministic seed derived from the app name (FNV-1a).
+    pub fn seed(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// The generator configuration for this app.
+    pub fn config(&self) -> GeneratorConfig {
+        let mut cfg = GeneratorConfig::industrial(self.name, self.seed());
+        match self.size {
+            SizeClass::Small => {
+                cfg.n_functionalities = 12;
+                cfg.min_screens_per_functionality = 20;
+                cfg.max_screens_per_functionality = 34;
+                cfg.n_activities = 12;
+                cfg.methods_per_screen = 16;
+                cfg.methods_per_action = 3;
+                cfg.startup_methods = 2500;
+                cfg.methods_per_flow = 120;
+                cfg.crash_points = 10;
+            }
+            SizeClass::Medium => {
+                cfg.n_functionalities = 16;
+                cfg.min_screens_per_functionality = 26;
+                cfg.max_screens_per_functionality = 42;
+                cfg.n_activities = 16;
+                cfg.methods_per_screen = 26;
+                cfg.methods_per_action = 5;
+                cfg.startup_methods = 6000;
+                cfg.methods_per_flow = 120;
+                cfg.crash_points = 10;
+            }
+            SizeClass::Large => {
+                cfg.n_functionalities = 20;
+                cfg.min_screens_per_functionality = 30;
+                cfg.max_screens_per_functionality = 48;
+                cfg.n_activities = 20;
+                cfg.methods_per_screen = 36;
+                cfg.methods_per_action = 7;
+                cfg.startup_methods = 11000;
+                cfg.methods_per_flow = 350;
+                cfg.crash_points = 14;
+            }
+            SizeClass::ExtraLarge => {
+                cfg.n_functionalities = 24;
+                cfg.min_screens_per_functionality = 36;
+                cfg.max_screens_per_functionality = 56;
+                cfg.n_activities = 24;
+                cfg.methods_per_screen = 48;
+                cfg.methods_per_action = 9;
+                cfg.startup_methods = 18000;
+                cfg.methods_per_flow = 500;
+                cfg.crash_points = 18;
+            }
+        }
+        cfg.login = self.login;
+        cfg
+    }
+
+    /// Generates the synthetic app for this entry.
+    pub fn generate(&self) -> App {
+        generate_app(&self.config()).expect("catalog configs are well-formed")
+    }
+}
+
+/// The 18 rows of Table 3.
+pub fn catalog_entries() -> Vec<CatalogEntry> {
+    use SizeClass::*;
+    vec![
+        CatalogEntry { name: "AbsWorkout", version: "4.2.0", category: "Health & Fitness", downloads: "10m+", login: false, size: Small },
+        CatalogEntry { name: "AccuWeather", version: "7.4.1-5", category: "Weather", downloads: "100m+", login: false, size: Medium },
+        CatalogEntry { name: "AutoScout24", version: "9.8.6", category: "Auto & Vehicles", downloads: "10m+", login: false, size: Large },
+        CatalogEntry { name: "Duolingo", version: "3.75.1", category: "Education", downloads: "100m+", login: false, size: Medium },
+        CatalogEntry { name: "Filters For Selfie", version: "1.0.0", category: "Beauty", downloads: "10m+", login: false, size: Small },
+        CatalogEntry { name: "GoodRx", version: "5.3.6", category: "Medical", downloads: "10m+", login: false, size: Medium },
+        CatalogEntry { name: "Google Chrome", version: "65.0.3325", category: "Communication", downloads: "10b+", login: false, size: Medium },
+        CatalogEntry { name: "Google Translate", version: "6.5.0", category: "Books & Reference", downloads: "1b+", login: false, size: Medium },
+        CatalogEntry { name: "Marvel Comics", version: "3.10.3", category: "Comics", downloads: "10m+", login: false, size: Small },
+        CatalogEntry { name: "Merriam-Webster", version: "4.1.2", category: "Books & Reference", downloads: "10m+", login: false, size: Small },
+        CatalogEntry { name: "Ms Word", version: "16.0.15", category: "Personal", downloads: "1b+", login: false, size: Medium },
+        CatalogEntry { name: "Quizlet", version: "6.6.2", category: "Education", downloads: "10m+", login: true, size: Large },
+        CatalogEntry { name: "Sketch", version: "8.0.A.0.2", category: "Art & Design", downloads: "50m+", login: false, size: Small },
+        CatalogEntry { name: "TripAdvisor", version: "25.6.1", category: "Food & Drink", downloads: "100m+", login: true, size: Large },
+        CatalogEntry { name: "Trivago", version: "4.9.4", category: "Travel & Local", downloads: "50m+", login: false, size: Large },
+        CatalogEntry { name: "UC Browser", version: "13.0.0.1288", category: "Communication", downloads: "1b+", login: false, size: Medium },
+        CatalogEntry { name: "WEBTOON", version: "2.4.3", category: "Comics", downloads: "100m+", login: true, size: Large },
+        CatalogEntry { name: "Zedge", version: "7.34.4", category: "Personalization", downloads: "100m+", login: false, size: ExtraLarge },
+    ]
+}
+
+/// Generates all 18 synthetic apps.
+pub fn catalog() -> Vec<App> {
+    catalog_entries().iter().map(CatalogEntry::generate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_entries_with_three_login_apps() {
+        let entries = catalog_entries();
+        assert_eq!(entries.len(), 18);
+        let logins: Vec<_> = entries.iter().filter(|e| e.login).map(|e| e.name).collect();
+        assert_eq!(logins, vec!["Quizlet", "TripAdvisor", "WEBTOON"]);
+    }
+
+    #[test]
+    fn names_are_unique_and_seeds_differ() {
+        let entries = catalog_entries();
+        let mut names = std::collections::HashSet::new();
+        let mut seeds = std::collections::HashSet::new();
+        for e in &entries {
+            assert!(names.insert(e.name));
+            assert!(seeds.insert(e.seed()));
+        }
+    }
+
+    #[test]
+    fn generated_sizes_track_size_class() {
+        let entries = catalog_entries();
+        let small = entries.iter().find(|e| e.name == "Filters For Selfie").unwrap().generate();
+        let xl = entries.iter().find(|e| e.name == "Zedge").unwrap().generate();
+        assert!(
+            xl.method_count() > 4 * small.method_count(),
+            "Zedge ({}) should dwarf Filters For Selfie ({})",
+            xl.method_count(),
+            small.method_count()
+        );
+    }
+
+    #[test]
+    fn login_apps_start_gated() {
+        let e = catalog_entries().into_iter().find(|e| e.name == "Quizlet").unwrap();
+        let app = e.generate();
+        assert!(app.login().is_some());
+        assert_eq!(app.start_screen(), app.login().unwrap().login_screen);
+    }
+}

@@ -1,0 +1,86 @@
+//! Functionalities — the ground-truth loosely coupled UI subspaces.
+//!
+//! A functionality is a cohesive set of screens implementing one user-facing
+//! feature (shopping, account settings, …). The simulator knows the true
+//! functionality of every screen; TaOPT never reads it (it infers subspaces
+//! from traces alone), but the evaluation metrics use the ground truth to
+//! measure subspace-overlap (Table 1) and partition quality.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a functionality cluster within an app.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FunctionalityId(pub u32);
+
+impl fmt::Display for FunctionalityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Metadata about one functionality cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Functionality {
+    /// Cluster id.
+    pub id: FunctionalityId,
+    /// Human-readable name (e.g. "Shopping", "AccountSettings").
+    pub name: String,
+}
+
+impl Functionality {
+    /// Creates a functionality.
+    pub fn new(id: FunctionalityId, name: impl Into<String>) -> Self {
+        Functionality { id, name: name.into() }
+    }
+}
+
+impl fmt::Display for Functionality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.id)
+    }
+}
+
+/// Stock functionality names used by the generator, echoing the kinds of
+/// features the paper's motivating example lists.
+pub const STOCK_FUNCTIONALITY_NAMES: &[&str] = &[
+    "Shopping",
+    "AccountSettings",
+    "Search",
+    "Messaging",
+    "Media",
+    "Checkout",
+    "Social",
+    "Maps",
+    "History",
+    "Notifications",
+    "Downloads",
+    "Help",
+    "Editor",
+    "Library",
+    "Discover",
+    "Profile",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_name_and_id() {
+        let f = Functionality::new(FunctionalityId(3), "Shopping");
+        assert_eq!(f.to_string(), "Shopping(f3)");
+    }
+
+    #[test]
+    fn stock_names_are_unique() {
+        let mut set = std::collections::HashSet::new();
+        for n in STOCK_FUNCTIONALITY_NAMES {
+            assert!(set.insert(n), "{n} duplicated");
+        }
+        assert!(STOCK_FUNCTIONALITY_NAMES.len() >= 12);
+    }
+}

@@ -1,0 +1,495 @@
+//! Random generation of GS-LD apps.
+//!
+//! The generator materializes the paper's structural observations about
+//! real mobile apps (§3.2, §4.2):
+//!
+//! * a **hub** screen (main tab bar) fans out to the entry screen of each
+//!   functionality — these tab actions are the natural *subspace
+//!   entrypoints*;
+//! * each functionality is a **locally dense** cluster: a branching chain
+//!   of screens with extra intra-cluster edges, local actions (scrolls,
+//!   text fields) and return edges;
+//! * clusters are **globally sparse**: apart from the hub tabs, only a few
+//!   rare deep links cross clusters;
+//! * screens are assigned to **activities** so that every functionality
+//!   spans several activities and activities host several functionalities
+//!   (the fragment effect that defeats activity-granularity partitioning);
+//! * **flows** spanning multiple screens/activities carry bonus methods;
+//! * **crash points** sit on deep actions, armed only after focused
+//!   exploration of their cluster.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use taopt_ui_model::{ActionId, ActionKind, ActivityId, ScreenId};
+
+use crate::app::App;
+use crate::builder::AppBuilder;
+use crate::crash::{CrashPoint, CrashSignature};
+use crate::error::AppSimError;
+use crate::functionality::STOCK_FUNCTIONALITY_NAMES;
+use crate::spec::LoginSpec;
+
+/// Shape parameters for app generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// App name (also drives labels and resource-id prefixes).
+    pub name: String,
+    /// RNG seed; the same config generates the same app.
+    pub seed: u64,
+    /// Number of functionality clusters (excluding the hub).
+    pub n_functionalities: usize,
+    /// Minimum screens per cluster.
+    pub min_screens_per_functionality: usize,
+    /// Maximum screens per cluster.
+    pub max_screens_per_functionality: usize,
+    /// Number of activities to spread screens over.
+    pub n_activities: usize,
+    /// Extra intra-cluster edges per screen (beyond the backbone tree).
+    pub extra_intra_edges: f64,
+    /// Number of rare cross-cluster deep links in the whole app.
+    pub cross_links: usize,
+    /// Local (non-navigating) actions per screen.
+    pub local_actions_per_screen: usize,
+    /// Decorative widgets per screen.
+    pub decorations_per_screen: usize,
+    /// Render methods per screen.
+    pub methods_per_screen: usize,
+    /// Handler methods per action.
+    pub methods_per_action: usize,
+    /// Shared framework methods covered at startup.
+    pub startup_methods: usize,
+    /// Flows per functionality.
+    pub flows_per_functionality: usize,
+    /// Screens spanned by each flow.
+    pub flow_span: usize,
+    /// Methods granted by each completed flow.
+    pub methods_per_flow: usize,
+    /// Latent crash points in the whole app.
+    pub crash_points: usize,
+    /// Per-execution crash probability once armed.
+    pub crash_probability: f64,
+    /// Fraction of the hosting cluster's screens an instance must have
+    /// visited before a crash point arms.
+    pub crash_depth_fraction: f64,
+    /// Whether the app requires login.
+    pub login: bool,
+    /// Fraction of cluster screens carrying a paginated content feed
+    /// (extension; 0.0 disables feeds and matches the paper's setting).
+    pub feed_fraction: f64,
+    /// Pages per feed.
+    pub feed_pages: usize,
+    /// Methods granted per feed page.
+    pub methods_per_feed_page: usize,
+}
+
+impl GeneratorConfig {
+    /// A small app suitable for unit tests and quick examples.
+    pub fn small(name: &str, seed: u64) -> Self {
+        GeneratorConfig {
+            name: name.to_owned(),
+            seed,
+            n_functionalities: 4,
+            min_screens_per_functionality: 5,
+            max_screens_per_functionality: 8,
+            n_activities: 5,
+            extra_intra_edges: 1.0,
+            cross_links: 2,
+            local_actions_per_screen: 2,
+            decorations_per_screen: 2,
+            methods_per_screen: 12,
+            methods_per_action: 3,
+            startup_methods: 60,
+            flows_per_functionality: 1,
+            flow_span: 3,
+            methods_per_flow: 20,
+            crash_points: 4,
+            crash_probability: 0.05,
+            crash_depth_fraction: 0.5,
+            login: false,
+            feed_fraction: 0.0,
+            feed_pages: 8,
+            methods_per_feed_page: 4,
+        }
+    }
+
+    /// A mid-sized app approximating the paper's industrial subjects.
+    pub fn industrial(name: &str, seed: u64) -> Self {
+        GeneratorConfig {
+            name: name.to_owned(),
+            seed,
+            n_functionalities: 8,
+            min_screens_per_functionality: 10,
+            max_screens_per_functionality: 18,
+            n_activities: 9,
+            extra_intra_edges: 2.0,
+            cross_links: 4,
+            local_actions_per_screen: 3,
+            decorations_per_screen: 3,
+            methods_per_screen: 45,
+            methods_per_action: 6,
+            startup_methods: 400,
+            flows_per_functionality: 3,
+            flow_span: 5,
+            methods_per_flow: 150,
+            crash_points: 10,
+            crash_probability: 0.08,
+            crash_depth_fraction: 0.6,
+            login: false,
+            feed_fraction: 0.0,
+            feed_pages: 12,
+            methods_per_feed_page: 6,
+        }
+    }
+}
+
+/// Generates an app from the given shape configuration.
+///
+/// # Errors
+///
+/// Propagates [`AppSimError`] from app assembly; a well-formed config
+/// always produces a valid app.
+pub fn generate_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = AppBuilder::new(config.name.clone());
+
+    // Activities: a shared pool so that clusters interleave across them.
+    let activities: Vec<ActivityId> =
+        (0..config.n_activities.max(1)).map(|_| b.add_activity()).collect();
+
+    // Hub functionality + screen.
+    let hub_f = b.add_functionality("Main");
+    let hub = b.add_screen(activities[0], hub_f, &format!("{}MainTabs", config.name));
+    b.mark_entry(hub);
+    b.set_decorations(hub, config.decorations_per_screen);
+    let hub_methods = b.alloc_methods(config.methods_per_screen);
+    b.set_screen_methods(hub, hub_methods);
+
+    // Startup framework pool.
+    let startup = b.alloc_methods(config.startup_methods);
+    b.set_startup_methods(startup);
+
+    // Per-functionality clusters.
+    let mut cluster_screens: Vec<Vec<ScreenId>> = Vec::new();
+    // (action, depth of source, hosting cluster size)
+    let mut deep_actions: Vec<(ActionId, usize, usize)> = Vec::new();
+    for fi in 0..config.n_functionalities {
+        let fname = STOCK_FUNCTIONALITY_NAMES[fi % STOCK_FUNCTIONALITY_NAMES.len()];
+        let f = b.add_functionality(fname);
+        let n_screens = rng.gen_range(
+            config.min_screens_per_functionality..=config.max_screens_per_functionality,
+        );
+        let mut screens: Vec<ScreenId> = Vec::with_capacity(n_screens);
+        let mut depth: Vec<usize> = Vec::with_capacity(n_screens);
+        for si in 0..n_screens {
+            // Interleave activities: each cluster spans several activities,
+            // each activity hosts several clusters.
+            let act = activities[(fi + si / 3) % activities.len()];
+            let s = b.add_screen(act, f, &format!("{}{}{}", config.name, fname, si));
+            b.set_decorations(s, config.decorations_per_screen);
+            if si == 0 {
+                b.mark_entry(s);
+                depth.push(0);
+            } else {
+                // Backbone: attach to a random earlier screen, biased
+                // towards recent ones to create chains (depth).
+                let lo = si.saturating_sub(3);
+                let parent_idx = rng.gen_range(lo..si);
+                let parent = screens[parent_idx];
+                let a = b.add_click(
+                    parent,
+                    ScreenId(s.0),
+                    &format!("{fname}_nav_{parent_idx}_{si}"),
+                    &format!("Open {fname} {si}"),
+                );
+                let am = b.alloc_methods(config.methods_per_action);
+                b.set_action_methods(a, am);
+                let d = depth[parent_idx] + 1;
+                depth.push(d);
+                deep_actions.push((a, d, n_screens));
+            }
+            // Method mass concentrates on shallow screens (core UI code),
+            // thinning steeply with depth — deep screens carry small
+            // pieces of specialised logic. This mirrors real apps, where
+            // the bulk of exercised code is shared shallow infrastructure
+            // and tools' covered sets therefore overlap heavily (Fig. 3).
+            let d = depth[si];
+            let n_methods = (config.methods_per_screen * 5 / (2 + d + d / 2))
+                .max(config.methods_per_screen / 5);
+            let sm = b.alloc_methods(n_methods);
+            b.set_screen_methods(s, sm);
+            screens.push(s);
+        }
+        // Extra intra-cluster edges.
+        let extra = (n_screens as f64 * config.extra_intra_edges) as usize;
+        for e in 0..extra {
+            let from = screens[rng.gen_range(0..n_screens)];
+            let to = screens[rng.gen_range(0..n_screens)];
+            if from == to {
+                continue;
+            }
+            let a = b.add_click(
+                from,
+                to,
+                &format!("{fname}_x{e}"),
+                &format!("{fname} shortcut {e}"),
+            );
+            let am = b.alloc_methods(config.methods_per_action);
+            b.set_action_methods(a, am);
+        }
+        // Return-to-entry edges from random deep screens keep clusters
+        // internally navigable (locally dense) in both directions.
+        if n_screens > 2 {
+            for r in 0..2 {
+                let from = screens[rng.gen_range(n_screens / 2..n_screens)];
+                b.add_click(from, screens[0], &format!("{fname}_home{r}"), "Back to start");
+            }
+        }
+        // Paginated feeds on a fraction of cluster screens (extension).
+        if config.feed_fraction > 0.0 {
+            for s in &screens {
+                if rng.gen::<f64>() < config.feed_fraction {
+                    b.set_feed(*s, config.feed_pages, config.methods_per_feed_page);
+                }
+            }
+        }
+        // Local actions on each screen.
+        for (si, s) in screens.iter().enumerate() {
+            for li in 0..config.local_actions_per_screen {
+                let kind = match li % 3 {
+                    0 => ActionKind::Scroll,
+                    1 => ActionKind::SetText,
+                    _ => ActionKind::LongClick,
+                };
+                let a = b.add_action(
+                    *s,
+                    kind,
+                    &format!("{fname}_{si}_local{li}"),
+                    "",
+                    Vec::new(),
+                );
+                let am = b.alloc_methods(config.methods_per_action);
+                b.set_action_methods(a, am);
+            }
+        }
+        // Hub tab into this cluster: THE subspace entrypoint.
+        let tab = b.add_click(
+            hub,
+            screens[0],
+            &format!("tab_{fname}_{fi}"),
+            &format!("{fname} tab"),
+        );
+        let tm = b.alloc_methods(config.methods_per_action);
+        b.set_action_methods(tab, tm);
+        // Entry screen links back to the hub.
+        b.add_click(screens[0], hub, &format!("{fname}_to_home"), "Home");
+
+        // Flows: consecutive deep screens (often across activities).
+        for fl in 0..config.flows_per_functionality {
+            if n_screens >= config.flow_span {
+                let start = rng.gen_range(0..=n_screens - config.flow_span);
+                let span: Vec<ScreenId> =
+                    screens[start..start + config.flow_span].to_vec();
+                let fm = b.alloc_methods(config.methods_per_flow);
+                b.add_flow(span, fm);
+            } else {
+                let _ = fl;
+            }
+        }
+        cluster_screens.push(screens);
+    }
+
+    // Hub local actions.
+    for li in 0..config.local_actions_per_screen {
+        let a = b.add_action(hub, ActionKind::Scroll, &format!("hub_local{li}"), "", Vec::new());
+        let am = b.alloc_methods(config.methods_per_action);
+        b.set_action_methods(a, am);
+    }
+
+    // Rare cross-cluster deep links.
+    for c in 0..config.cross_links {
+        if cluster_screens.len() < 2 {
+            break;
+        }
+        let fa = rng.gen_range(0..cluster_screens.len());
+        let mut fb = rng.gen_range(0..cluster_screens.len());
+        if fa == fb {
+            fb = (fb + 1) % cluster_screens.len();
+        }
+        let from = *cluster_screens[fa].choose(&mut rng).expect("cluster nonempty");
+        let to = *cluster_screens[fb].choose(&mut rng).expect("cluster nonempty");
+        b.add_click(from, to, &format!("deeplink_{c}"), "See also");
+    }
+
+    // Crash points on the deepest actions; each arms only after the
+    // instance has explored a substantial fraction of the hosting cluster.
+    deep_actions.sort_by_key(|(_, d, _)| std::cmp::Reverse(*d));
+    let mut sig_rng = StdRng::seed_from_u64(config.seed ^ 0x5eed_c0de);
+    for (i, (a, _, cluster_size)) in deep_actions.iter().take(config.crash_points).enumerate() {
+        // Alternate shallow-armed and deep-armed faults: the former are
+        // reachable by uncoordinated testing, the latter need the focused
+        // in-cluster exploration that dedicated subspaces provide.
+        let fraction = if i % 2 == 0 { config.crash_depth_fraction * 0.55 } else { config.crash_depth_fraction * 1.4 };
+        let min_depth =
+            ((*cluster_size as f64 * fraction.min(0.95)).ceil() as usize).max(3);
+        b.set_action_crash(
+            *a,
+            CrashPoint::new(
+                config.crash_probability,
+                min_depth,
+                CrashSignature(sig_rng.gen::<u64>() ^ i as u64),
+            ),
+        );
+    }
+
+    // Login gate.
+    if config.login {
+        let f = b.add_functionality("Auth");
+        let wall = b.add_screen(activities[0], f, &format!("{}Login", config.name));
+        let login_action = b.add_click(wall, hub, "btn_sign_in", "Sign in");
+        // Decoy actions on the wall that go nowhere.
+        b.add_action(wall, ActionKind::SetText, "edit_user", "", Vec::new());
+        b.add_action(wall, ActionKind::SetText, "edit_pass", "", Vec::new());
+        b.set_login(LoginSpec { login_screen: wall, login_action, home_screen: hub });
+        b.set_start(wall);
+    } else {
+        b.set_start(hub);
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::small("t", 11);
+        let a = generate_app(&cfg).unwrap();
+        let b = generate_app(&cfg).unwrap();
+        assert_eq!(a.screen_count(), b.screen_count());
+        assert_eq!(a.method_count(), b.method_count());
+        let sa: Vec<_> = a.screens().map(|s| s.name.clone()).collect();
+        let sb: Vec<_> = b.screens().map(|s| s.name.clone()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_app(&GeneratorConfig::small("t", 1)).unwrap();
+        let b = generate_app(&GeneratorConfig::small("t", 2)).unwrap();
+        // Screen counts are drawn from a range, methods depend on them.
+        assert!(a.method_count() != b.method_count() || a.screen_count() != b.screen_count());
+    }
+
+    #[test]
+    fn clusters_span_multiple_activities() {
+        let app = generate_app(&GeneratorConfig::industrial("t", 5)).unwrap();
+        let mut spanning = 0;
+        for f in app.functionalities().iter().filter(|f| f.name != "Main" && f.name != "Auth") {
+            let acts: BTreeSet<_> = app
+                .screens_of_functionality(f.id)
+                .iter()
+                .map(|s| app.screen(*s).unwrap().activity)
+                .collect();
+            if acts.len() >= 2 {
+                spanning += 1;
+            }
+        }
+        assert!(spanning >= app.functionalities().len() / 2, "most clusters span activities");
+    }
+
+    #[test]
+    fn activities_host_multiple_functionalities() {
+        let app = generate_app(&GeneratorConfig::industrial("t", 5)).unwrap();
+        let mut mixed = 0;
+        for a in app.activities() {
+            let funcs: BTreeSet<_> = app
+                .screens_of_activity(a)
+                .iter()
+                .map(|s| app.screen(*s).unwrap().functionality)
+                .collect();
+            if funcs.len() >= 2 {
+                mixed += 1;
+            }
+        }
+        assert!(mixed >= 1, "at least one activity hosts several functionalities");
+    }
+
+    #[test]
+    fn hub_reaches_every_cluster_entry() {
+        let app = generate_app(&GeneratorConfig::small("t", 3)).unwrap();
+        let hub = app.start_screen();
+        let hub_spec = app.screen(hub).unwrap();
+        let reachable: BTreeSet<_> = hub_spec
+            .actions
+            .iter()
+            .flat_map(|a| a.targets.iter().map(|t| t.screen))
+            .collect();
+        for f in app.functionalities().iter().filter(|f| f.name != "Main") {
+            let entry = app
+                .screens_of_functionality(f.id)
+                .into_iter()
+                .find(|s| app.screen(*s).unwrap().is_entry)
+                .expect("cluster has entry");
+            assert!(reachable.contains(&entry), "hub must reach {}", f.name);
+        }
+    }
+
+    #[test]
+    fn global_sparsity_cross_cluster_edges_are_rare() {
+        let app = generate_app(&GeneratorConfig::industrial("t", 9)).unwrap();
+        let mut intra = 0usize;
+        let mut cross = 0usize;
+        for s in app.screens() {
+            for a in &s.actions {
+                for t in &a.targets {
+                    let tf = app.screen(t.screen).unwrap().functionality;
+                    // Hub edges are the sanctioned entrypoints; skip them.
+                    if app.screen(s.id).unwrap().name.ends_with("MainTabs")
+                        || app.screen(t.screen).unwrap().name.ends_with("MainTabs")
+                    {
+                        continue;
+                    }
+                    if tf == s.functionality {
+                        intra += 1;
+                    } else {
+                        cross += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            (cross as f64) < 0.1 * intra as f64,
+            "GS-LD violated: {cross} cross vs {intra} intra edges"
+        );
+    }
+
+    #[test]
+    fn login_config_gates_the_app() {
+        let mut cfg = GeneratorConfig::small("t", 4);
+        cfg.login = true;
+        let app = generate_app(&cfg).unwrap();
+        let login = app.login().expect("login spec");
+        assert_eq!(app.start_screen(), login.login_screen);
+        assert_ne!(login.home_screen, login.login_screen);
+    }
+
+    #[test]
+    fn crash_points_exist_and_sit_deep() {
+        let app = generate_app(&GeneratorConfig::industrial("t", 8)).unwrap();
+        let crashes: Vec<_> = app
+            .screens()
+            .flat_map(|s| s.actions.iter().filter(|a| a.crash.is_some()))
+            .collect();
+        assert!(!crashes.is_empty());
+        for a in crashes {
+            let cp = a.crash.as_ref().unwrap();
+            assert!(cp.min_local_depth >= 1);
+            assert!(cp.probability > 0.0 && cp.probability < 1.0);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Static specification of an app's UI space.
+
+use serde::{Deserialize, Serialize};
+
+use taopt_ui_model::{ActionId, ActionKind, ActivityId, ScreenId};
+
+use crate::crash::CrashPoint;
+use crate::functionality::FunctionalityId;
+use crate::method::MethodId;
+
+/// One possible outcome of executing an action.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionTarget {
+    /// Destination screen.
+    pub screen: ScreenId,
+    /// Relative weight among this action's targets (normalized at
+    /// execution time).
+    pub weight: f64,
+}
+
+impl TransitionTarget {
+    /// Creates a target with the given relative weight.
+    pub fn new(screen: ScreenId, weight: f64) -> Self {
+        TransitionTarget { screen, weight }
+    }
+}
+
+/// An interactive affordance on a screen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionSpec {
+    /// App-unique action id.
+    pub id: ActionId,
+    /// Gesture class.
+    pub kind: ActionKind,
+    /// Resource id of the widget carrying this action.
+    pub widget_rid: String,
+    /// Visible label (volatile text may be appended at render time).
+    pub label: String,
+    /// Possible destinations (empty ⇒ the action stays on the screen,
+    /// e.g. a scroll or a text edit).
+    pub targets: Vec<TransitionTarget>,
+    /// Handler methods covered on first execution per instance.
+    pub methods: Vec<MethodId>,
+    /// Latent fault, if any.
+    pub crash: Option<CrashPoint>,
+}
+
+impl ActionSpec {
+    /// Creates a minimal click action with one deterministic target.
+    pub fn click_to(id: ActionId, widget_rid: &str, label: &str, target: ScreenId) -> Self {
+        ActionSpec {
+            id,
+            kind: ActionKind::Click,
+            widget_rid: widget_rid.to_owned(),
+            label: label.to_owned(),
+            targets: vec![TransitionTarget::new(target, 1.0)],
+            methods: Vec::new(),
+            crash: None,
+        }
+    }
+
+    /// Creates a self-contained action that never leaves the screen.
+    pub fn local(id: ActionId, kind: ActionKind, widget_rid: &str, label: &str) -> Self {
+        ActionSpec {
+            id,
+            kind,
+            widget_rid: widget_rid.to_owned(),
+            label: label.to_owned(),
+            targets: Vec::new(),
+            methods: Vec::new(),
+            crash: None,
+        }
+    }
+
+    /// Attaches handler methods.
+    pub fn with_methods(mut self, methods: Vec<MethodId>) -> Self {
+        self.methods = methods;
+        self
+    }
+
+    /// Attaches a crash point.
+    pub fn with_crash(mut self, crash: CrashPoint) -> Self {
+        self.crash = Some(crash);
+        self
+    }
+
+    /// Total relative weight of all targets.
+    pub fn total_target_weight(&self) -> f64 {
+        self.targets.iter().map(|t| t.weight).sum()
+    }
+}
+
+/// One UI screen of the app.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScreenSpec {
+    /// App-unique screen id.
+    pub id: ScreenId,
+    /// Hosting activity (the ParaAim partition unit).
+    pub activity: ActivityId,
+    /// Ground-truth functionality cluster.
+    pub functionality: FunctionalityId,
+    /// Human-readable name (e.g. "GoodsDetail").
+    pub name: String,
+    /// Interactive affordances.
+    pub actions: Vec<ActionSpec>,
+    /// Number of decorative (non-interactive) widgets rendered.
+    pub decorations: usize,
+    /// Methods covered the first time an instance renders this screen.
+    pub methods: Vec<MethodId>,
+    /// Whether this screen is the entry screen of its functionality.
+    pub is_entry: bool,
+    /// Optional paginated content feed.
+    pub feed: Option<FeedSpec>,
+}
+
+impl ScreenSpec {
+    /// Creates a screen with no actions.
+    pub fn new(
+        id: ScreenId,
+        activity: ActivityId,
+        functionality: FunctionalityId,
+        name: impl Into<String>,
+    ) -> Self {
+        ScreenSpec {
+            id,
+            activity,
+            functionality,
+            name: name.into(),
+            actions: Vec::new(),
+            decorations: 2,
+            methods: Vec::new(),
+            is_entry: false,
+            feed: None,
+        }
+    }
+
+    /// The action with the given id, if present on this screen.
+    pub fn action(&self, id: ActionId) -> Option<&ActionSpec> {
+        self.actions.iter().find(|a| a.id == id)
+    }
+}
+
+/// A multi-screen user flow whose completion covers extra methods.
+///
+/// A flow completes for a testing instance once the instance has visited
+/// every screen in [`FlowRule::screens`]. Flows that span multiple
+/// activities are precisely what the activity-granularity baseline severs
+/// (§2: "we will not be able to cover core functionalities such as adding
+/// goods to the shopping bag and checking out").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRule {
+    /// Screens that must all be visited by one instance.
+    pub screens: Vec<ScreenId>,
+    /// Methods covered on completion.
+    pub methods: Vec<MethodId>,
+}
+
+/// A paginated content feed on a screen (extension).
+///
+/// Real list screens expose effectively unbounded content: scrolling
+/// reveals new items, new view holders and new code paths. A `FeedSpec`
+/// gives a screen `pages` additional states, each structurally distinct
+/// (so it abstracts to a fresh screen identity) and each carrying its own
+/// method set, covered on first reach per instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedSpec {
+    /// Number of additional pages beyond page 0.
+    pub pages: usize,
+    /// Methods covered by reaching each page (index 0 = page 1).
+    pub page_methods: Vec<Vec<MethodId>>,
+}
+
+/// Login gate configuration for apps that require authentication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoginSpec {
+    /// The login wall screen shown at app start.
+    pub login_screen: ScreenId,
+    /// The action an auto-login script fires to pass the wall.
+    pub login_action: ActionId,
+    /// The screen reached after a successful login.
+    pub home_screen: ScreenId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn click_to_has_single_deterministic_target() {
+        let a = ActionSpec::click_to(ActionId(1), "rid", "Go", ScreenId(5));
+        assert_eq!(a.targets.len(), 1);
+        assert!((a.total_target_weight() - 1.0).abs() < 1e-12);
+        assert_eq!(a.kind, ActionKind::Click);
+    }
+
+    #[test]
+    fn local_action_stays() {
+        let a = ActionSpec::local(ActionId(2), ActionKind::Scroll, "list", "");
+        assert!(a.targets.is_empty());
+        assert_eq!(a.total_target_weight(), 0.0);
+    }
+
+    #[test]
+    fn builders_attach_methods_and_crash() {
+        use crate::crash::{CrashPoint, CrashSignature};
+        let a = ActionSpec::local(ActionId(1), ActionKind::Click, "w", "l")
+            .with_methods(vec![MethodId(1), MethodId(2)])
+            .with_crash(CrashPoint::new(0.1, 2, CrashSignature(9)));
+        assert_eq!(a.methods.len(), 2);
+        assert!(a.crash.is_some());
+    }
+
+    #[test]
+    fn screen_action_lookup() {
+        let mut s = ScreenSpec::new(ScreenId(0), ActivityId(0), FunctionalityId(0), "Main");
+        s.actions.push(ActionSpec::click_to(ActionId(7), "x", "y", ScreenId(1)));
+        assert!(s.action(ActionId(7)).is_some());
+        assert!(s.action(ActionId(8)).is_none());
+    }
+}

@@ -1,0 +1,109 @@
+//! One Criterion bench per paper artifact, each running the corresponding
+//! experiment pipeline at a shrunk scale (the full-scale regenerations are
+//! the `taopt-bench` binaries; see DESIGN.md for the index).
+//!
+//! * `bench_fig3`   — baseline sessions + AJS-over-time reduction
+//! * `bench_table1` — offline partition + overlap histogram
+//! * `bench_table2` — activity-partition vs baseline (WCTester)
+//! * `bench_table4` — coverage matrix reduction (also Table 5's crashes)
+//! * `bench_table5` — crash view of the matrix
+//! * `bench_table6` — UI-occurrence overlap reduction
+//! * `bench_fig5`   — duration-savings reduction
+//! * `bench_fig6`   — machine-time-savings reduction
+//! * `bench_sessions` — one quick session per run mode
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use taopt::experiments::{
+    behavior_rows, evaluation_matrix, fig3_rows, run_and_summarize, savings_rows,
+    table1_histogram, table2_rows, table4_rows, table5_rows, table6_rows, ExperimentScale,
+    RunSummary,
+};
+use taopt::session::{ParallelSession, RunMode};
+use taopt_app_sim::{catalog_entries, App};
+use taopt_tools::ToolKind;
+use taopt_ui_model::VirtualDuration;
+
+fn tiny_scale() -> ExperimentScale {
+    ExperimentScale {
+        instances: 3,
+        duration: VirtualDuration::from_mins(6),
+        tick: VirtualDuration::from_secs(10),
+        stall_timeout: VirtualDuration::from_secs(60),
+        l_min_short: VirtualDuration::from_secs(40),
+        l_min_long: VirtualDuration::from_secs(90),
+        grid_points: 6,
+    }
+}
+
+fn tiny_apps(n: usize) -> Vec<(String, Arc<App>)> {
+    catalog_entries()
+        .into_iter()
+        .take(n)
+        .map(|e| {
+            let mut cfg = e.config();
+            // Shrink the apps so a bench iteration stays subsecond.
+            cfg.n_functionalities = 6;
+            cfg.min_screens_per_functionality = 8;
+            cfg.max_screens_per_functionality = 14;
+            (
+                e.name.to_owned(),
+                Arc::new(taopt_app_sim::generate_app(&cfg).expect("valid config")),
+            )
+        })
+        .collect()
+}
+
+/// The expensive shared step, built once outside the timing loops of the
+/// reduction benches.
+fn shared_matrix() -> (Vec<(String, Arc<App>)>, Vec<RunSummary>) {
+    let apps = tiny_apps(2);
+    let matrix = evaluation_matrix(&apps, &tiny_scale(), 11);
+    (apps, matrix)
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let scale = tiny_scale();
+    let (apps, matrix) = shared_matrix();
+
+    c.bench_function("bench_fig3", |b| b.iter(|| fig3_rows(&matrix)));
+    c.bench_function("bench_table1", |b| b.iter(|| table1_histogram(&matrix)));
+    c.bench_function("bench_table4", |b| b.iter(|| table4_rows(&matrix)));
+    c.bench_function("bench_table5", |b| b.iter(|| table5_rows(&matrix)));
+    c.bench_function("bench_table6", |b| b.iter(|| table6_rows(&matrix)));
+    c.bench_function("bench_fig5", |b| b.iter(|| savings_rows(&matrix, &scale)));
+    c.bench_function("bench_fig6", |b| b.iter(|| savings_rows(&matrix, &scale)));
+    c.bench_function("bench_behavior", |b| b.iter(|| behavior_rows(&matrix)));
+
+    // Table 2 runs its own (small) sessions end to end.
+    let one_app: Vec<_> = apps.iter().take(1).cloned().collect();
+    c.bench_function("bench_table2", |b| {
+        b.iter(|| table2_rows(&one_app, &scale, 5))
+    });
+
+    // End-to-end session + summarize per run mode (the matrix's unit of
+    // work).
+    let (name, app) = &apps[0];
+    for mode in [RunMode::Baseline, RunMode::TaoptDuration, RunMode::TaoptResource] {
+        c.bench_function(&format!("bench_session_{}", mode.label()), |b| {
+            b.iter(|| {
+                run_and_summarize(name, Arc::clone(app), ToolKind::Monkey, mode, &scale, 3)
+            })
+        });
+    }
+
+    // Raw session without summarization (scheduler + tools + enforcement).
+    c.bench_function("bench_raw_session_quick", |b| {
+        let cfg = scale.session_config(ToolKind::Ape, RunMode::TaoptDuration, 9);
+        b.iter(|| ParallelSession::run(Arc::clone(app), &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipelines
+}
+criterion_main!(benches);

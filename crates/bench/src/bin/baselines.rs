@@ -1,0 +1,59 @@
+//! Head-to-head of all parallelization strategies: uncoordinated baseline,
+//! PATS-style master–slave dispatch, ParaAim-style activity partitioning,
+//! and TaOPT (both modes) — the comparison the paper's related-work
+//! section (§9) sketches qualitatively.
+
+use std::sync::Arc;
+
+use taopt::experiments::run_and_summarize;
+use taopt::report::{pct, TextTable};
+use taopt::session::RunMode;
+use taopt_bench::{load_apps, HarnessArgs};
+use taopt_tools::ToolKind;
+
+const MODES: [RunMode; 5] = [
+    RunMode::Baseline,
+    RunMode::PatsMasterSlave,
+    RunMode::ActivityPartition,
+    RunMode::TaoptDuration,
+    RunMode::TaoptResource,
+];
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let apps = load_apps(args.n_apps.min(6));
+    eprintln!("baselines: {} apps, {:?}", apps.len(), args.scale);
+
+    for tool in [ToolKind::Monkey, ToolKind::WcTester] {
+        println!("\nparallelization strategies under {} (union coverage):", tool.name());
+        let mut table = TextTable::new([
+            "App",
+            "Baseline",
+            "PATS",
+            "ParaAim",
+            "TaOPT(D)",
+            "TaOPT(R)",
+        ]);
+        let mut sums = [0usize; 5];
+        for (name, app) in &apps {
+            let mut row = vec![name.clone()];
+            for (i, mode) in MODES.into_iter().enumerate() {
+                let s = run_and_summarize(name, Arc::clone(app), tool, mode, &args.scale, args.seed);
+                sums[i] += s.union_coverage;
+                row.push(s.union_coverage.to_string());
+            }
+            table.row(row);
+        }
+        let base = sums[0].max(1);
+        table.row(
+            std::iter::once("vs baseline".to_owned())
+                .chain(sums.iter().map(|s| pct(*s as f64 / base as f64 - 1.0)))
+                .collect::<Vec<_>>(),
+        );
+        print!("{}", table.render());
+    }
+    println!(
+        "\nexpected ordering (paper §3.3/§9): ParaAim < Baseline, PATS ⪅ Baseline \
+         (bidirectional transitions defeat dispatch), TaOPT > Baseline."
+    );
+}

@@ -1,0 +1,31 @@
+//! RQ5 behaviour preservation: Jaccard similarity between the method sets
+//! covered by baseline and TaOPT runs, and the fraction of baseline-only
+//! methods TaOPT misses.
+
+use taopt::experiments::{behavior_rows, evaluation_matrix};
+use taopt::report::TextTable;
+use taopt_bench::{load_apps, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let apps = load_apps(args.n_apps);
+    eprintln!("behavior: {} apps, {:?}", apps.len(), args.scale);
+    let matrix = evaluation_matrix(&apps, &args.scale, args.seed);
+    let rows = behavior_rows(&matrix);
+
+    println!("RQ5 behaviour preservation (TaOPT vs baseline union coverage)");
+    let mut table = TextTable::new(["Tool", "Mode", "Jaccard", "Baseline-only missed"]);
+    for r in &rows {
+        table.row([
+            r.tool.name().to_owned(),
+            r.mode.label().to_owned(),
+            format!("{:.2}", r.jaccard),
+            format!("{:.1}%", 100.0 * r.missed_fraction),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "paper: Jaccard 0.77/0.86/0.85 (duration), 0.77/0.81/0.83 (resource); \
+         missed 3.3-5.3%; TaOPT covers >95% of what the tools cover alone"
+    );
+}

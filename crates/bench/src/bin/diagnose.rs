@@ -1,0 +1,82 @@
+//! Deep diagnostic of one TaOPT session: instance churn, subspace quality
+//! against ground truth, and per-instance exploration footprints.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use taopt::session::{ParallelSession, RunMode, SessionConfig};
+use taopt_bench::load_apps;
+use taopt_tools::ToolKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app_idx: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let tool = match args.get(1).map(String::as_str) {
+        Some("ape") => ToolKind::Ape,
+        Some("wctester") => ToolKind::WcTester,
+        _ => ToolKind::Monkey,
+    };
+    let mode = match args.get(2).map(String::as_str) {
+        Some("resource") => RunMode::TaoptResource,
+        Some("baseline") => RunMode::Baseline,
+        _ => RunMode::TaoptDuration,
+    };
+    let apps = load_apps(18);
+    let (name, app) = &apps[app_idx.min(17)];
+    println!("app {name}: {} screens, {} methods, {} functionalities",
+        app.screen_count(), app.method_count(), app.functionalities().len());
+
+    let cfg = SessionConfig::new(tool, mode);
+    let r = ParallelSession::run(Arc::clone(app), &cfg);
+    println!("mode {:?} union cov {} crashes {} machine {} wall {}",
+        mode, r.union_coverage(), r.unique_crashes().len(), r.machine_time, r.wall_clock);
+    println!("instances created: {}", r.instances.len());
+    for i in &r.instances {
+        let screens: std::collections::BTreeSet<_> =
+            i.trace.events().iter().map(|e| e.screen).collect();
+        println!(
+            "  {}: alloc {} dealloc {} life {} trace {} screens {} cov {}",
+            i.instance,
+            i.allocated_at,
+            i.deallocated_at,
+            i.deallocated_at.since(i.allocated_at),
+            i.trace.len(),
+            screens.len(),
+            i.covered.len()
+        );
+    }
+    println!("subspaces: {} ({} confirmed)", r.subspaces.len(),
+        r.subspaces.iter().filter(|s| s.confirmed).count());
+    // Ground-truth purity: which functionality do subspace screens map to?
+    let mut screen_func: BTreeMap<u64, u32> = BTreeMap::new();
+    for spec in app.screens() {
+        let abs = taopt_ui_model::abstraction::abstract_hierarchy(
+            &app.render_screen(spec.id, 0),
+        )
+        .id();
+        screen_func.insert(abs.0, spec.functionality.0);
+    }
+    for s in r.subspaces.iter().filter(|s| s.confirmed).take(40) {
+        let mut by_func: BTreeMap<u32, usize> = BTreeMap::new();
+        for sc in &s.screens {
+            if let Some(f) = screen_func.get(&sc.0) {
+                *by_func.entry(*f).or_insert(0) += 1;
+            }
+        }
+        let total: usize = by_func.values().sum();
+        let (top_f, top_n) = by_func
+            .iter()
+            .max_by_key(|(_, n)| **n)
+            .map(|(f, n)| (*f, *n))
+            .unwrap_or((u32::MAX, 0));
+        println!(
+            "  {} owner {:?} screens {} entrypoints {:?} purity {:.0}% (func {top_f}) reporters {}",
+            s.id,
+            s.owner,
+            s.screens.len(),
+            s.entrypoints.iter().map(|e| e.widget_rid.clone()).collect::<Vec<_>>(),
+            if total > 0 { 100.0 * top_n as f64 / total as f64 } else { 0.0 },
+            s.reporters.len()
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Generalization check: TaOPT coordinating a tool outside the paper's
+//! evaluation matrix (Badge, bandit-prioritized exploration). If the
+//! tool-agnosticism claim holds, the improvement pattern should carry over
+//! to a policy TaOPT was never tuned against.
+
+use std::sync::Arc;
+
+use taopt::experiments::run_and_summarize;
+use taopt::report::{pct, TextTable};
+use taopt::session::RunMode;
+use taopt_bench::{load_apps, HarnessArgs};
+use taopt_tools::ToolKind;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let apps = load_apps(args.n_apps.min(6));
+    eprintln!("extended_tools: {} apps, {:?}", apps.len(), args.scale);
+
+    println!("TaOPT on Badge (extension tool, not in the paper's matrix)");
+    let mut table =
+        TextTable::new(["App", "Baseline", "TaOPT(D)", "Delta", "TaOPT(R)", "Delta"]);
+    let mut sums = [0usize; 3];
+    for (name, app) in &apps {
+        let mut row = vec![name.clone()];
+        let mut cells = [0usize; 3];
+        for (i, mode) in
+            [RunMode::Baseline, RunMode::TaoptDuration, RunMode::TaoptResource]
+                .into_iter()
+                .enumerate()
+        {
+            let s = run_and_summarize(
+                name,
+                Arc::clone(app),
+                ToolKind::Badge,
+                mode,
+                &args.scale,
+                args.seed,
+            );
+            cells[i] = s.union_coverage;
+            sums[i] += s.union_coverage;
+        }
+        row.push(cells[0].to_string());
+        row.push(cells[1].to_string());
+        row.push(pct(cells[1] as f64 / cells[0].max(1) as f64 - 1.0));
+        row.push(cells[2].to_string());
+        row.push(pct(cells[2] as f64 / cells[0].max(1) as f64 - 1.0));
+        table.row(row);
+    }
+    table.row([
+        "Average".to_owned(),
+        (sums[0] / apps.len()).to_string(),
+        (sums[1] / apps.len()).to_string(),
+        pct(sums[1] as f64 / sums[0].max(1) as f64 - 1.0),
+        (sums[2] / apps.len()).to_string(),
+        pct(sums[2] as f64 / sums[0].max(1) as f64 - 1.0),
+    ]);
+    print!("{}", table.render());
+}

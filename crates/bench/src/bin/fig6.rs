@@ -1,0 +1,66 @@
+//! Figure 6: testing resources (machine time) saved by TaOPT — the
+//! fraction of the baseline's machine-time budget left over when TaOPT
+//! reaches the baseline's final coverage. Also reports the RQ4 discussion's
+//! non-parallel control (one instance running the whole budget).
+
+use std::sync::Arc;
+
+use taopt::experiments::{evaluation_matrix, non_parallel_control, savings_rows};
+use taopt::report::TextTable;
+use taopt_bench::{load_apps, HarnessArgs};
+use taopt_tools::ToolKind;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let apps = load_apps(args.n_apps);
+    eprintln!("fig6: {} apps, {:?}", apps.len(), args.scale);
+    let matrix = evaluation_matrix(&apps, &args.scale, args.seed);
+    let rows = savings_rows(&matrix, &args.scale);
+
+    println!("Figure 6: machine time saved by TaOPT (% of the baseline machine budget)");
+    let mut table = TextTable::new(["App", "Tool", "Duration mode", "Resource mode"]);
+    for r in &rows {
+        table.row([
+            r.app.clone(),
+            r.tool.name().to_owned(),
+            format!("{:.1}%", 100.0 * r.resource_saved_duration_mode),
+            format!("{:.1}%", 100.0 * r.resource_saved_resource_mode),
+        ]);
+    }
+    print!("{}", table.render());
+    for tool in ToolKind::ALL {
+        let rs: Vec<_> = rows.iter().filter(|r| r.tool == tool).collect();
+        let n = rs.len().max(1) as f64;
+        let dur: f64 = rs.iter().map(|r| r.resource_saved_duration_mode).sum::<f64>() / n;
+        let res: f64 = rs.iter().map(|r| r.resource_saved_resource_mode).sum::<f64>() / n;
+        println!(
+            "{}: mean machine time saved {:.1}% (duration mode), {:.1}% (resource mode) \
+             (paper: 64.6/65.9 Mon, 48.9/50.1 Ape, 42.5/47.6 WCT)",
+            tool.name(),
+            100.0 * dur,
+            100.0 * res
+        );
+    }
+
+    // RQ4 discussion: single long-duration run with the same machine hours.
+    println!("\nNon-parallel control (1 instance x full machine budget), first app:");
+    if let Some((name, app)) = apps.first() {
+        for tool in ToolKind::ALL {
+            let single = non_parallel_control(Arc::clone(app), tool, &args.scale, args.seed);
+            let parallel = matrix
+                .iter()
+                .find(|r| {
+                    r.app == *name
+                        && r.tool == tool
+                        && r.mode == taopt::session::RunMode::Baseline
+                })
+                .map(|r| r.union_coverage)
+                .unwrap_or(0);
+            println!(
+                "  {} on {name}: single {single} vs parallel baseline {parallel} \
+                 (paper: parallel is comparable or better)",
+                tool.name()
+            );
+        }
+    }
+}

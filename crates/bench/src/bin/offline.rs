@@ -1,0 +1,59 @@
+//! Offline workflow: record baseline traces to a JSON archive, reload
+//! them, and run the §3 preliminary study plus an analyzer replay —
+//! without re-executing any session.
+
+use std::sync::Arc;
+
+use taopt::analyzer::AnalyzerConfig;
+use taopt::offline::{preliminary_study, replay_analysis, TraceArchive};
+use taopt::partition::PartitionConfig;
+use taopt::session::{ParallelSession, RunMode};
+use taopt_bench::{load_apps, HarnessArgs};
+use taopt_tools::ToolKind;
+
+fn main() -> std::io::Result<()> {
+    let args = HarnessArgs::parse();
+    let apps = load_apps(args.n_apps.min(3));
+    let path = std::env::temp_dir().join("taopt-traces.json");
+
+    // 1. Record.
+    let (name, app) = &apps[0];
+    let cfg = args.scale.session_config(ToolKind::Monkey, RunMode::Baseline, args.seed);
+    let result = ParallelSession::run(Arc::clone(app), &cfg);
+    let archive = TraceArchive::from_session(format!("{name}/Monkey/baseline"), &result);
+    archive.save(&path)?;
+    println!(
+        "recorded {} traces ({} events) to {}",
+        archive.len(),
+        archive.event_count(),
+        path.display()
+    );
+
+    // 2. Reload + preliminary study.
+    let restored = TraceArchive::load(&path)?;
+    let report = preliminary_study(&restored, &PartitionConfig::default());
+    println!(
+        "\npreliminary study of `{}`:\n  {} subspaces over {} distinct screens, \
+         avg UI occurrences {:.1}",
+        report.label, report.subspace_count, report.distinct_screens, report.avg_ui_occurrences
+    );
+    for (k, v) in &report.overlap_histogram {
+        println!("  explored by {k} instance(s): {v}");
+    }
+    println!(
+        "  {:.0}% of subspaces explored by more than one instance (paper: 97%)",
+        100.0 * report.multi_explored_fraction()
+    );
+
+    // 3. Analyzer replay.
+    let mut acfg = AnalyzerConfig::duration_mode();
+    acfg.find_space.l_min = args.scale.l_min_short;
+    let subspaces = replay_analysis(&restored, acfg);
+    println!(
+        "\nanalyzer replay identified {} subspaces ({} confirmed) from the archive alone",
+        subspaces.len(),
+        subspaces.iter().filter(|s| s.confirmed).count()
+    );
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Table 1: overlaps of UI subspace exploration — for each offline-
+//! identified subspace, how many of the parallel instances explored it.
+
+use taopt::experiments::{evaluation_matrix, table1_histogram};
+use taopt::report::TextTable;
+use taopt_bench::{load_apps, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let apps = load_apps(args.n_apps);
+    eprintln!("table1: {} apps, {:?}", apps.len(), args.scale);
+    let matrix = evaluation_matrix(&apps, &args.scale, args.seed);
+    let histogram = table1_histogram(&matrix);
+    let total: usize = histogram.values().sum();
+
+    println!("Table 1: overlaps of UI subspace exploration (baseline runs)");
+    let mut table = TextTable::new(["Overlap freq.", "# of subspaces", "share"]);
+    for k in 1..=args.scale.instances {
+        let n = histogram.get(&k).copied().unwrap_or(0);
+        table.row([
+            format!("{k}/{}", args.scale.instances),
+            n.to_string(),
+            format!("{:.0}%", if total > 0 { 100.0 * n as f64 / total as f64 } else { 0.0 }),
+        ]);
+    }
+    print!("{}", table.render());
+    let multi: usize = histogram.iter().filter(|(k, _)| **k > 1).map(|(_, v)| v).sum();
+    println!(
+        "total {total} subspaces; {multi} ({:.0}%) explored by more than one instance \
+         (paper: 97%), {} by all instances (paper: 36%)",
+        if total > 0 { 100.0 * multi as f64 / total as f64 } else { 0.0 },
+        histogram.get(&args.scale.instances).copied().unwrap_or(0),
+    );
+}

@@ -1,0 +1,52 @@
+//! Table 6: UI overlap measured by the average number of occurrences of
+//! distinct abstract UI screens across instances.
+
+#![allow(clippy::needless_range_loop)]
+
+use taopt::experiments::{evaluation_matrix, table6_rows};
+use taopt::report::TextTable;
+use taopt_bench::{load_apps, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let apps = load_apps(args.n_apps);
+    eprintln!("table6: {} apps, {:?}", apps.len(), args.scale);
+    let matrix = evaluation_matrix(&apps, &args.scale, args.seed);
+    let rows = table6_rows(&matrix);
+
+    println!("Table 6: average occurrences of distinct UIs");
+    let mut table = TextTable::new([
+        "App Name", "Mon.", "Ape", "WCT.", "Mon.(D)", "Ape(D)", "WCT.(D)", "Mon.(R)", "Ape(R)",
+        "WCT.(R)",
+    ]);
+    let mut sums = [[0.0f64; 3]; 3];
+    for r in &rows {
+        let mut line = vec![r.app.clone()];
+        for mode in 0..3 {
+            for tool in 0..3 {
+                let v = r.occurrences[tool][mode];
+                sums[tool][mode] += v;
+                line.push(format!("{v:.1}"));
+            }
+        }
+        table.row(line);
+    }
+    let n = rows.len().max(1) as f64;
+    let mut avg = vec!["Average".to_owned()];
+    for mode in 0..3 {
+        for tool in 0..3 {
+            avg.push(format!("{:.1}", sums[tool][mode] / n));
+        }
+    }
+    table.row(avg);
+    print!("{}", table.render());
+    for (ti, name) in ["Monkey", "Ape", "WCTester"].iter().enumerate() {
+        let base = sums[ti][0].max(1e-9);
+        println!(
+            "{name}: overlap reduction duration {:.1}% resource {:.1}% \
+             (paper: 64.5/64.5 Mon, 89.5/90.1 Ape, 52.1/37.6 WCT)",
+            100.0 * (1.0 - sums[ti][1] / base),
+            100.0 * (1.0 - sums[ti][2] / base),
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! The on-the-fly trace analyzer (§5.2).
+//!
+//! One [`OnlineTraceAnalyzer`] serves a whole parallel run. It
+//! periodically runs [`crate::findspace::find_space`] on each instance's
+//! growing trace,
+//! turns accepted splits into **subspace reports** (entry widget + screen
+//! set), deduplicates reports across instances by screen-set overlap, and
+//! applies the paper's confirmation policy:
+//!
+//! * resource-constrained mode, `l_min^long = 5 min`: a single report is
+//!   "confidently accepted at once";
+//! * duration-constrained mode, `l_min^short = 1 min`: accepted "only when
+//!   reported by at least two testing instances".
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use taopt_toller::{EntrypointRule, InstanceId};
+use taopt_ui_model::{AbstractScreenId, Trace, VirtualDuration, VirtualTime};
+
+use crate::findspace::{find_space_candidates, FindSpaceConfig, SimilarityCache};
+
+/// Containment coefficient `|A∩B| / min(|A|, |B|)` (1.0 when either set
+/// is contained in the other; 0 when disjoint or either is empty).
+fn containment(a: &BTreeSet<AbstractScreenId>, b: &BTreeSet<AbstractScreenId>) -> f64 {
+    let min = a.len().min(b.len());
+    if min == 0 {
+        return 0.0;
+    }
+    a.intersection(b).count() as f64 / min as f64
+}
+
+/// Identifier of an identified UI subspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubspaceId(pub u32);
+
+impl fmt::Display for SubspaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub{}", self.0)
+    }
+}
+
+/// Analyzer tunables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzerConfig {
+    /// `FindSpace` parameters (including `l_min`).
+    pub find_space: FindSpaceConfig,
+    /// Independent instance reports required before a subspace is accepted.
+    pub confirmations_required: usize,
+    /// Minimum gap between analyses of the same instance's trace.
+    pub analysis_interval: VirtualDuration,
+    /// Minimum trace growth (events) before re-analysis.
+    pub min_new_events: usize,
+    /// Screen-set containment coefficient (`|A∩B| / min(|A|,|B|)`) above
+    /// which two reports describe the same subspace. Containment (rather
+    /// than symmetric Jaccard) also merges *nested* reports — a deep
+    /// region of an already-identified subspace must never become a
+    /// separate subspace with a different owner, or its owner could be
+    /// locked out of the enclosing entrypoint.
+    pub merge_jaccard: f64,
+    /// Minimum distinct screens a reported subspace must contain. Guards
+    /// against fragmenting a functionality into micro-subspaces whose
+    /// blocking rules would partition the space too finely.
+    pub min_subspace_screens: usize,
+}
+
+impl AnalyzerConfig {
+    /// Parameters for the duration-constrained mode
+    /// (`l_min^short = 1 min`, two confirmations).
+    pub fn duration_mode() -> Self {
+        AnalyzerConfig {
+            find_space: FindSpaceConfig {
+                l_min: VirtualDuration::from_mins(1),
+                ..FindSpaceConfig::default()
+            },
+            confirmations_required: 2,
+            analysis_interval: VirtualDuration::from_secs(20),
+            min_new_events: 10,
+            merge_jaccard: 0.5,
+            min_subspace_screens: 5,
+        }
+    }
+
+    /// Parameters for the resource-constrained mode
+    /// (`l_min^long = 5 min`, accepted at once).
+    pub fn resource_mode() -> Self {
+        AnalyzerConfig {
+            find_space: FindSpaceConfig {
+                l_min: VirtualDuration::from_mins(5),
+                ..FindSpaceConfig::default()
+            },
+            confirmations_required: 1,
+            analysis_interval: VirtualDuration::from_secs(45),
+            min_new_events: 20,
+            merge_jaccard: 0.5,
+            min_subspace_screens: 5,
+        }
+    }
+}
+
+/// One identified loosely coupled UI subspace.
+#[derive(Debug, Clone)]
+pub struct SubspaceInfo {
+    /// Registry id.
+    pub id: SubspaceId,
+    /// Entry widgets discovered for this subspace (blocking all of them
+    /// seals the subspace).
+    pub entrypoints: Vec<EntrypointRule>,
+    /// Abstract screens belonging to the subspace.
+    pub screens: BTreeSet<AbstractScreenId>,
+    /// Instances that independently reported it.
+    pub reporters: BTreeSet<InstanceId>,
+    /// Whether the confirmation policy has accepted it.
+    pub confirmed: bool,
+    /// Time of first report.
+    pub first_reported: VirtualTime,
+    /// Instance the subspace is dedicated to (set by the coordinator).
+    pub owner: Option<InstanceId>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct InstanceCursor {
+    last_run: Option<VirtualTime>,
+    last_len: usize,
+    /// Absolute index into the trace where analysis restarts after an
+    /// accepted split.
+    start_index: usize,
+}
+
+/// The on-the-fly trace analyzer shared by all instances of a run.
+#[derive(Debug)]
+pub struct OnlineTraceAnalyzer {
+    config: AnalyzerConfig,
+    subspaces: Vec<SubspaceInfo>,
+    cursors: HashMap<InstanceId, InstanceCursor>,
+    similarity_cache: SimilarityCache,
+}
+
+impl OnlineTraceAnalyzer {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        OnlineTraceAnalyzer {
+            config,
+            subspaces: Vec::new(),
+            cursors: HashMap::new(),
+            similarity_cache: SimilarityCache::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// All subspaces in the registry (confirmed or pending).
+    pub fn subspaces(&self) -> &[SubspaceInfo] {
+        &self.subspaces
+    }
+
+    /// Looks up a subspace.
+    pub fn subspace(&self, id: SubspaceId) -> Option<&SubspaceInfo> {
+        self.subspaces.get(id.0 as usize)
+    }
+
+    /// Records the dedication decided by the coordinator.
+    pub fn set_owner(&mut self, id: SubspaceId, owner: InstanceId) {
+        if let Some(s) = self.subspaces.get_mut(id.0 as usize) {
+            s.owner = Some(owner);
+        }
+    }
+
+    /// Analyzes an instance's trace if it is due; returns the ids of
+    /// subspaces that became **newly confirmed** by this call.
+    pub fn maybe_analyze(
+        &mut self,
+        instance: InstanceId,
+        trace: &Trace,
+        now: VirtualTime,
+    ) -> Vec<SubspaceId> {
+        let cursor = self.cursors.entry(instance).or_default();
+        if let Some(last) = cursor.last_run {
+            if now.since(last) < self.config.analysis_interval {
+                return Vec::new();
+            }
+        }
+        if trace.len() < cursor.last_len + self.config.min_new_events {
+            return Vec::new();
+        }
+        cursor.last_run = Some(now);
+        cursor.last_len = trace.len();
+        let start = cursor.start_index.min(trace.len());
+        let window = &trace.events()[start..];
+        let candidates = find_space_candidates(
+            window,
+            &self.config.find_space,
+            &mut self.similarity_cache,
+            5,
+        );
+        let events = trace.events();
+        for split in candidates {
+            let abs = start + split.index;
+            if abs == 0 {
+                continue;
+            }
+            // The entrypoint is the widget fired on the screen *before*
+            // the split that produced the first in-subspace screen.
+            let Some(rid) = events[abs].action_widget_rid.clone() else {
+                continue;
+            };
+            // Screens already visited repeatedly before the split are
+            // *transit* infrastructure (hubs, tab bars); the subspace must
+            // only contain territory that is new at the split.
+            let mut prefix_counts: HashMap<AbstractScreenId, usize> = HashMap::new();
+            for e in &events[..abs] {
+                *prefix_counts.entry(e.abstract_id).or_insert(0) += 1;
+            }
+            let is_transit =
+                |id: &AbstractScreenId| prefix_counts.get(id).copied().unwrap_or(0) >= 2;
+            // Validity of the entry rule: the fired widget must sit on a
+            // well-established *hub* screen (as in the paper's motivating
+            // example, where "the button leading to SearchTabsActivity
+            // will be disabled on the main screen") and land on territory
+            // never seen before the split. Anchoring on hubs prevents two
+            // failure modes: blocking a cluster's internal navigation for
+            // other instances, and splitting one cluster into nested
+            // subspaces with different owners that lock each other out.
+            let host_screen = events[abs - 1].abstract_id;
+            let target_screen = events[abs].abstract_id;
+            if prefix_counts.get(&host_screen).copied().unwrap_or(0) < 3
+                || prefix_counts.contains_key(&target_screen)
+            {
+                continue;
+            }
+            // The subspace is the cohesive region entered at the split:
+            // the connected component of the entry target in the suffix's
+            // transition structure, with transit screens removed.
+            let mut adjacency: HashMap<AbstractScreenId, BTreeSet<AbstractScreenId>> =
+                HashMap::new();
+            for w in events[abs..].windows(2) {
+                let (a, b) = (w[0].abstract_id, w[1].abstract_id);
+                if a != b && !is_transit(&a) && !is_transit(&b) {
+                    adjacency.entry(a).or_default().insert(b);
+                    adjacency.entry(b).or_default().insert(a);
+                }
+            }
+            let mut screens: BTreeSet<AbstractScreenId> = BTreeSet::new();
+            let mut queue = vec![target_screen];
+            while let Some(sc) = queue.pop() {
+                if screens.insert(sc) {
+                    if let Some(next) = adjacency.get(&sc) {
+                        queue.extend(next.iter().copied());
+                    }
+                }
+            }
+            if screens.len() < self.config.min_subspace_screens
+                || screens.contains(&host_screen)
+            {
+                continue;
+            }
+            let entry = EntrypointRule::new(host_screen, rid);
+            // Future analyses for this instance start inside the subspace.
+            self.cursors.get_mut(&instance).expect("cursor exists").start_index = abs;
+            return self
+                .register_report(instance, entry, screens, now)
+                .into_iter()
+                .collect();
+        }
+        Vec::new()
+    }
+
+    /// Registers a subspace report directly (used by tests and by offline
+    /// replay); returns the id if the report *newly confirmed* a subspace.
+    pub fn register_report(
+        &mut self,
+        instance: InstanceId,
+        entry: EntrypointRule,
+        screens: BTreeSet<AbstractScreenId>,
+        now: VirtualTime,
+    ) -> Option<SubspaceId> {
+        // Merge with an existing subspace if screen sets overlap enough
+        // (containment: nested regions merge into their enclosing
+        // subspace) or the entrypoint matches.
+        let existing = self.subspaces.iter().position(|s| {
+            s.entrypoints.contains(&entry)
+                || containment(&s.screens, &screens) >= self.config.merge_jaccard
+        });
+        let idx = match existing {
+            Some(i) => {
+                // Keep the first report's screen set: extending on every
+                // merge lets subspaces drift and chain-absorb neighbours.
+                let s = &mut self.subspaces[i];
+                if !s.entrypoints.contains(&entry) {
+                    s.entrypoints.push(entry);
+                }
+                s.reporters.insert(instance);
+                i
+            }
+            None => {
+                let id = SubspaceId(self.subspaces.len() as u32);
+                self.subspaces.push(SubspaceInfo {
+                    id,
+                    entrypoints: vec![entry],
+                    screens,
+                    reporters: [instance].into_iter().collect(),
+                    confirmed: false,
+                    first_reported: now,
+                    owner: None,
+                });
+                self.subspaces.len() - 1
+            }
+        };
+        let s = &mut self.subspaces[idx];
+        if !s.confirmed && s.reporters.len() >= self.config.confirmations_required {
+            s.confirmed = true;
+            Some(s.id)
+        } else {
+            None
+        }
+    }
+
+    /// Confirmed subspaces, in identification order.
+    pub fn confirmed(&self) -> impl Iterator<Item = &SubspaceInfo> {
+        self.subspaces.iter().filter(|s| s.confirmed)
+    }
+
+    /// Summary: subspace count by confirmation state.
+    pub fn stats(&self) -> BTreeMap<&'static str, usize> {
+        let confirmed = self.subspaces.iter().filter(|s| s.confirmed).count();
+        [("confirmed", confirmed), ("pending", self.subspaces.len() - confirmed)]
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taopt_ui_model::AbstractScreenId;
+
+    fn screens(ids: &[u64]) -> BTreeSet<AbstractScreenId> {
+        ids.iter().map(|i| AbstractScreenId(*i)).collect()
+    }
+
+    fn rule(host: u64, rid: &str) -> EntrypointRule {
+        EntrypointRule::new(AbstractScreenId(host), rid)
+    }
+
+    #[test]
+    fn single_report_confirms_in_resource_mode() {
+        let mut a = OnlineTraceAnalyzer::new(AnalyzerConfig::resource_mode());
+        let id = a.register_report(
+            InstanceId(0),
+            rule(1, "tab_shop"),
+            screens(&[10, 11, 12]),
+            VirtualTime::ZERO,
+        );
+        assert!(id.is_some());
+        assert!(a.subspace(id.unwrap()).unwrap().confirmed);
+    }
+
+    #[test]
+    fn duration_mode_needs_two_reporters() {
+        let mut a = OnlineTraceAnalyzer::new(AnalyzerConfig::duration_mode());
+        let first = a.register_report(
+            InstanceId(0),
+            rule(1, "tab_shop"),
+            screens(&[10, 11, 12]),
+            VirtualTime::ZERO,
+        );
+        assert_eq!(first, None, "one reporter is not enough in duration mode");
+        // A second report from the *same* instance does not confirm.
+        let again = a.register_report(
+            InstanceId(0),
+            rule(1, "tab_shop"),
+            screens(&[10, 11, 13]),
+            VirtualTime::from_secs(5),
+        );
+        assert_eq!(again, None);
+        // A different instance confirms.
+        let second = a.register_report(
+            InstanceId(1),
+            rule(1, "tab_shop"),
+            screens(&[10, 12, 13]),
+            VirtualTime::from_secs(9),
+        );
+        assert!(second.is_some());
+        let info = a.subspace(second.unwrap()).unwrap();
+        assert!(info.confirmed);
+        assert_eq!(info.reporters.len(), 2);
+        assert_eq!(a.subspaces().len(), 1, "reports merged into one subspace");
+    }
+
+    #[test]
+    fn overlapping_screen_sets_merge_even_with_new_entrypoint() {
+        let mut a = OnlineTraceAnalyzer::new(AnalyzerConfig::resource_mode());
+        a.register_report(InstanceId(0), rule(1, "tab_a"), screens(&[10, 11, 12, 13]), VirtualTime::ZERO);
+        a.register_report(
+            InstanceId(1),
+            rule(2, "deeplink_b"),
+            screens(&[10, 11, 12, 14]),
+            VirtualTime::ZERO,
+        );
+        assert_eq!(a.subspaces().len(), 1);
+        assert_eq!(a.subspaces()[0].entrypoints.len(), 2, "both entrypoints kept");
+    }
+
+    #[test]
+    fn disjoint_reports_create_distinct_subspaces() {
+        let mut a = OnlineTraceAnalyzer::new(AnalyzerConfig::resource_mode());
+        a.register_report(InstanceId(0), rule(1, "tab_a"), screens(&[10, 11]), VirtualTime::ZERO);
+        a.register_report(InstanceId(0), rule(1, "tab_b"), screens(&[20, 21]), VirtualTime::ZERO);
+        assert_eq!(a.subspaces().len(), 2);
+        assert_eq!(a.stats()["confirmed"], 2);
+    }
+
+    #[test]
+    fn maybe_analyze_respects_interval_and_growth() {
+        use crate::findspace::tests::two_cluster_trace;
+        let mut cfg = AnalyzerConfig::resource_mode();
+        cfg.find_space.l_min = VirtualDuration::from_secs(20);
+        cfg.analysis_interval = VirtualDuration::from_secs(30);
+        cfg.min_new_events = 5;
+        let mut a = OnlineTraceAnalyzer::new(cfg);
+        let trace: Trace = two_cluster_trace(30, 50).into_iter().collect();
+        let now = trace.end_time().unwrap();
+        let confirmed = a.maybe_analyze(InstanceId(0), &trace, now);
+        assert_eq!(confirmed.len(), 1, "clean two-cluster trace confirms at once");
+        // Immediately re-analyzing is throttled.
+        let again = a.maybe_analyze(InstanceId(0), &trace, now);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn owner_assignment_is_recorded() {
+        let mut a = OnlineTraceAnalyzer::new(AnalyzerConfig::resource_mode());
+        let id = a
+            .register_report(InstanceId(0), rule(1, "t"), screens(&[1, 2]), VirtualTime::ZERO)
+            .unwrap();
+        a.set_owner(id, InstanceId(0));
+        assert_eq!(a.subspace(id).unwrap().owner, Some(InstanceId(0)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Weighted-directed conductance and the MC-GPP objective (Eqs. 2–3).
+
+use std::collections::BTreeSet;
+
+use taopt_ui_model::StochasticDigraph;
+
+/// The conductance φ(G1, G2) of Eq. (2):
+///
+/// ```text
+/// φ(G1, G2) = Σ_{i∈G1, j∈G2} p(i,j) / min(|vol(G1)|, |vol(G2)|)
+/// ```
+///
+/// Intuitively, the tool's probability of transitioning from `a` into `b`,
+/// normalized by the smaller subgraph volume. Returns 0.0 when both
+/// volumes are zero (isolated subsets).
+pub fn conductance(g: &StochasticDigraph, a: &BTreeSet<u64>, b: &BTreeSet<u64>) -> f64 {
+    let cut = g.cut_weight(a, b);
+    if cut == 0.0 {
+        return 0.0;
+    }
+    let denom = g.volume(a).abs().min(g.volume(b).abs());
+    if denom == 0.0 {
+        return 0.0;
+    }
+    cut / denom
+}
+
+/// The MC-GPP objective of Eq. (3) for a k-way partition: the maximum
+/// pairwise conductance between any two parts (both directions).
+///
+/// Lower is better; the optimal parallelization strategy minimizes it.
+pub fn partition_score(g: &StochasticDigraph, parts: &[BTreeSet<u64>]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (i, a) in parts.iter().enumerate() {
+        for b in parts.iter().skip(i + 1) {
+            worst = worst.max(conductance(g, a, b));
+            worst = worst.max(conductance(g, b, a));
+        }
+    }
+    worst
+}
+
+/// Classifies a pair of subgraphs as loosely coupled (§4.1): either both
+/// directions have near-zero conductance, or one direction is easy and the
+/// reverse is rare.
+pub fn loosely_coupled(
+    g: &StochasticDigraph,
+    a: &BTreeSet<u64>,
+    b: &BTreeSet<u64>,
+    epsilon: f64,
+) -> bool {
+    let ab = conductance(g, a, b);
+    let ba = conductance(g, b, a);
+    ab <= epsilon || ba <= epsilon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u64]) -> BTreeSet<u64> {
+        ids.iter().copied().collect()
+    }
+
+    /// Two triangles joined by one weak edge.
+    fn two_triangles(cross: f64) -> StochasticDigraph {
+        let mut g = StochasticDigraph::new();
+        for (x, y) in [(1, 2), (2, 3), (3, 1), (4, 5), (5, 6), (6, 4)] {
+            g.add_edge(x, y, 1.0).unwrap();
+            g.add_edge(y, x, 1.0).unwrap();
+        }
+        if cross > 0.0 {
+            g.add_edge(1, 4, cross).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn disconnected_subgraphs_have_zero_conductance() {
+        let g = two_triangles(0.0);
+        let (a, b) = (set(&[1, 2, 3]), set(&[4, 5, 6]));
+        assert_eq!(conductance(&g, &a, &b), 0.0);
+        assert_eq!(conductance(&g, &b, &a), 0.0);
+        assert!(loosely_coupled(&g, &a, &b, 0.01));
+    }
+
+    #[test]
+    fn weak_cross_edge_gives_small_conductance() {
+        let g = two_triangles(0.05);
+        let (a, b) = (set(&[1, 2, 3]), set(&[4, 5, 6]));
+        let ab = conductance(&g, &a, &b);
+        assert!(ab > 0.0 && ab < 0.05, "φ = {ab}");
+        // Reverse direction has no edge at all.
+        assert_eq!(conductance(&g, &b, &a), 0.0);
+        assert!(loosely_coupled(&g, &a, &b, 0.01));
+    }
+
+    #[test]
+    fn bad_partition_scores_higher_than_good() {
+        let g = two_triangles(0.05);
+        let good = vec![set(&[1, 2, 3]), set(&[4, 5, 6])];
+        let bad = vec![set(&[1, 2, 4]), set(&[3, 5, 6])];
+        assert!(
+            partition_score(&g, &good) < partition_score(&g, &bad),
+            "cluster-aligned partition must win: {} vs {}",
+            partition_score(&g, &good),
+            partition_score(&g, &bad)
+        );
+    }
+
+    #[test]
+    fn partition_score_of_single_part_is_zero() {
+        let g = two_triangles(0.5);
+        assert_eq!(partition_score(&g, &[set(&[1, 2, 3, 4, 5, 6])]), 0.0);
+        assert_eq!(partition_score(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn one_way_coupling_counts_as_loose() {
+        // a -> b is easy (φ large), b -> a impossible: still "loosely
+        // coupled" per the paper's case (2).
+        let mut g = StochasticDigraph::new();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        g.add_edge(3, 2, 1.0).unwrap();
+        let (a, b) = (set(&[1]), set(&[2, 3]));
+        assert!(conductance(&g, &a, &b) > 0.1);
+        assert_eq!(conductance(&g, &b, &a), 0.0);
+        assert!(loosely_coupled(&g, &a, &b, 0.01));
+    }
+}

@@ -1,0 +1,351 @@
+//! The test coordinator (§5.3): subspace dedication, entrypoint broadcast
+//! and instance lifecycle policy.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use taopt_toller::{EntrypointRule, InstanceId, SharedBlockList};
+use taopt_ui_model::{Trace, VirtualDuration, VirtualTime};
+
+use crate::analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceId};
+
+/// Observable coordinator decisions (for logs, tests and reports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordinatorEvent {
+    /// A subspace was confirmed and dedicated to an instance.
+    SubspaceDedicated {
+        /// The subspace.
+        subspace: SubspaceId,
+        /// The instance granted exclusive access.
+        owner: InstanceId,
+        /// When.
+        at: VirtualTime,
+    },
+    /// An entrypoint was blocked on an instance.
+    EntrypointBlocked {
+        /// The subspace being sealed.
+        subspace: SubspaceId,
+        /// The instance losing access.
+        instance: InstanceId,
+        /// The rule installed.
+        rule: EntrypointRule,
+    },
+}
+
+impl fmt::Display for CoordinatorEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordinatorEvent::SubspaceDedicated { subspace, owner, at } => {
+                write!(f, "{at}: dedicated {subspace} to {owner}")
+            }
+            CoordinatorEvent::EntrypointBlocked { subspace, instance, rule } => {
+                write!(f, "{subspace}: {rule} on {instance}")
+            }
+        }
+    }
+}
+
+/// The test coordinator: consumes traces, confirms subspaces via the
+/// analyzer, dedicates each confirmed subspace to one instance and blocks
+/// its entrypoints everywhere else (including instances allocated later).
+#[derive(Debug)]
+pub struct TestCoordinator {
+    analyzer: OnlineTraceAnalyzer,
+    blocklists: BTreeMap<InstanceId, SharedBlockList>,
+    stall_timeout: VirtualDuration,
+    events: Vec<CoordinatorEvent>,
+}
+
+impl TestCoordinator {
+    /// Creates a coordinator with the given analyzer configuration and the
+    /// paper's 1-minute stall timeout.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        TestCoordinator {
+            analyzer: OnlineTraceAnalyzer::new(config),
+            blocklists: BTreeMap::new(),
+            stall_timeout: VirtualDuration::from_mins(1),
+            events: Vec::new(),
+        }
+    }
+
+    /// Overrides the stall timeout.
+    pub fn with_stall_timeout(mut self, timeout: VirtualDuration) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// The stall timeout in force.
+    pub fn stall_timeout(&self) -> VirtualDuration {
+        self.stall_timeout
+    }
+
+    /// The underlying analyzer (read access for reports).
+    pub fn analyzer(&self) -> &OnlineTraceAnalyzer {
+        &self.analyzer
+    }
+
+    /// Decision log.
+    pub fn events(&self) -> &[CoordinatorEvent] {
+        &self.events
+    }
+
+    /// Registers an instance's block list. All previously confirmed
+    /// subspaces are immediately blocked on it (step 6 of the workflow:
+    /// "the newly allocated testing instance C cannot access either UI
+    /// subspace X or Y"). Tombstoned subspaces (exhausted by a dead owner)
+    /// stay blocked too.
+    pub fn register_instance(&mut self, instance: InstanceId, blocklist: SharedBlockList) {
+        let rules: Vec<(SubspaceId, EntrypointRule)> = self
+            .analyzer
+            .confirmed()
+            .filter(|s| s.owner != Some(instance))
+            .flat_map(|s| s.entrypoints.iter().map(move |r| (s.id, r.clone())))
+            .collect();
+        {
+            let mut bl = blocklist.write();
+            for (sid, rule) in rules {
+                bl.block(rule.clone());
+                self.events.push(CoordinatorEvent::EntrypointBlocked {
+                    subspace: sid,
+                    instance,
+                    rule,
+                });
+            }
+        }
+        self.blocklists.insert(instance, blocklist);
+    }
+
+    /// Forgets a deallocated instance, settling its dedications:
+    ///
+    /// * subspaces the dead owner had **substantially explored** (fraction
+    ///   of subspace screens visited ≥ `EXHAUSTED_FRACTION`) are
+    ///   *tombstoned* — they stay blocked on every instance, exactly as
+    ///   the paper allocates replacements "with all entrypoints to
+    ///   identified UI subspaces blocked" (§5.3): a stalled owner has
+    ///   finished its territory, so nobody needs to re-explore it;
+    /// * unfinished subspaces are redistributed round-robin among the
+    ///   surviving instances, whose block lists are opened accordingly.
+    ///
+    /// `visited` is the set of abstract screens the dead instance
+    /// explored (from its trace).
+    pub fn unregister_instance_with_trace(
+        &mut self,
+        instance: InstanceId,
+        visited: &std::collections::BTreeSet<taopt_ui_model::AbstractScreenId>,
+    ) {
+        const EXHAUSTED_FRACTION: f64 = 0.95;
+        self.blocklists.remove(&instance);
+        let owned: Vec<(SubspaceId, bool)> = self
+            .analyzer
+            .confirmed()
+            .filter(|s| s.owner == Some(instance))
+            .map(|s| {
+                let seen = s.screens.intersection(visited).count();
+                let exhausted = !s.screens.is_empty()
+                    && seen as f64 / s.screens.len() as f64 >= EXHAUSTED_FRACTION;
+                (s.id, exhausted)
+            })
+            .collect();
+        if owned.is_empty() {
+            return;
+        }
+        let survivors: Vec<InstanceId> = self.blocklists.keys().copied().collect();
+        let mut heir_cursor = 0usize;
+        for (sid, exhausted) in owned {
+            if exhausted || survivors.is_empty() {
+                // Tombstone: leave it blocked everywhere; the dead owner
+                // keeps the dedication on record.
+                continue;
+            }
+            let heir = survivors[heir_cursor % survivors.len()];
+            heir_cursor += 1;
+            let entrypoints = self
+                .analyzer
+                .subspace(sid)
+                .map(|s| s.entrypoints.clone())
+                .unwrap_or_default();
+            self.analyzer.set_owner(sid, heir);
+            if let Some(bl) = self.blocklists.get(&heir) {
+                let mut bl = bl.write();
+                for rule in &entrypoints {
+                    bl.unblock(rule);
+                }
+            }
+            self.events.push(CoordinatorEvent::SubspaceDedicated {
+                subspace: sid,
+                owner: heir,
+                at: VirtualTime::ZERO,
+            });
+        }
+    }
+
+    /// [`TestCoordinator::unregister_instance_with_trace`] without a
+    /// trace: every owned subspace is treated as unfinished.
+    pub fn unregister_instance(&mut self, instance: InstanceId) {
+        self.unregister_instance_with_trace(instance, &std::collections::BTreeSet::new());
+    }
+
+    /// Instances currently registered.
+    pub fn registered(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.blocklists.keys().copied()
+    }
+
+    /// Feeds one instance's trace to the analyzer and applies any newly
+    /// confirmed subspaces: the reporting instance (or the first reporter
+    /// still registered) becomes the owner; every other instance gets the
+    /// subspace's entrypoints blocked.
+    ///
+    /// Returns the subspaces confirmed by this call.
+    pub fn process_trace(
+        &mut self,
+        instance: InstanceId,
+        trace: &Trace,
+        now: VirtualTime,
+    ) -> Vec<SubspaceId> {
+        let confirmed = self.analyzer.maybe_analyze(instance, trace, now);
+        for sid in &confirmed {
+            self.dedicate(*sid, now);
+        }
+        confirmed
+    }
+
+    /// Feeds a pre-built subspace report directly (used by streaming
+    /// deployments and tests, bypassing `FindSpace`): registers it with
+    /// the analyzer and dedicates it if it becomes newly confirmed.
+    pub fn register_report(
+        &mut self,
+        instance: InstanceId,
+        entry: EntrypointRule,
+        screens: std::collections::BTreeSet<taopt_ui_model::AbstractScreenId>,
+        now: VirtualTime,
+    ) -> Option<SubspaceId> {
+        let confirmed = self.analyzer.register_report(instance, entry, screens, now);
+        if let Some(sid) = confirmed {
+            self.dedicate(sid, now);
+        }
+        confirmed
+    }
+
+    /// Dedicates a confirmed subspace: picks an owner and broadcasts the
+    /// block rules to everyone else.
+    fn dedicate(&mut self, sid: SubspaceId, now: VirtualTime) {
+        let (owner, entrypoints) = {
+            let info = self.analyzer.subspace(sid).expect("confirmed subspace exists");
+            let owner = info
+                .reporters
+                .iter()
+                .copied()
+                .find(|r| self.blocklists.contains_key(r))
+                .or_else(|| self.blocklists.keys().next().copied());
+            (owner, info.entrypoints.clone())
+        };
+        let Some(owner) = owner else { return };
+        self.analyzer.set_owner(sid, owner);
+        self.events.push(CoordinatorEvent::SubspaceDedicated { subspace: sid, owner, at: now });
+        for (inst, bl) in &self.blocklists {
+            if *inst == owner {
+                // The owner keeps access; make sure nothing lingers from
+                // an earlier registration.
+                let mut bl = bl.write();
+                for rule in &entrypoints {
+                    bl.unblock(rule);
+                }
+                continue;
+            }
+            let mut bl = bl.write();
+            for rule in &entrypoints {
+                bl.block(rule.clone());
+                self.events.push(CoordinatorEvent::EntrypointBlocked {
+                    subspace: sid,
+                    instance: *inst,
+                    rule: rule.clone(),
+                });
+            }
+        }
+    }
+
+    /// Whether an instance should be deallocated: it "does not discover
+    /// new UI screens for `l_min^short` = 1 minute" (§5.3).
+    pub fn should_deallocate(&self, last_new_screen: VirtualTime, now: VirtualTime) -> bool {
+        now.since(last_new_screen) >= self.stall_timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use taopt_toller::enforce::shared_block_list;
+    use taopt_ui_model::AbstractScreenId;
+
+    fn rule(host: u64, rid: &str) -> EntrypointRule {
+        EntrypointRule::new(AbstractScreenId(host), rid)
+    }
+
+    fn screens(ids: &[u64]) -> BTreeSet<AbstractScreenId> {
+        ids.iter().map(|i| AbstractScreenId(*i)).collect()
+    }
+
+    #[test]
+    fn dedication_blocks_everyone_but_the_owner() {
+        let mut c = TestCoordinator::new(AnalyzerConfig::resource_mode());
+        let bl0 = shared_block_list();
+        let bl1 = shared_block_list();
+        c.register_instance(InstanceId(0), bl0.clone());
+        c.register_instance(InstanceId(1), bl1.clone());
+        // Simulate the analyzer confirming a subspace reported by inst 0.
+        let sid = c
+            .analyzer
+            .register_report(InstanceId(0), rule(1, "tab_shop"), screens(&[5, 6]), VirtualTime::ZERO)
+            .expect("resource mode confirms at once");
+        c.dedicate(sid, VirtualTime::ZERO);
+        assert!(bl0.read().is_empty(), "owner keeps access");
+        assert_eq!(bl1.read().rules().len(), 1, "other instance blocked");
+        assert_eq!(c.analyzer().subspace(sid).unwrap().owner, Some(InstanceId(0)));
+        assert!(matches!(
+            c.events()[0],
+            CoordinatorEvent::SubspaceDedicated { owner: InstanceId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn late_instances_inherit_existing_blocks() {
+        let mut c = TestCoordinator::new(AnalyzerConfig::resource_mode());
+        let bl0 = shared_block_list();
+        c.register_instance(InstanceId(0), bl0);
+        let sid = c
+            .analyzer
+            .register_report(InstanceId(0), rule(1, "tab_a"), screens(&[2, 3]), VirtualTime::ZERO)
+            .unwrap();
+        c.dedicate(sid, VirtualTime::ZERO);
+        // Instance 2 arrives later: blocked on registration.
+        let bl2 = shared_block_list();
+        c.register_instance(InstanceId(2), bl2.clone());
+        assert_eq!(bl2.read().rules().len(), 1);
+    }
+
+    #[test]
+    fn stall_detection_uses_timeout() {
+        let c = TestCoordinator::new(AnalyzerConfig::duration_mode())
+            .with_stall_timeout(VirtualDuration::from_secs(30));
+        let t0 = VirtualTime::from_secs(100);
+        assert!(!c.should_deallocate(t0, VirtualTime::from_secs(120)));
+        assert!(c.should_deallocate(t0, VirtualTime::from_secs(130)));
+    }
+
+    #[test]
+    fn unregister_stops_future_blocks() {
+        let mut c = TestCoordinator::new(AnalyzerConfig::resource_mode());
+        let bl0 = shared_block_list();
+        let bl1 = shared_block_list();
+        c.register_instance(InstanceId(0), bl0);
+        c.register_instance(InstanceId(1), bl1.clone());
+        c.unregister_instance(InstanceId(1));
+        let sid = c
+            .analyzer
+            .register_report(InstanceId(0), rule(4, "t"), screens(&[9]), VirtualTime::ZERO)
+            .unwrap();
+        c.dedicate(sid, VirtualTime::ZERO);
+        assert!(bl1.read().is_empty(), "deallocated instance no longer updated");
+    }
+}

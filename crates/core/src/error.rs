@@ -1,0 +1,47 @@
+//! Error types for the TaOPT core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by TaOPT's analysis and coordination layers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TaoptError {
+    /// An analysis was requested on a trace that is still too short.
+    TraceTooShort {
+        /// Events available.
+        len: usize,
+        /// Events required.
+        required: usize,
+    },
+    /// A configuration value was invalid.
+    BadConfig(String),
+    /// A subspace id was referenced that does not exist.
+    UnknownSubspace(u32),
+}
+
+impl fmt::Display for TaoptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaoptError::TraceTooShort { len, required } => {
+                write!(f, "trace has {len} events but analysis requires {required}")
+            }
+            TaoptError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TaoptError::UnknownSubspace(id) => write!(f, "unknown subspace id {id}"),
+        }
+    }
+}
+
+impl Error for TaoptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TaoptError::TraceTooShort { len: 3, required: 10 }.to_string().contains('3'));
+        assert!(TaoptError::BadConfig("x".into()).to_string().contains('x'));
+        assert!(TaoptError::UnknownSubspace(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,178 @@
+//! Coverage-over-time curves and the savings computations of RQ3/RQ4.
+
+use taopt_ui_model::{VirtualDuration, VirtualTime};
+
+/// One point of a run's cumulative union-coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CurvePoint {
+    /// Global session time.
+    pub time: VirtualTime,
+    /// Cumulative union method coverage.
+    pub covered: usize,
+    /// Machine time consumed so far (sum over instances).
+    pub machine_time: VirtualDuration,
+}
+
+/// Coverage at (or before) a given time on a monotone curve.
+pub fn coverage_at(curve: &[CurvePoint], time: VirtualTime) -> usize {
+    match curve.binary_search_by(|p| p.time.cmp(&time)) {
+        Ok(i) => {
+            // Several points can share a timestamp; take the last.
+            let mut j = i;
+            while j + 1 < curve.len() && curve[j + 1].time == time {
+                j += 1;
+            }
+            curve[j].covered
+        }
+        Err(0) => 0,
+        Err(i) => curve[i - 1].covered,
+    }
+}
+
+/// Earliest wall-clock time at which the curve reaches `target` methods.
+pub fn time_to_reach(curve: &[CurvePoint], target: usize) -> Option<VirtualTime> {
+    curve.iter().find(|p| p.covered >= target).map(|p| p.time)
+}
+
+/// Machine time consumed when the curve first reaches `target` methods.
+pub fn machine_time_to_reach(curve: &[CurvePoint], target: usize) -> Option<VirtualDuration> {
+    curve.iter().find(|p| p.covered >= target).map(|p| p.machine_time)
+}
+
+/// Fraction of `total` saved by reaching the goal at `used` (0 when not
+/// reached or when `used ≥ total`).
+pub fn saved_fraction(used: Option<VirtualDuration>, total: VirtualDuration) -> f64 {
+    match used {
+        Some(u) if u < total => total.saturating_sub(u).fraction_of(total),
+        _ => 0.0,
+    }
+}
+
+/// Area under the (stepwise) coverage curve up to `horizon`, in
+/// method·seconds. Integrates how *early* coverage arrives: two runs with
+/// the same final coverage differ in AUC when one reaches it sooner —
+/// the quantity behind the paper's duration-savings framing.
+pub fn coverage_auc(curve: &[CurvePoint], horizon: VirtualTime) -> f64 {
+    let mut auc = 0.0;
+    let mut prev_t = VirtualTime::ZERO;
+    let mut prev_c = 0usize;
+    for p in curve {
+        if p.time > horizon {
+            break;
+        }
+        auc += prev_c as f64 * p.time.since(prev_t).as_secs() as f64;
+        prev_t = p.time;
+        prev_c = p.covered;
+    }
+    auc += prev_c as f64 * horizon.since(prev_t).as_secs() as f64;
+    auc
+}
+
+/// Earliest time the curve reaches `fraction` of its own final coverage.
+pub fn time_to_fraction(curve: &[CurvePoint], fraction: f64) -> Option<VirtualTime> {
+    let final_cov = curve.last()?.covered;
+    let target = (final_cov as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize;
+    time_to_reach(curve, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> Vec<CurvePoint> {
+        vec![
+            CurvePoint {
+                time: VirtualTime::from_secs(10),
+                covered: 100,
+                machine_time: VirtualDuration::from_secs(10),
+            },
+            CurvePoint {
+                time: VirtualTime::from_secs(20),
+                covered: 250,
+                machine_time: VirtualDuration::from_secs(40),
+            },
+            CurvePoint {
+                time: VirtualTime::from_secs(30),
+                covered: 300,
+                machine_time: VirtualDuration::from_secs(90),
+            },
+        ]
+    }
+
+    #[test]
+    fn coverage_lookup_is_stepwise() {
+        let c = curve();
+        assert_eq!(coverage_at(&c, VirtualTime::from_secs(5)), 0);
+        assert_eq!(coverage_at(&c, VirtualTime::from_secs(10)), 100);
+        assert_eq!(coverage_at(&c, VirtualTime::from_secs(25)), 250);
+        assert_eq!(coverage_at(&c, VirtualTime::from_secs(99)), 300);
+    }
+
+    #[test]
+    fn reach_times() {
+        let c = curve();
+        assert_eq!(time_to_reach(&c, 200), Some(VirtualTime::from_secs(20)));
+        assert_eq!(time_to_reach(&c, 301), None);
+        assert_eq!(
+            machine_time_to_reach(&c, 300),
+            Some(VirtualDuration::from_secs(90))
+        );
+    }
+
+    #[test]
+    fn saved_fraction_boundaries() {
+        let total = VirtualDuration::from_secs(100);
+        assert_eq!(saved_fraction(None, total), 0.0);
+        assert_eq!(saved_fraction(Some(VirtualDuration::from_secs(100)), total), 0.0);
+        let half = saved_fraction(Some(VirtualDuration::from_secs(50)), total);
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_rewards_earlier_coverage() {
+        let early = vec![
+            CurvePoint {
+                time: VirtualTime::from_secs(10),
+                covered: 100,
+                machine_time: VirtualDuration::ZERO,
+            },
+        ];
+        let late = vec![
+            CurvePoint {
+                time: VirtualTime::from_secs(90),
+                covered: 100,
+                machine_time: VirtualDuration::ZERO,
+            },
+        ];
+        let h = VirtualTime::from_secs(100);
+        assert!(coverage_auc(&early, h) > coverage_auc(&late, h));
+        // Same final coverage at the horizon.
+        assert_eq!(coverage_at(&early, h), coverage_at(&late, h));
+        assert_eq!(coverage_auc(&[], h), 0.0);
+    }
+
+    #[test]
+    fn time_to_fraction_tracks_the_curve() {
+        let c = curve();
+        assert_eq!(time_to_fraction(&c, 1.0), Some(VirtualTime::from_secs(30)));
+        assert_eq!(time_to_fraction(&c, 0.3), Some(VirtualTime::from_secs(10)));
+        assert_eq!(time_to_fraction(&[], 0.5), None);
+    }
+
+    #[test]
+    fn duplicate_timestamps_take_last() {
+        let c = vec![
+            CurvePoint {
+                time: VirtualTime::from_secs(10),
+                covered: 100,
+                machine_time: VirtualDuration::ZERO,
+            },
+            CurvePoint {
+                time: VirtualTime::from_secs(10),
+                covered: 150,
+                machine_time: VirtualDuration::ZERO,
+            },
+        ];
+        assert_eq!(coverage_at(&c, VirtualTime::from_secs(10)), 150);
+    }
+}

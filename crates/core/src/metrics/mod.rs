@@ -1,0 +1,10 @@
+//! Evaluation metrics: coverage overlap (Jaccard/AJS), UI-screen overlap,
+//! and coverage-curve utilities.
+
+pub mod curves;
+pub mod jaccard;
+pub mod overlap;
+
+pub use curves::{coverage_at, coverage_auc, time_to_fraction, time_to_reach, CurvePoint};
+pub use jaccard::{average_jaccard, jaccard};
+pub use overlap::{average_ui_occurrences, subspace_overlap_histogram};

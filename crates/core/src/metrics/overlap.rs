@@ -1,0 +1,96 @@
+//! Overlapping-exploration metrics (Table 1, Table 6).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use taopt_ui_model::{AbstractScreenId, Trace};
+
+/// Table 6's metric: the mean, over distinct abstract UI screens, of the
+/// total number of occurrences of that screen across all instances'
+/// traces.
+///
+/// High values mean instances keep revisiting the same screens (redundant
+/// exploration); TaOPT drives the value down by dedicating subspaces.
+pub fn average_ui_occurrences(traces: &[&Trace]) -> f64 {
+    let mut counts: HashMap<AbstractScreenId, usize> = HashMap::new();
+    for t in traces {
+        for e in t.events() {
+            *counts.entry(e.abstract_id).or_insert(0) += 1;
+        }
+    }
+    if counts.is_empty() {
+        return 0.0;
+    }
+    counts.values().sum::<usize>() as f64 / counts.len() as f64
+}
+
+/// Table 1's metric: for each subspace (a set of abstract screens), count
+/// how many instances explored it (visited at least `min_hits` of its
+/// screens), and histogram the counts.
+///
+/// Returns a map `instances-that-explored → number of subspaces`.
+pub fn subspace_overlap_histogram(
+    subspaces: &[BTreeSet<AbstractScreenId>],
+    traces: &[&Trace],
+    min_hits: usize,
+) -> BTreeMap<usize, usize> {
+    let visited: Vec<BTreeSet<AbstractScreenId>> = traces
+        .iter()
+        .map(|t| t.events().iter().map(|e| e.abstract_id).collect())
+        .collect();
+    let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+    for sub in subspaces {
+        let explorers = visited
+            .iter()
+            .filter(|v| v.intersection(sub).count() >= min_hits.min(sub.len()))
+            .count();
+        if explorers > 0 {
+            *histogram.entry(explorers).or_insert(0) += 1;
+        }
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findspace::tests::ev;
+
+    fn trace_of(labels: &[&str]) -> Trace {
+        labels.iter().enumerate().map(|(i, l)| ev(i as u64, l)).collect()
+    }
+
+    #[test]
+    fn occurrences_average_over_distinct_screens() {
+        let t1 = trace_of(&["a", "a", "b"]);
+        let t2 = trace_of(&["a", "c"]);
+        // Occurrences: a=3, b=1, c=1 → mean 5/3.
+        let avg = average_ui_occurrences(&[&t1, &t2]);
+        assert!((avg - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(average_ui_occurrences(&[]), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_explorers_per_subspace() {
+        let t1 = trace_of(&["a", "b", "x"]);
+        let t2 = trace_of(&["a", "b"]);
+        let t3 = trace_of(&["x", "y"]);
+        let sub_ab: BTreeSet<_> =
+            trace_of(&["a", "b"]).events().iter().map(|e| e.abstract_id).collect();
+        let sub_xy: BTreeSet<_> =
+            trace_of(&["x", "y"]).events().iter().map(|e| e.abstract_id).collect();
+        let h = subspace_overlap_histogram(&[sub_ab, sub_xy], &[&t1, &t2, &t3], 1);
+        // a/b explored by t1+t2 (2 instances); x/y by t1 (x only) + t3.
+        assert_eq!(h.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn min_hits_filters_grazing_visits() {
+        let t1 = trace_of(&["a", "b", "c"]);
+        let t2 = trace_of(&["a", "z"]);
+        let sub_abc: BTreeSet<_> =
+            trace_of(&["a", "b", "c"]).events().iter().map(|e| e.abstract_id).collect();
+        // With min_hits 2, t2 (only "a") does not count as exploring.
+        let h = subspace_overlap_histogram(&[sub_abc], &[&t1, &t2], 2);
+        assert_eq!(h.get(&1), Some(&1));
+    }
+}

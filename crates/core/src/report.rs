@@ -1,0 +1,128 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len().max(row.len()), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .chain(std::iter::once(&self.header))
+            .map(|r| r.len())
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |row: &[String], out: &mut String| {
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(c.chars().count());
+                // Right-align numeric-looking cells, left-align text.
+                let numeric = c
+                    .chars()
+                    .next()
+                    .map(|ch| ch.is_ascii_digit() || ch == '-' || ch == '+')
+                    .unwrap_or(false);
+                if numeric && i > 0 {
+                    let _ = write!(out, "{}{}", " ".repeat(pad), c);
+                } else {
+                    let _ = write!(out, "{}{}", c, " ".repeat(pad));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a signed percentage like the paper's tables (`+23%`, `-19.0 %`).
+pub fn pct(delta: f64) -> String {
+    format!("{:+.1}%", delta * 100.0)
+}
+
+/// Formats a ratio as a multiplier (`1.64×`).
+pub fn times(ratio: f64) -> String {
+    format!("{ratio:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["App", "Cov"]);
+        t.row(["AbsWorkout", "9483"]);
+        t.row(["Zedge", "63574"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("App"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].contains("63574"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(["A", "B", "C"]);
+        t.row(["x"]);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.231), "+23.1%");
+        assert_eq!(pct(-0.19), "-19.0%");
+        assert_eq!(times(1.64), "1.64x");
+    }
+}

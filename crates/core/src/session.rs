@@ -1,0 +1,837 @@
+//! End-to-end parallel testing sessions (§5.1, §6.1).
+//!
+//! A [`ParallelSession`] wires the whole stack together — device farm,
+//! emulators, black-box tools, the Toller shim and the TaOPT coordinator —
+//! and advances all instances in lock-step virtual-time rounds. Four run
+//! modes cover the paper's settings:
+//!
+//! * [`RunMode::Baseline`] — uncoordinated parallelism: `d_max` instances
+//!   with different seeds, no interference (the §3.1/§6.1 baseline);
+//! * [`RunMode::TaoptDuration`] — TaOPT duration-constrained: `d_max`
+//!   concurrent instances maintained for `l_p`, stalled instances replaced
+//!   immediately;
+//! * [`RunMode::TaoptResource`] — TaOPT resource-constrained: starts with
+//!   one instance, grows on subspace discovery, bounded by a machine-time
+//!   budget;
+//! * [`RunMode::ActivityPartition`] — the ParaAim-style baseline of §3.3:
+//!   activities are statically assigned round-robin; widgets leading to
+//!   foreign activities are blocked, and stalled instances jump to an
+//!   owned activity by Intent.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use taopt_app_sim::{App, CrashSignature, MethodId};
+use taopt_device::{DeviceFarm, DeviceId};
+use taopt_toller::{EntrypointRule, InstanceId, InstrumentedInstance};
+use taopt_tools::ToolKind;
+use taopt_ui_model::abstraction::abstract_hierarchy;
+use taopt_ui_model::{ActivityId, ScreenId, Trace, VirtualDuration, VirtualTime};
+
+use crate::analyzer::{AnalyzerConfig, SubspaceInfo};
+use crate::coordinator::{CoordinatorEvent, TestCoordinator};
+use crate::metrics::curves::CurvePoint;
+
+/// The four parallel-run settings of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunMode {
+    /// Uncoordinated parallel testing (different seeds only).
+    Baseline,
+    /// TaOPT, duration-constrained mode.
+    TaoptDuration,
+    /// TaOPT, resource-constrained mode.
+    TaoptResource,
+    /// ParaAim-style activity-granularity partitioning (§3.3).
+    ActivityPartition,
+    /// PATS-style master–slave dispatch (related work, §9): the master
+    /// explores freely; each newly discovered screen is dispatched to a
+    /// slave, which jumps there by Intent and explores locally. The paper
+    /// notes this "is highly susceptible to overlapping explorations,
+    /// mainly due to many UI transitions being bidirectional".
+    PatsMasterSlave,
+}
+
+impl RunMode {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunMode::Baseline => "Baseline",
+            RunMode::TaoptDuration => "TaOPT(Duration)",
+            RunMode::TaoptResource => "TaOPT(Resource)",
+            RunMode::ActivityPartition => "ActivityPartition",
+            RunMode::PatsMasterSlave => "PATS(MasterSlave)",
+        }
+    }
+
+    /// Whether this mode runs the TaOPT coordinator.
+    pub fn uses_taopt(&self) -> bool {
+        matches!(self, RunMode::TaoptDuration | RunMode::TaoptResource)
+    }
+}
+
+/// Configuration of one parallel session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The black-box tool under coordination.
+    pub tool: ToolKind,
+    /// The run mode.
+    pub mode: RunMode,
+    /// `d_max`: maximum concurrent instances (the paper uses 5).
+    pub instances: usize,
+    /// `l_p`: the wall-clock budget of duration-bounded modes (1 h in the
+    /// paper).
+    pub duration: VirtualDuration,
+    /// Machine-time budget of the resource-constrained mode; defaults to
+    /// `instances × duration` (= 5 machine hours in the paper).
+    pub machine_budget: Option<VirtualDuration>,
+    /// Base random seed; instance `i` uses `seed + i`-derived streams.
+    pub seed: u64,
+    /// Lock-step round length.
+    pub tick: VirtualDuration,
+    /// Stall timeout before deallocation (1 min in the paper).
+    pub stall_timeout: VirtualDuration,
+    /// Analyzer parameters; defaults depend on the mode.
+    pub analyzer: AnalyzerConfig,
+    /// Emulator timing and flakiness knobs for every device.
+    pub emulator: taopt_device::EmulatorConfig,
+}
+
+impl SessionConfig {
+    /// The paper's defaults for the given tool and mode
+    /// (`d_max = 5`, `l_p = 1 h`, budget `5` machine-hours).
+    pub fn new(tool: ToolKind, mode: RunMode) -> Self {
+        let analyzer = match mode {
+            RunMode::TaoptResource => AnalyzerConfig::resource_mode(),
+            _ => AnalyzerConfig::duration_mode(),
+        };
+        SessionConfig {
+            tool,
+            mode,
+            instances: 5,
+            duration: VirtualDuration::from_hours(1),
+            machine_budget: None,
+            seed: 0,
+            tick: VirtualDuration::from_secs(10),
+            stall_timeout: VirtualDuration::from_mins(3),
+            analyzer,
+            emulator: taopt_device::EmulatorConfig::default(),
+        }
+    }
+
+    /// The effective machine budget.
+    pub fn effective_budget(&self) -> VirtualDuration {
+        self.machine_budget.unwrap_or(self.duration * self.instances as u64)
+    }
+}
+
+/// Per-instance results of a session.
+#[derive(Debug, Clone)]
+pub struct InstanceResult {
+    /// Instance id.
+    pub instance: InstanceId,
+    /// Allocation time.
+    pub allocated_at: VirtualTime,
+    /// Deallocation time.
+    pub deallocated_at: VirtualTime,
+    /// Methods covered by this instance.
+    pub covered: BTreeSet<MethodId>,
+    /// Time-stamped cover events (for overlap-over-time analyses).
+    pub cover_events: Vec<(VirtualTime, MethodId)>,
+    /// Unique crashes triggered on this instance.
+    pub crashes: BTreeSet<CrashSignature>,
+    /// Every crash occurrence (time, signature) on this instance.
+    pub crash_occurrences: Vec<(VirtualTime, CrashSignature)>,
+    /// The device the instance ran on.
+    pub device: taopt_device::DeviceId,
+    /// The instance's UI transition trace.
+    pub trace: Trace,
+}
+
+impl InstanceResult {
+    /// Covered methods at (or before) a given time.
+    pub fn covered_at(&self, time: VirtualTime) -> BTreeSet<MethodId> {
+        self.cover_events
+            .iter()
+            .take_while(|(t, _)| *t <= time)
+            .map(|(_, m)| *m)
+            .collect()
+    }
+}
+
+/// The complete outcome of one parallel session.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// The tool used.
+    pub tool: ToolKind,
+    /// The run mode.
+    pub mode: RunMode,
+    /// Per-instance results (in allocation order).
+    pub instances: Vec<InstanceResult>,
+    /// Cumulative union coverage over global time.
+    pub union_curve: Vec<CurvePoint>,
+    /// Total machine time consumed.
+    pub machine_time: VirtualDuration,
+    /// Wall-clock length of the session.
+    pub wall_clock: VirtualDuration,
+    /// Subspaces identified (TaOPT modes; empty otherwise).
+    pub subspaces: Vec<SubspaceInfo>,
+    /// Coordinator decision log (TaOPT modes).
+    pub coordinator_events: Vec<CoordinatorEvent>,
+    /// Concurrency over time: (round boundary, active instances).
+    pub concurrency_timeline: Vec<(VirtualTime, usize)>,
+}
+
+impl SessionResult {
+    /// Union method coverage across instances.
+    pub fn union_coverage(&self) -> usize {
+        self.union_curve.last().map(|p| p.covered).unwrap_or(0)
+    }
+
+    /// Union of unique crashes across instances.
+    pub fn unique_crashes(&self) -> BTreeSet<CrashSignature> {
+        self.instances.iter().flat_map(|i| i.crashes.iter().copied()).collect()
+    }
+
+    /// Union covered-method set.
+    pub fn union_covered(&self) -> BTreeSet<MethodId> {
+        self.instances.iter().flat_map(|i| i.covered.iter().copied()).collect()
+    }
+
+    /// Per-instance coverage sets (for AJS).
+    pub fn coverage_sets(&self) -> Vec<BTreeSet<MethodId>> {
+        self.instances.iter().map(|i| i.covered.clone()).collect()
+    }
+
+    /// Traces of all instances.
+    pub fn traces(&self) -> Vec<&Trace> {
+        self.instances.iter().map(|i| &i.trace).collect()
+    }
+
+    /// Aggregates all crash occurrences into a ranked triage report.
+    pub fn triage_report(&self) -> taopt_device::TriageReport {
+        use taopt_device::CrashCollector;
+        let collectors: Vec<(taopt_device::DeviceId, CrashCollector)> = self
+            .instances
+            .iter()
+            .map(|i| {
+                let mut c = CrashCollector::new();
+                for (t, sig) in &i.crash_occurrences {
+                    c.record(*t, *sig);
+                }
+                (i.device, c)
+            })
+            .collect();
+        taopt_device::TriageReport::build(collectors.iter().map(|(d, c)| (*d, c)))
+    }
+
+    /// Peak concurrency reached during the session.
+    pub fn peak_concurrency(&self) -> usize {
+        self.concurrency_timeline.iter().map(|(_, n)| *n).max().unwrap_or(0)
+    }
+
+    /// Mean concurrency over the session's rounds.
+    pub fn mean_concurrency(&self) -> f64 {
+        if self.concurrency_timeline.is_empty() {
+            return 0.0;
+        }
+        self.concurrency_timeline.iter().map(|(_, n)| *n).sum::<usize>() as f64
+            / self.concurrency_timeline.len() as f64
+    }
+}
+
+/// Internal: one live instance plus scheduling bookkeeping.
+struct ActiveInstance {
+    inst: InstrumentedInstance,
+    device: DeviceId,
+    allocated_at: VirtualTime,
+    last_new_screen: VirtualTime,
+    cover_events: Vec<(VirtualTime, MethodId)>,
+    /// Activity-partition mode: screens this instance owns.
+    owned_screens: Vec<ScreenId>,
+    jump_cursor: usize,
+}
+
+/// Runs parallel testing sessions.
+#[derive(Debug)]
+pub struct ParallelSession;
+
+impl ParallelSession {
+    /// Runs a session to completion and returns its results.
+    ///
+    /// The run is fully deterministic given `config.seed`.
+    pub fn run(app: Arc<App>, config: &SessionConfig) -> SessionResult {
+        let mut farm = DeviceFarm::new(config.instances);
+        let mut coordinator = TestCoordinator::new(config.analyzer.clone())
+            .with_stall_timeout(config.stall_timeout);
+        let mut active: Vec<ActiveInstance> = Vec::new();
+        let mut finished: Vec<InstanceResult> = Vec::new();
+        let mut next_instance = 0u32;
+        let mut union: BTreeSet<MethodId> = BTreeSet::new();
+        let mut union_curve: Vec<CurvePoint> = Vec::new();
+        // Methods covered during instance boot (startup + auto-login),
+        // merged into the union at the next round boundary.
+        let mut pending_boot: Vec<(VirtualTime, MethodId)> = Vec::new();
+        let mut concurrency_timeline: Vec<(VirtualTime, usize)> = Vec::new();
+
+        // Activity-partition precomputation: owned activities per slot and
+        // the static block rules derived from the app structure.
+        let activity_plan = if config.mode == RunMode::ActivityPartition {
+            Some(ActivityPlan::build(&app, config.instances))
+        } else {
+            None
+        };
+
+        // PATS: screens the master discovered, pending dispatch to slaves.
+        let mut pats_queue: Vec<ScreenId> = Vec::new();
+        let mut pats_dispatched: BTreeSet<ScreenId> = BTreeSet::new();
+        let initial = match config.mode {
+            RunMode::TaoptResource => 1,
+            _ => config.instances,
+        };
+        let budget = config.effective_budget();
+        let mut now = VirtualTime::ZERO;
+
+        // Allocation helper is inlined as a closure-free fn to keep borrow
+        // checking simple.
+        for _ in 0..initial {
+            allocate(
+                &app,
+                config,
+                &mut farm,
+                &mut coordinator,
+                &mut active,
+                &mut next_instance,
+                activity_plan.as_ref(),
+                now,
+                &mut pending_boot,
+                );
+        }
+
+        loop {
+            now += config.tick;
+            concurrency_timeline.push((now, active.len()));
+            let deadline = if config.mode == RunMode::TaoptResource {
+                now
+            } else {
+                // Never run past the wall-clock budget.
+                now.min(VirtualTime::ZERO + config.duration)
+            };
+
+            // Step every active instance up to the round boundary, pooling
+            // cover events so the union curve stays time-ordered across
+            // instances within the round.
+            let mut round_events: Vec<(VirtualTime, MethodId)> =
+                std::mem::take(&mut pending_boot);
+            for a in active.iter_mut() {
+                let target = now.min(deadline);
+                let reports = a.inst.run_until(target);
+                for r in reports {
+                    if !r.newly_covered.is_empty() {
+                        // Coverage growth counts as progress: the screen
+                        // abstraction of the simulator is coarser than a
+                        // real device's, so "no new abstract screen" alone
+                        // would misfire while the tool still exercises new
+                        // behaviour.
+                        a.last_new_screen = r.time;
+                    }
+                    for m in &r.newly_covered {
+                        a.cover_events.push((r.time, *m));
+                        round_events.push((r.time, *m));
+                    }
+                    if r.new_screen {
+                        a.last_new_screen = r.time;
+                    }
+                }
+            }
+            round_events.sort_by_key(|(t, _)| *t);
+            let consumed = farm.consumed_as_of(now);
+            for (t, m) in round_events {
+                if union.insert(m) {
+                    union_curve.push(CurvePoint {
+                        time: t,
+                        covered: union.len(),
+                        machine_time: consumed,
+                    });
+                }
+            }
+
+            // TaOPT analysis + dedication.
+            let mut newly_confirmed = 0usize;
+            if config.mode.uses_taopt() {
+                for a in active.iter() {
+                    newly_confirmed += coordinator
+                        .process_trace(a.inst.id(), a.inst.trace(), now)
+                        .len();
+                }
+            }
+
+            // PATS dispatch: the master (instance 0) feeds newly seen
+            // screens to the queue; idle slaves jump to the next one.
+            if config.mode == RunMode::PatsMasterSlave {
+                if let Some(master) = active.iter().find(|a| a.inst.id().0 == 0) {
+                    for e in master.inst.trace().events() {
+                        if pats_dispatched.insert(e.screen) {
+                            pats_queue.push(e.screen);
+                        }
+                    }
+                }
+                for a in active.iter_mut() {
+                    if a.inst.id().0 == 0 {
+                        continue;
+                    }
+                    // A slave with no fresh screens for half the stall
+                    // timeout picks up the next dispatched target.
+                    if now.since(a.last_new_screen) >= config.stall_timeout / 2 {
+                        if let Some(target) = pats_queue.pop() {
+                            a.inst.jump_to(target);
+                            a.last_new_screen = now;
+                        }
+                    }
+                }
+            }
+
+            // Stall handling.
+            match config.mode {
+                RunMode::Baseline | RunMode::PatsMasterSlave => {}
+                RunMode::ActivityPartition => {
+                    // Stalled instances jump to the next owned screen.
+                    for a in active.iter_mut() {
+                        if now.since(a.last_new_screen) >= config.stall_timeout
+                            && !a.owned_screens.is_empty()
+                        {
+                            let s = a.owned_screens[a.jump_cursor % a.owned_screens.len()];
+                            a.jump_cursor += 1;
+                            a.inst.jump_to(s);
+                            a.last_new_screen = now;
+                        }
+                    }
+                }
+                RunMode::TaoptDuration | RunMode::TaoptResource => {
+                    let mut i = 0;
+                    while i < active.len() {
+                        if coordinator.should_deallocate(active[i].last_new_screen, now) {
+                            let a = active.swap_remove(i);
+                            deallocate(a, &mut farm, &mut coordinator, &mut finished, now);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+
+            // Allocation policy + termination.
+            match config.mode {
+                RunMode::Baseline | RunMode::ActivityPartition | RunMode::PatsMasterSlave => {
+                    if now >= VirtualTime::ZERO + config.duration {
+                        break;
+                    }
+                }
+                RunMode::TaoptDuration => {
+                    if now >= VirtualTime::ZERO + config.duration {
+                        break;
+                    }
+                    // Maintain exactly d_max concurrent instances.
+                    while active.len() < config.instances {
+                        allocate(
+                            &app,
+                            config,
+                            &mut farm,
+                            &mut coordinator,
+                            &mut active,
+                            &mut next_instance,
+                            None,
+                            now,
+                            &mut pending_boot,
+                            );
+                    }
+                }
+                RunMode::TaoptResource => {
+                    if farm.consumed_as_of(now) >= budget {
+                        break;
+                    }
+                    // Grow on discovery; never exceed d_max.
+                    for _ in 0..newly_confirmed {
+                        if active.len() < config.instances {
+                            allocate(
+                                &app,
+                                config,
+                                &mut farm,
+                                &mut coordinator,
+                                &mut active,
+                                &mut next_instance,
+                                None,
+                                now,
+                                &mut pending_boot,
+                                );
+                        }
+                    }
+                    // Keep at least one explorer alive while budget remains.
+                    if active.is_empty() {
+                        allocate(
+                            &app,
+                            config,
+                            &mut farm,
+                            &mut coordinator,
+                            &mut active,
+                            &mut next_instance,
+                            None,
+                            now,
+                            &mut pending_boot,
+                            );
+                    }
+                }
+            }
+        }
+
+        // Drain remaining instances.
+        let end = now;
+        for a in active.drain(..) {
+            deallocate(a, &mut farm, &mut coordinator, &mut finished, end);
+        }
+        finished.sort_by_key(|r| r.instance);
+
+        let subspaces = coordinator.analyzer().subspaces().to_vec();
+        SessionResult {
+            tool: config.tool,
+            mode: config.mode,
+            instances: finished,
+            union_curve,
+            machine_time: farm.consumed(),
+            wall_clock: end.since(VirtualTime::ZERO),
+            subspaces,
+            coordinator_events: coordinator.events().to_vec(),
+            concurrency_timeline,
+        }
+    }
+}
+
+/// Activity-partition plan: round-robin activity ownership plus static
+/// block rules.
+struct ActivityPlan {
+    /// Per-slot owned activities.
+    owned: Vec<BTreeSet<ActivityId>>,
+    /// Per-slot blocked entry rules (widgets leading to foreign
+    /// activities).
+    rules: Vec<Vec<EntrypointRule>>,
+    /// Per-slot owned screens (jump targets).
+    screens: Vec<Vec<ScreenId>>,
+}
+
+impl ActivityPlan {
+    fn build(app: &App, slots: usize) -> Self {
+        let activities: Vec<ActivityId> = app.activities().into_iter().collect();
+        let mut owned = vec![BTreeSet::new(); slots];
+        for (i, a) in activities.iter().enumerate() {
+            owned[i % slots].insert(*a);
+        }
+        // Abstract ids of every screen (rendered once with zero visits).
+        let abstract_of: BTreeMap<ScreenId, _> = app
+            .screens()
+            .map(|s| (s.id, abstract_hierarchy(&app.render_screen(s.id, 0)).id()))
+            .collect();
+        let mut rules = vec![Vec::new(); slots];
+        let mut screens = vec![Vec::new(); slots];
+        for (slot, owned_set) in owned.iter().enumerate() {
+            for s in app.screens() {
+                if owned_set.contains(&s.activity) {
+                    screens[slot].push(s.id);
+                }
+                for a in &s.actions {
+                    let leaves = a.targets.iter().any(|t| {
+                        let target_activity =
+                            app.screen(t.screen).map(|sp| sp.activity);
+                        target_activity.map(|ta| !owned_set.contains(&ta)).unwrap_or(false)
+                    });
+                    if leaves {
+                        rules[slot]
+                            .push(EntrypointRule::new(abstract_of[&s.id], &a.widget_rid));
+                    }
+                }
+            }
+        }
+        ActivityPlan { owned, rules, screens }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn allocate(
+    app: &Arc<App>,
+    config: &SessionConfig,
+    farm: &mut DeviceFarm,
+    coordinator: &mut TestCoordinator,
+    active: &mut Vec<ActiveInstance>,
+    next_instance: &mut u32,
+    plan: Option<&ActivityPlan>,
+    now: VirtualTime,
+    pending_boot: &mut Vec<(VirtualTime, MethodId)>,
+) {
+    let Ok(device) = farm.allocate(now) else { return };
+    let iid = InstanceId(*next_instance);
+    *next_instance += 1;
+    // Derive decorrelated per-instance seeds.
+    let seed = config
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((iid.0 as u64).wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1));
+    let tool = config.tool.build(seed);
+    let inst = InstrumentedInstance::boot_with(
+        iid,
+        device,
+        Arc::clone(app),
+        tool,
+        seed ^ 0xabcd,
+        now,
+        config.emulator,
+    );
+    let mut owned_screens = Vec::new();
+    if let Some(plan) = plan {
+        let slot = (iid.0 as usize) % plan.owned.len().max(1);
+        let bl = inst.blocklist();
+        let mut bl = bl.write();
+        for r in &plan.rules[slot] {
+            bl.block(r.clone());
+        }
+        owned_screens = plan.screens[slot].clone();
+    }
+    if config.mode.uses_taopt() {
+        coordinator.register_instance(iid, inst.blocklist());
+    }
+    // Startup (and auto-login) coverage happens at boot, before the first
+    // tool step; account it like any other cover event.
+    let boot_covered: Vec<(VirtualTime, MethodId)> = inst
+        .emulator()
+        .coverage()
+        .covered()
+        .iter()
+        .map(|m| (now, *m))
+        .collect();
+    pending_boot.extend(boot_covered.iter().copied());
+    active.push(ActiveInstance {
+        inst,
+        device,
+        allocated_at: now,
+        last_new_screen: now,
+        cover_events: boot_covered,
+        owned_screens,
+        jump_cursor: 0,
+    });
+}
+
+fn deallocate(
+    a: ActiveInstance,
+    farm: &mut DeviceFarm,
+    coordinator: &mut TestCoordinator,
+    finished: &mut Vec<InstanceResult>,
+    now: VirtualTime,
+) {
+    let _ = farm.deallocate(a.device, now);
+    let visited: std::collections::BTreeSet<_> =
+        a.inst.trace().events().iter().map(|e| e.abstract_id).collect();
+    coordinator.unregister_instance_with_trace(a.inst.id(), &visited);
+    let em = a.inst.emulator();
+    finished.push(InstanceResult {
+        instance: a.inst.id(),
+        allocated_at: a.allocated_at,
+        deallocated_at: now,
+        covered: em.coverage().covered().clone(),
+        cover_events: a.cover_events,
+        crashes: em.crashes().unique_crashes().clone(),
+        crash_occurrences: em.crashes().occurrences().to_vec(),
+        device: a.device,
+        trace: a.inst.trace().clone(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taopt_app_sim::{generate_app, GeneratorConfig};
+
+    fn small_app(seed: u64) -> Arc<App> {
+        Arc::new(generate_app(&GeneratorConfig::small("sess", seed)).unwrap())
+    }
+
+    fn quick(tool: ToolKind, mode: RunMode) -> SessionConfig {
+        let mut c = SessionConfig::new(tool, mode);
+        c.instances = 3;
+        c.duration = VirtualDuration::from_mins(8);
+        c.tick = VirtualDuration::from_secs(10);
+        c.analyzer.find_space.l_min = VirtualDuration::from_secs(45);
+        c.analyzer.analysis_interval = VirtualDuration::from_secs(20);
+        c
+    }
+
+    #[test]
+    fn baseline_runs_fixed_instances_for_the_duration() {
+        let r = ParallelSession::run(small_app(1), &quick(ToolKind::Monkey, RunMode::Baseline));
+        assert_eq!(r.instances.len(), 3);
+        assert!(r.union_coverage() > 0);
+        assert!(r.subspaces.is_empty());
+        // Machine time ≈ 3 × 8 min.
+        let expect = VirtualDuration::from_mins(24);
+        let diff = r.machine_time.as_secs().abs_diff(expect.as_secs());
+        assert!(diff < 120, "machine time {} vs {}", r.machine_time, expect);
+    }
+
+    #[test]
+    fn taopt_duration_finds_and_dedicates_subspaces() {
+        let r = ParallelSession::run(small_app(2), &quick(ToolKind::Ape, RunMode::TaoptDuration));
+        assert!(
+            r.subspaces.iter().any(|s| s.confirmed),
+            "expected confirmed subspaces, got {:?}",
+            r.subspaces.len()
+        );
+        assert!(
+            r.coordinator_events
+                .iter()
+                .any(|e| matches!(e, CoordinatorEvent::SubspaceDedicated { .. })),
+            "dedication events expected"
+        );
+    }
+
+    #[test]
+    fn taopt_resource_respects_budget() {
+        let mut cfg = quick(ToolKind::Monkey, RunMode::TaoptResource);
+        cfg.machine_budget = Some(VirtualDuration::from_mins(15));
+        let r = ParallelSession::run(small_app(3), &cfg);
+        // Budget may be exceeded by at most one tick × instances.
+        assert!(
+            r.machine_time.as_secs() <= 15 * 60 + 3 * 10 + 60,
+            "machine time {} exceeds budget",
+            r.machine_time
+        );
+        assert!(r.union_coverage() > 0);
+    }
+
+    #[test]
+    fn activity_partition_blocks_cross_activity_widgets() {
+        let r = ParallelSession::run(
+            small_app(4),
+            &quick(ToolKind::WcTester, RunMode::ActivityPartition),
+        );
+        assert_eq!(r.instances.len(), 3);
+        assert!(r.union_coverage() > 0);
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let cfg = quick(ToolKind::Monkey, RunMode::TaoptDuration);
+        let a = ParallelSession::run(small_app(5), &cfg);
+        let b = ParallelSession::run(small_app(5), &cfg);
+        assert_eq!(a.union_coverage(), b.union_coverage());
+        assert_eq!(a.unique_crashes(), b.unique_crashes());
+        assert_eq!(a.machine_time, b.machine_time);
+        assert_eq!(a.subspaces.len(), b.subspaces.len());
+    }
+
+    #[test]
+    fn union_curve_is_monotone() {
+        let r = ParallelSession::run(small_app(6), &quick(ToolKind::Ape, RunMode::Baseline));
+        assert!(r
+            .union_curve
+            .windows(2)
+            .all(|w| w[0].covered < w[1].covered && w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn flaky_devices_still_complete_sessions() {
+        let mut cfg = quick(ToolKind::Ape, RunMode::TaoptDuration);
+        cfg.emulator.event_loss = 0.25;
+        let flaky = ParallelSession::run(small_app(12), &cfg);
+        assert!(flaky.union_coverage() > 0);
+        let mut clean_cfg = quick(ToolKind::Ape, RunMode::TaoptDuration);
+        clean_cfg.emulator.event_loss = 0.0;
+        let clean = ParallelSession::run(small_app(12), &clean_cfg);
+        assert!(
+            flaky.union_coverage() <= clean.union_coverage(),
+            "losing events cannot increase coverage: {} vs {}",
+            flaky.union_coverage(),
+            clean.union_coverage()
+        );
+    }
+
+    #[test]
+    fn triage_report_matches_unique_crashes() {
+        // An app with shallow-armed crash points so a short run hits some.
+        let mut gcfg = GeneratorConfig::small("triage", 11);
+        gcfg.crash_points = 8;
+        gcfg.crash_probability = 0.2;
+        gcfg.crash_depth_fraction = 0.2;
+        let app = Arc::new(taopt_app_sim::generate_app(&gcfg).unwrap());
+        let mut cfg = quick(ToolKind::Monkey, RunMode::Baseline);
+        cfg.duration = VirtualDuration::from_mins(15);
+        let r = ParallelSession::run(app, &cfg);
+        let report = r.triage_report();
+        assert_eq!(report.unique_count(), r.unique_crashes().len());
+        assert!(report.occurrence_count() >= report.unique_count());
+        if report.unique_count() > 0 {
+            let text = report.render("triage");
+            assert!(text.contains("unique crash"));
+        }
+    }
+
+    #[test]
+    fn concurrency_timeline_is_bounded_by_dmax() {
+        let cfg = quick(ToolKind::Monkey, RunMode::TaoptResource);
+        let r = ParallelSession::run(small_app(9), &cfg);
+        assert!(!r.concurrency_timeline.is_empty());
+        assert!(r.peak_concurrency() <= cfg.instances);
+        assert!(r.mean_concurrency() > 0.0);
+        // Resource mode starts with a single instance.
+        assert_eq!(r.concurrency_timeline[0].1, 1);
+    }
+
+    #[test]
+    fn never_exceeds_dmax() {
+        // Indirect check: machine time can never exceed d_max × wall clock.
+        let cfg = quick(ToolKind::Monkey, RunMode::TaoptDuration);
+        let r = ParallelSession::run(small_app(7), &cfg);
+        let cap = r.wall_clock * cfg.instances as u64;
+        assert!(
+            r.machine_time.as_millis() <= cap.as_millis() + 60_000,
+            "machine {} vs cap {}",
+            r.machine_time,
+            cap
+        );
+    }
+}
+
+#[cfg(test)]
+mod pats_tests {
+    use super::*;
+    use taopt_app_sim::{generate_app, GeneratorConfig};
+
+    #[test]
+    fn pats_mode_runs_and_dispatches() {
+        let app =
+            Arc::new(generate_app(&GeneratorConfig::small("pats", 4)).unwrap());
+        let mut cfg = SessionConfig::new(ToolKind::Monkey, RunMode::PatsMasterSlave);
+        cfg.instances = 3;
+        cfg.duration = VirtualDuration::from_mins(8);
+        cfg.stall_timeout = VirtualDuration::from_secs(60);
+        let r = ParallelSession::run(app, &cfg);
+        assert_eq!(r.instances.len(), 3);
+        assert!(r.union_coverage() > 0);
+        // Slaves received Intent jumps: their traces contain action-less
+        // observations beyond the initial one.
+        let slave_jumps: usize = r
+            .instances
+            .iter()
+            .filter(|i| i.instance.0 != 0)
+            .map(|i| i.trace.events().iter().filter(|e| e.action.is_none()).count())
+            .sum();
+        assert!(slave_jumps > 2, "expected dispatches, saw {slave_jumps}");
+    }
+
+    #[test]
+    fn pats_is_deterministic() {
+        let app =
+            Arc::new(generate_app(&GeneratorConfig::small("pats", 5)).unwrap());
+        let mut cfg = SessionConfig::new(ToolKind::Ape, RunMode::PatsMasterSlave);
+        cfg.instances = 3;
+        cfg.duration = VirtualDuration::from_mins(6);
+        let a = ParallelSession::run(Arc::clone(&app), &cfg);
+        let b = ParallelSession::run(app, &cfg);
+        assert_eq!(a.union_coverage(), b.union_coverage());
+    }
+}

@@ -1,0 +1,200 @@
+//! Streaming deployment of the trace analyzer.
+//!
+//! The lock-step [`crate::session::ParallelSession`] calls the analyzer
+//! synchronously, which is ideal for reproducible experiments. A real
+//! testing cloud looks different: devices produce Toller events
+//! continuously and one coordinator process consumes the merged stream.
+//! [`StreamingAnalyzer`] provides that deployment shape — a worker thread
+//! drains a [`taopt_toller::EventBus`], rebuilds per-instance traces, runs
+//! the online analysis, and publishes confirmed subspaces through a shared
+//! snapshot that device loops read when applying enforcement.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::RecvTimeoutError;
+use parking_lot::Mutex;
+
+use taopt_toller::{EventBus, InstanceId};
+use taopt_ui_model::{Trace, VirtualTime};
+
+use crate::analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceInfo};
+
+/// Shared snapshot of the analyzer's findings.
+#[derive(Debug, Default)]
+struct Snapshot {
+    subspaces: Vec<SubspaceInfo>,
+    events_consumed: usize,
+}
+
+/// A background analyzer consuming a Toller event bus.
+///
+/// Dropping the handle stops the worker. The worker also stops when every
+/// sender side of the bus has been dropped.
+#[derive(Debug)]
+pub struct StreamingAnalyzer {
+    snapshot: Arc<Mutex<Snapshot>>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl StreamingAnalyzer {
+    /// Spawns the worker thread on the given bus.
+    pub fn spawn(bus: &EventBus, config: AnalyzerConfig) -> Self {
+        let rx = bus.receiver();
+        let snapshot = Arc::new(Mutex::new(Snapshot::default()));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let worker_snapshot = Arc::clone(&snapshot);
+        let worker_stop = Arc::clone(&stop);
+        let worker = std::thread::spawn(move || {
+            let mut analyzer = OnlineTraceAnalyzer::new(config);
+            let mut traces: HashMap<InstanceId, Trace> = HashMap::new();
+            loop {
+                if worker_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                match rx.recv_timeout(std::time::Duration::from_millis(20)) {
+                    Ok((instance, event)) => {
+                        let now = event.time;
+                        let trace = traces.entry(instance).or_default();
+                        trace.push(event);
+                        analyzer.maybe_analyze(instance, trace, now);
+                        let mut snap = worker_snapshot.lock();
+                        snap.events_consumed += 1;
+                        snap.subspaces = analyzer.subspaces().to_vec();
+                    }
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+        StreamingAnalyzer { snapshot, stop, worker: Some(worker) }
+    }
+
+    /// Current view of the identified subspaces.
+    pub fn subspaces(&self) -> Vec<SubspaceInfo> {
+        self.snapshot.lock().subspaces.clone()
+    }
+
+    /// Confirmed subspaces only.
+    pub fn confirmed(&self) -> Vec<SubspaceInfo> {
+        self.snapshot.lock().subspaces.iter().filter(|s| s.confirmed).cloned().collect()
+    }
+
+    /// Events consumed so far.
+    pub fn events_consumed(&self) -> usize {
+        self.snapshot.lock().events_consumed
+    }
+
+    /// Blocks until at least `n` events have been consumed or the timeout
+    /// elapses; returns whether the target was reached.
+    pub fn wait_for_events(&self, n: usize, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.events_consumed() >= n {
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        self.events_consumed() >= n
+    }
+
+    /// Stops the worker and waits for it to finish.
+    pub fn shutdown(mut self) {
+        self.stop_worker();
+    }
+
+    fn stop_worker(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for StreamingAnalyzer {
+    fn drop(&mut self) {
+        self.stop_worker();
+    }
+}
+
+/// Convenience: the union of events observable by a streaming consumer at
+/// virtual time `t` (for tests reconstructing what the worker saw).
+pub fn events_before(trace: &Trace, t: VirtualTime) -> usize {
+    trace.events().iter().take_while(|e| e.time <= t).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use taopt_app_sim::{generate_app, GeneratorConfig};
+    use taopt_device::DeviceId;
+    use taopt_toller::{InstrumentedInstance, TransitionMonitor};
+    use taopt_tools::ToolKind;
+    use taopt_ui_model::VirtualDuration;
+
+    #[test]
+    fn consumes_events_from_multiple_threads() {
+        let bus = EventBus::new();
+        let mut cfg = AnalyzerConfig::duration_mode();
+        cfg.find_space.l_min = VirtualDuration::from_secs(40);
+        let analyzer = StreamingAnalyzer::spawn(&bus, cfg);
+
+        let app = StdArc::new(generate_app(&GeneratorConfig::small("stream", 2)).unwrap());
+        let mut handles = Vec::new();
+        for i in 0..3u32 {
+            let tx = bus.sender();
+            let app = StdArc::clone(&app);
+            handles.push(std::thread::spawn(move || {
+                // Drive an instrumented instance and forward its trace
+                // through a publishing monitor.
+                let mut inst = InstrumentedInstance::boot(
+                    InstanceId(i),
+                    DeviceId(i),
+                    app,
+                    ToolKind::Monkey.build(i as u64 + 10),
+                    i as u64 + 10,
+                    VirtualTime::ZERO,
+                );
+                let mut published = TransitionMonitor::new(InstanceId(i)).with_publisher(tx);
+                let deadline = VirtualTime::ZERO + VirtualDuration::from_mins(4);
+                while inst.now() < deadline {
+                    inst.step();
+                    let last = inst.trace().last().cloned().unwrap();
+                    published.record_event(last);
+                }
+                inst.trace().len()
+            }));
+        }
+        let mut total = 0usize;
+        for h in handles {
+            total += h.join().unwrap();
+        }
+        // Boot events were not republished; steps were.
+        let expected = total - 3;
+        assert!(
+            analyzer.wait_for_events(expected, std::time::Duration::from_secs(20)),
+            "worker consumed {} of {expected}",
+            analyzer.events_consumed()
+        );
+        // The analyzer worked on the stream: it saw subspace candidates.
+        assert!(
+            !analyzer.subspaces().is_empty(),
+            "no subspaces proposed from the stream"
+        );
+        analyzer.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_prompt() {
+        let bus = EventBus::new();
+        let analyzer = StreamingAnalyzer::spawn(&bus, AnalyzerConfig::resource_mode());
+        assert_eq!(analyzer.events_consumed(), 0);
+        analyzer.shutdown();
+        // Dropping the bus with a live analyzer also terminates cleanly.
+        let a2 = StreamingAnalyzer::spawn(&EventBus::new(), AnalyzerConfig::resource_mode());
+        drop(a2);
+    }
+}

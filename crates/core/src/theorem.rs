@@ -1,0 +1,170 @@
+//! The sampling machinery of Theorem 1 (§4.2).
+//!
+//! Theorem 1: let `G1`, `G2` be n-complete graphs joined by one cross edge
+//! `c` whose selection probability `1/(αn)` is far below the internal
+//! `1/n`. After `N ≥ C·n²·log n` online samples, the empirical frequency
+//! of every internal edge exceeds that of the cross edge with high
+//! probability, so comparing frequencies separates the two subgraphs.
+//!
+//! This module builds the clique-pair instance, runs the random walk, and
+//! checks the separation predicate — the experimental counterpart of the
+//! proof's Chernoff argument, exercised by property tests.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the Theorem-1 instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CliquePairConfig {
+    /// Vertices per clique (`n ≥ 2`).
+    pub n: usize,
+    /// Cross-edge damping: the cross edge has probability `1/(α·n)`.
+    pub alpha: f64,
+}
+
+impl Default for CliquePairConfig {
+    fn default() -> Self {
+        CliquePairConfig { n: 8, alpha: 16.0 }
+    }
+}
+
+/// The sample budget `C·n²·ln n` prescribed by the theorem.
+pub fn required_samples(n: usize, c: f64) -> u64 {
+    let nf = n as f64;
+    (c * nf * nf * nf.ln().max(1.0)).ceil() as u64
+}
+
+/// Outcome of one separation trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeparationOutcome {
+    /// Minimum empirical frequency over internal edges of `G1` that were
+    /// sampled at least once from a visited vertex.
+    pub min_internal_freq: f64,
+    /// Empirical frequency of the cross edge.
+    pub cross_freq: f64,
+    /// Whether the internal minimum strictly exceeds the cross frequency.
+    pub separated: bool,
+}
+
+/// Runs one random-walk trial on the clique pair and evaluates the
+/// separation predicate of Theorem 1.
+///
+/// Vertices `0..n` form `G1`, `n..2n` form `G2`; the cross edge links
+/// vertex `0` to vertex `n`. At each step, from vertex `v` every internal
+/// edge is selected with probability `1/n` and the cross edge (if at its
+/// endpoint) with probability `1/(αn)`; leftover mass stays put (models
+/// non-navigating interactions).
+pub fn separation_trial(config: &CliquePairConfig, samples: u64, seed: u64) -> SeparationOutcome {
+    let n = config.n.max(2);
+    let alpha = config.alpha.max(1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p_internal = 1.0 / n as f64;
+    let p_cross = 1.0 / (alpha * n as f64);
+
+    let mut visits: Vec<u64> = vec![0; 2 * n];
+    let mut edge_counts: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut cross_count = 0u64;
+    let mut v = 0usize; // start in G1
+    for _ in 0..samples {
+        visits[v] += 1;
+        let clique_base = if v < n { 0 } else { n };
+        let r: f64 = rng.gen();
+        // n-1 internal neighbours, each probability 1/n.
+        let internal_mass = (n - 1) as f64 * p_internal;
+        if r < internal_mass {
+            let k = (r / p_internal) as usize;
+            // Map k to the k-th neighbour ≠ v within the clique.
+            let local = v - clique_base;
+            let neighbour = if k < local { k } else { k + 1 };
+            let to = clique_base + neighbour.min(n - 1);
+            *edge_counts.entry((v, to)).or_insert(0) += 1;
+            v = to;
+        } else if (v == 0 || v == n) && r < internal_mass + p_cross {
+            cross_count += 1;
+            v = if v == 0 { n } else { 0 };
+        }
+        // Otherwise: stay (non-navigating event).
+    }
+
+    // Empirical frequency of edge e=(u,w): count(e) / visits(u). Every
+    // internal edge of G1 whose source was visited counts — an edge never
+    // selected has frequency 0, which is exactly how starved sampling
+    // fails the theorem's predicate.
+    let mut min_internal = f64::MAX;
+    #[allow(clippy::needless_range_loop)]
+    for u in 0..n {
+        if visits[u] == 0 {
+            continue;
+        }
+        for w in 0..n {
+            if w == u {
+                continue;
+            }
+            let c = edge_counts.get(&(u, w)).copied().unwrap_or(0);
+            min_internal = min_internal.min(c as f64 / visits[u] as f64);
+        }
+    }
+    if min_internal == f64::MAX {
+        min_internal = 0.0;
+    }
+    let cross_freq = if visits[0] > 0 { cross_count as f64 / (visits[0] + visits[n]) as f64 } else { 0.0 };
+    SeparationOutcome {
+        min_internal_freq: min_internal,
+        cross_freq,
+        separated: min_internal > cross_freq,
+    }
+}
+
+/// Fraction of `trials` in which separation succeeded.
+pub fn separation_success_rate(
+    config: &CliquePairConfig,
+    samples: u64,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    let ok = (0..trials)
+        .filter(|i| separation_trial(config, samples, seed.wrapping_add(*i as u64)).separated)
+        .count();
+    ok as f64 / trials.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_samples_grows_quadratically() {
+        let a = required_samples(8, 1.0);
+        let b = required_samples(16, 1.0);
+        assert!(b > 3 * a, "n² log n growth: {a} vs {b}");
+    }
+
+    #[test]
+    fn sufficient_samples_separate_with_high_probability() {
+        let cfg = CliquePairConfig { n: 8, alpha: 16.0 };
+        let n_samples = required_samples(cfg.n, 24.0);
+        let rate = separation_success_rate(&cfg, n_samples, 20, 42);
+        assert!(rate >= 0.9, "success rate {rate} too low at N = C·n²·log n");
+    }
+
+    #[test]
+    fn starved_sampling_often_fails() {
+        // With a handful of samples most internal edges are unseen, so the
+        // minimum internal frequency is 0 and separation fails.
+        let cfg = CliquePairConfig { n: 10, alpha: 16.0 };
+        let rate = separation_success_rate(&cfg, 30, 20, 7);
+        assert!(rate < 0.9, "rate {rate} suspiciously high for 30 samples");
+    }
+
+    #[test]
+    fn frequencies_approach_theory() {
+        let cfg = CliquePairConfig { n: 6, alpha: 12.0 };
+        let out = separation_trial(&cfg, 2_000_000, 1);
+        // Internal ≈ 1/n, cross ≈ 1/(αn).
+        assert!((out.min_internal_freq - 1.0 / 6.0).abs() < 0.05, "{out:?}");
+        assert!(out.cross_freq < 2.0 / (12.0 * 6.0), "{out:?}");
+        assert!(out.separated);
+    }
+}

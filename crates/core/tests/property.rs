@@ -1,0 +1,326 @@
+//! Property-based tests for TaOPT's core algorithms: FindSpace laws
+//! (validity, fast/naive agreement, invariances), metric laws, Theorem-1
+//! sampling, and partitioner invariants.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use taopt::findspace::{find_space, find_space_naive, FindSpaceConfig};
+use taopt::metrics::curves::{coverage_at, time_to_reach, CurvePoint};
+use taopt::metrics::jaccard::{average_jaccard, jaccard};
+use taopt::partition::{partition_graph, PartitionConfig};
+use taopt::theorem::{required_samples, separation_success_rate, CliquePairConfig};
+use taopt_ui_model::abstraction::{AbstractHierarchy, AbstractNode};
+use taopt_ui_model::{
+    Action, ActionId, ActivityId, ScreenId, StochasticDigraph, TraceEvent, VirtualDuration,
+    VirtualTime, WidgetClass,
+};
+
+/// Synthesizes a trace event for abstract state `label`.
+fn ev(t: u64, label: u32) -> TraceEvent {
+    let abstraction = Arc::new(AbstractHierarchy::from_root(AbstractNode {
+        class: WidgetClass::FrameLayout,
+        resource_id: Some(format!("state-{label}")),
+        children: vec![AbstractNode {
+            class: WidgetClass::TextView,
+            resource_id: Some(format!("body-{label}")),
+            children: Vec::new(),
+        }],
+    }));
+    TraceEvent {
+        time: VirtualTime::from_secs(t),
+        screen: ScreenId(label),
+        activity: ActivityId(0),
+        abstract_id: abstraction.id(),
+        abstraction,
+        action: Some(Action::Widget(ActionId(label))),
+        action_widget_rid: Some(format!("w{label}")),
+    }
+}
+
+/// An arbitrary trace over a small alphabet of abstract states, with
+/// strictly increasing timestamps.
+fn arb_trace() -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec(0u32..8, 2..150).prop_map(|labels| {
+        labels
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| ev(i as u64 * 3, l))
+            .collect()
+    })
+}
+
+fn fs_config() -> FindSpaceConfig {
+    FindSpaceConfig {
+        l_min: VirtualDuration::from_secs(30),
+        min_prefix_events: 4,
+        min_prefix_distinct: 2,
+        ..FindSpaceConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn findspace_fast_equals_naive(events in arb_trace()) {
+        let cfg = fs_config();
+        let fast = find_space(&events, &cfg);
+        let slow = find_space_naive(&events, &cfg);
+        match (fast, slow) {
+            (Some(f), Some(s)) => {
+                prop_assert_eq!(f.index, s.index);
+                prop_assert!((f.score - s.score).abs() < 1e-9);
+            }
+            (f, s) => prop_assert_eq!(f, s),
+        }
+    }
+
+    #[test]
+    fn findspace_split_index_is_valid(events in arb_trace()) {
+        let cfg = fs_config();
+        if let Some(split) = find_space(&events, &cfg) {
+            prop_assert!(split.index >= cfg.min_prefix_events);
+            prop_assert!(split.index < events.len());
+            prop_assert!(split.score < cfg.max_score);
+            // l_min guarantee: at least l_min of trace remains after the
+            // split.
+            let remaining = events[events.len() - 1].time.since(events[split.index].time);
+            prop_assert!(remaining >= VirtualDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn findspace_is_invariant_under_label_permutation(
+        events in arb_trace(),
+        offset in 1u32..50
+    ) {
+        // Renaming abstract states (consistently) must not change the
+        // split index: the algorithm sees only identities and similarity.
+        let cfg = fs_config();
+        let renamed: Vec<TraceEvent> = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ev(i as u64 * 3, e.screen.0 + offset * 100))
+            .collect();
+        let a = find_space(&events, &cfg).map(|s| s.index);
+        let b = find_space(&renamed, &cfg).map(|s| s.index);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jaccard_laws(
+        a in proptest::collection::btree_set(0u32..64, 0..40),
+        b in proptest::collection::btree_set(0u32..64, 0..40),
+        c in proptest::collection::btree_set(0u32..64, 0..40),
+    ) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - jaccard(&b, &a)).abs() < 1e-12);
+        prop_assert_eq!(jaccard(&a, &a), 1.0);
+        let ajs = average_jaccard(&[a.clone(), b.clone(), c.clone()]);
+        prop_assert!((0.0..=1.0).contains(&ajs));
+    }
+
+    #[test]
+    fn curve_lookups_are_monotone(
+        counts in proptest::collection::vec(1usize..50, 1..40)
+    ) {
+        // Build a monotone curve from random increments.
+        let mut covered = 0;
+        let curve: Vec<CurvePoint> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                covered += c;
+                CurvePoint {
+                    time: VirtualTime::from_secs(10 * (i as u64 + 1)),
+                    covered,
+                    machine_time: VirtualDuration::from_secs(10 * (i as u64 + 1)),
+                }
+            })
+            .collect();
+        let mut prev = 0;
+        for t in (0..=curve.len() as u64 * 10 + 10).step_by(5) {
+            let at = coverage_at(&curve, VirtualTime::from_secs(t));
+            prop_assert!(at >= prev);
+            prev = at;
+        }
+        // time_to_reach is consistent with coverage_at.
+        if let Some(t) = time_to_reach(&curve, covered) {
+            prop_assert_eq!(coverage_at(&curve, t), covered);
+        }
+        prop_assert_eq!(time_to_reach(&curve, covered + 1), None);
+    }
+
+    #[test]
+    fn partition_is_a_disjoint_family(
+        edges in proptest::collection::vec((0u64..16, 0u64..16, 0.05f64..1.0), 4..80)
+    ) {
+        let mut g = StochasticDigraph::new();
+        for (a, b, w) in &edges {
+            if a != b {
+                g.add_edge(*a, *b, *w).unwrap();
+            }
+        }
+        let g = g.normalized();
+        let clusters = partition_graph(&g, &PartitionConfig::default());
+        // Disjoint and drawn from the node set.
+        let nodes: BTreeSet<u64> = g.nodes().collect();
+        let mut seen = BTreeSet::new();
+        for c in &clusters {
+            for n in c {
+                prop_assert!(nodes.contains(n));
+                prop_assert!(seen.insert(*n), "node {n} in two clusters");
+            }
+        }
+    }
+}
+
+/// Statistical validation of Theorem 1 at the proven sample complexity.
+/// Not a proptest: the randomness is the subject under test.
+#[test]
+fn theorem1_separation_succeeds_at_prescribed_samples() {
+    for n in [6usize, 10] {
+        let cfg = CliquePairConfig { n, alpha: 16.0 };
+        let samples = required_samples(n, 24.0);
+        let rate = separation_success_rate(&cfg, samples, 15, 99);
+        assert!(rate >= 0.85, "n={n}: success rate {rate} below 0.85");
+    }
+}
+
+#[test]
+fn theorem1_separation_fails_when_starved() {
+    let cfg = CliquePairConfig { n: 12, alpha: 16.0 };
+    let rate = separation_success_rate(&cfg, 40, 15, 5);
+    assert!(rate <= 0.5, "starved rate {rate} too high");
+}
+
+mod coordinator_fuzz {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    use proptest::prelude::*;
+
+    use taopt::analyzer::AnalyzerConfig;
+    use taopt::coordinator::TestCoordinator;
+    use taopt_toller::enforce::{shared_block_list, EntrypointRule, SharedBlockList};
+    use taopt_toller::InstanceId;
+    use taopt_ui_model::{AbstractScreenId, VirtualTime};
+
+    /// One fuzzed coordinator operation.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Register(u32),
+        Unregister(u32),
+        Report { instance: u32, cluster: u64 },
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+        proptest::collection::vec(
+            prop_oneof![
+                (0u32..6).prop_map(Op::Register),
+                (0u32..6).prop_map(Op::Unregister),
+                ((0u32..6), (0u64..5)).prop_map(|(instance, cluster)| Op::Report {
+                    instance,
+                    cluster
+                }),
+            ],
+            1..60,
+        )
+    }
+
+    /// Disjoint screen sets per cluster id, so reports for the same
+    /// cluster merge and reports for different clusters do not.
+    fn screens_of(cluster: u64) -> BTreeSet<AbstractScreenId> {
+        (0..8u64).map(|i| AbstractScreenId(cluster * 100 + i)).collect()
+    }
+
+    fn rule_of(cluster: u64) -> EntrypointRule {
+        EntrypointRule::new(AbstractScreenId(9_000), format!("tab_{cluster}"))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn coordinator_invariants_hold_under_fuzzing(ops in arb_ops()) {
+            let mut c = TestCoordinator::new(AnalyzerConfig::resource_mode());
+            let mut lists: BTreeMap<InstanceId, SharedBlockList> = BTreeMap::new();
+            let mut confirmed_before = 0usize;
+            for (step, op) in ops.into_iter().enumerate() {
+                let now = VirtualTime::from_secs(step as u64);
+                match op {
+                    Op::Register(i) => {
+                        let iid = InstanceId(i);
+                        if let std::collections::btree_map::Entry::Vacant(e) = lists.entry(iid) {
+                            let bl = shared_block_list();
+                            c.register_instance(iid, bl.clone());
+                            e.insert(bl);
+                        }
+                    }
+                    Op::Unregister(i) => {
+                        let iid = InstanceId(i);
+                        if lists.remove(&iid).is_some() {
+                            c.unregister_instance(iid);
+                        }
+                    }
+                    Op::Report { instance, cluster } => {
+                        let iid = InstanceId(instance);
+                        if lists.contains_key(&iid) {
+                            c.register_report(
+                                iid,
+                                rule_of(cluster),
+                                screens_of(cluster),
+                                now,
+                            );
+                        }
+                    }
+                }
+                // Invariant 1: confirmed subspaces never un-confirm.
+                let confirmed = c.analyzer().confirmed().count();
+                prop_assert!(confirmed >= confirmed_before);
+                confirmed_before = confirmed;
+                // Invariant 2: a *registered* owner is never blocked from
+                // its own subspace's entrypoints.
+                for s in c.analyzer().confirmed() {
+                    if let Some(owner) = s.owner {
+                        if let Some(bl) = lists.get(&owner) {
+                            let bl = bl.read();
+                            for rule in &s.entrypoints {
+                                prop_assert!(
+                                    !bl.rules().contains(rule),
+                                    "owner {owner} blocked from own {}",
+                                    s.id
+                                );
+                            }
+                        }
+                    }
+                }
+                // Invariant 3: every confirmed subspace with a registered
+                // owner has all its entrypoints blocked on every *other*
+                // registered instance.
+                for s in c.analyzer().confirmed() {
+                    let Some(owner) = s.owner else { continue };
+                    if !lists.contains_key(&owner) {
+                        continue; // tombstoned/orphaned
+                    }
+                    for (iid, bl) in &lists {
+                        if *iid == owner {
+                            continue;
+                        }
+                        let bl = bl.read();
+                        for rule in &s.entrypoints {
+                            prop_assert!(
+                                bl.rules().contains(rule),
+                                "{iid} not blocked from {} owned by {owner}",
+                                s.id
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Per-device virtual clock.
+
+use taopt_ui_model::{VirtualDuration, VirtualTime};
+
+/// A monotone virtual clock.
+///
+/// Each emulator owns one; the session coordinator advances devices in
+/// lock-step rounds so that cross-device scheduling (entrypoint broadcast,
+/// stall detection) observes a consistent global time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VirtualClock {
+    now: VirtualTime,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at the given time (e.g. a device allocated
+    /// mid-session).
+    pub fn starting_at(now: VirtualTime) -> Self {
+        VirtualClock { now }
+    }
+
+    /// Current time.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Advances by `d` and returns the new time.
+    pub fn advance(&mut self, d: VirtualDuration) -> VirtualTime {
+        self.now += d;
+        self.now
+    }
+
+    /// Moves the clock forward to `t` (no-op if `t` is in the past).
+    pub fn catch_up_to(&mut self, t: VirtualTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_is_cumulative() {
+        let mut c = VirtualClock::new();
+        c.advance(VirtualDuration::from_secs(2));
+        let t = c.advance(VirtualDuration::from_secs(3));
+        assert_eq!(t, VirtualTime::from_secs(5));
+        assert_eq!(c.now(), t);
+    }
+
+    #[test]
+    fn catch_up_never_rewinds() {
+        let mut c = VirtualClock::starting_at(VirtualTime::from_secs(10));
+        c.catch_up_to(VirtualTime::from_secs(5));
+        assert_eq!(c.now(), VirtualTime::from_secs(10));
+        c.catch_up_to(VirtualTime::from_secs(20));
+        assert_eq!(c.now(), VirtualTime::from_secs(20));
+    }
+}

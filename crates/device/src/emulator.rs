@@ -1,0 +1,280 @@
+//! One simulated emulator.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use taopt_ui_model::{Action, ScreenObservation, VirtualDuration, VirtualTime};
+
+use taopt_app_sim::{App, AppRuntime, AppSimError, StepOutcome};
+
+use crate::clock::VirtualClock;
+use crate::coverage::CoverageTracer;
+use crate::logcat::{CrashCollector, Logcat};
+
+/// Identifier of one device in the farm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Emulator timing/behaviour knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmulatorConfig {
+    /// Virtual time consumed by executing one tool action (event
+    /// injection + app response + UI settle; roughly 1–2 s on real
+    /// emulators).
+    pub action_latency: VirtualDuration,
+    /// Extra virtual time consumed when a crash restarts the app.
+    pub crash_restart_latency: VirtualDuration,
+    /// Probability that an injected event is *lost* (the tap lands but the
+    /// app misses it — loaded devices and animation races do this on real
+    /// hardware). A lost event consumes time and does nothing else.
+    pub event_loss: f64,
+}
+
+impl Default for EmulatorConfig {
+    fn default() -> Self {
+        EmulatorConfig {
+            action_latency: VirtualDuration::from_millis(1500),
+            crash_restart_latency: VirtualDuration::from_secs(8),
+            event_loss: 0.0,
+        }
+    }
+}
+
+/// One simulated testing device: app runtime + clock + tracer + logcat.
+#[derive(Debug, Clone)]
+pub struct Emulator {
+    id: DeviceId,
+    config: EmulatorConfig,
+    runtime: AppRuntime,
+    clock: VirtualClock,
+    coverage: CoverageTracer,
+    logcat: Logcat,
+    crashes: CrashCollector,
+    flake_rng: StdRng,
+}
+
+impl Emulator {
+    /// Boots a device, installs the app, runs the auto-login script if the
+    /// app is gated (paper §6.1), and records startup coverage.
+    pub fn boot(id: DeviceId, app: Arc<App>, seed: u64, start: VirtualTime) -> Self {
+        Emulator::boot_with(id, app, seed, start, EmulatorConfig::default())
+    }
+
+    /// [`Emulator::boot`] with explicit timing configuration.
+    pub fn boot_with(
+        id: DeviceId,
+        app: Arc<App>,
+        seed: u64,
+        start: VirtualTime,
+        config: EmulatorConfig,
+    ) -> Self {
+        let mut runtime = AppRuntime::launch(app.clone(), seed);
+        let mut clock = VirtualClock::starting_at(start);
+        let mut coverage = CoverageTracer::new();
+        let mut logcat = Logcat::new();
+        let startup: Vec<_> = app.startup_methods().to_vec();
+        coverage.record(clock.now(), &startup);
+        logcat.log(clock.now(), "ActivityManager", format!("Start proc {}", app.name()));
+        // Screen methods of the start screen were covered at launch.
+        if let Some(s) = app.screen(runtime.current_screen()) {
+            coverage.record(clock.now(), &s.methods);
+        }
+        if let Some(out) = runtime.auto_login(clock.now()) {
+            clock.advance(config.action_latency);
+            coverage.record(clock.now(), &out.newly_covered);
+            logcat.log(clock.now(), "AutoLogin", "executed login script");
+        }
+        Emulator {
+            id,
+            config,
+            runtime,
+            clock,
+            coverage,
+            logcat,
+            crashes: CrashCollector::new(),
+            flake_rng: StdRng::seed_from_u64(seed ^ 0xf1a5_e5),
+        }
+    }
+
+    /// Device id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// Current virtual time on this device.
+    pub fn now(&self) -> VirtualTime {
+        self.clock.now()
+    }
+
+    /// The running app.
+    pub fn app(&self) -> &Arc<App> {
+        self.runtime.app()
+    }
+
+    /// Observes the current screen (free; does not advance time).
+    pub fn observe(&mut self) -> ScreenObservation {
+        self.runtime.observe(self.clock.now())
+    }
+
+    /// Executes a tool action: advances the clock, updates coverage and
+    /// logcat, and returns the step outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AppSimError::ActionNotAvailable`] for widget actions
+    /// the current screen does not define.
+    pub fn execute(&mut self, action: Action) -> Result<StepOutcome, AppSimError> {
+        self.clock.advance(self.config.action_latency);
+        // Flaky event delivery: the event may be lost in flight.
+        let action = if self.config.event_loss > 0.0
+            && action.is_effective()
+            && self.flake_rng.gen::<f64>() < self.config.event_loss
+        {
+            Action::Noop
+        } else {
+            action
+        };
+        let out = self.runtime.execute(action, self.clock.now())?;
+        self.coverage.record(self.clock.now(), &out.newly_covered);
+        if let Some(sig) = out.crash {
+            self.clock.advance(self.config.crash_restart_latency);
+            self.crashes.record(self.clock.now(), sig);
+            self.logcat.log(
+                self.clock.now(),
+                "AndroidRuntime",
+                sig.stack_trace(self.runtime.app().name()),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Coverage tracer.
+    pub fn coverage(&self) -> &CoverageTracer {
+        &self.coverage
+    }
+
+    /// Crash collector.
+    pub fn crashes(&self) -> &CrashCollector {
+        &self.crashes
+    }
+
+    /// Logcat buffer.
+    pub fn logcat(&self) -> &Logcat {
+        &self.logcat
+    }
+
+    /// Number of distinct screens visited.
+    pub fn distinct_screens(&self) -> usize {
+        self.runtime.visited_screens().len()
+    }
+
+    /// Advances the clock without an action (idle wait).
+    pub fn idle(&mut self, d: VirtualDuration) {
+        self.clock.advance(d);
+    }
+
+    /// Launches a specific screen directly, as `am start` launches an
+    /// activity by Intent (used by ParaAim-style activity partitioning).
+    /// Costs app-restart latency; records arrival coverage.
+    pub fn jump_to(&mut self, screen: taopt_ui_model::ScreenId) -> ScreenObservation {
+        self.clock.advance(self.config.crash_restart_latency);
+        let newly = self.runtime.jump_to(screen);
+        self.coverage.record(self.clock.now(), &newly);
+        self.logcat.log(
+            self.clock.now(),
+            "ActivityManager",
+            format!("START u0 {screen} (intent)"),
+        );
+        self.runtime.observe(self.clock.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taopt_app_sim::{generate_app, GeneratorConfig};
+
+    fn boot_small(login: bool) -> Emulator {
+        let mut cfg = GeneratorConfig::small("emu", 42);
+        cfg.login = login;
+        let app = Arc::new(generate_app(&cfg).unwrap());
+        Emulator::boot(DeviceId(0), app, 7, VirtualTime::ZERO)
+    }
+
+    #[test]
+    fn boot_covers_startup_methods() {
+        let e = boot_small(false);
+        assert!(e.coverage().count() >= 60, "startup pool covered");
+        assert_eq!(e.crashes().unique_crashes().len(), 0);
+    }
+
+    #[test]
+    fn boot_auto_logs_in_gated_apps() {
+        let mut e = boot_small(true);
+        let obs = e.observe();
+        // After auto-login the device is on the hub, which has tab actions.
+        assert!(obs.enabled_actions().len() > 2);
+        assert!(e.logcat().with_tag("AutoLogin").count() == 1);
+    }
+
+    #[test]
+    fn execute_advances_clock_and_coverage() {
+        let mut e = boot_small(false);
+        let before_cov = e.coverage().count();
+        let before_t = e.now();
+        let (aid, _) = e.observe().enabled_actions()[0];
+        let out = e.execute(Action::Widget(aid)).unwrap();
+        assert!(e.now() > before_t);
+        if out.transitioned {
+            assert!(e.coverage().count() >= before_cov);
+        }
+    }
+
+    #[test]
+    fn event_loss_slows_but_does_not_break_testing() {
+        let cfg = GeneratorConfig::small("flaky", 1);
+        let app = Arc::new(generate_app(&cfg).unwrap());
+        let run = |loss: f64| {
+            let mut e = Emulator::boot_with(
+                DeviceId(0),
+                Arc::clone(&app),
+                9,
+                VirtualTime::ZERO,
+                EmulatorConfig { event_loss: loss, ..EmulatorConfig::default() },
+            );
+            use rand::seq::SliceRandom;
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..400 {
+                let actions = e.observe().enabled_actions();
+                let a = actions
+                    .choose(&mut rng)
+                    .map(|(id, _)| Action::Widget(*id))
+                    .unwrap_or(Action::Back);
+                e.execute(a).unwrap();
+            }
+            e.coverage().count()
+        };
+        let clean = run(0.0);
+        let flaky = run(0.3);
+        assert!(flaky > 0, "flaky device still makes progress");
+        assert!(flaky <= clean, "losing 30% of events cannot help");
+    }
+
+    #[test]
+    fn idle_only_moves_time() {
+        let mut e = boot_small(false);
+        let cov = e.coverage().count();
+        e.idle(VirtualDuration::from_secs(30));
+        assert_eq!(e.coverage().count(), cov);
+        assert_eq!(e.now(), VirtualTime::from_secs(30));
+    }
+}

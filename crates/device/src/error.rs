@@ -1,0 +1,43 @@
+//! Error types for the simulated testing cloud.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::emulator::DeviceId;
+
+/// Errors produced by device-farm and emulator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The farm has no free device slots.
+    NoCapacity {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// A device id was referenced that is not currently allocated.
+    UnknownDevice(DeviceId),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::NoCapacity { capacity } => {
+                write!(f, "device farm is at capacity ({capacity} devices)")
+            }
+            DeviceError::UnknownDevice(d) => write!(f, "device {d} is not allocated"),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(DeviceError::NoCapacity { capacity: 5 }.to_string().contains('5'));
+        assert!(DeviceError::UnknownDevice(DeviceId(3)).to_string().contains("dev3"));
+    }
+}

@@ -1,0 +1,224 @@
+//! The device farm — bounded capacity and machine-time accounting.
+
+use std::collections::BTreeMap;
+
+use taopt_ui_model::{VirtualDuration, VirtualTime};
+
+use crate::emulator::DeviceId;
+use crate::error::DeviceError;
+
+/// The kind of device slot a testing cloud rents out.
+///
+/// Real devices cost several times an emulator's rate (the paper quotes
+/// AWS Device Farm at $0.17 per device-*minute* for real hardware) and
+/// respond slightly slower; emulators are the default for scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum DeviceClass {
+    /// An x86 emulator slot (the paper's test platform).
+    #[default]
+    Emulator,
+    /// A physical device slot.
+    RealDevice,
+}
+
+impl DeviceClass {
+    /// Billing rate in dollars per device-minute.
+    pub fn dollars_per_minute(&self) -> f64 {
+        match self {
+            DeviceClass::Emulator => 0.05,
+            DeviceClass::RealDevice => 0.17,
+        }
+    }
+}
+
+/// A pool of device slots with allocate/deallocate and machine-time
+/// accounting.
+///
+/// Machine time — the sum over devices of (deallocation − allocation) —
+/// is the paper's "testing resources" metric (RQ4). The farm itself holds
+/// no emulators; the session layer pairs allocated [`DeviceId`]s with
+/// [`crate::Emulator`] values.
+#[derive(Debug, Clone)]
+pub struct DeviceFarm {
+    capacity: usize,
+    next_id: u32,
+    active: BTreeMap<DeviceId, (VirtualTime, DeviceClass)>,
+    consumed: VirtualDuration,
+    billed: f64,
+}
+
+impl DeviceFarm {
+    /// Creates a farm with the given number of device slots.
+    pub fn new(capacity: usize) -> Self {
+        DeviceFarm {
+            capacity,
+            next_id: 0,
+            active: BTreeMap::new(),
+            consumed: VirtualDuration::ZERO,
+            billed: 0.0,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently allocated devices.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Currently allocated device ids.
+    pub fn active_devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.active.keys().copied()
+    }
+
+    /// Allocates an emulator slot at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NoCapacity`] when all slots are taken.
+    pub fn allocate(&mut self, now: VirtualTime) -> Result<DeviceId, DeviceError> {
+        self.allocate_class(DeviceClass::Emulator, now)
+    }
+
+    /// Allocates a slot of the given class at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NoCapacity`] when all slots are taken.
+    pub fn allocate_class(
+        &mut self,
+        class: DeviceClass,
+        now: VirtualTime,
+    ) -> Result<DeviceId, DeviceError> {
+        if self.active.len() >= self.capacity {
+            return Err(DeviceError::NoCapacity { capacity: self.capacity });
+        }
+        let id = DeviceId(self.next_id);
+        self.next_id += 1;
+        self.active.insert(id, (now, class));
+        Ok(id)
+    }
+
+    /// The class of an active device.
+    pub fn class_of(&self, id: DeviceId) -> Option<DeviceClass> {
+        self.active.get(&id).map(|(_, c)| *c)
+    }
+
+    /// Deallocates a device at `now`, charging its machine time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownDevice`] if the id is not allocated.
+    pub fn deallocate(&mut self, id: DeviceId, now: VirtualTime) -> Result<(), DeviceError> {
+        let (allocated_at, class) =
+            self.active.remove(&id).ok_or(DeviceError::UnknownDevice(id))?;
+        let used = now.since(allocated_at);
+        self.consumed += used;
+        self.billed += used.as_secs() as f64 / 60.0 * class.dollars_per_minute();
+        Ok(())
+    }
+
+    /// Machine time consumed by *deallocated* devices so far.
+    pub fn consumed(&self) -> VirtualDuration {
+        self.consumed
+    }
+
+    /// Machine time consumed including still-running devices, as of `now`.
+    pub fn consumed_as_of(&self, now: VirtualTime) -> VirtualDuration {
+        let running: u64 =
+            self.active.values().map(|(t, _)| now.since(*t).as_millis()).sum();
+        self.consumed + VirtualDuration::from_millis(running)
+    }
+
+    /// Dollars billed for *deallocated* devices so far.
+    pub fn billed(&self) -> f64 {
+        self.billed
+    }
+
+    /// Dollars billed including still-running devices, as of `now`.
+    pub fn billed_as_of(&self, now: VirtualTime) -> f64 {
+        let running: f64 = self
+            .active
+            .values()
+            .map(|(t, c)| now.since(*t).as_secs() as f64 / 60.0 * c.dollars_per_minute())
+            .sum();
+        self.billed + running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut farm = DeviceFarm::new(2);
+        farm.allocate(VirtualTime::ZERO).unwrap();
+        farm.allocate(VirtualTime::ZERO).unwrap();
+        assert_eq!(
+            farm.allocate(VirtualTime::ZERO),
+            Err(DeviceError::NoCapacity { capacity: 2 })
+        );
+        assert_eq!(farm.active_count(), 2);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut farm = DeviceFarm::new(1);
+        let a = farm.allocate(VirtualTime::ZERO).unwrap();
+        farm.deallocate(a, VirtualTime::from_secs(1)).unwrap();
+        let b = farm.allocate(VirtualTime::from_secs(1)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn machine_time_accounting() {
+        let mut farm = DeviceFarm::new(3);
+        let a = farm.allocate(VirtualTime::ZERO).unwrap();
+        let b = farm.allocate(VirtualTime::from_secs(10)).unwrap();
+        farm.deallocate(a, VirtualTime::from_secs(60)).unwrap();
+        assert_eq!(farm.consumed(), VirtualDuration::from_secs(60));
+        // b still running: 50s as of t=60.
+        assert_eq!(
+            farm.consumed_as_of(VirtualTime::from_secs(60)),
+            VirtualDuration::from_secs(110)
+        );
+        farm.deallocate(b, VirtualTime::from_secs(70)).unwrap();
+        assert_eq!(farm.consumed(), VirtualDuration::from_secs(120));
+    }
+
+    #[test]
+    fn billing_tracks_device_classes() {
+        let mut farm = DeviceFarm::new(2);
+        let emu = farm.allocate_class(DeviceClass::Emulator, VirtualTime::ZERO).unwrap();
+        let real = farm.allocate_class(DeviceClass::RealDevice, VirtualTime::ZERO).unwrap();
+        assert_eq!(farm.class_of(emu), Some(DeviceClass::Emulator));
+        assert_eq!(farm.class_of(real), Some(DeviceClass::RealDevice));
+        let t = VirtualTime::from_secs(600); // 10 minutes each
+        assert!((farm.billed_as_of(t) - (10.0 * 0.05 + 10.0 * 0.17)).abs() < 1e-9);
+        farm.deallocate(emu, t).unwrap();
+        farm.deallocate(real, t).unwrap();
+        assert!((farm.billed() - 2.2).abs() < 1e-9);
+        assert_eq!(farm.class_of(emu), None);
+    }
+
+    #[test]
+    fn real_devices_cost_more() {
+        assert!(
+            DeviceClass::RealDevice.dollars_per_minute()
+                > 3.0 * DeviceClass::Emulator.dollars_per_minute()
+        );
+    }
+
+    #[test]
+    fn deallocate_unknown_errors() {
+        let mut farm = DeviceFarm::new(1);
+        assert_eq!(
+            farm.deallocate(DeviceId(9), VirtualTime::ZERO),
+            Err(DeviceError::UnknownDevice(DeviceId(9)))
+        );
+    }
+}

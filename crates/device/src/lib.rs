@@ -1,0 +1,36 @@
+//! Simulated testing cloud for the TaOPT reproduction.
+//!
+//! The paper runs Android x64 emulators on a many-core server and rents
+//! capacity from "testing clouds" (AWS Device Farm etc.). This crate is the
+//! synthetic counterpart:
+//!
+//! * [`Emulator`] — one device running one [`taopt_app_sim::AppRuntime`],
+//!   with a per-device virtual clock, per-action latency, a
+//!   [`CoverageTracer`] (the MiniTrace stand-in) and a [`Logcat`] buffer
+//!   collecting crash stack traces;
+//! * [`DeviceFarm`] — a bounded pool of devices with allocate/deallocate
+//!   and machine-time accounting (the "testing resources" of RQ4);
+//! * [`CrashCollector`] — logcat-style unique-crash deduplication by stack
+//!   signature.
+//!
+//! Virtual time makes hour-long parallel runs execute in milliseconds while
+//! preserving every scheduling decision the paper's coordinator makes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod coverage;
+pub mod emulator;
+pub mod error;
+pub mod farm;
+pub mod logcat;
+pub mod triage;
+
+pub use clock::VirtualClock;
+pub use coverage::CoverageTracer;
+pub use emulator::{DeviceId, Emulator, EmulatorConfig};
+pub use error::DeviceError;
+pub use farm::{DeviceClass, DeviceFarm};
+pub use logcat::{CrashCollector, LogEntry, Logcat};
+pub use triage::{CrashGroup, TriageReport};

@@ -1,0 +1,188 @@
+//! Crash triage: aggregating crash occurrences across a fleet of devices
+//! into ranked, deduplicated reports.
+//!
+//! The paper counts *unique* crashes (dedup by stack-trace code location);
+//! a production testing cloud additionally needs the occurrence counts,
+//! first-seen times and per-device distribution that testers triage by.
+//! This module aggregates any number of per-device [`CrashCollector`]s
+//! into a [`TriageReport`].
+
+use std::collections::BTreeMap;
+
+use taopt_ui_model::VirtualTime;
+
+use taopt_app_sim::CrashSignature;
+
+use crate::emulator::DeviceId;
+use crate::logcat::CrashCollector;
+
+/// Aggregated data about one unique crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashGroup {
+    /// The dedup signature (stack-trace code location).
+    pub signature: CrashSignature,
+    /// Total occurrences across all devices.
+    pub occurrences: usize,
+    /// Earliest observation.
+    pub first_seen: VirtualTime,
+    /// Devices that reproduced the crash at least once.
+    pub devices: Vec<DeviceId>,
+}
+
+impl CrashGroup {
+    /// Whether more than one device independently reproduced the crash —
+    /// a strong signal that it is not an environment flake.
+    pub fn is_cross_device(&self) -> bool {
+        self.devices.len() > 1
+    }
+}
+
+/// A ranked triage report over one or many runs.
+#[derive(Debug, Clone, Default)]
+pub struct TriageReport {
+    groups: Vec<CrashGroup>,
+}
+
+impl TriageReport {
+    /// Builds a report from per-device collectors.
+    ///
+    /// Groups are ranked by occurrence count (descending), ties broken by
+    /// first-seen time (ascending) so reliably-reproducing early crashes
+    /// float to the top.
+    pub fn build<'a>(
+        collectors: impl IntoIterator<Item = (DeviceId, &'a CrashCollector)>,
+    ) -> Self {
+        struct Agg {
+            occurrences: usize,
+            first_seen: VirtualTime,
+            devices: Vec<DeviceId>,
+        }
+        let mut map: BTreeMap<CrashSignature, Agg> = BTreeMap::new();
+        for (device, collector) in collectors {
+            for (time, sig) in collector.occurrences() {
+                let agg = map.entry(*sig).or_insert(Agg {
+                    occurrences: 0,
+                    first_seen: *time,
+                    devices: Vec::new(),
+                });
+                agg.occurrences += 1;
+                agg.first_seen = agg.first_seen.min(*time);
+                if !agg.devices.contains(&device) {
+                    agg.devices.push(device);
+                }
+            }
+        }
+        let mut groups: Vec<CrashGroup> = map
+            .into_iter()
+            .map(|(signature, a)| CrashGroup {
+                signature,
+                occurrences: a.occurrences,
+                first_seen: a.first_seen,
+                devices: a.devices,
+            })
+            .collect();
+        groups.sort_by(|a, b| {
+            b.occurrences
+                .cmp(&a.occurrences)
+                .then(a.first_seen.cmp(&b.first_seen))
+                .then(a.signature.cmp(&b.signature))
+        });
+        TriageReport { groups }
+    }
+
+    /// The ranked groups.
+    pub fn groups(&self) -> &[CrashGroup] {
+        &self.groups
+    }
+
+    /// Number of unique crashes.
+    pub fn unique_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total occurrences across all groups.
+    pub fn occurrence_count(&self) -> usize {
+        self.groups.iter().map(|g| g.occurrences).sum()
+    }
+
+    /// Renders a logcat-flavoured triage summary.
+    pub fn render(&self, app_name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} unique crash(es), {} occurrence(s):",
+            self.unique_count(),
+            self.occurrence_count()
+        );
+        for g in &self.groups {
+            let _ = writeln!(
+                out,
+                "  {} x{} first at {} on {} device(s){}",
+                g.signature,
+                g.occurrences,
+                g.first_seen,
+                g.devices.len(),
+                if g.is_cross_device() { " [cross-device]" } else { "" },
+            );
+            for line in g.signature.stack_trace(app_name).lines().take(2) {
+                let _ = writeln!(out, "      {line}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collector(entries: &[(u64, u64)]) -> CrashCollector {
+        let mut c = CrashCollector::new();
+        for (t, sig) in entries {
+            c.record(VirtualTime::from_secs(*t), CrashSignature(*sig));
+        }
+        c
+    }
+
+    #[test]
+    fn groups_rank_by_occurrences_then_recency() {
+        let c0 = collector(&[(10, 1), (20, 1), (30, 2)]);
+        let c1 = collector(&[(5, 2), (50, 1)]);
+        let report = TriageReport::build([(DeviceId(0), &c0), (DeviceId(1), &c1)]);
+        assert_eq!(report.unique_count(), 2);
+        assert_eq!(report.occurrence_count(), 5);
+        // Signature 1: 3 occurrences; signature 2: 2 — 1 ranks first.
+        assert_eq!(report.groups()[0].signature, CrashSignature(1));
+        assert_eq!(report.groups()[0].occurrences, 3);
+        assert_eq!(report.groups()[1].first_seen, VirtualTime::from_secs(5));
+    }
+
+    #[test]
+    fn cross_device_flag() {
+        let c0 = collector(&[(1, 7)]);
+        let c1 = collector(&[(2, 7)]);
+        let report = TriageReport::build([(DeviceId(0), &c0), (DeviceId(1), &c1)]);
+        assert!(report.groups()[0].is_cross_device());
+        let solo = TriageReport::build([(DeviceId(0), &c0)]);
+        assert!(!solo.groups()[0].is_cross_device());
+    }
+
+    #[test]
+    fn render_mentions_every_group() {
+        let c0 = collector(&[(1, 0xaa), (2, 0xbb)]);
+        let report = TriageReport::build([(DeviceId(3), &c0)]);
+        let text = report.render("Demo App");
+        assert!(text.contains("2 unique crash(es)"));
+        assert!(text.contains("crash#000000aa"));
+        assert!(text.contains("crash#000000bb"));
+        assert!(text.contains("FATAL EXCEPTION"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = TriageReport::build(std::iter::empty());
+        assert_eq!(report.unique_count(), 0);
+        assert!(report.render("x").contains("0 unique"));
+    }
+}

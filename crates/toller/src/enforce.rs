@@ -1,0 +1,159 @@
+//! Entrypoint enforcement — blocking UI subspaces by disabling widgets.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use taopt_ui_model::{AbstractScreenId, UiHierarchy};
+
+/// One blocked subspace entrypoint.
+///
+/// An entrypoint is identified tool-agnostically by the *abstract screen*
+/// hosting the entry widget and the widget's stable *resource id* — both
+/// observable from UI hierarchies alone, with no knowledge of the app's
+/// internals or the testing tool.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EntrypointRule {
+    /// Abstract identity of the screen the entry widget lives on.
+    pub screen: AbstractScreenId,
+    /// Resource id of the entry widget to disable.
+    pub widget_rid: String,
+}
+
+impl EntrypointRule {
+    /// Creates a rule.
+    pub fn new(screen: AbstractScreenId, widget_rid: impl Into<String>) -> Self {
+        EntrypointRule { screen, widget_rid: widget_rid.into() }
+    }
+}
+
+impl fmt::Display for EntrypointRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {} on {}", self.widget_rid, self.screen)
+    }
+}
+
+/// The set of entrypoints blocked on one testing instance.
+///
+/// The test coordinator owns one `BlockList` per instance (wrapped in a
+/// [`SharedBlockList`]) and updates it when subspaces are dedicated; the
+/// instance's step loop applies it to every observation.
+#[derive(Debug, Clone, Default)]
+pub struct BlockList {
+    rules: Vec<EntrypointRule>,
+}
+
+impl BlockList {
+    /// Creates an empty block list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule (deduplicating).
+    pub fn block(&mut self, rule: EntrypointRule) {
+        if !self.rules.contains(&rule) {
+            self.rules.push(rule);
+        }
+    }
+
+    /// Removes a rule (used when a subspace is dedicated to this very
+    /// instance).
+    pub fn unblock(&mut self, rule: &EntrypointRule) {
+        self.rules.retain(|r| r != rule);
+    }
+
+    /// The current rules.
+    pub fn rules(&self) -> &[EntrypointRule] {
+        &self.rules
+    }
+
+    /// Whether no entrypoints are blocked.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Applies the rules to a hierarchy observed on screen `screen`:
+    /// disables every matching widget. Returns how many were disabled.
+    pub fn apply(&self, screen: AbstractScreenId, hierarchy: &mut UiHierarchy) -> usize {
+        let mut n = 0;
+        for rule in &self.rules {
+            if rule.screen == screen {
+                n += hierarchy.disable_by_resource_id(&rule.widget_rid);
+            }
+        }
+        n
+    }
+}
+
+/// A block list shared between the coordinator and an instance's step loop.
+pub type SharedBlockList = Arc<RwLock<BlockList>>;
+
+/// Creates a fresh shared block list.
+pub fn shared_block_list() -> SharedBlockList {
+    Arc::new(RwLock::new(BlockList::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taopt_ui_model::abstraction::abstract_hierarchy;
+    use taopt_ui_model::{ActionId, ActionKind, Widget, WidgetClass};
+
+    fn hierarchy() -> UiHierarchy {
+        UiHierarchy::new(
+            Widget::container(WidgetClass::LinearLayout)
+                .with_child(
+                    Widget::button("tab_shop", "Shop")
+                        .with_affordance(ActionId(1), ActionKind::Click),
+                )
+                .with_child(
+                    Widget::button("tab_account", "Account")
+                        .with_affordance(ActionId(2), ActionKind::Click),
+                ),
+        )
+    }
+
+    #[test]
+    fn apply_disables_only_matching_screen_and_rid() {
+        let mut h = hierarchy();
+        let sid = abstract_hierarchy(&h).id();
+        let mut bl = BlockList::new();
+        bl.block(EntrypointRule::new(sid, "tab_shop"));
+        assert_eq!(bl.apply(sid, &mut h), 1);
+        assert_eq!(h.enabled_actions().len(), 1);
+        // Different screen id: nothing happens.
+        let mut h2 = hierarchy();
+        assert_eq!(bl.apply(AbstractScreenId(0), &mut h2), 0);
+        assert_eq!(h2.enabled_actions().len(), 2);
+    }
+
+    #[test]
+    fn block_dedupes_and_unblock_removes() {
+        let mut bl = BlockList::new();
+        let r = EntrypointRule::new(AbstractScreenId(1), "x");
+        bl.block(r.clone());
+        bl.block(r.clone());
+        assert_eq!(bl.rules().len(), 1);
+        bl.unblock(&r);
+        assert!(bl.is_empty());
+    }
+
+    #[test]
+    fn enforcement_preserves_abstraction() {
+        let mut h = hierarchy();
+        let before = abstract_hierarchy(&h).id();
+        let mut bl = BlockList::new();
+        bl.block(EntrypointRule::new(before, "tab_shop"));
+        bl.apply(before, &mut h);
+        assert_eq!(abstract_hierarchy(&h).id(), before);
+    }
+
+    #[test]
+    fn shared_list_is_visible_across_clones() {
+        let shared = shared_block_list();
+        let other = Arc::clone(&shared);
+        shared.write().block(EntrypointRule::new(AbstractScreenId(5), "w"));
+        assert_eq!(other.read().rules().len(), 1);
+    }
+}

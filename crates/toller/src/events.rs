@@ -1,0 +1,99 @@
+//! Streaming trace events across threads.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use taopt_ui_model::TraceEvent;
+
+use crate::instance::InstanceId;
+
+/// A broadcast-ish bus for trace events: one sender per instance, one
+/// receiver at the analyzer.
+///
+/// The lock-step session drives analysis synchronously, but the bus lets
+/// experiment harnesses run instances on worker threads (e.g. sweeping the
+/// 18-app catalog) while a single analyzer thread consumes the merged
+/// stream, which mirrors TaOPT's deployment (one coordinator process, many
+/// devices).
+#[derive(Debug, Clone)]
+pub struct EventBus {
+    tx: Sender<(InstanceId, TraceEvent)>,
+    rx: Receiver<(InstanceId, TraceEvent)>,
+}
+
+impl EventBus {
+    /// Creates an unbounded bus.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        EventBus { tx, rx }
+    }
+
+    /// A sender handle for an instance's monitor.
+    pub fn sender(&self) -> Sender<(InstanceId, TraceEvent)> {
+        self.tx.clone()
+    }
+
+    /// The consumer side.
+    pub fn receiver(&self) -> Receiver<(InstanceId, TraceEvent)> {
+        self.rx.clone()
+    }
+
+    /// Drains all currently queued events.
+    pub fn drain(&self) -> Vec<(InstanceId, TraceEvent)> {
+        self.rx.try_iter().collect()
+    }
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use taopt_ui_model::abstraction::{AbstractHierarchy, AbstractNode};
+    use taopt_ui_model::{ActivityId, ScreenId, VirtualTime, WidgetClass};
+
+    fn event() -> TraceEvent {
+        let a = Arc::new(AbstractHierarchy::from_root(AbstractNode {
+            class: WidgetClass::FrameLayout,
+            resource_id: None,
+            children: Vec::new(),
+        }));
+        TraceEvent {
+            time: VirtualTime::ZERO,
+            screen: ScreenId(0),
+            activity: ActivityId(0),
+            abstract_id: a.id(),
+            abstraction: a,
+            action: None,
+            action_widget_rid: None,
+        }
+    }
+
+    #[test]
+    fn events_flow_from_sender_to_receiver() {
+        let bus = EventBus::new();
+        let tx = bus.sender();
+        tx.send((InstanceId(1), event())).unwrap();
+        tx.send((InstanceId(2), event())).unwrap();
+        let drained = bus.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, InstanceId(1));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let bus = EventBus::new();
+        let tx = bus.sender();
+        let handle = std::thread::spawn(move || {
+            for _ in 0..10 {
+                tx.send((InstanceId(0), event())).unwrap();
+            }
+        });
+        handle.join().unwrap();
+        assert_eq!(bus.drain().len(), 10);
+    }
+}

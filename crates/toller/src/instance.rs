@@ -1,0 +1,296 @@
+//! One instrumented testing instance.
+
+use std::fmt;
+use std::sync::Arc;
+
+use taopt_app_sim::{App, CrashSignature};
+use taopt_device::{DeviceId, Emulator};
+use taopt_tools::TestingTool;
+use taopt_ui_model::{ScreenObservation, VirtualTime};
+
+use crate::enforce::{shared_block_list, SharedBlockList};
+use crate::monitor::TransitionMonitor;
+
+/// Identifier of a testing instance within a parallel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InstanceId(pub u32);
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst{}", self.0)
+    }
+}
+
+/// The outcome of one instrumented tool step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Device time after the step.
+    pub time: VirtualTime,
+    /// Crash fired by the step, if any.
+    pub crash: Option<CrashSignature>,
+    /// Whether a *new* distinct screen was reached (stall detection).
+    pub new_screen: bool,
+    /// How many widgets enforcement disabled before the tool observed.
+    pub widgets_blocked: usize,
+    /// Methods newly covered by this step (first time for this instance).
+    pub newly_covered: Vec<taopt_app_sim::MethodId>,
+}
+
+/// One testing instance: emulator + black-box tool + Toller monitor +
+/// shared block list, advanced one tool action at a time.
+///
+/// The step loop reproduces TaOPT's interposition exactly: *observe →
+/// enforce (disable blocked entrypoints) → let the tool pick → execute →
+/// monitor the transition*. The tool never sees a blocked widget, and
+/// TaOPT never sees the tool's internals.
+pub struct InstrumentedInstance {
+    id: InstanceId,
+    emulator: Emulator,
+    tool: Box<dyn TestingTool>,
+    monitor: TransitionMonitor,
+    blocklist: SharedBlockList,
+    distinct_screens: usize,
+    last_obs: Option<ScreenObservation>,
+}
+
+impl fmt::Debug for InstrumentedInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InstrumentedInstance")
+            .field("id", &self.id)
+            .field("device", &self.emulator.id())
+            .field("tool", &self.tool.name())
+            .field("trace_len", &self.monitor.trace().len())
+            .finish()
+    }
+}
+
+impl InstrumentedInstance {
+    /// Boots an instance: device + tool + empty trace + fresh block list.
+    pub fn boot(
+        id: InstanceId,
+        device: DeviceId,
+        app: Arc<App>,
+        tool: Box<dyn TestingTool>,
+        seed: u64,
+        start: VirtualTime,
+    ) -> Self {
+        Self::boot_with(
+            id,
+            device,
+            app,
+            tool,
+            seed,
+            start,
+            taopt_device::EmulatorConfig::default(),
+        )
+    }
+
+    /// [`InstrumentedInstance::boot`] with explicit emulator timing and
+    /// flakiness configuration.
+    pub fn boot_with(
+        id: InstanceId,
+        device: DeviceId,
+        app: Arc<App>,
+        tool: Box<dyn TestingTool>,
+        seed: u64,
+        start: VirtualTime,
+        emulator_config: taopt_device::EmulatorConfig,
+    ) -> Self {
+        let emulator = Emulator::boot_with(device, app, seed, start, emulator_config);
+        let mut inst = InstrumentedInstance {
+            id,
+            emulator,
+            tool,
+            monitor: TransitionMonitor::new(id),
+            blocklist: shared_block_list(),
+            distinct_screens: 0,
+            last_obs: None,
+        };
+        // Record the initial screen (after auto-login, if any).
+        let mut obs = inst.emulator.observe();
+        inst.blocklist.read().apply(obs.abstract_id(), &mut obs.hierarchy);
+        inst.monitor.record(None, None, &obs);
+        inst.distinct_screens = inst.emulator.distinct_screens();
+        inst.last_obs = Some(obs);
+        inst
+    }
+
+    /// Instance id.
+    pub fn id(&self) -> InstanceId {
+        self.id
+    }
+
+    /// The emulator (coverage, crashes, logcat, clock).
+    pub fn emulator(&self) -> &Emulator {
+        &self.emulator
+    }
+
+    /// Mutable emulator access (used by partition baselines to jump
+    /// between activities via Intents).
+    pub fn emulator_mut(&mut self) -> &mut Emulator {
+        &mut self.emulator
+    }
+
+    /// The shared block list handle (held by the coordinator too).
+    pub fn blocklist(&self) -> SharedBlockList {
+        Arc::clone(&self.blocklist)
+    }
+
+    /// The UI transition trace so far.
+    pub fn trace(&self) -> &taopt_ui_model::Trace {
+        self.monitor.trace()
+    }
+
+    /// The tool's name.
+    pub fn tool_name(&self) -> &'static str {
+        self.tool.name()
+    }
+
+    /// Current device time.
+    pub fn now(&self) -> VirtualTime {
+        self.emulator.now()
+    }
+
+    /// Runs one tool step.
+    pub fn step(&mut self) -> StepReport {
+        let prev = self.last_obs.take().unwrap_or_else(|| self.emulator.observe());
+        let action = self.tool.next_action(&prev);
+        let out = self
+            .emulator
+            .execute(action)
+            .expect("tools only fire actions offered by the observation");
+        // Enforce on the *next* observation before the tool sees it.
+        let mut obs = out.observation;
+        let widgets_blocked =
+            self.blocklist.read().apply(obs.abstract_id(), &mut obs.hierarchy);
+        self.tool.on_transition(prev.abstract_id(), action, &obs);
+        if out.crash.is_some() {
+            self.tool.on_crash();
+        }
+        self.monitor.record(Some(&prev), Some(action), &obs);
+        let screens = self.emulator.distinct_screens();
+        let new_screen = screens > self.distinct_screens;
+        self.distinct_screens = screens;
+        let report = StepReport {
+            time: self.emulator.now(),
+            crash: out.crash,
+            new_screen,
+            widgets_blocked,
+            newly_covered: out.newly_covered,
+        };
+        self.last_obs = Some(obs);
+        report
+    }
+
+    /// Launches a screen directly by Intent (ParaAim-style activity
+    /// partitioning); the jump is recorded in the trace as an
+    /// action-less observation.
+    pub fn jump_to(&mut self, screen: taopt_ui_model::ScreenId) {
+        let mut obs = self.emulator.jump_to(screen);
+        self.blocklist.read().apply(obs.abstract_id(), &mut obs.hierarchy);
+        self.monitor.record(None, None, &obs);
+        self.distinct_screens = self.emulator.distinct_screens();
+        self.last_obs = Some(obs);
+    }
+
+    /// Runs steps until the device clock reaches `deadline`.
+    pub fn run_until(&mut self, deadline: VirtualTime) -> Vec<StepReport> {
+        let mut reports = Vec::new();
+        while self.emulator.now() < deadline {
+            reports.push(self.step());
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taopt_app_sim::{generate_app, GeneratorConfig};
+    use taopt_tools::ToolKind;
+    use taopt_ui_model::VirtualDuration;
+
+    fn boot(tool: ToolKind, seed: u64) -> InstrumentedInstance {
+        let app = Arc::new(generate_app(&GeneratorConfig::small("inst", 5)).unwrap());
+        InstrumentedInstance::boot(
+            InstanceId(0),
+            DeviceId(0),
+            app,
+            tool.build(seed),
+            seed,
+            VirtualTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn stepping_builds_a_trace_and_advances_time() {
+        let mut inst = boot(ToolKind::Monkey, 1);
+        for _ in 0..50 {
+            inst.step();
+        }
+        assert_eq!(inst.trace().len(), 51, "initial + 50 step events");
+        assert!(inst.now() > VirtualTime::ZERO);
+        assert!(inst.emulator().coverage().count() > 0);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut inst = boot(ToolKind::Ape, 2);
+        let deadline = VirtualTime::ZERO + VirtualDuration::from_mins(2);
+        inst.run_until(deadline);
+        assert!(inst.now() >= deadline);
+        // One action is 1.5 s, so ~80 steps in 2 minutes.
+        let len = inst.trace().len();
+        assert!((60..=120).contains(&len), "trace len {len}");
+    }
+
+    #[test]
+    fn blocking_an_entrypoint_stops_subspace_entry() {
+        use crate::enforce::EntrypointRule;
+        // Boot, find the hub observation and one tab widget.
+        let mut inst = boot(ToolKind::Monkey, 3);
+        let hub_obs = inst.emulator_mut().observe();
+        let hub_abs = hub_obs.abstract_id();
+        // Identify a tab widget rid from the hierarchy.
+        let tab_rid = {
+            let mut rid = None;
+            hub_obs.hierarchy.root().visit(&mut |w| {
+                if rid.is_none() {
+                    if let Some(r) = &w.resource_id {
+                        if r.starts_with("tab_") {
+                            rid = Some(r.clone());
+                        }
+                    }
+                }
+            });
+            rid.expect("hub has tab widgets")
+        };
+        inst.blocklist().write().block(EntrypointRule::new(hub_abs, tab_rid.clone()));
+        // Drive; whenever we are on the hub, the blocked tab must be gone.
+        let mut blocked_seen = 0;
+        for _ in 0..400 {
+            let r = inst.step();
+            blocked_seen += r.widgets_blocked;
+        }
+        assert!(blocked_seen > 0, "enforcement fired at least once");
+        // The tool can never fire the blocked tab: check the trace.
+        let fired = inst
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.action_widget_rid.as_deref() == Some(tab_rid.as_str()));
+        assert!(!fired, "blocked widget must never be actioned");
+    }
+
+    #[test]
+    fn all_three_tools_drive_instances() {
+        for kind in ToolKind::ALL {
+            let mut inst = boot(kind, 9);
+            for _ in 0..30 {
+                inst.step();
+            }
+            assert_eq!(inst.tool_name(), kind.name());
+            assert!(inst.trace().len() > 1);
+        }
+    }
+}

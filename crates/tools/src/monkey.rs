@@ -1,0 +1,145 @@
+//! Monkey — Android's stock random event injector.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use taopt_ui_model::{Action, ScreenObservation};
+
+use crate::tool::TestingTool;
+
+/// Probability that an event lands on dead coordinates (no widget).
+const NOOP_PROB: f64 = 0.25;
+/// Probability of injecting a system Back key event.
+const BACK_PROB: f64 = 0.06;
+
+/// A reimplementation of Android Monkey's UI-event stream.
+///
+/// Monkey injects pseudo-random events "without considering the semantics
+/// of app UIs" (§9). A large share of taps hit nothing interactive
+/// ([`struct@Monkey`] models this with a fixed no-op probability), a few hit
+/// Back, and the rest are distributed uniformly over the visible enabled
+/// widgets.
+#[derive(Debug)]
+pub struct Monkey {
+    rng: StdRng,
+}
+
+impl Monkey {
+    /// Creates a Monkey instance with the given random seed.
+    pub fn new(seed: u64) -> Self {
+        Monkey { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl TestingTool for Monkey {
+    fn name(&self) -> &'static str {
+        "Monkey"
+    }
+
+    fn next_action(&mut self, obs: &ScreenObservation) -> Action {
+        let r: f64 = self.rng.gen();
+        if r < BACK_PROB {
+            return Action::Back;
+        }
+        if r < BACK_PROB + NOOP_PROB {
+            return Action::Noop;
+        }
+        let actions = obs.enabled_actions();
+        match actions.choose(&mut self.rng) {
+            Some((id, _)) => Action::Widget(*id),
+            None => Action::Back,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use taopt_app_sim::{generate_app, GeneratorConfig};
+    use taopt_app_sim::AppRuntime;
+    use taopt_ui_model::VirtualTime;
+
+    fn observation() -> ScreenObservation {
+        let app = Arc::new(generate_app(&GeneratorConfig::small("m", 1)).unwrap());
+        AppRuntime::launch(app, 0).observe(VirtualTime::ZERO)
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let obs = observation();
+        let mut a = Monkey::new(9);
+        let mut b = Monkey::new(9);
+        for _ in 0..50 {
+            assert_eq!(a.next_action(&obs), b.next_action(&obs));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let obs = observation();
+        let mut a = Monkey::new(1);
+        let mut b = Monkey::new(2);
+        let sa: Vec<_> = (0..50).map(|_| a.next_action(&obs)).collect();
+        let sb: Vec<_> = (0..50).map(|_| b.next_action(&obs)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn emits_noops_backs_and_widgets() {
+        let obs = observation();
+        let mut m = Monkey::new(3);
+        let mut counts: HashMap<&'static str, usize> = HashMap::new();
+        for _ in 0..2000 {
+            let k = match m.next_action(&obs) {
+                Action::Noop => "noop",
+                Action::Back => "back",
+                Action::Widget(_) => "widget",
+            };
+            *counts.entry(k).or_default() += 1;
+        }
+        assert!(counts["noop"] > 200, "noops: {:?}", counts);
+        assert!(counts["back"] > 30, "backs: {:?}", counts);
+        assert!(counts["widget"] > 1000, "widgets: {:?}", counts);
+    }
+
+    #[test]
+    fn widget_choice_is_roughly_uniform() {
+        let obs = observation();
+        let n_actions = obs.enabled_actions().len();
+        assert!(n_actions >= 2);
+        let mut m = Monkey::new(5);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let mut widgets = 0;
+        for _ in 0..5000 {
+            if let Action::Widget(id) = m.next_action(&obs) {
+                *counts.entry(id.0).or_default() += 1;
+                widgets += 1;
+            }
+        }
+        let expected = widgets as f64 / n_actions as f64;
+        for (_, c) in counts {
+            assert!(
+                (c as f64) > expected * 0.5 && (c as f64) < expected * 1.5,
+                "count {c} far from uniform expectation {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_screen_falls_back_to_back() {
+        use taopt_ui_model::{ActivityId, ScreenId, UiHierarchy, Widget, WidgetClass};
+        let obs = ScreenObservation::new(
+            ScreenId(0),
+            ActivityId(0),
+            UiHierarchy::new(Widget::container(WidgetClass::FrameLayout)),
+            VirtualTime::ZERO,
+        );
+        let mut m = Monkey::new(0);
+        for _ in 0..100 {
+            assert!(matches!(m.next_action(&obs), Action::Back | Action::Noop));
+        }
+    }
+}

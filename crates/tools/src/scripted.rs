@@ -1,0 +1,227 @@
+//! Scripted test execution — recorded flows replayed by widget identity.
+//!
+//! Industrial pipelines mix generated tests with *scripted* flows: login
+//! scripts (the paper runs one per gated app, §6.1), smoke tests and
+//! regression journeys. [`Scripted`] replays a sequence of steps addressed
+//! by widget resource id — the same tool-agnostic handle TaOPT's
+//! enforcement uses — and degrades to random exploration whenever the
+//! scripted widget is not on screen (or the script is exhausted), so it
+//! composes with TaOPT like any other black-box tool.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use taopt_ui_model::{Action, ScreenObservation};
+
+use crate::tool::TestingTool;
+
+/// One step of a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptStep {
+    /// Fire the affordance on the widget with this resource id.
+    Tap(String),
+    /// Press the system Back key.
+    Back,
+}
+
+impl ScriptStep {
+    /// Convenience constructor for a tap step.
+    pub fn tap(rid: impl Into<String>) -> Self {
+        ScriptStep::Tap(rid.into())
+    }
+}
+
+/// A script-replaying tool with random fallback.
+#[derive(Debug)]
+pub struct Scripted {
+    steps: Vec<ScriptStep>,
+    cursor: usize,
+    /// Consecutive screens on which the pending step was unavailable.
+    misses: u32,
+    rng: StdRng,
+}
+
+/// Give up waiting for a scripted widget after this many misses and skip
+/// the step (real script runners time out similarly).
+const MAX_MISSES: u32 = 8;
+
+impl Scripted {
+    /// Creates a scripted tool.
+    pub fn new(steps: Vec<ScriptStep>, seed: u64) -> Self {
+        Scripted { steps, cursor: 0, misses: 0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Steps already executed (or skipped).
+    pub fn progress(&self) -> usize {
+        self.cursor
+    }
+
+    /// Whether every step has been consumed.
+    pub fn finished(&self) -> bool {
+        self.cursor >= self.steps.len()
+    }
+
+    fn random_fallback(&mut self, obs: &ScreenObservation) -> Action {
+        if self.rng.gen::<f64>() < 0.1 {
+            return Action::Back;
+        }
+        obs.enabled_actions()
+            .choose(&mut self.rng)
+            .map(|(id, _)| Action::Widget(*id))
+            .unwrap_or(Action::Back)
+    }
+}
+
+impl TestingTool for Scripted {
+    fn name(&self) -> &'static str {
+        "Scripted"
+    }
+
+    fn next_action(&mut self, obs: &ScreenObservation) -> Action {
+        loop {
+            match self.steps.get(self.cursor) {
+                None => return self.random_fallback(obs),
+                Some(ScriptStep::Back) => {
+                    self.cursor += 1;
+                    self.misses = 0;
+                    return Action::Back;
+                }
+                Some(ScriptStep::Tap(rid)) => {
+                    // Find an enabled widget with the scripted resource id.
+                    let mut found = None;
+                    obs.hierarchy.root().visit(&mut |w| {
+                        if found.is_none()
+                            && w.enabled
+                            && w.resource_id.as_deref() == Some(rid.as_str())
+                        {
+                            if let Some((id, _)) = w.affordance {
+                                found = Some(id);
+                            }
+                        }
+                    });
+                    match found {
+                        Some(id) => {
+                            self.cursor += 1;
+                            self.misses = 0;
+                            return Action::Widget(id);
+                        }
+                        None => {
+                            self.misses += 1;
+                            if self.misses >= MAX_MISSES {
+                                // Skip the unreachable step and retry with
+                                // the next one immediately.
+                                self.cursor += 1;
+                                self.misses = 0;
+                                continue;
+                            }
+                            return self.random_fallback(obs);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use taopt_app_sim::{AppBuilder, AppRuntime};
+    use taopt_ui_model::VirtualTime;
+
+    /// Home → List → Detail → Bag, scripted by widget ids.
+    fn app_and_script() -> (Arc<taopt_app_sim::App>, Vec<ScriptStep>) {
+        let mut b = AppBuilder::new("script");
+        let f = b.add_functionality("F");
+        let act = b.add_activity();
+        let home = b.add_screen(act, f, "Home");
+        let list = b.add_screen(act, f, "List");
+        let detail = b.add_screen(act, f, "Detail");
+        let bag = b.add_screen(act, f, "Bag");
+        b.add_click(home, list, "open_list", "Open");
+        b.add_click(list, detail, "row_item", "Item");
+        b.add_click(detail, bag, "add_bag", "Add");
+        b.add_click(bag, home, "done", "Done");
+        b.set_start(home);
+        (
+            Arc::new(b.build().unwrap()),
+            vec![
+                ScriptStep::tap("open_list"),
+                ScriptStep::tap("row_item"),
+                ScriptStep::tap("add_bag"),
+                ScriptStep::Back,
+            ],
+        )
+    }
+
+    #[test]
+    fn replays_the_flow_exactly() {
+        let (app, script) = app_and_script();
+        let mut rt = AppRuntime::launch(Arc::clone(&app), 1);
+        let mut tool = Scripted::new(script, 1);
+        let mut visited = Vec::new();
+        for i in 0..4 {
+            let obs = rt.observe(VirtualTime::from_secs(i));
+            let a = tool.next_action(&obs);
+            let out = rt.execute(a, VirtualTime::from_secs(i + 1)).unwrap();
+            visited.push(app.screen(out.observation.screen).unwrap().name.clone());
+        }
+        assert!(tool.finished());
+        assert_eq!(visited, vec!["List", "Detail", "Bag", "Detail"]);
+    }
+
+    #[test]
+    fn skips_unreachable_steps_after_misses() {
+        let (app, _) = app_and_script();
+        let mut rt = AppRuntime::launch(app, 2);
+        let mut tool = Scripted::new(
+            vec![ScriptStep::tap("no_such_widget"), ScriptStep::tap("open_list")],
+            2,
+        );
+        let mut reached_list = false;
+        for i in 0..40 {
+            let obs = rt.observe(VirtualTime::from_secs(i));
+            let a = tool.next_action(&obs);
+            rt.execute(a, VirtualTime::from_secs(i + 1)).unwrap();
+            if tool.progress() >= 2 {
+                reached_list = true;
+                break;
+            }
+        }
+        assert!(reached_list, "script should skip the dead step and continue");
+    }
+
+    #[test]
+    fn falls_back_to_exploration_when_done() {
+        let (app, script) = app_and_script();
+        let mut rt = AppRuntime::launch(app, 3);
+        let mut tool = Scripted::new(script, 3);
+        for i in 0..60 {
+            let obs = rt.observe(VirtualTime::from_secs(i));
+            let a = tool.next_action(&obs);
+            rt.execute(a, VirtualTime::from_secs(i + 1)).unwrap();
+        }
+        assert!(tool.finished());
+        // Exploration continued after the script: several screens visited.
+        assert!(rt.visited_screens().len() >= 3);
+    }
+
+    #[test]
+    fn scripted_widgets_blocked_by_enforcement_are_skipped() {
+        let (app, script) = app_and_script();
+        let mut rt = AppRuntime::launch(app, 4);
+        let mut tool = Scripted::new(script, 4);
+        for i in 0..30 {
+            let mut obs = rt.observe(VirtualTime::from_secs(i));
+            // Enforcement disables the scripted widget everywhere.
+            obs.hierarchy.disable_by_resource_id("open_list");
+            let a = tool.next_action(&obs);
+            rt.execute(a, VirtualTime::from_secs(i + 1)).unwrap();
+        }
+        // The first step was never executable; the tool skipped past it
+        // rather than stalling forever.
+        assert!(tool.progress() >= 1);
+    }
+}

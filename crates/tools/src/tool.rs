@@ -1,0 +1,103 @@
+//! The tool abstraction.
+
+use std::fmt;
+
+use taopt_ui_model::{AbstractScreenId, Action, ScreenObservation};
+
+use crate::ape::Ape;
+use crate::badge::Badge;
+use crate::monkey::Monkey;
+use crate::wctester::WcTester;
+
+/// An automated UI test-generation tool, as a black box.
+///
+/// The contract mirrors how real tools interact with a device: observe the
+/// current (possibly enforcement-filtered) screen, emit one input event,
+/// optionally learn from the resulting transition. TaOPT never calls into
+/// this trait — it only watches the transitions the tool causes.
+pub trait TestingTool: fmt::Debug + Send {
+    /// Tool name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the next input given the current screen.
+    fn next_action(&mut self, obs: &ScreenObservation) -> Action;
+
+    /// Feedback after executing an action: the abstract state it was fired
+    /// in and the observation that resulted. Model-based tools learn from
+    /// this; random tools ignore it.
+    fn on_transition(&mut self, from: AbstractScreenId, action: Action, to: &ScreenObservation) {
+        let _ = (from, action, to);
+    }
+
+    /// Notification that the app crashed and was restarted.
+    fn on_crash(&mut self) {}
+}
+
+/// The tools available to the harness. The paper evaluates the first
+/// three; [`ToolKind::Badge`] is an extension demonstrating generality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ToolKind {
+    /// Android Monkey (random).
+    Monkey,
+    /// Ape (model-based).
+    Ape,
+    /// WCTester (activity-transition prioritizing).
+    WcTester,
+    /// Badge (bandit-prioritized; extension, not in the paper's matrix).
+    Badge,
+}
+
+impl ToolKind {
+    /// The paper's three tools, in its reporting order.
+    pub const ALL: [ToolKind; 3] = [ToolKind::Monkey, ToolKind::Ape, ToolKind::WcTester];
+
+    /// All tools including extensions.
+    pub const EXTENDED: [ToolKind; 4] =
+        [ToolKind::Monkey, ToolKind::Ape, ToolKind::WcTester, ToolKind::Badge];
+
+    /// Short display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ToolKind::Monkey => "Monkey",
+            ToolKind::Ape => "Ape",
+            ToolKind::WcTester => "WCTester",
+            ToolKind::Badge => "Badge",
+        }
+    }
+
+    /// Instantiates the tool with a per-instance random seed.
+    pub fn build(&self, seed: u64) -> Box<dyn TestingTool> {
+        match self {
+            ToolKind::Monkey => Box::new(Monkey::new(seed)),
+            ToolKind::Ape => Box::new(Ape::new(seed)),
+            ToolKind::WcTester => Box::new(WcTester::new(seed)),
+            ToolKind::Badge => Box::new(Badge::new(seed)),
+        }
+    }
+}
+
+impl fmt::Display for ToolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_the_named_tool() {
+        for kind in ToolKind::EXTENDED {
+            let tool = kind.build(1);
+            assert_eq!(tool.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let tool: Box<dyn TestingTool> = ToolKind::Monkey.build(0);
+        assert_send(&tool);
+    }
+}

@@ -1,0 +1,118 @@
+//! UI actions — the inputs a testing tool can inject.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an interactive affordance on a screen.
+///
+/// An `ActionId` names one (widget, gesture) pair defined by the app under
+/// test; firing it may move the app to another screen according to the
+/// stochastic transition graph. Ids are unique *within an app*.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ActionId(pub u32);
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// The gesture class of an action, mirroring the event types real tools
+/// inject (Monkey events, UiAutomator interactions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ActionKind {
+    /// A tap on a clickable widget.
+    Click,
+    /// A long press.
+    LongClick,
+    /// A scroll or fling on a scrollable container.
+    Scroll,
+    /// Typing text into an editable field.
+    SetText,
+    /// A horizontal swipe (e.g. view-pager page change).
+    Swipe,
+}
+
+impl fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActionKind::Click => "click",
+            ActionKind::LongClick => "long-click",
+            ActionKind::Scroll => "scroll",
+            ActionKind::SetText => "set-text",
+            ActionKind::Swipe => "swipe",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One input injected by a testing tool.
+///
+/// `Widget` actions address an enabled affordance visible on the current
+/// screen; `Back` is the global Android Back key (always available);
+/// `Noop` models events that hit nothing (e.g. Monkey taps on dead
+/// coordinates) and merely consume time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Interact with the widget owning this action id.
+    Widget(ActionId),
+    /// Press the system Back key.
+    Back,
+    /// An input that hit no interactive element.
+    Noop,
+}
+
+impl Action {
+    /// The action id, if this is a widget interaction.
+    pub fn widget_id(&self) -> Option<ActionId> {
+        match self {
+            Action::Widget(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Whether this input can change the UI state.
+    pub fn is_effective(&self) -> bool {
+        !matches!(self, Action::Noop)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Widget(id) => write!(f, "widget({id})"),
+            Action::Back => f.write_str("back"),
+            Action::Noop => f.write_str("noop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widget_id_extraction() {
+        assert_eq!(Action::Widget(ActionId(7)).widget_id(), Some(ActionId(7)));
+        assert_eq!(Action::Back.widget_id(), None);
+        assert_eq!(Action::Noop.widget_id(), None);
+    }
+
+    #[test]
+    fn effectiveness() {
+        assert!(Action::Widget(ActionId(0)).is_effective());
+        assert!(Action::Back.is_effective());
+        assert!(!Action::Noop.is_effective());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Action::Widget(ActionId(3)).to_string(), "widget(a3)");
+        assert_eq!(Action::Back.to_string(), "back");
+        assert_eq!(ActionKind::LongClick.to_string(), "long-click");
+    }
+}

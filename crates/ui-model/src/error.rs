@@ -1,0 +1,62 @@
+//! Error types for the UI substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::action::ActionId;
+use crate::screen::ScreenId;
+
+/// Errors produced while manipulating UI-model values.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum UiModelError {
+    /// An action id was referenced that does not exist on the screen.
+    UnknownAction(ActionId),
+    /// A screen id was referenced that does not exist in the graph.
+    UnknownScreen(ScreenId),
+    /// A probability was outside `[0, 1]` or a distribution did not sum to 1.
+    InvalidProbability(f64),
+    /// A trace operation needed a non-empty trace.
+    EmptyTrace,
+}
+
+impl fmt::Display for UiModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UiModelError::UnknownAction(id) => write!(f, "unknown action id {id}"),
+            UiModelError::UnknownScreen(id) => write!(f, "unknown screen id {id}"),
+            UiModelError::InvalidProbability(p) => {
+                write!(f, "invalid probability {p}: must lie in [0, 1]")
+            }
+            UiModelError::EmptyTrace => write!(f, "operation requires a non-empty trace"),
+        }
+    }
+}
+
+impl Error for UiModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            UiModelError::UnknownAction(ActionId(3)),
+            UiModelError::UnknownScreen(ScreenId(9)),
+            UiModelError::InvalidProbability(1.5),
+            UiModelError::EmptyTrace,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UiModelError>();
+    }
+}

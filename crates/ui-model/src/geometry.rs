@@ -1,0 +1,92 @@
+//! Screen geometry for widgets.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangle in screen coordinates, matching the Android
+/// `[left, top][right, bottom]` bounds notation of UI hierarchy dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Bounds {
+    /// Left edge in pixels.
+    pub left: i32,
+    /// Top edge in pixels.
+    pub top: i32,
+    /// Right edge in pixels.
+    pub right: i32,
+    /// Bottom edge in pixels.
+    pub bottom: i32,
+}
+
+impl Bounds {
+    /// Creates bounds from the four edges.
+    pub const fn new(left: i32, top: i32, right: i32, bottom: i32) -> Self {
+        Bounds { left, top, right, bottom }
+    }
+
+    /// Width of the rectangle (zero if degenerate).
+    pub fn width(&self) -> i32 {
+        (self.right - self.left).max(0)
+    }
+
+    /// Height of the rectangle (zero if degenerate).
+    pub fn height(&self) -> i32 {
+        (self.bottom - self.top).max(0)
+    }
+
+    /// Area in square pixels.
+    pub fn area(&self) -> i64 {
+        self.width() as i64 * self.height() as i64
+    }
+
+    /// Whether the point `(x, y)` falls inside (edges inclusive on
+    /// left/top, exclusive on right/bottom, as on Android).
+    pub fn contains(&self, x: i32, y: i32) -> bool {
+        x >= self.left && x < self.right && y >= self.top && y < self.bottom
+    }
+
+    /// The center point of the rectangle.
+    pub fn center(&self) -> (i32, i32) {
+        (self.left + self.width() / 2, self.top + self.height() / 2)
+    }
+}
+
+impl std::fmt::Display for Bounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{},{}][{},{}]", self.left, self.top, self.right, self.bottom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions() {
+        let b = Bounds::new(10, 20, 110, 220);
+        assert_eq!(b.width(), 100);
+        assert_eq!(b.height(), 200);
+        assert_eq!(b.area(), 20_000);
+        assert_eq!(b.center(), (60, 120));
+    }
+
+    #[test]
+    fn degenerate_bounds_have_zero_size() {
+        let b = Bounds::new(50, 50, 10, 10);
+        assert_eq!(b.width(), 0);
+        assert_eq!(b.height(), 0);
+        assert_eq!(b.area(), 0);
+    }
+
+    #[test]
+    fn containment_edges() {
+        let b = Bounds::new(0, 0, 10, 10);
+        assert!(b.contains(0, 0));
+        assert!(b.contains(9, 9));
+        assert!(!b.contains(10, 10));
+        assert!(!b.contains(-1, 5));
+    }
+
+    #[test]
+    fn display_matches_android_notation() {
+        assert_eq!(Bounds::new(1, 2, 3, 4).to_string(), "[1,2][3,4]");
+    }
+}

@@ -1,0 +1,219 @@
+//! Stochastic directed graphs — the paper's `G = (V, E, P)` model.
+//!
+//! Section 4.1 models automated UI testing as a random walk on a stochastic
+//! directed graph whose vertices are UI states and whose edge weights are
+//! the probability that the *testing tool* selects the triggering action.
+//! This module provides the graph container and the volume/conductance
+//! primitives from Equation (2); the MC-GPP optimization itself lives in
+//! the `taopt` core crate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::UiModelError;
+
+/// A weighted directed graph with probability-like edge weights.
+///
+/// Nodes are opaque `u64` keys (abstract screen ids in the UI setting, but
+/// any event-driven state space works, per the paper's §7 generalization).
+/// Parallel edges are merged by summing weights.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StochasticDigraph {
+    edges: BTreeMap<u64, BTreeMap<u64, f64>>,
+    nodes: BTreeSet<u64>,
+}
+
+impl StochasticDigraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a node without edges.
+    pub fn add_node(&mut self, node: u64) {
+        self.nodes.insert(node);
+    }
+
+    /// Adds `weight` to the edge `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UiModelError::InvalidProbability`] if `weight` is negative
+    /// or not finite.
+    pub fn add_edge(&mut self, from: u64, to: u64, weight: f64) -> Result<(), UiModelError> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(UiModelError::InvalidProbability(weight));
+        }
+        self.nodes.insert(from);
+        self.nodes.insert(to);
+        *self.edges.entry(from).or_default().entry(to).or_insert(0.0) += weight;
+        Ok(())
+    }
+
+    /// The weight of the edge `from → to` (0.0 if absent).
+    pub fn weight(&self, from: u64, to: u64) -> f64 {
+        self.edges.get(&from).and_then(|m| m.get(&to)).copied().unwrap_or(0.0)
+    }
+
+    /// Iterator over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges with nonzero weight.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|m| m.values().filter(|w| **w > 0.0).count()).sum()
+    }
+
+    /// Iterator over `(from, to, weight)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (u64, u64, f64)> + '_ {
+        self.edges
+            .iter()
+            .flat_map(|(f, m)| m.iter().map(move |(t, w)| (*f, *t, *w)))
+    }
+
+    /// Out-neighbours of a node with weights.
+    pub fn out_edges(&self, from: u64) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.edges.get(&from).into_iter().flat_map(|m| m.iter().map(|(t, w)| (*t, *w)))
+    }
+
+    /// Total weight of edges crossing from `a` into `b`:
+    /// `Σ_{i∈a, j∈b} p(i, j)`.
+    pub fn cut_weight(&self, a: &BTreeSet<u64>, b: &BTreeSet<u64>) -> f64 {
+        a.iter()
+            .filter_map(|i| self.edges.get(i))
+            .map(|m| m.iter().filter(|(t, _)| b.contains(t)).map(|(_, w)| w).sum::<f64>())
+            .sum()
+    }
+
+    /// The paper's subgraph volume (Eq. 2):
+    /// `vol(Gx) = Σ_{i∈Gx, j∉Gx} (p(j,i) − p(i,j)) + 2·Σ_{i,j∈Gx} p(i,j)`.
+    pub fn volume(&self, subset: &BTreeSet<u64>) -> f64 {
+        let mut boundary = 0.0;
+        let mut internal = 0.0;
+        for (from, to, w) in self.edges() {
+            let fi = subset.contains(&from);
+            let ti = subset.contains(&to);
+            match (fi, ti) {
+                (true, true) => internal += w,
+                (true, false) => boundary -= w,
+                (false, true) => boundary += w,
+                (false, false) => {}
+            }
+        }
+        boundary + 2.0 * internal
+    }
+
+    /// Normalizes every node's outgoing weights to sum to 1 (nodes with no
+    /// outgoing edges are left untouched), yielding a transition function.
+    pub fn normalized(&self) -> StochasticDigraph {
+        let mut out = StochasticDigraph::new();
+        for n in &self.nodes {
+            out.add_node(*n);
+        }
+        for (from, m) in &self.edges {
+            let total: f64 = m.values().sum();
+            if total > 0.0 {
+                for (to, w) in m {
+                    out.edges
+                        .entry(*from)
+                        .or_default()
+                        .insert(*to, w / total);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the empirical transition graph of a node sequence: each
+    /// consecutive pair contributes unit weight.
+    pub fn from_walk(walk: &[u64]) -> StochasticDigraph {
+        let mut g = StochasticDigraph::new();
+        for w in walk.windows(2) {
+            g.add_edge(w[0], w[1], 1.0).expect("unit weight is valid");
+        }
+        if let [only] = walk {
+            g.add_node(*only);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u64]) -> BTreeSet<u64> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn add_edge_merges_parallel_edges() {
+        let mut g = StochasticDigraph::new();
+        g.add_edge(1, 2, 0.25).unwrap();
+        g.add_edge(1, 2, 0.25).unwrap();
+        assert_eq!(g.weight(1, 2), 0.5);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn negative_weight_is_rejected() {
+        let mut g = StochasticDigraph::new();
+        assert_eq!(
+            g.add_edge(1, 2, -0.1),
+            Err(UiModelError::InvalidProbability(-0.1))
+        );
+        assert!(g.add_edge(1, 2, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cut_weight_is_directional() {
+        let mut g = StochasticDigraph::new();
+        g.add_edge(1, 2, 0.7).unwrap();
+        g.add_edge(2, 1, 0.1).unwrap();
+        assert_eq!(g.cut_weight(&set(&[1]), &set(&[2])), 0.7);
+        assert_eq!(g.cut_weight(&set(&[2]), &set(&[1])), 0.1);
+    }
+
+    #[test]
+    fn volume_matches_paper_formula() {
+        // Two internal nodes {1,2} with edges 1->2 (0.5), plus boundary:
+        // 3->1 in (0.2), 2->3 out (0.3).
+        let mut g = StochasticDigraph::new();
+        g.add_edge(1, 2, 0.5).unwrap();
+        g.add_edge(3, 1, 0.2).unwrap();
+        g.add_edge(2, 3, 0.3).unwrap();
+        let vol = g.volume(&set(&[1, 2]));
+        // boundary = +0.2 (in) - 0.3 (out) = -0.1; internal = 0.5.
+        assert!((vol - (-0.1 + 2.0 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_rows_sum_to_one() {
+        let mut g = StochasticDigraph::new();
+        g.add_edge(1, 2, 3.0).unwrap();
+        g.add_edge(1, 3, 1.0).unwrap();
+        let n = g.normalized();
+        let total: f64 = n.out_edges(1).map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((n.weight(1, 2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_walk_counts_transitions() {
+        let g = StochasticDigraph::from_walk(&[1, 2, 1, 2, 3]);
+        assert_eq!(g.weight(1, 2), 2.0);
+        assert_eq!(g.weight(2, 1), 1.0);
+        assert_eq!(g.weight(2, 3), 1.0);
+        let single = StochasticDigraph::from_walk(&[9]);
+        assert_eq!(single.node_count(), 1);
+        assert_eq!(single.edge_count(), 0);
+    }
+}

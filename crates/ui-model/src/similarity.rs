@@ -1,0 +1,140 @@
+//! Tree similarity between abstracted UI hierarchies.
+//!
+//! Algorithm 1's `CountIn(s, S[p:N])` "calculates the tree similarity of the
+//! two abstracted UI hierarchies to determine the times of the appearances
+//! of `s`" (§5.2, citing the VET tree-similarity measure). We implement the
+//! standard multiset Dice coefficient over `(depth, class, resource-id)`
+//! node signatures: cheap, symmetric, bounded in `[0, 1]`, and `1` exactly
+//! for structurally identical screens.
+
+use crate::abstraction::AbstractHierarchy;
+
+/// Default similarity above which two abstract screens count as "the same
+/// screen" in trace analysis.
+pub const DEFAULT_SIMILARITY_THRESHOLD: f64 = 0.9;
+
+/// Computes the tree similarity of two abstracted hierarchies in `[0, 1]`.
+///
+/// The measure is the Dice coefficient `2·|A ∩ B| / (|A| + |B|)` of the
+/// multisets of node signatures. It is symmetric, reflexive (identical
+/// trees score 1.0), and 0.0 for trees sharing no node signature.
+///
+/// # Examples
+///
+/// ```
+/// use taopt_ui_model::{UiHierarchy, Widget, WidgetClass};
+/// use taopt_ui_model::abstraction::abstract_hierarchy;
+/// use taopt_ui_model::similarity::tree_similarity;
+///
+/// let a = abstract_hierarchy(&UiHierarchy::new(Widget::container(WidgetClass::LinearLayout)));
+/// assert_eq!(tree_similarity(&a, &a), 1.0);
+/// ```
+pub fn tree_similarity(a: &AbstractHierarchy, b: &AbstractHierarchy) -> f64 {
+    // Fast path: identical abstractions.
+    if a.id() == b.id() {
+        return 1.0;
+    }
+    let (sa, sb) = (a.signatures(), b.signatures());
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    // Sorted-multiset intersection size.
+    let mut i = 0;
+    let mut j = 0;
+    let mut common = 0usize;
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    2.0 * common as f64 / (sa.len() + sb.len()) as f64
+}
+
+/// The paper's `CountIn(s, window)`: how many screens in `window` are
+/// tree-similar to `s` at or above `threshold`.
+pub fn count_in(
+    s: &AbstractHierarchy,
+    window: impl IntoIterator<Item = impl AsRef<AbstractHierarchy>>,
+    threshold: f64,
+) -> usize {
+    window
+        .into_iter()
+        .filter(|x| tree_similarity(s, x.as_ref()) >= threshold)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::abstract_hierarchy;
+    use crate::hierarchy::UiHierarchy;
+    use crate::widget::{Widget, WidgetClass};
+
+    fn screen(rows: usize, rid: &str) -> AbstractHierarchy {
+        let mut root = Widget::container(WidgetClass::LinearLayout);
+        for i in 0..rows {
+            root = root.with_child(Widget::text_view(&format!("{rid}_{i}"), "txt"));
+        }
+        abstract_hierarchy(&UiHierarchy::new(root))
+    }
+
+    #[test]
+    fn identical_trees_score_one() {
+        let a = screen(4, "row");
+        let b = screen(4, "row");
+        assert_eq!(tree_similarity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_resource_ids_score_low() {
+        let a = screen(4, "shop");
+        let b = screen(4, "acct");
+        // Roots share a signature; rows do not.
+        let s = tree_similarity(&a, &b);
+        assert!(s < 0.5, "similarity {s} should be low");
+        assert!(s > 0.0, "roots still match");
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let a = screen(3, "x");
+        let b = screen(7, "x");
+        let ab = tree_similarity(&a, &b);
+        let ba = tree_similarity(&b, &a);
+        assert_eq!(ab, ba);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn near_duplicate_screens_score_high() {
+        // Same rows, one extra banner: e.g. a list screen after scrolling.
+        let a = screen(10, "item");
+        let b = {
+            let mut root = Widget::container(WidgetClass::LinearLayout);
+            for i in 0..10 {
+                root = root.with_child(Widget::text_view(&format!("item_{i}"), "other"));
+            }
+            root = root.with_child(Widget::leaf(WidgetClass::ImageView, "ad"));
+            abstract_hierarchy(&UiHierarchy::new(root))
+        };
+        assert!(tree_similarity(&a, &b) > 0.9);
+    }
+
+    #[test]
+    fn count_in_respects_threshold() {
+        let probe = screen(4, "shop");
+        let window = [
+            std::sync::Arc::new(screen(4, "shop")),
+            std::sync::Arc::new(screen(4, "acct")),
+            std::sync::Arc::new(screen(4, "shop")),
+        ];
+        assert_eq!(count_in(&probe, window.iter().cloned(), 0.9), 2);
+        assert_eq!(count_in(&probe, window.iter().cloned(), 0.01), 3);
+    }
+}

@@ -1,0 +1,219 @@
+//! Virtual time for the simulated testing cloud.
+//!
+//! All durations in the paper (the 1-hour test budget `l_p`, the 5-minute and
+//! 1-minute `l_min` thresholds, the 1-minute stall timeout) are expressed in
+//! wall-clock time on real devices. The simulation replaces wall-clock time
+//! with a discrete virtual clock in milliseconds so experiments are fast and
+//! perfectly reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, measured in milliseconds from session start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtualTime(u64);
+
+/// A span of virtual time in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtualDuration(u64);
+
+impl VirtualTime {
+    /// The session origin (t = 0).
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Creates a time from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtualTime(ms)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        VirtualTime(secs * 1000)
+    }
+
+    /// Raw milliseconds since session start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since session start (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: VirtualTime) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl VirtualDuration {
+    /// The empty duration.
+    pub const ZERO: VirtualDuration = VirtualDuration(0);
+
+    /// Creates a duration from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtualDuration(ms)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        VirtualDuration(secs * 1000)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        VirtualDuration(mins * 60 * 1000)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        VirtualDuration(hours * 60 * 60 * 1000)
+    }
+
+    /// Raw milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// This duration as a fraction of `total` (1.0 when equal).
+    ///
+    /// Returns 0.0 when `total` is zero.
+    pub fn fraction_of(self, total: VirtualDuration) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total.0 as f64
+        }
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<VirtualDuration> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: VirtualDuration) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<VirtualDuration> for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = VirtualDuration;
+    fn sub(self, rhs: VirtualTime) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for VirtualDuration {
+    type Output = VirtualDuration;
+    fn add(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VirtualDuration {
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VirtualDuration {
+    type Output = VirtualDuration;
+    fn sub(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    fn mul(self, rhs: u64) -> VirtualDuration {
+        VirtualDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    fn div(self, rhs: u64) -> VirtualDuration {
+        VirtualDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}s", self.as_secs())
+    }
+}
+
+impl fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.as_secs();
+        if secs >= 3600 {
+            write!(f, "{:.2}h", secs as f64 / 3600.0)
+        } else if secs >= 60 {
+            write!(f, "{:.1}m", secs as f64 / 60.0)
+        } else {
+            write!(f, "{secs}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = VirtualTime::ZERO + VirtualDuration::from_secs(90);
+        assert_eq!(t.as_secs(), 90);
+        assert_eq!(t.since(VirtualTime::from_secs(30)), VirtualDuration::from_secs(60));
+        assert_eq!(t - VirtualTime::from_secs(100), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(VirtualDuration::from_hours(1), VirtualDuration::from_mins(60));
+        assert_eq!(VirtualDuration::from_mins(1), VirtualDuration::from_secs(60));
+        assert_eq!(VirtualDuration::from_secs(1), VirtualDuration::from_millis(1000));
+    }
+
+    #[test]
+    fn fraction_of_handles_zero_total() {
+        assert_eq!(VirtualDuration::from_secs(5).fraction_of(VirtualDuration::ZERO), 0.0);
+        let half = VirtualDuration::from_secs(30).fraction_of(VirtualDuration::from_secs(60));
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VirtualDuration::from_secs(42).to_string(), "42s");
+        assert_eq!(VirtualDuration::from_mins(5).to_string(), "5.0m");
+        assert_eq!(VirtualDuration::from_hours(2).to_string(), "2.00h");
+        assert_eq!(VirtualTime::from_secs(7).to_string(), "t+7s");
+    }
+
+    #[test]
+    fn scalar_ops() {
+        assert_eq!(VirtualDuration::from_secs(10) * 6, VirtualDuration::from_mins(1));
+        assert_eq!(VirtualDuration::from_mins(1) / 60, VirtualDuration::from_secs(1));
+    }
+}

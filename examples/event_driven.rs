@@ -1,0 +1,145 @@
+//! Beyond GUI testing (paper §7): the subspace machinery on a generic
+//! event-driven system. The paper argues the approach "can be adapted to
+//! any event-driven system where the program state space can be
+//! partitioned based on event transitions — examples include network
+//! protocols and distributed systems".
+//!
+//! Here the "app" is a toy network protocol whose state space has two
+//! loosely coupled regions (connection management vs. data transfer,
+//! bridged only by the established state). We walk it, feed the event
+//! trace to `FindSpace` and the offline partitioner, and recover the two
+//! regions.
+//!
+//! ```sh
+//! cargo run --release --example event_driven
+//! ```
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use taopt::findspace::{find_space, FindSpaceConfig};
+use taopt::partition::{partition_traces, PartitionConfig};
+use taopt_ui_model::abstraction::{AbstractHierarchy, AbstractNode};
+use taopt_ui_model::{
+    Action, ActionId, ActivityId, ScreenId, Trace, TraceEvent, VirtualDuration, VirtualTime,
+    WidgetClass,
+};
+
+/// Protocol states: 0-4 connection management, 5-9 data transfer.
+const STATES: [&str; 10] = [
+    "CLOSED", "SYN_SENT", "SYN_RCVD", "FIN_WAIT", "TIME_WAIT", // connection region
+    "ESTABLISHED", "SENDING", "RECEIVING", "ACK_WAIT", "RETRANSMIT", // transfer region
+];
+
+/// Each protocol state is encoded as a one-node "screen" whose resource id
+/// is the state name — the analyzer only ever sees abstract identities, so
+/// any state space fits.
+fn state_event(t: u64, state: usize, via: Option<&str>) -> TraceEvent {
+    let abstraction = Arc::new(AbstractHierarchy::from_root(AbstractNode {
+        class: WidgetClass::FrameLayout,
+        resource_id: Some(STATES[state].to_owned()),
+        children: Vec::new(),
+    }));
+    TraceEvent {
+        time: VirtualTime::from_secs(t),
+        screen: ScreenId(state as u32),
+        activity: ActivityId(if state < 5 { 0 } else { 1 }),
+        abstract_id: abstraction.id(),
+        abstraction,
+        action: via.map(|_| Action::Widget(ActionId(state as u32))),
+        action_widget_rid: via.map(str::to_owned),
+    }
+}
+
+/// Random walk: dense transitions inside each region, a rare bridge
+/// between CLOSED-side and ESTABLISHED-side.
+fn protocol_walk(steps: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = 0usize;
+    let mut trace = Trace::new();
+    trace.push(state_event(0, 0, None));
+    for i in 1..steps {
+        let in_transfer = state >= 5;
+        // Handshakes happen occasionally; teardown is rare (the paper's
+        // one-way loose coupling: easy to enter, hard to leave).
+        let cross = rng.gen::<f64>() < if in_transfer { 0.0001 } else { 0.006 };
+        let (next, via) = if cross {
+            if in_transfer {
+                (rng.gen_range(0..5), "event_teardown")
+            } else {
+                (5, "event_handshake_done")
+            }
+        } else if in_transfer {
+            (5 + rng.gen_range(0..5), "event_segment")
+        } else {
+            (rng.gen_range(0..5), "event_control")
+        };
+        state = next;
+        trace.push(state_event(i as u64 * 2, state, Some(via)));
+    }
+    trace
+}
+
+fn main() {
+    let trace = protocol_walk(600, 11);
+    let transfer = trace.events().iter().filter(|e| e.screen.0 >= 5).count();
+    let first_transfer = trace.events().iter().position(|e| e.screen.0 >= 5);
+    let last_conn = trace.events().iter().rposition(|e| e.screen.0 < 5);
+    println!(
+        "protocol walk: {} events over {} states ({} in the transfer region, first at {:?}, last connection at {:?})",
+        trace.len(),
+        STATES.len(),
+        transfer,
+        first_transfer,
+        last_conn
+    );
+
+    // Online: does FindSpace see the handshake as a subspace boundary?
+    let cfg = FindSpaceConfig {
+        l_min: VirtualDuration::from_secs(60),
+        min_prefix_events: 8,
+        min_prefix_distinct: 2,
+        ..FindSpaceConfig::default()
+    };
+    match find_space(trace.events(), &cfg) {
+        Some(split) => {
+            let e = &trace.events()[split.index];
+            println!(
+                "FindSpace: boundary at event {} (score {:.2}) — entered via {:?}",
+                split.index, split.score, e.action_widget_rid
+            );
+        }
+        None => println!("FindSpace: no loosely coupled boundary in this walk"),
+    }
+
+    // Offline (trace segmentation): recover the regions from the trace.
+    let clusters = partition_traces(&[&trace], &PartitionConfig::default());
+    println!("\noffline trace partition found {} region(s):", clusters.len());
+    let name_of = |id: &taopt_ui_model::AbstractScreenId| {
+        (0..STATES.len())
+            .map(|s| state_event(0, s, None))
+            .find(|e| e.abstract_id == *id)
+            .map(|e| STATES[e.screen.0 as usize])
+            .unwrap_or("?")
+    };
+    for (i, c) in clusters.iter().enumerate() {
+        let names: Vec<&str> = c.iter().map(name_of).collect();
+        println!("  region {i}: {names:?}");
+    }
+
+    // Offline (graph clustering): the same regions from the empirical
+    // transition graph and the min-conductance agglomerator.
+    use taopt::partition::partition_graph;
+    let g = trace.transition_graph();
+    let graph_clusters = partition_graph(&g, &PartitionConfig::default());
+    println!("\ngraph partition found {} region(s):", graph_clusters.len());
+    for (i, c) in graph_clusters.iter().enumerate() {
+        let names: Vec<&str> = c
+            .iter()
+            .map(|n| name_of(&taopt_ui_model::AbstractScreenId(*n)))
+            .collect();
+        println!("  region {i}: {names:?}");
+    }
+}

@@ -1,0 +1,137 @@
+//! The paper's motivating example (§2) as a hand-built app: an online
+//! shopping app whose *Shopping* and *Account Settings* functionalities
+//! are loosely coupled, connected only through the main tab bar.
+//!
+//! The example shows the entire TaOPT mechanism end to end on a space
+//! small enough to read: the trace analyzer discovers the two subspaces,
+//! the coordinator dedicates each to one device, and the tab button
+//! "leading to SearchTabsActivity" is disabled on the other device —
+//! exactly the paper's Figure 2 narrative.
+//!
+//! ```sh
+//! cargo run --release --example shopping_session
+//! ```
+
+use std::sync::Arc;
+
+use taopt::session::{ParallelSession, RunMode, SessionConfig};
+use taopt_app_sim::{App, AppBuilder};
+use taopt_tools::ToolKind;
+use taopt_ui_model::{ActionKind, VirtualDuration};
+
+/// Builds the Figure-2 app: MainTabs, a shopping cluster
+/// (SearchTabs → SelectList → GoodsDetail → ShopBag/WishList) and an
+/// account cluster (UserServiceList → Setting/Profile).
+fn shopping_app() -> App {
+    let mut b = AppBuilder::new("FigTwoShop");
+    let main_f = b.add_functionality("Main");
+    let shop_f = b.add_functionality("Shopping");
+    let acct_f = b.add_functionality("AccountSettings");
+
+    // Activities deliberately interleave the clusters (the paper's point
+    // about why activity-granularity partitioning fails).
+    let act_main = b.add_activity();
+    let act_tabs = b.add_activity();
+    let act_detail = b.add_activity();
+    let act_settings = b.add_activity();
+
+    let main_tabs = b.add_screen(act_main, main_f, "MainTabs");
+    b.mark_entry(main_tabs);
+
+    // Shopping cluster.
+    let search_tabs = b.add_screen(act_tabs, shop_f, "SearchTabs");
+    b.mark_entry(search_tabs);
+    let select_list = b.add_screen(act_tabs, shop_f, "SelectList");
+    let goods_detail = b.add_screen(act_detail, shop_f, "GoodsDetail");
+    let shop_bag = b.add_screen(act_detail, shop_f, "ShopBag");
+    let wish_list = b.add_screen(act_detail, shop_f, "WishList");
+
+    // Account cluster.
+    let user_services = b.add_screen(act_settings, acct_f, "UserServiceList");
+    b.mark_entry(user_services);
+    let setting = b.add_screen(act_settings, acct_f, "Setting");
+    let profile = b.add_screen(act_main, acct_f, "Profile");
+
+    // Hub tabs: the loose-coupling boundary.
+    b.add_click(main_tabs, search_tabs, "tab_search", "Shop");
+    b.add_click(main_tabs, user_services, "tab_account", "Account");
+
+    // Dense intra-cluster transitions (shopping).
+    b.add_click(search_tabs, select_list, "btn_browse", "Browse");
+    b.add_click(select_list, goods_detail, "item_row", "Red shoes");
+    b.add_click(goods_detail, shop_bag, "btn_add_bag", "Add to bag");
+    b.add_click(goods_detail, wish_list, "btn_wish", "Wish");
+    b.add_click(shop_bag, select_list, "btn_continue", "Keep shopping");
+    b.add_click(wish_list, goods_detail, "wish_item", "Open wish");
+    b.add_click(search_tabs, main_tabs, "shop_home", "Home");
+    b.add_action(select_list, ActionKind::Scroll, "shop_list", "", Vec::new());
+
+    // Dense intra-cluster transitions (account).
+    b.add_click(user_services, setting, "row_settings", "Settings");
+    b.add_click(user_services, profile, "row_profile", "Profile");
+    b.add_click(setting, profile, "btn_profile", "Edit profile");
+    b.add_click(profile, user_services, "btn_done", "Done");
+    b.add_click(user_services, main_tabs, "acct_home", "Home");
+    b.add_action(setting, ActionKind::SetText, "edit_name", "", Vec::new());
+
+    // Methods: checkout flow spans two activities.
+    for screen in [main_tabs, search_tabs, select_list, goods_detail, shop_bag, wish_list,
+        user_services, setting, profile]
+    {
+        let m = b.alloc_methods(25);
+        b.set_screen_methods(screen, m);
+    }
+    let checkout = b.alloc_methods(40);
+    b.add_flow(vec![select_list, goods_detail, shop_bag], checkout);
+    let startup = b.alloc_methods(120);
+    b.set_startup_methods(startup);
+
+    b.set_start(main_tabs);
+    b.build().expect("figure-2 app is well-formed")
+}
+
+fn main() {
+    let app = Arc::new(shopping_app());
+    println!(
+        "Figure-2 shopping app: {} screens across {} activities",
+        app.screen_count(),
+        app.activities().len()
+    );
+
+    let config = SessionConfig {
+        instances: 2,
+        duration: VirtualDuration::from_mins(20),
+        analyzer: {
+            let mut a = taopt::analyzer::AnalyzerConfig::duration_mode();
+            a.find_space.l_min = VirtualDuration::from_secs(60);
+            a.min_subspace_screens = 3;
+            a
+        },
+        ..SessionConfig::new(ToolKind::Monkey, RunMode::TaoptDuration)
+    };
+    let result = ParallelSession::run(Arc::clone(&app), &config);
+
+    println!(
+        "\ncovered {} / {} methods with {} instances",
+        result.union_coverage(),
+        app.method_count(),
+        result.instances.len()
+    );
+    println!("\nidentified subspaces:");
+    for s in result.subspaces.iter().filter(|s| s.confirmed) {
+        println!(
+            "  {} — {} screens, reporters {:?}, dedicated to {:?}",
+            s.id,
+            s.screens.len(),
+            s.reporters,
+            s.owner
+        );
+        for e in &s.entrypoints {
+            println!("    entry widget `{}` (disabled on every other device)", e.widget_rid);
+        }
+    }
+    println!("\ncoordinator log (first 10 events):");
+    for e in result.coordinator_events.iter().take(10) {
+        println!("  {e}");
+    }
+}

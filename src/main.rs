@@ -1,0 +1,155 @@
+//! `taopt-sim` — command-line front end for the TaOPT reproduction.
+//!
+//! ```text
+//! taopt-sim run   --app Zedge --tool ape --mode duration [--instances 5]
+//!                 [--minutes 60] [--seed 2025] [--event-loss 0.1]
+//! taopt-sim apps                      # list the Table-3 catalog
+//! taopt-sim dump  --app Zedge         # uiautomator-style XML of the hub
+//! ```
+
+use std::sync::Arc;
+
+use taopt::session::{ParallelSession, RunMode, SessionConfig};
+use taopt_app_sim::catalog_entries;
+use taopt_tools::ToolKind;
+use taopt_ui_model::VirtualDuration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  taopt-sim run --app <name> [--tool monkey|ape|wctester|badge] \\\n              \
+         [--mode baseline|duration|resource|paraaim|pats] [--instances N] \\\n              \
+         [--minutes M] [--seed S] [--event-loss F]\n  taopt-sim apps\n  taopt-sim dump --app <name>"
+    );
+    std::process::exit(2);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn find_app(name: &str) -> Arc<taopt_app_sim::App> {
+    let entry = catalog_entries()
+        .into_iter()
+        .find(|e| e.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown app `{name}`; run `taopt-sim apps` for the catalog");
+            std::process::exit(2);
+        });
+    Arc::new(entry.generate())
+}
+
+fn cmd_apps() {
+    println!("{:<20} {:<10} {:<18} {:<8} login", "App", "Version", "Category", "Installs");
+    for e in catalog_entries() {
+        println!(
+            "{:<20} {:<10} {:<18} {:<8} {}",
+            e.name,
+            e.version,
+            e.category,
+            e.downloads,
+            if e.login { "yes" } else { "no" }
+        );
+    }
+}
+
+fn cmd_dump(args: &[String]) {
+    let name = flag(args, "--app").unwrap_or_else(|| usage());
+    let app = find_app(&name);
+    let hub = app.start_screen();
+    print!("{}", taopt_ui_model::to_xml(&app.render_screen(hub, 0)));
+}
+
+fn cmd_run(args: &[String]) {
+    let name = flag(args, "--app").unwrap_or_else(|| usage());
+    let app = find_app(&name);
+    let tool = match flag(args, "--tool").as_deref().unwrap_or("ape") {
+        "monkey" => ToolKind::Monkey,
+        "ape" => ToolKind::Ape,
+        "wctester" => ToolKind::WcTester,
+        "badge" => ToolKind::Badge,
+        other => {
+            eprintln!("unknown tool `{other}`");
+            usage()
+        }
+    };
+    let mode = match flag(args, "--mode").as_deref().unwrap_or("duration") {
+        "baseline" => RunMode::Baseline,
+        "duration" => RunMode::TaoptDuration,
+        "resource" => RunMode::TaoptResource,
+        "paraaim" => RunMode::ActivityPartition,
+        "pats" => RunMode::PatsMasterSlave,
+        other => {
+            eprintln!("unknown mode `{other}`");
+            usage()
+        }
+    };
+    let mut cfg = SessionConfig::new(tool, mode);
+    if let Some(n) = flag(args, "--instances").and_then(|v| v.parse().ok()) {
+        cfg.instances = n;
+    }
+    if let Some(m) = flag(args, "--minutes").and_then(|v| v.parse().ok()) {
+        cfg.duration = VirtualDuration::from_mins(m);
+    }
+    if let Some(s) = flag(args, "--seed").and_then(|v| v.parse().ok()) {
+        cfg.seed = s;
+    }
+    if let Some(f) = flag(args, "--event-loss").and_then(|v| v.parse().ok()) {
+        cfg.emulator.event_loss = f;
+    }
+
+    eprintln!(
+        "running {} on {} — {} x {} instances, {} virtual, seed {}",
+        tool.name(),
+        app.name(),
+        mode.label(),
+        cfg.instances,
+        cfg.duration,
+        cfg.seed
+    );
+    let t0 = std::time::Instant::now();
+    let r = ParallelSession::run(Arc::clone(&app), &cfg);
+    eprintln!("(simulated in {:.2}s real time)", t0.elapsed().as_secs_f64());
+
+    println!(
+        "coverage: {} / {} methods ({:.1}%)",
+        r.union_coverage(),
+        app.method_count(),
+        100.0 * r.union_coverage() as f64 / app.method_count() as f64
+    );
+    println!(
+        "machine time: {}  wall clock: {}  instances: {} (peak {})",
+        r.machine_time,
+        r.wall_clock,
+        r.instances.len(),
+        r.peak_concurrency()
+    );
+    let confirmed: Vec<_> = r.subspaces.iter().filter(|s| s.confirmed).collect();
+    if !confirmed.is_empty() {
+        println!("subspaces dedicated: {}", confirmed.len());
+        for s in confirmed.iter().take(10) {
+            println!(
+                "  {} — {} screens via {:?} (owner {:?})",
+                s.id,
+                s.screens.len(),
+                s.entrypoints.first().map(|e| e.widget_rid.as_str()).unwrap_or("?"),
+                s.owner
+            );
+        }
+    }
+    let triage = r.triage_report();
+    if triage.unique_count() > 0 {
+        println!("\n{}", triage.render(app.name()));
+    } else {
+        println!("no crashes observed");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("apps") => cmd_apps(),
+        Some("dump") => cmd_dump(&args[1..]),
+        _ => usage(),
+    }
+}

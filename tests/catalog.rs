@@ -1,0 +1,73 @@
+//! Integration checks over the 18-app catalog (Table 3).
+
+use taopt_app_sim::{catalog_entries, AppRuntime};
+use taopt_ui_model::abstraction::abstract_hierarchy;
+use taopt_ui_model::VirtualTime;
+
+#[test]
+fn all_catalog_apps_generate_and_validate() {
+    for e in catalog_entries() {
+        let app = e.generate();
+        assert!(app.screen_count() > 100, "{}: only {} screens", e.name, app.screen_count());
+        assert!(app.method_count() > 3_000, "{}: only {} methods", e.name, app.method_count());
+        assert!(app.functionalities().len() >= 10, "{}", e.name);
+        assert_eq!(app.login().is_some(), e.login, "{} login gating", e.name);
+        // Every action target resolves (App::assemble validated it, but
+        // re-check through the public API).
+        for s in app.screens() {
+            for a in &s.actions {
+                for t in &a.targets {
+                    assert!(app.screen(t.screen).is_some());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn catalog_generation_is_deterministic() {
+    let a = catalog_entries()[0].generate();
+    let b = catalog_entries()[0].generate();
+    assert_eq!(a.screen_count(), b.screen_count());
+    assert_eq!(a.method_count(), b.method_count());
+    let names_a: Vec<_> = a.screens().map(|s| s.name.clone()).collect();
+    let names_b: Vec<_> = b.screens().map(|s| s.name.clone()).collect();
+    assert_eq!(names_a, names_b);
+}
+
+#[test]
+fn abstract_screen_identities_are_distinct_within_an_app() {
+    // The analyzer relies on distinct screens having distinct abstract
+    // ids; collisions would merge unrelated screens.
+    let app = catalog_entries()[2].generate();
+    let mut seen = std::collections::HashSet::new();
+    for s in app.screens() {
+        let id = abstract_hierarchy(&app.render_screen(s.id, 0)).id();
+        assert!(seen.insert(id), "abstract id collision at {}", s.name);
+    }
+}
+
+#[test]
+fn runtimes_boot_on_every_catalog_app() {
+    for e in catalog_entries().into_iter().take(6) {
+        let app = std::sync::Arc::new(e.generate());
+        let mut rt = AppRuntime::launch(std::sync::Arc::clone(&app), 1);
+        if app.login().is_some() {
+            assert!(rt.auto_login(VirtualTime::ZERO).is_some(), "{} login failed", e.name);
+        }
+        let obs = rt.observe(VirtualTime::ZERO);
+        assert!(!obs.enabled_actions().is_empty(), "{} start screen is dead", e.name);
+    }
+}
+
+#[test]
+fn size_classes_order_method_counts() {
+    let apps: std::collections::BTreeMap<&str, usize> = catalog_entries()
+        .iter()
+        .map(|e| (e.name, e.generate().method_count()))
+        .collect();
+    // Representative ordering across size classes.
+    assert!(apps["Zedge"] > apps["AutoScout24"], "XL > Large");
+    assert!(apps["AutoScout24"] > apps["AccuWeather"], "Large > Medium");
+    assert!(apps["AccuWeather"] > apps["AbsWorkout"], "Medium > Small");
+}
