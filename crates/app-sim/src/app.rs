@@ -2,8 +2,6 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use serde::{Deserialize, Serialize};
-
 use taopt_ui_model::{
     ActionId, ActivityId, Bounds, ScreenId, StochasticDigraph, UiHierarchy, Widget, WidgetClass,
 };
@@ -18,7 +16,7 @@ use crate::spec::{FlowRule, LoginSpec, ScreenSpec};
 /// `App` is an immutable specification; execution state lives in
 /// [`crate::runtime::AppRuntime`]. Construct apps with
 /// [`crate::builder::AppBuilder`] or [`crate::generator::generate_app`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct App {
     pub(crate) name: String,
     pub(crate) screens: BTreeMap<ScreenId, ScreenSpec>,
@@ -29,7 +27,6 @@ pub struct App {
     pub(crate) method_count: usize,
     /// Framework methods covered by merely starting the app.
     pub(crate) startup_methods: Vec<MethodId>,
-    #[serde(skip)]
     pub(crate) action_index: HashMap<ActionId, ScreenId>,
 }
 
@@ -75,7 +72,10 @@ impl App {
             for a in &s.actions {
                 for t in &a.targets {
                     if !map.contains_key(&t.screen) {
-                        return Err(AppSimError::DanglingTarget { action: a.id, target: t.screen });
+                        return Err(AppSimError::DanglingTarget {
+                            action: a.id,
+                            target: t.screen,
+                        });
                     }
                 }
             }
@@ -175,12 +175,20 @@ impl App {
 
     /// Screens hosted by the given activity.
     pub fn screens_of_activity(&self, a: ActivityId) -> Vec<ScreenId> {
-        self.screens.values().filter(|s| s.activity == a).map(|s| s.id).collect()
+        self.screens
+            .values()
+            .filter(|s| s.activity == a)
+            .map(|s| s.id)
+            .collect()
     }
 
     /// Ground-truth membership: screens per functionality.
     pub fn screens_of_functionality(&self, f: FunctionalityId) -> Vec<ScreenId> {
-        self.screens.values().filter(|s| s.functionality == f).map(|s| s.id).collect()
+        self.screens
+            .values()
+            .filter(|s| s.functionality == f)
+            .map(|s| s.id)
+            .collect()
     }
 
     /// The ground-truth *structural* transition graph over concrete screen
@@ -226,7 +234,10 @@ impl App {
     ///
     /// Panics if `id` is not a screen of this app.
     pub fn render_screen_page(&self, id: ScreenId, visit_count: u64, page: usize) -> UiHierarchy {
-        let spec = self.screens.get(&id).expect("render_screen: unknown screen");
+        let spec = self
+            .screens
+            .get(&id)
+            .expect("render_screen: unknown screen");
         let mut root = Widget::container(WidgetClass::LinearLayout);
         root.resource_id = Some(format!("{}_root", spec.name));
         // Title bar with volatile text.
@@ -239,16 +250,32 @@ impl App {
         for d in 0..spec.decorations {
             root = root.with_child(
                 Widget::leaf(WidgetClass::ImageView, &format!("{}_deco{}", spec.name, d))
-                    .with_text(&format!("promo {}", visit_count.wrapping_mul(31).wrapping_add(d as u64)))
-                    .with_bounds(Bounds::new(0, 120 + 80 * d as i32, 1080, 200 + 80 * d as i32)),
+                    .with_text(&format!(
+                        "promo {}",
+                        visit_count.wrapping_mul(31).wrapping_add(d as u64)
+                    ))
+                    .with_bounds(Bounds::new(
+                        0,
+                        120 + 80 * d as i32,
+                        1080,
+                        200 + 80 * d as i32,
+                    )),
             );
         }
         // Feed rows revealed by pagination.
         for pg in 0..page.min(spec.feed.as_ref().map(|f| f.pages).unwrap_or(0)) {
             root = root.with_child(
-                Widget::leaf(WidgetClass::TextView, &format!("{}_feedrow{}", spec.name, pg))
-                    .with_text(&format!("feed item {pg} / view {visit_count}"))
-                    .with_bounds(Bounds::new(0, 2000 + 60 * pg as i32, 1080, 2060 + 60 * pg as i32)),
+                Widget::leaf(
+                    WidgetClass::TextView,
+                    &format!("{}_feedrow{}", spec.name, pg),
+                )
+                .with_text(&format!("feed item {pg} / view {visit_count}"))
+                .with_bounds(Bounds::new(
+                    0,
+                    2000 + 60 * pg as i32,
+                    1080,
+                    2060 + 60 * pg as i32,
+                )),
             );
         }
         // Interactive widgets.
@@ -299,11 +326,17 @@ mod tests {
         let act = b.add_activity();
         let s = b.add_screen(act, f, "S");
         // Manually create a dangling action.
-        b.push_raw_action(s, ActionSpec::click_to(ActionId(999), "x", "y", ScreenId(4242)));
+        b.push_raw_action(
+            s,
+            ActionSpec::click_to(ActionId(999), "x", "y", ScreenId(4242)),
+        );
         b.set_start(s);
         assert!(matches!(
             b.build(),
-            Err(AppSimError::DanglingTarget { target: ScreenId(4242), .. })
+            Err(AppSimError::DanglingTarget {
+                target: ScreenId(4242),
+                ..
+            })
         ));
     }
 

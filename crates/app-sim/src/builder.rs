@@ -85,7 +85,8 @@ impl AppBuilder {
     ) -> ScreenId {
         let id = ScreenId(self.next_screen);
         self.next_screen += 1;
-        self.screens.push(ScreenSpec::new(id, activity, functionality, name));
+        self.screens
+            .push(ScreenSpec::new(id, activity, functionality, name));
         id
     }
 
@@ -183,10 +184,14 @@ impl AppBuilder {
     /// Attaches a paginated content feed to a screen: `pages` extra pages,
     /// each granting `methods_per_page` fresh methods on first reach.
     pub fn set_feed(&mut self, screen: ScreenId, pages: usize, methods_per_page: usize) {
-        let page_methods: Vec<Vec<MethodId>> =
-            (0..pages).map(|_| self.methods.alloc_many(methods_per_page)).collect();
+        let page_methods: Vec<Vec<MethodId>> = (0..pages)
+            .map(|_| self.methods.alloc_many(methods_per_page))
+            .collect();
         if let Some(s) = self.screen_mut(screen) {
-            s.feed = Some(crate::spec::FeedSpec { pages, page_methods });
+            s.feed = Some(crate::spec::FeedSpec {
+                pages,
+                page_methods,
+            });
         }
     }
 
@@ -253,7 +258,10 @@ mod tests {
         let act = b.add_activity();
         let _s = b.add_screen(act, f, "S");
         b.set_start(ScreenId(99));
-        assert_eq!(b.build().unwrap_err(), AppSimError::BadStartScreen(ScreenId(99)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            AppSimError::BadStartScreen(ScreenId(99))
+        );
     }
 
     #[test]

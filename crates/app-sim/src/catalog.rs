@@ -112,30 +112,159 @@ impl CatalogEntry {
 pub fn catalog_entries() -> Vec<CatalogEntry> {
     use SizeClass::*;
     vec![
-        CatalogEntry { name: "AbsWorkout", version: "4.2.0", category: "Health & Fitness", downloads: "10m+", login: false, size: Small },
-        CatalogEntry { name: "AccuWeather", version: "7.4.1-5", category: "Weather", downloads: "100m+", login: false, size: Medium },
-        CatalogEntry { name: "AutoScout24", version: "9.8.6", category: "Auto & Vehicles", downloads: "10m+", login: false, size: Large },
-        CatalogEntry { name: "Duolingo", version: "3.75.1", category: "Education", downloads: "100m+", login: false, size: Medium },
-        CatalogEntry { name: "Filters For Selfie", version: "1.0.0", category: "Beauty", downloads: "10m+", login: false, size: Small },
-        CatalogEntry { name: "GoodRx", version: "5.3.6", category: "Medical", downloads: "10m+", login: false, size: Medium },
-        CatalogEntry { name: "Google Chrome", version: "65.0.3325", category: "Communication", downloads: "10b+", login: false, size: Medium },
-        CatalogEntry { name: "Google Translate", version: "6.5.0", category: "Books & Reference", downloads: "1b+", login: false, size: Medium },
-        CatalogEntry { name: "Marvel Comics", version: "3.10.3", category: "Comics", downloads: "10m+", login: false, size: Small },
-        CatalogEntry { name: "Merriam-Webster", version: "4.1.2", category: "Books & Reference", downloads: "10m+", login: false, size: Small },
-        CatalogEntry { name: "Ms Word", version: "16.0.15", category: "Personal", downloads: "1b+", login: false, size: Medium },
-        CatalogEntry { name: "Quizlet", version: "6.6.2", category: "Education", downloads: "10m+", login: true, size: Large },
-        CatalogEntry { name: "Sketch", version: "8.0.A.0.2", category: "Art & Design", downloads: "50m+", login: false, size: Small },
-        CatalogEntry { name: "TripAdvisor", version: "25.6.1", category: "Food & Drink", downloads: "100m+", login: true, size: Large },
-        CatalogEntry { name: "Trivago", version: "4.9.4", category: "Travel & Local", downloads: "50m+", login: false, size: Large },
-        CatalogEntry { name: "UC Browser", version: "13.0.0.1288", category: "Communication", downloads: "1b+", login: false, size: Medium },
-        CatalogEntry { name: "WEBTOON", version: "2.4.3", category: "Comics", downloads: "100m+", login: true, size: Large },
-        CatalogEntry { name: "Zedge", version: "7.34.4", category: "Personalization", downloads: "100m+", login: false, size: ExtraLarge },
+        CatalogEntry {
+            name: "AbsWorkout",
+            version: "4.2.0",
+            category: "Health & Fitness",
+            downloads: "10m+",
+            login: false,
+            size: Small,
+        },
+        CatalogEntry {
+            name: "AccuWeather",
+            version: "7.4.1-5",
+            category: "Weather",
+            downloads: "100m+",
+            login: false,
+            size: Medium,
+        },
+        CatalogEntry {
+            name: "AutoScout24",
+            version: "9.8.6",
+            category: "Auto & Vehicles",
+            downloads: "10m+",
+            login: false,
+            size: Large,
+        },
+        CatalogEntry {
+            name: "Duolingo",
+            version: "3.75.1",
+            category: "Education",
+            downloads: "100m+",
+            login: false,
+            size: Medium,
+        },
+        CatalogEntry {
+            name: "Filters For Selfie",
+            version: "1.0.0",
+            category: "Beauty",
+            downloads: "10m+",
+            login: false,
+            size: Small,
+        },
+        CatalogEntry {
+            name: "GoodRx",
+            version: "5.3.6",
+            category: "Medical",
+            downloads: "10m+",
+            login: false,
+            size: Medium,
+        },
+        CatalogEntry {
+            name: "Google Chrome",
+            version: "65.0.3325",
+            category: "Communication",
+            downloads: "10b+",
+            login: false,
+            size: Medium,
+        },
+        CatalogEntry {
+            name: "Google Translate",
+            version: "6.5.0",
+            category: "Books & Reference",
+            downloads: "1b+",
+            login: false,
+            size: Medium,
+        },
+        CatalogEntry {
+            name: "Marvel Comics",
+            version: "3.10.3",
+            category: "Comics",
+            downloads: "10m+",
+            login: false,
+            size: Small,
+        },
+        CatalogEntry {
+            name: "Merriam-Webster",
+            version: "4.1.2",
+            category: "Books & Reference",
+            downloads: "10m+",
+            login: false,
+            size: Small,
+        },
+        CatalogEntry {
+            name: "Ms Word",
+            version: "16.0.15",
+            category: "Personal",
+            downloads: "1b+",
+            login: false,
+            size: Medium,
+        },
+        CatalogEntry {
+            name: "Quizlet",
+            version: "6.6.2",
+            category: "Education",
+            downloads: "10m+",
+            login: true,
+            size: Large,
+        },
+        CatalogEntry {
+            name: "Sketch",
+            version: "8.0.A.0.2",
+            category: "Art & Design",
+            downloads: "50m+",
+            login: false,
+            size: Small,
+        },
+        CatalogEntry {
+            name: "TripAdvisor",
+            version: "25.6.1",
+            category: "Food & Drink",
+            downloads: "100m+",
+            login: true,
+            size: Large,
+        },
+        CatalogEntry {
+            name: "Trivago",
+            version: "4.9.4",
+            category: "Travel & Local",
+            downloads: "50m+",
+            login: false,
+            size: Large,
+        },
+        CatalogEntry {
+            name: "UC Browser",
+            version: "13.0.0.1288",
+            category: "Communication",
+            downloads: "1b+",
+            login: false,
+            size: Medium,
+        },
+        CatalogEntry {
+            name: "WEBTOON",
+            version: "2.4.3",
+            category: "Comics",
+            downloads: "100m+",
+            login: true,
+            size: Large,
+        },
+        CatalogEntry {
+            name: "Zedge",
+            version: "7.34.4",
+            category: "Personalization",
+            downloads: "100m+",
+            login: false,
+            size: ExtraLarge,
+        },
     ]
 }
 
 /// Generates all 18 synthetic apps.
 pub fn catalog() -> Vec<App> {
-    catalog_entries().iter().map(CatalogEntry::generate).collect()
+    catalog_entries()
+        .iter()
+        .map(CatalogEntry::generate)
+        .collect()
 }
 
 #[cfg(test)]
@@ -164,8 +293,16 @@ mod tests {
     #[test]
     fn generated_sizes_track_size_class() {
         let entries = catalog_entries();
-        let small = entries.iter().find(|e| e.name == "Filters For Selfie").unwrap().generate();
-        let xl = entries.iter().find(|e| e.name == "Zedge").unwrap().generate();
+        let small = entries
+            .iter()
+            .find(|e| e.name == "Filters For Selfie")
+            .unwrap()
+            .generate();
+        let xl = entries
+            .iter()
+            .find(|e| e.name == "Zedge")
+            .unwrap()
+            .generate();
         assert!(
             xl.method_count() > 4 * small.method_count(),
             "Zedge ({}) should dwarf Filters For Selfie ({})",
@@ -176,7 +313,10 @@ mod tests {
 
     #[test]
     fn login_apps_start_gated() {
-        let e = catalog_entries().into_iter().find(|e| e.name == "Quizlet").unwrap();
+        let e = catalog_entries()
+            .into_iter()
+            .find(|e| e.name == "Quizlet")
+            .unwrap();
         let app = e.generate();
         assert!(app.login().is_some());
         assert_eq!(app.start_screen(), app.login().unwrap().login_screen);

@@ -8,14 +8,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The deduplication key of a crash: models the top code location of the
 /// stack trace (paper §6.1, "code locations in stack traces are used to
 /// identify unique crashes").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CrashSignature(pub u64);
 
 impl fmt::Display for CrashSignature {
@@ -46,7 +42,7 @@ impl CrashSignature {
 /// action's functionality — modelling crashes that require stateful, deep
 /// flows (the kind that redundant shallow exploration keeps missing and
 /// dedicated subspace exploration finds, Table 5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrashPoint {
     /// Per-execution firing probability once armed.
     pub probability: f64,
@@ -60,7 +56,11 @@ pub struct CrashPoint {
 impl CrashPoint {
     /// Creates a crash point.
     pub fn new(probability: f64, min_local_depth: usize, signature: CrashSignature) -> Self {
-        CrashPoint { probability, min_local_depth, signature }
+        CrashPoint {
+            probability,
+            min_local_depth,
+            signature,
+        }
     }
 
     /// Whether the fault is armed at the given episode depth.

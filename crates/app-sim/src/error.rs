@@ -62,7 +62,10 @@ mod tests {
     #[test]
     fn messages_are_lowercase_and_nonempty() {
         let errs = [
-            AppSimError::DanglingTarget { action: ActionId(1), target: ScreenId(2) },
+            AppSimError::DanglingTarget {
+                action: ActionId(1),
+                target: ScreenId(2),
+            },
             AppSimError::DuplicateScreen(ScreenId(1)),
             AppSimError::DuplicateAction(ActionId(1)),
             AppSimError::NoScreens,

@@ -8,12 +8,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a functionality cluster within an app.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FunctionalityId(pub u32);
 
 impl fmt::Display for FunctionalityId {
@@ -23,7 +19,7 @@ impl fmt::Display for FunctionalityId {
 }
 
 /// Metadata about one functionality cluster.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Functionality {
     /// Cluster id.
     pub id: FunctionalityId,
@@ -34,7 +30,10 @@ pub struct Functionality {
 impl Functionality {
     /// Creates a functionality.
     pub fn new(id: FunctionalityId, name: impl Into<String>) -> Self {
-        Functionality { id, name: name.into() }
+        Functionality {
+            id,
+            name: name.into(),
+        }
     }
 }
 

@@ -155,8 +155,9 @@ pub fn generate_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
     let mut b = AppBuilder::new(config.name.clone());
 
     // Activities: a shared pool so that clusters interleave across them.
-    let activities: Vec<ActivityId> =
-        (0..config.n_activities.max(1)).map(|_| b.add_activity()).collect();
+    let activities: Vec<ActivityId> = (0..config.n_activities.max(1))
+        .map(|_| b.add_activity())
+        .collect();
 
     // Hub functionality + screen.
     let hub_f = b.add_functionality("Main");
@@ -175,11 +176,20 @@ pub fn generate_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
     // (action, depth of source, hosting cluster size)
     let mut deep_actions: Vec<(ActionId, usize, usize)> = Vec::new();
     for fi in 0..config.n_functionalities {
-        let fname = STOCK_FUNCTIONALITY_NAMES[fi % STOCK_FUNCTIONALITY_NAMES.len()];
+        let stock = STOCK_FUNCTIONALITY_NAMES[fi % STOCK_FUNCTIONALITY_NAMES.len()];
+        let cycle = fi / STOCK_FUNCTIONALITY_NAMES.len();
+        // Disambiguate recycled stock names: screen names (and the
+        // resource ids derived from them) must be unique app-wide, or
+        // distinct screens collide into one abstract identity.
+        let fname = if cycle == 0 {
+            stock.to_owned()
+        } else {
+            format!("{stock}{cycle}")
+        };
+        let fname = fname.as_str();
         let f = b.add_functionality(fname);
-        let n_screens = rng.gen_range(
-            config.min_screens_per_functionality..=config.max_screens_per_functionality,
-        );
+        let n_screens = rng
+            .gen_range(config.min_screens_per_functionality..=config.max_screens_per_functionality);
         let mut screens: Vec<ScreenId> = Vec::with_capacity(n_screens);
         let mut depth: Vec<usize> = Vec::with_capacity(n_screens);
         for si in 0..n_screens {
@@ -243,7 +253,12 @@ pub fn generate_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
         if n_screens > 2 {
             for r in 0..2 {
                 let from = screens[rng.gen_range(n_screens / 2..n_screens)];
-                b.add_click(from, screens[0], &format!("{fname}_home{r}"), "Back to start");
+                b.add_click(
+                    from,
+                    screens[0],
+                    &format!("{fname}_home{r}"),
+                    "Back to start",
+                );
             }
         }
         // Paginated feeds on a fraction of cluster screens (extension).
@@ -262,13 +277,7 @@ pub fn generate_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
                     1 => ActionKind::SetText,
                     _ => ActionKind::LongClick,
                 };
-                let a = b.add_action(
-                    *s,
-                    kind,
-                    &format!("{fname}_{si}_local{li}"),
-                    "",
-                    Vec::new(),
-                );
+                let a = b.add_action(*s, kind, &format!("{fname}_{si}_local{li}"), "", Vec::new());
                 let am = b.alloc_methods(config.methods_per_action);
                 b.set_action_methods(a, am);
             }
@@ -289,8 +298,7 @@ pub fn generate_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
         for fl in 0..config.flows_per_functionality {
             if n_screens >= config.flow_span {
                 let start = rng.gen_range(0..=n_screens - config.flow_span);
-                let span: Vec<ScreenId> =
-                    screens[start..start + config.flow_span].to_vec();
+                let span: Vec<ScreenId> = screens[start..start + config.flow_span].to_vec();
                 let fm = b.alloc_methods(config.methods_per_flow);
                 b.add_flow(span, fm);
             } else {
@@ -302,7 +310,13 @@ pub fn generate_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
 
     // Hub local actions.
     for li in 0..config.local_actions_per_screen {
-        let a = b.add_action(hub, ActionKind::Scroll, &format!("hub_local{li}"), "", Vec::new());
+        let a = b.add_action(
+            hub,
+            ActionKind::Scroll,
+            &format!("hub_local{li}"),
+            "",
+            Vec::new(),
+        );
         let am = b.alloc_methods(config.methods_per_action);
         b.set_action_methods(a, am);
     }
@@ -317,8 +331,12 @@ pub fn generate_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
         if fa == fb {
             fb = (fb + 1) % cluster_screens.len();
         }
-        let from = *cluster_screens[fa].choose(&mut rng).expect("cluster nonempty");
-        let to = *cluster_screens[fb].choose(&mut rng).expect("cluster nonempty");
+        let from = *cluster_screens[fa]
+            .choose(&mut rng)
+            .expect("cluster nonempty");
+        let to = *cluster_screens[fb]
+            .choose(&mut rng)
+            .expect("cluster nonempty");
         b.add_click(from, to, &format!("deeplink_{c}"), "See also");
     }
 
@@ -330,9 +348,12 @@ pub fn generate_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
         // Alternate shallow-armed and deep-armed faults: the former are
         // reachable by uncoordinated testing, the latter need the focused
         // in-cluster exploration that dedicated subspaces provide.
-        let fraction = if i % 2 == 0 { config.crash_depth_fraction * 0.55 } else { config.crash_depth_fraction * 1.4 };
-        let min_depth =
-            ((*cluster_size as f64 * fraction.min(0.95)).ceil() as usize).max(3);
+        let fraction = if i % 2 == 0 {
+            config.crash_depth_fraction * 0.55
+        } else {
+            config.crash_depth_fraction * 1.4
+        };
+        let min_depth = ((*cluster_size as f64 * fraction.min(0.95)).ceil() as usize).max(3);
         b.set_action_crash(
             *a,
             CrashPoint::new(
@@ -351,7 +372,11 @@ pub fn generate_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
         // Decoy actions on the wall that go nowhere.
         b.add_action(wall, ActionKind::SetText, "edit_user", "", Vec::new());
         b.add_action(wall, ActionKind::SetText, "edit_pass", "", Vec::new());
-        b.set_login(LoginSpec { login_screen: wall, login_action, home_screen: hub });
+        b.set_login(LoginSpec {
+            login_screen: wall,
+            login_action,
+            home_screen: hub,
+        });
         b.set_start(wall);
     } else {
         b.set_start(hub);
@@ -389,7 +414,11 @@ mod tests {
     fn clusters_span_multiple_activities() {
         let app = generate_app(&GeneratorConfig::industrial("t", 5)).unwrap();
         let mut spanning = 0;
-        for f in app.functionalities().iter().filter(|f| f.name != "Main" && f.name != "Auth") {
+        for f in app
+            .functionalities()
+            .iter()
+            .filter(|f| f.name != "Main" && f.name != "Auth")
+        {
             let acts: BTreeSet<_> = app
                 .screens_of_functionality(f.id)
                 .iter()
@@ -399,7 +428,10 @@ mod tests {
                 spanning += 1;
             }
         }
-        assert!(spanning >= app.functionalities().len() / 2, "most clusters span activities");
+        assert!(
+            spanning >= app.functionalities().len() / 2,
+            "most clusters span activities"
+        );
     }
 
     #[test]
@@ -416,7 +448,10 @@ mod tests {
                 mixed += 1;
             }
         }
-        assert!(mixed >= 1, "at least one activity hosts several functionalities");
+        assert!(
+            mixed >= 1,
+            "at least one activity hosts several functionalities"
+        );
     }
 
     #[test]

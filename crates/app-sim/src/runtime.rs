@@ -128,7 +128,10 @@ impl AppRuntime {
     /// Abstractions are cached per screen: volatile text differs between
     /// renders but never affects the abstraction, so the cache is exact.
     pub fn observe(&mut self, time: VirtualTime) -> ScreenObservation {
-        let spec = self.app.screen(self.current).expect("current screen exists");
+        let spec = self
+            .app
+            .screen(self.current)
+            .expect("current screen exists");
         let visits = self.visit_counts.get(&self.current).copied().unwrap_or(0);
         let page = self.feed_pages.get(&self.current).copied().unwrap_or(0);
         let hierarchy = self.app.render_screen_page(spec.id, visits, page);
@@ -163,7 +166,11 @@ impl AppRuntime {
     ///
     /// Returns [`AppSimError::ActionNotAvailable`] if a widget action is
     /// fired that the current screen does not define.
-    pub fn execute(&mut self, action: Action, time: VirtualTime) -> Result<StepOutcome, AppSimError> {
+    pub fn execute(
+        &mut self,
+        action: Action,
+        time: VirtualTime,
+    ) -> Result<StepOutcome, AppSimError> {
         let mut newly = Vec::new();
         let mut crash = None;
         let before = self.current;
@@ -176,7 +183,10 @@ impl AppRuntime {
                 // Back on the root screen keeps the app in foreground.
             }
             Action::Widget(id) => {
-                let spec = self.app.screen(self.current).expect("current screen exists");
+                let spec = self
+                    .app
+                    .screen(self.current)
+                    .expect("current screen exists");
                 let act = spec
                     .action(id)
                     .ok_or(AppSimError::ActionNotAvailable(id))?
@@ -197,8 +207,7 @@ impl AppRuntime {
                         if *page < feed.pages {
                             *page += 1;
                             let reached = *page;
-                            let seen =
-                                self.feed_pages_seen.entry(self.current).or_insert(0);
+                            let seen = self.feed_pages_seen.entry(self.current).or_insert(0);
                             if reached > *seen {
                                 *seen = reached;
                                 for m in &feed.page_methods[reached - 1] {
@@ -241,9 +250,7 @@ impl AppRuntime {
                                 // Android-like `singleTask` semantics: if the
                                 // destination is already on the stack, pop
                                 // back to it instead of pushing a duplicate.
-                                if let Some(pos) =
-                                    self.back_stack.iter().position(|s| *s == d)
-                                {
+                                if let Some(pos) = self.back_stack.iter().position(|s| *s == d) {
                                     self.back_stack.truncate(pos);
                                 } else {
                                     self.back_stack.push(self.current);
@@ -275,7 +282,12 @@ impl AppRuntime {
         let transitioned = self.current != before;
         newly.extend(self.arrive(self.current));
         let obs = self.observe(time);
-        Ok(StepOutcome { observation: obs, newly_covered: newly, crash: None, transitioned })
+        Ok(StepOutcome {
+            observation: obs,
+            newly_covered: newly,
+            crash: None,
+            transitioned,
+        })
     }
 
     /// Handles arrival on a screen: visit counters, first-visit methods,
@@ -312,7 +324,10 @@ impl AppRuntime {
             }
         }
         // Per-functionality exploration depth (crash arming).
-        self.functionality_visits.entry(spec.functionality).or_default().insert(screen);
+        self.functionality_visits
+            .entry(spec.functionality)
+            .or_default()
+            .insert(screen);
         newly
     }
 
@@ -371,7 +386,9 @@ mod tests {
         let mut rt = AppRuntime::launch(app.clone(), 1);
         let obs = rt.observe(VirtualTime::ZERO);
         let (aid, _) = obs.enabled_actions()[0];
-        let out = rt.execute(Action::Widget(aid), VirtualTime::from_secs(1)).unwrap();
+        let out = rt
+            .execute(Action::Widget(aid), VirtualTime::from_secs(1))
+            .unwrap();
         assert!(out.transitioned);
         // Action methods (1) + screen-1 methods (2).
         assert_eq!(out.newly_covered.len(), 3);
@@ -379,7 +396,9 @@ mod tests {
         let back = rt.execute(Action::Back, VirtualTime::from_secs(2)).unwrap();
         assert!(back.transitioned);
         assert!(back.newly_covered.is_empty());
-        let again = rt.execute(Action::Widget(aid), VirtualTime::from_secs(3)).unwrap();
+        let again = rt
+            .execute(Action::Widget(aid), VirtualTime::from_secs(3))
+            .unwrap();
         assert!(again.newly_covered.is_empty());
     }
 
@@ -397,7 +416,8 @@ mod tests {
         let app = chain_app(false);
         let mut rt = AppRuntime::launch(app, 1);
         assert_eq!(
-            rt.execute(Action::Widget(ActionId(777)), VirtualTime::ZERO).unwrap_err(),
+            rt.execute(Action::Widget(ActionId(777)), VirtualTime::ZERO)
+                .unwrap_err(),
             AppSimError::ActionNotAvailable(ActionId(777))
         );
     }
@@ -411,17 +431,21 @@ mod tests {
             let obs = rt.observe(VirtualTime::ZERO);
             obs.enabled_actions()[0].0
         };
-        rt.execute(Action::Widget(a01), VirtualTime::from_secs(1)).unwrap();
+        rt.execute(Action::Widget(a01), VirtualTime::from_secs(1))
+            .unwrap();
         let a12 = {
             let obs = rt.observe(VirtualTime::ZERO);
             obs.enabled_actions()[0].0
         };
-        rt.execute(Action::Widget(a12), VirtualTime::from_secs(2)).unwrap();
+        rt.execute(Action::Widget(a12), VirtualTime::from_secs(2))
+            .unwrap();
         let boom = {
             let obs = rt.observe(VirtualTime::ZERO);
             obs.enabled_actions()[0].0
         };
-        let out = rt.execute(Action::Widget(boom), VirtualTime::from_secs(3)).unwrap();
+        let out = rt
+            .execute(Action::Widget(boom), VirtualTime::from_secs(3))
+            .unwrap();
         assert_eq!(out.crash, Some(CrashSignature(42)));
         assert_eq!(rt.restarts(), 1);
         assert_eq!(rt.current_screen(), rt.app().start_screen());
@@ -453,7 +477,9 @@ mod tests {
         let mut rt = AppRuntime::launch(app, 1);
         assert!(rt.covered_methods().is_empty());
         let aid = rt.observe(VirtualTime::ZERO).enabled_actions()[0].0;
-        let out = rt.execute(Action::Widget(aid), VirtualTime::from_secs(1)).unwrap();
+        let out = rt
+            .execute(Action::Widget(aid), VirtualTime::from_secs(1))
+            .unwrap();
         assert_eq!(out.newly_covered.len(), 4, "flow methods covered");
     }
 
@@ -465,7 +491,11 @@ mod tests {
         let wall = b.add_screen(act, f, "Login");
         let home = b.add_screen(act, f, "Home");
         let login_action = b.add_click(wall, home, "btn_login", "Sign in");
-        b.set_login(LoginSpec { login_screen: wall, login_action, home_screen: home });
+        b.set_login(LoginSpec {
+            login_screen: wall,
+            login_action,
+            home_screen: home,
+        });
         b.set_start(wall);
         let app = Arc::new(b.build().unwrap());
         let mut rt = AppRuntime::launch(app, 3);
@@ -509,7 +539,8 @@ mod feed_tests {
         let app = feed_app();
         let mut rt = AppRuntime::launch(app, 1);
         let open = rt.observe(VirtualTime::ZERO).enabled_actions()[0].0;
-        rt.execute(Action::Widget(open), VirtualTime::from_secs(1)).unwrap();
+        rt.execute(Action::Widget(open), VirtualTime::from_secs(1))
+            .unwrap();
         let list = rt.current_screen();
         let abs0 = rt.observe(VirtualTime::ZERO).abstract_id();
         let mut abstractions = vec![abs0];
@@ -533,7 +564,8 @@ mod feed_tests {
         let app = feed_app();
         let mut rt = AppRuntime::launch(app, 2);
         let open = rt.observe(VirtualTime::ZERO).enabled_actions()[0].0;
-        rt.execute(Action::Widget(open), VirtualTime::from_secs(1)).unwrap();
+        rt.execute(Action::Widget(open), VirtualTime::from_secs(1))
+            .unwrap();
         let list = rt.current_screen();
         let a = scroll_action(&mut rt);
         rt.execute(a, VirtualTime::from_secs(2)).unwrap();
@@ -542,7 +574,8 @@ mod feed_tests {
         // cached RecyclerView state.
         rt.execute(Action::Back, VirtualTime::from_secs(3)).unwrap();
         let open = rt.observe(VirtualTime::ZERO).enabled_actions()[0].0;
-        rt.execute(Action::Widget(open), VirtualTime::from_secs(4)).unwrap();
+        rt.execute(Action::Widget(open), VirtualTime::from_secs(4))
+            .unwrap();
         assert_eq!(rt.feed_page(list), 1);
     }
 

@@ -1,7 +1,5 @@
 //! Static specification of an app's UI space.
 
-use serde::{Deserialize, Serialize};
-
 use taopt_ui_model::{ActionId, ActionKind, ActivityId, ScreenId};
 
 use crate::crash::CrashPoint;
@@ -9,7 +7,7 @@ use crate::functionality::FunctionalityId;
 use crate::method::MethodId;
 
 /// One possible outcome of executing an action.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransitionTarget {
     /// Destination screen.
     pub screen: ScreenId,
@@ -26,7 +24,7 @@ impl TransitionTarget {
 }
 
 /// An interactive affordance on a screen.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActionSpec {
     /// App-unique action id.
     pub id: ActionId,
@@ -91,7 +89,7 @@ impl ActionSpec {
 }
 
 /// One UI screen of the app.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScreenSpec {
     /// App-unique screen id.
     pub id: ScreenId,
@@ -147,7 +145,7 @@ impl ScreenSpec {
 /// activities are precisely what the activity-granularity baseline severs
 /// (§2: "we will not be able to cover core functionalities such as adding
 /// goods to the shopping bag and checking out").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowRule {
     /// Screens that must all be visited by one instance.
     pub screens: Vec<ScreenId>,
@@ -162,7 +160,7 @@ pub struct FlowRule {
 /// gives a screen `pages` additional states, each structurally distinct
 /// (so it abstracts to a fresh screen identity) and each carrying its own
 /// method set, covered on first reach per instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeedSpec {
     /// Number of additional pages beyond page 0.
     pub pages: usize,
@@ -171,7 +169,7 @@ pub struct FeedSpec {
 }
 
 /// Login gate configuration for apps that require authentication.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoginSpec {
     /// The login wall screen shown at app start.
     pub login_screen: ScreenId,
@@ -213,7 +211,8 @@ mod tests {
     #[test]
     fn screen_action_lookup() {
         let mut s = ScreenSpec::new(ScreenId(0), ActivityId(0), FunctionalityId(0), "Main");
-        s.actions.push(ActionSpec::click_to(ActionId(7), "x", "y", ScreenId(1)));
+        s.actions
+            .push(ActionSpec::click_to(ActionId(7), "x", "y", ScreenId(1)));
         assert!(s.action(ActionId(7)).is_some());
         assert!(s.action(ActionId(8)).is_none());
     }

@@ -11,14 +11,14 @@ use taopt_ui_model::{Action, VirtualTime};
 
 fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
     (
-        2usize..8,   // functionalities
-        3usize..10,  // min screens
-        0usize..8,   // extra screens above min
-        1usize..8,   // activities
-        0usize..4,   // local actions
-        0usize..6,   // crash points
+        2usize..8,     // functionalities
+        3usize..10,    // min screens
+        0usize..8,     // extra screens above min
+        1usize..8,     // activities
+        0usize..4,     // local actions
+        0usize..6,     // crash points
         any::<bool>(), // login
-        0u64..1000,  // seed
+        0u64..1000,    // seed
     )
         .prop_map(|(nf, smin, extra, acts, locals, crashes, login, seed)| {
             let mut cfg = GeneratorConfig::small("prop", seed);

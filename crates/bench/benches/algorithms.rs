@@ -7,10 +7,10 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use taopt::conductance::conductance;
 use taopt::findspace::{find_space_cached, FindSpaceConfig, SimilarityCache};
 use taopt::partition::{partition_graph, PartitionConfig};
 use taopt::theorem::{separation_trial, CliquePairConfig};
-use taopt::conductance::conductance;
 use taopt_app_sim::{generate_app, AppRuntime, GeneratorConfig};
 use taopt_ui_model::abstraction::abstract_hierarchy;
 use taopt_ui_model::similarity::tree_similarity;
@@ -32,7 +32,10 @@ fn synthetic_trace(steps: usize, seed: u64) -> Trace {
         let action = if rng.gen::<f64>() < 0.1 {
             Action::Back
         } else {
-            actions.choose(&mut rng).map(|(a, _)| Action::Widget(*a)).unwrap_or(Action::Back)
+            actions
+                .choose(&mut rng)
+                .map(|(a, _)| Action::Widget(*a))
+                .unwrap_or(Action::Back)
         };
         t += 2;
         let out = rt.execute(action, VirtualTime::from_secs(t)).unwrap();
@@ -68,10 +71,14 @@ fn bench_findspace(c: &mut Criterion) {
 fn bench_abstraction(c: &mut Criterion) {
     let app = Arc::new(generate_app(&GeneratorConfig::small("abs", 3)).unwrap());
     let hierarchy = app.render_screen(app.start_screen(), 1);
-    c.bench_function("abstract_hierarchy", |b| b.iter(|| abstract_hierarchy(&hierarchy)));
+    c.bench_function("abstract_hierarchy", |b| {
+        b.iter(|| abstract_hierarchy(&hierarchy))
+    });
     let a = abstract_hierarchy(&hierarchy);
     let other = abstract_hierarchy(&app.render_screen(app.start_screen(), 2));
-    c.bench_function("tree_similarity", |b| b.iter(|| tree_similarity(&a, &other)));
+    c.bench_function("tree_similarity", |b| {
+        b.iter(|| tree_similarity(&a, &other))
+    });
 }
 
 fn bench_partitioning(c: &mut Criterion) {
@@ -89,8 +96,13 @@ fn bench_partitioning(c: &mut Criterion) {
         g.add_edge(base, (base + 100) % 600, 0.02).unwrap();
     }
     let g = g.normalized();
-    let cfg = PartitionConfig { coupling_threshold: 0.01, min_cluster_size: 2 };
-    c.bench_function("partition_graph_120_nodes", |b| b.iter(|| partition_graph(&g, &cfg)));
+    let cfg = PartitionConfig {
+        coupling_threshold: 0.01,
+        min_cluster_size: 2,
+    };
+    c.bench_function("partition_graph_120_nodes", |b| {
+        b.iter(|| partition_graph(&g, &cfg))
+    });
 
     let a: BTreeSet<u64> = (0..20).collect();
     let bset: BTreeSet<u64> = (100..120).collect();

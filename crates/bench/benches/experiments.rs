@@ -17,9 +17,8 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use taopt::experiments::{
-    behavior_rows, evaluation_matrix, fig3_rows, run_and_summarize, savings_rows,
-    table1_histogram, table2_rows, table4_rows, table5_rows, table6_rows, ExperimentScale,
-    RunSummary,
+    behavior_rows, evaluation_matrix, fig3_rows, run_and_summarize, savings_rows, table1_histogram,
+    table2_rows, table4_rows, table5_rows, table6_rows, ExperimentScale, RunSummary,
 };
 use taopt::session::{ParallelSession, RunMode};
 use taopt_app_sim::{catalog_entries, App};
@@ -86,11 +85,13 @@ fn bench_pipelines(c: &mut Criterion) {
     // End-to-end session + summarize per run mode (the matrix's unit of
     // work).
     let (name, app) = &apps[0];
-    for mode in [RunMode::Baseline, RunMode::TaoptDuration, RunMode::TaoptResource] {
+    for mode in [
+        RunMode::Baseline,
+        RunMode::TaoptDuration,
+        RunMode::TaoptResource,
+    ] {
         c.bench_function(&format!("bench_session_{}", mode.label()), |b| {
-            b.iter(|| {
-                run_and_summarize(name, Arc::clone(app), ToolKind::Monkey, mode, &scale, 3)
-            })
+            b.iter(|| run_and_summarize(name, Arc::clone(app), ToolKind::Monkey, mode, &scale, 3))
         });
     }
 

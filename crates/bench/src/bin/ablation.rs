@@ -29,9 +29,7 @@ fn main() {
             cov += s.union_coverage;
             subspaces += s.confirmed_subspaces;
         }
-        println!(
-            "  {label:<42} coverage {cov:>8}  confirmed subspaces {subspaces:>3}"
-        );
+        println!("  {label:<42} coverage {cov:>8}  confirmed subspaces {subspaces:>3}");
     };
 
     println!("Ablation: l_min (duration-mode split threshold)");

@@ -23,13 +23,16 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let matrix = evaluation_matrix(&apps, &args.scale, args.seed);
-    eprintln!("matrix of {} sessions in {:.1?}s", matrix.len(), t0.elapsed().as_secs_f64());
+    eprintln!(
+        "matrix of {} sessions in {:.1?}s",
+        matrix.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     // ----- Figure 3 -----
     println!("\n===== Figure 3: baseline AJS over time =====");
     for (tool, curve) in fig3_rows(&matrix) {
-        let pts: Vec<String> =
-            curve.iter().map(|(t, v)| format!("{t}s:{v:.2}")).collect();
+        let pts: Vec<String> = curve.iter().map(|(t, v)| format!("{t}s:{v:.2}")).collect();
         println!("{:<9} {}", tool.name(), pts.join(" "));
     }
 
@@ -42,7 +45,11 @@ fn main() {
         println!(
             "  {k}/{}: {n} ({:.0}%)",
             args.scale.instances,
-            if total > 0 { 100.0 * n as f64 / total as f64 } else { 0.0 }
+            if total > 0 {
+                100.0 * n as f64 / total as f64
+            } else {
+                0.0
+            }
         );
     }
 
@@ -83,7 +90,10 @@ fn main() {
                 cov_sums[ti][2] / n,
                 pct(cov_sums[ti][2] as f64 / cov_sums[ti][0].max(1) as f64 - 1.0)
             ),
-            format!("{}/{}/{}", crash_sums[ti][0], crash_sums[ti][1], crash_sums[ti][2]),
+            format!(
+                "{}/{}/{}",
+                crash_sums[ti][0], crash_sums[ti][1], crash_sums[ti][2]
+            ),
         ]);
     }
     print!("{}", t4.render());
@@ -122,10 +132,26 @@ fn main() {
         println!(
             "  {:<9} duration saved {:.1}%/{:.1}%  machine saved {:.1}%/{:.1}% (D/R modes)",
             tool.name(),
-            100.0 * rs.iter().map(|r| r.duration_saved_duration_mode).sum::<f64>() / n,
-            100.0 * rs.iter().map(|r| r.duration_saved_resource_mode).sum::<f64>() / n,
-            100.0 * rs.iter().map(|r| r.resource_saved_duration_mode).sum::<f64>() / n,
-            100.0 * rs.iter().map(|r| r.resource_saved_resource_mode).sum::<f64>() / n,
+            100.0
+                * rs.iter()
+                    .map(|r| r.duration_saved_duration_mode)
+                    .sum::<f64>()
+                / n,
+            100.0
+                * rs.iter()
+                    .map(|r| r.duration_saved_resource_mode)
+                    .sum::<f64>()
+                / n,
+            100.0
+                * rs.iter()
+                    .map(|r| r.resource_saved_duration_mode)
+                    .sum::<f64>()
+                / n,
+            100.0
+                * rs.iter()
+                    .map(|r| r.resource_saved_resource_mode)
+                    .sum::<f64>()
+                / n,
         );
     }
 

@@ -25,20 +25,18 @@ fn main() {
     eprintln!("baselines: {} apps, {:?}", apps.len(), args.scale);
 
     for tool in [ToolKind::Monkey, ToolKind::WcTester] {
-        println!("\nparallelization strategies under {} (union coverage):", tool.name());
-        let mut table = TextTable::new([
-            "App",
-            "Baseline",
-            "PATS",
-            "ParaAim",
-            "TaOPT(D)",
-            "TaOPT(R)",
-        ]);
+        println!(
+            "\nparallelization strategies under {} (union coverage):",
+            tool.name()
+        );
+        let mut table =
+            TextTable::new(["App", "Baseline", "PATS", "ParaAim", "TaOPT(D)", "TaOPT(R)"]);
         let mut sums = [0usize; 5];
         for (name, app) in &apps {
             let mut row = vec![name.clone()];
             for (i, mode) in MODES.into_iter().enumerate() {
-                let s = run_and_summarize(name, Arc::clone(app), tool, mode, &args.scale, args.seed);
+                let s =
+                    run_and_summarize(name, Arc::clone(app), tool, mode, &args.scale, args.seed);
                 sums[i] += s.union_coverage;
                 row.push(s.union_coverage.to_string());
             }

@@ -20,11 +20,17 @@ fn main() {
     let seed: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2025);
     let apps = load_apps(n_apps);
     for (name, app) in &apps {
-        println!("== {name} (methods: {}, screens: {})", app.method_count(), app.screen_count());
+        println!(
+            "== {name} (methods: {}, screens: {})",
+            app.method_count(),
+            app.screen_count()
+        );
         for tool in ToolKind::ALL {
-            for mode in
-                [RunMode::Baseline, RunMode::TaoptDuration, RunMode::TaoptResource]
-            {
+            for mode in [
+                RunMode::Baseline,
+                RunMode::TaoptDuration,
+                RunMode::TaoptResource,
+            ] {
                 let s = run_and_summarize(name, Arc::clone(app), tool, mode, &scale, seed);
                 println!(
                     "  {:<9} {:<17} cov {:>6} ({:>4.1}%)  crashes {:>2}  machine {:>8}  wall {:>7}  subspaces {:>2}  ui-occ {:>7.1}  ajs-end {:.2}",

@@ -23,13 +23,23 @@ fn main() {
     };
     let apps = load_apps(18);
     let (name, app) = &apps[app_idx.min(17)];
-    println!("app {name}: {} screens, {} methods, {} functionalities",
-        app.screen_count(), app.method_count(), app.functionalities().len());
+    println!(
+        "app {name}: {} screens, {} methods, {} functionalities",
+        app.screen_count(),
+        app.method_count(),
+        app.functionalities().len()
+    );
 
     let cfg = SessionConfig::new(tool, mode);
     let r = ParallelSession::run(Arc::clone(app), &cfg);
-    println!("mode {:?} union cov {} crashes {} machine {} wall {}",
-        mode, r.union_coverage(), r.unique_crashes().len(), r.machine_time, r.wall_clock);
+    println!(
+        "mode {:?} union cov {} crashes {} machine {} wall {}",
+        mode,
+        r.union_coverage(),
+        r.unique_crashes().len(),
+        r.machine_time,
+        r.wall_clock
+    );
     println!("instances created: {}", r.instances.len());
     for i in &r.instances {
         let screens: std::collections::BTreeSet<_> =
@@ -45,15 +55,16 @@ fn main() {
             i.covered.len()
         );
     }
-    println!("subspaces: {} ({} confirmed)", r.subspaces.len(),
-        r.subspaces.iter().filter(|s| s.confirmed).count());
+    println!(
+        "subspaces: {} ({} confirmed)",
+        r.subspaces.len(),
+        r.subspaces.iter().filter(|s| s.confirmed).count()
+    );
     // Ground-truth purity: which functionality do subspace screens map to?
     let mut screen_func: BTreeMap<u64, u32> = BTreeMap::new();
     for spec in app.screens() {
-        let abs = taopt_ui_model::abstraction::abstract_hierarchy(
-            &app.render_screen(spec.id, 0),
-        )
-        .id();
+        let abs =
+            taopt_ui_model::abstraction::abstract_hierarchy(&app.render_screen(spec.id, 0)).id();
         screen_func.insert(abs.0, spec.functionality.0);
     }
     for s in r.subspaces.iter().filter(|s| s.confirmed).take(40) {
@@ -74,8 +85,15 @@ fn main() {
             s.id,
             s.owner,
             s.screens.len(),
-            s.entrypoints.iter().map(|e| e.widget_rid.clone()).collect::<Vec<_>>(),
-            if total > 0 { 100.0 * top_n as f64 / total as f64 } else { 0.0 },
+            s.entrypoints
+                .iter()
+                .map(|e| e.widget_rid.clone())
+                .collect::<Vec<_>>(),
+            if total > 0 {
+                100.0 * top_n as f64 / total as f64
+            } else {
+                0.0
+            },
             s.reporters.len()
         );
     }

@@ -17,16 +17,18 @@ fn main() {
     eprintln!("extended_tools: {} apps, {:?}", apps.len(), args.scale);
 
     println!("TaOPT on Badge (extension tool, not in the paper's matrix)");
-    let mut table =
-        TextTable::new(["App", "Baseline", "TaOPT(D)", "Delta", "TaOPT(R)", "Delta"]);
+    let mut table = TextTable::new(["App", "Baseline", "TaOPT(D)", "Delta", "TaOPT(R)", "Delta"]);
     let mut sums = [0usize; 3];
     for (name, app) in &apps {
         let mut row = vec![name.clone()];
         let mut cells = [0usize; 3];
-        for (i, mode) in
-            [RunMode::Baseline, RunMode::TaoptDuration, RunMode::TaoptResource]
-                .into_iter()
-                .enumerate()
+        for (i, mode) in [
+            RunMode::Baseline,
+            RunMode::TaoptDuration,
+            RunMode::TaoptResource,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let s = run_and_summarize(
                 name,

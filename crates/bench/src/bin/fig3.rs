@@ -32,7 +32,11 @@ fn main() {
             tool.name(),
             first,
             last,
-            if last > first { "rising, as in the paper" } else { "flat/declining" }
+            if last > first {
+                "rising, as in the paper"
+            } else {
+                "flat/declining"
+            }
         );
     }
 }

@@ -14,7 +14,10 @@ fn main() {
     let matrix = evaluation_matrix(&apps, &args.scale, args.seed);
     let rows = savings_rows(&matrix, &args.scale);
 
-    println!("Figure 5: testing duration saved by TaOPT (% of the {} budget)", args.scale.duration);
+    println!(
+        "Figure 5: testing duration saved by TaOPT (% of the {} budget)",
+        args.scale.duration
+    );
     let mut table = TextTable::new(["App", "Tool", "Duration mode", "Resource mode"]);
     for r in &rows {
         table.row([
@@ -28,8 +31,16 @@ fn main() {
     for tool in ToolKind::ALL {
         let rs: Vec<_> = rows.iter().filter(|r| r.tool == tool).collect();
         let n = rs.len().max(1) as f64;
-        let dur: f64 = rs.iter().map(|r| r.duration_saved_duration_mode).sum::<f64>() / n;
-        let res: f64 = rs.iter().map(|r| r.duration_saved_resource_mode).sum::<f64>() / n;
+        let dur: f64 = rs
+            .iter()
+            .map(|r| r.duration_saved_duration_mode)
+            .sum::<f64>()
+            / n;
+        let res: f64 = rs
+            .iter()
+            .map(|r| r.duration_saved_resource_mode)
+            .sum::<f64>()
+            / n;
         println!(
             "{}: mean duration saved {:.1}% (duration mode), {:.1}% (resource mode) \
              (paper duration mode: 64.0% Mon, 48% Ape, 41.0% WCT)",

@@ -31,8 +31,16 @@ fn main() {
     for tool in ToolKind::ALL {
         let rs: Vec<_> = rows.iter().filter(|r| r.tool == tool).collect();
         let n = rs.len().max(1) as f64;
-        let dur: f64 = rs.iter().map(|r| r.resource_saved_duration_mode).sum::<f64>() / n;
-        let res: f64 = rs.iter().map(|r| r.resource_saved_resource_mode).sum::<f64>() / n;
+        let dur: f64 = rs
+            .iter()
+            .map(|r| r.resource_saved_duration_mode)
+            .sum::<f64>()
+            / n;
+        let res: f64 = rs
+            .iter()
+            .map(|r| r.resource_saved_resource_mode)
+            .sum::<f64>()
+            / n;
         println!(
             "{}: mean machine time saved {:.1}% (duration mode), {:.1}% (resource mode) \
              (paper: 64.6/65.9 Mon, 48.9/50.1 Ape, 42.5/47.6 WCT)",
@@ -50,9 +58,7 @@ fn main() {
             let parallel = matrix
                 .iter()
                 .find(|r| {
-                    r.app == *name
-                        && r.tool == tool
-                        && r.mode == taopt::session::RunMode::Baseline
+                    r.app == *name && r.tool == tool && r.mode == taopt::session::RunMode::Baseline
                 })
                 .map(|r| r.union_coverage)
                 .unwrap_or(0);

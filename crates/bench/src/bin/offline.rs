@@ -18,7 +18,9 @@ fn main() -> std::io::Result<()> {
 
     // 1. Record.
     let (name, app) = &apps[0];
-    let cfg = args.scale.session_config(ToolKind::Monkey, RunMode::Baseline, args.seed);
+    let cfg = args
+        .scale
+        .session_config(ToolKind::Monkey, RunMode::Baseline, args.seed);
     let result = ParallelSession::run(Arc::clone(app), &cfg);
     let archive = TraceArchive::from_session(format!("{name}/Monkey/baseline"), &result);
     archive.save(&path)?;

@@ -9,7 +9,11 @@ use taopt_bench::{load_apps, HarnessArgs};
 fn main() {
     let args = HarnessArgs::parse();
     let apps = load_apps(args.n_apps.min(8));
-    let seeds = [args.seed, args.seed ^ 0xDEAD, args.seed.wrapping_mul(31).wrapping_add(7)];
+    let seeds = [
+        args.seed,
+        args.seed ^ 0xDEAD,
+        args.seed.wrapping_mul(31).wrapping_add(7),
+    ];
     eprintln!(
         "replication: {} apps x {} seeds, {:?}",
         apps.len(),
@@ -17,7 +21,10 @@ fn main() {
         args.scale
     );
     let rows = replicate_gains(&apps, &args.scale, &seeds);
-    println!("coverage gain over baseline, mean +/- sd over {} seeds:", seeds.len());
+    println!(
+        "coverage gain over baseline, mean +/- sd over {} seeds:",
+        seeds.len()
+    );
     let mut t = TextTable::new(["Tool", "Mode", "Mean gain", "SD", "Per-seed"]);
     for r in rows {
         t.row([
@@ -25,7 +32,11 @@ fn main() {
             r.mode.label().to_owned(),
             format!("{:+.1}%", 100.0 * r.mean_gain),
             format!("{:.1}pp", 100.0 * r.sd_gain),
-            r.gains.iter().map(|g| format!("{:+.1}%", 100.0 * g)).collect::<Vec<_>>().join(" "),
+            r.gains
+                .iter()
+                .map(|g| format!("{:+.1}%", 100.0 * g))
+                .collect::<Vec<_>>()
+                .join(" "),
         ]);
     }
     print!("{}", t.render());

@@ -20,15 +20,30 @@ fn main() {
         table.row([
             format!("{k}/{}", args.scale.instances),
             n.to_string(),
-            format!("{:.0}%", if total > 0 { 100.0 * n as f64 / total as f64 } else { 0.0 }),
+            format!(
+                "{:.0}%",
+                if total > 0 {
+                    100.0 * n as f64 / total as f64
+                } else {
+                    0.0
+                }
+            ),
         ]);
     }
     print!("{}", table.render());
-    let multi: usize = histogram.iter().filter(|(k, _)| **k > 1).map(|(_, v)| v).sum();
+    let multi: usize = histogram
+        .iter()
+        .filter(|(k, _)| **k > 1)
+        .map(|(_, v)| v)
+        .sum();
     println!(
         "total {total} subspaces; {multi} ({:.0}%) explored by more than one instance \
          (paper: 97%), {} by all instances (paper: 36%)",
-        if total > 0 { 100.0 * multi as f64 / total as f64 } else { 0.0 },
+        if total > 0 {
+            100.0 * multi as f64 / total as f64
+        } else {
+            0.0
+        },
         histogram.get(&args.scale.instances).copied().unwrap_or(0),
     );
 }

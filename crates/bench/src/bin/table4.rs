@@ -61,7 +61,5 @@ fn main() {
             pct(sums[ti][2] as f64 / base - 1.0),
         );
     }
-    println!(
-        "{positive}/{cells} cells improve over baseline (paper: 81.5%)"
-    );
+    println!("{positive}/{cells} cells improve over baseline (paper: 81.5%)");
 }

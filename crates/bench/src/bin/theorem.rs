@@ -29,7 +29,11 @@ fn main() {
         let cfg = CliquePairConfig { n, alpha: 16.0 };
         let samples = required_samples(n, 24.0);
         let rate = separation_success_rate(&cfg, samples, trials, 7);
-        t.row([n.to_string(), samples.to_string(), format!("{:.0}%", rate * 100.0)]);
+        t.row([
+            n.to_string(),
+            samples.to_string(),
+            format!("{:.0}%", rate * 100.0),
+        ]);
     }
     print!("{}", t.render());
 

@@ -77,7 +77,11 @@ impl HarnessArgs {
                 }
             }
         }
-        HarnessArgs { scale, n_apps: n_apps.clamp(1, 18), seed }
+        HarnessArgs {
+            scale,
+            n_apps: n_apps.clamp(1, 18),
+            seed,
+        }
     }
 }
 

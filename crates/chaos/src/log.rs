@@ -1,0 +1,285 @@
+//! The fault log — every injected fault and every observed recovery.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use taopt_ui_model::json::Value;
+use taopt_ui_model::VirtualTime;
+
+/// The kind of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// An allocated device died mid-run.
+    DeviceLost,
+    /// The farm refused an allocation attempt.
+    AllocRefused,
+    /// One action suffered a latency spike.
+    LatencySpike,
+    /// A trace event was dropped in the bus.
+    EventDropped,
+    /// A trace event was delivered twice.
+    EventDuplicated,
+    /// A trace event was delayed behind newer events.
+    EventDelayed,
+    /// A block-rule broadcast failed to apply at an instance.
+    EnforcementFailed,
+}
+
+impl FaultKind {
+    /// Human-readable kind name.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::DeviceLost => "device-lost",
+            FaultKind::AllocRefused => "alloc-refused",
+            FaultKind::LatencySpike => "latency-spike",
+            FaultKind::EventDropped => "event-dropped",
+            FaultKind::EventDuplicated => "event-duplicated",
+            FaultKind::EventDelayed => "event-delayed",
+            FaultKind::EnforcementFailed => "enforcement-failed",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The kind of an observed recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RecoveryKind {
+    /// A lost device was replaced by a fresh allocation.
+    DeviceReallocated,
+    /// An orphaned subspace was re-dedicated to a surviving instance.
+    SubspaceRededicated,
+    /// A failed block-rule broadcast was re-applied successfully.
+    EnforcementReapplied,
+    /// The analyzer detected and tolerated a sequence gap or duplicate.
+    StreamRepaired,
+}
+
+impl RecoveryKind {
+    /// Human-readable kind name.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryKind::DeviceReallocated => "device-reallocated",
+            RecoveryKind::SubspaceRededicated => "subspace-rededicated",
+            RecoveryKind::EnforcementReapplied => "enforcement-reapplied",
+            RecoveryKind::StreamRepaired => "stream-repaired",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Virtual time of injection.
+    pub time: VirtualTime,
+    /// Affected instance (raw id), if instance-scoped.
+    pub instance: Option<u32>,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// One observed recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// Virtual time the underlying fault was injected (or first noticed).
+    pub injected_at: VirtualTime,
+    /// Virtual time recovery completed.
+    pub recovered_at: VirtualTime,
+    /// Affected instance (raw id), if instance-scoped.
+    pub instance: Option<u32>,
+    /// What recovered.
+    pub kind: RecoveryKind,
+}
+
+impl RecoveryRecord {
+    /// Virtual-time latency from injection to recovery.
+    pub fn latency_ms(&self) -> u64 {
+        self.recovered_at
+            .as_millis()
+            .saturating_sub(self.injected_at.as_millis())
+    }
+}
+
+/// Aggregated fault/recovery statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Injected faults per kind.
+    pub injected: BTreeMap<FaultKind, usize>,
+    /// Recoveries per kind.
+    pub recovered: BTreeMap<RecoveryKind, usize>,
+    /// Mean recovery latency (virtual ms) across all recoveries.
+    pub mean_recovery_ms: f64,
+    /// Maximum recovery latency (virtual ms).
+    pub max_recovery_ms: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected.
+    pub fn total_injected(&self) -> usize {
+        self.injected.values().sum()
+    }
+
+    /// Total recoveries observed.
+    pub fn total_recovered(&self) -> usize {
+        self.recovered.values().sum()
+    }
+}
+
+/// Append-only record of everything the injector did and everything the
+/// resilience layer fixed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLog {
+    faults: Vec<FaultRecord>,
+    recoveries: Vec<RecoveryRecord>,
+}
+
+impl FaultLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        FaultLog::default()
+    }
+
+    /// Records an injected fault.
+    pub fn record_fault(&mut self, time: VirtualTime, instance: Option<u32>, kind: FaultKind) {
+        self.faults.push(FaultRecord {
+            time,
+            instance,
+            kind,
+        });
+    }
+
+    /// Records an observed recovery.
+    pub fn record_recovery(
+        &mut self,
+        injected_at: VirtualTime,
+        recovered_at: VirtualTime,
+        instance: Option<u32>,
+        kind: RecoveryKind,
+    ) {
+        self.recoveries.push(RecoveryRecord {
+            injected_at,
+            recovered_at,
+            instance,
+            kind,
+        });
+    }
+
+    /// All injected faults, in injection order.
+    pub fn faults(&self) -> &[FaultRecord] {
+        &self.faults
+    }
+
+    /// All recoveries, in completion order.
+    pub fn recoveries(&self) -> &[RecoveryRecord] {
+        &self.recoveries
+    }
+
+    /// Merges another log into this one (e.g. per-phase logs).
+    pub fn merge(&mut self, other: &FaultLog) {
+        self.faults.extend(other.faults.iter().cloned());
+        self.recoveries.extend(other.recoveries.iter().cloned());
+    }
+
+    /// Aggregates counts and latency statistics.
+    pub fn stats(&self) -> FaultStats {
+        let mut stats = FaultStats::default();
+        for f in &self.faults {
+            *stats.injected.entry(f.kind).or_insert(0) += 1;
+        }
+        let mut total_ms = 0u64;
+        for r in &self.recoveries {
+            *stats.recovered.entry(r.kind).or_insert(0) += 1;
+            let l = r.latency_ms();
+            total_ms += l;
+            stats.max_recovery_ms = stats.max_recovery_ms.max(l);
+        }
+        if !self.recoveries.is_empty() {
+            stats.mean_recovery_ms = total_ms as f64 / self.recoveries.len() as f64;
+        }
+        stats
+    }
+
+    /// Serializes the whole log to a JSON value.
+    pub fn to_value(&self) -> Value {
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| {
+                Value::Object(vec![
+                    ("t".to_owned(), Value::from(f.time.as_millis())),
+                    ("i".to_owned(), f.instance.map_or(Value::Null, Value::from)),
+                    ("k".to_owned(), Value::from(f.kind.label())),
+                ])
+            })
+            .collect();
+        let recoveries = self
+            .recoveries
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("t0".to_owned(), Value::from(r.injected_at.as_millis())),
+                    ("t1".to_owned(), Value::from(r.recovered_at.as_millis())),
+                    ("i".to_owned(), r.instance.map_or(Value::Null, Value::from)),
+                    ("k".to_owned(), Value::from(r.kind.label())),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("faults".to_owned(), Value::Array(faults)),
+            ("recoveries".to_owned(), Value::Array(recoveries)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_aggregate_counts_and_latencies() {
+        let mut log = FaultLog::new();
+        log.record_fault(VirtualTime::from_secs(1), Some(0), FaultKind::DeviceLost);
+        log.record_fault(VirtualTime::from_secs(2), Some(1), FaultKind::EventDropped);
+        log.record_fault(VirtualTime::from_secs(3), Some(1), FaultKind::EventDropped);
+        log.record_recovery(
+            VirtualTime::from_secs(1),
+            VirtualTime::from_secs(4),
+            Some(0),
+            RecoveryKind::DeviceReallocated,
+        );
+        log.record_recovery(
+            VirtualTime::from_secs(2),
+            VirtualTime::from_secs(3),
+            Some(1),
+            RecoveryKind::StreamRepaired,
+        );
+        let stats = log.stats();
+        assert_eq!(stats.total_injected(), 3);
+        assert_eq!(stats.injected[&FaultKind::EventDropped], 2);
+        assert_eq!(stats.total_recovered(), 2);
+        assert_eq!(stats.max_recovery_ms, 3000);
+        assert!((stats.mean_recovery_ms - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = FaultLog::new();
+        a.record_fault(VirtualTime::ZERO, None, FaultKind::AllocRefused);
+        let mut b = FaultLog::new();
+        b.record_fault(VirtualTime::from_secs(1), Some(2), FaultKind::LatencySpike);
+        a.merge(&b);
+        assert_eq!(a.faults().len(), 2);
+        let v = a.to_value().to_json_string();
+        assert!(v.contains("alloc-refused") && v.contains("latency-spike"));
+    }
+}

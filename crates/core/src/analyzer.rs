@@ -99,7 +99,7 @@ impl AnalyzerConfig {
 }
 
 /// One identified loosely coupled UI subspace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubspaceInfo {
     /// Registry id.
     pub id: SubspaceId,
@@ -252,14 +252,15 @@ impl OnlineTraceAnalyzer {
                     }
                 }
             }
-            if screens.len() < self.config.min_subspace_screens
-                || screens.contains(&host_screen)
-            {
+            if screens.len() < self.config.min_subspace_screens || screens.contains(&host_screen) {
                 continue;
             }
             let entry = EntrypointRule::new(host_screen, rid);
             // Future analyses for this instance start inside the subspace.
-            self.cursors.get_mut(&instance).expect("cursor exists").start_index = abs;
+            self.cursors
+                .get_mut(&instance)
+                .expect("cursor exists")
+                .start_index = abs;
             return self
                 .register_report(instance, entry, screens, now)
                 .into_iter()
@@ -326,9 +327,12 @@ impl OnlineTraceAnalyzer {
     /// Summary: subspace count by confirmation state.
     pub fn stats(&self) -> BTreeMap<&'static str, usize> {
         let confirmed = self.subspaces.iter().filter(|s| s.confirmed).count();
-        [("confirmed", confirmed), ("pending", self.subspaces.len() - confirmed)]
-            .into_iter()
-            .collect()
+        [
+            ("confirmed", confirmed),
+            ("pending", self.subspaces.len() - confirmed),
+        ]
+        .into_iter()
+        .collect()
     }
 }
 
@@ -393,7 +397,12 @@ mod tests {
     #[test]
     fn overlapping_screen_sets_merge_even_with_new_entrypoint() {
         let mut a = OnlineTraceAnalyzer::new(AnalyzerConfig::resource_mode());
-        a.register_report(InstanceId(0), rule(1, "tab_a"), screens(&[10, 11, 12, 13]), VirtualTime::ZERO);
+        a.register_report(
+            InstanceId(0),
+            rule(1, "tab_a"),
+            screens(&[10, 11, 12, 13]),
+            VirtualTime::ZERO,
+        );
         a.register_report(
             InstanceId(1),
             rule(2, "deeplink_b"),
@@ -401,14 +410,28 @@ mod tests {
             VirtualTime::ZERO,
         );
         assert_eq!(a.subspaces().len(), 1);
-        assert_eq!(a.subspaces()[0].entrypoints.len(), 2, "both entrypoints kept");
+        assert_eq!(
+            a.subspaces()[0].entrypoints.len(),
+            2,
+            "both entrypoints kept"
+        );
     }
 
     #[test]
     fn disjoint_reports_create_distinct_subspaces() {
         let mut a = OnlineTraceAnalyzer::new(AnalyzerConfig::resource_mode());
-        a.register_report(InstanceId(0), rule(1, "tab_a"), screens(&[10, 11]), VirtualTime::ZERO);
-        a.register_report(InstanceId(0), rule(1, "tab_b"), screens(&[20, 21]), VirtualTime::ZERO);
+        a.register_report(
+            InstanceId(0),
+            rule(1, "tab_a"),
+            screens(&[10, 11]),
+            VirtualTime::ZERO,
+        );
+        a.register_report(
+            InstanceId(0),
+            rule(1, "tab_b"),
+            screens(&[20, 21]),
+            VirtualTime::ZERO,
+        );
         assert_eq!(a.subspaces().len(), 2);
         assert_eq!(a.stats()["confirmed"], 2);
     }
@@ -424,7 +447,11 @@ mod tests {
         let trace: Trace = two_cluster_trace(30, 50).into_iter().collect();
         let now = trace.end_time().unwrap();
         let confirmed = a.maybe_analyze(InstanceId(0), &trace, now);
-        assert_eq!(confirmed.len(), 1, "clean two-cluster trace confirms at once");
+        assert_eq!(
+            confirmed.len(),
+            1,
+            "clean two-cluster trace confirms at once"
+        );
         // Immediately re-analyzing is throttled.
         let again = a.maybe_analyze(InstanceId(0), &trace, now);
         assert!(again.is_empty());
@@ -434,7 +461,12 @@ mod tests {
     fn owner_assignment_is_recorded() {
         let mut a = OnlineTraceAnalyzer::new(AnalyzerConfig::resource_mode());
         let id = a
-            .register_report(InstanceId(0), rule(1, "t"), screens(&[1, 2]), VirtualTime::ZERO)
+            .register_report(
+                InstanceId(0),
+                rule(1, "t"),
+                screens(&[1, 2]),
+                VirtualTime::ZERO,
+            )
             .unwrap();
         a.set_owner(id, InstanceId(0));
         assert_eq!(a.subspace(id).unwrap().owner, Some(InstanceId(0)));

@@ -1,0 +1,598 @@
+//! Parallel sessions under deterministic fault injection.
+//!
+//! [`run_with_chaos`] is the chaos-mode counterpart of
+//! [`crate::session::ParallelSession::run`]: the same lock-step
+//! virtual-time loop, but every seam a real testing cloud can break is
+//! routed through a [`FaultInjector`]:
+//!
+//! * **device farm** — instances can lose their device mid-run,
+//!   allocation attempts can be refused, actions can hit latency spikes;
+//! * **event bus** — the coordinator does not read instance traces
+//!   directly; it sees only the events that survive the bus (drops,
+//!   duplicates, delays), repaired into order by sequence numbers
+//!   ([`crate::streaming`]'s repair layer);
+//! * **enforcement** — block-rule broadcasts go through an
+//!   [`EnforcementBroadcaster`] and may fail to apply, being retried
+//!   idempotently until acknowledged.
+//!
+//! The self-healing policies are the ones ISSUE'd by the paper's
+//! deployment reality: lost devices are re-allocated with bounded
+//! retry/backoff, orphaned subspaces are re-dedicated to survivors, and
+//! no fault can make the session exceed `d_max` or run past its budget.
+//! With an inert injector the run degenerates to a plain coordinated
+//! session, which is the fault-free baseline chaos experiments compare
+//! against.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use taopt_app_sim::{App, MethodId};
+use taopt_chaos::{EventFate, FaultInjector, FaultLog, FaultStats, RecoveryKind};
+use taopt_device::DeviceFarm;
+use taopt_toller::{InstanceId, InstrumentedInstance};
+use taopt_ui_model::{Trace, TraceEvent, VirtualTime};
+
+use crate::analyzer::SubspaceId;
+use crate::coordinator::TestCoordinator;
+use crate::metrics::curves::CurvePoint;
+use crate::resilience::{EnforcementBroadcaster, ReplacementQueue, RetryPolicy};
+use crate::session::{InstanceResult, SessionConfig, SessionResult};
+use crate::streaming::{Reorder, StreamStats};
+
+/// Everything a chaos run produces: the ordinary session result plus the
+/// fault/recovery audit trail.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// The session outcome (coverage, crashes, subspaces, …).
+    pub session: SessionResult,
+    /// Every injected fault and recorded recovery.
+    pub fault_log: FaultLog,
+    /// Aggregated fault/recovery statistics.
+    pub fault_stats: FaultStats,
+    /// Bus-repair counters across all instances.
+    pub stream: StreamStats,
+    /// Devices killed by the fault schedule.
+    pub devices_lost: usize,
+    /// Lost devices successfully re-allocated.
+    pub replacements: usize,
+    /// Replacement attempts abandoned after the retry budget.
+    pub replacements_abandoned: usize,
+    /// Enforcement deliveries that needed at least one retry.
+    pub enforcement_retries: usize,
+    /// Confirmed, unfinished subspaces still blocked for every live
+    /// instance when the session ended (the liveness invariant: should
+    /// be 0 whenever any instance survived to inherit).
+    pub unresolved_orphans: usize,
+}
+
+/// One live instance plus its chaos bookkeeping.
+struct ChaosInstance {
+    inst: InstrumentedInstance,
+    device: taopt_device::DeviceId,
+    allocated_at: VirtualTime,
+    last_new_screen: VirtualTime,
+    cover_events: Vec<(VirtualTime, MethodId)>,
+    /// Trace events already forwarded onto the (faulty) bus.
+    forwarded: usize,
+    /// Next sequence number to stamp.
+    seq: u64,
+    /// Events held back by a delay fault, re-sent next round.
+    delayed: Vec<(u64, TraceEvent)>,
+    /// Sequence-order repair for the coordinator-view trace.
+    repair: Reorder,
+    /// What the coordinator actually sees of this instance.
+    coord_trace: Trace,
+    stream: StreamStats,
+}
+
+impl ChaosInstance {
+    /// Forwards new trace events through the bus seam and appends the
+    /// survivors (in repaired order) to the coordinator-view trace.
+    fn pump_bus(&mut self, injector: &FaultInjector, now: VirtualTime) {
+        let iid = self.inst.id().0;
+        let gaps_before = self.stream.gaps;
+        let mut batch: Vec<(u64, TraceEvent)> = std::mem::take(&mut self.delayed);
+        for ev in &self.inst.trace().events()[self.forwarded..] {
+            let seq = self.seq;
+            self.seq += 1;
+            match injector.event_fate(iid, seq, now) {
+                EventFate::Deliver => batch.push((seq, ev.clone())),
+                EventFate::Drop => {}
+                EventFate::Duplicate => {
+                    batch.push((seq, ev.clone()));
+                    batch.push((seq, ev.clone()));
+                }
+                EventFate::Delay => self.delayed.push((seq, ev.clone())),
+            }
+        }
+        self.forwarded = self.inst.trace().len();
+        for (seq, ev) in batch {
+            for ready in self.repair.accept(seq, ev, &mut self.stream) {
+                self.coord_trace.push(ready);
+            }
+        }
+        for gap in gaps_before..self.stream.gaps {
+            let _ = gap;
+            injector.record_recovery(now, now, Some(iid), RecoveryKind::StreamRepaired);
+        }
+    }
+
+    /// Delivers everything still in flight (end of life for the stream).
+    fn flush_bus(&mut self, injector: &FaultInjector, now: VirtualTime) {
+        for (seq, ev) in std::mem::take(&mut self.delayed) {
+            for ready in self.repair.accept(seq, ev, &mut self.stream) {
+                self.coord_trace.push(ready);
+            }
+        }
+        for ready in self.repair.flush(&mut self.stream) {
+            self.coord_trace.push(ready);
+        }
+        let _ = (injector, now);
+    }
+}
+
+/// Runs a fault-injected parallel session to completion.
+///
+/// Supports the duration-bounded modes ([`crate::session::RunMode`]
+/// `Baseline` and `TaoptDuration`; the coordinator runs only for TaOPT
+/// modes). The run is fully deterministic given `config.seed` and the
+/// injector's plan seed.
+pub fn run_with_chaos(
+    app: Arc<App>,
+    config: &SessionConfig,
+    injector: &FaultInjector,
+) -> ChaosReport {
+    let mut farm = DeviceFarm::new(config.instances);
+    let mut coordinator =
+        TestCoordinator::new(config.analyzer.clone()).with_stall_timeout(config.stall_timeout);
+    let mut broadcaster = EnforcementBroadcaster::new();
+    let mut replacements = ReplacementQueue::new(RetryPolicy {
+        max_attempts: 6,
+        backoff: config.tick,
+    });
+    let mut active: Vec<ChaosInstance> = Vec::new();
+    let mut finished: Vec<InstanceResult> = Vec::new();
+    let mut next_instance = 0u32;
+    let mut union: BTreeSet<MethodId> = BTreeSet::new();
+    let mut union_curve: Vec<CurvePoint> = Vec::new();
+    let mut pending_boot: Vec<(VirtualTime, MethodId)> = Vec::new();
+    let mut concurrency_timeline: Vec<(VirtualTime, usize)> = Vec::new();
+    let mut orphaned_since: BTreeMap<SubspaceId, VirtualTime> = BTreeMap::new();
+    let mut replaced = 0usize;
+    let mut now = VirtualTime::ZERO;
+    let end_at = VirtualTime::ZERO + config.duration;
+    let uses_taopt = config.mode.uses_taopt();
+
+    // Boot helper: allocates a device (the caller has already cleared the
+    // refusal seam) and wires the instance through the broadcaster.
+    let boot = |farm: &mut DeviceFarm,
+                coordinator: &mut TestCoordinator,
+                broadcaster: &mut EnforcementBroadcaster,
+                active: &mut Vec<ChaosInstance>,
+                next_instance: &mut u32,
+                pending_boot: &mut Vec<(VirtualTime, MethodId)>,
+                now: VirtualTime|
+     -> bool {
+        let Ok(device) = farm.allocate(now) else {
+            return false;
+        };
+        let iid = InstanceId(*next_instance);
+        *next_instance += 1;
+        let seed = config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(
+                (iid.0 as u64)
+                    .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                    .wrapping_add(1),
+            );
+        let inst = InstrumentedInstance::boot_with(
+            iid,
+            device,
+            Arc::clone(&app),
+            config.tool.build(seed),
+            seed ^ 0xabcd,
+            now,
+            config.emulator,
+        );
+        if uses_taopt {
+            // The coordinator writes intent to a shadow list; the
+            // broadcaster reconciles it onto the device through the
+            // failure-prone enforcement channel.
+            let shadow = broadcaster.register(iid, inst.blocklist());
+            coordinator.register_instance(iid, shadow);
+        }
+        let boot_covered: Vec<(VirtualTime, MethodId)> = inst
+            .emulator()
+            .coverage()
+            .covered()
+            .iter()
+            .map(|m| (now, *m))
+            .collect();
+        pending_boot.extend(boot_covered.iter().copied());
+        active.push(ChaosInstance {
+            inst,
+            device,
+            allocated_at: now,
+            last_new_screen: now,
+            cover_events: boot_covered,
+            forwarded: 0,
+            seq: 0,
+            delayed: Vec::new(),
+            repair: Reorder::default(),
+            coord_trace: Trace::new(),
+            stream: StreamStats::default(),
+        });
+        true
+    };
+
+    let retire = |mut a: ChaosInstance,
+                  device_alive: bool,
+                  farm: &mut DeviceFarm,
+                  coordinator: &mut TestCoordinator,
+                  broadcaster: &mut EnforcementBroadcaster,
+                  finished: &mut Vec<InstanceResult>,
+                  now: VirtualTime| {
+        a.flush_bus(injector, now);
+        if device_alive {
+            let _ = farm.deallocate(a.device, now);
+        }
+        if uses_taopt {
+            let visited: BTreeSet<_> = a
+                .inst
+                .trace()
+                .events()
+                .iter()
+                .map(|e| e.abstract_id)
+                .collect();
+            coordinator.unregister_instance_with_trace(a.inst.id(), &visited);
+            broadcaster.unregister(a.inst.id());
+        }
+        let em = a.inst.emulator();
+        finished.push(InstanceResult {
+            instance: a.inst.id(),
+            allocated_at: a.allocated_at,
+            deallocated_at: now,
+            covered: em.coverage().covered().clone(),
+            cover_events: a.cover_events.clone(),
+            crashes: em.crashes().unique_crashes().clone(),
+            crash_occurrences: em.crashes().occurrences().to_vec(),
+            device: a.device,
+            trace: a.inst.trace().clone(),
+        });
+        a.stream
+    };
+
+    for _ in 0..config.instances {
+        if injector.refuse_allocation(now) {
+            replacements.device_lost(now);
+            continue;
+        }
+        boot(
+            &mut farm,
+            &mut coordinator,
+            &mut broadcaster,
+            &mut active,
+            &mut next_instance,
+            &mut pending_boot,
+            now,
+        );
+    }
+
+    let mut stream_total = StreamStats::default();
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        now += config.tick;
+        concurrency_timeline.push((now, active.len()));
+        let deadline = now.min(end_at);
+
+        // Latency spikes stall the device before it runs its round.
+        for a in active.iter_mut() {
+            if let Some(extra) = injector.latency_spike(a.inst.id().0, round, now) {
+                a.inst.emulator_mut().idle(extra);
+            }
+        }
+
+        // Step every instance to the round boundary.
+        let mut round_events: Vec<(VirtualTime, MethodId)> = std::mem::take(&mut pending_boot);
+        for a in active.iter_mut() {
+            for r in a.inst.run_until(deadline) {
+                if !r.newly_covered.is_empty() || r.new_screen {
+                    a.last_new_screen = r.time;
+                }
+                for m in &r.newly_covered {
+                    a.cover_events.push((r.time, *m));
+                    round_events.push((r.time, *m));
+                }
+            }
+        }
+        round_events.sort_by_key(|(t, _)| *t);
+        let consumed = farm.consumed_as_of(now);
+        for (t, m) in round_events {
+            if union.insert(m) {
+                union_curve.push(CurvePoint {
+                    time: t,
+                    covered: union.len(),
+                    machine_time: consumed,
+                });
+            }
+        }
+
+        // Device-loss seam: kill scheduled victims; their unfinished
+        // subspaces are settled by the coordinator and a replacement is
+        // queued with bounded retry/backoff.
+        let mut i = 0;
+        while i < active.len() {
+            let iid = active[i].inst.id().0;
+            if injector.device_loss(iid, round, now) {
+                let a = active.swap_remove(i);
+                let _ = farm.kill(a.device, now);
+                stream_total = add_stream(
+                    stream_total,
+                    retire(
+                        a,
+                        false,
+                        &mut farm,
+                        &mut coordinator,
+                        &mut broadcaster,
+                        &mut finished,
+                        now,
+                    ),
+                );
+                replacements.device_lost(now);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Bus seam: forward surviving events, then let the coordinator
+        // analyze the repaired coordinator-view traces.
+        for a in active.iter_mut() {
+            a.pump_bus(injector, now);
+            if uses_taopt {
+                coordinator.process_trace(a.inst.id(), &a.coord_trace, now);
+            }
+        }
+
+        // Orphan repair: any confirmed subspace whose owner died without
+        // an heir is re-dedicated to a live instance.
+        if uses_taopt {
+            for sid in coordinator.orphaned_subspaces() {
+                orphaned_since.entry(sid).or_insert(now);
+            }
+            for sid in coordinator.orphaned_subspaces() {
+                if let Some(heir) = coordinator.rededicate(sid, now) {
+                    let since = orphaned_since.remove(&sid).unwrap_or(now);
+                    injector.record_recovery(
+                        since,
+                        now,
+                        Some(heir.0),
+                        RecoveryKind::SubspaceRededicated,
+                    );
+                }
+            }
+        }
+
+        // Enforcement seam: push intended rules onto devices, retrying
+        // failed broadcasts from previous rounds.
+        if uses_taopt {
+            broadcaster.reconcile(injector, now);
+        }
+
+        // Stall-based deallocation (TaOPT policy), then termination.
+        if uses_taopt {
+            let mut i = 0;
+            while i < active.len() {
+                if coordinator.should_deallocate(active[i].last_new_screen, now) {
+                    let a = active.swap_remove(i);
+                    stream_total = add_stream(
+                        stream_total,
+                        retire(
+                            a,
+                            true,
+                            &mut farm,
+                            &mut coordinator,
+                            &mut broadcaster,
+                            &mut finished,
+                            now,
+                        ),
+                    );
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if now >= end_at {
+            break;
+        }
+
+        // Re-allocation: queued replacements first (recovery-tracked),
+        // then plain top-up to d_max for stall-deallocated slots. Every
+        // attempt passes the refusal seam; d_max is a hard ceiling.
+        for req in replacements.due(now) {
+            if active.len() >= config.instances {
+                replacements.defer(req, now);
+                continue;
+            }
+            if injector.refuse_allocation(now) {
+                replacements.defer(req, now);
+                continue;
+            }
+            if boot(
+                &mut farm,
+                &mut coordinator,
+                &mut broadcaster,
+                &mut active,
+                &mut next_instance,
+                &mut pending_boot,
+                now,
+            ) {
+                replaced += 1;
+                let latency_anchor = req.lost_at;
+                let new_iid = next_instance - 1;
+                injector.record_recovery(
+                    latency_anchor,
+                    now,
+                    Some(new_iid),
+                    RecoveryKind::DeviceReallocated,
+                );
+            } else {
+                replacements.defer(req, now);
+            }
+        }
+        while active.len() + replacements.outstanding() < config.instances {
+            if injector.refuse_allocation(now) {
+                break; // retried implicitly next round
+            }
+            if !boot(
+                &mut farm,
+                &mut coordinator,
+                &mut broadcaster,
+                &mut active,
+                &mut next_instance,
+                &mut pending_boot,
+                now,
+            ) {
+                break;
+            }
+        }
+    }
+
+    // Give orphans one last chance while instances are still registered,
+    // then measure the invariant.
+    if uses_taopt {
+        for sid in coordinator.orphaned_subspaces() {
+            let since = orphaned_since.remove(&sid).unwrap_or(now);
+            if let Some(heir) = coordinator.rededicate(sid, now) {
+                injector.record_recovery(
+                    since,
+                    now,
+                    Some(heir.0),
+                    RecoveryKind::SubspaceRededicated,
+                );
+            }
+        }
+    }
+    let unresolved_orphans = if uses_taopt {
+        coordinator.orphaned_subspaces().len()
+    } else {
+        0
+    };
+
+    let end = now;
+    for a in active.drain(..) {
+        stream_total = add_stream(
+            stream_total,
+            retire(
+                a,
+                true,
+                &mut farm,
+                &mut coordinator,
+                &mut broadcaster,
+                &mut finished,
+                end,
+            ),
+        );
+    }
+    finished.sort_by_key(|r| r.instance);
+
+    let session = SessionResult {
+        tool: config.tool,
+        mode: config.mode,
+        instances: finished,
+        union_curve,
+        machine_time: farm.consumed(),
+        wall_clock: end.since(VirtualTime::ZERO),
+        subspaces: coordinator.analyzer().subspaces().to_vec(),
+        coordinator_events: coordinator.events().to_vec(),
+        concurrency_timeline,
+    };
+    ChaosReport {
+        session,
+        fault_log: injector.log_snapshot(),
+        fault_stats: injector.stats(),
+        stream: stream_total,
+        devices_lost: farm.lost_count(),
+        replacements: replaced,
+        replacements_abandoned: replacements.given_up(),
+        enforcement_retries: broadcaster.reapplied(),
+        unresolved_orphans,
+    }
+}
+
+fn add_stream(a: StreamStats, b: StreamStats) -> StreamStats {
+    StreamStats {
+        gaps: a.gaps + b.gaps,
+        duplicates: a.duplicates + b.duplicates,
+        reordered: a.reordered + b.reordered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::AnalyzerConfig;
+    use crate::session::RunMode;
+    use taopt_app_sim::{generate_app, GeneratorConfig};
+    use taopt_chaos::{FaultPlan, FaultRates};
+    use taopt_tools::ToolKind;
+    use taopt_ui_model::VirtualDuration;
+
+    fn quick_config() -> SessionConfig {
+        let mut c = SessionConfig::new(ToolKind::Monkey, RunMode::TaoptDuration);
+        c.instances = 3;
+        c.duration = VirtualDuration::from_mins(8);
+        c.tick = VirtualDuration::from_secs(10);
+        c.analyzer = AnalyzerConfig::duration_mode();
+        c.analyzer.find_space.l_min = VirtualDuration::from_secs(45);
+        c.analyzer.analysis_interval = VirtualDuration::from_secs(20);
+        c
+    }
+
+    fn app() -> Arc<App> {
+        Arc::new(generate_app(&GeneratorConfig::small("chaos-sess", 3)).unwrap())
+    }
+
+    #[test]
+    fn inert_chaos_run_matches_a_plain_coordinated_run_shape() {
+        let cfg = quick_config();
+        let r = run_with_chaos(app(), &cfg, &FaultInjector::inert(1));
+        assert_eq!(r.fault_stats.total_injected(), 0);
+        assert_eq!(r.devices_lost, 0);
+        assert_eq!(r.stream, StreamStats::default());
+        assert!(r.session.union_coverage() > 0);
+        assert!(r.session.peak_concurrency() <= cfg.instances);
+        assert_eq!(r.unresolved_orphans, 0);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let cfg = quick_config();
+        let plan = FaultPlan::new(11, FaultRates::uniform(0.05));
+        let a = run_with_chaos(app(), &cfg, &FaultInjector::new(plan.clone()));
+        let b = run_with_chaos(app(), &cfg, &FaultInjector::new(plan));
+        assert_eq!(a.session.union_coverage(), b.session.union_coverage());
+        assert_eq!(
+            a.fault_stats.total_injected(),
+            b.fault_stats.total_injected()
+        );
+        assert_eq!(a.devices_lost, b.devices_lost);
+        assert_eq!(a.stream, b.stream);
+    }
+
+    #[test]
+    fn device_losses_are_recovered_by_reallocation() {
+        let cfg = quick_config();
+        let mut rates = FaultRates::none();
+        rates.device_loss = 0.03; // per instance per 10 s round
+        let r = run_with_chaos(app(), &cfg, &FaultInjector::new(FaultPlan::new(5, rates)));
+        assert!(r.devices_lost > 0, "schedule should kill devices");
+        assert!(r.replacements > 0, "lost devices get replaced");
+        assert!(
+            r.session.peak_concurrency() <= cfg.instances,
+            "d_max holds under churn"
+        );
+        assert!(r.session.union_coverage() > 0);
+    }
+}

@@ -35,10 +35,18 @@ pub enum CoordinatorEvent {
 impl fmt::Display for CoordinatorEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoordinatorEvent::SubspaceDedicated { subspace, owner, at } => {
+            CoordinatorEvent::SubspaceDedicated {
+                subspace,
+                owner,
+                at,
+            } => {
                 write!(f, "{at}: dedicated {subspace} to {owner}")
             }
-            CoordinatorEvent::EntrypointBlocked { subspace, instance, rule } => {
+            CoordinatorEvent::EntrypointBlocked {
+                subspace,
+                instance,
+                rule,
+            } => {
                 write!(f, "{subspace}: {rule} on {instance}")
             }
         }
@@ -54,6 +62,7 @@ pub struct TestCoordinator {
     blocklists: BTreeMap<InstanceId, SharedBlockList>,
     stall_timeout: VirtualDuration,
     events: Vec<CoordinatorEvent>,
+    tombstoned: std::collections::BTreeSet<SubspaceId>,
 }
 
 impl TestCoordinator {
@@ -65,6 +74,7 @@ impl TestCoordinator {
             blocklists: BTreeMap::new(),
             stall_timeout: VirtualDuration::from_mins(1),
             events: Vec::new(),
+            tombstoned: std::collections::BTreeSet::new(),
         }
     }
 
@@ -152,9 +162,17 @@ impl TestCoordinator {
         let survivors: Vec<InstanceId> = self.blocklists.keys().copied().collect();
         let mut heir_cursor = 0usize;
         for (sid, exhausted) in owned {
-            if exhausted || survivors.is_empty() {
+            if exhausted {
                 // Tombstone: leave it blocked everywhere; the dead owner
-                // keeps the dedication on record.
+                // keeps the dedication on record and nobody re-explores.
+                self.tombstoned.insert(sid);
+                continue;
+            }
+            if survivors.is_empty() {
+                // Orphan: unfinished, but nobody is left to inherit. It
+                // stays on record as owned by the dead instance so a
+                // later [`TestCoordinator::rededicate`] (or a resilience
+                // loop) can hand it to a future allocation.
                 continue;
             }
             let heir = survivors[heir_cursor % survivors.len()];
@@ -230,7 +248,10 @@ impl TestCoordinator {
     /// block rules to everyone else.
     fn dedicate(&mut self, sid: SubspaceId, now: VirtualTime) {
         let (owner, entrypoints) = {
-            let info = self.analyzer.subspace(sid).expect("confirmed subspace exists");
+            let info = self
+                .analyzer
+                .subspace(sid)
+                .expect("confirmed subspace exists");
             let owner = info
                 .reporters
                 .iter()
@@ -241,7 +262,11 @@ impl TestCoordinator {
         };
         let Some(owner) = owner else { return };
         self.analyzer.set_owner(sid, owner);
-        self.events.push(CoordinatorEvent::SubspaceDedicated { subspace: sid, owner, at: now });
+        self.events.push(CoordinatorEvent::SubspaceDedicated {
+            subspace: sid,
+            owner,
+            at: now,
+        });
         for (inst, bl) in &self.blocklists {
             if *inst == owner {
                 // The owner keeps access; make sure nothing lingers from
@@ -268,6 +293,52 @@ impl TestCoordinator {
     /// new UI screens for `l_min^short` = 1 minute" (§5.3).
     pub fn should_deallocate(&self, last_new_screen: VirtualTime, now: VirtualTime) -> bool {
         now.since(last_new_screen) >= self.stall_timeout
+    }
+
+    /// Subspaces deliberately retired because their (dead) owner had
+    /// substantially explored them.
+    pub fn tombstoned(&self) -> impl Iterator<Item = SubspaceId> + '_ {
+        self.tombstoned.iter().copied()
+    }
+
+    /// Confirmed subspaces whose owner is no longer registered and that
+    /// were *not* tombstoned — i.e. unfinished territory currently blocked
+    /// on every live instance. An empty return is the liveness invariant
+    /// the resilience layer maintains: no subspace is permanently
+    /// unreachable while instances remain.
+    pub fn orphaned_subspaces(&self) -> Vec<SubspaceId> {
+        self.analyzer
+            .confirmed()
+            .filter(|s| !self.tombstoned.contains(&s.id))
+            .filter(|s| s.owner.is_none_or(|o| !self.blocklists.contains_key(&o)))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Re-dedicates an orphaned subspace to a currently registered
+    /// instance: the heir's entrypoints are unblocked, everyone else's
+    /// stay (idempotently) blocked. Returns the heir, or `None` when no
+    /// instance is registered.
+    pub fn rededicate(&mut self, sid: SubspaceId, now: VirtualTime) -> Option<InstanceId> {
+        let heir = self.blocklists.keys().next().copied()?;
+        let entrypoints = self.analyzer.subspace(sid).map(|s| s.entrypoints.clone())?;
+        self.analyzer.set_owner(sid, heir);
+        for (inst, bl) in &self.blocklists {
+            let mut bl = bl.write();
+            for rule in &entrypoints {
+                if *inst == heir {
+                    bl.unblock(rule);
+                } else {
+                    bl.block(rule.clone());
+                }
+            }
+        }
+        self.events.push(CoordinatorEvent::SubspaceDedicated {
+            subspace: sid,
+            owner: heir,
+            at: now,
+        });
+        Some(heir)
     }
 }
 
@@ -296,15 +367,26 @@ mod tests {
         // Simulate the analyzer confirming a subspace reported by inst 0.
         let sid = c
             .analyzer
-            .register_report(InstanceId(0), rule(1, "tab_shop"), screens(&[5, 6]), VirtualTime::ZERO)
+            .register_report(
+                InstanceId(0),
+                rule(1, "tab_shop"),
+                screens(&[5, 6]),
+                VirtualTime::ZERO,
+            )
             .expect("resource mode confirms at once");
         c.dedicate(sid, VirtualTime::ZERO);
         assert!(bl0.read().is_empty(), "owner keeps access");
         assert_eq!(bl1.read().rules().len(), 1, "other instance blocked");
-        assert_eq!(c.analyzer().subspace(sid).unwrap().owner, Some(InstanceId(0)));
+        assert_eq!(
+            c.analyzer().subspace(sid).unwrap().owner,
+            Some(InstanceId(0))
+        );
         assert!(matches!(
             c.events()[0],
-            CoordinatorEvent::SubspaceDedicated { owner: InstanceId(0), .. }
+            CoordinatorEvent::SubspaceDedicated {
+                owner: InstanceId(0),
+                ..
+            }
         ));
     }
 
@@ -315,7 +397,12 @@ mod tests {
         c.register_instance(InstanceId(0), bl0);
         let sid = c
             .analyzer
-            .register_report(InstanceId(0), rule(1, "tab_a"), screens(&[2, 3]), VirtualTime::ZERO)
+            .register_report(
+                InstanceId(0),
+                rule(1, "tab_a"),
+                screens(&[2, 3]),
+                VirtualTime::ZERO,
+            )
             .unwrap();
         c.dedicate(sid, VirtualTime::ZERO);
         // Instance 2 arrives later: blocked on registration.
@@ -334,6 +421,61 @@ mod tests {
     }
 
     #[test]
+    fn orphaned_subspaces_can_be_rededicated_to_late_arrivals() {
+        let mut c = TestCoordinator::new(AnalyzerConfig::resource_mode());
+        let bl0 = shared_block_list();
+        c.register_instance(InstanceId(0), bl0);
+        let sid = c
+            .analyzer
+            .register_report(
+                InstanceId(0),
+                rule(2, "tab_x"),
+                screens(&[7, 8]),
+                VirtualTime::ZERO,
+            )
+            .unwrap();
+        c.dedicate(sid, VirtualTime::ZERO);
+        // The sole owner dies with the subspace barely explored: no
+        // survivors, so it becomes an orphan (not a tombstone).
+        c.unregister_instance(InstanceId(0));
+        assert_eq!(c.orphaned_subspaces(), vec![sid]);
+        assert_eq!(c.tombstoned().count(), 0);
+        // A later instance arrives blocked (register blocks confirmed
+        // subspaces), then inherits the orphan.
+        let bl1 = shared_block_list();
+        c.register_instance(InstanceId(1), bl1.clone());
+        assert_eq!(bl1.read().rules().len(), 1);
+        let heir = c.rededicate(sid, VirtualTime::from_secs(9));
+        assert_eq!(heir, Some(InstanceId(1)));
+        assert!(bl1.read().is_empty(), "heir regains access");
+        assert!(c.orphaned_subspaces().is_empty());
+    }
+
+    #[test]
+    fn exhausted_subspaces_tombstone_instead_of_orphaning() {
+        let mut c = TestCoordinator::new(AnalyzerConfig::resource_mode());
+        let bl0 = shared_block_list();
+        c.register_instance(InstanceId(0), bl0);
+        let sid = c
+            .analyzer
+            .register_report(
+                InstanceId(0),
+                rule(3, "tab_y"),
+                screens(&[1, 2]),
+                VirtualTime::ZERO,
+            )
+            .unwrap();
+        c.dedicate(sid, VirtualTime::ZERO);
+        // The owner dies having visited every subspace screen.
+        c.unregister_instance_with_trace(InstanceId(0), &screens(&[1, 2]));
+        assert_eq!(c.tombstoned().collect::<Vec<_>>(), vec![sid]);
+        assert!(
+            c.orphaned_subspaces().is_empty(),
+            "tombstones are not orphans"
+        );
+    }
+
+    #[test]
     fn unregister_stops_future_blocks() {
         let mut c = TestCoordinator::new(AnalyzerConfig::resource_mode());
         let bl0 = shared_block_list();
@@ -343,9 +485,17 @@ mod tests {
         c.unregister_instance(InstanceId(1));
         let sid = c
             .analyzer
-            .register_report(InstanceId(0), rule(4, "t"), screens(&[9]), VirtualTime::ZERO)
+            .register_report(
+                InstanceId(0),
+                rule(4, "t"),
+                screens(&[9]),
+                VirtualTime::ZERO,
+            )
             .unwrap();
         c.dedicate(sid, VirtualTime::ZERO);
-        assert!(bl1.read().is_empty(), "deallocated instance no longer updated");
+        assert!(
+            bl1.read().is_empty(),
+            "deallocated instance no longer updated"
+        );
     }
 }

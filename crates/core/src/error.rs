@@ -40,7 +40,12 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(TaoptError::TraceTooShort { len: 3, required: 10 }.to_string().contains('3'));
+        assert!(TaoptError::TraceTooShort {
+            len: 3,
+            required: 10
+        }
+        .to_string()
+        .contains('3'));
         assert!(TaoptError::BadConfig("x".into()).to_string().contains('x'));
         assert!(TaoptError::UnknownSubspace(7).to_string().contains('7'));
     }

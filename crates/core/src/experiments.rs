@@ -25,9 +25,7 @@ use taopt_app_sim::{App, MethodId};
 use taopt_tools::ToolKind;
 use taopt_ui_model::{VirtualDuration, VirtualTime};
 
-use crate::metrics::curves::{
-    machine_time_to_reach, saved_fraction, time_to_reach, CurvePoint,
-};
+use crate::metrics::curves::{machine_time_to_reach, saved_fraction, time_to_reach, CurvePoint};
 use crate::metrics::jaccard::{average_jaccard, jaccard};
 use crate::metrics::overlap::{average_ui_occurrences, subspace_overlap_histogram};
 use crate::partition::{partition_traces, PartitionConfig};
@@ -146,8 +144,9 @@ pub fn run_and_summarize(
 pub fn summarize(app_name: &str, result: &SessionResult, scale: &ExperimentScale) -> RunSummary {
     // AJS over a time grid.
     let total = scale.duration.as_secs().max(1);
-    let grid: Vec<u64> =
-        (1..=scale.grid_points).map(|i| total * i as u64 / scale.grid_points as u64).collect();
+    let grid: Vec<u64> = (1..=scale.grid_points)
+        .map(|i| total * i as u64 / scale.grid_points as u64)
+        .collect();
     let mut ajs_curve = Vec::with_capacity(grid.len());
     for t in &grid {
         let at = VirtualTime::from_secs(*t);
@@ -177,8 +176,11 @@ pub fn summarize(app_name: &str, result: &SessionResult, scale: &ExperimentScale
 }
 
 /// The modes of the main evaluation matrix.
-pub const EVAL_MODES: [RunMode; 3] =
-    [RunMode::Baseline, RunMode::TaoptDuration, RunMode::TaoptResource];
+pub const EVAL_MODES: [RunMode; 3] = [
+    RunMode::Baseline,
+    RunMode::TaoptDuration,
+    RunMode::TaoptResource,
+];
 
 /// Runs the full (apps × tools × modes) matrix, parallelized across apps.
 pub fn evaluation_matrix(
@@ -227,7 +229,9 @@ pub fn matrix_get<'a>(
     tool: ToolKind,
     mode: RunMode,
 ) -> Option<&'a RunSummary> {
-    matrix.iter().find(|r| r.app == app && r.tool == tool && r.mode == mode)
+    matrix
+        .iter()
+        .find(|r| r.app == app && r.tool == tool && r.mode == mode)
 }
 
 fn fnv(s: &str) -> u64 {
@@ -406,7 +410,10 @@ pub fn table6_rows(matrix: &[RunSummary]) -> Vec<OverlapRow> {
     apps.dedup();
     apps.into_iter()
         .map(|app| {
-            let mut row = OverlapRow { app: app.clone(), occurrences: [[0.0; 3]; 3] };
+            let mut row = OverlapRow {
+                app: app.clone(),
+                occurrences: [[0.0; 3]; 3],
+            };
             for (ti, tool) in ToolKind::ALL.into_iter().enumerate() {
                 for (mi, mode) in EVAL_MODES.into_iter().enumerate() {
                     if let Some(r) = matrix_get(matrix, &app, tool, mode) {
@@ -445,7 +452,9 @@ pub fn savings_rows(matrix: &[RunSummary], scale: &ExperimentScale) -> Vec<Savin
     apps.dedup();
     for app in apps {
         for tool in ToolKind::ALL {
-            let Some(base) = matrix_get(matrix, &app, tool, RunMode::Baseline) else { continue };
+            let Some(base) = matrix_get(matrix, &app, tool, RunMode::Baseline) else {
+                continue;
+            };
             let target = base.union_coverage;
             let total_duration = scale.duration;
             let total_machine = base.machine_time;
@@ -458,15 +467,13 @@ pub fn savings_rows(matrix: &[RunSummary], scale: &ExperimentScale) -> Vec<Savin
                 resource_saved_resource_mode: 0.0,
             };
             if let Some(dur) = matrix_get(matrix, &app, tool, RunMode::TaoptDuration) {
-                let t = time_to_reach(&dur.union_curve, target)
-                    .map(|t| t.since(VirtualTime::ZERO));
+                let t = time_to_reach(&dur.union_curve, target).map(|t| t.since(VirtualTime::ZERO));
                 row.duration_saved_duration_mode = saved_fraction(t, total_duration);
                 let m = machine_time_to_reach(&dur.union_curve, target);
                 row.resource_saved_duration_mode = saved_fraction(m, total_machine);
             }
             if let Some(res) = matrix_get(matrix, &app, tool, RunMode::TaoptResource) {
-                let t = time_to_reach(&res.union_curve, target)
-                    .map(|t| t.since(VirtualTime::ZERO));
+                let t = time_to_reach(&res.union_curve, target).map(|t| t.since(VirtualTime::ZERO));
                 row.duration_saved_resource_mode = saved_fraction(t, total_duration);
                 let m = machine_time_to_reach(&res.union_curve, target);
                 row.resource_saved_resource_mode = saved_fraction(m, total_machine);
@@ -509,10 +516,7 @@ pub fn behavior_rows(matrix: &[RunSummary]) -> Vec<BehaviorRow> {
                     continue;
                 };
                 jacc.push(jaccard(&base.union_covered, &taopt.union_covered));
-                let missing = base
-                    .union_covered
-                    .difference(&taopt.union_covered)
-                    .count();
+                let missing = base.union_covered.difference(&taopt.union_covered).count();
                 if !base.union_covered.is_empty() {
                     missed.push(missing as f64 / base.union_covered.len() as f64);
                 }

@@ -173,7 +173,9 @@ pub fn find_space_cached(
     config: &FindSpaceConfig,
     cache: &mut SimilarityCache,
 ) -> Option<SplitCandidate> {
-    find_space_candidates(events, config, cache, 1).into_iter().next()
+    find_space_candidates(events, config, cache, 1)
+        .into_iter()
+        .next()
 }
 
 /// Like [`find_space_cached`], but returns up to `k` qualifying splits in
@@ -187,7 +189,9 @@ pub fn find_space_candidates(
     k: usize,
 ) -> Vec<SplitCandidate> {
     let n = events.len();
-    let Some(pm) = p_max(events, config.l_min) else { return Vec::new() };
+    let Some(pm) = p_max(events, config.l_min) else {
+        return Vec::new();
+    };
     if pm == 0 || k == 0 {
         return Vec::new();
     }
@@ -218,8 +222,7 @@ pub fn find_space_candidates(
             *w += 1;
         }
     }
-    let mut overlap: i64 =
-        (0..d).map(|x| (weight[x] * suffix_count[x]) as i64).sum();
+    let mut overlap: i64 = (0..d).map(|x| (weight[x] * suffix_count[x]) as i64).sum();
 
     let mut prefix_distinct = 1usize;
     let mut qualifying: Vec<SplitCandidate> = Vec::new();
@@ -278,7 +281,10 @@ pub fn find_space_naive(events: &[TraceEvent], config: &FindSpaceConfig) -> Opti
     }
     fn distinct(slice: &[TraceEvent]) -> Vec<&TraceEvent> {
         let mut seen = std::collections::HashSet::new();
-        slice.iter().filter(|e| seen.insert(e.abstract_id)).collect()
+        slice
+            .iter()
+            .filter(|e| seen.insert(e.abstract_id))
+            .collect()
     }
     let sample_size = distinct(&events[pm + 1..]).len().max(1);
     let mut best: Option<SplitCandidate> = None;
@@ -294,8 +300,7 @@ pub fn find_space_naive(events: &[TraceEvent], config: &FindSpaceConfig) -> Opti
             overlap_size += suffix
                 .iter()
                 .filter(|x| {
-                    tree_similarity(&s.abstraction, &x.abstraction)
-                        >= config.similarity_threshold
+                    tree_similarity(&s.abstraction, &x.abstraction) >= config.similarity_threshold
                 })
                 .count();
         }
@@ -367,7 +372,11 @@ pub(crate) mod tests {
             "split at {} should be near 40",
             split.index
         );
-        assert!(split.score < 0.5, "clean split scores low, got {}", split.score);
+        assert!(
+            split.score < 0.5,
+            "clean split scores low, got {}",
+            split.score
+        );
     }
 
     #[test]

@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod chaos_session;
 pub mod conductance;
 pub mod coordinator;
 pub mod error;
@@ -70,13 +71,17 @@ pub mod metrics;
 pub mod offline;
 pub mod partition;
 pub mod report;
+pub mod resilience;
 pub mod session;
 pub mod streaming;
 pub mod theorem;
 
 pub use analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceId, SubspaceInfo};
+pub use chaos_session::{run_with_chaos, ChaosReport};
 pub use conductance::{conductance, partition_score};
 pub use coordinator::{CoordinatorEvent, TestCoordinator};
 pub use error::TaoptError;
 pub use findspace::{find_space, FindSpaceConfig, SplitCandidate};
+pub use resilience::{EnforcementBroadcaster, ReplacementQueue, RetryPolicy};
 pub use session::{ParallelSession, RunMode, SessionConfig, SessionResult};
+pub use streaming::{StreamStats, StreamingAnalyzer};

@@ -36,7 +36,10 @@ pub fn time_to_reach(curve: &[CurvePoint], target: usize) -> Option<VirtualTime>
 
 /// Machine time consumed when the curve first reaches `target` methods.
 pub fn machine_time_to_reach(curve: &[CurvePoint], target: usize) -> Option<VirtualDuration> {
-    curve.iter().find(|p| p.covered >= target).map(|p| p.machine_time)
+    curve
+        .iter()
+        .find(|p| p.covered >= target)
+        .map(|p| p.machine_time)
 }
 
 /// Fraction of `total` saved by reaching the goal at `used` (0 when not
@@ -123,27 +126,26 @@ mod tests {
     fn saved_fraction_boundaries() {
         let total = VirtualDuration::from_secs(100);
         assert_eq!(saved_fraction(None, total), 0.0);
-        assert_eq!(saved_fraction(Some(VirtualDuration::from_secs(100)), total), 0.0);
+        assert_eq!(
+            saved_fraction(Some(VirtualDuration::from_secs(100)), total),
+            0.0
+        );
         let half = saved_fraction(Some(VirtualDuration::from_secs(50)), total);
         assert!((half - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn auc_rewards_earlier_coverage() {
-        let early = vec![
-            CurvePoint {
-                time: VirtualTime::from_secs(10),
-                covered: 100,
-                machine_time: VirtualDuration::ZERO,
-            },
-        ];
-        let late = vec![
-            CurvePoint {
-                time: VirtualTime::from_secs(90),
-                covered: 100,
-                machine_time: VirtualDuration::ZERO,
-            },
-        ];
+        let early = vec![CurvePoint {
+            time: VirtualTime::from_secs(10),
+            covered: 100,
+            machine_time: VirtualDuration::ZERO,
+        }];
+        let late = vec![CurvePoint {
+            time: VirtualTime::from_secs(90),
+            covered: 100,
+            machine_time: VirtualDuration::ZERO,
+        }];
         let h = VirtualTime::from_secs(100);
         assert!(coverage_auc(&early, h) > coverage_auc(&late, h));
         // Same final coverage at the horizon.

@@ -56,7 +56,11 @@ mod tests {
     use crate::findspace::tests::ev;
 
     fn trace_of(labels: &[&str]) -> Trace {
-        labels.iter().enumerate().map(|(i, l)| ev(i as u64, l)).collect()
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ev(i as u64, l))
+            .collect()
     }
 
     #[test]
@@ -74,10 +78,16 @@ mod tests {
         let t1 = trace_of(&["a", "b", "x"]);
         let t2 = trace_of(&["a", "b"]);
         let t3 = trace_of(&["x", "y"]);
-        let sub_ab: BTreeSet<_> =
-            trace_of(&["a", "b"]).events().iter().map(|e| e.abstract_id).collect();
-        let sub_xy: BTreeSet<_> =
-            trace_of(&["x", "y"]).events().iter().map(|e| e.abstract_id).collect();
+        let sub_ab: BTreeSet<_> = trace_of(&["a", "b"])
+            .events()
+            .iter()
+            .map(|e| e.abstract_id)
+            .collect();
+        let sub_xy: BTreeSet<_> = trace_of(&["x", "y"])
+            .events()
+            .iter()
+            .map(|e| e.abstract_id)
+            .collect();
         let h = subspace_overlap_histogram(&[sub_ab, sub_xy], &[&t1, &t2, &t3], 1);
         // a/b explored by t1+t2 (2 instances); x/y by t1 (x only) + t3.
         assert_eq!(h.get(&2), Some(&2));
@@ -87,8 +97,11 @@ mod tests {
     fn min_hits_filters_grazing_visits() {
         let t1 = trace_of(&["a", "b", "c"]);
         let t2 = trace_of(&["a", "z"]);
-        let sub_abc: BTreeSet<_> =
-            trace_of(&["a", "b", "c"]).events().iter().map(|e| e.abstract_id).collect();
+        let sub_abc: BTreeSet<_> = trace_of(&["a", "b", "c"])
+            .events()
+            .iter()
+            .map(|e| e.abstract_id)
+            .collect();
         // With min_hits 2, t2 (only "a") does not count as exploring.
         let h = subspace_overlap_histogram(&[sub_abc], &[&t1, &t2], 2);
         assert_eq!(h.get(&1), Some(&1));

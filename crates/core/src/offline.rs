@@ -17,9 +17,8 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-
 use taopt_toller::InstanceId;
+use taopt_ui_model::json::{trace_from_value, trace_to_value, Value};
 use taopt_ui_model::{Trace, VirtualTime};
 
 use crate::analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceInfo};
@@ -28,7 +27,7 @@ use crate::partition::{partition_traces, PartitionConfig};
 use crate::session::SessionResult;
 
 /// A persisted bundle of per-instance traces from one parallel run.
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TraceArchive {
     /// Label for reports (app name, tool, mode…).
     pub label: String,
@@ -74,8 +73,22 @@ impl TraceArchive {
     /// # Errors
     ///
     /// Propagates I/O and serialization failures.
-    pub fn write_to<W: Write>(&self, writer: W) -> std::io::Result<()> {
-        serde_json::to_writer(writer, self).map_err(std::io::Error::other)
+    pub fn write_to<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        let traces = self
+            .traces
+            .iter()
+            .map(|(iid, trace)| {
+                Value::Object(vec![
+                    ("instance".to_owned(), Value::from(*iid)),
+                    ("trace".to_owned(), trace_to_value(trace)),
+                ])
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            ("label".to_owned(), Value::from(self.label.clone())),
+            ("traces".to_owned(), Value::Array(traces)),
+        ]);
+        writer.write_all(doc.to_json_string().as_bytes())
     }
 
     /// Deserializes from a reader.
@@ -83,8 +96,35 @@ impl TraceArchive {
     /// # Errors
     ///
     /// Propagates I/O and deserialization failures.
-    pub fn read_from<R: Read>(reader: R) -> std::io::Result<Self> {
-        serde_json::from_reader(reader).map_err(std::io::Error::other)
+    pub fn read_from<R: Read>(mut reader: R) -> std::io::Result<Self> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        let doc = Value::parse(&text).map_err(std::io::Error::other)?;
+        let convert = || -> Result<Self, taopt_ui_model::JsonError> {
+            let label = doc
+                .require("label")?
+                .as_str()
+                .ok_or_else(|| taopt_ui_model::JsonError::conversion("label must be a string"))?
+                .to_owned();
+            let traces = doc
+                .require("traces")?
+                .as_array()
+                .ok_or_else(|| taopt_ui_model::JsonError::conversion("traces must be an array"))?
+                .iter()
+                .map(|entry| {
+                    let iid = entry
+                        .require("instance")?
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| {
+                            taopt_ui_model::JsonError::conversion("instance must be a u32")
+                        })?;
+                    Ok((iid, trace_from_value(entry.require("trace")?)?))
+                })
+                .collect::<Result<_, taopt_ui_model::JsonError>>()?;
+            Ok(TraceArchive { label, traces })
+        };
+        convert().map_err(std::io::Error::other)
     }
 
     /// Saves to a file (buffered).
@@ -107,7 +147,7 @@ impl TraceArchive {
 }
 
 /// The outcome of the §3 preliminary study over recorded traces.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StudyReport {
     /// Archive label.
     pub label: String,
@@ -130,8 +170,12 @@ impl StudyReport {
         if total == 0 {
             return 0.0;
         }
-        let multi: usize =
-            self.overlap_histogram.iter().filter(|(k, _)| **k > 1).map(|(_, v)| *v).sum();
+        let multi: usize = self
+            .overlap_histogram
+            .iter()
+            .filter(|(k, _)| **k > 1)
+            .map(|(_, v)| *v)
+            .sum();
         multi as f64 / total as f64
     }
 }
@@ -164,7 +208,12 @@ pub fn replay_analysis(archive: &TraceArchive, config: AnalyzerConfig) -> Vec<Su
     // Interleave instances round-robin in chunks, approximating the
     // lock-step session schedule.
     let chunk = 10usize;
-    let max_len = archive.traces.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+    let max_len = archive
+        .traces
+        .iter()
+        .map(|(_, t)| t.len())
+        .max()
+        .unwrap_or(0);
     let mut upto = chunk;
     while upto <= max_len + chunk {
         for (iid, trace) in &archive.traces {

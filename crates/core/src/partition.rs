@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use taopt_ui_model::{AbstractScreenId, Trace, StochasticDigraph, VirtualDuration};
+use taopt_ui_model::{AbstractScreenId, StochasticDigraph, Trace, VirtualDuration};
 
 use crate::findspace::{find_space, FindSpaceConfig};
 use crate::metrics::jaccard::jaccard;
@@ -31,7 +31,10 @@ pub struct PartitionConfig {
 
 impl Default for PartitionConfig {
     fn default() -> Self {
-        PartitionConfig { coupling_threshold: 0.15, min_cluster_size: 2 }
+        PartitionConfig {
+            coupling_threshold: 0.15,
+            min_cluster_size: 2,
+        }
     }
 }
 
@@ -348,7 +351,10 @@ mod tests {
             }
             g.add_edge(base, (base + 100) % 800, 0.01).unwrap();
         }
-        let cfg = PartitionConfig { coupling_threshold: 0.01, min_cluster_size: 2 };
+        let cfg = PartitionConfig {
+            coupling_threshold: 0.01,
+            min_cluster_size: 2,
+        };
         let clusters = partition_graph(&g.normalized(), &cfg);
         assert_eq!(clusters.len(), 8);
         assert!(clusters.iter().all(|c| c.len() == 25));

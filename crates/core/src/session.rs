@@ -120,7 +120,8 @@ impl SessionConfig {
 
     /// The effective machine budget.
     pub fn effective_budget(&self) -> VirtualDuration {
-        self.machine_budget.unwrap_or(self.duration * self.instances as u64)
+        self.machine_budget
+            .unwrap_or(self.duration * self.instances as u64)
     }
 }
 
@@ -189,12 +190,18 @@ impl SessionResult {
 
     /// Union of unique crashes across instances.
     pub fn unique_crashes(&self) -> BTreeSet<CrashSignature> {
-        self.instances.iter().flat_map(|i| i.crashes.iter().copied()).collect()
+        self.instances
+            .iter()
+            .flat_map(|i| i.crashes.iter().copied())
+            .collect()
     }
 
     /// Union covered-method set.
     pub fn union_covered(&self) -> BTreeSet<MethodId> {
-        self.instances.iter().flat_map(|i| i.covered.iter().copied()).collect()
+        self.instances
+            .iter()
+            .flat_map(|i| i.covered.iter().copied())
+            .collect()
     }
 
     /// Per-instance coverage sets (for AJS).
@@ -226,7 +233,11 @@ impl SessionResult {
 
     /// Peak concurrency reached during the session.
     pub fn peak_concurrency(&self) -> usize {
-        self.concurrency_timeline.iter().map(|(_, n)| *n).max().unwrap_or(0)
+        self.concurrency_timeline
+            .iter()
+            .map(|(_, n)| *n)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean concurrency over the session's rounds.
@@ -234,7 +245,10 @@ impl SessionResult {
         if self.concurrency_timeline.is_empty() {
             return 0.0;
         }
-        self.concurrency_timeline.iter().map(|(_, n)| *n).sum::<usize>() as f64
+        self.concurrency_timeline
+            .iter()
+            .map(|(_, n)| *n)
+            .sum::<usize>() as f64
             / self.concurrency_timeline.len() as f64
     }
 }
@@ -261,8 +275,8 @@ impl ParallelSession {
     /// The run is fully deterministic given `config.seed`.
     pub fn run(app: Arc<App>, config: &SessionConfig) -> SessionResult {
         let mut farm = DeviceFarm::new(config.instances);
-        let mut coordinator = TestCoordinator::new(config.analyzer.clone())
-            .with_stall_timeout(config.stall_timeout);
+        let mut coordinator =
+            TestCoordinator::new(config.analyzer.clone()).with_stall_timeout(config.stall_timeout);
         let mut active: Vec<ActiveInstance> = Vec::new();
         let mut finished: Vec<InstanceResult> = Vec::new();
         let mut next_instance = 0u32;
@@ -304,7 +318,7 @@ impl ParallelSession {
                 activity_plan.as_ref(),
                 now,
                 &mut pending_boot,
-                );
+            );
         }
 
         loop {
@@ -320,8 +334,7 @@ impl ParallelSession {
             // Step every active instance up to the round boundary, pooling
             // cover events so the union curve stays time-ordered across
             // instances within the round.
-            let mut round_events: Vec<(VirtualTime, MethodId)> =
-                std::mem::take(&mut pending_boot);
+            let mut round_events: Vec<(VirtualTime, MethodId)> = std::mem::take(&mut pending_boot);
             for a in active.iter_mut() {
                 let target = now.min(deadline);
                 let reports = a.inst.run_until(target);
@@ -442,7 +455,7 @@ impl ParallelSession {
                             None,
                             now,
                             &mut pending_boot,
-                            );
+                        );
                     }
                 }
                 RunMode::TaoptResource => {
@@ -462,7 +475,7 @@ impl ParallelSession {
                                 None,
                                 now,
                                 &mut pending_boot,
-                                );
+                            );
                         }
                     }
                     // Keep at least one explorer alive while budget remains.
@@ -477,7 +490,7 @@ impl ParallelSession {
                             None,
                             now,
                             &mut pending_boot,
-                            );
+                        );
                     }
                 }
             }
@@ -538,18 +551,22 @@ impl ActivityPlan {
                 }
                 for a in &s.actions {
                     let leaves = a.targets.iter().any(|t| {
-                        let target_activity =
-                            app.screen(t.screen).map(|sp| sp.activity);
-                        target_activity.map(|ta| !owned_set.contains(&ta)).unwrap_or(false)
+                        let target_activity = app.screen(t.screen).map(|sp| sp.activity);
+                        target_activity
+                            .map(|ta| !owned_set.contains(&ta))
+                            .unwrap_or(false)
                     });
                     if leaves {
-                        rules[slot]
-                            .push(EntrypointRule::new(abstract_of[&s.id], &a.widget_rid));
+                        rules[slot].push(EntrypointRule::new(abstract_of[&s.id], &a.widget_rid));
                     }
                 }
             }
         }
-        ActivityPlan { owned, rules, screens }
+        ActivityPlan {
+            owned,
+            rules,
+            screens,
+        }
     }
 }
 
@@ -565,14 +582,20 @@ fn allocate(
     now: VirtualTime,
     pending_boot: &mut Vec<(VirtualTime, MethodId)>,
 ) {
-    let Ok(device) = farm.allocate(now) else { return };
+    let Ok(device) = farm.allocate(now) else {
+        return;
+    };
     let iid = InstanceId(*next_instance);
     *next_instance += 1;
     // Derive decorrelated per-instance seeds.
     let seed = config
         .seed
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add((iid.0 as u64).wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1));
+        .wrapping_add(
+            (iid.0 as u64)
+                .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                .wrapping_add(1),
+        );
     let tool = config.tool.build(seed);
     let inst = InstrumentedInstance::boot_with(
         iid,
@@ -625,8 +648,13 @@ fn deallocate(
     now: VirtualTime,
 ) {
     let _ = farm.deallocate(a.device, now);
-    let visited: std::collections::BTreeSet<_> =
-        a.inst.trace().events().iter().map(|e| e.abstract_id).collect();
+    let visited: std::collections::BTreeSet<_> = a
+        .inst
+        .trace()
+        .events()
+        .iter()
+        .map(|e| e.abstract_id)
+        .collect();
     coordinator.unregister_instance_with_trace(a.inst.id(), &visited);
     let em = a.inst.emulator();
     finished.push(InstanceResult {
@@ -803,8 +831,7 @@ mod pats_tests {
 
     #[test]
     fn pats_mode_runs_and_dispatches() {
-        let app =
-            Arc::new(generate_app(&GeneratorConfig::small("pats", 4)).unwrap());
+        let app = Arc::new(generate_app(&GeneratorConfig::small("pats", 4)).unwrap());
         let mut cfg = SessionConfig::new(ToolKind::Monkey, RunMode::PatsMasterSlave);
         cfg.instances = 3;
         cfg.duration = VirtualDuration::from_mins(8);
@@ -818,15 +845,20 @@ mod pats_tests {
             .instances
             .iter()
             .filter(|i| i.instance.0 != 0)
-            .map(|i| i.trace.events().iter().filter(|e| e.action.is_none()).count())
+            .map(|i| {
+                i.trace
+                    .events()
+                    .iter()
+                    .filter(|e| e.action.is_none())
+                    .count()
+            })
             .sum();
         assert!(slave_jumps > 2, "expected dispatches, saw {slave_jumps}");
     }
 
     #[test]
     fn pats_is_deterministic() {
-        let app =
-            Arc::new(generate_app(&GeneratorConfig::small("pats", 5)).unwrap());
+        let app = Arc::new(generate_app(&GeneratorConfig::small("pats", 5)).unwrap());
         let mut cfg = SessionConfig::new(ToolKind::Ape, RunMode::PatsMasterSlave);
         cfg.instances = 3;
         cfg.duration = VirtualDuration::from_mins(6);

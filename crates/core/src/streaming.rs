@@ -8,24 +8,151 @@
 //! drains a [`taopt_toller::EventBus`], rebuilds per-instance traces, runs
 //! the online analysis, and publishes confirmed subspaces through a shared
 //! snapshot that device loops read when applying enforcement.
+//!
+//! The transport is not trusted: every [`taopt_toller::BusEvent`] carries
+//! a per-instance sequence number and the worker delivers events to the
+//! analyzer in strict sequence order. Delayed events are buffered until
+//! their predecessors arrive, duplicates are dropped, and a gap that
+//! persists (a genuinely lost event) is eventually skipped so one drop
+//! cannot stall analysis forever. The [`StreamStats`] counters expose what
+//! the repair layer saw.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::RecvTimeoutError;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
-use taopt_toller::{EventBus, InstanceId};
-use taopt_ui_model::{Trace, VirtualTime};
+use taopt_toller::{BusEvent, EventBus, InstanceId};
+use taopt_ui_model::{Trace, TraceEvent, VirtualTime};
 
 use crate::analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceInfo};
+
+/// Skip a sequence gap once this many newer events are buffered behind it.
+const GAP_BUFFER_LIMIT: usize = 8;
+/// Skip a sequence gap once the stream has advanced this far past it.
+const GAP_SPAN_LIMIT: u64 = 32;
+/// Skip a sequence gap after this many consecutive idle receive timeouts
+/// with the gap still open (the missing event is not coming).
+const GAP_STALL_LIMIT: u32 = 3;
+
+/// Stream-repair counters: what the sequence layer observed and did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Sequence numbers given up on (events presumed lost in transit).
+    pub gaps: usize,
+    /// Events dropped because their sequence number was already seen.
+    pub duplicates: usize,
+    /// Events that arrived ahead of a predecessor and were buffered.
+    pub reordered: usize,
+}
 
 /// Shared snapshot of the analyzer's findings.
 #[derive(Debug, Default)]
 struct Snapshot {
     subspaces: Vec<SubspaceInfo>,
     events_consumed: usize,
+    stream: StreamStats,
+}
+
+#[derive(Debug, Default)]
+struct SnapshotCell {
+    state: Mutex<Snapshot>,
+    changed: Condvar,
+}
+
+/// Per-instance sequence-order repair state (also used by the chaos
+/// session to rebuild coordinator-view traces from a faulty bus).
+#[derive(Debug, Default)]
+pub(crate) struct Reorder {
+    /// Next sequence number owed to the analyzer.
+    expected: u64,
+    /// Out-of-order arrivals waiting for their predecessors.
+    pending: BTreeMap<u64, TraceEvent>,
+    /// Consecutive idle timeouts with a gap open.
+    stalls: u32,
+}
+
+impl Reorder {
+    /// Accepts one bus event; returns events now deliverable in order.
+    /// Updates `stats` for duplicates/reorders.
+    pub(crate) fn accept(
+        &mut self,
+        seq: u64,
+        event: TraceEvent,
+        stats: &mut StreamStats,
+    ) -> Vec<TraceEvent> {
+        if seq < self.expected || self.pending.contains_key(&seq) {
+            stats.duplicates += 1;
+            return Vec::new();
+        }
+        if seq > self.expected {
+            stats.reordered += 1;
+        }
+        self.pending.insert(seq, event);
+        self.stalls = 0;
+        let mut out = self.drain_in_order();
+        // A wide buffer means the head gap is a real loss, not jitter.
+        if self.pending.len() >= GAP_BUFFER_LIMIT || self.span() > GAP_SPAN_LIMIT {
+            out.extend(self.skip_gap(stats));
+        }
+        out
+    }
+
+    /// Delivers the contiguous run starting at `expected`.
+    fn drain_in_order(&mut self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        while let Some(e) = self.pending.remove(&self.expected) {
+            self.expected += 1;
+            out.push(e);
+        }
+        out
+    }
+
+    /// Distance from `expected` to the newest buffered sequence number.
+    fn span(&self) -> u64 {
+        self.pending
+            .keys()
+            .next_back()
+            .map_or(0, |max| max.saturating_sub(self.expected))
+    }
+
+    /// Gives up on the sequence numbers between `expected` and the oldest
+    /// buffered event, then delivers what that unblocks.
+    fn skip_gap(&mut self, stats: &mut StreamStats) -> Vec<TraceEvent> {
+        let Some(&first) = self.pending.keys().next() else {
+            return Vec::new();
+        };
+        stats.gaps += (first - self.expected) as usize;
+        self.expected = first;
+        self.drain_in_order()
+    }
+
+    /// Called on an idle receive timeout; skips a stale gap after
+    /// [`GAP_STALL_LIMIT`] idle rounds.
+    fn on_idle(&mut self, stats: &mut StreamStats) -> Vec<TraceEvent> {
+        if self.pending.is_empty() {
+            self.stalls = 0;
+            return Vec::new();
+        }
+        self.stalls += 1;
+        if self.stalls >= GAP_STALL_LIMIT {
+            self.stalls = 0;
+            self.skip_gap(stats)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Final flush: deliver everything still buffered, counting the gaps.
+    pub(crate) fn flush(&mut self, stats: &mut StreamStats) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        while !self.pending.is_empty() {
+            out.extend(self.skip_gap(stats));
+        }
+        out
+    }
 }
 
 /// A background analyzer consuming a Toller event bus.
@@ -34,7 +161,7 @@ struct Snapshot {
 /// sender side of the bus has been dropped.
 #[derive(Debug)]
 pub struct StreamingAnalyzer {
-    snapshot: Arc<Mutex<Snapshot>>,
+    cell: Arc<SnapshotCell>,
     stop: Arc<std::sync::atomic::AtomicBool>,
     worker: Option<JoinHandle<()>>,
 }
@@ -43,61 +170,127 @@ impl StreamingAnalyzer {
     /// Spawns the worker thread on the given bus.
     pub fn spawn(bus: &EventBus, config: AnalyzerConfig) -> Self {
         let rx = bus.receiver();
-        let snapshot = Arc::new(Mutex::new(Snapshot::default()));
+        let cell = Arc::new(SnapshotCell::default());
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        let worker_snapshot = Arc::clone(&snapshot);
+        let worker_cell = Arc::clone(&cell);
         let worker_stop = Arc::clone(&stop);
         let worker = std::thread::spawn(move || {
             let mut analyzer = OnlineTraceAnalyzer::new(config);
             let mut traces: HashMap<InstanceId, Trace> = HashMap::new();
+            let mut reorders: HashMap<InstanceId, Reorder> = HashMap::new();
+            let deliver = |instance: InstanceId,
+                           events: Vec<TraceEvent>,
+                           stats: StreamStats,
+                           analyzer: &mut OnlineTraceAnalyzer,
+                           traces: &mut HashMap<InstanceId, Trace>| {
+                let delivered = events.len();
+                let trace = traces.entry(instance).or_default();
+                let mut now = VirtualTime::ZERO;
+                for event in events {
+                    now = event.time;
+                    trace.push(event);
+                }
+                if delivered > 0 {
+                    analyzer.maybe_analyze(instance, trace, now);
+                }
+                let mut snap = worker_cell.state.lock();
+                snap.events_consumed += delivered;
+                snap.stream = stats;
+                let subs = analyzer.subspaces();
+                // Publish only on change: readers clone this vector on
+                // every poll, so rewriting it per event is pure churn.
+                if snap.subspaces != subs {
+                    snap.subspaces = subs.to_vec();
+                }
+                drop(snap);
+                worker_cell.changed.notify_all();
+            };
+            let mut stats = StreamStats::default();
             loop {
                 if worker_stop.load(std::sync::atomic::Ordering::Relaxed) {
                     break;
                 }
                 match rx.recv_timeout(std::time::Duration::from_millis(20)) {
-                    Ok((instance, event)) => {
-                        let now = event.time;
-                        let trace = traces.entry(instance).or_default();
-                        trace.push(event);
-                        analyzer.maybe_analyze(instance, trace, now);
-                        let mut snap = worker_snapshot.lock();
-                        snap.events_consumed += 1;
-                        snap.subspaces = analyzer.subspaces().to_vec();
+                    Ok(BusEvent {
+                        instance,
+                        seq,
+                        event,
+                    }) => {
+                        let ready = reorders
+                            .entry(instance)
+                            .or_default()
+                            .accept(seq, event, &mut stats);
+                        deliver(instance, ready, stats, &mut analyzer, &mut traces);
                     }
-                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Timeout) => {
+                        for (&instance, r) in reorders.iter_mut() {
+                            let ready = r.on_idle(&mut stats);
+                            if !ready.is_empty() {
+                                deliver(instance, ready, stats, &mut analyzer, &mut traces);
+                            }
+                        }
+                    }
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
+            // Senders are gone (or we were stopped): anything still
+            // buffered will never be completed — deliver it as-is.
+            for (&instance, r) in reorders.iter_mut() {
+                let ready = r.flush(&mut stats);
+                if !ready.is_empty() {
+                    deliver(instance, ready, stats, &mut analyzer, &mut traces);
+                }
+            }
         });
-        StreamingAnalyzer { snapshot, stop, worker: Some(worker) }
+        StreamingAnalyzer {
+            cell,
+            stop,
+            worker: Some(worker),
+        }
     }
 
     /// Current view of the identified subspaces.
     pub fn subspaces(&self) -> Vec<SubspaceInfo> {
-        self.snapshot.lock().subspaces.clone()
+        self.cell.state.lock().subspaces.clone()
     }
 
     /// Confirmed subspaces only.
     pub fn confirmed(&self) -> Vec<SubspaceInfo> {
-        self.snapshot.lock().subspaces.iter().filter(|s| s.confirmed).cloned().collect()
+        self.cell
+            .state
+            .lock()
+            .subspaces
+            .iter()
+            .filter(|s| s.confirmed)
+            .cloned()
+            .collect()
     }
 
     /// Events consumed so far.
     pub fn events_consumed(&self) -> usize {
-        self.snapshot.lock().events_consumed
+        self.cell.state.lock().events_consumed
+    }
+
+    /// Stream-repair counters (gaps skipped, duplicates dropped,
+    /// out-of-order arrivals buffered).
+    pub fn stream_stats(&self) -> StreamStats {
+        self.cell.state.lock().stream
     }
 
     /// Blocks until at least `n` events have been consumed or the timeout
-    /// elapses; returns whether the target was reached.
+    /// elapses; returns whether the target was reached. Sleeps on a
+    /// condvar the worker signals after every delivery — no busy-wait.
     pub fn wait_for_events(&self, n: usize, timeout: std::time::Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
-        while std::time::Instant::now() < deadline {
-            if self.events_consumed() >= n {
-                return true;
+        let mut snap = self.cell.state.lock();
+        while snap.events_consumed < n {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
             }
-            std::thread::yield_now();
+            self.cell.changed.wait_for(&mut snap, deadline - now);
         }
-        self.events_consumed() >= n
+        true
     }
 
     /// Stops the worker and waits for it to finish.
@@ -179,6 +372,8 @@ mod tests {
             "worker consumed {} of {expected}",
             analyzer.events_consumed()
         );
+        // A clean transport needs no repairs.
+        assert_eq!(analyzer.stream_stats(), StreamStats::default());
         // The analyzer worked on the stream: it saw subspace candidates.
         assert!(
             !analyzer.subspaces().is_empty(),
@@ -196,5 +391,149 @@ mod tests {
         // Dropping the bus with a live analyzer also terminates cleanly.
         let a2 = StreamingAnalyzer::spawn(&EventBus::new(), AnalyzerConfig::resource_mode());
         drop(a2);
+    }
+
+    /// Builds a tiny synthetic event for sequence-layer tests.
+    fn mini_event(t: u64) -> TraceEvent {
+        use taopt_ui_model::abstraction::{AbstractHierarchy, AbstractNode};
+        use taopt_ui_model::{ActivityId, ScreenId, WidgetClass};
+        let a = StdArc::new(AbstractHierarchy::from_root(AbstractNode {
+            class: WidgetClass::FrameLayout,
+            resource_id: None,
+            children: Vec::new(),
+        }));
+        TraceEvent {
+            time: VirtualTime::from_secs(t),
+            screen: ScreenId(0),
+            activity: ActivityId(0),
+            abstract_id: a.id(),
+            abstraction: a,
+            action: None,
+            action_widget_rid: None,
+        }
+    }
+
+    #[test]
+    fn reorder_buffers_and_drains_in_sequence() {
+        let mut r = Reorder::default();
+        let mut stats = StreamStats::default();
+        assert!(
+            r.accept(1, mini_event(1), &mut stats).is_empty(),
+            "seq 1 waits for 0"
+        );
+        let out = r.accept(0, mini_event(0), &mut stats);
+        assert_eq!(out.len(), 2, "0 arrives, both deliver");
+        assert_eq!(out[0].time, VirtualTime::from_secs(0));
+        assert_eq!(out[1].time, VirtualTime::from_secs(1));
+        assert_eq!(stats.reordered, 1);
+        assert_eq!(stats.gaps, 0);
+    }
+
+    #[test]
+    fn reorder_drops_duplicates() {
+        let mut r = Reorder::default();
+        let mut stats = StreamStats::default();
+        assert_eq!(r.accept(0, mini_event(0), &mut stats).len(), 1);
+        assert!(
+            r.accept(0, mini_event(0), &mut stats).is_empty(),
+            "replay of delivered seq"
+        );
+        assert!(r.accept(2, mini_event(2), &mut stats).is_empty());
+        assert!(
+            r.accept(2, mini_event(2), &mut stats).is_empty(),
+            "replay of buffered seq"
+        );
+        assert_eq!(stats.duplicates, 2);
+    }
+
+    #[test]
+    fn persistent_gap_is_skipped() {
+        let mut r = Reorder::default();
+        let mut stats = StreamStats::default();
+        // seq 0 never arrives; buffer grows until the give-up threshold.
+        let mut delivered = 0;
+        for seq in 1..=GAP_BUFFER_LIMIT as u64 + 1 {
+            delivered += r.accept(seq, mini_event(seq), &mut stats).len();
+        }
+        assert!(
+            delivered >= GAP_BUFFER_LIMIT,
+            "gap skipped, buffer delivered"
+        );
+        assert_eq!(stats.gaps, 1, "exactly seq 0 was given up");
+    }
+
+    #[test]
+    fn idle_timeouts_flush_a_stalled_gap() {
+        let mut r = Reorder::default();
+        let mut stats = StreamStats::default();
+        assert!(r.accept(3, mini_event(3), &mut stats).is_empty());
+        for _ in 0..GAP_STALL_LIMIT - 1 {
+            assert!(r.on_idle(&mut stats).is_empty());
+        }
+        let out = r.on_idle(&mut stats);
+        assert_eq!(out.len(), 1, "stalled event released");
+        assert_eq!(stats.gaps, 3, "seqs 0..3 given up");
+    }
+
+    #[test]
+    fn lossy_bus_still_reaches_the_analyzer() {
+        // Hand-feed a lossy/duplicating stream through the public API:
+        // stamp every event, but drop some, duplicate some, and send one
+        // out of order.
+        use taopt_toller::BusEvent;
+        let bus = EventBus::new();
+        let analyzer = StreamingAnalyzer::spawn(&bus, AnalyzerConfig::duration_mode());
+        let tx = bus.sender();
+        let inst = InstanceId(0);
+        let mut delayed: Option<BusEvent> = None;
+        let mut expect = 0usize;
+        let mut dropped = 0usize;
+        let mut duplicated = 0usize;
+        // 61 events so the stream does not *end* on a dropped seq (a
+        // tail-gap has no successor to trigger the skip).
+        for k in 0..61u64 {
+            let seq = tx.stamp(inst);
+            let be = BusEvent {
+                instance: inst,
+                seq,
+                event: mini_event(k),
+            };
+            match k % 7 {
+                3 => dropped += 1, // never sent: a permanent gap
+                5 => {
+                    tx.send_raw(be.clone()).unwrap();
+                    tx.send_raw(be).unwrap();
+                    duplicated += 1;
+                    expect += 1;
+                }
+                6 => {
+                    // Hold this one back one round (reordering).
+                    delayed = Some(be);
+                    expect += 1;
+                }
+                _ => {
+                    tx.send_raw(be).unwrap();
+                    if let Some(d) = delayed.take() {
+                        tx.send_raw(d).unwrap();
+                    }
+                    expect += 1;
+                }
+            }
+        }
+        if let Some(d) = delayed.take() {
+            tx.send_raw(d).unwrap();
+        }
+        drop(tx);
+        drop(bus);
+        assert!(
+            analyzer.wait_for_events(expect, std::time::Duration::from_secs(10)),
+            "repaired stream delivered {} of {expect}",
+            analyzer.events_consumed()
+        );
+        let stats = analyzer.stream_stats();
+        assert_eq!(stats.gaps, dropped, "every dropped seq detected as a gap");
+        assert_eq!(stats.duplicates, duplicated, "every replay detected");
+        assert!(stats.reordered > 0, "held-back events counted as reordered");
+        analyzer.shutdown();
     }
 }

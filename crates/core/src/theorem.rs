@@ -109,7 +109,11 @@ pub fn separation_trial(config: &CliquePairConfig, samples: u64, seed: u64) -> S
     if min_internal == f64::MAX {
         min_internal = 0.0;
     }
-    let cross_freq = if visits[0] > 0 { cross_count as f64 / (visits[0] + visits[n]) as f64 } else { 0.0 };
+    let cross_freq = if visits[0] > 0 {
+        cross_count as f64 / (visits[0] + visits[n]) as f64
+    } else {
+        0.0
+    };
     SeparationOutcome {
         min_internal_freq: min_internal,
         cross_freq,

@@ -222,10 +222,8 @@ mod coordinator_fuzz {
             prop_oneof![
                 (0u32..6).prop_map(Op::Register),
                 (0u32..6).prop_map(Op::Unregister),
-                ((0u32..6), (0u64..5)).prop_map(|(instance, cluster)| Op::Report {
-                    instance,
-                    cluster
-                }),
+                ((0u32..6), (0u64..5))
+                    .prop_map(|(instance, cluster)| Op::Report { instance, cluster }),
             ],
             1..60,
         )
@@ -234,7 +232,9 @@ mod coordinator_fuzz {
     /// Disjoint screen sets per cluster id, so reports for the same
     /// cluster merge and reports for different clusters do not.
     fn screens_of(cluster: u64) -> BTreeSet<AbstractScreenId> {
-        (0..8u64).map(|i| AbstractScreenId(cluster * 100 + i)).collect()
+        (0..8u64)
+            .map(|i| AbstractScreenId(cluster * 100 + i))
+            .collect()
     }
 
     fn rule_of(cluster: u64) -> EntrypointRule {

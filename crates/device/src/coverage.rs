@@ -66,7 +66,12 @@ impl CoverageTracer {
         // the exact set at a past instant should snapshot during the run.
         // This fallback returns the full set when `time` is at or past the
         // end of the timeline, or an empty set before the first point.
-        if self.timeline.first().map(|(t, _)| time < *t).unwrap_or(true) {
+        if self
+            .timeline
+            .first()
+            .map(|(t, _)| time < *t)
+            .unwrap_or(true)
+        {
             BTreeSet::new()
         } else {
             self.covered.clone()
@@ -109,6 +114,9 @@ mod tests {
         for i in 0..50 {
             t.record(VirtualTime::from_secs(i), &m(&[(i % 17) as u32]));
         }
-        assert!(t.timeline().windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!(t
+            .timeline()
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
     }
 }

@@ -83,7 +83,11 @@ impl Emulator {
         let mut logcat = Logcat::new();
         let startup: Vec<_> = app.startup_methods().to_vec();
         coverage.record(clock.now(), &startup);
-        logcat.log(clock.now(), "ActivityManager", format!("Start proc {}", app.name()));
+        logcat.log(
+            clock.now(),
+            "ActivityManager",
+            format!("Start proc {}", app.name()),
+        );
         // Screen methods of the start screen were covered at launch.
         if let Some(s) = app.screen(runtime.current_screen()) {
             coverage.record(clock.now(), &s.methods);
@@ -101,7 +105,7 @@ impl Emulator {
             coverage,
             logcat,
             crashes: CrashCollector::new(),
-            flake_rng: StdRng::seed_from_u64(seed ^ 0xf1a5_e5),
+            flake_rng: StdRng::seed_from_u64(seed ^ 0x00f1_a5e5),
         }
     }
 
@@ -243,16 +247,19 @@ mod tests {
     fn event_loss_slows_but_does_not_break_testing() {
         let cfg = GeneratorConfig::small("flaky", 1);
         let app = Arc::new(generate_app(&cfg).unwrap());
-        let run = |loss: f64| {
+        let run = |loss: f64, seed: u64| {
             let mut e = Emulator::boot_with(
                 DeviceId(0),
                 Arc::clone(&app),
                 9,
                 VirtualTime::ZERO,
-                EmulatorConfig { event_loss: loss, ..EmulatorConfig::default() },
+                EmulatorConfig {
+                    event_loss: loss,
+                    ..EmulatorConfig::default()
+                },
             );
             use rand::seq::SliceRandom;
-            let mut rng = StdRng::seed_from_u64(5);
+            let mut rng = StdRng::seed_from_u64(seed);
             for _ in 0..400 {
                 let actions = e.observe().enabled_actions();
                 let a = actions
@@ -263,10 +270,15 @@ mod tests {
             }
             e.coverage().count()
         };
-        let clean = run(0.0);
-        let flaky = run(0.3);
+        // A single walk is noisy (losing events perturbs the whole
+        // trajectory), so compare aggregates across seeds.
+        let clean: usize = (0..6).map(|s| run(0.0, s)).sum();
+        let flaky: usize = (0..6).map(|s| run(0.5, s)).sum();
         assert!(flaky > 0, "flaky device still makes progress");
-        assert!(flaky <= clean, "losing 30% of events cannot help");
+        assert!(
+            flaky < clean,
+            "losing half the events cannot help on aggregate"
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub enum DeviceError {
     },
     /// A device id was referenced that is not currently allocated.
     UnknownDevice(DeviceId),
+    /// The device was lost (killed by a fault) before this operation.
+    DeviceLost(DeviceId),
 }
 
 impl fmt::Display for DeviceError {
@@ -25,6 +27,7 @@ impl fmt::Display for DeviceError {
                 write!(f, "device farm is at capacity ({capacity} devices)")
             }
             DeviceError::UnknownDevice(d) => write!(f, "device {d} is not allocated"),
+            DeviceError::DeviceLost(d) => write!(f, "device {d} was lost mid-run"),
         }
     }
 }
@@ -37,7 +40,11 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(DeviceError::NoCapacity { capacity: 5 }.to_string().contains('5'));
-        assert!(DeviceError::UnknownDevice(DeviceId(3)).to_string().contains("dev3"));
+        assert!(DeviceError::NoCapacity { capacity: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(DeviceError::UnknownDevice(DeviceId(3))
+            .to_string()
+            .contains("dev3"));
     }
 }

@@ -43,6 +43,7 @@ pub struct DeviceFarm {
     capacity: usize,
     next_id: u32,
     active: BTreeMap<DeviceId, (VirtualTime, DeviceClass)>,
+    lost: std::collections::BTreeSet<DeviceId>,
     consumed: VirtualDuration,
     billed: f64,
 }
@@ -54,6 +55,7 @@ impl DeviceFarm {
             capacity,
             next_id: 0,
             active: BTreeMap::new(),
+            lost: std::collections::BTreeSet::new(),
             consumed: VirtualDuration::ZERO,
             billed: 0.0,
         }
@@ -94,7 +96,9 @@ impl DeviceFarm {
         now: VirtualTime,
     ) -> Result<DeviceId, DeviceError> {
         if self.active.len() >= self.capacity {
-            return Err(DeviceError::NoCapacity { capacity: self.capacity });
+            return Err(DeviceError::NoCapacity {
+                capacity: self.capacity,
+            });
         }
         let id = DeviceId(self.next_id);
         self.next_id += 1;
@@ -111,14 +115,55 @@ impl DeviceFarm {
     ///
     /// # Errors
     ///
-    /// Returns [`DeviceError::UnknownDevice`] if the id is not allocated.
+    /// Returns [`DeviceError::DeviceLost`] if the device was killed by a
+    /// fault (the slot was already settled), [`DeviceError::UnknownDevice`]
+    /// if the id was never allocated.
     pub fn deallocate(&mut self, id: DeviceId, now: VirtualTime) -> Result<(), DeviceError> {
-        let (allocated_at, class) =
-            self.active.remove(&id).ok_or(DeviceError::UnknownDevice(id))?;
+        let Some((allocated_at, class)) = self.active.remove(&id) else {
+            return Err(if self.lost.contains(&id) {
+                DeviceError::DeviceLost(id)
+            } else {
+                DeviceError::UnknownDevice(id)
+            });
+        };
         let used = now.since(allocated_at);
         self.consumed += used;
         self.billed += used.as_secs() as f64 / 60.0 * class.dollars_per_minute();
         Ok(())
+    }
+
+    /// Kills an active device at `now` (fault injection: the emulator died
+    /// or the farm revoked the slot). The slot frees up and the machine
+    /// time used until the loss is still charged — clouds bill for the
+    /// session, not for a happy ending. Returns the time the device ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::DeviceLost`] if the device is already dead,
+    /// [`DeviceError::UnknownDevice`] if the id was never allocated.
+    pub fn kill(&mut self, id: DeviceId, now: VirtualTime) -> Result<VirtualDuration, DeviceError> {
+        let Some((allocated_at, class)) = self.active.remove(&id) else {
+            return Err(if self.lost.contains(&id) {
+                DeviceError::DeviceLost(id)
+            } else {
+                DeviceError::UnknownDevice(id)
+            });
+        };
+        let used = now.since(allocated_at);
+        self.consumed += used;
+        self.billed += used.as_secs() as f64 / 60.0 * class.dollars_per_minute();
+        self.lost.insert(id);
+        Ok(used)
+    }
+
+    /// Devices lost to faults so far.
+    pub fn lost_count(&self) -> usize {
+        self.lost.len()
+    }
+
+    /// Whether a device was lost to a fault.
+    pub fn is_lost(&self, id: DeviceId) -> bool {
+        self.lost.contains(&id)
     }
 
     /// Machine time consumed by *deallocated* devices so far.
@@ -128,8 +173,11 @@ impl DeviceFarm {
 
     /// Machine time consumed including still-running devices, as of `now`.
     pub fn consumed_as_of(&self, now: VirtualTime) -> VirtualDuration {
-        let running: u64 =
-            self.active.values().map(|(t, _)| now.since(*t).as_millis()).sum();
+        let running: u64 = self
+            .active
+            .values()
+            .map(|(t, _)| now.since(*t).as_millis())
+            .sum();
         self.consumed + VirtualDuration::from_millis(running)
     }
 
@@ -193,8 +241,12 @@ mod tests {
     #[test]
     fn billing_tracks_device_classes() {
         let mut farm = DeviceFarm::new(2);
-        let emu = farm.allocate_class(DeviceClass::Emulator, VirtualTime::ZERO).unwrap();
-        let real = farm.allocate_class(DeviceClass::RealDevice, VirtualTime::ZERO).unwrap();
+        let emu = farm
+            .allocate_class(DeviceClass::Emulator, VirtualTime::ZERO)
+            .unwrap();
+        let real = farm
+            .allocate_class(DeviceClass::RealDevice, VirtualTime::ZERO)
+            .unwrap();
         assert_eq!(farm.class_of(emu), Some(DeviceClass::Emulator));
         assert_eq!(farm.class_of(real), Some(DeviceClass::RealDevice));
         let t = VirtualTime::from_secs(600); // 10 minutes each
@@ -220,5 +272,42 @@ mod tests {
             farm.deallocate(DeviceId(9), VirtualTime::ZERO),
             Err(DeviceError::UnknownDevice(DeviceId(9)))
         );
+    }
+
+    #[test]
+    fn killed_devices_free_the_slot_but_stay_billed() {
+        let mut farm = DeviceFarm::new(1);
+        let a = farm.allocate(VirtualTime::ZERO).unwrap();
+        let used = farm.kill(a, VirtualTime::from_secs(120)).unwrap();
+        assert_eq!(used, VirtualDuration::from_secs(120));
+        assert_eq!(farm.consumed(), VirtualDuration::from_secs(120));
+        assert!(farm.billed() > 0.0, "lost machine time is still billed");
+        assert_eq!(farm.lost_count(), 1);
+        assert!(farm.is_lost(a));
+        // The slot is free again.
+        let b = farm.allocate(VirtualTime::from_secs(120)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dead_devices_reject_further_operations_cleanly() {
+        let mut farm = DeviceFarm::new(2);
+        let a = farm.allocate(VirtualTime::ZERO).unwrap();
+        farm.kill(a, VirtualTime::from_secs(5)).unwrap();
+        assert_eq!(
+            farm.deallocate(a, VirtualTime::from_secs(6)),
+            Err(DeviceError::DeviceLost(a))
+        );
+        assert_eq!(
+            farm.kill(a, VirtualTime::from_secs(6)),
+            Err(DeviceError::DeviceLost(a))
+        );
+        // Never-allocated ids are still UnknownDevice, not DeviceLost.
+        assert_eq!(
+            farm.kill(DeviceId(77), VirtualTime::ZERO),
+            Err(DeviceError::UnknownDevice(DeviceId(77)))
+        );
+        // Consumed time unchanged by the failed operations.
+        assert_eq!(farm.consumed(), VirtualDuration::from_secs(5));
     }
 }

@@ -36,7 +36,11 @@ impl Logcat {
 
     /// Appends a line.
     pub fn log(&mut self, time: VirtualTime, tag: &str, message: impl Into<String>) {
-        self.entries.push(LogEntry { time, tag: tag.to_owned(), message: message.into() });
+        self.entries.push(LogEntry {
+            time,
+            tag: tag.to_owned(),
+            message: message.into(),
+        });
     }
 
     /// All lines in order.
@@ -100,7 +104,11 @@ mod tests {
     fn logcat_filters_by_tag() {
         let mut l = Logcat::new();
         l.log(VirtualTime::ZERO, "AndroidRuntime", "FATAL EXCEPTION");
-        l.log(VirtualTime::from_secs(1), "ActivityManager", "Displayed ...");
+        l.log(
+            VirtualTime::from_secs(1),
+            "ActivityManager",
+            "Displayed ...",
+        );
         assert_eq!(l.entries().len(), 2);
         assert_eq!(l.with_tag("AndroidRuntime").count(), 1);
     }

@@ -49,9 +49,7 @@ impl TriageReport {
     /// Groups are ranked by occurrence count (descending), ties broken by
     /// first-seen time (ascending) so reliably-reproducing early crashes
     /// float to the top.
-    pub fn build<'a>(
-        collectors: impl IntoIterator<Item = (DeviceId, &'a CrashCollector)>,
-    ) -> Self {
+    pub fn build<'a>(collectors: impl IntoIterator<Item = (DeviceId, &'a CrashCollector)>) -> Self {
         struct Agg {
             occurrences: usize,
             first_seen: VirtualTime,
@@ -123,7 +121,11 @@ impl TriageReport {
                 g.occurrences,
                 g.first_seen,
                 g.devices.len(),
-                if g.is_cross_device() { " [cross-device]" } else { "" },
+                if g.is_cross_device() {
+                    " [cross-device]"
+                } else {
+                    ""
+                },
             );
             for line in g.signature.stack_trace(app_name).lines().take(2) {
                 let _ = writeln!(out, "      {line}");

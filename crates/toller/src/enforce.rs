@@ -24,7 +24,10 @@ pub struct EntrypointRule {
 impl EntrypointRule {
     /// Creates a rule.
     pub fn new(screen: AbstractScreenId, widget_rid: impl Into<String>) -> Self {
-        EntrypointRule { screen, widget_rid: widget_rid.into() }
+        EntrypointRule {
+            screen,
+            widget_rid: widget_rid.into(),
+        }
     }
 }
 
@@ -153,7 +156,9 @@ mod tests {
     fn shared_list_is_visible_across_clones() {
         let shared = shared_block_list();
         let other = Arc::clone(&shared);
-        shared.write().block(EntrypointRule::new(AbstractScreenId(5), "w"));
+        shared
+            .write()
+            .block(EntrypointRule::new(AbstractScreenId(5), "w"));
         assert_eq!(other.read().rules().len(), 1);
     }
 }

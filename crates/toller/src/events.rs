@@ -1,10 +1,87 @@
 //! Streaming trace events across threads.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, SendError, Sender};
+use parking_lot::Mutex;
 
 use taopt_ui_model::TraceEvent;
 
 use crate::instance::InstanceId;
+
+/// One trace event in transit, stamped with a per-instance sequence
+/// number.
+///
+/// Sequence numbers are monotonic (0, 1, 2, …) per instance across every
+/// sender handle of one bus, so a consumer can detect *gaps* (a dropped
+/// event leaves a hole), *duplicates* (the same number arrives twice) and
+/// *reordering* (numbers arrive out of order) without trusting the
+/// transport.
+#[derive(Debug, Clone)]
+pub struct BusEvent {
+    /// Producing instance.
+    pub instance: InstanceId,
+    /// Position of this event in the instance's publication stream.
+    pub seq: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// A sending handle that stamps sequence numbers.
+///
+/// Cheap to clone; all clones of one bus share the per-instance counters,
+/// so sequence numbers stay monotonic even when several components publish
+/// for the same instance.
+#[derive(Debug, Clone)]
+pub struct EventSender {
+    tx: Sender<BusEvent>,
+    seqs: Arc<Mutex<HashMap<InstanceId, u64>>>,
+}
+
+impl EventSender {
+    /// Stamps the next sequence number for `instance` and publishes.
+    /// Returns the stamped number.
+    ///
+    /// # Errors
+    ///
+    /// Returns the event back if every receiver is gone.
+    pub fn send(
+        &self,
+        instance: InstanceId,
+        event: TraceEvent,
+    ) -> Result<u64, SendError<TraceEvent>> {
+        let seq = self.stamp(instance);
+        self.send_raw(BusEvent {
+            instance,
+            seq,
+            event,
+        })
+        .map(|()| seq)
+        .map_err(|SendError(b)| SendError(b.event))
+    }
+
+    /// Consumes the next sequence number for `instance` *without* sending
+    /// anything. An interposing layer (e.g. a fault injector) stamps
+    /// first, then decides whether/how the event actually goes out —
+    /// dropping a stamped event is what creates a detectable gap.
+    pub fn stamp(&self, instance: InstanceId) -> u64 {
+        let mut seqs = self.seqs.lock();
+        let slot = seqs.entry(instance).or_insert(0);
+        let seq = *slot;
+        *slot += 1;
+        seq
+    }
+
+    /// Sends a pre-stamped event as-is (pair with [`EventSender::stamp`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the event back if every receiver is gone.
+    pub fn send_raw(&self, event: BusEvent) -> Result<(), SendError<BusEvent>> {
+        self.tx.send(event)
+    }
+}
 
 /// A broadcast-ish bus for trace events: one sender per instance, one
 /// receiver at the analyzer.
@@ -16,30 +93,44 @@ use crate::instance::InstanceId;
 /// devices).
 #[derive(Debug, Clone)]
 pub struct EventBus {
-    tx: Sender<(InstanceId, TraceEvent)>,
-    rx: Receiver<(InstanceId, TraceEvent)>,
+    tx: Sender<BusEvent>,
+    rx: Receiver<BusEvent>,
+    seqs: Arc<Mutex<HashMap<InstanceId, u64>>>,
 }
 
 impl EventBus {
     /// Creates an unbounded bus.
     pub fn new() -> Self {
         let (tx, rx) = unbounded();
-        EventBus { tx, rx }
+        EventBus {
+            tx,
+            rx,
+            seqs: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// A sender handle for an instance's monitor.
-    pub fn sender(&self) -> Sender<(InstanceId, TraceEvent)> {
-        self.tx.clone()
+    pub fn sender(&self) -> EventSender {
+        EventSender {
+            tx: self.tx.clone(),
+            seqs: Arc::clone(&self.seqs),
+        }
     }
 
     /// The consumer side.
-    pub fn receiver(&self) -> Receiver<(InstanceId, TraceEvent)> {
+    pub fn receiver(&self) -> Receiver<BusEvent> {
         self.rx.clone()
     }
 
     /// Drains all currently queued events.
-    pub fn drain(&self) -> Vec<(InstanceId, TraceEvent)> {
+    pub fn drain(&self) -> Vec<BusEvent> {
         self.rx.try_iter().collect()
+    }
+
+    /// Next sequence number that will be stamped for `instance` — i.e.
+    /// how many events it has published so far.
+    pub fn published(&self, instance: InstanceId) -> u64 {
+        self.seqs.lock().get(&instance).copied().unwrap_or(0)
     }
 }
 
@@ -77,11 +168,32 @@ mod tests {
     fn events_flow_from_sender_to_receiver() {
         let bus = EventBus::new();
         let tx = bus.sender();
-        tx.send((InstanceId(1), event())).unwrap();
-        tx.send((InstanceId(2), event())).unwrap();
+        tx.send(InstanceId(1), event()).unwrap();
+        tx.send(InstanceId(2), event()).unwrap();
         let drained = bus.drain();
         assert_eq!(drained.len(), 2);
-        assert_eq!(drained[0].0, InstanceId(1));
+        assert_eq!(drained[0].instance, InstanceId(1));
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic_per_instance() {
+        let bus = EventBus::new();
+        let tx = bus.sender();
+        let tx2 = bus.sender();
+        assert_eq!(tx.send(InstanceId(1), event()).unwrap(), 0);
+        assert_eq!(tx2.send(InstanceId(1), event()).unwrap(), 1);
+        assert_eq!(tx.send(InstanceId(2), event()).unwrap(), 0);
+        assert_eq!(tx.send(InstanceId(1), event()).unwrap(), 2);
+        assert_eq!(bus.published(InstanceId(1)), 3);
+        assert_eq!(bus.published(InstanceId(2)), 1);
+        assert_eq!(bus.published(InstanceId(7)), 0);
+        let seqs: Vec<u64> = bus
+            .drain()
+            .into_iter()
+            .filter(|b| b.instance == InstanceId(1))
+            .map(|b| b.seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
     }
 
     #[test]
@@ -90,10 +202,14 @@ mod tests {
         let tx = bus.sender();
         let handle = std::thread::spawn(move || {
             for _ in 0..10 {
-                tx.send((InstanceId(0), event())).unwrap();
+                tx.send(InstanceId(0), event()).unwrap();
             }
         });
         handle.join().unwrap();
-        assert_eq!(bus.drain().len(), 10);
+        let drained = bus.drain();
+        assert_eq!(drained.len(), 10);
+        // In-order per instance even across the thread boundary.
+        let seqs: Vec<u64> = drained.iter().map(|b| b.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
     }
 }

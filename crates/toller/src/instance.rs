@@ -108,7 +108,9 @@ impl InstrumentedInstance {
         };
         // Record the initial screen (after auto-login, if any).
         let mut obs = inst.emulator.observe();
-        inst.blocklist.read().apply(obs.abstract_id(), &mut obs.hierarchy);
+        inst.blocklist
+            .read()
+            .apply(obs.abstract_id(), &mut obs.hierarchy);
         inst.monitor.record(None, None, &obs);
         inst.distinct_screens = inst.emulator.distinct_screens();
         inst.last_obs = Some(obs);
@@ -153,7 +155,10 @@ impl InstrumentedInstance {
 
     /// Runs one tool step.
     pub fn step(&mut self) -> StepReport {
-        let prev = self.last_obs.take().unwrap_or_else(|| self.emulator.observe());
+        let prev = self
+            .last_obs
+            .take()
+            .unwrap_or_else(|| self.emulator.observe());
         let action = self.tool.next_action(&prev);
         let out = self
             .emulator
@@ -161,8 +166,10 @@ impl InstrumentedInstance {
             .expect("tools only fire actions offered by the observation");
         // Enforce on the *next* observation before the tool sees it.
         let mut obs = out.observation;
-        let widgets_blocked =
-            self.blocklist.read().apply(obs.abstract_id(), &mut obs.hierarchy);
+        let widgets_blocked = self
+            .blocklist
+            .read()
+            .apply(obs.abstract_id(), &mut obs.hierarchy);
         self.tool.on_transition(prev.abstract_id(), action, &obs);
         if out.crash.is_some() {
             self.tool.on_crash();
@@ -187,7 +194,9 @@ impl InstrumentedInstance {
     /// action-less observation.
     pub fn jump_to(&mut self, screen: taopt_ui_model::ScreenId) {
         let mut obs = self.emulator.jump_to(screen);
-        self.blocklist.read().apply(obs.abstract_id(), &mut obs.hierarchy);
+        self.blocklist
+            .read()
+            .apply(obs.abstract_id(), &mut obs.hierarchy);
         self.monitor.record(None, None, &obs);
         self.distinct_screens = self.emulator.distinct_screens();
         self.last_obs = Some(obs);
@@ -265,7 +274,9 @@ mod tests {
             });
             rid.expect("hub has tab widgets")
         };
-        inst.blocklist().write().block(EntrypointRule::new(hub_abs, tab_rid.clone()));
+        inst.blocklist()
+            .write()
+            .block(EntrypointRule::new(hub_abs, tab_rid.clone()));
         // Drive; whenever we are on the hub, the blocked tab must be gone.
         let mut blocked_seen = 0;
         for _ in 0..400 {

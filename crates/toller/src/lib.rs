@@ -33,6 +33,6 @@ pub mod instance;
 pub mod monitor;
 
 pub use enforce::{BlockList, EntrypointRule, SharedBlockList};
-pub use events::EventBus;
+pub use events::{BusEvent, EventBus, EventSender};
 pub use instance::{InstanceId, InstrumentedInstance, StepReport};
 pub use monitor::TransitionMonitor;

@@ -1,9 +1,8 @@
 //! UI transition monitoring.
 
-use crossbeam::channel::Sender;
-
 use taopt_ui_model::{Action, ScreenObservation, Trace, TraceEvent};
 
+use crate::events::EventSender;
 use crate::instance::InstanceId;
 
 /// Builds the UI transition trace of one testing instance.
@@ -15,17 +14,21 @@ use crate::instance::InstanceId;
 pub struct TransitionMonitor {
     instance: InstanceId,
     trace: Trace,
-    publish: Option<Sender<(InstanceId, TraceEvent)>>,
+    publish: Option<EventSender>,
 }
 
 impl TransitionMonitor {
     /// Creates a monitor for the given instance.
     pub fn new(instance: InstanceId) -> Self {
-        TransitionMonitor { instance, trace: Trace::new(), publish: None }
+        TransitionMonitor {
+            instance,
+            trace: Trace::new(),
+            publish: None,
+        }
     }
 
-    /// Also publish each event on a bus channel.
-    pub fn with_publisher(mut self, tx: Sender<(InstanceId, TraceEvent)>) -> Self {
+    /// Also publish each event on a bus ([`crate::EventBus::sender`]).
+    pub fn with_publisher(mut self, tx: EventSender) -> Self {
         self.publish = Some(tx);
         self
     }
@@ -55,7 +58,7 @@ impl TransitionMonitor {
             action_widget_rid,
         };
         if let Some(tx) = &self.publish {
-            let _ = tx.send((self.instance, event.clone()));
+            let _ = tx.send(self.instance, event.clone());
         }
         self.trace.push(event);
     }
@@ -64,7 +67,7 @@ impl TransitionMonitor {
     /// monitor's trace onto a bus).
     pub fn record_event(&mut self, event: TraceEvent) {
         if let Some(tx) = &self.publish {
-            let _ = tx.send((self.instance, event.clone()));
+            let _ = tx.send(self.instance, event.clone());
         }
         self.trace.push(event);
     }
@@ -95,12 +98,17 @@ mod tests {
         let first = rt.observe(VirtualTime::ZERO);
         m.record(None, None, &first);
         let (aid, _) = first.enabled_actions()[0];
-        let out = rt.execute(Action::Widget(aid), VirtualTime::from_secs(1)).unwrap();
+        let out = rt
+            .execute(Action::Widget(aid), VirtualTime::from_secs(1))
+            .unwrap();
         m.record(Some(&first), Some(Action::Widget(aid)), &out.observation);
         let events = m.trace().events();
         assert_eq!(events.len(), 2);
         assert!(events[0].action_widget_rid.is_none());
-        assert!(events[1].action_widget_rid.is_some(), "rid of the fired widget captured");
+        assert!(
+            events[1].action_widget_rid.is_some(),
+            "rid of the fired widget captured"
+        );
         assert_eq!(events[1].action, Some(Action::Widget(aid)));
     }
 
@@ -114,7 +122,8 @@ mod tests {
         m.record(None, None, &obs);
         let drained = bus.drain();
         assert_eq!(drained.len(), 1);
-        assert_eq!(drained[0].0, InstanceId(3));
+        assert_eq!(drained[0].instance, InstanceId(3));
+        assert_eq!(drained[0].seq, 0);
         assert_eq!(m.trace().len(), 1);
     }
 }

@@ -32,7 +32,10 @@ impl ActionStats {
     /// The most frequently observed successor (ties broken by id for
     /// determinism).
     fn likely_successor(&self) -> Option<AbstractScreenId> {
-        self.outcomes.iter().max_by_key(|(s, c)| (**c, *s)).map(|(s, _)| *s)
+        self.outcomes
+            .iter()
+            .max_by_key(|(s, c)| (**c, *s))
+            .map(|(s, _)| *s)
     }
 }
 
@@ -161,7 +164,9 @@ impl TestingTool for Ape {
                     .iter()
                     .map(|(a, _)| *a)
                     .filter(|a| {
-                        st.and_then(|m| m.actions.get(a)).map(|s| s.tries > 0).unwrap_or(false)
+                        st.and_then(|m| m.actions.get(a))
+                            .map(|s| s.tries > 0)
+                            .unwrap_or(false)
                     })
                     .collect()
             };
@@ -270,7 +275,11 @@ mod tests {
         let mut ape = Ape::new(3);
         let mut rt = runtime(3);
         drive(&mut ape, &mut rt, 300);
-        assert!(ape.model_size() >= 8, "model has {} states", ape.model_size());
+        assert!(
+            ape.model_size() >= 8,
+            "model has {} states",
+            ape.model_size()
+        );
     }
 
     #[test]

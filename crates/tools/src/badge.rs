@@ -101,7 +101,12 @@ impl TestingTool for Badge {
             let mut best = enabled[0].0;
             let mut best_ucb = f64::MIN;
             for (a, _) in &enabled {
-                let ucb = self.arms.get(&(state, *a)).copied().unwrap_or_default().ucb(total);
+                let ucb = self
+                    .arms
+                    .get(&(state, *a))
+                    .copied()
+                    .unwrap_or_default()
+                    .ucb(total);
                 if ucb > best_ucb {
                     best_ucb = ucb;
                     best = *a;
@@ -164,7 +169,10 @@ mod tests {
     fn untried_arms_have_infinite_ucb() {
         let arm = Arm::default();
         assert_eq!(arm.ucb(100), f64::MAX);
-        let pulled = Arm { pulls: 10, reward: 5.0 };
+        let pulled = Arm {
+            pulls: 10,
+            reward: 5.0,
+        };
         assert!(pulled.ucb(100) > 0.5);
         assert!(pulled.ucb(100) < f64::MAX);
     }

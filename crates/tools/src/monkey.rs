@@ -28,7 +28,9 @@ pub struct Monkey {
 impl Monkey {
     /// Creates a Monkey instance with the given random seed.
     pub fn new(seed: u64) -> Self {
-        Monkey { rng: StdRng::seed_from_u64(seed) }
+        Monkey {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -58,8 +60,8 @@ mod tests {
     use super::*;
     use std::collections::HashMap;
     use std::sync::Arc;
-    use taopt_app_sim::{generate_app, GeneratorConfig};
     use taopt_app_sim::AppRuntime;
+    use taopt_app_sim::{generate_app, GeneratorConfig};
     use taopt_ui_model::VirtualTime;
 
     fn observation() -> ScreenObservation {

@@ -49,7 +49,12 @@ const MAX_MISSES: u32 = 8;
 impl Scripted {
     /// Creates a scripted tool.
     pub fn new(steps: Vec<ScriptStep>, seed: u64) -> Self {
-        Scripted { steps, cursor: 0, misses: 0, rng: StdRng::seed_from_u64(seed) }
+        Scripted {
+            steps,
+            cursor: 0,
+            misses: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Steps already executed (or skipped).
@@ -177,7 +182,10 @@ mod tests {
         let (app, _) = app_and_script();
         let mut rt = AppRuntime::launch(app, 2);
         let mut tool = Scripted::new(
-            vec![ScriptStep::tap("no_such_widget"), ScriptStep::tap("open_list")],
+            vec![
+                ScriptStep::tap("no_such_widget"),
+                ScriptStep::tap("open_list"),
+            ],
             2,
         );
         let mut reached_list = false;
@@ -190,7 +198,10 @@ mod tests {
                 break;
             }
         }
-        assert!(reached_list, "script should skip the dead step and continue");
+        assert!(
+            reached_list,
+            "script should skip the dead step and continue"
+        );
     }
 
     #[test]

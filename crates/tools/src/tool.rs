@@ -52,8 +52,12 @@ impl ToolKind {
     pub const ALL: [ToolKind; 3] = [ToolKind::Monkey, ToolKind::Ape, ToolKind::WcTester];
 
     /// All tools including extensions.
-    pub const EXTENDED: [ToolKind; 4] =
-        [ToolKind::Monkey, ToolKind::Ape, ToolKind::WcTester, ToolKind::Badge];
+    pub const EXTENDED: [ToolKind; 4] = [
+        ToolKind::Monkey,
+        ToolKind::Ape,
+        ToolKind::WcTester,
+        ToolKind::Badge,
+    ];
 
     /// Short display name matching the paper's tables.
     pub fn name(&self) -> &'static str {

@@ -43,7 +43,11 @@ pub struct WcTester {
 impl WcTester {
     /// Creates a WCTester instance with the given random seed.
     pub fn new(seed: u64) -> Self {
-        WcTester { rng: StdRng::seed_from_u64(seed), records: HashMap::new(), last_activity: None }
+        WcTester {
+            rng: StdRng::seed_from_u64(seed),
+            records: HashMap::new(),
+            last_activity: None,
+        }
     }
 
     fn weight(&self, id: ActionId) -> f64 {
@@ -126,8 +130,20 @@ mod tests {
     #[test]
     fn activity_changing_actions_gain_weight() {
         let mut w = WcTester::new(1);
-        w.records.insert(ActionId(1), ActionRecord { tries: 10, activity_changes: 9 });
-        w.records.insert(ActionId(2), ActionRecord { tries: 10, activity_changes: 0 });
+        w.records.insert(
+            ActionId(1),
+            ActionRecord {
+                tries: 10,
+                activity_changes: 9,
+            },
+        );
+        w.records.insert(
+            ActionId(2),
+            ActionRecord {
+                tries: 10,
+                activity_changes: 0,
+            },
+        );
         assert!(w.weight(ActionId(1)) > 4.0 * w.weight(ActionId(2)));
     }
 

@@ -10,17 +10,13 @@ use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
-
 use crate::hierarchy::UiHierarchy;
 use crate::widget::{Widget, WidgetClass};
 
 /// Hash identity of an abstracted screen. Two screens with the same
 /// structure, classes and resource ids share an id even when their text
 /// content differs (e.g. two product-detail pages for different goods).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct AbstractScreenId(pub u64);
 
 impl fmt::Display for AbstractScreenId {
@@ -30,7 +26,7 @@ impl fmt::Display for AbstractScreenId {
 }
 
 /// One node of an abstracted hierarchy.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AbstractNode {
     /// Widget class (kept by the abstraction).
     pub class: WidgetClass,
@@ -51,7 +47,11 @@ impl AbstractNode {
 
     /// Number of nodes in the subtree.
     pub fn subtree_size(&self) -> usize {
-        1 + self.children.iter().map(AbstractNode::subtree_size).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(AbstractNode::subtree_size)
+            .sum::<usize>()
     }
 
     /// Collects the multiset of node signatures used by the similarity
@@ -69,7 +69,7 @@ impl AbstractNode {
 }
 
 /// A text-free structural abstraction of a screen's widget tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AbstractHierarchy {
     root: AbstractNode,
     id: AbstractScreenId,
@@ -85,7 +85,11 @@ impl AbstractHierarchy {
         let mut h = DefaultHasher::new();
         signatures.hash(&mut h);
         let id = AbstractScreenId(h.finish());
-        AbstractHierarchy { root, id, signatures }
+        AbstractHierarchy {
+            root,
+            id,
+            signatures,
+        }
     }
 
     /// The abstract root node.
@@ -127,8 +131,7 @@ mod tests {
         let mut root = Widget::container(WidgetClass::LinearLayout)
             .with_child(Widget::text_view("title", text))
             .with_child(
-                Widget::button("add", "Add to bag")
-                    .with_affordance(ActionId(1), ActionKind::Click),
+                Widget::button("add", "Add to bag").with_affordance(ActionId(1), ActionKind::Click),
             );
         if extra_row {
             root = root.with_child(Widget::leaf(WidgetClass::ImageView, "banner"));

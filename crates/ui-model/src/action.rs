@@ -2,16 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of an interactive affordance on a screen.
 ///
 /// An `ActionId` names one (widget, gesture) pair defined by the app under
 /// test; firing it may move the app to another screen according to the
 /// stochastic transition graph. Ids are unique *within an app*.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ActionId(pub u32);
 
 impl fmt::Display for ActionId {
@@ -22,7 +18,7 @@ impl fmt::Display for ActionId {
 
 /// The gesture class of an action, mirroring the event types real tools
 /// inject (Monkey events, UiAutomator interactions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum ActionKind {
     /// A tap on a clickable widget.
@@ -56,7 +52,7 @@ impl fmt::Display for ActionKind {
 /// screen; `Back` is the global Android Back key (always available);
 /// `Noop` models events that hit nothing (e.g. Monkey taps on dead
 /// coordinates) and merely consume time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Interact with the widget owning this action id.
     Widget(ActionId),

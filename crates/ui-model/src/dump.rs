@@ -90,7 +90,9 @@ pub fn from_xml(xml: &str) -> Result<UiHierarchy, ParseDumpError> {
             continue;
         }
         if line.starts_with("</node") {
-            let done = stack.pop().ok_or(ParseDumpError::UnbalancedTags(lineno + 1))?;
+            let done = stack
+                .pop()
+                .ok_or(ParseDumpError::UnbalancedTags(lineno + 1))?;
             attach(&mut stack, &mut root, done, lineno)?;
             continue;
         }
@@ -191,7 +193,12 @@ fn parse_bounds(s: &str) -> Option<Bounds> {
     let rb = rest.strip_suffix(']')?;
     let (l, t) = lt.split_once(',')?;
     let (r, b) = rb.split_once(',')?;
-    Some(Bounds::new(l.parse().ok()?, t.parse().ok()?, r.parse().ok()?, b.parse().ok()?))
+    Some(Bounds::new(
+        l.parse().ok()?,
+        t.parse().ok()?,
+        r.parse().ok()?,
+        b.parse().ok()?,
+    ))
 }
 
 /// Errors from parsing an XML dump.
@@ -289,13 +296,20 @@ mod tests {
             from_xml("<node class=\"nope\"/>"),
             Err(ParseDumpError::UnknownClass(_))
         ));
-        assert!(matches!(from_xml("garbage"), Err(ParseDumpError::UnexpectedLine(_))));
+        assert!(matches!(
+            from_xml("garbage"),
+            Err(ParseDumpError::UnexpectedLine(_))
+        ));
         assert!(matches!(
             from_xml("<node class=\"android.widget.Button\">"),
             Err(ParseDumpError::UnbalancedTags(_))
         ));
-        let two_roots = "<node class=\"android.widget.Button\"/>\n<node class=\"android.widget.Button\"/>";
-        assert!(matches!(from_xml(two_roots), Err(ParseDumpError::MultipleRoots(_))));
+        let two_roots =
+            "<node class=\"android.widget.Button\"/>\n<node class=\"android.widget.Button\"/>";
+        assert!(matches!(
+            from_xml(two_roots),
+            Err(ParseDumpError::MultipleRoots(_))
+        ));
     }
 
     #[test]

@@ -1,10 +1,8 @@
 //! Screen geometry for widgets.
 
-use serde::{Deserialize, Serialize};
-
 /// A rectangle in screen coordinates, matching the Android
 /// `[left, top][right, bottom]` bounds notation of UI hierarchy dumps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Bounds {
     /// Left edge in pixels.
     pub left: i32,
@@ -19,7 +17,12 @@ pub struct Bounds {
 impl Bounds {
     /// Creates bounds from the four edges.
     pub const fn new(left: i32, top: i32, right: i32, bottom: i32) -> Self {
-        Bounds { left, top, right, bottom }
+        Bounds {
+            left,
+            top,
+            right,
+            bottom,
+        }
     }
 
     /// Width of the rectangle (zero if degenerate).
@@ -51,7 +54,11 @@ impl Bounds {
 
 impl std::fmt::Display for Bounds {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{},{}][{},{}]", self.left, self.top, self.right, self.bottom)
+        write!(
+            f,
+            "[{},{}][{},{}]",
+            self.left, self.top, self.right, self.bottom
+        )
     }
 }
 

@@ -9,8 +9,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::UiModelError;
 
 /// A weighted directed graph with probability-like edge weights.
@@ -18,7 +16,7 @@ use crate::error::UiModelError;
 /// Nodes are opaque `u64` keys (abstract screen ids in the UI setting, but
 /// any event-driven state space works, per the paper's §7 generalization).
 /// Parallel edges are merged by summing weights.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StochasticDigraph {
     edges: BTreeMap<u64, BTreeMap<u64, f64>>,
     nodes: BTreeSet<u64>,
@@ -53,7 +51,11 @@ impl StochasticDigraph {
 
     /// The weight of the edge `from → to` (0.0 if absent).
     pub fn weight(&self, from: u64, to: u64) -> f64 {
-        self.edges.get(&from).and_then(|m| m.get(&to)).copied().unwrap_or(0.0)
+        self.edges
+            .get(&from)
+            .and_then(|m| m.get(&to))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Iterator over all nodes.
@@ -68,7 +70,10 @@ impl StochasticDigraph {
 
     /// Number of directed edges with nonzero weight.
     pub fn edge_count(&self) -> usize {
-        self.edges.values().map(|m| m.values().filter(|w| **w > 0.0).count()).sum()
+        self.edges
+            .values()
+            .map(|m| m.values().filter(|w| **w > 0.0).count())
+            .sum()
     }
 
     /// Iterator over `(from, to, weight)` triples.
@@ -80,7 +85,10 @@ impl StochasticDigraph {
 
     /// Out-neighbours of a node with weights.
     pub fn out_edges(&self, from: u64) -> impl Iterator<Item = (u64, f64)> + '_ {
-        self.edges.get(&from).into_iter().flat_map(|m| m.iter().map(|(t, w)| (*t, *w)))
+        self.edges
+            .get(&from)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(t, w)| (*t, *w)))
     }
 
     /// Total weight of edges crossing from `a` into `b`:
@@ -88,7 +96,12 @@ impl StochasticDigraph {
     pub fn cut_weight(&self, a: &BTreeSet<u64>, b: &BTreeSet<u64>) -> f64 {
         a.iter()
             .filter_map(|i| self.edges.get(i))
-            .map(|m| m.iter().filter(|(t, _)| b.contains(t)).map(|(_, w)| w).sum::<f64>())
+            .map(|m| {
+                m.iter()
+                    .filter(|(t, _)| b.contains(t))
+                    .map(|(_, w)| w)
+                    .sum::<f64>()
+            })
             .sum()
     }
 
@@ -121,10 +134,7 @@ impl StochasticDigraph {
             let total: f64 = m.values().sum();
             if total > 0.0 {
                 for (to, w) in m {
-                    out.edges
-                        .entry(*from)
-                        .or_default()
-                        .insert(*to, w / total);
+                    out.edges.entry(*from).or_default().insert(*to, w / total);
                 }
             }
         }

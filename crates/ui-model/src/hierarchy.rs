@@ -1,7 +1,5 @@
 //! UI hierarchies — the screen content visible to a testing tool.
 
-use serde::{Deserialize, Serialize};
-
 use crate::action::{Action, ActionId, ActionKind};
 use crate::widget::Widget;
 
@@ -10,7 +8,7 @@ use crate::widget::Widget;
 /// The hierarchy is the *only* interface between the app under test and a
 /// testing tool: tools enumerate enabled affordances from it, and the Toller
 /// enforcement shim disables widgets on it before the tool looks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UiHierarchy {
     root: Widget,
 }

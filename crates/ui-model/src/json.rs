@@ -1,0 +1,836 @@
+//! Minimal JSON support for offline artifacts.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! carries its own small JSON layer instead of `serde_json`: a [`Value`]
+//! tree with a recursive-descent parser and a compact writer, plus
+//! conversions for the types persisted by trace archives and fault plans.
+//!
+//! Integers are kept exact: values without a fraction or exponent parse
+//! into [`Value::UInt`] / [`Value::Int`], never through `f64`, because
+//! abstract-screen ids are 64-bit hashes that must roundtrip bit-for-bit.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::abstraction::{AbstractHierarchy, AbstractNode};
+use crate::action::{Action, ActionId};
+use crate::screen::{ActivityId, ScreenId};
+use crate::time::VirtualTime;
+use crate::trace::{Trace, TraceEvent};
+use crate::widget::WidgetClass;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer without fraction or exponent.
+    UInt(u64),
+    /// A negative integer without fraction or exponent.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; key order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A parse or conversion failure, with a byte offset for parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input (0 for conversion errors).
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    fn new(message: impl Into<String>, offset: usize) -> Self {
+        JsonError {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// A conversion (non-parse) error.
+    pub fn conversion(message: impl Into<String>) -> Self {
+        JsonError::new(message, 0)
+    }
+}
+
+impl Value {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with the byte offset of the first problem.
+    pub fn parse(input: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new("trailing data after document", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    let s = x.to_string();
+                    out.push_str(&s);
+                    // Keep the float-ness visible so it reparses as Float.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no Inf/NaN; null is the least-bad encoding.
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on an `Object` (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Like [`Value::get`] but with a conversion-style error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] naming the missing field.
+    pub fn require(&self, key: &str) -> Result<&Value, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::conversion(format!("missing field `{key}`")))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::UInt(n)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::UInt(n as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::UInt(n as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        if n >= 0 {
+            Value::UInt(n as u64)
+        } else {
+            Value::Int(n)
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(
+                format!("expected `{}`", b as char),
+                self.pos,
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(JsonError::new(
+                format!("unexpected byte `{}`", other as char),
+                self.pos,
+            )),
+            None => Err(JsonError::new("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(JsonError::new("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(JsonError::new("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy runs of plain bytes at once.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::new("invalid UTF-8 in string", start))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => {
+                    return Err(JsonError::new("unescaped control character", self.pos));
+                }
+                None => return Err(JsonError::new("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let b = self
+            .peek()
+            .ok_or_else(|| JsonError::new("unterminated escape", self.pos))?;
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: expect \uXXXX low half.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let lo = self.hex4()?;
+                        0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00) & 0x3FF)
+                    } else {
+                        return Err(JsonError::new("lone high surrogate", self.pos));
+                    }
+                } else {
+                    hi
+                };
+                char::from_u32(code)
+                    .ok_or_else(|| JsonError::new("invalid \\u escape", self.pos))?
+            }
+            other => {
+                return Err(JsonError::new(
+                    format!("unknown escape `\\{}`", other as char),
+                    self.pos - 1,
+                ));
+            }
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(JsonError::new("truncated \\u escape", self.pos));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| JsonError::new("invalid \\u escape", self.pos))?;
+        let code = u32::from_str_radix(s, 16)
+            .map_err(|_| JsonError::new("invalid \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number", start))?;
+        if !fractional {
+            if let Some(rest) = text.strip_prefix('-') {
+                if let Ok(n) = rest.parse::<u64>() {
+                    if let Ok(i) = i64::try_from(n) {
+                        return Ok(Value::Int(-i));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| JsonError::new(format!("invalid number `{text}`"), start))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversions for persisted trace archives.
+// ---------------------------------------------------------------------------
+
+fn class_name(class: WidgetClass) -> &'static str {
+    match class {
+        WidgetClass::LinearLayout => "LinearLayout",
+        WidgetClass::FrameLayout => "FrameLayout",
+        WidgetClass::RecyclerView => "RecyclerView",
+        WidgetClass::Button => "Button",
+        WidgetClass::ImageButton => "ImageButton",
+        WidgetClass::TextView => "TextView",
+        WidgetClass::EditText => "EditText",
+        WidgetClass::ImageView => "ImageView",
+        WidgetClass::CheckBox => "CheckBox",
+        WidgetClass::TabHost => "TabHost",
+        WidgetClass::WebView => "WebView",
+        WidgetClass::Switch => "Switch",
+    }
+}
+
+fn class_from_name(name: &str) -> Result<WidgetClass, JsonError> {
+    Ok(match name {
+        "LinearLayout" => WidgetClass::LinearLayout,
+        "FrameLayout" => WidgetClass::FrameLayout,
+        "RecyclerView" => WidgetClass::RecyclerView,
+        "Button" => WidgetClass::Button,
+        "ImageButton" => WidgetClass::ImageButton,
+        "TextView" => WidgetClass::TextView,
+        "EditText" => WidgetClass::EditText,
+        "ImageView" => WidgetClass::ImageView,
+        "CheckBox" => WidgetClass::CheckBox,
+        "TabHost" => WidgetClass::TabHost,
+        "WebView" => WidgetClass::WebView,
+        "Switch" => WidgetClass::Switch,
+        other => {
+            return Err(JsonError::conversion(format!(
+                "unknown widget class `{other}`"
+            )));
+        }
+    })
+}
+
+/// Encodes an abstract node as `{c, r?, k?}` (class, resource id,
+/// children; absent fields mean `None` / empty).
+pub fn abstract_node_to_value(node: &AbstractNode) -> Value {
+    let mut fields = vec![("c".to_owned(), Value::from(class_name(node.class)))];
+    if let Some(rid) = &node.resource_id {
+        fields.push(("r".to_owned(), Value::from(rid.clone())));
+    }
+    if !node.children.is_empty() {
+        fields.push((
+            "k".to_owned(),
+            Value::Array(node.children.iter().map(abstract_node_to_value).collect()),
+        ));
+    }
+    Value::Object(fields)
+}
+
+/// Decodes an abstract node written by [`abstract_node_to_value`].
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on missing or mistyped fields.
+pub fn abstract_node_from_value(v: &Value) -> Result<AbstractNode, JsonError> {
+    let class = class_from_name(
+        v.require("c")?
+            .as_str()
+            .ok_or_else(|| JsonError::conversion("widget class must be a string"))?,
+    )?;
+    let resource_id = match v.get("r") {
+        Some(r) => Some(
+            r.as_str()
+                .ok_or_else(|| JsonError::conversion("resource id must be a string"))?
+                .to_owned(),
+        ),
+        None => None,
+    };
+    let children = match v.get("k") {
+        Some(k) => k
+            .as_array()
+            .ok_or_else(|| JsonError::conversion("children must be an array"))?
+            .iter()
+            .map(abstract_node_from_value)
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    Ok(AbstractNode {
+        class,
+        resource_id,
+        children,
+    })
+}
+
+fn action_to_value(action: Option<Action>) -> Value {
+    match action {
+        None => Value::Null,
+        Some(Action::Back) => Value::from("back"),
+        Some(Action::Noop) => Value::from("noop"),
+        Some(Action::Widget(id)) => Value::from(id.0),
+    }
+}
+
+fn action_from_value(v: &Value) -> Result<Option<Action>, JsonError> {
+    Ok(match v {
+        Value::Null => None,
+        Value::Str(s) if s == "back" => Some(Action::Back),
+        Value::Str(s) if s == "noop" => Some(Action::Noop),
+        other => {
+            let id = other
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| JsonError::conversion("action must be null/back/noop/u32"))?;
+            Some(Action::Widget(ActionId(id)))
+        }
+    })
+}
+
+/// Encodes a trace as `{abstractions: [...], events: [...]}`.
+///
+/// Distinct abstractions are stored once in a table (first-appearance
+/// order); events reference them by index, so the `Arc` sharing between
+/// events with the same screen survives a roundtrip.
+pub fn trace_to_value(trace: &Trace) -> Value {
+    let mut table: Vec<&Arc<AbstractHierarchy>> = Vec::new();
+    let mut events = Vec::with_capacity(trace.len());
+    for e in trace.events() {
+        let idx = match table.iter().position(|a| a.id() == e.abstract_id) {
+            Some(i) => i,
+            None => {
+                table.push(&e.abstraction);
+                table.len() - 1
+            }
+        };
+        events.push(Value::Object(vec![
+            ("t".to_owned(), Value::from(e.time.as_millis())),
+            ("s".to_owned(), Value::from(e.screen.0)),
+            ("y".to_owned(), Value::from(e.activity.0)),
+            ("u".to_owned(), Value::from(idx)),
+            ("a".to_owned(), action_to_value(e.action)),
+            (
+                "w".to_owned(),
+                e.action_widget_rid
+                    .as_deref()
+                    .map_or(Value::Null, Value::from),
+            ),
+        ]));
+    }
+    Value::Object(vec![
+        (
+            "abstractions".to_owned(),
+            Value::Array(
+                table
+                    .iter()
+                    .map(|a| abstract_node_to_value(a.root()))
+                    .collect(),
+            ),
+        ),
+        ("events".to_owned(), Value::Array(events)),
+    ])
+}
+
+/// Decodes a trace written by [`trace_to_value`]. Abstract ids and
+/// similarity signatures are recomputed from the stored trees, so they
+/// match the originals exactly (the id is a pure function of the tree).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on missing or mistyped fields.
+pub fn trace_from_value(v: &Value) -> Result<Trace, JsonError> {
+    let table: Vec<Arc<AbstractHierarchy>> = v
+        .require("abstractions")?
+        .as_array()
+        .ok_or_else(|| JsonError::conversion("abstractions must be an array"))?
+        .iter()
+        .map(|n| {
+            Ok(Arc::new(AbstractHierarchy::from_root(
+                abstract_node_from_value(n)?,
+            )))
+        })
+        .collect::<Result<_, JsonError>>()?;
+    let events = v
+        .require("events")?
+        .as_array()
+        .ok_or_else(|| JsonError::conversion("events must be an array"))?;
+    let mut trace = Trace::new();
+    for e in events {
+        let field_u64 = |key: &str| -> Result<u64, JsonError> {
+            e.require(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::conversion(format!("field `{key}` must be a u64")))
+        };
+        let idx = field_u64("u")? as usize;
+        let abstraction = table
+            .get(idx)
+            .ok_or_else(|| JsonError::conversion("abstraction index out of range"))?
+            .clone();
+        let widget_rid = match e.require("w")? {
+            Value::Null => None,
+            Value::Str(s) => Some(s.clone()),
+            _ => return Err(JsonError::conversion("field `w` must be a string or null")),
+        };
+        trace.push(TraceEvent {
+            time: VirtualTime::from_millis(field_u64("t")?),
+            screen: ScreenId(
+                u32::try_from(field_u64("s")?)
+                    .map_err(|_| JsonError::conversion("screen id out of range"))?,
+            ),
+            activity: ActivityId(
+                u32::try_from(field_u64("y")?)
+                    .map_err(|_| JsonError::conversion("activity id out of range"))?,
+            ),
+            abstract_id: abstraction.id(),
+            abstraction,
+            action: action_from_value(e.require("a")?)?,
+            action_widget_rid: widget_rid,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-7",
+            "18446744073709551615",
+            "\"hi\"",
+        ] {
+            let v = Value::parse(text).unwrap();
+            assert_eq!(v.to_json_string(), text);
+        }
+        assert_eq!(Value::parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(Value::Float(2.0).to_json_string(), "2.0");
+        assert_eq!(Value::parse("1e3").unwrap().as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn u64_hash_ids_are_exact() {
+        // A value that f64 cannot represent exactly.
+        let id = 0xDEAD_BEEF_CAFE_F00Du64 | 1;
+        let text = Value::from(id).to_json_string();
+        assert_eq!(Value::parse(&text).unwrap().as_u64(), Some(id));
+    }
+
+    #[test]
+    fn structures_and_escapes_roundtrip() {
+        let v = Value::Object(vec![
+            ("quote\"\\".to_owned(), Value::from("line\nbreak\ttab")),
+            ("unicode".to_owned(), Value::from("héllo ☃")),
+            ("items".to_owned(), Value::from(vec![1u64, 2, 3])),
+            (
+                "nested".to_owned(),
+                Value::Object(vec![("x".to_owned(), Value::Null)]),
+            ),
+        ]);
+        let text = v.to_json_string();
+        assert_eq!(Value::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn surrogate_pairs_parse() {
+        let v = Value::parse("\"\\ud83d\\ude00 ok\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀 ok"));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        assert!(Value::parse("[1, 2").is_err());
+        assert!(Value::parse("{\"a\" 1}").is_err());
+        assert!(Value::parse("tru").is_err());
+        let err = Value::parse("[1] trailing").unwrap_err();
+        assert!(
+            err.offset >= 3,
+            "offset {} should be past the array",
+            err.offset
+        );
+    }
+
+    #[test]
+    fn trace_roundtrips_with_shared_abstractions() {
+        use crate::trace::tests::event;
+        let tr: Trace = [event(0, 1, "a"), event(3, 2, "b"), event(6, 1, "a")]
+            .into_iter()
+            .collect();
+        let text = trace_to_value(&tr).to_json_string();
+        let back = trace_from_value(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.len(), tr.len());
+        for (x, y) in tr.events().iter().zip(back.events()) {
+            assert_eq!(x.abstract_id, y.abstract_id);
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.screen, y.screen);
+            assert_eq!(x.action, y.action);
+        }
+        // Events 0 and 2 share one hierarchy after the roundtrip.
+        assert!(Arc::ptr_eq(
+            &back.events()[0].abstraction,
+            &back.events()[2].abstraction
+        ));
+    }
+}

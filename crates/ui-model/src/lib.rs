@@ -42,6 +42,7 @@ pub mod error;
 pub mod geometry;
 pub mod graph;
 pub mod hierarchy;
+pub mod json;
 pub mod screen;
 pub mod similarity;
 pub mod time;
@@ -49,12 +50,13 @@ pub mod trace;
 pub mod widget;
 
 pub use abstraction::{abstract_hierarchy, AbstractHierarchy, AbstractScreenId};
-pub use dump::{from_xml, to_xml, ParseDumpError};
 pub use action::{Action, ActionId, ActionKind};
+pub use dump::{from_xml, to_xml, ParseDumpError};
 pub use error::UiModelError;
 pub use geometry::Bounds;
 pub use graph::StochasticDigraph;
 pub use hierarchy::UiHierarchy;
+pub use json::{JsonError, Value};
 pub use screen::{ActivityId, ScreenId, ScreenObservation};
 pub use similarity::{count_in, tree_similarity};
 pub use time::{VirtualDuration, VirtualTime};

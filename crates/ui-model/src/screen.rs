@@ -3,17 +3,13 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::abstraction::{abstract_hierarchy, AbstractHierarchy, AbstractScreenId};
 use crate::action::{ActionId, ActionKind};
 use crate::hierarchy::UiHierarchy;
 use crate::time::VirtualTime;
 
 /// Identifier of a concrete UI screen inside an app's UI-space model.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ScreenId(pub u32);
 
 impl fmt::Display for ScreenId {
@@ -24,9 +20,7 @@ impl fmt::Display for ScreenId {
 
 /// Identifier of an Android activity (the UI-related code unit the ParaAim
 /// baseline partitions on).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ActivityId(pub u32);
 
 impl fmt::Display for ActivityId {
@@ -65,7 +59,13 @@ impl ScreenObservation {
         time: VirtualTime,
     ) -> Self {
         let abstraction = Arc::new(abstract_hierarchy(&hierarchy));
-        ScreenObservation { screen, activity, hierarchy, abstraction, time }
+        ScreenObservation {
+            screen,
+            activity,
+            hierarchy,
+            abstraction,
+            time,
+        }
     }
 
     /// Builds an observation with a pre-computed abstraction.
@@ -81,7 +81,13 @@ impl ScreenObservation {
         abstraction: Arc<AbstractHierarchy>,
         time: VirtualTime,
     ) -> Self {
-        ScreenObservation { screen, activity, hierarchy, abstraction, time }
+        ScreenObservation {
+            screen,
+            activity,
+            hierarchy,
+            abstraction,
+            time,
+        }
     }
 
     /// The abstract screen identity (hash of the abstraction).

@@ -9,18 +9,12 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in virtual time, measured in milliseconds from session start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtualTime(u64);
 
 /// A span of virtual time in milliseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtualDuration(u64);
 
 impl VirtualTime {
@@ -185,20 +179,35 @@ mod tests {
     fn arithmetic_roundtrips() {
         let t = VirtualTime::ZERO + VirtualDuration::from_secs(90);
         assert_eq!(t.as_secs(), 90);
-        assert_eq!(t.since(VirtualTime::from_secs(30)), VirtualDuration::from_secs(60));
+        assert_eq!(
+            t.since(VirtualTime::from_secs(30)),
+            VirtualDuration::from_secs(60)
+        );
         assert_eq!(t - VirtualTime::from_secs(100), VirtualDuration::ZERO);
     }
 
     #[test]
     fn duration_constructors_agree() {
-        assert_eq!(VirtualDuration::from_hours(1), VirtualDuration::from_mins(60));
-        assert_eq!(VirtualDuration::from_mins(1), VirtualDuration::from_secs(60));
-        assert_eq!(VirtualDuration::from_secs(1), VirtualDuration::from_millis(1000));
+        assert_eq!(
+            VirtualDuration::from_hours(1),
+            VirtualDuration::from_mins(60)
+        );
+        assert_eq!(
+            VirtualDuration::from_mins(1),
+            VirtualDuration::from_secs(60)
+        );
+        assert_eq!(
+            VirtualDuration::from_secs(1),
+            VirtualDuration::from_millis(1000)
+        );
     }
 
     #[test]
     fn fraction_of_handles_zero_total() {
-        assert_eq!(VirtualDuration::from_secs(5).fraction_of(VirtualDuration::ZERO), 0.0);
+        assert_eq!(
+            VirtualDuration::from_secs(5).fraction_of(VirtualDuration::ZERO),
+            0.0
+        );
         let half = VirtualDuration::from_secs(30).fraction_of(VirtualDuration::from_secs(60));
         assert!((half - 0.5).abs() < 1e-12);
     }
@@ -213,7 +222,13 @@ mod tests {
 
     #[test]
     fn scalar_ops() {
-        assert_eq!(VirtualDuration::from_secs(10) * 6, VirtualDuration::from_mins(1));
-        assert_eq!(VirtualDuration::from_mins(1) / 60, VirtualDuration::from_secs(1));
+        assert_eq!(
+            VirtualDuration::from_secs(10) * 6,
+            VirtualDuration::from_mins(1)
+        );
+        assert_eq!(
+            VirtualDuration::from_mins(1) / 60,
+            VirtualDuration::from_secs(1)
+        );
     }
 }

@@ -7,8 +7,6 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::abstraction::{AbstractHierarchy, AbstractScreenId};
 use crate::action::Action;
 use crate::error::UiModelError;
@@ -17,7 +15,7 @@ use crate::screen::{ActivityId, ScreenId};
 use crate::time::VirtualTime;
 
 /// One monitored UI transition.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceEvent {
     /// When the resulting screen was observed.
     pub time: VirtualTime,
@@ -38,7 +36,7 @@ pub struct TraceEvent {
 }
 
 /// An append-only UI transition trace for one testing instance.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -80,7 +78,10 @@ impl Trace {
     ///
     /// Returns [`UiModelError::EmptyTrace`] for an empty trace.
     pub fn end_time(&self) -> Result<VirtualTime, UiModelError> {
-        self.events.last().map(|e| e.time).ok_or(UiModelError::EmptyTrace)
+        self.events
+            .last()
+            .map(|e| e.time)
+            .ok_or(UiModelError::EmptyTrace)
     }
 
     /// The sequence of abstract screen ids visited.
@@ -113,7 +114,9 @@ impl Trace {
 
 impl FromIterator<TraceEvent> for Trace {
     fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Self {
-        Trace { events: iter.into_iter().collect() }
+        Trace {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -124,7 +127,7 @@ impl Extend<TraceEvent> for Trace {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::abstraction::abstract_hierarchy;
     use crate::hierarchy::UiHierarchy;
@@ -132,8 +135,7 @@ mod tests {
 
     pub(crate) fn event(t: u64, screen: u32, rid: &str) -> TraceEvent {
         let h = UiHierarchy::new(
-            Widget::container(WidgetClass::LinearLayout)
-                .with_child(Widget::text_view(rid, "txt")),
+            Widget::container(WidgetClass::LinearLayout).with_child(Widget::text_view(rid, "txt")),
         );
         let a = Arc::new(abstract_hierarchy(&h));
         TraceEvent {
@@ -175,10 +177,14 @@ mod tests {
 
     #[test]
     fn transition_graph_is_normalized() {
-        let tr: Trace =
-            [event(0, 1, "a"), event(1, 2, "b"), event(2, 1, "a"), event(3, 2, "b")]
-                .into_iter()
-                .collect();
+        let tr: Trace = [
+            event(0, 1, "a"),
+            event(1, 2, "b"),
+            event(2, 1, "a"),
+            event(3, 2, "b"),
+        ]
+        .into_iter()
+        .collect();
         let g = tr.transition_graph();
         for n in g.nodes() {
             let total: f64 = g.out_edges(n).map(|(_, w)| w).sum();

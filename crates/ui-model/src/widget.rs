@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::action::{ActionId, ActionKind};
 use crate::geometry::Bounds;
 
 /// The view class of a widget, mirroring common Android view classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum WidgetClass {
     /// A vertical/horizontal container.
@@ -70,7 +68,7 @@ impl fmt::Display for WidgetClass {
 /// shim) disables widgets by clearing [`Widget::enabled`]; disabled widgets
 /// are invisible to tools' action enumeration, which is exactly how TaOPT
 /// blocks subspace entrypoints without modifying the tool.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Widget {
     /// View class.
     pub class: WidgetClass,
@@ -104,19 +102,28 @@ impl Widget {
 
     /// Creates a leaf widget of the given class with a resource id.
     pub fn leaf(class: WidgetClass, resource_id: &str) -> Self {
-        Widget { resource_id: Some(resource_id.to_owned()), ..Widget::container(class) }
+        Widget {
+            resource_id: Some(resource_id.to_owned()),
+            ..Widget::container(class)
+        }
     }
 
     /// Creates a clickable button with text. The affordance id must be
     /// attached afterwards with [`Widget::with_affordance`] to make it
     /// actionable in the simulation.
     pub fn button(resource_id: &str, text: &str) -> Self {
-        Widget { text: Some(text.to_owned()), ..Widget::leaf(WidgetClass::Button, resource_id) }
+        Widget {
+            text: Some(text.to_owned()),
+            ..Widget::leaf(WidgetClass::Button, resource_id)
+        }
     }
 
     /// Creates a static text label.
     pub fn text_view(resource_id: &str, text: &str) -> Self {
-        Widget { text: Some(text.to_owned()), ..Widget::leaf(WidgetClass::TextView, resource_id) }
+        Widget {
+            text: Some(text.to_owned()),
+            ..Widget::leaf(WidgetClass::TextView, resource_id)
+        }
     }
 
     /// Attaches an affordance, making the widget interactive.
@@ -145,7 +152,11 @@ impl Widget {
 
     /// Number of nodes in the subtree rooted here (including `self`).
     pub fn subtree_size(&self) -> usize {
-        1 + self.children.iter().map(Widget::subtree_size).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(Widget::subtree_size)
+            .sum::<usize>()
     }
 
     /// Depth-first pre-order visit of the subtree.
@@ -171,9 +182,7 @@ mod tests {
 
     fn sample() -> Widget {
         Widget::container(WidgetClass::LinearLayout)
-            .with_child(
-                Widget::button("go", "Go").with_affordance(ActionId(1), ActionKind::Click),
-            )
+            .with_child(Widget::button("go", "Go").with_affordance(ActionId(1), ActionKind::Click))
             .with_child(
                 Widget::container(WidgetClass::FrameLayout)
                     .with_child(Widget::text_view("label", "hello")),

@@ -20,8 +20,12 @@ const CLASSES: [WidgetClass; 6] = [
 
 /// An arbitrary widget tree up to depth 3 / 40 nodes.
 pub fn arb_widget() -> impl Strategy<Value = Widget> {
-    let leaf = (0usize..CLASSES.len(), proptest::option::of("[a-z]{1,8}"), any::<bool>()).prop_map(
-        |(ci, rid, actionable)| {
+    let leaf = (
+        0usize..CLASSES.len(),
+        proptest::option::of("[a-z]{1,8}"),
+        any::<bool>(),
+    )
+        .prop_map(|(ci, rid, actionable)| {
             let mut w = Widget::container(CLASSES[ci]);
             w.resource_id = rid;
             w.text = Some("text".to_owned());
@@ -29,8 +33,7 @@ pub fn arb_widget() -> impl Strategy<Value = Widget> {
                 w = w.with_affordance(ActionId(ci as u32), ActionKind::Click);
             }
             w
-        },
-    );
+        });
     leaf.prop_recursive(3, 40, 5, |inner| {
         (
             0usize..CLASSES.len(),

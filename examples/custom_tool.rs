@@ -35,7 +35,11 @@ struct DepthProber {
 
 impl DepthProber {
     fn new(seed: u64) -> Self {
-        DepthProber { rng: StdRng::seed_from_u64(seed), last_screen: None, revisits: 0 }
+        DepthProber {
+            rng: StdRng::seed_from_u64(seed),
+            last_screen: None,
+            revisits: 0,
+        }
     }
 }
 
@@ -60,7 +64,11 @@ impl TestingTool for DepthProber {
             0 => Action::Back,
             n => {
                 // Bias towards the deepest affordances, with some noise.
-                let idx = if self.rng.gen::<f64>() < 0.7 { n - 1 } else { self.rng.gen_range(0..n) };
+                let idx = if self.rng.gen::<f64>() < 0.7 {
+                    n - 1
+                } else {
+                    self.rng.gen_range(0..n)
+                };
                 let (id, _): (ActionId, _) = enabled[idx];
                 Action::Widget(id)
             }
@@ -84,7 +92,10 @@ fn solo_run(app: Arc<App>, minutes: u64, seed: u64) -> usize {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let app = Arc::new(generate_app(&GeneratorConfig::industrial("CustomToolDemo", 5))?);
+    let app = Arc::new(generate_app(&GeneratorConfig::industrial(
+        "CustomToolDemo",
+        5,
+    ))?);
 
     // The custom tool runs standalone through the same Toller shim...
     let covered = solo_run(Arc::clone(&app), 10, 1);
@@ -94,7 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // custom tool we drive the instrumented instances and the coordinator
     // directly, exactly as `taopt::session` does internally.
     use taopt::coordinator::TestCoordinator;
-    let cfg = SessionConfig::new(taopt_tools::ToolKind::Monkey, taopt::session::RunMode::TaoptDuration);
+    let cfg = SessionConfig::new(
+        taopt_tools::ToolKind::Monkey,
+        taopt::session::RunMode::TaoptDuration,
+    );
     let mut coordinator = TestCoordinator::new(cfg.analyzer.clone());
     let mut instances: Vec<InstrumentedInstance> = (0..3)
         .map(|i| {
@@ -130,6 +144,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         union.len(),
         confirmed
     );
-    println!("TaOPT never inspected the tool: the same coordinator drove a tool it has never seen.");
+    println!(
+        "TaOPT never inspected the tool: the same coordinator drove a tool it has never seen."
+    );
     Ok(())
 }

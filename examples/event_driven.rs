@@ -29,8 +29,16 @@ use taopt_ui_model::{
 
 /// Protocol states: 0-4 connection management, 5-9 data transfer.
 const STATES: [&str; 10] = [
-    "CLOSED", "SYN_SENT", "SYN_RCVD", "FIN_WAIT", "TIME_WAIT", // connection region
-    "ESTABLISHED", "SENDING", "RECEIVING", "ACK_WAIT", "RETRANSMIT", // transfer region
+    "CLOSED",
+    "SYN_SENT",
+    "SYN_RCVD",
+    "FIN_WAIT",
+    "TIME_WAIT", // connection region
+    "ESTABLISHED",
+    "SENDING",
+    "RECEIVING",
+    "ACK_WAIT",
+    "RETRANSMIT", // transfer region
 ];
 
 /// Each protocol state is encoded as a one-node "screen" whose resource id
@@ -116,7 +124,10 @@ fn main() {
 
     // Offline (trace segmentation): recover the regions from the trace.
     let clusters = partition_traces(&[&trace], &PartitionConfig::default());
-    println!("\noffline trace partition found {} region(s):", clusters.len());
+    println!(
+        "\noffline trace partition found {} region(s):",
+        clusters.len()
+    );
     let name_of = |id: &taopt_ui_model::AbstractScreenId| {
         (0..STATES.len())
             .map(|s| state_event(0, s, None))
@@ -134,7 +145,10 @@ fn main() {
     use taopt::partition::partition_graph;
     let g = trace.transition_graph();
     let graph_clusters = partition_graph(&g, &PartitionConfig::default());
-    println!("\ngraph partition found {} region(s):", graph_clusters.len());
+    println!(
+        "\ngraph partition found {} region(s):",
+        graph_clusters.len()
+    );
     for (i, c) in graph_clusters.iter().enumerate() {
         let names: Vec<&str> = c
             .iter()

@@ -45,15 +45,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             result.machine_time,
         );
         if mode.uses_taopt() {
-            let confirmed: Vec<_> =
-                result.subspaces.iter().filter(|s| s.confirmed).collect();
-            println!("  identified {} loosely coupled UI subspaces:", confirmed.len());
+            let confirmed: Vec<_> = result.subspaces.iter().filter(|s| s.confirmed).collect();
+            println!(
+                "  identified {} loosely coupled UI subspaces:",
+                confirmed.len()
+            );
             for s in confirmed.iter().take(6) {
                 println!(
                     "    {}: {} screens, entry via {:?}, dedicated to {:?}",
                     s.id,
                     s.screens.len(),
-                    s.entrypoints.first().map(|e| e.widget_rid.as_str()).unwrap_or("?"),
+                    s.entrypoints
+                        .first()
+                        .map(|e| e.widget_rid.as_str())
+                        .unwrap_or("?"),
                     s.owner,
                 );
             }

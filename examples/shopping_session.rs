@@ -75,9 +75,17 @@ fn shopping_app() -> App {
     b.add_action(setting, ActionKind::SetText, "edit_name", "", Vec::new());
 
     // Methods: checkout flow spans two activities.
-    for screen in [main_tabs, search_tabs, select_list, goods_detail, shop_bag, wish_list,
-        user_services, setting, profile]
-    {
+    for screen in [
+        main_tabs,
+        search_tabs,
+        select_list,
+        goods_detail,
+        shop_bag,
+        wish_list,
+        user_services,
+        setting,
+        profile,
+    ] {
         let m = b.alloc_methods(25);
         b.set_screen_methods(screen, m);
     }
@@ -127,7 +135,10 @@ fn main() {
             s.owner
         );
         for e in &s.entrypoints {
-            println!("    entry widget `{}` (disabled on every other device)", e.widget_rid);
+            println!(
+                "    entry widget `{}` (disabled on every other device)",
+                e.widget_rid
+            );
         }
     }
     println!("\ncoordinator log (first 10 events):");

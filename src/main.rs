@@ -24,7 +24,9 @@ fn usage() -> ! {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn find_app(name: &str) -> Arc<taopt_app_sim::App> {
@@ -39,7 +41,10 @@ fn find_app(name: &str) -> Arc<taopt_app_sim::App> {
 }
 
 fn cmd_apps() {
-    println!("{:<20} {:<10} {:<18} {:<8} login", "App", "Version", "Category", "Installs");
+    println!(
+        "{:<20} {:<10} {:<18} {:<8} login",
+        "App", "Version", "Category", "Installs"
+    );
     for e in catalog_entries() {
         println!(
             "{:<20} {:<10} {:<18} {:<8} {}",
@@ -108,7 +113,10 @@ fn cmd_run(args: &[String]) {
     );
     let t0 = std::time::Instant::now();
     let r = ParallelSession::run(Arc::clone(&app), &cfg);
-    eprintln!("(simulated in {:.2}s real time)", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "(simulated in {:.2}s real time)",
+        t0.elapsed().as_secs_f64()
+    );
 
     println!(
         "coverage: {} / {} methods ({:.1}%)",
@@ -131,7 +139,10 @@ fn cmd_run(args: &[String]) {
                 "  {} — {} screens via {:?} (owner {:?})",
                 s.id,
                 s.screens.len(),
-                s.entrypoints.first().map(|e| e.widget_rid.as_str()).unwrap_or("?"),
+                s.entrypoints
+                    .first()
+                    .map(|e| e.widget_rid.as_str())
+                    .unwrap_or("?"),
                 s.owner
             );
         }

@@ -8,8 +8,18 @@ use taopt_ui_model::VirtualTime;
 fn all_catalog_apps_generate_and_validate() {
     for e in catalog_entries() {
         let app = e.generate();
-        assert!(app.screen_count() > 100, "{}: only {} screens", e.name, app.screen_count());
-        assert!(app.method_count() > 3_000, "{}: only {} methods", e.name, app.method_count());
+        assert!(
+            app.screen_count() > 100,
+            "{}: only {} screens",
+            e.name,
+            app.screen_count()
+        );
+        assert!(
+            app.method_count() > 3_000,
+            "{}: only {} methods",
+            e.name,
+            app.method_count()
+        );
         assert!(app.functionalities().len() >= 10, "{}", e.name);
         assert_eq!(app.login().is_some(), e.login, "{} login gating", e.name);
         // Every action target resolves (App::assemble validated it, but
@@ -53,10 +63,18 @@ fn runtimes_boot_on_every_catalog_app() {
         let app = std::sync::Arc::new(e.generate());
         let mut rt = AppRuntime::launch(std::sync::Arc::clone(&app), 1);
         if app.login().is_some() {
-            assert!(rt.auto_login(VirtualTime::ZERO).is_some(), "{} login failed", e.name);
+            assert!(
+                rt.auto_login(VirtualTime::ZERO).is_some(),
+                "{} login failed",
+                e.name
+            );
         }
         let obs = rt.observe(VirtualTime::ZERO);
-        assert!(!obs.enabled_actions().is_empty(), "{} start screen is dead", e.name);
+        assert!(
+            !obs.enabled_actions().is_empty(),
+            "{} start screen is dead",
+            e.name
+        );
     }
 }
 

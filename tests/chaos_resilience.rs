@@ -1,0 +1,123 @@
+//! System-level chaos resilience: a duration-mode session with device
+//! losses, bus faults and enforcement failures all active must still
+//! terminate, respect `d_max`, leave no subspace permanently blocked for
+//! every live instance, and retain most of the fault-free coverage.
+
+use std::sync::Arc;
+
+use taopt::run_with_chaos;
+use taopt::session::{RunMode, SessionConfig};
+use taopt_app_sim::{generate_app, App, GeneratorConfig};
+use taopt_chaos::{FaultInjector, FaultKind, FaultPlan, FaultRates};
+use taopt_tools::ToolKind;
+use taopt_ui_model::VirtualDuration;
+
+fn chaos_config() -> SessionConfig {
+    let mut cfg = SessionConfig::new(ToolKind::Monkey, RunMode::TaoptDuration);
+    cfg.instances = 3;
+    cfg.duration = VirtualDuration::from_mins(10);
+    cfg.stall_timeout = VirtualDuration::from_secs(60);
+    cfg.analyzer.find_space.l_min = VirtualDuration::from_secs(45);
+    cfg.analyzer.analysis_interval = VirtualDuration::from_secs(20);
+    cfg.seed = 7;
+    cfg
+}
+
+fn app() -> Arc<App> {
+    Arc::new(generate_app(&GeneratorConfig::small("chaos-e2e", 5)).expect("valid app"))
+}
+
+/// Moderate rates on every seam at once: ~1 device loss per instance per
+/// 8 virtual minutes, 3% of events dropped, 2% duplicated or delayed,
+/// 20% of enforcement deliveries failing.
+fn moderate_rates() -> FaultRates {
+    let mut rates = FaultRates::none();
+    rates.device_loss = 0.02;
+    rates.alloc_refusal = 0.05;
+    rates.latency_spike = 0.02;
+    rates.event_drop = 0.03;
+    rates.event_duplicate = 0.02;
+    rates.event_delay = 0.02;
+    rates.enforcement_failure = 0.2;
+    rates
+}
+
+#[test]
+fn faulted_session_terminates_within_budget_and_retains_coverage() {
+    let cfg = chaos_config();
+    let clean = run_with_chaos(app(), &cfg, &FaultInjector::inert(13));
+    let injector = FaultInjector::new(FaultPlan::new(13, moderate_rates()));
+    let faulted = run_with_chaos(app(), &cfg, &injector);
+
+    // The fault schedule genuinely fired on all three seams.
+    let stats = &faulted.fault_stats;
+    assert!(faulted.devices_lost > 0, "no device losses injected");
+    assert!(
+        stats
+            .injected
+            .get(&FaultKind::EventDropped)
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
+    assert!(
+        stats
+            .injected
+            .get(&FaultKind::EnforcementFailed)
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
+
+    // Termination and the d_max ceiling: the run never outlives its
+    // wall-clock budget and never runs more instances than allowed.
+    assert!(faulted.session.wall_clock <= cfg.duration + cfg.tick);
+    assert!(faulted.session.peak_concurrency() <= cfg.instances);
+
+    // Liveness: no confirmed subspace may end up blocked for every live
+    // instance with nobody dedicated to it.
+    assert_eq!(faulted.unresolved_orphans, 0, "subspace left orphaned");
+
+    // Self-healing actually recovered: lost devices were replaced and
+    // failed broadcasts eventually applied.
+    assert!(faulted.replacements > 0, "no lost device was replaced");
+    assert!(stats.total_recovered() > 0, "no recoveries recorded");
+
+    // Degradation bound: >= 80% of the fault-free union coverage under
+    // the same seed.
+    let clean_cov = clean.session.union_coverage();
+    let faulted_cov = faulted.session.union_coverage();
+    assert!(
+        faulted_cov * 10 >= clean_cov * 8,
+        "coverage degraded too far: {faulted_cov} faulted vs {clean_cov} clean"
+    );
+}
+
+#[test]
+fn chaos_reports_are_reproducible_from_the_plan_seed() {
+    let cfg = chaos_config();
+    let plan = FaultPlan::new(29, moderate_rates());
+    let a = run_with_chaos(app(), &cfg, &FaultInjector::new(plan.clone()));
+    let b = run_with_chaos(app(), &cfg, &FaultInjector::new(plan));
+    assert_eq!(a.session.union_coverage(), b.session.union_coverage());
+    assert_eq!(a.session.unique_crashes(), b.session.unique_crashes());
+    assert_eq!(a.fault_stats, b.fault_stats);
+    assert_eq!(a.devices_lost, b.devices_lost);
+    assert_eq!(a.replacements, b.replacements);
+    assert_eq!(a.stream, b.stream);
+}
+
+#[test]
+fn fault_plan_survives_serialization_mid_experiment() {
+    // An operator can persist the plan next to the run artifacts and
+    // replay the exact same chaos later.
+    let cfg = chaos_config();
+    let plan = FaultPlan::new(31, moderate_rates());
+    let json = plan.to_value().to_json_string();
+    let replayed =
+        FaultPlan::from_value(&taopt_ui_model::json::Value::parse(&json).unwrap()).unwrap();
+    let a = run_with_chaos(app(), &cfg, &FaultInjector::new(plan));
+    let b = run_with_chaos(app(), &cfg, &FaultInjector::new(replayed));
+    assert_eq!(a.session.union_coverage(), b.session.union_coverage());
+    assert_eq!(a.fault_stats, b.fault_stats);
+}

@@ -50,7 +50,9 @@ fn blocked_widgets_are_never_fired_while_blocked() {
     // installed at registration time (instances allocated later than the
     // dedication): for those, ANY firing is a violation.
     for i in &r.instances {
-        let Some(rules) = blocked.get(&i.instance) else { continue };
+        let Some(rules) = blocked.get(&i.instance) else {
+            continue;
+        };
         // Rules installed at or before this instance's first event.
         for (host, rid) in rules {
             let fired_while_blocked = i.trace.events().windows(2).any(|w| {
@@ -80,7 +82,10 @@ fn each_subspace_has_exactly_one_live_owner_per_dedication() {
     // The last dedication event per subspace determines the final owner.
     let mut last_owner = BTreeMap::new();
     for e in &r.coordinator_events {
-        if let CoordinatorEvent::SubspaceDedicated { subspace, owner, .. } = e {
+        if let CoordinatorEvent::SubspaceDedicated {
+            subspace, owner, ..
+        } = e
+        {
             last_owner.insert(*subspace, *owner);
         }
     }

@@ -42,11 +42,19 @@ fn every_tool_and_mode_completes() {
 
 #[test]
 fn sessions_are_reproducible() {
-    for mode in [RunMode::Baseline, RunMode::TaoptDuration, RunMode::TaoptResource] {
+    for mode in [
+        RunMode::Baseline,
+        RunMode::TaoptDuration,
+        RunMode::TaoptResource,
+    ] {
         let cfg = quick_config(ToolKind::Ape, mode);
         let a = ParallelSession::run(app(2), &cfg);
         let b = ParallelSession::run(app(2), &cfg);
-        assert_eq!(a.union_coverage(), b.union_coverage(), "{mode:?} not deterministic");
+        assert_eq!(
+            a.union_coverage(),
+            b.union_coverage(),
+            "{mode:?} not deterministic"
+        );
         assert_eq!(a.unique_crashes(), b.unique_crashes());
         assert_eq!(a.machine_time, b.machine_time);
         assert_eq!(a.subspaces.len(), b.subspaces.len());
@@ -71,7 +79,11 @@ fn different_seeds_change_baseline_outcomes() {
 
 #[test]
 fn duration_modes_respect_the_wall_clock() {
-    for mode in [RunMode::Baseline, RunMode::TaoptDuration, RunMode::ActivityPartition] {
+    for mode in [
+        RunMode::Baseline,
+        RunMode::TaoptDuration,
+        RunMode::ActivityPartition,
+    ] {
         let cfg = quick_config(ToolKind::Monkey, mode);
         let r = ParallelSession::run(app(4), &cfg);
         // Wall clock never exceeds the budget by more than one tick.
@@ -103,7 +115,11 @@ fn resource_mode_respects_the_machine_budget() {
 
 #[test]
 fn taopt_identifies_and_dedicates_subspaces() {
-    let r = ParallelSession::run(app(6), &quick_config(ToolKind::Monkey, RunMode::TaoptDuration));
+    // Confirmation needs a couple of analysis rounds past l_min; give this
+    // session a little more room than the quick config's 8 minutes.
+    let mut cfg = quick_config(ToolKind::Monkey, RunMode::TaoptDuration);
+    cfg.duration = VirtualDuration::from_mins(12);
+    let r = ParallelSession::run(app(6), &cfg);
     let confirmed: Vec<_> = r.subspaces.iter().filter(|s| s.confirmed).collect();
     assert!(!confirmed.is_empty(), "no subspaces identified");
     for s in &confirmed {
@@ -122,7 +138,11 @@ fn instance_coverage_is_a_subset_of_union() {
         // Cover events reconstruct the covered set.
         let from_events: std::collections::BTreeSet<_> =
             i.cover_events.iter().map(|(_, m)| *m).collect();
-        assert_eq!(from_events, i.covered, "{} cover events diverge", i.instance);
+        assert_eq!(
+            from_events, i.covered,
+            "{} cover events diverge",
+            i.instance
+        );
     }
     assert_eq!(r.union_coverage(), union.len());
 }
@@ -139,7 +159,10 @@ fn union_curve_is_monotone_and_consistent() {
             .union_curve
             .windows(2)
             .all(|w| w[0].machine_time <= w[1].machine_time));
-        assert_eq!(r.union_curve.last().map(|p| p.covered).unwrap_or(0), r.union_coverage());
+        assert_eq!(
+            r.union_curve.last().map(|p| p.covered).unwrap_or(0),
+            r.union_coverage()
+        );
     }
 }
 
@@ -148,7 +171,10 @@ fn login_gated_apps_are_testable() {
     let mut gcfg = GeneratorConfig::small("gated", 9);
     gcfg.login = true;
     let app = Arc::new(generate_app(&gcfg).unwrap());
-    let r = ParallelSession::run(app.clone(), &quick_config(ToolKind::Monkey, RunMode::Baseline));
+    let r = ParallelSession::run(
+        app.clone(),
+        &quick_config(ToolKind::Monkey, RunMode::Baseline),
+    );
     // Auto-login must unlock the bulk of the app, not just the wall.
     assert!(
         r.union_coverage() * 3 > app.method_count(),

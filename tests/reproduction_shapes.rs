@@ -34,7 +34,10 @@ fn shape_apps(n: usize) -> Vec<(String, Arc<App>)> {
             cfg.n_functionalities = 8;
             cfg.min_screens_per_functionality = 12;
             cfg.max_screens_per_functionality = 20;
-            (e.name.to_owned(), Arc::new(taopt_app_sim::generate_app(&cfg).unwrap()))
+            (
+                e.name.to_owned(),
+                Arc::new(taopt_app_sim::generate_app(&cfg).unwrap()),
+            )
         })
         .collect()
 }
@@ -48,7 +51,9 @@ fn taopt_improves_aggregate_coverage() {
     let mut res = 0usize;
     for (name, _) in &apps {
         for tool in ToolKind::ALL {
-            base += matrix_get(&matrix, name, tool, RunMode::Baseline).unwrap().union_coverage;
+            base += matrix_get(&matrix, name, tool, RunMode::Baseline)
+                .unwrap()
+                .union_coverage;
             dur += matrix_get(&matrix, name, tool, RunMode::TaoptDuration)
                 .unwrap()
                 .union_coverage;
@@ -57,8 +62,14 @@ fn taopt_improves_aggregate_coverage() {
                 .union_coverage;
         }
     }
-    assert!(dur as f64 > 0.98 * base as f64, "duration mode regressed: {dur} vs {base}");
-    assert!(res as f64 > 0.98 * base as f64, "resource mode regressed: {res} vs {base}");
+    assert!(
+        dur as f64 > 0.98 * base as f64,
+        "duration mode regressed: {dur} vs {base}"
+    );
+    assert!(
+        res as f64 > 0.98 * base as f64,
+        "resource mode regressed: {res} vs {base}"
+    );
     assert!(
         dur + res > 2 * base,
         "TaOPT should improve on aggregate: D={dur} R={res} B={base}"

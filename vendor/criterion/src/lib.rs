@@ -1,0 +1,276 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Times closures with `std::time::Instant` and prints mean wall-clock
+//! per iteration. Covers the API subset this workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::bench_with_input`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros (both the
+//! positional and the `name =` / `config =` / `targets =` forms).
+//!
+//! No statistics, warm-up scheduling, or report files — each benchmark
+//! simply runs `sample_size` samples and reports the mean.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier combining a function name and a parameter, e.g.
+/// `BenchmarkId::new("events", 512)` → `events/512`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labelled `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Measured (sample_total, iterations) pairs.
+    results: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to get a
+    /// measurable duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes ≳1ms, so short routines aren't dominated by timer noise.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.results.push((start.elapsed(), iters));
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        let (total, iters) = bencher
+            .results
+            .iter()
+            .fold((Duration::ZERO, 0u64), |(d, n), (sd, sn)| {
+                (d + *sd, n + *sn)
+            });
+        if iters == 0 {
+            println!("{id:<48} (no samples)");
+        } else {
+            let mean_ns = total.as_nanos() as f64 / iters as f64;
+            println!(
+                "{id:<48} {:>12} /iter  ({} samples)",
+                format_ns(mean_ns),
+                bencher.samples
+            );
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn, ...)`
+/// or the braced `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let template: $crate::Criterion = $config;
+            $(
+                let mut c = template.clone();
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a ^ b.wrapping_mul(0x9e37_79b9))
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("sum", |b| b.iter(|| sum_to(100)));
+    }
+
+    #[test]
+    fn bench_with_input_and_group() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, n| {
+            b.iter(|| sum_to(*n))
+        });
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| sum_to(10)));
+        g.finish();
+    }
+
+    criterion_group!(positional, positional_target);
+    fn positional_target(c: &mut Criterion) {
+        c.bench_function("positional", |b| b.iter(|| sum_to(5)));
+    }
+
+    criterion_group! {
+        name = braced;
+        config = Criterion::default().sample_size(2);
+        targets = positional_target
+    }
+
+    #[test]
+    fn groups_invoke() {
+        positional();
+        braced();
+    }
+}

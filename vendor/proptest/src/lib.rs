@@ -1,0 +1,671 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Reimplements the subset of proptest's API this workspace uses:
+//! [`Strategy`] with `prop_map` / `prop_recursive` / `boxed`, range and
+//! tuple strategies, [`collection::vec`] / [`collection::btree_set`],
+//! [`option::of`], regex-literal string strategies (`"[a-z]{1,8}"`),
+//! `any::<T>()`, and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_oneof!`] macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its seed and case index instead), and cases are generated from a seed
+//! derived deterministically from the test name, so runs are reproducible
+//! without a `proptest-regressions` file (existing regression files are
+//! ignored).
+
+#![forbid(unsafe_code)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A failed property check (returned by `prop_assert!` style macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`ProptestConfig` in the real crate).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives the cases of one property (used by the [`proptest!`] macro).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner whose random stream is derived from `name`.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        0x7a0b_75e6_u64.hash(&mut h);
+        TestRunner {
+            config,
+            base_seed: h.finish(),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// Deterministic RNG for case `case`.
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        StdRng::seed_from_u64(self.base_seed.wrapping_add(case as u64))
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind an `Arc` (cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf; `branch` wraps an
+    /// inner strategy into a composite. `depth` bounds the nesting;
+    /// `_max_nodes` and `_items_per_level` are accepted for signature
+    /// compatibility (size is bounded by whatever `branch` builds).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _max_nodes: u32,
+        _items_per_level: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let inner = level.clone();
+            let leaf_again = leaf.clone();
+            let composite = branch(inner).boxed();
+            // Mix leaves and composites so trees have varied shapes.
+            level = BoxedStrategy(Arc::new(move |rng: &mut TestRng| {
+                if rng.gen::<f64>() < 0.35 {
+                    leaf_again.generate(rng)
+                } else {
+                    composite.generate(rng)
+                }
+            }));
+        }
+        level
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// String strategies from regex-like literals.
+///
+/// Supports the pattern shapes used in this workspace: a single character
+/// class with a bounded repetition — `[a-z]{1,8}`, `[ -~]{0,24}` — plus
+/// plain literal strings (generated verbatim).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes = pattern.as_bytes();
+    if bytes.first() != Some(&b'[') {
+        // Literal string.
+        return pattern.to_owned();
+    }
+    let close = pattern
+        .find(']')
+        .expect("unterminated character class in pattern");
+    let class = &pattern[1..close];
+    // Expand ranges like a-z inside the class.
+    let mut alphabet: Vec<char> = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            assert!(lo <= hi, "inverted range in character class");
+            for c in lo..=hi {
+                alphabet.push(char::from_u32(c).expect("valid char range"));
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    let rest = &pattern[close + 1..];
+    let (min, max) = parse_repetition(rest);
+    let len = if min == max {
+        min
+    } else {
+        rng.gen_range(min..=max)
+    };
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+fn parse_repetition(rest: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    if rest == "*" {
+        return (0, 8);
+    }
+    if rest == "+" {
+        return (1, 8);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .expect("unsupported repetition in pattern");
+    match inner.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("repetition lower bound"),
+            hi.trim().parse().expect("repetition upper bound"),
+        ),
+        None => {
+            let n = inner.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty => $lo:expr, $hi:expr);* $(;)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                ($lo..=$hi).boxed()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uniform! {
+    u8 => u8::MIN, u8::MAX;
+    u16 => u16::MIN, u16::MAX;
+    u32 => u32::MIN, u32::MAX;
+    u64 => u64::MIN, u64::MAX;
+    usize => usize::MIN, usize::MAX;
+    i8 => i8::MIN, i8::MAX;
+    i16 => i16::MIN, i16::MAX;
+    i32 => i32::MIN, i32::MAX;
+    i64 => i64::MIN, i64::MAX;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        BoxedStrategy(Arc::new(|rng: &mut TestRng| rng.gen::<bool>()))
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        BoxedStrategy(Arc::new(|rng: &mut TestRng| rng.gen::<f64>()))
+    }
+}
+
+/// The canonical strategy for `T` (`proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with target sizes drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `BTreeSet` with *up to* the drawn number of elements (duplicates
+    /// collapse, as in the real proptest).
+    pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `None` about a quarter of the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` values from `inner` (75%) or `None` (25%).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rand::Rng::gen::<f64>(rng) < 0.25 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property test file usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRunner,
+    };
+}
+
+/// Runs properties over generated inputs. See the crate docs for the
+/// supported grammar (a strict subset of the real macro's).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch $cfg; $($rest)*);
+    };
+    (@munch $cfg:expr; ) => {};
+    (@munch $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let runner = $crate::TestRunner::new(config, concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for(case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let result: $crate::TestCaseResult = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(e) = result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        runner.cases(),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@munch $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// Chooses uniformly among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let arms = vec![$($crate::Strategy::boxed($strategy)),+];
+        $crate::one_of(arms)
+    }};
+}
+
+/// Runtime support for [`prop_oneof!`].
+pub fn one_of<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy(Arc::new(move |rng: &mut TestRng| {
+        let i = rng.gen_range(0..arms.len());
+        arms[i].generate(rng)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn string_patterns() {
+        let runner = TestRunner::new(ProptestConfig::default(), "string_patterns");
+        let mut rng = runner.rng_for(0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = Strategy::generate(&"[ -~]{0,24}", &mut rng);
+            assert!(t.len() <= 24);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+        assert_eq!(Strategy::generate(&"hello", &mut rng), "hello");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..9), flag in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!(u8::from(flag) <= 1);
+        }
+
+        #[test]
+        fn collections(
+            v in crate::collection::vec(0u8..4, 0..12),
+            s in crate::collection::btree_set(0u32..100, 0..20),
+            o in crate::option::of(1i32..3),
+        ) {
+            prop_assert!(v.len() < 12);
+            prop_assert!(v.iter().all(|x| *x < 4));
+            prop_assert!(s.len() < 20);
+            if let Some(x) = o {
+                prop_assert!((1..3).contains(&x), "range 1..3 gave {}", x);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1u32), 10u32..12, (0u32..2).prop_map(|v| v + 100)]) {
+            prop_assert!(x == 1 || (10..12).contains(&x) || (100..102).contains(&x));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(size).sum::<usize>(),
+            }
+        }
+        let strat = (0u8..8)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 40, 5, |inner| {
+                crate::collection::vec(inner, 0..5).prop_map(Tree::Node)
+            });
+        let runner = TestRunner::new(ProptestConfig::default(), "recursive");
+        let mut max = 0;
+        for case in 0..50 {
+            let mut rng = runner.rng_for(case);
+            let t = strat.generate(&mut rng);
+            max = max.max(size(&t));
+        }
+        assert!(max > 1, "recursion produced only leaves");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let runner = TestRunner::new(ProptestConfig::default(), "det");
+        let a: Vec<u64> = (0..20)
+            .map(|c| Strategy::generate(&(0u64..1_000_000), &mut runner.rng_for(c)))
+            .collect();
+        let runner2 = TestRunner::new(ProptestConfig::default(), "det");
+        let b: Vec<u64> = (0..20)
+            .map(|c| Strategy::generate(&(0u64..1_000_000), &mut runner2.rng_for(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
