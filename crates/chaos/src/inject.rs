@@ -61,12 +61,18 @@ impl FaultInjector {
         self.log.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Logs an injected fault and mirrors it into the global telemetry
+    /// domain, so the fault log and the flight recorder line up.
+    fn record_fault(&self, now: VirtualTime, instance: Option<u32>, kind: FaultKind) {
+        taopt_telemetry::global().fault(kind.label(), instance, now);
+        self.log_mut().record_fault(now, instance, kind);
+    }
+
     /// Should `instance`'s device die during tick `tick`? Logs on yes.
     pub fn device_loss(&self, instance: u32, tick: u64, now: VirtualTime) -> bool {
         let hit = self.plan.device_loss(instance, tick);
         if hit {
-            self.log_mut()
-                .record_fault(now, Some(instance), FaultKind::DeviceLost);
+            self.record_fault(now, Some(instance), FaultKind::DeviceLost);
         }
         hit
     }
@@ -77,8 +83,7 @@ impl FaultInjector {
         let attempt = self.alloc_attempts.fetch_add(1, Ordering::Relaxed);
         let hit = self.plan.alloc_refusal(attempt);
         if hit {
-            self.log_mut()
-                .record_fault(now, None, FaultKind::AllocRefused);
+            self.record_fault(now, None, FaultKind::AllocRefused);
         }
         hit
     }
@@ -92,8 +97,7 @@ impl FaultInjector {
     ) -> Option<VirtualDuration> {
         let spike = self.plan.latency_spike(instance, step);
         if spike.is_some() {
-            self.log_mut()
-                .record_fault(now, Some(instance), FaultKind::LatencySpike);
+            self.record_fault(now, Some(instance), FaultKind::LatencySpike);
         }
         spike
     }
@@ -112,7 +116,7 @@ impl FaultInjector {
             (EventFate::Deliver, None)
         };
         if let Some(kind) = kind {
-            self.log_mut().record_fault(now, Some(instance), kind);
+            self.record_fault(now, Some(instance), kind);
         }
         fate
     }
@@ -128,8 +132,7 @@ impl FaultInjector {
     ) -> bool {
         let hit = self.plan.enforcement_failure(instance, broadcast, attempt);
         if hit {
-            self.log_mut()
-                .record_fault(now, Some(instance), FaultKind::EnforcementFailed);
+            self.record_fault(now, Some(instance), FaultKind::EnforcementFailed);
         }
         hit
     }
@@ -142,6 +145,7 @@ impl FaultInjector {
         instance: Option<u32>,
         kind: RecoveryKind,
     ) {
+        taopt_telemetry::global().recovery(kind.label(), instance, recovered_at);
         self.log_mut()
             .record_recovery(injected_at, recovered_at, instance, kind);
     }

@@ -188,6 +188,13 @@ impl OnlineTraceAnalyzer {
         }
         cursor.last_run = Some(now);
         cursor.last_len = trace.len();
+        // Span opens after the due-gating above, so it times actual
+        // FindSpace runs rather than every per-round poll.
+        let _span = taopt_telemetry::global()
+            .span("findspace")
+            .instance(instance.0)
+            .at(now)
+            .enter();
         let start = cursor.start_index.min(trace.len());
         let window = &trace.events()[start..];
         let candidates = find_space_candidates(
@@ -257,6 +264,8 @@ impl OnlineTraceAnalyzer {
             }
             let entry = EntrypointRule::new(host_screen, rid);
             // Future analyses for this instance start inside the subspace.
+            // Infallible: this method is only reached from `maybe_analyze`,
+            // which inserts the cursor for `instance` before calling here.
             self.cursors
                 .get_mut(&instance)
                 .expect("cursor exists")

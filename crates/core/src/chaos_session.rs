@@ -29,6 +29,7 @@ use std::sync::Arc;
 use taopt_app_sim::{App, MethodId};
 use taopt_chaos::{EventFate, FaultInjector, FaultLog, FaultStats, RecoveryKind};
 use taopt_device::DeviceFarm;
+use taopt_telemetry::Labels;
 use taopt_toller::{InstanceId, InstrumentedInstance};
 use taopt_ui_model::{Trace, TraceEvent, VirtualTime};
 
@@ -106,11 +107,23 @@ impl ChaosInstance {
             }
         }
         self.forwarded = self.inst.trace().len();
+        let published = batch.len() as u64;
+        let mut consumed = 0u64;
         for (seq, ev) in batch {
             for ready in self.repair.accept(seq, ev, &mut self.stream) {
                 self.coord_trace.push(ready);
+                consumed += 1;
             }
         }
+        // Mirror the streaming path's bus accounting so chaos and clean
+        // sessions expose the same series.
+        let telemetry = taopt_telemetry::global();
+        telemetry
+            .counter_labeled("bus_events_published_total", Labels::seam("bus"))
+            .add(published);
+        telemetry
+            .counter("stream_events_consumed_total")
+            .add(consumed);
         for gap in gaps_before..self.stream.gaps {
             let _ = gap;
             injector.record_recovery(now, now, Some(iid), RecoveryKind::StreamRepaired);
@@ -279,10 +292,17 @@ pub fn run_with_chaos(
         );
     }
 
+    let telemetry = taopt_telemetry::global();
+    telemetry.counter("chaos_sessions_started_total").inc();
+    let round_counter = telemetry.counter("chaos_rounds_total");
+    let cover_counter = telemetry.counter("cover_events_total");
+    let coordinator_errors = telemetry.counter("coordinator_errors_total");
+
     let mut stream_total = StreamStats::default();
     let mut round = 0u64;
     loop {
         round += 1;
+        round_counter.inc();
         now += config.tick;
         concurrency_timeline.push((now, active.len()));
         let deadline = now.min(end_at);
@@ -308,6 +328,7 @@ pub fn run_with_chaos(
             }
         }
         round_events.sort_by_key(|(t, _)| *t);
+        cover_counter.add(round_events.len() as u64);
         let consumed = farm.consumed_as_of(now);
         for (t, m) in round_events {
             if union.insert(m) {
@@ -350,8 +371,14 @@ pub fn run_with_chaos(
         // analyze the repaired coordinator-view traces.
         for a in active.iter_mut() {
             a.pump_bus(injector, now);
-            if uses_taopt {
-                coordinator.process_trace(a.inst.id(), &a.coord_trace, now);
+            if uses_taopt
+                && coordinator
+                    .process_trace(a.inst.id(), &a.coord_trace, now)
+                    .is_err()
+            {
+                // A failed dedication degrades this round to uncoordinated
+                // exploration; the session keeps running.
+                coordinator_errors.inc();
             }
         }
 

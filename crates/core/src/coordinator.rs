@@ -8,6 +8,7 @@ use taopt_toller::{EntrypointRule, InstanceId, SharedBlockList};
 use taopt_ui_model::{Trace, VirtualDuration, VirtualTime};
 
 use crate::analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceId};
+use crate::error::TaoptError;
 
 /// Observable coordinator decisions (for logs, tests and reports).
 #[derive(Debug, Clone, PartialEq)]
@@ -214,44 +215,64 @@ impl TestCoordinator {
     /// subspace's entrypoints blocked.
     ///
     /// Returns the subspaces confirmed by this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaoptError::UnknownSubspace`] if the analyzer confirms a
+    /// subspace id it cannot resolve — an internal-invariant breach that
+    /// used to panic; any subspaces dedicated before the failure keep
+    /// their dedications.
     pub fn process_trace(
         &mut self,
         instance: InstanceId,
         trace: &Trace,
         now: VirtualTime,
-    ) -> Vec<SubspaceId> {
+    ) -> Result<Vec<SubspaceId>, TaoptError> {
         let confirmed = self.analyzer.maybe_analyze(instance, trace, now);
         for sid in &confirmed {
-            self.dedicate(*sid, now);
+            self.dedicate(*sid, now)?;
         }
-        confirmed
+        Ok(confirmed)
     }
 
     /// Feeds a pre-built subspace report directly (used by streaming
     /// deployments and tests, bypassing `FindSpace`): registers it with
     /// the analyzer and dedicates it if it becomes newly confirmed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaoptError::UnknownSubspace`] if the newly confirmed
+    /// subspace cannot be resolved (see [`TestCoordinator::process_trace`]).
     pub fn register_report(
         &mut self,
         instance: InstanceId,
         entry: EntrypointRule,
         screens: std::collections::BTreeSet<taopt_ui_model::AbstractScreenId>,
         now: VirtualTime,
-    ) -> Option<SubspaceId> {
+    ) -> Result<Option<SubspaceId>, TaoptError> {
         let confirmed = self.analyzer.register_report(instance, entry, screens, now);
         if let Some(sid) = confirmed {
-            self.dedicate(sid, now);
+            self.dedicate(sid, now)?;
         }
-        confirmed
+        Ok(confirmed)
     }
 
     /// Dedicates a confirmed subspace: picks an owner and broadcasts the
     /// block rules to everyone else.
-    fn dedicate(&mut self, sid: SubspaceId, now: VirtualTime) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaoptError::UnknownSubspace`] when `sid` is not in the
+    /// analyzer's registry. Confirmed ids always are, so callers treat
+    /// this as a diagnosable internal error rather than a panic.
+    fn dedicate(&mut self, sid: SubspaceId, now: VirtualTime) -> Result<(), TaoptError> {
+        let telemetry = taopt_telemetry::global();
+        let _span = telemetry.span("dedicate").subspace(sid.0).at(now).enter();
         let (owner, entrypoints) = {
             let info = self
                 .analyzer
                 .subspace(sid)
-                .expect("confirmed subspace exists");
+                .ok_or(TaoptError::UnknownSubspace(sid.0))?;
             let owner = info
                 .reporters
                 .iter()
@@ -260,13 +281,15 @@ impl TestCoordinator {
                 .or_else(|| self.blocklists.keys().next().copied());
             (owner, info.entrypoints.clone())
         };
-        let Some(owner) = owner else { return };
+        let Some(owner) = owner else { return Ok(()) };
         self.analyzer.set_owner(sid, owner);
         self.events.push(CoordinatorEvent::SubspaceDedicated {
             subspace: sid,
             owner,
             at: now,
         });
+        telemetry.counter("subspaces_dedicated_total").inc();
+        let blocked = telemetry.counter("entrypoints_blocked_total");
         for (inst, bl) in &self.blocklists {
             if *inst == owner {
                 // The owner keeps access; make sure nothing lingers from
@@ -280,6 +303,7 @@ impl TestCoordinator {
             let mut bl = bl.write();
             for rule in &entrypoints {
                 bl.block(rule.clone());
+                blocked.inc();
                 self.events.push(CoordinatorEvent::EntrypointBlocked {
                     subspace: sid,
                     instance: *inst,
@@ -287,6 +311,7 @@ impl TestCoordinator {
                 });
             }
         }
+        Ok(())
     }
 
     /// Whether an instance should be deallocated: it "does not discover
@@ -322,6 +347,9 @@ impl TestCoordinator {
     pub fn rededicate(&mut self, sid: SubspaceId, now: VirtualTime) -> Option<InstanceId> {
         let heir = self.blocklists.keys().next().copied()?;
         let entrypoints = self.analyzer.subspace(sid).map(|s| s.entrypoints.clone())?;
+        taopt_telemetry::global()
+            .counter("subspaces_rededicated_total")
+            .inc();
         self.analyzer.set_owner(sid, heir);
         for (inst, bl) in &self.blocklists {
             let mut bl = bl.write();
@@ -374,7 +402,7 @@ mod tests {
                 VirtualTime::ZERO,
             )
             .expect("resource mode confirms at once");
-        c.dedicate(sid, VirtualTime::ZERO);
+        c.dedicate(sid, VirtualTime::ZERO).unwrap();
         assert!(bl0.read().is_empty(), "owner keeps access");
         assert_eq!(bl1.read().rules().len(), 1, "other instance blocked");
         assert_eq!(
@@ -404,11 +432,23 @@ mod tests {
                 VirtualTime::ZERO,
             )
             .unwrap();
-        c.dedicate(sid, VirtualTime::ZERO);
+        c.dedicate(sid, VirtualTime::ZERO).unwrap();
         // Instance 2 arrives later: blocked on registration.
         let bl2 = shared_block_list();
         c.register_instance(InstanceId(2), bl2.clone());
         assert_eq!(bl2.read().rules().len(), 1);
+    }
+
+    #[test]
+    fn dedicating_an_unknown_subspace_is_a_typed_error() {
+        let mut c = TestCoordinator::new(AnalyzerConfig::resource_mode());
+        c.register_instance(InstanceId(0), shared_block_list());
+        assert_eq!(
+            c.dedicate(SubspaceId(999), VirtualTime::ZERO),
+            Err(crate::error::TaoptError::UnknownSubspace(999))
+        );
+        // Nothing was dedicated or logged on the failure path.
+        assert!(c.events().is_empty());
     }
 
     #[test]
@@ -434,7 +474,7 @@ mod tests {
                 VirtualTime::ZERO,
             )
             .unwrap();
-        c.dedicate(sid, VirtualTime::ZERO);
+        c.dedicate(sid, VirtualTime::ZERO).unwrap();
         // The sole owner dies with the subspace barely explored: no
         // survivors, so it becomes an orphan (not a tombstone).
         c.unregister_instance(InstanceId(0));
@@ -465,7 +505,7 @@ mod tests {
                 VirtualTime::ZERO,
             )
             .unwrap();
-        c.dedicate(sid, VirtualTime::ZERO);
+        c.dedicate(sid, VirtualTime::ZERO).unwrap();
         // The owner dies having visited every subspace screen.
         c.unregister_instance_with_trace(InstanceId(0), &screens(&[1, 2]));
         assert_eq!(c.tombstoned().collect::<Vec<_>>(), vec![sid]);
@@ -492,7 +532,7 @@ mod tests {
                 VirtualTime::ZERO,
             )
             .unwrap();
-        c.dedicate(sid, VirtualTime::ZERO);
+        c.dedicate(sid, VirtualTime::ZERO).unwrap();
         assert!(
             bl1.read().is_empty(),
             "deallocated instance no longer updated"

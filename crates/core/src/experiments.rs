@@ -216,6 +216,8 @@ pub fn evaluation_matrix(
             })
             .collect();
         for h in handles {
+            // Propagating a worker panic is deliberate: a poisoned
+            // evaluation row would silently skew the paper tables.
             out.extend(h.join().expect("evaluation worker panicked"));
         }
     });
@@ -346,6 +348,7 @@ pub fn table2_rows(
             })
             .collect();
         for h in handles {
+            // Same policy as `evaluate_matrix`: surface worker panics.
             rows.push(h.join().expect("table2 worker panicked"));
         }
     });

@@ -257,7 +257,7 @@ pub fn find_space_candidates(
             }
         }
     }
-    qualifying.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("scores are finite"));
+    qualifying.sort_by(|a, b| a.score.total_cmp(&b.score));
     // Keep the k best, but avoid near-duplicate indexes (adjacent split
     // points describe the same boundary).
     let mut out: Vec<SplitCandidate> = Vec::new();

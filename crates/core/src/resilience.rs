@@ -113,6 +113,10 @@ impl EnforcementBroadcaster {
     /// Failed deliveries stay queued for the next round. Returns how many
     /// operations were applied.
     pub fn reconcile(&mut self, injector: &FaultInjector, now: VirtualTime) -> usize {
+        let telemetry = taopt_telemetry::global();
+        let _span = telemetry.span("broadcast").at(now).enter();
+        let applied_counter = telemetry.counter("enforcement_applied_total");
+        let retry_counter = telemetry.counter("enforcement_retries_total");
         let mut applied = 0;
         for (iid, ep) in self.endpoints.iter_mut() {
             let intended = ep.shadow.read().rules().to_vec();
@@ -158,6 +162,7 @@ impl EnforcementBroadcaster {
                 let attempt = op.attempts;
                 op.attempts += 1;
                 if injector.enforcement_failure(iid.0, op.broadcast, attempt, now) {
+                    retry_counter.inc();
                     return true; // retry next round
                 }
                 {
@@ -169,6 +174,7 @@ impl EnforcementBroadcaster {
                     }
                 }
                 applied += 1;
+                applied_counter.inc();
                 if attempt > 0 {
                     injector.record_recovery(
                         op.first_tried,
@@ -238,6 +244,9 @@ impl ReplacementQueue {
 
     /// Records a device loss needing a replacement.
     pub fn device_lost(&mut self, now: VirtualTime) {
+        taopt_telemetry::global()
+            .counter("replacements_requested_total")
+            .inc();
         self.pending.push(ReplacementRequest {
             lost_at: now,
             retry_at: now,
@@ -266,6 +275,9 @@ impl ReplacementQueue {
         req.attempts += 1;
         if req.attempts >= self.policy.max_attempts {
             self.given_up += 1;
+            taopt_telemetry::global()
+                .counter("replacements_abandoned_total")
+                .inc();
         } else {
             req.retry_at = now + self.policy.backoff_for(req.attempts);
             self.pending.push(req);

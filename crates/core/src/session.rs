@@ -274,6 +274,11 @@ impl ParallelSession {
     ///
     /// The run is fully deterministic given `config.seed`.
     pub fn run(app: Arc<App>, config: &SessionConfig) -> SessionResult {
+        let telemetry = taopt_telemetry::global();
+        telemetry.counter("sessions_started_total").inc();
+        let round_counter = telemetry.counter("session_rounds_total");
+        let cover_counter = telemetry.counter("cover_events_total");
+        let coordinator_errors = telemetry.counter("coordinator_errors_total");
         let mut farm = DeviceFarm::new(config.instances);
         let mut coordinator =
             TestCoordinator::new(config.analyzer.clone()).with_stall_timeout(config.stall_timeout);
@@ -323,6 +328,7 @@ impl ParallelSession {
 
         loop {
             now += config.tick;
+            round_counter.inc();
             concurrency_timeline.push((now, active.len()));
             let deadline = if config.mode == RunMode::TaoptResource {
                 now
@@ -357,6 +363,7 @@ impl ParallelSession {
                 }
             }
             round_events.sort_by_key(|(t, _)| *t);
+            cover_counter.add(round_events.len() as u64);
             let consumed = farm.consumed_as_of(now);
             for (t, m) in round_events {
                 if union.insert(m) {
@@ -371,10 +378,15 @@ impl ParallelSession {
             // TaOPT analysis + dedication.
             let mut newly_confirmed = 0usize;
             if config.mode.uses_taopt() {
+                let _span = telemetry.span("analysis").at(now).enter();
                 for a in active.iter() {
-                    newly_confirmed += coordinator
-                        .process_trace(a.inst.id(), a.inst.trace(), now)
-                        .len();
+                    match coordinator.process_trace(a.inst.id(), a.inst.trace(), now) {
+                        Ok(confirmed) => newly_confirmed += confirmed.len(),
+                        // A dedication failure is an internal-invariant
+                        // breach; the session degrades to uncoordinated
+                        // exploration for this round instead of panicking.
+                        Err(_) => coordinator_errors.inc(),
+                    }
                 }
             }
 
@@ -585,6 +597,9 @@ fn allocate(
     let Ok(device) = farm.allocate(now) else {
         return;
     };
+    taopt_telemetry::global()
+        .counter("instances_allocated_total")
+        .inc();
     let iid = InstanceId(*next_instance);
     *next_instance += 1;
     // Derive decorrelated per-instance seeds.
@@ -648,6 +663,9 @@ fn deallocate(
     now: VirtualTime,
 ) {
     let _ = farm.deallocate(a.device, now);
+    taopt_telemetry::global()
+        .counter("instances_deallocated_total")
+        .inc();
     let visited: std::collections::BTreeSet<_> = a
         .inst
         .trace()

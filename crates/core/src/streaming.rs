@@ -85,10 +85,18 @@ impl Reorder {
     ) -> Vec<TraceEvent> {
         if seq < self.expected || self.pending.contains_key(&seq) {
             stats.duplicates += 1;
+            // Faults are rare, so the registry lookup stays off the
+            // in-order delivery path.
+            taopt_telemetry::global()
+                .counter("stream_duplicates_total")
+                .inc();
             return Vec::new();
         }
         if seq > self.expected {
             stats.reordered += 1;
+            taopt_telemetry::global()
+                .counter("stream_reordered_total")
+                .inc();
         }
         self.pending.insert(seq, event);
         self.stalls = 0;
@@ -125,6 +133,9 @@ impl Reorder {
             return Vec::new();
         };
         stats.gaps += (first - self.expected) as usize;
+        taopt_telemetry::global()
+            .counter("stream_gaps_total")
+            .add(first - self.expected);
         self.expected = first;
         self.drain_in_order()
     }
@@ -175,6 +186,8 @@ impl StreamingAnalyzer {
         let worker_cell = Arc::clone(&cell);
         let worker_stop = Arc::clone(&stop);
         let worker = std::thread::spawn(move || {
+            let consumed_counter =
+                taopt_telemetry::global().counter("stream_events_consumed_total");
             let mut analyzer = OnlineTraceAnalyzer::new(config);
             let mut traces: HashMap<InstanceId, Trace> = HashMap::new();
             let mut reorders: HashMap<InstanceId, Reorder> = HashMap::new();
@@ -184,6 +197,7 @@ impl StreamingAnalyzer {
                            analyzer: &mut OnlineTraceAnalyzer,
                            traces: &mut HashMap<InstanceId, Trace>| {
                 let delivered = events.len();
+                consumed_counter.add(delivered as u64);
                 let trace = traces.entry(instance).or_default();
                 let mut now = VirtualTime::ZERO;
                 for event in events {

@@ -274,7 +274,8 @@ mod coordinator_fuzz {
                                 rule_of(cluster),
                                 screens_of(cluster),
                                 now,
-                            );
+                            )
+                            .expect("reported subspace is always known");
                         }
                     }
                 }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use taopt_telemetry::{Counter, Histogram, Labels};
 use taopt_ui_model::{Action, ScreenObservation, VirtualDuration, VirtualTime};
 
 use taopt_app_sim::{App, AppRuntime, AppSimError, StepOutcome};
@@ -60,6 +61,27 @@ pub struct Emulator {
     logcat: Logcat,
     crashes: CrashCollector,
     flake_rng: StdRng,
+    metrics: EmulatorMetrics,
+}
+
+/// Cached handles into the global metrics registry; fetched once at
+/// boot so the per-action hot path is a few relaxed atomic ops.
+#[derive(Debug, Clone)]
+struct EmulatorMetrics {
+    step_ns: Histogram,
+    actions: Counter,
+    crashes: Counter,
+}
+
+impl EmulatorMetrics {
+    fn new() -> Self {
+        let t = taopt_telemetry::global();
+        EmulatorMetrics {
+            step_ns: t.histogram_labeled("emulator_step_ns", Labels::seam("device")),
+            actions: t.counter_labeled("emulator_actions_total", Labels::seam("device")),
+            crashes: t.counter_labeled("emulator_crashes_total", Labels::seam("device")),
+        }
+    }
 }
 
 impl Emulator {
@@ -106,6 +128,7 @@ impl Emulator {
             logcat,
             crashes: CrashCollector::new(),
             flake_rng: StdRng::seed_from_u64(seed ^ 0x00f1_a5e5),
+            metrics: EmulatorMetrics::new(),
         }
     }
 
@@ -137,6 +160,8 @@ impl Emulator {
     /// Propagates [`AppSimError::ActionNotAvailable`] for widget actions
     /// the current screen does not define.
     pub fn execute(&mut self, action: Action) -> Result<StepOutcome, AppSimError> {
+        let timer = self.metrics.step_ns.timer();
+        self.metrics.actions.inc();
         self.clock.advance(self.config.action_latency);
         // Flaky event delivery: the event may be lost in flight.
         let action = if self.config.event_loss > 0.0
@@ -152,12 +177,14 @@ impl Emulator {
         if let Some(sig) = out.crash {
             self.clock.advance(self.config.crash_restart_latency);
             self.crashes.record(self.clock.now(), sig);
+            self.metrics.crashes.inc();
             self.logcat.log(
                 self.clock.now(),
                 "AndroidRuntime",
                 sig.stack_trace(self.runtime.app().name()),
             );
         }
+        self.metrics.step_ns.stop(timer);
         Ok(out)
     }
 

@@ -2,10 +2,35 @@
 
 use std::collections::BTreeMap;
 
+use taopt_telemetry::{Counter, Gauge, Labels};
 use taopt_ui_model::{VirtualDuration, VirtualTime};
 
 use crate::emulator::DeviceId;
 use crate::error::DeviceError;
+
+/// Cached handles into the global metrics registry (fetched once per
+/// farm so the allocate/kill paths never take the registry lock).
+#[derive(Debug, Clone)]
+struct FarmMetrics {
+    allocations: Counter,
+    refusals: Counter,
+    deallocations: Counter,
+    kills: Counter,
+    active: Gauge,
+}
+
+impl FarmMetrics {
+    fn new() -> Self {
+        let t = taopt_telemetry::global();
+        FarmMetrics {
+            allocations: t.counter_labeled("farm_allocations_total", Labels::seam("farm")),
+            refusals: t.counter_labeled("farm_allocation_refusals_total", Labels::seam("farm")),
+            deallocations: t.counter_labeled("farm_deallocations_total", Labels::seam("farm")),
+            kills: t.counter_labeled("farm_kills_total", Labels::seam("farm")),
+            active: t.gauge("farm_active_devices"),
+        }
+    }
+}
 
 /// The kind of device slot a testing cloud rents out.
 ///
@@ -46,6 +71,7 @@ pub struct DeviceFarm {
     lost: std::collections::BTreeSet<DeviceId>,
     consumed: VirtualDuration,
     billed: f64,
+    metrics: FarmMetrics,
 }
 
 impl DeviceFarm {
@@ -58,6 +84,7 @@ impl DeviceFarm {
             lost: std::collections::BTreeSet::new(),
             consumed: VirtualDuration::ZERO,
             billed: 0.0,
+            metrics: FarmMetrics::new(),
         }
     }
 
@@ -96,6 +123,7 @@ impl DeviceFarm {
         now: VirtualTime,
     ) -> Result<DeviceId, DeviceError> {
         if self.active.len() >= self.capacity {
+            self.metrics.refusals.inc();
             return Err(DeviceError::NoCapacity {
                 capacity: self.capacity,
             });
@@ -103,6 +131,8 @@ impl DeviceFarm {
         let id = DeviceId(self.next_id);
         self.next_id += 1;
         self.active.insert(id, (now, class));
+        self.metrics.allocations.inc();
+        self.metrics.active.set(self.active.len() as i64);
         Ok(id)
     }
 
@@ -129,6 +159,8 @@ impl DeviceFarm {
         let used = now.since(allocated_at);
         self.consumed += used;
         self.billed += used.as_secs() as f64 / 60.0 * class.dollars_per_minute();
+        self.metrics.deallocations.inc();
+        self.metrics.active.set(self.active.len() as i64);
         Ok(())
     }
 
@@ -153,6 +185,8 @@ impl DeviceFarm {
         self.consumed += used;
         self.billed += used.as_secs() as f64 / 60.0 * class.dollars_per_minute();
         self.lost.insert(id);
+        self.metrics.kills.inc();
+        self.metrics.active.set(self.active.len() as i64);
         Ok(used)
     }
 

@@ -1,0 +1,197 @@
+//! Log-bucketed latency histogram with atomic buckets.
+//!
+//! Values are `u64` (typically nanoseconds of wall-clock time or
+//! milliseconds of virtual time). Bucket `k` (for `1 <= k < 63`) holds
+//! values in `[2^(k-1), 2^k)`; bucket 0 holds the value `0`; the last
+//! bucket absorbs everything from `2^62` up. Recording is a pair of
+//! relaxed atomic adds, so concurrent recorders never block each other
+//! and a snapshot is a consistent-enough view for reporting (counts may
+//! trail sums by an in-flight record, which is fine for telemetry).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per power of two of the `u64` range.
+pub const BUCKET_COUNT: usize = 64;
+
+/// Index of the bucket holding `value`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(BUCKET_COUNT - 1)
+}
+
+/// `[low, high)` bounds of bucket `index` (the last bucket is closed at
+/// `u64::MAX`).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 1),
+        i if i >= BUCKET_COUNT - 1 => (1u64 << (BUCKET_COUNT - 2), u64::MAX),
+        i => (1u64 << (i - 1), 1u64 << i),
+    }
+}
+
+/// Concurrent histogram over log2 buckets.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts and aggregates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`LogHistogram`] for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_bounds`]).
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded samples, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimate of the `q`-quantile (`q` in `[0, 1]`), or `None` when no
+    /// samples were recorded.
+    ///
+    /// The estimate uses the nearest-rank definition (`rank =
+    /// round((count - 1) * q)`) to locate the bucket, then interpolates
+    /// linearly inside it, so the error versus the exact sample at that
+    /// rank is bounded by one bucket width.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count - 1) as f64 * q).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if rank < seen + n {
+                let (lo, hi) = bucket_bounds(i);
+                let within = (rank - seen) as f64 + 0.5;
+                let est = lo as f64 + within / n as f64 * (hi - lo) as f64;
+                return Some((est as u64).min(self.max));
+            }
+            seen += n;
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50).unwrap_or(0)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95).unwrap_or(0)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99).unwrap_or(0)
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v, "low bound for {v}");
+            assert!(
+                v < hi || (i == BUCKET_COUNT - 1 && v <= hi),
+                "high bound for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_samples() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        let p50 = s.p50();
+        // Exact median is ~500 (bucket [256,512) or [512,1024)); the
+        // estimate must land within one bucket width of 500.
+        let width = {
+            let (lo, hi) = bucket_bounds(bucket_index(500));
+            hi - lo
+        };
+        assert!(p50.abs_diff(500) <= width, "p50 {p50} too far from 500");
+        assert!(s.p99() <= 1000);
+        assert!(s.p99() >= s.p50());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = LogHistogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), 0);
+    }
+}

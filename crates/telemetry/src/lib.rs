@@ -1,0 +1,292 @@
+//! Runtime observability for the TaOPT reproduction.
+//!
+//! The paper's coordinator is a long-running service supervising many
+//! devices; this crate makes the reproduction's exploration loop
+//! observable the way such a service would be in production:
+//!
+//! * a [`MetricsRegistry`] of atomic counters, gauges and log-bucketed
+//!   latency [histograms](histogram::LogHistogram) (p50/p95/p99),
+//!   labeled by instance/subspace/seam, with Prometheus-style text
+//!   exposition;
+//! * a span tracer ([`span!`], [`SpanGuard`]) timing named regions of
+//!   the loop (subspace dedication, enforcement broadcast, emulator
+//!   steps) on both the wall clock and the session clock;
+//! * a bounded [`FlightRecorder`] ring buffer that dumps the last N
+//!   telemetry events as JSON for post-mortem replay of a failed or
+//!   chaotic session.
+//!
+//! All instrumented crates share one process-global [`Telemetry`]
+//! (see [`global`]), so wiring does not thread handles through every
+//! constructor. Telemetry is observational only: it never influences
+//! session control flow, so deterministic replays stay deterministic.
+//! Set `TAOPT_TELEMETRY=off` (or `0`/`false`) to disable collection and
+//! measure the no-op baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod recorder;
+pub mod registry;
+mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use taopt_ui_model::VirtualTime;
+
+pub use crate::histogram::{HistogramSnapshot, LogHistogram};
+pub use crate::recorder::{EventKind, FlightRecorder, TelemetryEvent, DEFAULT_FLIGHT_CAPACITY};
+pub use crate::registry::{Counter, Gauge, Histogram, Labels, MetricsRegistry, MetricsSnapshot};
+pub use crate::span::{SpanBuilder, SpanGuard};
+
+/// One telemetry domain: a registry plus a flight recorder sharing an
+/// enabled flag.
+///
+/// Most code uses the process-global instance via [`global`]; tests
+/// construct private instances to assert in isolation.
+#[derive(Debug)]
+pub struct Telemetry {
+    enabled: Arc<AtomicBool>,
+    registry: MetricsRegistry,
+    recorder: FlightRecorder,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// An enabled instance with the default flight-recorder capacity.
+    pub fn new() -> Self {
+        Telemetry::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// An enabled instance retaining the last `capacity` flight events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let enabled = Arc::new(AtomicBool::new(true));
+        Telemetry {
+            registry: MetricsRegistry::new(Arc::clone(&enabled)),
+            recorder: FlightRecorder::new(Arc::clone(&enabled), capacity),
+            enabled,
+        }
+    }
+
+    /// A disabled instance: every handle and span is a near-free no-op.
+    pub fn disabled() -> Self {
+        let t = Telemetry::new();
+        t.set_enabled(false);
+        t
+    }
+
+    /// Enables or disables collection. Existing handles observe the
+    /// change immediately (they share the flag).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// True when collection is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Counter handle without labels.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.registry.counter(name, Labels::none())
+    }
+
+    /// Counter handle with labels.
+    pub fn counter_labeled(&self, name: &'static str, labels: Labels) -> Counter {
+        self.registry.counter(name, labels)
+    }
+
+    /// Gauge handle without labels.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.registry.gauge(name, Labels::none())
+    }
+
+    /// Histogram handle without labels.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.registry.histogram(name, Labels::none())
+    }
+
+    /// Histogram handle with labels.
+    pub fn histogram_labeled(&self, name: &'static str, labels: Labels) -> Histogram {
+        self.registry.histogram(name, labels)
+    }
+
+    /// The latency histogram series backing spans named `name`
+    /// (exposed as `span_ns{kind="<name>"}`).
+    pub fn span_histogram(&self, name: &'static str) -> Histogram {
+        self.registry.histogram("span_ns", Labels::kind(name))
+    }
+
+    /// Starts building a span; finish with [`SpanBuilder::enter`].
+    pub fn span(&self, name: &'static str) -> SpanBuilder<'_> {
+        SpanBuilder::new(self, name)
+    }
+
+    /// Records a fault injection: bumps `faults_injected_total` (total
+    /// and per-kind) and appends a flight event, so the chaos fault log
+    /// and the flight recorder line up.
+    pub fn fault(&self, kind: &'static str, instance: Option<u32>, at: VirtualTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counter("faults_injected_total").inc();
+        self.counter_labeled("faults_injected_total", Labels::kind(kind))
+            .inc();
+        let mut labels = Labels::kind(kind);
+        labels.instance = instance;
+        self.recorder
+            .push(EventKind::Fault, kind, labels, Some(at), 0);
+    }
+
+    /// Records a recovery from an injected fault (mirror of
+    /// [`Telemetry::fault`]).
+    pub fn recovery(&self, kind: &'static str, instance: Option<u32>, at: VirtualTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counter("faults_recovered_total").inc();
+        self.counter_labeled("faults_recovered_total", Labels::kind(kind))
+            .inc();
+        let mut labels = Labels::kind(kind);
+        labels.instance = instance;
+        self.recorder
+            .push(EventKind::Recovery, kind, labels, Some(at), 0);
+    }
+
+    /// Appends a free-form point event to the flight recorder.
+    pub fn mark(&self, name: &'static str, labels: Labels, at: Option<VirtualTime>) {
+        self.recorder.push(EventKind::Mark, name, labels, at, 0);
+    }
+
+    /// Snapshot of every metric series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Prometheus text exposition of every metric series.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+}
+
+/// The process-global telemetry domain used by all instrumented crates.
+///
+/// Created on first use; starts disabled when the `TAOPT_TELEMETRY`
+/// environment variable is `off`, `0` or `false` (any case), enabled
+/// otherwise. Flip at runtime with [`Telemetry::set_enabled`].
+pub fn global() -> &'static Telemetry {
+    static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let t = Telemetry::new();
+        if let Ok(v) = std::env::var("TAOPT_TELEMETRY") {
+            let v = v.to_ascii_lowercase();
+            if v == "off" || v == "0" || v == "false" {
+                t.set_enabled(false);
+            }
+        }
+        t
+    })
+}
+
+/// Opens a span on the [`global`] telemetry domain.
+///
+/// ```
+/// use taopt_telemetry::span;
+/// use taopt_ui_model::VirtualTime;
+///
+/// let now = VirtualTime::from_secs(42);
+/// {
+///     let _span = span!("dedicate", instance = 3, subspace = 7, at = now);
+///     // ... timed work ...
+/// }
+/// let hist = taopt_telemetry::global().span_histogram("dedicate");
+/// assert!(hist.snapshot().count >= 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {{
+        let builder = $crate::global().span($name);
+        $(let builder = builder.$key($value);)*
+        builder.enter()
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_guard_records_histogram_and_flight_events() {
+        let t = Telemetry::new();
+        {
+            let _g = t
+                .span("unit_work")
+                .instance(2)
+                .at(VirtualTime::from_secs(1))
+                .enter();
+            std::hint::black_box(0u64);
+        }
+        let snap = t.snapshot();
+        let h = snap
+            .histograms
+            .get("span_ns{kind=\"unit_work\"}")
+            .expect("span histogram exists");
+        assert_eq!(h.count, 1);
+        let events = t.recorder().last(10);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::SpanEnter);
+        assert_eq!(events[1].kind, EventKind::SpanExit);
+        assert_eq!(events[1].labels.instance, Some(2));
+    }
+
+    #[test]
+    fn fault_and_recovery_line_up_in_counters_and_flight() {
+        let t = Telemetry::new();
+        t.fault("device-loss", Some(1), VirtualTime::from_secs(5));
+        t.recovery("device-loss", Some(1), VirtualTime::from_secs(9));
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_total("faults_injected_total"), 2); // total + per-kind
+        assert_eq!(
+            snap.counters["faults_injected_total{kind=\"device-loss\"}"],
+            1
+        );
+        let events = t.recorder().last(10);
+        assert_eq!(events[0].kind, EventKind::Fault);
+        assert_eq!(events[1].kind, EventKind::Recovery);
+        assert!(events[0].seq < events[1].seq);
+    }
+
+    #[test]
+    fn disabled_domain_is_silent() {
+        let t = Telemetry::disabled();
+        t.fault("x", None, VirtualTime::ZERO);
+        {
+            let _g = t.span("quiet").enter();
+        }
+        assert!(t.snapshot().is_empty());
+        assert!(t.recorder().is_empty());
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global() as *const Telemetry;
+        let b = global() as *const Telemetry;
+        assert_eq!(a, b);
+    }
+}

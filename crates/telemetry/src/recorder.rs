@@ -1,0 +1,301 @@
+//! Flight recorder: a bounded ring buffer of telemetry events.
+//!
+//! The recorder keeps the last `capacity` events (span enter/exit,
+//! fault injections, recoveries, free-form marks) with a strictly
+//! increasing sequence number, so a post-mortem can replay "what the
+//! system did just before it went wrong" in order, as JSON.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use taopt_ui_model::json::Value;
+use taopt_ui_model::VirtualTime;
+
+use crate::registry::Labels;
+
+/// Default ring capacity (events, not bytes).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// What a [`TelemetryEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span started.
+    SpanEnter,
+    /// A span finished; `wall_ns` holds its duration.
+    SpanExit,
+    /// A chaos fault was injected.
+    Fault,
+    /// The system recovered from an injected fault.
+    Recovery,
+    /// A free-form point event.
+    Mark,
+}
+
+impl EventKind {
+    /// Stable lower-case label for JSON dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::SpanEnter => "span_enter",
+            EventKind::SpanExit => "span_exit",
+            EventKind::Fault => "fault",
+            EventKind::Recovery => "recovery",
+            EventKind::Mark => "mark",
+        }
+    }
+}
+
+/// One entry in the flight recorder.
+#[derive(Debug, Clone)]
+pub struct TelemetryEvent {
+    /// Strictly increasing sequence number (never reused, survives
+    /// ring wraparound).
+    pub seq: u64,
+    /// Session clock timestamp, when the producer had one.
+    pub at: Option<VirtualTime>,
+    /// What happened.
+    pub kind: EventKind,
+    /// Span name, fault kind label, or mark name.
+    pub name: &'static str,
+    /// Metric labels attached by the producer.
+    pub labels: Labels,
+    /// Wall-clock nanoseconds: span duration for [`EventKind::SpanExit`],
+    /// 0 otherwise.
+    pub wall_ns: u64,
+}
+
+impl TelemetryEvent {
+    /// JSON rendering of this event.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("seq".to_string(), Value::from(self.seq)),
+            (
+                "t_ms".to_string(),
+                match self.at {
+                    Some(t) => Value::from(t.as_millis()),
+                    None => Value::Null,
+                },
+            ),
+            ("kind".to_string(), Value::from(self.kind.label())),
+            ("name".to_string(), Value::from(self.name)),
+        ];
+        if let Some(i) = self.labels.instance {
+            fields.push(("instance".to_string(), Value::from(i)));
+        }
+        if let Some(s) = self.labels.subspace {
+            fields.push(("subspace".to_string(), Value::from(s)));
+        }
+        if let Some(s) = self.labels.seam {
+            fields.push(("seam".to_string(), Value::from(s)));
+        }
+        if let Some(k) = self.labels.kind {
+            fields.push(("fault".to_string(), Value::from(k)));
+        }
+        if self.wall_ns > 0 {
+            fields.push(("wall_ns".to_string(), Value::from(self.wall_ns)));
+        }
+        Value::Object(fields)
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    next_seq: u64,
+    events: Vec<TelemetryEvent>,
+    head: usize,
+}
+
+/// Bounded, thread-safe ring buffer of [`TelemetryEvent`]s.
+///
+/// Pushes take one short mutex hold; the sequence counter lives inside
+/// the same lock so event order and sequence order always agree.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    enabled: Arc<AtomicBool>,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events, sharing the given
+    /// enabled flag.
+    pub fn new(enabled: Arc<AtomicBool>, capacity: usize) -> Self {
+        FlightRecorder {
+            enabled,
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring {
+                next_seq: 0,
+                events: Vec::new(),
+                head: 0,
+            }),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an event, evicting the oldest when full. No-op while
+    /// telemetry is disabled.
+    pub fn push(
+        &self,
+        kind: EventKind,
+        name: &'static str,
+        labels: Labels,
+        at: Option<VirtualTime>,
+        wall_ns: u64,
+    ) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut ring = self.ring.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        let event = TelemetryEvent {
+            seq,
+            at,
+            kind,
+            name,
+            labels,
+            wall_ns,
+        };
+        if ring.events.len() < self.capacity {
+            ring.events.push(event);
+        } else {
+            let head = ring.head;
+            ring.events[head] = event;
+            ring.head = (head + 1) % self.capacity;
+        }
+    }
+
+    /// The most recent `n` events in sequence order (oldest first).
+    pub fn last(&self, n: usize) -> Vec<TelemetryEvent> {
+        let ring = self.ring.lock();
+        let mut ordered: Vec<TelemetryEvent> = ring.events[ring.head..]
+            .iter()
+            .chain(ring.events[..ring.head].iter())
+            .cloned()
+            .collect();
+        let skip = ordered.len().saturating_sub(n);
+        ordered.drain(..skip);
+        ordered
+    }
+
+    /// The `k` slowest completed spans currently retained, slowest
+    /// first.
+    pub fn slowest_spans(&self, k: usize) -> Vec<TelemetryEvent> {
+        let mut exits: Vec<TelemetryEvent> = self
+            .last(self.capacity)
+            .into_iter()
+            .filter(|e| e.kind == EventKind::SpanExit)
+            .collect();
+        exits.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns).then(a.seq.cmp(&b.seq)));
+        exits.truncate(k);
+        exits
+    }
+
+    /// JSON dump of the most recent `n` events in sequence order —
+    /// the post-mortem replay artifact.
+    pub fn dump_json(&self, n: usize) -> Value {
+        Value::Array(self.last(n).iter().map(TelemetryEvent::to_value).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder(capacity: usize) -> FlightRecorder {
+        FlightRecorder::new(Arc::new(AtomicBool::new(true)), capacity)
+    }
+
+    fn push_marks(r: &FlightRecorder, n: usize) {
+        for i in 0..n {
+            r.push(
+                EventKind::Mark,
+                "tick",
+                Labels::none(),
+                Some(VirtualTime::from_millis(i as u64)),
+                0,
+            );
+        }
+    }
+
+    #[test]
+    fn retains_last_events_in_seq_order_after_wraparound() {
+        let r = recorder(8);
+        push_marks(&r, 20);
+        let events = r.last(8);
+        assert_eq!(events.len(), 8);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn last_n_smaller_than_retained() {
+        let r = recorder(8);
+        push_marks(&r, 5);
+        let events = r.last(2);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn slowest_spans_sorted_by_duration() {
+        let r = recorder(16);
+        for (name, ns) in [("a", 50u64), ("b", 500), ("c", 5)] {
+            r.push(EventKind::SpanExit, name, Labels::none(), None, ns);
+        }
+        r.push(EventKind::Fault, "device-loss", Labels::none(), None, 0);
+        let top = r.slowest_spans(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].name, "b");
+        assert_eq!(top[1].name, "a");
+    }
+
+    #[test]
+    fn json_dump_is_parseable_and_ordered() {
+        let r = recorder(4);
+        push_marks(&r, 6);
+        let json = r.dump_json(4).to_json_string();
+        let parsed = Value::parse(&json).expect("valid json");
+        let arr = match parsed {
+            Value::Array(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(arr.len(), 4);
+        let seqs: Vec<u64> = arr
+            .iter()
+            .map(|v| match v {
+                Value::Object(fields) => fields
+                    .iter()
+                    .find(|(k, _)| k == "seq")
+                    .and_then(|(_, v)| match v {
+                        Value::UInt(n) => Some(*n),
+                        _ => None,
+                    })
+                    .expect("seq field"),
+                other => panic!("expected object, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn disabled_recorder_stays_empty() {
+        let r = FlightRecorder::new(Arc::new(AtomicBool::new(false)), 8);
+        push_marks(&r, 3);
+        assert!(r.is_empty());
+    }
+}

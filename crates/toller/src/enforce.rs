@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use taopt_telemetry::Labels;
 use taopt_ui_model::{AbstractScreenId, UiHierarchy};
 
 /// One blocked subspace entrypoint.
@@ -57,13 +58,22 @@ impl BlockList {
     pub fn block(&mut self, rule: EntrypointRule) {
         if !self.rules.contains(&rule) {
             self.rules.push(rule);
+            taopt_telemetry::global()
+                .counter_labeled("block_rules_installed_total", Labels::seam("enforce"))
+                .inc();
         }
     }
 
     /// Removes a rule (used when a subspace is dedicated to this very
     /// instance).
     pub fn unblock(&mut self, rule: &EntrypointRule) {
+        let before = self.rules.len();
         self.rules.retain(|r| r != rule);
+        if self.rules.len() < before {
+            taopt_telemetry::global()
+                .counter_labeled("block_rules_removed_total", Labels::seam("enforce"))
+                .inc();
+        }
     }
 
     /// The current rules.
@@ -84,6 +94,16 @@ impl BlockList {
             if rule.screen == screen {
                 n += hierarchy.disable_by_resource_id(&rule.widget_rid);
             }
+        }
+        // Telemetry only when something was disabled, keeping the
+        // per-observation hot path free of registry lookups.
+        if n > 0 {
+            taopt_telemetry::global()
+                .counter_labeled(
+                    "enforcement_widgets_disabled_total",
+                    Labels::seam("enforce"),
+                )
+                .add(n as u64);
         }
         n
     }

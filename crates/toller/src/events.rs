@@ -6,6 +6,7 @@ use std::sync::Arc;
 use crossbeam::channel::{unbounded, Receiver, SendError, Sender};
 use parking_lot::Mutex;
 
+use taopt_telemetry::{Counter, Labels};
 use taopt_ui_model::TraceEvent;
 
 use crate::instance::InstanceId;
@@ -37,6 +38,7 @@ pub struct BusEvent {
 pub struct EventSender {
     tx: Sender<BusEvent>,
     seqs: Arc<Mutex<HashMap<InstanceId, u64>>>,
+    published: Counter,
 }
 
 impl EventSender {
@@ -66,6 +68,7 @@ impl EventSender {
     /// first, then decides whether/how the event actually goes out —
     /// dropping a stamped event is what creates a detectable gap.
     pub fn stamp(&self, instance: InstanceId) -> u64 {
+        self.published.inc();
         let mut seqs = self.seqs.lock();
         let slot = seqs.entry(instance).or_insert(0);
         let seq = *slot;
@@ -114,6 +117,8 @@ impl EventBus {
         EventSender {
             tx: self.tx.clone(),
             seqs: Arc::clone(&self.seqs),
+            published: taopt_telemetry::global()
+                .counter_labeled("bus_events_published_total", Labels::seam("bus")),
         }
     }
 

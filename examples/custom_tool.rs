@@ -131,7 +131,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         now += VirtualDuration::from_secs(10);
         for inst in instances.iter_mut() {
             inst.run_until(now.min(end));
-            coordinator.process_trace(inst.id(), inst.trace(), now);
+            coordinator
+                .process_trace(inst.id(), inst.trace(), now)
+                .expect("analyzer-reported subspaces are always known");
         }
     }
     let union: std::collections::BTreeSet<_> = instances

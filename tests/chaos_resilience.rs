@@ -46,8 +46,34 @@ fn moderate_rates() -> FaultRates {
 fn faulted_session_terminates_within_budget_and_retains_coverage() {
     let cfg = chaos_config();
     let clean = run_with_chaos(app(), &cfg, &FaultInjector::inert(13));
+    let before = taopt_telemetry::global().snapshot();
     let injector = FaultInjector::new(FaultPlan::new(13, moderate_rates()));
     let faulted = run_with_chaos(app(), &cfg, &injector);
+    let after = taopt_telemetry::global().snapshot();
+
+    // The once write-only StreamStats now surface through the metrics
+    // registry. Counters are global and monotone (other tests in this
+    // binary share them), so assert the delta across this run covers at
+    // least this run's own repair counts.
+    let delta = |name: &str| after.counter_total(name) - before.counter_total(name);
+    assert!(faulted.stream.duplicates > 0, "no duplicates repaired");
+    assert!(faulted.stream.gaps > 0, "no gaps repaired");
+    assert!(
+        delta("stream_duplicates_total") >= faulted.stream.duplicates as u64,
+        "stream duplicates not surfaced through the registry"
+    );
+    assert!(
+        delta("stream_gaps_total") >= faulted.stream.gaps as u64,
+        "stream gaps not surfaced through the registry"
+    );
+    assert!(
+        delta("stream_events_consumed_total") > 0,
+        "stream consumption not surfaced through the registry"
+    );
+    assert!(
+        delta("faults_injected_total") >= faulted.fault_stats.total_injected() as u64,
+        "fault injections not surfaced through the registry"
+    );
 
     // The fault schedule genuinely fired on all three seams.
     let stats = &faulted.fault_stats;

@@ -1,0 +1,140 @@
+//! System-level telemetry: a chaos session must populate the global
+//! metrics registry (counters on every instrumented seam, latency
+//! histograms for the span-wrapped phases) and leave a flight-recorder
+//! trail that replays in order.
+
+use std::sync::Arc;
+
+use taopt::run_with_chaos;
+use taopt::session::{RunMode, SessionConfig};
+use taopt_app_sim::{generate_app, App, GeneratorConfig};
+use taopt_chaos::{FaultInjector, FaultPlan, FaultRates};
+use taopt_tools::ToolKind;
+use taopt_ui_model::VirtualDuration;
+
+fn config() -> SessionConfig {
+    let mut cfg = SessionConfig::new(ToolKind::Monkey, RunMode::TaoptDuration);
+    cfg.instances = 3;
+    cfg.duration = VirtualDuration::from_mins(10);
+    cfg.stall_timeout = VirtualDuration::from_secs(60);
+    cfg.analyzer.find_space.l_min = VirtualDuration::from_secs(45);
+    cfg.analyzer.analysis_interval = VirtualDuration::from_secs(20);
+    cfg.seed = 7;
+    cfg
+}
+
+fn app() -> Arc<App> {
+    Arc::new(generate_app(&GeneratorConfig::small("telemetry-e2e", 5)).expect("valid app"))
+}
+
+fn moderate_rates() -> FaultRates {
+    let mut rates = FaultRates::none();
+    rates.device_loss = 0.02;
+    rates.alloc_refusal = 0.05;
+    rates.latency_spike = 0.02;
+    rates.event_drop = 0.03;
+    rates.event_duplicate = 0.02;
+    rates.event_delay = 0.02;
+    rates.enforcement_failure = 0.2;
+    rates
+}
+
+#[test]
+fn chaos_session_populates_registry_and_flight_recorder() {
+    let telemetry = taopt_telemetry::global();
+    let before = telemetry.snapshot();
+    let injector = FaultInjector::new(FaultPlan::new(13, moderate_rates()));
+    let report = run_with_chaos(app(), &config(), &injector);
+    let after = telemetry.snapshot();
+
+    assert!(
+        !after.is_empty(),
+        "metrics snapshot is empty after a session"
+    );
+
+    // Counters on every instrumented seam moved. Counters are global and
+    // monotone, so compare deltas (other tests share the registry).
+    let delta = |name: &str| after.counter_total(name) - before.counter_total(name);
+    for name in [
+        "chaos_sessions_started_total",
+        "chaos_rounds_total",
+        "cover_events_total",
+        "bus_events_published_total",
+        "farm_allocations_total",
+        "emulator_actions_total",
+        "subspaces_dedicated_total",
+        "entrypoints_blocked_total",
+        "enforcement_retries_total",
+        "faults_injected_total",
+        "faults_recovered_total",
+    ] {
+        assert!(delta(name) > 0, "counter {name} never incremented");
+    }
+    // The unlabeled series exactly mirrors the fault log (the per-kind
+    // labeled series would double the `counter_total` sum).
+    let unlabeled = |snap: &taopt_telemetry::MetricsSnapshot| {
+        snap.counters
+            .get("faults_injected_total")
+            .copied()
+            .unwrap_or(0)
+    };
+    assert_eq!(
+        unlabeled(&after) - unlabeled(&before),
+        report.fault_stats.total_injected() as u64,
+        "telemetry and the fault log disagree on injections"
+    );
+
+    // Latency histograms exist for the span-wrapped phases and the
+    // device step seam.
+    for series in [
+        "span_ns{kind=\"dedicate\"}",
+        "span_ns{kind=\"broadcast\"}",
+        "span_ns{kind=\"findspace\"}",
+        "emulator_step_ns{seam=\"device\"}",
+    ] {
+        let h = after
+            .histograms
+            .get(series)
+            .unwrap_or_else(|| panic!("histogram {series} missing"));
+        assert!(!h.is_empty(), "histogram {series} is empty");
+        assert!(
+            h.max >= h.p50(),
+            "histogram {series} quantiles inconsistent"
+        );
+    }
+
+    // The flight recorder replays the most recent 1k events in strict
+    // sequence order, and the JSON dump round-trips losslessly.
+    let last = telemetry.recorder().last(1000);
+    assert!(!last.is_empty(), "flight recorder is empty");
+    assert!(
+        last.windows(2).all(|w| w[0].seq < w[1].seq),
+        "flight replay out of order"
+    );
+    let json = telemetry.recorder().dump_json(1000).to_json_string();
+    let parsed = taopt_ui_model::Value::parse(&json).expect("flight dump is valid JSON");
+    let events = parsed.as_array().expect("flight dump is a JSON array");
+    assert_eq!(events.len(), last.len());
+    let mut prev = None;
+    for e in events {
+        let seq = e
+            .get("seq")
+            .and_then(taopt_ui_model::Value::as_u64)
+            .expect("every event carries a seq");
+        assert!(prev.is_none_or(|p| p < seq), "JSON replay out of order");
+        prev = Some(seq);
+    }
+}
+
+#[test]
+fn prometheus_rendering_exposes_series_types() {
+    // Force at least one series of each type to exist.
+    let telemetry = taopt_telemetry::global();
+    telemetry.counter("render_probe_total").inc();
+    telemetry.gauge("render_probe_gauge").set(3);
+    telemetry.histogram("render_probe_ns").record(1500);
+    let text = telemetry.render_prometheus();
+    assert!(text.contains("# TYPE render_probe_total counter"));
+    assert!(text.contains("# TYPE render_probe_gauge gauge"));
+    assert!(text.contains("# TYPE render_probe_ns histogram"));
+}
