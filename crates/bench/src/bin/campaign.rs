@@ -1,0 +1,257 @@
+//! Campaign bench: the app catalog run serially (one dedicated `d_max`
+//! slice at a time, the paper's setting) versus campaign-scheduled over a
+//! shared farm of four slices. Writes `BENCH_campaign.json` with
+//! wall-clock, machine-time and per-app coverage for both arms, so the
+//! repo tracks a perf trajectory.
+//!
+//! Wall-clock is **virtual device-farm time** — rounds × tick — the
+//! quantity TaOPT optimizes and the only one that is deterministic on
+//! shared CI hardware; host milliseconds are reported alongside for
+//! information only.
+//!
+//! Exits non-zero when either gate fails:
+//! * speedup: the 4-worker campaign must be ≥ 1.5× faster (virtual
+//!   wall-clock) than the serial fault-free run;
+//! * determinism: 1-worker and 4-worker campaigns must produce
+//!   byte-identical coverage reports.
+//!
+//! ```text
+//! cargo run --release -p taopt-bench --bin campaign -- [quick|paper] [n_apps] [seed]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use taopt::campaign::{run_campaign, CampaignApp, CampaignConfig, CampaignResult};
+use taopt::session::{ParallelSession, RunMode, SessionConfig, SessionResult};
+use taopt_bench::{load_apps, HarnessArgs, NamedApp};
+use taopt_tools::ToolKind;
+use taopt_ui_model::{Value, VirtualDuration};
+
+/// The shared farm rents four of the paper's per-app device slices.
+const SLICES: usize = 4;
+/// Speedup gate: campaign vs serial, virtual wall-clock.
+const MIN_SPEEDUP: f64 = 1.5;
+
+fn app_config(args: &HarnessArgs, index: usize) -> SessionConfig {
+    // Rotate the paper's three tools across the catalog; duration mode is
+    // the fault-free headline setting.
+    let tool = match index % 3 {
+        0 => ToolKind::Monkey,
+        1 => ToolKind::Ape,
+        _ => ToolKind::WcTester,
+    };
+    args.scale.session_config(
+        tool,
+        RunMode::TaoptDuration,
+        args.seed.wrapping_add(index as u64),
+    )
+}
+
+fn per_app_json(name: &str, session: &SessionResult) -> Value {
+    Value::Object(vec![
+        ("name".to_owned(), Value::Str(name.to_owned())),
+        (
+            "coverage".to_owned(),
+            Value::UInt(session.union_coverage() as u64),
+        ),
+        (
+            "crashes".to_owned(),
+            Value::UInt(session.unique_crashes().len() as u64),
+        ),
+        (
+            "wall_ms".to_owned(),
+            Value::UInt(session.wall_clock.as_millis()),
+        ),
+        (
+            "machine_ms".to_owned(),
+            Value::UInt(session.machine_time.as_millis()),
+        ),
+    ])
+}
+
+fn campaign_json(result: &CampaignResult, workers: usize, host_ms: u64) -> Value {
+    Value::Object(vec![
+        ("workers".to_owned(), Value::UInt(workers as u64)),
+        ("rounds".to_owned(), Value::UInt(result.rounds)),
+        (
+            "wall_ms".to_owned(),
+            Value::UInt(result.wall_clock.as_millis()),
+        ),
+        (
+            "machine_ms".to_owned(),
+            Value::UInt(result.machine_time.as_millis()),
+        ),
+        ("capacity".to_owned(), Value::UInt(result.capacity as u64)),
+        (
+            "peak_active".to_owned(),
+            Value::UInt(result.peak_active as u64),
+        ),
+        ("grants".to_owned(), Value::UInt(result.grants)),
+        ("revocations".to_owned(), Value::UInt(result.revocations)),
+        (
+            "lease_conflicts".to_owned(),
+            Value::UInt(result.lease_conflicts),
+        ),
+        ("steals".to_owned(), Value::UInt(result.steals)),
+        ("host_ms".to_owned(), Value::UInt(host_ms)),
+        (
+            "apps".to_owned(),
+            Value::Array(
+                result
+                    .apps
+                    .iter()
+                    .map(|a| per_app_json(&a.name, &a.session))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn catalog(apps: &[NamedApp], args: &HarnessArgs) -> Vec<CampaignApp> {
+    apps.iter()
+        .enumerate()
+        .map(|(i, (name, app))| CampaignApp {
+            name: name.clone(),
+            app: Arc::clone(app),
+            config: app_config(args, i),
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = HarnessArgs::parse();
+    let apps = load_apps(args.n_apps);
+    let capacity = SLICES * args.scale.instances;
+    eprintln!(
+        "campaign: {} apps, {:?}, shared capacity {capacity} ({SLICES} slices of {})",
+        apps.len(),
+        args.scale,
+        args.scale.instances
+    );
+
+    // Arm 1: serial — each app alone on a dedicated d_max slice.
+    let host = Instant::now();
+    let serial: Vec<(String, SessionResult)> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, (name, app))| {
+            let r = ParallelSession::run(Arc::clone(app), &app_config(&args, i));
+            eprintln!("  serial {name}: coverage {}", r.union_coverage());
+            (name.clone(), r)
+        })
+        .collect();
+    let serial_host_ms = host.elapsed().as_millis() as u64;
+    let serial_wall: VirtualDuration = serial
+        .iter()
+        .fold(VirtualDuration::ZERO, |acc, (_, r)| acc + r.wall_clock);
+    let serial_machine: VirtualDuration = serial
+        .iter()
+        .fold(VirtualDuration::ZERO, |acc, (_, r)| acc + r.machine_time);
+
+    // Arm 2: campaign-scheduled at 1 and 4 workers (identical results by
+    // construction; both are run to *prove* it).
+    let mut campaigns = Vec::new();
+    for workers in [1usize, 4] {
+        let config = CampaignConfig {
+            workers,
+            capacity: Some(capacity),
+            ..CampaignConfig::default()
+        };
+        let host = Instant::now();
+        let result = run_campaign(catalog(&apps, &args), &config);
+        let host_ms = host.elapsed().as_millis() as u64;
+        eprintln!(
+            "  campaign x{workers}: {} rounds, wall {}, {} grants, {} steals, host {host_ms}ms",
+            result.rounds, result.wall_clock, result.grants, result.steals
+        );
+        campaigns.push((workers, result, host_ms));
+    }
+
+    let (_, four_workers, _) = campaigns.iter().find(|(w, _, _)| *w == 4).unwrap();
+    let speedup =
+        serial_wall.as_millis() as f64 / four_workers.wall_clock.as_millis().max(1) as f64;
+    let deterministic = campaigns[0].1.coverage_report() == campaigns[1].1.coverage_report();
+
+    let doc = Value::Object(vec![
+        ("bench".to_owned(), Value::Str("campaign".to_owned())),
+        ("n_apps".to_owned(), Value::UInt(apps.len() as u64)),
+        ("seed".to_owned(), Value::UInt(args.seed)),
+        (
+            "scale".to_owned(),
+            Value::Str(format!("{:?}", args.scale.duration)),
+        ),
+        (
+            "serial".to_owned(),
+            Value::Object(vec![
+                ("wall_ms".to_owned(), Value::UInt(serial_wall.as_millis())),
+                (
+                    "machine_ms".to_owned(),
+                    Value::UInt(serial_machine.as_millis()),
+                ),
+                ("host_ms".to_owned(), Value::UInt(serial_host_ms)),
+                (
+                    "apps".to_owned(),
+                    Value::Array(
+                        serial
+                            .iter()
+                            .map(|(name, r)| per_app_json(name, r))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "campaigns".to_owned(),
+            Value::Array(
+                campaigns
+                    .iter()
+                    .map(|(w, r, h)| campaign_json(r, *w, *h))
+                    .collect(),
+            ),
+        ),
+        ("speedup_virtual_wall".to_owned(), Value::Float(speedup)),
+        ("deterministic".to_owned(), Value::Bool(deterministic)),
+    ]);
+    let json = doc.to_json_string();
+    let out = "BENCH_campaign.json";
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("campaign bench FAILED: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "campaign bench: serial wall {} vs campaign wall {} -> speedup {speedup:.2}x \
+         (machine {} vs {}); deterministic: {deterministic}; wrote {out} ({} bytes)",
+        serial_wall,
+        four_workers.wall_clock,
+        serial_machine,
+        four_workers.machine_time,
+        json.len()
+    );
+
+    let mut failures = Vec::new();
+    if speedup < MIN_SPEEDUP {
+        failures.push(format!(
+            "speedup {speedup:.2}x below the {MIN_SPEEDUP}x gate"
+        ));
+    }
+    if !deterministic {
+        failures.push("1-worker and 4-worker campaigns diverged".to_owned());
+    }
+    if four_workers.lease_conflicts > 0 {
+        failures.push(format!(
+            "{} double-allocations observed",
+            four_workers.lease_conflicts
+        ));
+    }
+    if failures.is_empty() {
+        println!("campaign bench: OK");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("campaign bench FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,140 @@
+//! Device lease bookkeeping for the campaign scheduler.
+//!
+//! The shared [`taopt_device::DeviceFarm`] hands out anonymous slots; the
+//! [`LeaseLedger`] records which app holds each device so the scheduler
+//! can enforce fairness, pick revocation donors, and — crucially for the
+//! test suite — prove that no device is ever leased to two apps at once
+//! (`conflicts() == 0` is asserted by `tests/campaign.rs`).
+
+use std::collections::BTreeMap;
+
+use taopt_device::DeviceId;
+use taopt_telemetry::Counter;
+
+/// Who holds which device, plus lease-churn counters.
+#[derive(Debug)]
+pub struct LeaseLedger {
+    /// Device → app index. A device appears here from grant to
+    /// release/kill.
+    owner: BTreeMap<DeviceId, usize>,
+    /// Per-app current holdings.
+    holdings: Vec<usize>,
+    grants: u64,
+    releases: u64,
+    kills: u64,
+    conflicts: u64,
+    grants_counter: Counter,
+    conflicts_counter: Counter,
+}
+
+impl LeaseLedger {
+    /// A ledger for `apps` apps.
+    pub fn new(apps: usize) -> Self {
+        let telemetry = taopt_telemetry::global();
+        LeaseLedger {
+            owner: BTreeMap::new(),
+            holdings: vec![0; apps],
+            grants: 0,
+            releases: 0,
+            kills: 0,
+            conflicts: 0,
+            grants_counter: telemetry.counter("campaign_lease_grants_total"),
+            conflicts_counter: telemetry.counter("campaign_lease_conflicts_total"),
+        }
+    }
+
+    /// Records a lease of `device` to `app`.
+    pub fn grant(&mut self, app: usize, device: DeviceId) {
+        self.grants += 1;
+        self.grants_counter.inc();
+        if self.owner.insert(device, app).is_some() {
+            // Double allocation: the farm handed out a device that is
+            // already on lease. This must never happen.
+            self.conflicts += 1;
+            self.conflicts_counter.inc();
+        }
+        self.holdings[app] += 1;
+    }
+
+    /// Records that `device` was returned. Returns the former holder.
+    pub fn release(&mut self, device: DeviceId) -> Option<usize> {
+        let app = self.owner.remove(&device)?;
+        self.releases += 1;
+        self.holdings[app] = self.holdings[app].saturating_sub(1);
+        Some(app)
+    }
+
+    /// Records that `device` died. Returns the former holder.
+    pub fn kill(&mut self, device: DeviceId) -> Option<usize> {
+        let app = self.owner.remove(&device)?;
+        self.kills += 1;
+        self.holdings[app] = self.holdings[app].saturating_sub(1);
+        Some(app)
+    }
+
+    /// Current holdings of `app`.
+    pub fn holdings(&self, app: usize) -> usize {
+        self.holdings[app]
+    }
+
+    /// Devices currently on lease, in device-id order (deterministic
+    /// victim selection for scheduled kills).
+    pub fn leased_devices(&self) -> Vec<DeviceId> {
+        self.owner.keys().copied().collect()
+    }
+
+    /// Total devices currently on lease.
+    pub fn total_leased(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Lifetime grants.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Lifetime releases (kills not included).
+    pub fn releases(&self) -> u64 {
+        self.releases
+    }
+
+    /// Lifetime kills.
+    pub fn kills(&self) -> u64 {
+        self.kills
+    }
+
+    /// Double-allocation events observed (must stay 0).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_and_releases_balance() {
+        let mut l = LeaseLedger::new(2);
+        l.grant(0, DeviceId(1));
+        l.grant(1, DeviceId(2));
+        assert_eq!(l.holdings(0), 1);
+        assert_eq!(l.total_leased(), 2);
+        assert_eq!(l.release(DeviceId(1)), Some(0));
+        assert_eq!(l.kill(DeviceId(2)), Some(1));
+        assert_eq!(l.total_leased(), 0);
+        assert_eq!(l.grants(), 2);
+        assert_eq!(l.releases(), 1);
+        assert_eq!(l.kills(), 1);
+        assert_eq!(l.conflicts(), 0);
+        assert_eq!(l.release(DeviceId(7)), None);
+    }
+
+    #[test]
+    fn double_allocation_is_counted() {
+        let mut l = LeaseLedger::new(2);
+        l.grant(0, DeviceId(3));
+        l.grant(1, DeviceId(3));
+        assert_eq!(l.conflicts(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Campaign runtime: many app sessions over one shared device farm.
+//!
+//! A *campaign* schedules N independent TaOPT app sessions onto a single
+//! [`taopt_device::DeviceFarm`], interleaving their per-round loops under
+//! a work-stealing worker pool while keeping every shared-resource
+//! decision deterministic. The module tree:
+//!
+//! * [`step`] — [`step::SessionStep`], the reusable one-round driver
+//!   factored out of `session.rs` (`ParallelSession::run` is now a thin
+//!   loop over it);
+//! * [`lease`] — [`lease::LeaseLedger`], device → app ownership records
+//!   and lease-churn counters;
+//! * [`scheduler`] — [`scheduler::run_campaign`], the round loop:
+//!   parallel step phase, then a sequential boundary for leasing,
+//!   scheduled kills, replacements and session completion.
+//!
+//! See `DESIGN.md` §10 for the scheduler model and the determinism
+//! argument.
+
+pub mod lease;
+pub mod scheduler;
+pub mod step;
+
+pub use lease::LeaseLedger;
+pub use scheduler::{
+    run_campaign, AppReport, CampaignApp, CampaignConfig, CampaignResult, KillEvent,
+};
+pub use step::{instance_seed, MachineMeter, RoundOutcome, SessionFinish, SessionStep};

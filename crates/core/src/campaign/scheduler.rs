@@ -1,0 +1,713 @@
+//! The campaign scheduler: N app sessions over one shared device farm.
+//!
+//! # Scheduling model
+//!
+//! The campaign advances in global lock-step rounds of length `tick`.
+//! Each round has two phases:
+//!
+//! 1. **Parallel phase** — every *runnable* app (live, holding at least
+//!    one device) advances its [`SessionStep`] by one round. Steps touch
+//!    only their own state, so a work-stealing worker pool executes them
+//!    concurrently: workers claim step indices from a shared atomic
+//!    cursor, and a claim that lands outside a worker's static share
+//!    (`index % workers`) counts as a steal.
+//! 2. **Sequential boundary** — all shared-state decisions (farm
+//!    allocation, lease grants and revocations, scheduled device kills,
+//!    replacement retries, session completion) happen on the scheduler
+//!    thread in ascending app-index order.
+//!
+//! # Determinism
+//!
+//! Byte-identical results regardless of worker count follow from the
+//! phase split: parallel work is confined to disjoint per-app state, and
+//! every decision that consumes a shared resource is made in the
+//! boundary, whose iteration order is a pure function of round number and
+//! app index. Thread timing can change *when* a step runs within a round
+//! and which worker runs it (the steal count), but not any value that
+//! feeds back into scheduling.
+//!
+//! # Leasing
+//!
+//! Between rounds each app reports its device demand
+//! ([`SessionStep::demand`], which honors `d_max` and the mode's
+//! allocation policy, merged with due [`ReplacementQueue`] retries).
+//! Free devices are granted max-min fairly ([`fair_targets_from`] with a
+//! rotating remainder). When the farm is exhausted and an app is starved
+//! (zero devices, positive demand, positive fair share), the scheduler
+//! revokes a device from the richest donor — over-target holders first,
+//! otherwise any holder past `min_hold_rounds` — so every app eventually
+//! runs even with fewer devices than apps.
+//!
+//! An app holding zero devices has a **frozen clock**: its virtual
+//! session time does not advance while it waits, so queueing does not
+//! burn its `l_p`/budget.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use taopt_app_sim::App;
+use taopt_device::{fair_targets_from, DeviceFarm};
+use taopt_ui_model::{Value, VirtualDuration, VirtualTime};
+
+use crate::campaign::lease::LeaseLedger;
+use crate::campaign::step::{RoundOutcome, SessionStep};
+use crate::coordinator::CoordinatorEvent;
+use crate::resilience::{ReplacementQueue, RetryPolicy};
+use crate::session::{SessionConfig, SessionResult};
+use crate::streaming::CampaignBus;
+
+/// A deterministic mid-campaign device kill: at the end of global round
+/// `round`, the `victim % leased`-th currently leased device (in
+/// device-id order) dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillEvent {
+    /// Global round after which the device dies.
+    pub round: u64,
+    /// Victim selector (index into the leased-device list, modulo its
+    /// length).
+    pub victim: u64,
+}
+
+/// One app entering a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignApp {
+    /// Display name (report key).
+    pub name: String,
+    /// The app under test.
+    pub app: Arc<App>,
+    /// Its session configuration (`instances` is the app's `d_max`).
+    pub config: SessionConfig,
+}
+
+/// Campaign-level knobs.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Worker threads for the parallel phase (1 = sequential).
+    pub workers: usize,
+    /// Shared farm capacity; defaults to the sum of every app's `d_max`
+    /// (uncontended).
+    pub capacity: Option<usize>,
+    /// Rounds a lease is protected from starvation revocation.
+    pub min_hold_rounds: u64,
+    /// Scheduled device kills.
+    pub kills: Vec<KillEvent>,
+    /// Optional per-app-partitioned event bus; when set, every trace
+    /// event is published on the app's partition.
+    pub bus: Option<CampaignBus>,
+    /// Hard stop (defensive; never reached by a healthy campaign).
+    pub max_rounds: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            workers: 1,
+            capacity: None,
+            min_hold_rounds: 3,
+            kills: Vec::new(),
+            bus: None,
+            max_rounds: 1_000_000,
+        }
+    }
+}
+
+/// Per-app campaign outcome.
+#[derive(Debug)]
+pub struct AppReport {
+    /// App name.
+    pub name: String,
+    /// The completed session result.
+    pub session: SessionResult,
+    /// Lost devices successfully replaced.
+    pub replacements: usize,
+    /// Devices killed under this app.
+    pub devices_lost: usize,
+    /// Confirmed subspaces left without a live owner at the end.
+    pub unresolved_orphans: usize,
+    /// Global rounds this app sat with zero devices while unfinished.
+    pub wait_rounds: u64,
+    /// Global round at which the app finished.
+    pub finished_round: u64,
+}
+
+/// The complete outcome of a campaign run.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Per-app reports, in input order.
+    pub apps: Vec<AppReport>,
+    /// Global rounds executed.
+    pub rounds: u64,
+    /// The global round length.
+    pub tick: VirtualDuration,
+    /// Campaign wall-clock: `rounds × tick` of shared-farm time.
+    pub wall_clock: VirtualDuration,
+    /// Total machine time across apps (sum of session meters).
+    pub machine_time: VirtualDuration,
+    /// Shared farm capacity.
+    pub capacity: usize,
+    /// Peak devices simultaneously leased.
+    pub peak_active: usize,
+    /// Lease grants issued.
+    pub grants: u64,
+    /// Starvation revocations performed.
+    pub revocations: u64,
+    /// Double-allocation events observed (must be 0).
+    pub lease_conflicts: u64,
+    /// Devices still allocated in the farm after the drain (must be 0).
+    pub farm_active_at_end: usize,
+    /// Work-steal count (not deterministic across worker counts; excluded
+    /// from [`CampaignResult::coverage_report`]).
+    pub steals: u64,
+    /// Host-side milliseconds spent (informational only).
+    pub host_ms: u64,
+}
+
+impl CampaignResult {
+    /// Union coverage summed over apps.
+    pub fn total_coverage(&self) -> usize {
+        self.apps.iter().map(|a| a.session.union_coverage()).sum()
+    }
+
+    /// Canonical per-app coverage report as a JSON string.
+    ///
+    /// Contains everything scheduling can influence — per-app coverage,
+    /// per-instance results, curves, machine/wall clocks, lease churn —
+    /// and nothing timing-dependent (no steal counts, no host time), so
+    /// two runs are equivalent iff their reports are byte-identical.
+    pub fn coverage_report(&self) -> String {
+        let apps: Vec<Value> = self
+            .apps
+            .iter()
+            .map(|a| {
+                let instances: Vec<Value> = a
+                    .session
+                    .instances
+                    .iter()
+                    .map(|i| {
+                        Value::Object(vec![
+                            ("instance".to_owned(), Value::UInt(i.instance.0 as u64)),
+                            ("device".to_owned(), Value::UInt(i.device.0 as u64)),
+                            (
+                                "allocated_ms".to_owned(),
+                                Value::UInt(i.allocated_at.as_millis()),
+                            ),
+                            (
+                                "deallocated_ms".to_owned(),
+                                Value::UInt(i.deallocated_at.as_millis()),
+                            ),
+                            ("covered".to_owned(), Value::UInt(i.covered.len() as u64)),
+                            (
+                                "cover_events".to_owned(),
+                                Value::UInt(i.cover_events.len() as u64),
+                            ),
+                            ("crashes".to_owned(), Value::UInt(i.crashes.len() as u64)),
+                            ("trace_len".to_owned(), Value::UInt(i.trace.len() as u64)),
+                        ])
+                    })
+                    .collect();
+                let curve: Vec<Value> = a
+                    .session
+                    .union_curve
+                    .iter()
+                    .map(|p| {
+                        Value::Array(vec![
+                            Value::UInt(p.time.as_millis()),
+                            Value::UInt(p.covered as u64),
+                            Value::UInt(p.machine_time.as_millis()),
+                        ])
+                    })
+                    .collect();
+                let dedications = a
+                    .session
+                    .coordinator_events
+                    .iter()
+                    .filter(|e| matches!(e, CoordinatorEvent::SubspaceDedicated { .. }))
+                    .count();
+                Value::Object(vec![
+                    ("name".to_owned(), Value::Str(a.name.clone())),
+                    (
+                        "coverage".to_owned(),
+                        Value::UInt(a.session.union_coverage() as u64),
+                    ),
+                    (
+                        "crashes".to_owned(),
+                        Value::UInt(a.session.unique_crashes().len() as u64),
+                    ),
+                    (
+                        "machine_ms".to_owned(),
+                        Value::UInt(a.session.machine_time.as_millis()),
+                    ),
+                    (
+                        "wall_ms".to_owned(),
+                        Value::UInt(a.session.wall_clock.as_millis()),
+                    ),
+                    (
+                        "subspaces".to_owned(),
+                        Value::UInt(a.session.subspaces.len() as u64),
+                    ),
+                    (
+                        "confirmed".to_owned(),
+                        Value::UInt(
+                            a.session.subspaces.iter().filter(|s| s.confirmed).count() as u64
+                        ),
+                    ),
+                    ("dedications".to_owned(), Value::UInt(dedications as u64)),
+                    (
+                        "unresolved_orphans".to_owned(),
+                        Value::UInt(a.unresolved_orphans as u64),
+                    ),
+                    (
+                        "devices_lost".to_owned(),
+                        Value::UInt(a.devices_lost as u64),
+                    ),
+                    (
+                        "replacements".to_owned(),
+                        Value::UInt(a.replacements as u64),
+                    ),
+                    ("wait_rounds".to_owned(), Value::UInt(a.wait_rounds)),
+                    ("finished_round".to_owned(), Value::UInt(a.finished_round)),
+                    ("instances".to_owned(), Value::Array(instances)),
+                    ("curve".to_owned(), Value::Array(curve)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("capacity".to_owned(), Value::UInt(self.capacity as u64)),
+            ("rounds".to_owned(), Value::UInt(self.rounds)),
+            (
+                "wall_ms".to_owned(),
+                Value::UInt(self.wall_clock.as_millis()),
+            ),
+            (
+                "machine_ms".to_owned(),
+                Value::UInt(self.machine_time.as_millis()),
+            ),
+            (
+                "peak_active".to_owned(),
+                Value::UInt(self.peak_active as u64),
+            ),
+            ("grants".to_owned(), Value::UInt(self.grants)),
+            ("revocations".to_owned(), Value::UInt(self.revocations)),
+            (
+                "lease_conflicts".to_owned(),
+                Value::UInt(self.lease_conflicts),
+            ),
+            ("apps".to_owned(), Value::Array(apps)),
+        ])
+        .to_json_string()
+    }
+}
+
+/// One app's scheduling state.
+struct Slot {
+    name: String,
+    d_max: usize,
+    /// `Some` while the app is live; taken by `finish`.
+    step: Option<SessionStep>,
+    queue: ReplacementQueue,
+    outcome: Option<RoundOutcome>,
+    done: bool,
+    last_grant_round: u64,
+    wait_rounds: u64,
+    replacements: usize,
+    devices_lost: usize,
+    report: Option<AppReport>,
+}
+
+/// Runs a campaign to completion.
+///
+/// Deterministic for a fixed set of apps, seeds and [`CampaignConfig`]
+/// (excluding `workers`, which must not change results — see the module
+/// docs and `tests/campaign.rs`).
+pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> CampaignResult {
+    assert!(!apps.is_empty(), "campaign needs at least one app");
+    let host_start = std::time::Instant::now();
+    let telemetry = taopt_telemetry::global();
+    telemetry.counter("campaigns_started_total").inc();
+    let rounds_counter = telemetry.counter("campaign_rounds_total");
+    let steals_counter = telemetry.counter("campaign_steals_total");
+    let revocations_counter = telemetry.counter("campaign_lease_revocations_total");
+    let kills_counter = telemetry.counter("campaign_device_kills_total");
+    let replacements_counter = telemetry.counter("campaign_replacements_total");
+    let active_apps_gauge = telemetry.gauge("campaign_active_apps");
+
+    let workers = config.workers.max(1);
+    let tick = apps.iter().map(|a| a.config.tick).max().expect("non-empty");
+    let total_want: usize = apps.iter().map(|a| a.config.instances).sum();
+    let capacity = config.capacity.unwrap_or(total_want).max(1);
+    let mut farm = DeviceFarm::new(capacity);
+    let mut ledger = LeaseLedger::new(apps.len());
+    let retry = RetryPolicy {
+        max_attempts: 6,
+        backoff: tick,
+    };
+    let mut slots: Vec<Mutex<Slot>> = apps
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let d_max = a.config.instances;
+            let mut step = SessionStep::new(a.app, a.config).with_orphan_repair(true);
+            if let Some(bus) = &config.bus {
+                step = step.with_publisher(bus.sender(i));
+            }
+            Mutex::new(Slot {
+                name: a.name,
+                d_max,
+                step: Some(step),
+                queue: ReplacementQueue::new(retry),
+                outcome: None,
+                done: false,
+                last_grant_round: 0,
+                wait_rounds: 0,
+                replacements: 0,
+                devices_lost: 0,
+                report: None,
+            })
+        })
+        .collect();
+
+    let mut kills_by_round: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for k in &config.kills {
+        kills_by_round.entry(k.round).or_default().push(k.victim);
+    }
+    let steals = AtomicU64::new(0);
+    let mut revocations = 0u64;
+    let mut round: u64 = 0;
+
+    // Initial leasing.
+    lease_boundary(
+        &mut slots,
+        &mut ledger,
+        &mut farm,
+        round,
+        VirtualTime::ZERO,
+        config.min_hold_rounds,
+        &mut revocations,
+        &revocations_counter,
+        &replacements_counter,
+    );
+
+    loop {
+        let mut runnable: Vec<usize> = Vec::new();
+        let mut live = 0usize;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let s = slot.get_mut();
+            if let Some(step) = s.step.as_ref() {
+                live += 1;
+                if step.active_count() > 0 {
+                    runnable.push(i);
+                } else {
+                    s.wait_rounds += 1;
+                }
+            }
+        }
+        active_apps_gauge.set(live as i64);
+        if live == 0 {
+            break;
+        }
+        if runnable.is_empty() {
+            // Unreachable for a healthy scheduler: the boundary below
+            // always leaves at least one live app holding a device.
+            break;
+        }
+        round += 1;
+        rounds_counter.inc();
+
+        advance_parallel(&slots, &runnable, workers, &steals);
+
+        let global_now = VirtualTime::ZERO + tick * round;
+
+        // Boundary 1: stall-released devices back to the farm.
+        for &i in &runnable {
+            let s = slots[i].get_mut();
+            let out = s.outcome.take().expect("step advanced this round");
+            s.done = out.done;
+            for d in out.released {
+                ledger.release(d);
+                let _ = farm.deallocate(d, global_now);
+            }
+        }
+
+        // Boundary 2: scheduled device kills.
+        if let Some(victims) = kills_by_round.remove(&round) {
+            for v in victims {
+                let leased = ledger.leased_devices();
+                if leased.is_empty() {
+                    break;
+                }
+                let d = leased[(v as usize) % leased.len()];
+                let app = ledger.kill(d).expect("device was leased");
+                let _ = farm.kill(d, global_now);
+                kills_counter.inc();
+                let s = slots[app].get_mut();
+                if let Some(step) = s.step.as_mut() {
+                    step.lose_device(d);
+                }
+                s.devices_lost += 1;
+                s.queue.device_lost(global_now);
+            }
+        }
+
+        // Boundary 3: finish apps that reached their termination
+        // condition.
+        for &i in &runnable {
+            let s = slots[i].get_mut();
+            if s.done && s.report.is_none() {
+                let step = s.step.take().expect("live app has a step");
+                let fin = step.finish();
+                for d in fin.released {
+                    ledger.release(d);
+                    let _ = farm.deallocate(d, global_now);
+                }
+                s.report = Some(AppReport {
+                    name: s.name.clone(),
+                    session: fin.result,
+                    replacements: s.replacements,
+                    devices_lost: s.devices_lost,
+                    unresolved_orphans: fin.unresolved_orphans,
+                    wait_rounds: s.wait_rounds,
+                    finished_round: round,
+                });
+            }
+        }
+
+        if round >= config.max_rounds {
+            break;
+        }
+
+        // Boundary 4: leasing for the next round.
+        lease_boundary(
+            &mut slots,
+            &mut ledger,
+            &mut farm,
+            round,
+            global_now,
+            config.min_hold_rounds,
+            &mut revocations,
+            &revocations_counter,
+            &replacements_counter,
+        );
+    }
+    steals_counter.add(steals.load(Ordering::Relaxed));
+    active_apps_gauge.set(0);
+
+    // Drain any still-live apps (max_rounds stop): finish them as-is.
+    let end_now = VirtualTime::ZERO + tick * round;
+    let mut reports: Vec<AppReport> = Vec::with_capacity(slots.len());
+    for slot in slots.iter_mut() {
+        let s = slot.get_mut();
+        if let Some(step) = s.step.take() {
+            let fin = step.finish();
+            for d in fin.released {
+                ledger.release(d);
+                let _ = farm.deallocate(d, end_now);
+            }
+            s.report = Some(AppReport {
+                name: s.name.clone(),
+                session: fin.result,
+                replacements: s.replacements,
+                devices_lost: s.devices_lost,
+                unresolved_orphans: fin.unresolved_orphans,
+                wait_rounds: s.wait_rounds,
+                finished_round: round,
+            });
+        }
+        reports.push(s.report.take().expect("every app finished"));
+    }
+
+    let machine_time = reports
+        .iter()
+        .fold(VirtualDuration::ZERO, |acc, r| acc + r.session.machine_time);
+    CampaignResult {
+        rounds: round,
+        tick,
+        wall_clock: tick * round,
+        machine_time,
+        capacity,
+        peak_active: farm.peak_active(),
+        grants: ledger.grants(),
+        revocations,
+        lease_conflicts: ledger.conflicts(),
+        farm_active_at_end: farm.active_count(),
+        steals: steals.load(Ordering::Relaxed),
+        host_ms: host_start.elapsed().as_millis() as u64,
+        apps: reports,
+    }
+}
+
+/// Parallel phase: advance every runnable step by one round on a
+/// work-stealing pool. Steps touch only their own state, so execution
+/// order cannot affect results.
+fn advance_parallel(slots: &[Mutex<Slot>], runnable: &[usize], workers: usize, steals: &AtomicU64) {
+    let advance = |slot: &Mutex<Slot>| {
+        let mut s = slot.lock();
+        let out = s
+            .step
+            .as_mut()
+            .expect("runnable app has a step")
+            .advance_round();
+        s.outcome = Some(out);
+    };
+    let nw = workers.min(runnable.len());
+    if nw <= 1 {
+        for &i in runnable {
+            advance(&slots[i]);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..nw {
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let k = cursor.fetch_add(1, Ordering::SeqCst);
+                if k >= runnable.len() {
+                    break;
+                }
+                // Static home assignment is round-robin; a claim outside
+                // the home share is a steal.
+                if k % nw != w {
+                    steals.fetch_add(1, Ordering::Relaxed);
+                }
+                advance(&slots[runnable[k]]);
+            });
+        }
+    });
+}
+
+/// Sequential leasing boundary: demand collection, starvation repair,
+/// max-min-fair grants, replacement bookkeeping.
+#[allow(clippy::too_many_arguments)]
+fn lease_boundary(
+    slots: &mut [Mutex<Slot>],
+    ledger: &mut LeaseLedger,
+    farm: &mut DeviceFarm,
+    round: u64,
+    global_now: VirtualTime,
+    min_hold_rounds: u64,
+    revocations: &mut u64,
+    revocations_counter: &taopt_telemetry::Counter,
+    replacements_counter: &taopt_telemetry::Counter,
+) {
+    let n = slots.len();
+    // Demand: the mode's natural demand merged with due replacement
+    // retries (modes whose demand does not regrow after a loss — e.g.
+    // resource mode between discoveries — still get their device back).
+    let mut due: Vec<Vec<crate::resilience::ReplacementRequest>> = vec![Vec::new(); n];
+    let mut want = vec![0usize; n];
+    for i in 0..n {
+        let s = slots[i].get_mut();
+        let Some(step) = s.step.as_ref() else {
+            continue;
+        };
+        due[i] = s.queue.due(global_now);
+        let cap = s.d_max.saturating_sub(step.active_count());
+        want[i] = step.demand().max(due[i].len().min(cap));
+    }
+
+    // Max-min fair targets with a rotating remainder so contended slots
+    // cycle through apps instead of pinning to low indices.
+    let desired: Vec<usize> = (0..n)
+        .map(|i| (ledger.holdings(i) + want[i]).min(slots[i].get_mut().d_max))
+        .collect();
+    let mut targets = fair_targets_from(farm.capacity(), &desired, (round as usize) % n.max(1));
+
+    // Starvation repair: a starved app with a positive fair share may
+    // revoke from a donor when the farm is exhausted.
+    let starved: Vec<usize> = (0..n)
+        .filter(|&i| want[i] > 0 && ledger.holdings(i) == 0 && targets[i] > 0)
+        .collect();
+    for _ in &starved {
+        if farm.active_count() < farm.capacity() {
+            break; // free capacity serves the starved app directly
+        }
+        // Donor: over-target holders first, then any holder past the
+        // protection window; richest first, oldest grant breaks ties.
+        let mut donor: Option<(bool, usize, u64, usize)> = None;
+        for j in 0..n {
+            let h = ledger.holdings(j);
+            if h == 0 {
+                continue;
+            }
+            let s = slots[j].get_mut();
+            if s.step.is_none() {
+                continue;
+            }
+            let over = h > targets[j];
+            let held_long = round.saturating_sub(s.last_grant_round) >= min_hold_rounds;
+            if !over && !held_long {
+                continue;
+            }
+            let better = match &donor {
+                None => true,
+                Some((b_over, b_h, b_lg, _)) => {
+                    (over, h, u64::MAX - s.last_grant_round) > (*b_over, *b_h, u64::MAX - *b_lg)
+                }
+            };
+            if better {
+                donor = Some((over, h, s.last_grant_round, j));
+            }
+        }
+        let Some((_, _, _, j)) = donor else { break };
+        let s = slots[j].get_mut();
+        let Some(d) = s.step.as_mut().and_then(|st| st.shrink_one()) else {
+            break;
+        };
+        ledger.release(d);
+        let _ = farm.deallocate(d, global_now);
+        *revocations += 1;
+        revocations_counter.inc();
+        // The donor sits this boundary out so the freed slot reaches the
+        // starved app.
+        targets[j] = targets[j].min(ledger.holdings(j));
+        want[j] = 0;
+    }
+
+    // Grant loop: one device at a time to the under-target app with the
+    // fewest holdings (ties: least recently granted, then lowest index).
+    loop {
+        let mut pick: Option<(usize, u64, usize)> = None;
+        for i in 0..n {
+            if want[i] == 0 || ledger.holdings(i) >= targets[i] {
+                continue;
+            }
+            let s = slots[i].get_mut();
+            if s.step.is_none() {
+                continue;
+            }
+            let key = (ledger.holdings(i), s.last_grant_round, i);
+            let better = match &pick {
+                None => true,
+                Some(best) => key < *best,
+            };
+            if better {
+                pick = Some(key);
+            }
+        }
+        let Some((_, _, i)) = pick else { break };
+        let Ok(device) = farm.allocate(global_now) else {
+            break;
+        };
+        ledger.grant(i, device);
+        let s = slots[i].get_mut();
+        s.step.as_mut().expect("live").grant(device);
+        s.last_grant_round = round;
+        want[i] -= 1;
+        if !due[i].is_empty() {
+            due[i].remove(0);
+            s.replacements += 1;
+            replacements_counter.inc();
+        }
+    }
+
+    // Unserved replacement demand retries later with backoff.
+    for i in 0..n {
+        let s = slots[i].get_mut();
+        for req in std::mem::take(&mut due[i]) {
+            s.queue.defer(req, global_now);
+        }
+    }
+}

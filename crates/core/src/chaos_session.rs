@@ -191,14 +191,7 @@ pub fn run_with_chaos(
         };
         let iid = InstanceId(*next_instance);
         *next_instance += 1;
-        let seed = config
-            .seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(
-                (iid.0 as u64)
-                    .wrapping_mul(0x2545_f491_4f6c_dd1d)
-                    .wrapping_add(1),
-            );
+        let seed = crate::campaign::instance_seed(config.seed, iid);
         let inst = InstrumentedInstance::boot_with(
             iid,
             device,

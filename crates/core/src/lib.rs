@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod campaign;
 pub mod chaos_session;
 pub mod conductance;
 pub mod coordinator;
@@ -77,6 +78,9 @@ pub mod streaming;
 pub mod theorem;
 
 pub use analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceId, SubspaceInfo};
+pub use campaign::{
+    run_campaign, AppReport, CampaignApp, CampaignConfig, CampaignResult, KillEvent, SessionStep,
+};
 pub use chaos_session::{run_with_chaos, ChaosReport};
 pub use conductance::{conductance, partition_score};
 pub use coordinator::{CoordinatorEvent, TestCoordinator};

@@ -18,18 +18,18 @@
 //!   foreign activities are blocked, and stalled instances jump to an
 //!   owned activity by Intent.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use taopt_app_sim::{App, CrashSignature, MethodId};
-use taopt_device::{DeviceFarm, DeviceId};
-use taopt_toller::{EntrypointRule, InstanceId, InstrumentedInstance};
+use taopt_device::DeviceFarm;
+use taopt_toller::InstanceId;
 use taopt_tools::ToolKind;
-use taopt_ui_model::abstraction::abstract_hierarchy;
-use taopt_ui_model::{ActivityId, ScreenId, Trace, VirtualDuration, VirtualTime};
+use taopt_ui_model::{Trace, VirtualDuration, VirtualTime};
 
 use crate::analyzer::{AnalyzerConfig, SubspaceInfo};
-use crate::coordinator::{CoordinatorEvent, TestCoordinator};
+use crate::campaign::SessionStep;
+use crate::coordinator::CoordinatorEvent;
 use crate::metrics::curves::CurvePoint;
 
 /// The four parallel-run settings of the evaluation.
@@ -253,18 +253,6 @@ impl SessionResult {
     }
 }
 
-/// Internal: one live instance plus scheduling bookkeeping.
-struct ActiveInstance {
-    inst: InstrumentedInstance,
-    device: DeviceId,
-    allocated_at: VirtualTime,
-    last_new_screen: VirtualTime,
-    cover_events: Vec<(VirtualTime, MethodId)>,
-    /// Activity-partition mode: screens this instance owns.
-    owned_screens: Vec<ScreenId>,
-    jump_cursor: usize,
-}
-
 /// Runs parallel testing sessions.
 #[derive(Debug)]
 pub struct ParallelSession;
@@ -272,420 +260,43 @@ pub struct ParallelSession;
 impl ParallelSession {
     /// Runs a session to completion and returns its results.
     ///
-    /// The run is fully deterministic given `config.seed`.
+    /// The run is fully deterministic given `config.seed`. Internally this
+    /// is a thin driver over [`SessionStep`] — the per-round loop factored
+    /// out so the campaign scheduler (`crate::campaign`) can interleave
+    /// many sessions over one shared farm — paired with a private
+    /// [`DeviceFarm`] of capacity `d_max` that always satisfies demand,
+    /// which reproduces the legacy dedicated-slice behaviour exactly.
     pub fn run(app: Arc<App>, config: &SessionConfig) -> SessionResult {
-        let telemetry = taopt_telemetry::global();
-        telemetry.counter("sessions_started_total").inc();
-        let round_counter = telemetry.counter("session_rounds_total");
-        let cover_counter = telemetry.counter("cover_events_total");
-        let coordinator_errors = telemetry.counter("coordinator_errors_total");
+        taopt_telemetry::global()
+            .counter("sessions_started_total")
+            .inc();
         let mut farm = DeviceFarm::new(config.instances);
-        let mut coordinator =
-            TestCoordinator::new(config.analyzer.clone()).with_stall_timeout(config.stall_timeout);
-        let mut active: Vec<ActiveInstance> = Vec::new();
-        let mut finished: Vec<InstanceResult> = Vec::new();
-        let mut next_instance = 0u32;
-        let mut union: BTreeSet<MethodId> = BTreeSet::new();
-        let mut union_curve: Vec<CurvePoint> = Vec::new();
-        // Methods covered during instance boot (startup + auto-login),
-        // merged into the union at the next round boundary.
-        let mut pending_boot: Vec<(VirtualTime, MethodId)> = Vec::new();
-        let mut concurrency_timeline: Vec<(VirtualTime, usize)> = Vec::new();
-
-        // Activity-partition precomputation: owned activities per slot and
-        // the static block rules derived from the app structure.
-        let activity_plan = if config.mode == RunMode::ActivityPartition {
-            Some(ActivityPlan::build(&app, config.instances))
-        } else {
-            None
-        };
-
-        // PATS: screens the master discovered, pending dispatch to slaves.
-        let mut pats_queue: Vec<ScreenId> = Vec::new();
-        let mut pats_dispatched: BTreeSet<ScreenId> = BTreeSet::new();
-        let initial = match config.mode {
-            RunMode::TaoptResource => 1,
-            _ => config.instances,
-        };
-        let budget = config.effective_budget();
-        let mut now = VirtualTime::ZERO;
-
-        // Allocation helper is inlined as a closure-free fn to keep borrow
-        // checking simple.
-        for _ in 0..initial {
-            allocate(
-                &app,
-                config,
-                &mut farm,
-                &mut coordinator,
-                &mut active,
-                &mut next_instance,
-                activity_plan.as_ref(),
-                now,
-                &mut pending_boot,
-            );
-        }
-
+        let mut step = SessionStep::new(app, config.clone());
         loop {
-            now += config.tick;
-            round_counter.inc();
-            concurrency_timeline.push((now, active.len()));
-            let deadline = if config.mode == RunMode::TaoptResource {
-                now
-            } else {
-                // Never run past the wall-clock budget.
-                now.min(VirtualTime::ZERO + config.duration)
-            };
-
-            // Step every active instance up to the round boundary, pooling
-            // cover events so the union curve stays time-ordered across
-            // instances within the round.
-            let mut round_events: Vec<(VirtualTime, MethodId)> = std::mem::take(&mut pending_boot);
-            for a in active.iter_mut() {
-                let target = now.min(deadline);
-                let reports = a.inst.run_until(target);
-                for r in reports {
-                    if !r.newly_covered.is_empty() {
-                        // Coverage growth counts as progress: the screen
-                        // abstraction of the simulator is coarser than a
-                        // real device's, so "no new abstract screen" alone
-                        // would misfire while the tool still exercises new
-                        // behaviour.
-                        a.last_new_screen = r.time;
-                    }
-                    for m in &r.newly_covered {
-                        a.cover_events.push((r.time, *m));
-                        round_events.push((r.time, *m));
-                    }
-                    if r.new_screen {
-                        a.last_new_screen = r.time;
-                    }
-                }
+            // A dedicated farm of capacity d_max can always satisfy the
+            // step's demand (demand() never exceeds d_max − active).
+            while step.demand() > 0 {
+                let Ok(device) = farm.allocate(step.now()) else {
+                    break;
+                };
+                step.grant(device);
             }
-            round_events.sort_by_key(|(t, _)| *t);
-            cover_counter.add(round_events.len() as u64);
-            let consumed = farm.consumed_as_of(now);
-            for (t, m) in round_events {
-                if union.insert(m) {
-                    union_curve.push(CurvePoint {
-                        time: t,
-                        covered: union.len(),
-                        machine_time: consumed,
-                    });
-                }
+            let out = step.advance_round();
+            let now = step.now();
+            for d in out.released {
+                let _ = farm.deallocate(d, now);
             }
-
-            // TaOPT analysis + dedication.
-            let mut newly_confirmed = 0usize;
-            if config.mode.uses_taopt() {
-                let _span = telemetry.span("analysis").at(now).enter();
-                for a in active.iter() {
-                    match coordinator.process_trace(a.inst.id(), a.inst.trace(), now) {
-                        Ok(confirmed) => newly_confirmed += confirmed.len(),
-                        // A dedication failure is an internal-invariant
-                        // breach; the session degrades to uncoordinated
-                        // exploration for this round instead of panicking.
-                        Err(_) => coordinator_errors.inc(),
-                    }
-                }
-            }
-
-            // PATS dispatch: the master (instance 0) feeds newly seen
-            // screens to the queue; idle slaves jump to the next one.
-            if config.mode == RunMode::PatsMasterSlave {
-                if let Some(master) = active.iter().find(|a| a.inst.id().0 == 0) {
-                    for e in master.inst.trace().events() {
-                        if pats_dispatched.insert(e.screen) {
-                            pats_queue.push(e.screen);
-                        }
-                    }
-                }
-                for a in active.iter_mut() {
-                    if a.inst.id().0 == 0 {
-                        continue;
-                    }
-                    // A slave with no fresh screens for half the stall
-                    // timeout picks up the next dispatched target.
-                    if now.since(a.last_new_screen) >= config.stall_timeout / 2 {
-                        if let Some(target) = pats_queue.pop() {
-                            a.inst.jump_to(target);
-                            a.last_new_screen = now;
-                        }
-                    }
-                }
-            }
-
-            // Stall handling.
-            match config.mode {
-                RunMode::Baseline | RunMode::PatsMasterSlave => {}
-                RunMode::ActivityPartition => {
-                    // Stalled instances jump to the next owned screen.
-                    for a in active.iter_mut() {
-                        if now.since(a.last_new_screen) >= config.stall_timeout
-                            && !a.owned_screens.is_empty()
-                        {
-                            let s = a.owned_screens[a.jump_cursor % a.owned_screens.len()];
-                            a.jump_cursor += 1;
-                            a.inst.jump_to(s);
-                            a.last_new_screen = now;
-                        }
-                    }
-                }
-                RunMode::TaoptDuration | RunMode::TaoptResource => {
-                    let mut i = 0;
-                    while i < active.len() {
-                        if coordinator.should_deallocate(active[i].last_new_screen, now) {
-                            let a = active.swap_remove(i);
-                            deallocate(a, &mut farm, &mut coordinator, &mut finished, now);
-                        } else {
-                            i += 1;
-                        }
-                    }
-                }
-            }
-
-            // Allocation policy + termination.
-            match config.mode {
-                RunMode::Baseline | RunMode::ActivityPartition | RunMode::PatsMasterSlave => {
-                    if now >= VirtualTime::ZERO + config.duration {
-                        break;
-                    }
-                }
-                RunMode::TaoptDuration => {
-                    if now >= VirtualTime::ZERO + config.duration {
-                        break;
-                    }
-                    // Maintain exactly d_max concurrent instances.
-                    while active.len() < config.instances {
-                        allocate(
-                            &app,
-                            config,
-                            &mut farm,
-                            &mut coordinator,
-                            &mut active,
-                            &mut next_instance,
-                            None,
-                            now,
-                            &mut pending_boot,
-                        );
-                    }
-                }
-                RunMode::TaoptResource => {
-                    if farm.consumed_as_of(now) >= budget {
-                        break;
-                    }
-                    // Grow on discovery; never exceed d_max.
-                    for _ in 0..newly_confirmed {
-                        if active.len() < config.instances {
-                            allocate(
-                                &app,
-                                config,
-                                &mut farm,
-                                &mut coordinator,
-                                &mut active,
-                                &mut next_instance,
-                                None,
-                                now,
-                                &mut pending_boot,
-                            );
-                        }
-                    }
-                    // Keep at least one explorer alive while budget remains.
-                    if active.is_empty() {
-                        allocate(
-                            &app,
-                            config,
-                            &mut farm,
-                            &mut coordinator,
-                            &mut active,
-                            &mut next_instance,
-                            None,
-                            now,
-                            &mut pending_boot,
-                        );
-                    }
-                }
+            if out.done {
+                break;
             }
         }
-
-        // Drain remaining instances.
-        let end = now;
-        for a in active.drain(..) {
-            deallocate(a, &mut farm, &mut coordinator, &mut finished, end);
+        let end = step.now();
+        let fin = step.finish();
+        for d in fin.released {
+            let _ = farm.deallocate(d, end);
         }
-        finished.sort_by_key(|r| r.instance);
-
-        let subspaces = coordinator.analyzer().subspaces().to_vec();
-        SessionResult {
-            tool: config.tool,
-            mode: config.mode,
-            instances: finished,
-            union_curve,
-            machine_time: farm.consumed(),
-            wall_clock: end.since(VirtualTime::ZERO),
-            subspaces,
-            coordinator_events: coordinator.events().to_vec(),
-            concurrency_timeline,
-        }
+        fin.result
     }
-}
-
-/// Activity-partition plan: round-robin activity ownership plus static
-/// block rules.
-struct ActivityPlan {
-    /// Per-slot owned activities.
-    owned: Vec<BTreeSet<ActivityId>>,
-    /// Per-slot blocked entry rules (widgets leading to foreign
-    /// activities).
-    rules: Vec<Vec<EntrypointRule>>,
-    /// Per-slot owned screens (jump targets).
-    screens: Vec<Vec<ScreenId>>,
-}
-
-impl ActivityPlan {
-    fn build(app: &App, slots: usize) -> Self {
-        let activities: Vec<ActivityId> = app.activities().into_iter().collect();
-        let mut owned = vec![BTreeSet::new(); slots];
-        for (i, a) in activities.iter().enumerate() {
-            owned[i % slots].insert(*a);
-        }
-        // Abstract ids of every screen (rendered once with zero visits).
-        let abstract_of: BTreeMap<ScreenId, _> = app
-            .screens()
-            .map(|s| (s.id, abstract_hierarchy(&app.render_screen(s.id, 0)).id()))
-            .collect();
-        let mut rules = vec![Vec::new(); slots];
-        let mut screens = vec![Vec::new(); slots];
-        for (slot, owned_set) in owned.iter().enumerate() {
-            for s in app.screens() {
-                if owned_set.contains(&s.activity) {
-                    screens[slot].push(s.id);
-                }
-                for a in &s.actions {
-                    let leaves = a.targets.iter().any(|t| {
-                        let target_activity = app.screen(t.screen).map(|sp| sp.activity);
-                        target_activity
-                            .map(|ta| !owned_set.contains(&ta))
-                            .unwrap_or(false)
-                    });
-                    if leaves {
-                        rules[slot].push(EntrypointRule::new(abstract_of[&s.id], &a.widget_rid));
-                    }
-                }
-            }
-        }
-        ActivityPlan {
-            owned,
-            rules,
-            screens,
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn allocate(
-    app: &Arc<App>,
-    config: &SessionConfig,
-    farm: &mut DeviceFarm,
-    coordinator: &mut TestCoordinator,
-    active: &mut Vec<ActiveInstance>,
-    next_instance: &mut u32,
-    plan: Option<&ActivityPlan>,
-    now: VirtualTime,
-    pending_boot: &mut Vec<(VirtualTime, MethodId)>,
-) {
-    let Ok(device) = farm.allocate(now) else {
-        return;
-    };
-    taopt_telemetry::global()
-        .counter("instances_allocated_total")
-        .inc();
-    let iid = InstanceId(*next_instance);
-    *next_instance += 1;
-    // Derive decorrelated per-instance seeds.
-    let seed = config
-        .seed
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(
-            (iid.0 as u64)
-                .wrapping_mul(0x2545_f491_4f6c_dd1d)
-                .wrapping_add(1),
-        );
-    let tool = config.tool.build(seed);
-    let inst = InstrumentedInstance::boot_with(
-        iid,
-        device,
-        Arc::clone(app),
-        tool,
-        seed ^ 0xabcd,
-        now,
-        config.emulator,
-    );
-    let mut owned_screens = Vec::new();
-    if let Some(plan) = plan {
-        let slot = (iid.0 as usize) % plan.owned.len().max(1);
-        let bl = inst.blocklist();
-        let mut bl = bl.write();
-        for r in &plan.rules[slot] {
-            bl.block(r.clone());
-        }
-        owned_screens = plan.screens[slot].clone();
-    }
-    if config.mode.uses_taopt() {
-        coordinator.register_instance(iid, inst.blocklist());
-    }
-    // Startup (and auto-login) coverage happens at boot, before the first
-    // tool step; account it like any other cover event.
-    let boot_covered: Vec<(VirtualTime, MethodId)> = inst
-        .emulator()
-        .coverage()
-        .covered()
-        .iter()
-        .map(|m| (now, *m))
-        .collect();
-    pending_boot.extend(boot_covered.iter().copied());
-    active.push(ActiveInstance {
-        inst,
-        device,
-        allocated_at: now,
-        last_new_screen: now,
-        cover_events: boot_covered,
-        owned_screens,
-        jump_cursor: 0,
-    });
-}
-
-fn deallocate(
-    a: ActiveInstance,
-    farm: &mut DeviceFarm,
-    coordinator: &mut TestCoordinator,
-    finished: &mut Vec<InstanceResult>,
-    now: VirtualTime,
-) {
-    let _ = farm.deallocate(a.device, now);
-    taopt_telemetry::global()
-        .counter("instances_deallocated_total")
-        .inc();
-    let visited: std::collections::BTreeSet<_> = a
-        .inst
-        .trace()
-        .events()
-        .iter()
-        .map(|e| e.abstract_id)
-        .collect();
-    coordinator.unregister_instance_with_trace(a.inst.id(), &visited);
-    let em = a.inst.emulator();
-    finished.push(InstanceResult {
-        instance: a.inst.id(),
-        allocated_at: a.allocated_at,
-        deallocated_at: now,
-        covered: em.coverage().covered().clone(),
-        cover_events: a.cover_events,
-        crashes: em.crashes().unique_crashes().clone(),
-        crash_occurrences: em.crashes().occurrences().to_vec(),
-        device: a.device,
-        trace: a.inst.trace().clone(),
-    });
 }
 
 #[cfg(test)]

@@ -332,6 +332,42 @@ pub fn events_before(trace: &Trace, t: VirtualTime) -> usize {
     trace.events().iter().take_while(|e| e.time <= t).count()
 }
 
+/// A campaign-wide event bus, partitioned by app.
+///
+/// Each app in a campaign gets its own [`EventBus`] partition: its
+/// sessions publish trace events only there, so per-app consumers (a
+/// [`StreamingAnalyzer`], a recorder, a live dashboard) never see another
+/// app's traffic and a slow consumer on one partition cannot backpressure
+/// the rest of the campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignBus {
+    parts: Vec<EventBus>,
+}
+
+impl CampaignBus {
+    /// A bus with one partition per app.
+    pub fn new(apps: usize) -> Self {
+        CampaignBus {
+            parts: (0..apps).map(|_| EventBus::new()).collect(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The partition for `app` (index into the campaign's app list).
+    pub fn partition(&self, app: usize) -> &EventBus {
+        &self.parts[app]
+    }
+
+    /// A sender publishing onto `app`'s partition.
+    pub fn sender(&self, app: usize) -> taopt_toller::EventSender {
+        self.parts[app].sender()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,5 +585,28 @@ mod tests {
         assert_eq!(stats.duplicates, duplicated, "every replay detected");
         assert!(stats.reordered > 0, "held-back events counted as reordered");
         analyzer.shutdown();
+    }
+
+    #[test]
+    fn campaign_bus_partitions_are_isolated() {
+        let bus = CampaignBus::new(3);
+        assert_eq!(bus.partitions(), 3);
+        let a = InstanceId(0);
+        let b = InstanceId(1);
+        bus.sender(0).send(a, mini_event(1)).unwrap();
+        bus.sender(0).send(a, mini_event(2)).unwrap();
+        bus.sender(2).send(b, mini_event(3)).unwrap();
+        let p0 = bus.partition(0).drain();
+        assert_eq!(p0.len(), 2, "app 0 sees only its own events");
+        assert!(p0.iter().all(|e| e.instance == a));
+        // Sequence numbers are per-partition (each partition is its own
+        // repair domain).
+        assert_eq!(p0[0].seq, 0);
+        assert_eq!(p0[1].seq, 1);
+        assert!(bus.partition(1).drain().is_empty());
+        let p2 = bus.partition(2).drain();
+        assert_eq!(p2.len(), 1);
+        assert_eq!(p2[0].instance, b);
+        assert_eq!(p2[0].seq, 0);
     }
 }

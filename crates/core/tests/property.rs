@@ -61,6 +61,22 @@ fn fs_config() -> FindSpaceConfig {
     }
 }
 
+/// An arbitrary trace whose timestamps may repeat (several events in the
+/// same virtual instant — e.g. a jump plus its first observation) and
+/// whose gaps vary, exercising `l_min` window edges.
+fn arb_dup_trace() -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec((0u32..8, 0u64..3), 2..120).prop_map(|steps| {
+        let mut t = 0u64;
+        steps
+            .into_iter()
+            .map(|(label, gap)| {
+                t += gap; // gap 0 → duplicate timestamp
+                ev(t, label)
+            })
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -89,6 +105,38 @@ proptest! {
             // split.
             let remaining = events[events.len() - 1].time.since(events[split.index].time);
             prop_assert!(remaining >= VirtualDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn findspace_fast_equals_naive_with_duplicate_timestamps(
+        events in arb_dup_trace(),
+        l_min_secs in 0u64..80,
+    ) {
+        // The incremental and naive scorers must agree on degenerate
+        // clocks too: repeated timestamps, zero-length windows, and
+        // l_min anywhere from 0 (every suffix admissible) past the whole
+        // trace span (no suffix admissible).
+        let mut cfg = fs_config();
+        cfg.l_min = VirtualDuration::from_secs(l_min_secs);
+        let fast = find_space(&events, &cfg);
+        let slow = find_space_naive(&events, &cfg);
+        match (fast, slow) {
+            (Some(f), Some(s)) => {
+                prop_assert_eq!(f.index, s.index);
+                prop_assert!((f.score - s.score).abs() < 1e-9);
+            }
+            (f, s) => prop_assert_eq!(f, s),
+        }
+    }
+
+    #[test]
+    fn findspace_split_is_valid_with_duplicate_timestamps(events in arb_dup_trace()) {
+        let cfg = fs_config();
+        if let Some(split) = find_space(&events, &cfg) {
+            prop_assert!(split.index >= cfg.min_prefix_events);
+            prop_assert!(split.index < events.len());
+            prop_assert!(split.score < cfg.max_score);
         }
     }
 
@@ -196,6 +244,134 @@ fn theorem1_separation_fails_when_starved() {
     let cfg = CliquePairConfig { n: 12, alpha: 16.0 };
     let rate = separation_success_rate(&cfg, 40, 15, 5);
     assert!(rate <= 0.5, "starved rate {rate} too high");
+}
+
+mod campaign_props {
+    use std::sync::Arc;
+
+    use proptest::prelude::*;
+
+    use taopt::campaign::{run_campaign, CampaignApp, CampaignConfig, KillEvent};
+    use taopt::session::{RunMode, SessionConfig};
+    use taopt_app_sim::{generate_app, GeneratorConfig};
+    use taopt_tools::ToolKind;
+    use taopt_ui_model::VirtualDuration;
+
+    /// A tiny campaign: `n` two-instance apps with short sessions, so a
+    /// proptest case finishes in milliseconds of host time.
+    fn tiny_apps(n: usize, seed: u64) -> Vec<CampaignApp> {
+        (0..n)
+            .map(|i| {
+                let mode = if i % 3 == 2 {
+                    RunMode::TaoptResource
+                } else {
+                    RunMode::TaoptDuration
+                };
+                let tool = if i % 2 == 0 {
+                    ToolKind::Monkey
+                } else {
+                    ToolKind::Ape
+                };
+                let mut config = SessionConfig::new(tool, mode);
+                config.instances = 2;
+                config.duration = VirtualDuration::from_mins(3);
+                config.tick = VirtualDuration::from_secs(10);
+                config.stall_timeout = VirtualDuration::from_secs(60);
+                config.seed = seed.wrapping_add(i as u64);
+                config.analyzer.find_space.l_min = VirtualDuration::from_secs(45);
+                config.analyzer.analysis_interval = VirtualDuration::from_secs(20);
+                if mode == RunMode::TaoptResource {
+                    config.machine_budget = Some(VirtualDuration::from_mins(4));
+                }
+                let name = format!("p{i}");
+                CampaignApp {
+                    app: Arc::new(
+                        generate_app(&GeneratorConfig::small(&name, seed ^ (i as u64 + 1)))
+                            .unwrap(),
+                    ),
+                    name,
+                    config,
+                }
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn no_starvation_dmax_and_termination_under_lease_churn(
+            n_apps in 2usize..5,
+            capacity in 1usize..4,
+            workers in 1usize..4,
+            seed in 0u64..1_000,
+        ) {
+            // Even with fewer devices than apps the rotating fair lease +
+            // starvation revocation must run every session to completion.
+            let config = CampaignConfig {
+                workers,
+                capacity: Some(capacity),
+                ..CampaignConfig::default()
+            };
+            let result = run_campaign(tiny_apps(n_apps, seed), &config);
+            prop_assert!(result.rounds < 10_000, "campaign failed to converge");
+            prop_assert_eq!(result.lease_conflicts, 0);
+            prop_assert!(result.peak_active <= capacity);
+            prop_assert_eq!(result.farm_active_at_end, 0);
+            for app in &result.apps {
+                // No starvation: every app eventually held ≥ 1 device and
+                // ran its whole session.
+                prop_assert!(
+                    !app.session.instances.is_empty(),
+                    "{} never received a device",
+                    app.name
+                );
+                prop_assert!(
+                    app.session.union_coverage() > 0,
+                    "{} held devices but covered nothing",
+                    app.name
+                );
+                // d_max never exceeded.
+                prop_assert!(
+                    app.session.peak_concurrency() <= 2,
+                    "{} exceeded its d_max",
+                    app.name
+                );
+            }
+        }
+
+        #[test]
+        fn killing_devices_leaves_no_orphaned_subspaces(
+            n_apps in 2usize..4,
+            kills in proptest::collection::vec((2u64..15, 0u64..8), 1..3),
+            seed in 0u64..1_000,
+        ) {
+            // k < devices kills mid-campaign: replacements restore the
+            // fleet and orphan repair re-homes every confirmed subspace.
+            let config = CampaignConfig {
+                workers: 2,
+                kills: kills
+                    .iter()
+                    .map(|&(round, victim)| KillEvent { round, victim })
+                    .collect(),
+                ..CampaignConfig::default()
+            };
+            let result = run_campaign(tiny_apps(n_apps, seed), &config);
+            prop_assert!(result.rounds < 10_000);
+            let lost: usize = result.apps.iter().map(|a| a.devices_lost).sum();
+            prop_assert!(lost <= kills.len());
+            for app in &result.apps {
+                prop_assert_eq!(
+                    app.unresolved_orphans,
+                    0,
+                    "{} finished with orphaned subspaces after {} kills",
+                    app.name,
+                    lost
+                );
+                prop_assert!(!app.session.instances.is_empty());
+            }
+        }
+    }
 }
 
 mod coordinator_fuzz {

@@ -71,6 +71,7 @@ pub struct DeviceFarm {
     lost: std::collections::BTreeSet<DeviceId>,
     consumed: VirtualDuration,
     billed: f64,
+    peak_active: usize,
     metrics: FarmMetrics,
 }
 
@@ -84,6 +85,7 @@ impl DeviceFarm {
             lost: std::collections::BTreeSet::new(),
             consumed: VirtualDuration::ZERO,
             billed: 0.0,
+            peak_active: 0,
             metrics: FarmMetrics::new(),
         }
     }
@@ -96,6 +98,12 @@ impl DeviceFarm {
     /// Number of currently allocated devices.
     pub fn active_count(&self) -> usize {
         self.active.len()
+    }
+
+    /// High-water mark of simultaneously allocated devices. A shared-farm
+    /// campaign asserts this never exceeds [`DeviceFarm::capacity`].
+    pub fn peak_active(&self) -> usize {
+        self.peak_active
     }
 
     /// Currently allocated device ids.
@@ -131,6 +139,7 @@ impl DeviceFarm {
         let id = DeviceId(self.next_id);
         self.next_id += 1;
         self.active.insert(id, (now, class));
+        self.peak_active = self.peak_active.max(self.active.len());
         self.metrics.allocations.inc();
         self.metrics.active.set(self.active.len() as i64);
         Ok(id)
@@ -231,9 +240,80 @@ impl DeviceFarm {
     }
 }
 
+/// Max-min fair device targets: water-fill `capacity` slots across
+/// `wants`, one slot per pass, skipping tenants already at their want.
+///
+/// Equivalent to [`fair_targets_from`] starting at index 0.
+pub fn fair_targets(capacity: usize, wants: &[usize]) -> Vec<usize> {
+    fair_targets_from(capacity, wants, 0)
+}
+
+/// Max-min fair device targets with a rotating start index.
+///
+/// Water-fills `capacity` slots across `wants` round-robin beginning at
+/// `start % wants.len()`. With fewer slots than tenants, a fixed start
+/// would hand the remainder to the same low indices every round and
+/// permanently starve the tail; callers rotate `start` (e.g. by round
+/// number) so the remainder cycles across all tenants.
+pub fn fair_targets_from(capacity: usize, wants: &[usize], start: usize) -> Vec<usize> {
+    let n = wants.len();
+    let mut targets = vec![0usize; n];
+    if n == 0 {
+        return targets;
+    }
+    let mut left = capacity.min(wants.iter().sum());
+    while left > 0 {
+        let mut gave = false;
+        for k in 0..n {
+            if left == 0 {
+                break;
+            }
+            let i = (start + k) % n;
+            if targets[i] < wants[i] {
+                targets[i] += 1;
+                left -= 1;
+                gave = true;
+            }
+        }
+        if !gave {
+            break;
+        }
+    }
+    targets
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peak_active_tracks_high_water_mark() {
+        let mut farm = DeviceFarm::new(3);
+        let a = farm.allocate(VirtualTime::ZERO).unwrap();
+        let b = farm.allocate(VirtualTime::ZERO).unwrap();
+        farm.deallocate(a, VirtualTime::from_secs(1)).unwrap();
+        farm.kill(b, VirtualTime::from_secs(1)).unwrap();
+        farm.allocate(VirtualTime::from_secs(2)).unwrap();
+        assert_eq!(farm.peak_active(), 2, "peak was two concurrent devices");
+    }
+
+    #[test]
+    fn fair_targets_water_fills() {
+        // Plenty of capacity: everyone gets their want.
+        assert_eq!(fair_targets(10, &[2, 3, 1]), vec![2, 3, 1]);
+        // Contended: equal shares first, remainder from the start index.
+        assert_eq!(fair_targets(4, &[3, 3, 3]), vec![2, 1, 1]);
+        assert_eq!(fair_targets_from(4, &[3, 3, 3], 1), vec![1, 2, 1]);
+        assert_eq!(fair_targets_from(4, &[3, 3, 3], 2), vec![1, 1, 2]);
+        // Zero wants never receive a target.
+        assert_eq!(fair_targets(5, &[0, 4, 0]), vec![0, 4, 0]);
+        // Fewer slots than tenants: the remainder rotates with start.
+        assert_eq!(fair_targets_from(1, &[1, 1, 1], 0), vec![1, 0, 0]);
+        assert_eq!(fair_targets_from(1, &[1, 1, 1], 1), vec![0, 1, 0]);
+        assert_eq!(fair_targets_from(1, &[1, 1, 1], 2), vec![0, 0, 1]);
+        assert_eq!(fair_targets(0, &[5, 5]), vec![0, 0]);
+        assert!(fair_targets(3, &[]).is_empty());
+    }
 
     #[test]
     fn capacity_is_enforced() {
