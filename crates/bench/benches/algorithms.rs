@@ -8,7 +8,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use taopt::conductance::conductance;
-use taopt::findspace::{find_space_cached, FindSpaceConfig, SimilarityCache};
+use taopt::findspace::{find_space_candidates, FindSpaceConfig, SimilarityCache};
 use taopt::partition::{partition_graph, PartitionConfig};
 use taopt::theorem::{separation_trial, CliquePairConfig};
 use taopt_app_sim::{generate_app, AppRuntime, GeneratorConfig};
@@ -62,7 +62,7 @@ fn bench_findspace(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("events", steps), &trace, |b, tr| {
             let mut cache = SimilarityCache::new();
-            b.iter(|| find_space_cached(tr.events(), &cfg, &mut cache));
+            b.iter(|| find_space_candidates(tr.events(), &cfg, &mut cache, 1));
         });
     }
     group.finish();

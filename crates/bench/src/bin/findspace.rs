@@ -1,0 +1,269 @@
+//! FindSpace bench: full-rescan `find_space_candidates` versus the
+//! incremental [`FindSpaceEngine`] on a paper-scale replay.
+//!
+//! A synthetic append-only trace (≥10k events, a few dozen distinct
+//! abstract screens wandering across cluster phases — the shape the
+//! analyzer sees from a Monkey-style walk) is analyzed at every 50-event
+//! checkpoint, exactly like `Analyzer::maybe_analyze` re-running every
+//! few virtual seconds. The rescan arm rebuilds its state from the full
+//! prefix each checkpoint (`O(N·D)` per analysis); the engine arm feeds
+//! only the appended 50 events (`O(ΔN·D + P)`).
+//!
+//! Writes `BENCH_findspace.json` and exits non-zero when either gate
+//! fails:
+//! * equivalence: every checkpoint's candidate list must be
+//!   **bit-identical** across the two arms (same indices, same score
+//!   bits);
+//! * speedup: the engine must be ≥ 5× faster over the whole replay.
+//!
+//! Per-analysis engine latency is recorded in the
+//! `findspace_analysis_us` telemetry histogram (the same series the live
+//! analyzer feeds) and its percentiles are reported in the JSON.
+//!
+//! ```text
+//! cargo run --release -p taopt-bench --bin findspace -- [quick|paper] [seed]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use taopt::findspace::{find_space_candidates, FindSpaceConfig, FindSpaceEngine, SimilarityCache};
+use taopt_ui_model::abstraction::abstract_hierarchy;
+use taopt_ui_model::{
+    Action, ActionId, ActivityId, ScreenId, TraceEvent, UiHierarchy, Value, VirtualDuration,
+    VirtualTime, Widget, WidgetClass,
+};
+
+/// Analysis cadence: one FindSpace run per this many appended events.
+const ANALYZE_EVERY: usize = 50;
+/// Speedup gate: engine vs full rescan over the whole replay.
+const MIN_SPEEDUP: f64 = 5.0;
+/// Candidates requested per analysis (the analyzer's setting).
+const K: usize = 5;
+
+/// Builds an event whose abstract screen identity is `label`.
+fn event(t_ms: u64, label: u32) -> TraceEvent {
+    let mut root = Widget::container(WidgetClass::LinearLayout);
+    for i in 0..6 {
+        root = root.with_child(Widget::text_view(&format!("s{label}_{i}"), "t"));
+    }
+    let h = UiHierarchy::new(root);
+    let a = Arc::new(abstract_hierarchy(&h));
+    TraceEvent {
+        time: VirtualTime::from_millis(t_ms),
+        screen: ScreenId(label),
+        activity: ActivityId(0),
+        abstract_id: a.id(),
+        abstraction: a,
+        action: Some(Action::Widget(ActionId(label))),
+        action_widget_rid: Some(Arc::from(format!("w{label}"))),
+    }
+}
+
+/// Deterministic xorshift64* step.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A paper-scale trace: phases that dwell in one 8-screen cluster with
+/// occasional hops back through earlier clusters, so prefixes keep a
+/// realistic distinct-screen population (~40 screens over 5 clusters)
+/// and genuine loose boundaries appear as phases change.
+fn synth_trace(n_events: usize, seed: u64) -> Vec<TraceEvent> {
+    const CLUSTERS: u32 = 5;
+    const SCREENS_PER_CLUSTER: u32 = 8;
+    let mut rng = seed | 1;
+    let mut events = Vec::with_capacity(n_events);
+    let mut t_ms = 0u64;
+    let mut cluster = 0u32;
+    for i in 0..n_events {
+        // Change phase every ~400 events.
+        if i > 0 && i.is_multiple_of(400) {
+            cluster = (cluster + 1) % CLUSTERS;
+        }
+        let r = next_rand(&mut rng);
+        // 6% of steps revisit a hub screen of an earlier cluster
+        // (transit traffic), the rest wander the current cluster.
+        let label = if r % 100 < 6 && cluster > 0 {
+            (r as u32 / 100) % cluster * SCREENS_PER_CLUSTER
+        } else {
+            cluster * SCREENS_PER_CLUSTER + (r as u32 / 100) % SCREENS_PER_CLUSTER
+        };
+        // ~2 s cadence with jitter; occasional same-instant bursts.
+        t_ms += if r.is_multiple_of(10) {
+            0
+        } else {
+            1500 + r % 1000
+        };
+        events.push(event(t_ms, label));
+    }
+    events
+}
+
+/// Bitwise equality of two candidate lists.
+fn identical(
+    a: &[taopt::findspace::SplitCandidate],
+    b: &[taopt::findspace::SplitCandidate],
+) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.index == y.index && x.score.to_bits() == y.score.to_bits())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("quick");
+    let n_events = match mode {
+        "paper" => 40_000,
+        _ => 12_000,
+    };
+    let seed: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x7a0f_7a0f);
+    let config = FindSpaceConfig {
+        l_min: VirtualDuration::from_mins(1),
+        ..FindSpaceConfig::default()
+    };
+
+    eprintln!("findspace: {n_events} events, analysis every {ANALYZE_EVERY}, seed {seed:#x}");
+    let events = synth_trace(n_events, seed);
+    let checkpoints: Vec<usize> = (1..=n_events / ANALYZE_EVERY)
+        .map(|i| i * ANALYZE_EVERY)
+        .collect();
+
+    // Warm both code paths (and the allocator) on a small prefix so the
+    // measured arms start from comparable conditions.
+    {
+        let warm = &events[..1000.min(events.len())];
+        let mut cache = SimilarityCache::new();
+        let _ = find_space_candidates(warm, &config, &mut cache, K);
+        let mut engine = FindSpaceEngine::new(config.clone());
+        let mut cache = SimilarityCache::new();
+        engine.extend_from(warm, &mut cache);
+        let _ = engine.analyze(K);
+    }
+
+    // Arm 1: full rescan per checkpoint (the pre-engine analyzer path).
+    let mut rescan_cache = SimilarityCache::new();
+    let mut rescan_results = Vec::with_capacity(checkpoints.len());
+    let t0 = Instant::now();
+    for &end in &checkpoints {
+        rescan_results.push(find_space_candidates(
+            &events[..end],
+            &config,
+            &mut rescan_cache,
+            K,
+        ));
+    }
+    let rescan = t0.elapsed();
+
+    // Arm 2: persistent engine fed only the appended events.
+    let histogram = taopt_telemetry::global().histogram("findspace_analysis_us");
+    let mut engine = FindSpaceEngine::new(config.clone());
+    let mut engine_cache = SimilarityCache::new();
+    let mut engine_results = Vec::with_capacity(checkpoints.len());
+    let t1 = Instant::now();
+    for &end in &checkpoints {
+        let t = Instant::now();
+        engine.extend_from(&events[..end], &mut engine_cache);
+        engine_results.push(engine.analyze(K));
+        histogram.record(t.elapsed().as_micros() as u64);
+    }
+    let engine_total = t1.elapsed();
+
+    let all_identical = rescan_results
+        .iter()
+        .zip(&engine_results)
+        .all(|(a, b)| identical(a, b));
+    let splits_found = engine_results.iter().filter(|r| !r.is_empty()).count();
+    let speedup = rescan.as_secs_f64() / engine_total.as_secs_f64().max(1e-9);
+    let analyses = checkpoints.len() as u64;
+    let hist_snap = taopt_telemetry::global()
+        .snapshot()
+        .histogram_total("findspace_analysis_us");
+    let (p50_us, p95_us) = hist_snap.map_or((0, 0), |h| (h.p50(), h.p95()));
+
+    let doc = Value::Object(vec![
+        ("bench".to_owned(), Value::Str("findspace".to_owned())),
+        ("mode".to_owned(), Value::Str(mode.to_owned())),
+        ("n_events".to_owned(), Value::UInt(n_events as u64)),
+        ("seed".to_owned(), Value::UInt(seed)),
+        ("analyses".to_owned(), Value::UInt(analyses)),
+        (
+            "analyze_every".to_owned(),
+            Value::UInt(ANALYZE_EVERY as u64),
+        ),
+        (
+            "distinct_screens".to_owned(),
+            Value::UInt(engine.distinct_screens() as u64),
+        ),
+        (
+            "checkpoints_with_split".to_owned(),
+            Value::UInt(splits_found as u64),
+        ),
+        (
+            "rescan_total_us".to_owned(),
+            Value::UInt(rescan.as_micros() as u64),
+        ),
+        (
+            "engine_total_us".to_owned(),
+            Value::UInt(engine_total.as_micros() as u64),
+        ),
+        (
+            "rescan_per_analysis_us".to_owned(),
+            Value::UInt(rescan.as_micros() as u64 / analyses.max(1)),
+        ),
+        (
+            "engine_per_analysis_us".to_owned(),
+            Value::UInt(engine_total.as_micros() as u64 / analyses.max(1)),
+        ),
+        ("engine_p50_us".to_owned(), Value::UInt(p50_us)),
+        ("engine_p95_us".to_owned(), Value::UInt(p95_us)),
+        ("speedup".to_owned(), Value::Float(speedup)),
+        ("bit_identical".to_owned(), Value::Bool(all_identical)),
+    ]);
+    let json = doc.to_json_string();
+    let out = "BENCH_findspace.json";
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("findspace bench FAILED: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "findspace bench: {analyses} analyses over {n_events} events -> rescan {:.1}ms, \
+         engine {:.1}ms, speedup {speedup:.1}x; bit-identical: {all_identical}; \
+         {splits_found} checkpoints proposed a split; wrote {out} ({} bytes)",
+        rescan.as_secs_f64() * 1e3,
+        engine_total.as_secs_f64() * 1e3,
+        json.len()
+    );
+
+    let mut failures = Vec::new();
+    if !all_identical {
+        failures.push("engine diverged from full-rescan reference".to_owned());
+    }
+    if speedup < MIN_SPEEDUP {
+        failures.push(format!(
+            "speedup {speedup:.2}x below the {MIN_SPEEDUP}x gate"
+        ));
+    }
+    if splits_found == 0 {
+        failures.push("replay never proposed a split — trace shape is not protective".to_owned());
+    }
+    if failures.is_empty() {
+        println!("findspace bench: OK");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("findspace bench FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -18,7 +18,7 @@ use std::fmt;
 use taopt_toller::{EntrypointRule, InstanceId};
 use taopt_ui_model::{AbstractScreenId, Trace, VirtualDuration, VirtualTime};
 
-use crate::findspace::{find_space_candidates, FindSpaceConfig, SimilarityCache};
+use crate::findspace::{FindSpaceConfig, FindSpaceEngine, SimilarityCache};
 
 /// Containment coefficient `|A∩B| / min(|A|, |B|)` (1.0 when either set
 /// is contained in the other; 0 when disjoint or either is empty).
@@ -118,13 +118,31 @@ pub struct SubspaceInfo {
     pub owner: Option<InstanceId>,
 }
 
-#[derive(Debug, Default, Clone, Copy)]
-struct InstanceCursor {
+/// Per-instance analysis state: the due-gating cursor plus the
+/// persistent incremental [`FindSpaceEngine`] mirroring the instance's
+/// analysis window (`trace[start_index..]`).
+#[derive(Debug)]
+struct InstanceState {
     last_run: Option<VirtualTime>,
     last_len: usize,
     /// Absolute index into the trace where analysis restarts after an
     /// accepted split.
     start_index: usize,
+    /// Incremental FindSpace state for the current window. Reset (and
+    /// lazily re-fed) whenever the window rebases: an accepted split
+    /// moves `start_index`, or the instance's trace is replaced.
+    engine: FindSpaceEngine,
+}
+
+impl InstanceState {
+    fn new(config: &FindSpaceConfig) -> Self {
+        InstanceState {
+            last_run: None,
+            last_len: 0,
+            start_index: 0,
+            engine: FindSpaceEngine::new(config.clone()),
+        }
+    }
 }
 
 /// The on-the-fly trace analyzer shared by all instances of a run.
@@ -132,8 +150,13 @@ struct InstanceCursor {
 pub struct OnlineTraceAnalyzer {
     config: AnalyzerConfig,
     subspaces: Vec<SubspaceInfo>,
-    cursors: HashMap<InstanceId, InstanceCursor>,
+    instances: HashMap<InstanceId, InstanceState>,
     similarity_cache: SimilarityCache,
+    /// Bumped on every subspace-registry mutation; lets snapshot
+    /// publishers detect changes in `O(1)` instead of comparing vectors.
+    version: u64,
+    /// Per-analysis latency of the incremental FindSpace run, in µs.
+    analysis_latency: taopt_telemetry::Histogram,
 }
 
 impl OnlineTraceAnalyzer {
@@ -142,8 +165,10 @@ impl OnlineTraceAnalyzer {
         OnlineTraceAnalyzer {
             config,
             subspaces: Vec::new(),
-            cursors: HashMap::new(),
+            instances: HashMap::new(),
             similarity_cache: SimilarityCache::new(),
+            version: 0,
+            analysis_latency: taopt_telemetry::global().histogram("findspace_analysis_us"),
         }
     }
 
@@ -166,7 +191,22 @@ impl OnlineTraceAnalyzer {
     pub fn set_owner(&mut self, id: SubspaceId, owner: InstanceId) {
         if let Some(s) = self.subspaces.get_mut(id.0 as usize) {
             s.owner = Some(owner);
+            self.version += 1;
         }
+    }
+
+    /// Monotone counter bumped on every subspace-registry mutation.
+    /// Publishers snapshot [`subspaces`](Self::subspaces) only when this
+    /// changes, avoiding a full-vector comparison (or clone) per poll.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Drops all per-instance analysis state (cursor + incremental
+    /// engine). Call when an instance retires or its device is replaced:
+    /// a successor re-using the id must not inherit a stale window.
+    pub fn forget_instance(&mut self, instance: InstanceId) {
+        self.instances.remove(&instance);
     }
 
     /// Analyzes an instance's trace if it is due; returns the ids of
@@ -177,17 +217,20 @@ impl OnlineTraceAnalyzer {
         trace: &Trace,
         now: VirtualTime,
     ) -> Vec<SubspaceId> {
-        let cursor = self.cursors.entry(instance).or_default();
-        if let Some(last) = cursor.last_run {
+        let state = self
+            .instances
+            .entry(instance)
+            .or_insert_with(|| InstanceState::new(&self.config.find_space));
+        if let Some(last) = state.last_run {
             if now.since(last) < self.config.analysis_interval {
                 return Vec::new();
             }
         }
-        if trace.len() < cursor.last_len + self.config.min_new_events {
+        if trace.len() < state.last_len + self.config.min_new_events {
             return Vec::new();
         }
-        cursor.last_run = Some(now);
-        cursor.last_len = trace.len();
+        state.last_run = Some(now);
+        state.last_len = trace.len();
         // Span opens after the due-gating above, so it times actual
         // FindSpace runs rather than every per-round poll.
         let _span = taopt_telemetry::global()
@@ -195,14 +238,19 @@ impl OnlineTraceAnalyzer {
             .instance(instance.0)
             .at(now)
             .enter();
-        let start = cursor.start_index.min(trace.len());
+        let start = state.start_index.min(trace.len());
         let window = &trace.events()[start..];
-        let candidates = find_space_candidates(
-            window,
-            &self.config.find_space,
-            &mut self.similarity_cache,
-            5,
-        );
+        // The engine mirrors `window` incrementally: only events appended
+        // since the last analysis are fed. A shrunk window means the
+        // trace was replaced under this id — start over.
+        if window.len() < state.engine.len() {
+            state.engine.reset();
+        }
+        let timer = std::time::Instant::now();
+        state.engine.extend_from(window, &mut self.similarity_cache);
+        let candidates = state.engine.analyze(5);
+        self.analysis_latency
+            .record(timer.elapsed().as_micros() as u64);
         let events = trace.events();
         for split in candidates {
             let abs = start + split.index;
@@ -262,14 +310,15 @@ impl OnlineTraceAnalyzer {
             if screens.len() < self.config.min_subspace_screens || screens.contains(&host_screen) {
                 continue;
             }
-            let entry = EntrypointRule::new(host_screen, rid);
-            // Future analyses for this instance start inside the subspace.
+            let entry = EntrypointRule::new(host_screen, &*rid);
+            // Future analyses for this instance start inside the subspace:
+            // the window rebases to `abs`, so the engine restarts empty
+            // and is re-fed from there on the next due analysis.
             // Infallible: this method is only reached from `maybe_analyze`,
-            // which inserts the cursor for `instance` before calling here.
-            self.cursors
-                .get_mut(&instance)
-                .expect("cursor exists")
-                .start_index = abs;
+            // which inserts the state for `instance` before calling here.
+            let state = self.instances.get_mut(&instance).expect("state exists");
+            state.start_index = abs;
+            state.engine.reset();
             return self
                 .register_report(instance, entry, screens, now)
                 .into_iter()
@@ -287,6 +336,10 @@ impl OnlineTraceAnalyzer {
         screens: BTreeSet<AbstractScreenId>,
         now: VirtualTime,
     ) -> Option<SubspaceId> {
+        // Conservatively treat every report as a registry change: a merge
+        // can add entrypoints/reporters, a miss adds a subspace. Spurious
+        // bumps only cost a publisher one extra snapshot.
+        self.version += 1;
         // Merge with an existing subspace if screen sets overlap enough
         // (containment: nested regions merge into their enclosing
         // subspace) or the entrypoint matches.
@@ -326,6 +379,12 @@ impl OnlineTraceAnalyzer {
         } else {
             None
         }
+    }
+
+    /// Consumes the analyzer, yielding the subspace registry by move —
+    /// the change-free way to extract the final report.
+    pub fn into_subspaces(self) -> Vec<SubspaceInfo> {
+        self.subspaces
     }
 
     /// Confirmed subspaces, in identification order.

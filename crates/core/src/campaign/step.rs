@@ -574,17 +574,24 @@ impl SessionStep {
             released.push(self.retire(0, end));
         }
         self.finished.sort_by_key(|r| r.instance);
-        let subspaces = self.coordinator.analyzer().subspaces().to_vec();
+        // The coordinator dies with the step: move the registry and the
+        // decision log out instead of cloning them.
+        let (tool, mode) = (self.config.tool, self.config.mode);
+        let instances = std::mem::take(&mut self.finished);
+        let union_curve = std::mem::take(&mut self.union_curve);
+        let machine_time = self.meter.consumed();
+        let concurrency_timeline = std::mem::take(&mut self.concurrency_timeline);
+        let (subspaces, coordinator_events) = self.coordinator.into_report();
         let result = SessionResult {
-            tool: self.config.tool,
-            mode: self.config.mode,
-            instances: std::mem::take(&mut self.finished),
-            union_curve: std::mem::take(&mut self.union_curve),
-            machine_time: self.meter.consumed(),
+            tool,
+            mode,
+            instances,
+            union_curve,
+            machine_time,
             wall_clock: end.since(VirtualTime::ZERO),
             subspaces,
-            coordinator_events: self.coordinator.events().to_vec(),
-            concurrency_timeline: std::mem::take(&mut self.concurrency_timeline),
+            coordinator_events,
+            concurrency_timeline,
         };
         SessionFinish {
             result,

@@ -517,15 +517,19 @@ pub fn run_with_chaos(
     }
     finished.sort_by_key(|r| r.instance);
 
+    // The coordinator is done: move the registry and decision log out
+    // instead of cloning them.
+    let machine_time = farm.consumed();
+    let (subspaces, coordinator_events) = coordinator.into_report();
     let session = SessionResult {
         tool: config.tool,
         mode: config.mode,
         instances: finished,
         union_curve,
-        machine_time: farm.consumed(),
+        machine_time,
         wall_clock: end.since(VirtualTime::ZERO),
-        subspaces: coordinator.analyzer().subspaces().to_vec(),
-        coordinator_events: coordinator.events().to_vec(),
+        subspaces,
+        coordinator_events,
         concurrency_timeline,
     };
     ChaosReport {

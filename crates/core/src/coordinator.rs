@@ -7,7 +7,7 @@ use std::fmt;
 use taopt_toller::{EntrypointRule, InstanceId, SharedBlockList};
 use taopt_ui_model::{Trace, VirtualDuration, VirtualTime};
 
-use crate::analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceId};
+use crate::analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceId, SubspaceInfo};
 use crate::error::TaoptError;
 
 /// Observable coordinator decisions (for logs, tests and reports).
@@ -100,6 +100,14 @@ impl TestCoordinator {
         &self.events
     }
 
+    /// Consumes the coordinator and yields the final subspace registry
+    /// and decision log by move. Session drivers call this once at
+    /// session end instead of cloning both vectors out of a coordinator
+    /// that is about to be dropped.
+    pub fn into_report(self) -> (Vec<SubspaceInfo>, Vec<CoordinatorEvent>) {
+        (self.analyzer.into_subspaces(), self.events)
+    }
+
     /// Registers an instance's block list. All previously confirmed
     /// subspaces are immediately blocked on it (step 6 of the workflow:
     /// "the newly allocated testing instance C cannot access either UI
@@ -146,6 +154,10 @@ impl TestCoordinator {
     ) {
         const EXHAUSTED_FRACTION: f64 = 0.95;
         self.blocklists.remove(&instance);
+        // The id will never analyze again (replacements get fresh ids);
+        // drop its cursor and incremental FindSpace engine now so a
+        // session with heavy churn does not accumulate dead windows.
+        self.analyzer.forget_instance(instance);
         let owned: Vec<(SubspaceId, bool)> = self
             .analyzer
             .confirmed()

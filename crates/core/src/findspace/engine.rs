@@ -1,0 +1,507 @@
+//! The incremental `FindSpace` engine: `O(ΔN·D + P)` per analysis.
+//!
+//! [`find_space_candidates`](super::find_space_candidates) re-derives its
+//! whole state — interning table, similarity relation, occurrence counts,
+//! overlap sums — from scratch on every call, an `O(N·D)` cost per
+//! analysis of an *append-only* trace. [`FindSpaceEngine`] maintains that
+//! state persistently under appends, so a trace analyzed every few
+//! seconds pays for each event once instead of once per analysis.
+//!
+//! # Maintained state
+//!
+//! Per distinct abstract screen `j` (dense ids assigned in first-
+//! appearance order, so `first_occ` is strictly increasing):
+//!
+//! * the interning table and the `D×D` similarity relation, extended by
+//!   one row per *new* screen (`O(D)` cached tree-similarity decisions);
+//! * `total_sim[j]` — events anywhere in the trace similar to screen `j`;
+//! * `first_occ[j]` / `last_occ[j]` — first and last occurrence position.
+//!
+//! Per split position `p` (materialized lazily up to the largest `p_max`
+//! seen, the *frontier*), two quantities that are pure functions of the
+//! prefix `S[0:p]` and therefore never change as the trace grows:
+//!
+//! * `pair_base[p]` — similar (screen, event) pairs wholly inside the
+//!   prefix: `Σ_{j : first_occ[j] < p} |{i < p : sim(j, S[i])}|`;
+//! * `prefix_distinct_at[p]` — `|Set(S[0:p])|`.
+//!
+//! # Per-analysis recomposition
+//!
+//! The reference's per-split quantities fall out of the invariants above
+//! in one fused sweep over `p ∈ 1..=p_max`:
+//!
+//! ```text
+//! overlap(p)         = Σ_{j : first_occ[j] < p} total_sim[j]  −  pair_base[p]
+//! suffix_distinct(p) = D − |{j : last_occ[j] < p}|
+//! ```
+//!
+//! The first term is a running sum over `first_occ` order; the second a
+//! merge against the sorted `last_occ` values. All overlap arithmetic is
+//! exact integer math — identical to the reference's incremental scan —
+//! and the floating-point score expression is copied verbatim, so the
+//! returned [`SplitCandidate`]s are **bit-identical** to
+//! `find_space_candidates` on the same prefix (pinned by proptests and
+//! the golden-trace fixture).
+//!
+//! # Cost
+//!
+//! Feeding `ΔN` appended events costs `O(ΔN·D)` (interning, similarity
+//! rows, per-screen counters); one analysis costs `O(P + D log D)` for
+//! the sweep plus `O(1)` amortized frontier advancement. The full-rescan
+//! path pays `O(N·D)` *per analysis* for the same answer.
+
+use std::collections::HashMap;
+
+use taopt_ui_model::TraceEvent;
+
+use super::{sigmoid, FindSpaceConfig, SimilarityCache, SplitCandidate};
+
+/// Initial interning capacity: distinct abstract screens rarely exceed a
+/// few dozen per app, so one allocation covers the common case.
+pub(super) const SCREEN_CAPACITY_HINT: usize = 64;
+
+/// Persistent incremental `FindSpace` state for one instance's
+/// append-only trace window.
+///
+/// Feed appended events with [`extend_from`](Self::extend_from), ask for
+/// candidates with [`analyze`](Self::analyze). The engine assumes the
+/// window it has ingested is immutable except for appends; when the
+/// window is replaced or rebased (an accepted split moves the analysis
+/// start, a re-dedicated or replaced device restarts its trace), call
+/// [`reset`](Self::reset) and re-feed.
+#[derive(Debug)]
+pub struct FindSpaceEngine {
+    config: FindSpaceConfig,
+    /// Abstract-screen id → dense index, in first-appearance order.
+    index: HashMap<u64, usize>,
+    /// One representative event per dense screen id.
+    reps: Vec<TraceEvent>,
+    /// `D×D` pairwise similarity (diagonal true).
+    sim: Vec<Vec<bool>>,
+    /// Dense screen id of every ingested event.
+    ev_idx: Vec<usize>,
+    /// Event timestamps in millis (for `p_max`).
+    times: Vec<u64>,
+    /// First occurrence position per screen; strictly increasing.
+    first_occ: Vec<usize>,
+    /// Last occurrence position per screen.
+    last_occ: Vec<usize>,
+    /// Events in the whole ingested window similar to screen `j`.
+    total_sim: Vec<i64>,
+    /// Frontier: split positions `1..=extent` are materialized.
+    extent: usize,
+    /// Whether screen `j` occurs in the frontier prefix `[0..extent)`.
+    prefix_present: Vec<bool>,
+    /// Occurrences of screen `j` in `[0..extent)`.
+    prefix_count: Vec<usize>,
+    /// `|{s ∈ Set(S[0:extent]) : sim(s, j)}|` — the reference's `weight`.
+    weight: Vec<usize>,
+    /// Distinct screens in the frontier prefix.
+    prefix_distinct: usize,
+    /// `pair_base[p]`: similar (screen, event) pairs inside `S[0:p]`;
+    /// indices `0..=extent`, append-only.
+    pair_base: Vec<i64>,
+    /// `|Set(S[0:p])|` for `p ∈ 0..=extent`, append-only.
+    prefix_distinct_at: Vec<usize>,
+    /// Scratch: `last_occ` sorted, rebuilt per analysis.
+    sorted_last: Vec<usize>,
+}
+
+impl FindSpaceEngine {
+    /// Creates an empty engine.
+    pub fn new(config: FindSpaceConfig) -> Self {
+        FindSpaceEngine {
+            config,
+            index: HashMap::with_capacity(SCREEN_CAPACITY_HINT),
+            reps: Vec::new(),
+            sim: Vec::new(),
+            ev_idx: Vec::new(),
+            times: Vec::new(),
+            first_occ: Vec::new(),
+            last_occ: Vec::new(),
+            total_sim: Vec::new(),
+            extent: 0,
+            prefix_present: Vec::new(),
+            prefix_count: Vec::new(),
+            weight: Vec::new(),
+            prefix_distinct: 0,
+            pair_base: vec![0],
+            prefix_distinct_at: vec![0],
+            sorted_last: Vec::new(),
+        }
+    }
+
+    /// Number of events ingested so far.
+    pub fn len(&self) -> usize {
+        self.ev_idx.len()
+    }
+
+    /// Whether no events have been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.ev_idx.is_empty()
+    }
+
+    /// Distinct abstract screens seen so far.
+    pub fn distinct_screens(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Forgets all ingested events (keeps the config and allocations).
+    ///
+    /// Must be called whenever the window this engine mirrors is rebased
+    /// or replaced — an accepted split moving the analysis start, or the
+    /// instance being re-dedicated onto a replacement device.
+    pub fn reset(&mut self) {
+        self.index.clear();
+        self.reps.clear();
+        self.sim.clear();
+        self.ev_idx.clear();
+        self.times.clear();
+        self.first_occ.clear();
+        self.last_occ.clear();
+        self.total_sim.clear();
+        self.extent = 0;
+        self.prefix_present.clear();
+        self.prefix_count.clear();
+        self.weight.clear();
+        self.prefix_distinct = 0;
+        self.pair_base.clear();
+        self.pair_base.push(0);
+        self.prefix_distinct_at.clear();
+        self.prefix_distinct_at.push(0);
+    }
+
+    /// Ingests the appended tail of `window`: events past
+    /// [`len`](Self::len) are fed, earlier ones are assumed unchanged.
+    /// `cache` supplies (and accumulates) pairwise similarity decisions;
+    /// pass the same per-app cache as the rescan path.
+    pub fn extend_from(&mut self, window: &[TraceEvent], cache: &mut SimilarityCache) {
+        for e in &window[self.len().min(window.len())..] {
+            self.push(e, cache);
+        }
+    }
+
+    /// Ingests one appended event.
+    pub fn push(&mut self, event: &TraceEvent, cache: &mut SimilarityCache) {
+        let pos = self.ev_idx.len();
+        let id = self.intern(event, cache);
+        self.times.push(event.time.as_millis());
+        self.ev_idx.push(id);
+        // The event is similar to itself, so `total_sim[id]` is covered
+        // by the loop (the diagonal is true).
+        for j in 0..self.reps.len() {
+            if self.sim[j][id] {
+                self.total_sim[j] += 1;
+            }
+        }
+        self.last_occ[id] = pos;
+        if pos == 0 {
+            // The first event founds the frontier prefix `S[0:1]`.
+            self.prefix_present[id] = true;
+            self.prefix_count[id] = 1;
+            self.prefix_distinct = 1;
+            for x in 0..self.reps.len() {
+                if self.sim[id][x] {
+                    self.weight[x] += 1;
+                }
+            }
+            self.pair_base.push(1); // (id, 0) is the only in-prefix pair
+            self.prefix_distinct_at.push(1);
+            self.extent = 1;
+        }
+    }
+
+    /// Interns the event's abstract screen, extending the similarity
+    /// relation and per-screen state for a new screen. Returns the dense
+    /// id.
+    fn intern(&mut self, event: &TraceEvent, cache: &mut SimilarityCache) -> usize {
+        let key = event.abstract_id.0;
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = self.reps.len();
+        self.index.insert(key, id);
+        // New similarity row/column against every existing representative
+        // — the same ordered cache lookups the rescan path performs.
+        let mut row = Vec::with_capacity(id + 1);
+        for (j, rep) in self.reps.iter().enumerate() {
+            let s = cache.similar(rep, event, self.config.similarity_threshold);
+            row.push(s);
+            self.sim[j].push(s);
+        }
+        row.push(true);
+        self.sim.push(row);
+        self.reps.push(event.clone());
+        self.first_occ.push(self.ev_idx.len());
+        self.last_occ.push(self.ev_idx.len());
+        self.total_sim.push(0);
+        self.prefix_present.push(false);
+        self.prefix_count.push(0);
+        // A screen first seen now cannot be in the frontier prefix, so
+        // its weight is the count of prefix-distinct screens similar to
+        // it.
+        let w = (0..id)
+            .filter(|&j| self.prefix_present[j] && self.sim[j][id])
+            .count();
+        self.weight.push(w);
+        id
+    }
+
+    /// Largest split index leaving at least `l_min` after it —
+    /// recomputed per analysis because every append moves the trace end.
+    /// The reverse scan mirrors the reference exactly (correct even for
+    /// non-monotone timestamps) and in practice only walks the reserved
+    /// tail.
+    fn p_max(&self) -> Option<usize> {
+        let n = self.times.len();
+        if n < 2 {
+            return None;
+        }
+        let cutoff = self.times[n - 1].checked_sub(self.config.l_min.as_millis())?;
+        (0..n).rev().find(|&p| self.times[p] <= cutoff)
+    }
+
+    /// Advances the frontier so splits `1..=target` are materialized.
+    /// Consuming one event into the prefix is `O(1)`, plus `O(D)` the
+    /// first time its screen enters the prefix — `O(N + D²)` over the
+    /// whole window lifetime, not per analysis.
+    fn advance_to(&mut self, target: usize) {
+        while self.extent < target {
+            let p = self.extent;
+            let e = self.ev_idx[p];
+            let mut pairs: i64 = 0;
+            if !self.prefix_present[e] {
+                self.prefix_present[e] = true;
+                self.prefix_distinct += 1;
+                // Pairs (e, i) for i < p: prior prefix events similar to
+                // the newly distinct screen.
+                for x in 0..self.reps.len() {
+                    if self.sim[e][x] {
+                        pairs += self.prefix_count[x] as i64;
+                        self.weight[x] += 1;
+                    }
+                }
+            }
+            // Pairs (j, p): prefix-distinct screens similar to the event
+            // joining the prefix (weight already includes `e` itself).
+            pairs += self.weight[e] as i64;
+            let prev = self.pair_base[p];
+            self.pair_base.push(prev + pairs);
+            self.prefix_count[e] += 1;
+            self.prefix_distinct_at.push(self.prefix_distinct);
+            self.extent = p + 1;
+        }
+    }
+
+    /// Returns up to `k` qualifying splits of the ingested window in
+    /// ascending score order — bit-identical to
+    /// [`find_space_candidates`](super::find_space_candidates) on the
+    /// same events with the same cache.
+    pub fn analyze(&mut self, k: usize) -> Vec<SplitCandidate> {
+        let n = self.ev_idx.len();
+        let Some(pm) = self.p_max() else {
+            return Vec::new();
+        };
+        if pm == 0 || k == 0 {
+            return Vec::new();
+        }
+        self.advance_to(pm);
+        let d = self.reps.len();
+
+        // sample_size = |Set(S[p_max+1 : N])|: screens whose last
+        // occurrence falls in the reserved tail.
+        let sample_size = self.last_occ.iter().filter(|&&l| l > pm).count().max(1);
+
+        self.sorted_last.clear();
+        self.sorted_last.extend_from_slice(&self.last_occ);
+        self.sorted_last.sort_unstable();
+
+        let mut qualifying: Vec<SplitCandidate> = Vec::with_capacity(pm);
+        let mut overlap_whole: i64 = 0; // Σ total_sim[j] over first_occ[j] < p
+        let mut fo = 0usize; // cursor over first_occ (ascending)
+        let mut lo = 0usize; // cursor over sorted_last
+                             // `purity_score` is a function of `suffix_distinct = d - lo`
+                             // alone, and `lo` only ever advances — so the sigmoid (the one
+                             // transcendental in the sweep) is re-evaluated on cursor moves,
+                             // `O(D)` times per analysis instead of `O(P)`. Same inputs, same
+                             // bits. `two_purity` pre-applies the `2.0 *` factor; the final
+                             // `overlap_score + two_purity - 1.0` performs the reference's
+                             // operations in the reference's order.
+        let mut cached_lo = usize::MAX;
+        let mut two_purity = 0.0f64;
+        for p in 1..=pm {
+            while fo < d && self.first_occ[fo] < p {
+                overlap_whole += self.total_sim[fo];
+                fo += 1;
+            }
+            while lo < d && self.sorted_last[lo] < p {
+                lo += 1;
+            }
+            if lo != cached_lo {
+                cached_lo = lo;
+                let suffix_distinct = d - lo;
+                two_purity = 2.0 * sigmoid(suffix_distinct as f64 / sample_size as f64 - 1.0);
+            }
+            if p >= self.config.min_prefix_events
+                && self.prefix_distinct_at[p] >= self.config.min_prefix_distinct
+            {
+                let overlap = overlap_whole - self.pair_base[p];
+                let overlap_score = overlap as f64 / (n - p) as f64;
+                let score = overlap_score + two_purity - 1.0;
+                if score < self.config.max_score {
+                    qualifying.push(SplitCandidate { index: p, score });
+                }
+            }
+        }
+        // The reference stable-sorts by score; push order is ascending
+        // `p`, so that equals the strict total order (score, index). The
+        // dedup keeps at most `k` candidates and each kept one masks at
+        // most 10 neighbours (`|Δindex| ≤ 5`), so only the `11k`
+        // smallest can influence the output — select them instead of
+        // sorting the whole list.
+        let cmp = |a: &SplitCandidate, b: &SplitCandidate| {
+            a.score.total_cmp(&b.score).then(a.index.cmp(&b.index))
+        };
+        let m = k.saturating_mul(11);
+        if m < qualifying.len() {
+            qualifying.select_nth_unstable_by(m, cmp);
+            qualifying.truncate(m);
+        }
+        qualifying.sort_unstable_by(cmp);
+        let mut out: Vec<SplitCandidate> = Vec::new();
+        for c in qualifying {
+            if out.len() >= k {
+                break;
+            }
+            if out.iter().all(|o| o.index.abs_diff(c.index) > 5) {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{ev, two_cluster_trace};
+    use super::super::{find_space_candidates, FindSpaceConfig, SimilarityCache};
+    use super::*;
+    use taopt_ui_model::VirtualDuration;
+
+    fn cfg(l_min_secs: u64) -> FindSpaceConfig {
+        FindSpaceConfig {
+            l_min: VirtualDuration::from_secs(l_min_secs),
+            ..FindSpaceConfig::default()
+        }
+    }
+
+    /// Bitwise candidate-list equality.
+    fn assert_identical(a: &[SplitCandidate], b: &[SplitCandidate], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "candidate count diverged at {ctx}");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.index, y.index, "index diverged at {ctx}");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "score bits diverged at {ctx}: {} vs {}",
+                x.score,
+                y.score
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_feed_matches_rescan_at_every_prefix() {
+        let events = two_cluster_trace(40, 60);
+        let c = cfg(30);
+        let mut engine = FindSpaceEngine::new(c.clone());
+        let mut engine_cache = SimilarityCache::new();
+        let mut rescan_cache = SimilarityCache::new();
+        for end in 1..=events.len() {
+            engine.extend_from(&events[..end], &mut engine_cache);
+            let inc = engine.analyze(5);
+            let full = find_space_candidates(&events[..end], &c, &mut rescan_cache, 5);
+            assert_identical(&inc, &full, &format!("prefix {end}"));
+        }
+    }
+
+    #[test]
+    fn chunked_feed_matches_rescan() {
+        let events = two_cluster_trace(35, 45);
+        let c = cfg(20);
+        for chunk in [1usize, 3, 7, 17, 50] {
+            let mut engine = FindSpaceEngine::new(c.clone());
+            let mut engine_cache = SimilarityCache::new();
+            let mut rescan_cache = SimilarityCache::new();
+            let mut end = 0;
+            while end < events.len() {
+                end = (end + chunk).min(events.len());
+                engine.extend_from(&events[..end], &mut engine_cache);
+                assert_identical(
+                    &engine.analyze(5),
+                    &find_space_candidates(&events[..end], &c, &mut rescan_cache, 5),
+                    &format!("chunk {chunk} prefix {end}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_matches_fresh_engine() {
+        let events = two_cluster_trace(30, 50);
+        let c = cfg(20);
+        let mut cache = SimilarityCache::new();
+        let mut used = FindSpaceEngine::new(c.clone());
+        used.extend_from(&events, &mut cache);
+        let _ = used.analyze(5);
+        // Simulated re-dedication: the window rebases to index 30.
+        used.reset();
+        assert_eq!(used.len(), 0);
+        used.extend_from(&events[30..], &mut cache);
+        let mut fresh = FindSpaceEngine::new(c.clone());
+        fresh.extend_from(&events[30..], &mut cache);
+        assert_identical(&used.analyze(5), &fresh.analyze(5), "after reset");
+        assert_identical(
+            &used.analyze(5),
+            &find_space_candidates(&events[30..], &c, &mut SimilarityCache::new(), 5),
+            "reset vs rescan",
+        );
+    }
+
+    #[test]
+    fn empty_and_short_windows_yield_nothing() {
+        let mut engine = FindSpaceEngine::new(cfg(60));
+        let mut cache = SimilarityCache::new();
+        assert!(engine.analyze(5).is_empty());
+        engine.push(&ev(0, "A"), &mut cache);
+        assert!(engine.analyze(5).is_empty());
+        engine.push(&ev(2, "B"), &mut cache);
+        // Two events spanning 2 s cannot reserve a 60 s tail.
+        assert!(engine.analyze(5).is_empty());
+    }
+
+    #[test]
+    fn duplicate_timestamps_match_rescan() {
+        // Bursts of identical timestamps exercise the p_max tail scan.
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for i in 0..90usize {
+            events.push(ev(t, &format!("S{}", i % 7)));
+            if i % 3 != 0 {
+                t += 2;
+            }
+        }
+        let c = cfg(15);
+        let mut engine = FindSpaceEngine::new(c.clone());
+        let mut engine_cache = SimilarityCache::new();
+        let mut rescan_cache = SimilarityCache::new();
+        for end in (5..=events.len()).step_by(5) {
+            engine.extend_from(&events[..end], &mut engine_cache);
+            assert_identical(
+                &engine.analyze(5),
+                &find_space_candidates(&events[..end], &c, &mut rescan_cache, 5),
+                &format!("dup-ts prefix {end}"),
+            );
+        }
+    }
+}

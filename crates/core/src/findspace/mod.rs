@@ -17,30 +17,54 @@
 //! the minimum score below the initial bound (1) is returned; `CountIn`
 //! counts appearances by abstract-hierarchy tree similarity.
 //!
-//! Two implementations are provided: [`find_space`] maintains the overlap
-//! sum incrementally in `O(N·D)` (with `D` distinct abstract screens), and
-//! [`find_space_naive`] transcribes the paper's pseudo-code directly in
-//! `O(N²)`; tests assert they agree.
+//! Three implementations are provided: [`find_space`] maintains the
+//! overlap sum incrementally in `O(N·D)` per call (with `D` distinct
+//! abstract screens), [`find_space_naive`] transcribes the paper's
+//! pseudo-code directly in `O(N²)`, and [`FindSpaceEngine`] keeps the
+//! analysis state alive across calls so re-analyzing an append-only
+//! trace costs `O(ΔN·D + P)`; tests assert all three agree (the engine
+//! bit-identically).
+
+mod engine;
 
 use std::collections::HashMap;
 
 use taopt_ui_model::similarity::{tree_similarity, DEFAULT_SIMILARITY_THRESHOLD};
 use taopt_ui_model::{TraceEvent, VirtualDuration};
 
+pub use engine::FindSpaceEngine;
+
+use engine::SCREEN_CAPACITY_HINT;
+
 /// A persistent cache of pairwise screen-similarity decisions, keyed by
 /// abstract-screen-id pairs. One cache serves a whole parallel run: the
 /// analyzer re-runs `FindSpace` every few seconds per instance and the
 /// distinct-screen population is shared, so cached decisions eliminate the
 /// dominant `O(D²)` tree-similarity cost of repeated analyses.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SimilarityCache {
     decisions: HashMap<(u64, u64), bool>,
 }
 
+impl Default for SimilarityCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl SimilarityCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache pre-sized for a typical app's
+    /// distinct-screen population.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_screen_capacity(SCREEN_CAPACITY_HINT)
+    }
+
+    /// Creates an empty cache pre-sized for `screens` distinct abstract
+    /// screens (one decision per unordered pair).
+    pub fn with_screen_capacity(screens: usize) -> Self {
+        SimilarityCache {
+            decisions: HashMap::with_capacity(screens * screens.saturating_sub(1) / 2),
+        }
     }
 
     /// Number of cached pair decisions.
@@ -123,7 +147,8 @@ fn similarity_relation(
     threshold: f64,
     cache: &mut SimilarityCache,
 ) -> (HashMap<u64, usize>, Vec<Vec<bool>>) {
-    let mut index: HashMap<u64, usize> = HashMap::new();
+    let mut index: HashMap<u64, usize> =
+        HashMap::with_capacity(events.len().min(SCREEN_CAPACITY_HINT));
     let mut reps: Vec<&TraceEvent> = Vec::new();
     for e in events {
         index.entry(e.abstract_id.0).or_insert_with(|| {
@@ -164,24 +189,17 @@ fn p_max(events: &[TraceEvent], l_min: VirtualDuration) -> Option<usize> {
 /// See the crate-level quickstart; unit tests below exercise hand-built
 /// traces with an obvious two-cluster structure.
 pub fn find_space(events: &[TraceEvent], config: &FindSpaceConfig) -> Option<SplitCandidate> {
-    find_space_cached(events, config, &mut SimilarityCache::new())
-}
-
-/// [`find_space`] with an external, reusable similarity cache.
-pub fn find_space_cached(
-    events: &[TraceEvent],
-    config: &FindSpaceConfig,
-    cache: &mut SimilarityCache,
-) -> Option<SplitCandidate> {
-    find_space_candidates(events, config, cache, 1)
+    find_space_candidates(events, config, &mut SimilarityCache::new(), 1)
         .into_iter()
         .next()
 }
 
-/// Like [`find_space_cached`], but returns up to `k` qualifying splits in
-/// ascending score order. Downstream validity filtering (entry-rule
-/// anchoring) can then fall back to the next-best split when the global
-/// minimum does not yield an enforceable entrypoint.
+/// Like [`find_space`], but returns up to `k` qualifying splits in
+/// ascending score order with an external, reusable similarity cache.
+/// Downstream validity filtering (entry-rule anchoring) can then fall
+/// back to the next-best split when the global minimum does not yield an
+/// enforceable entrypoint. This full-rescan path is the reference
+/// implementation the incremental [`FindSpaceEngine`] is pinned against.
 pub fn find_space_candidates(
     events: &[TraceEvent],
     config: &FindSpaceConfig,
@@ -340,7 +358,7 @@ pub(crate) mod tests {
             abstract_id: a.id(),
             abstraction: a,
             action: Some(Action::Back),
-            action_widget_rid: Some(format!("w_{label}")),
+            action_widget_rid: Some(Arc::from(format!("w_{label}"))),
         }
     }
 

@@ -206,7 +206,10 @@ pub fn preliminary_study(archive: &TraceArchive, config: &PartitionConfig) -> St
 pub fn replay_analysis(archive: &TraceArchive, config: AnalyzerConfig) -> Vec<SubspaceInfo> {
     let mut analyzer = OnlineTraceAnalyzer::new(config);
     // Interleave instances round-robin in chunks, approximating the
-    // lock-step session schedule.
+    // lock-step session schedule. Each instance's partial trace grows in
+    // place (append-only, like a live trace), so the analyzer's
+    // per-instance engine ingests every archived event exactly once
+    // instead of re-cloning an O(N) prefix per chunk.
     let chunk = 10usize;
     let max_len = archive
         .traces
@@ -214,16 +217,19 @@ pub fn replay_analysis(archive: &TraceArchive, config: AnalyzerConfig) -> Vec<Su
         .map(|(_, t)| t.len())
         .max()
         .unwrap_or(0);
+    let mut partials: Vec<Trace> = archive.traces.iter().map(|_| Trace::new()).collect();
     let mut upto = chunk;
     while upto <= max_len + chunk {
-        for (iid, trace) in &archive.traces {
+        for ((iid, trace), partial) in archive.traces.iter().zip(partials.iter_mut()) {
             let end = upto.min(trace.len());
             if end == 0 {
                 continue;
             }
-            let partial: Trace = trace.events()[..end].iter().cloned().collect();
+            for e in &trace.events()[partial.len()..end] {
+                partial.push(e.clone());
+            }
             let now = partial.end_time().unwrap_or(VirtualTime::ZERO);
-            analyzer.maybe_analyze(InstanceId(*iid), &partial, now);
+            analyzer.maybe_analyze(InstanceId(*iid), partial, now);
         }
         upto += chunk;
     }

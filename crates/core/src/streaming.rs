@@ -191,6 +191,9 @@ impl StreamingAnalyzer {
             let mut analyzer = OnlineTraceAnalyzer::new(config);
             let mut traces: HashMap<InstanceId, Trace> = HashMap::new();
             let mut reorders: HashMap<InstanceId, Reorder> = HashMap::new();
+            // Registry version last published to the snapshot; the
+            // sentinel forces the initial publication.
+            let published_version = std::cell::Cell::new(u64::MAX);
             let deliver = |instance: InstanceId,
                            events: Vec<TraceEvent>,
                            stats: StreamStats,
@@ -210,11 +213,14 @@ impl StreamingAnalyzer {
                 let mut snap = worker_cell.state.lock();
                 snap.events_consumed += delivered;
                 snap.stream = stats;
-                let subs = analyzer.subspaces();
                 // Publish only on change: readers clone this vector on
                 // every poll, so rewriting it per event is pure churn.
-                if snap.subspaces != subs {
-                    snap.subspaces = subs.to_vec();
+                // The analyzer's version counter makes the check O(1)
+                // instead of a full-vector comparison.
+                let version = analyzer.version();
+                if published_version.get() != version {
+                    published_version.set(version);
+                    snap.subspaces = analyzer.subspaces().to_vec();
                 }
                 drop(snap);
                 worker_cell.changed.notify_all();

@@ -7,7 +7,10 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use taopt::findspace::{find_space, find_space_naive, FindSpaceConfig};
+use taopt::findspace::{
+    find_space, find_space_candidates, find_space_naive, FindSpaceConfig, FindSpaceEngine,
+    SimilarityCache,
+};
 use taopt::metrics::curves::{coverage_at, time_to_reach, CurvePoint};
 use taopt::metrics::jaccard::{average_jaccard, jaccard};
 use taopt::partition::{partition_graph, PartitionConfig};
@@ -36,7 +39,7 @@ fn ev(t: u64, label: u32) -> TraceEvent {
         abstract_id: abstraction.id(),
         abstraction,
         action: Some(Action::Widget(ActionId(label))),
-        action_widget_rid: Some(format!("w{label}")),
+        action_widget_rid: Some(Arc::from(format!("w{label}"))),
     }
 }
 
@@ -127,6 +130,74 @@ proptest! {
                 prop_assert!((f.score - s.score).abs() < 1e-9);
             }
             (f, s) => prop_assert_eq!(f, s),
+        }
+    }
+
+    #[test]
+    fn findspace_engine_incremental_equals_rescan_at_every_step(
+        events in arb_dup_trace(),
+        chunk in 1usize..=17,
+        l_min_secs in 0u64..80,
+    ) {
+        // Feeding the trace to the persistent engine in arbitrary chunk
+        // sizes must reproduce the full-rescan reference *bit-identically*
+        // on every prefix — same indices, same score bits — including
+        // under duplicate timestamps and degenerate l_min windows.
+        let mut cfg = fs_config();
+        cfg.l_min = VirtualDuration::from_secs(l_min_secs);
+        let mut engine = FindSpaceEngine::new(cfg.clone());
+        let mut engine_cache = SimilarityCache::new();
+        let mut rescan_cache = SimilarityCache::new();
+        let mut end = 0usize;
+        while end < events.len() {
+            end = (end + chunk).min(events.len());
+            engine.extend_from(&events[..end], &mut engine_cache);
+            prop_assert_eq!(engine.len(), end);
+            let inc = engine.analyze(5);
+            let full = find_space_candidates(&events[..end], &cfg, &mut rescan_cache, 5);
+            prop_assert_eq!(inc.len(), full.len());
+            for (a, b) in inc.iter().zip(&full) {
+                prop_assert_eq!(a.index, b.index);
+                prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn findspace_engine_reset_matches_fresh_engine(
+        events in arb_dup_trace(),
+        rebase_num in 0usize..100,
+    ) {
+        // Simulated re-dedication: after an accepted split (or a device
+        // replacement) the analysis window rebases, the engine resets and
+        // is re-fed the new window. That must be indistinguishable from a
+        // brand-new engine — and from the rescan reference.
+        let cfg = fs_config();
+        let rebase = rebase_num * events.len().saturating_sub(1) / 100;
+        let mut cache = SimilarityCache::new();
+        let mut reused = FindSpaceEngine::new(cfg.clone());
+        reused.extend_from(&events, &mut cache);
+        let _ = reused.analyze(5);
+        reused.reset();
+        prop_assert!(reused.is_empty());
+        reused.extend_from(&events[rebase..], &mut cache);
+        let mut fresh = FindSpaceEngine::new(cfg.clone());
+        fresh.extend_from(&events[rebase..], &mut SimilarityCache::new());
+        let a = reused.analyze(5);
+        let b = fresh.analyze(5);
+        let c = find_space_candidates(
+            &events[rebase..],
+            &cfg,
+            &mut SimilarityCache::new(),
+            5,
+        );
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(a.len(), c.len());
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+            prop_assert_eq!(x.index, y.index);
+            prop_assert_eq!(x.index, z.index);
+            prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+            prop_assert_eq!(x.score.to_bits(), z.score.to_bits());
         }
     }
 

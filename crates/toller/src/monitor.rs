@@ -1,5 +1,7 @@
 //! UI transition monitoring.
 
+use std::sync::Arc;
+
 use taopt_ui_model::{Action, ScreenObservation, Trace, TraceEvent};
 
 use crate::events::EventSender;
@@ -45,7 +47,7 @@ impl TransitionMonitor {
             (Some(p), Some(Action::Widget(id))) => p
                 .hierarchy
                 .widget_for(id)
-                .and_then(|w| w.resource_id.clone()),
+                .and_then(|w| w.resource_id.as_deref().map(Arc::from)),
             _ => None,
         };
         let event = TraceEvent {

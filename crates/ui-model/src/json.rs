@@ -725,7 +725,7 @@ pub fn trace_from_value(v: &Value) -> Result<Trace, JsonError> {
             .clone();
         let widget_rid = match e.require("w")? {
             Value::Null => None,
-            Value::Str(s) => Some(s.clone()),
+            Value::Str(s) => Some(Arc::from(s.as_str())),
             _ => return Err(JsonError::conversion("field `w` must be a string or null")),
         };
         trace.push(TraceEvent {

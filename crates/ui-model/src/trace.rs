@@ -32,7 +32,10 @@ pub struct TraceEvent {
     pub action: Option<Action>,
     /// Resource id of the widget the action was fired on (the
     /// tool-agnostic handle used to build entrypoint block rules).
-    pub action_widget_rid: Option<String>,
+    /// Shared, not owned: trace events are cloned on the analyzer hot
+    /// path and across stream/snapshot boundaries, so the rid rides
+    /// along by refcount instead of by heap copy.
+    pub action_widget_rid: Option<Arc<str>>,
 }
 
 /// An append-only UI transition trace for one testing instance.

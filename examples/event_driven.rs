@@ -57,7 +57,7 @@ fn state_event(t: u64, state: usize, via: Option<&str>) -> TraceEvent {
         abstract_id: abstraction.id(),
         abstraction,
         action: via.map(|_| Action::Widget(ActionId(state as u32))),
-        action_widget_rid: via.map(str::to_owned),
+        action_widget_rid: via.map(Arc::from),
     }
 }
 
