@@ -1,5 +1,7 @@
 //! Chaos degradation table: coverage and crash-finding under increasing
-//! fault rates, versus the fault-free baseline of the same seed.
+//! fault rates, versus the fault-free baseline of the same seed. Writes
+//! `BENCH_chaos.json` with per-rate retention and recovery-latency
+//! percentiles, plus a faulted-campaign determinism arm.
 //!
 //! Every row injects faults at all three seams (device farm, event bus,
 //! enforcement) with a uniform per-opportunity rate, runs the same
@@ -7,19 +9,35 @@
 //! reports what the self-healing coordinator retained: union coverage,
 //! unique crashes, faults injected/recovered, recovery latencies, device
 //! losses survived and enforcement retries.
+//!
+//! Exit gates (CI smoke): coverage retention at the moderate fault rate
+//! must stay above [`MIN_RETENTION`], no orphaned subspaces may remain
+//! unresolved at any rate, and a faulted campaign must produce
+//! byte-identical coverage reports at 1 and 4 workers.
 
+use std::process::ExitCode;
 use std::sync::Arc;
 
 use taopt::report::{pct, TextTable};
 use taopt::session::RunMode;
-use taopt::{run_with_chaos, ChaosReport};
-use taopt_bench::{load_apps, HarnessArgs};
+use taopt::{run_campaign, run_with_chaos, CampaignApp, CampaignConfig, ChaosReport};
+use taopt_bench::{load_apps, HarnessArgs, NamedApp};
 use taopt_chaos::{FaultInjector, FaultPlan, FaultRates, RecoveryKind};
 use taopt_tools::ToolKind;
+use taopt_ui_model::Value;
 
 /// Uniform per-opportunity fault rates of the table's rows (0 = the
 /// fault-free baseline).
 const RATES: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
+
+/// The "moderate" rate the retention gate is checked at.
+const GATE_RATE: f64 = 0.02;
+
+/// Minimum coverage retention (faulted / fault-free) at [`GATE_RATE`].
+const MIN_RETENTION: f64 = 0.8;
+
+/// Uniform fault rate of the campaign determinism arm.
+const CAMPAIGN_RATE: f64 = 0.02;
 
 /// One table row, aggregated across apps.
 #[derive(Default)]
@@ -38,6 +56,10 @@ struct RateSummary {
     mean_recovery_ms: f64,
     max_recovery_ms: u64,
     unresolved_orphans: usize,
+    /// Every recovery latency observed at this rate, pooled across apps,
+    /// so percentiles are computed over the real distribution rather
+    /// than a mean of per-app means.
+    recovery_latencies_ms: Vec<u64>,
 }
 
 impl RateSummary {
@@ -63,10 +85,141 @@ impl RateSummary {
         self.mean_recovery_ms += report.fault_stats.mean_recovery_ms;
         self.max_recovery_ms = self.max_recovery_ms.max(report.fault_stats.max_recovery_ms);
         self.unresolved_orphans += report.unresolved_orphans;
+        self.recovery_latencies_ms
+            .extend(report.fault_log.recoveries().iter().map(|r| r.latency_ms()));
+    }
+
+    /// The p-th percentile (0..=100) of pooled recovery latency, in ms.
+    fn latency_percentile_ms(&self, p: f64) -> u64 {
+        let mut sorted = self.recovery_latencies_ms.clone();
+        if sorted.is_empty() {
+            return 0;
+        }
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
     }
 }
 
-fn main() {
+fn rate_json(rate: f64, s: &RateSummary, baseline: f64) -> Value {
+    Value::Object(vec![
+        ("rate".to_owned(), Value::Float(rate)),
+        ("coverage".to_owned(), Value::UInt(s.coverage as u64)),
+        (
+            "retention".to_owned(),
+            Value::Float(s.coverage as f64 / baseline),
+        ),
+        ("crashes".to_owned(), Value::UInt(s.crashes as u64)),
+        ("injected".to_owned(), Value::UInt(s.injected as u64)),
+        ("recovered".to_owned(), Value::UInt(s.recovered as u64)),
+        (
+            "recovery_p95_ms".to_owned(),
+            Value::UInt(s.latency_percentile_ms(95.0)),
+        ),
+        (
+            "recovery_p50_ms".to_owned(),
+            Value::UInt(s.latency_percentile_ms(50.0)),
+        ),
+        (
+            "recovery_mean_ms".to_owned(),
+            Value::Float(s.mean_recovery_ms),
+        ),
+        ("recovery_max_ms".to_owned(), Value::UInt(s.max_recovery_ms)),
+        (
+            "devices_lost".to_owned(),
+            Value::UInt(s.devices_lost as u64),
+        ),
+        (
+            "replacements".to_owned(),
+            Value::UInt(s.replacements as u64),
+        ),
+        ("abandoned".to_owned(), Value::UInt(s.abandoned as u64)),
+        (
+            "enforcement_retries".to_owned(),
+            Value::UInt(s.enforcement_retries as u64),
+        ),
+        (
+            "rededications".to_owned(),
+            Value::UInt(s.rededications as u64),
+        ),
+        ("stream_gaps".to_owned(), Value::UInt(s.gaps as u64)),
+        (
+            "stream_duplicates".to_owned(),
+            Value::UInt(s.duplicates as u64),
+        ),
+        (
+            "unresolved_orphans".to_owned(),
+            Value::UInt(s.unresolved_orphans as u64),
+        ),
+    ])
+}
+
+/// Runs the same faulted campaign at 1 and 4 workers and reports whether
+/// the coverage reports (and fault statistics) came out byte-identical —
+/// the layered runtime's determinism pin, exercised end to end.
+fn campaign_arm(apps: &[NamedApp], args: &HarnessArgs) -> (bool, Value) {
+    let take = apps.len().min(4);
+    let catalog = |_: usize| -> Vec<CampaignApp> {
+        apps[..take]
+            .iter()
+            .enumerate()
+            .map(|(i, (name, app))| CampaignApp {
+                name: name.clone(),
+                app: Arc::clone(app),
+                config: args.scale.session_config(
+                    ToolKind::Monkey,
+                    RunMode::TaoptDuration,
+                    args.seed + i as u64,
+                ),
+            })
+            .collect()
+    };
+    let capacity = 2 * args.scale.instances;
+    let mut reports = Vec::new();
+    let mut stats = Vec::new();
+    let mut rounds = 0u64;
+    let mut devices_lost = 0usize;
+    for workers in [1usize, 4] {
+        let config = CampaignConfig {
+            workers,
+            capacity: Some(capacity),
+            faults: Some(FaultPlan::new(
+                args.seed,
+                FaultRates::uniform(CAMPAIGN_RATE),
+            )),
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign(catalog(workers), &config);
+        rounds = result.rounds;
+        devices_lost = result.apps.iter().map(|a| a.devices_lost).sum();
+        eprintln!(
+            "  faulted campaign x{workers}: {} rounds, wall {}, {} devices lost",
+            result.rounds, result.wall_clock, devices_lost
+        );
+        reports.push(result.coverage_report());
+        stats.push(result.fault_stats.expect("fault plan was set"));
+    }
+    let deterministic = reports[0] == reports[1] && stats[0] == stats[1];
+    let json = Value::Object(vec![
+        ("apps".to_owned(), Value::UInt(take as u64)),
+        ("rate".to_owned(), Value::Float(CAMPAIGN_RATE)),
+        ("capacity".to_owned(), Value::UInt(capacity as u64)),
+        ("rounds".to_owned(), Value::UInt(rounds)),
+        ("devices_lost".to_owned(), Value::UInt(devices_lost as u64)),
+        (
+            "injected".to_owned(),
+            Value::UInt(stats[0].total_injected() as u64),
+        ),
+        (
+            "recovered".to_owned(),
+            Value::UInt(stats[0].total_recovered() as u64),
+        ),
+        ("deterministic".to_owned(), Value::Bool(deterministic)),
+    ]);
+    (deterministic, json)
+}
+
+fn main() -> ExitCode {
     let args = HarnessArgs::parse();
     let apps = load_apps(args.n_apps);
     eprintln!("chaos: {} apps, {:?}", apps.len(), args.scale);
@@ -88,8 +241,12 @@ fn main() {
         }
         summary.mean_recovery_ms /= apps.len().max(1) as f64;
         eprintln!(
-            "  rate {:.2}: coverage {}, {} faults, {} recoveries",
-            rate, summary.coverage, summary.injected, summary.recovered
+            "  rate {:.2}: coverage {}, {} faults, {} recoveries, p95 recovery {}ms",
+            rate,
+            summary.coverage,
+            summary.injected,
+            summary.recovered,
+            summary.latency_percentile_ms(95.0)
         );
         rows.push(summary);
     }
@@ -114,7 +271,7 @@ fn main() {
         "vs clean",
         "Faults",
         "Recov.",
-        "MeanRec(s)",
+        "p95Rec(s)",
         "MaxRec(s)",
         "Lost",
         "Repl.",
@@ -130,7 +287,7 @@ fn main() {
             crash_delta(s.crashes),
             s.injected.to_string(),
             s.recovered.to_string(),
-            format!("{:.1}", s.mean_recovery_ms / 1000.0),
+            format!("{:.1}", s.latency_percentile_ms(95.0) as f64 / 1000.0),
             format!("{:.1}", s.max_recovery_ms as f64 / 1000.0),
             s.devices_lost.to_string(),
             s.replacements.to_string(),
@@ -155,4 +312,61 @@ fn main() {
     );
     let orphans: usize = rows.iter().map(|s| s.unresolved_orphans).sum();
     println!("unresolved orphaned subspaces across all rates: {orphans} (expect 0)");
+
+    let (campaign_deterministic, campaign_json) = campaign_arm(&apps, &args);
+
+    let doc = Value::Object(vec![
+        ("bench".to_owned(), Value::Str("chaos".to_owned())),
+        ("n_apps".to_owned(), Value::UInt(apps.len() as u64)),
+        ("seed".to_owned(), Value::UInt(args.seed)),
+        (
+            "scale".to_owned(),
+            Value::Str(format!("{:?}", args.scale.duration)),
+        ),
+        (
+            "rates".to_owned(),
+            Value::Array(
+                RATES
+                    .iter()
+                    .zip(&rows)
+                    .map(|(rate, s)| rate_json(*rate, s, baseline))
+                    .collect(),
+            ),
+        ),
+        ("faulted_campaign".to_owned(), campaign_json),
+    ]);
+    let json = doc.to_json_string();
+    let out = "BENCH_chaos.json";
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("chaos bench FAILED: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let gate_row = RATES
+        .iter()
+        .position(|r| *r == GATE_RATE)
+        .expect("gate rate is a table row");
+    let retention = rows[gate_row].coverage as f64 / baseline;
+    println!(
+        "chaos bench: retention {:.1}% at rate {GATE_RATE:.2}, campaign deterministic: \
+         {campaign_deterministic}; wrote {out} ({} bytes)",
+        retention * 100.0,
+        json.len()
+    );
+    if retention < MIN_RETENTION {
+        eprintln!(
+            "chaos bench FAILED: retention {retention:.3} at rate {GATE_RATE:.2} \
+             below gate {MIN_RETENTION:.2}"
+        );
+        return ExitCode::FAILURE;
+    }
+    if orphans != 0 {
+        eprintln!("chaos bench FAILED: {orphans} unresolved orphaned subspaces (expect 0)");
+        return ExitCode::FAILURE;
+    }
+    if !campaign_deterministic {
+        eprintln!("chaos bench FAILED: faulted campaign differs between 1 and 4 workers");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -57,6 +57,12 @@ impl FaultInjector {
         &self.plan
     }
 
+    /// Whether this injector can never inject anything (all rates zero).
+    /// Drivers use this to pick the passthrough wiring for seam layers.
+    pub fn is_inert(&self) -> bool {
+        self.plan.rates().is_zero()
+    }
+
     fn log_mut(&self) -> std::sync::MutexGuard<'_, FaultLog> {
         self.log.lock().unwrap_or_else(PoisonError::into_inner)
     }

@@ -21,13 +21,17 @@
 //! repair the resilience layer performs, yielding recovery-latency
 //! statistics ([`FaultStats`]).
 //!
-//! The crate is dependency-light (ui-model only) so every layer above the
-//! UI substrate can accept an injector without cycles.
+//! [`FaultyPool`] implements the device seam from `taopt-device` — the
+//! same [`taopt_device::DeviceFarm`], but with plan-driven refusals and
+//! per-round loss scheduling — so the one `SessionStep` runtime runs
+//! chaotic and clean configurations through identical driver loops.
 
 pub mod inject;
 pub mod log;
 pub mod plan;
+pub mod pool;
 
 pub use inject::{EventFate, FaultInjector};
 pub use log::{FaultKind, FaultLog, FaultRecord, FaultStats, RecoveryKind, RecoveryRecord};
 pub use plan::{FaultPlan, FaultRates, Seam};
+pub use pool::FaultyPool;

@@ -1,0 +1,156 @@
+//! The fault-injecting [`DevicePool`]: a [`DeviceFarm`] behind the device
+//! seam, with a [`FaultInjector`] deciding refusals and losses.
+//!
+//! This is the chaotic implementation of the device seam from
+//! `taopt-device`'s `pool` module: the same farm, the same accounting, but
+//! every allocation may be transiently refused and every active device may
+//! be scheduled to die on a given round — all decisions pure functions of
+//! the plan's seed, so a chaos run replays bit-for-bit. Loss decisions are
+//! keyed by **device id** (globally unique within a farm), so the same
+//! pool serves both the single-app chaos harness and a multi-app campaign
+//! without the fault stream depending on which app holds the device.
+
+use taopt_device::{DeviceFarm, DeviceId, DevicePool, PoolDecision};
+use taopt_telemetry::{Counter, Labels};
+use taopt_ui_model::VirtualTime;
+
+use crate::inject::FaultInjector;
+
+/// A [`DeviceFarm`] wrapped in fault decisions from a [`FaultInjector`].
+#[derive(Debug)]
+pub struct FaultyPool {
+    farm: DeviceFarm,
+    injector: FaultInjector,
+    refusals: Counter,
+    losses: Counter,
+}
+
+impl FaultyPool {
+    /// Wraps `farm` with the fault decisions of `injector`.
+    pub fn new(farm: DeviceFarm, injector: FaultInjector) -> Self {
+        let t = taopt_telemetry::global();
+        FaultyPool {
+            farm,
+            injector,
+            refusals: t.counter_labeled("pool_refusals_total", Labels::seam("device")),
+            losses: t.counter_labeled("pool_losses_total", Labels::seam("device")),
+        }
+    }
+
+    /// The injector this pool consults (shared log).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+}
+
+impl DevicePool for FaultyPool {
+    fn allocate(&mut self, now: VirtualTime) -> PoolDecision {
+        if self.injector.refuse_allocation(now) {
+            self.refusals.inc();
+            return PoolDecision::Refused;
+        }
+        match self.farm.allocate(now) {
+            Ok(d) => PoolDecision::Granted(d),
+            Err(_) => PoolDecision::Exhausted,
+        }
+    }
+
+    fn release(&mut self, device: DeviceId, now: VirtualTime) {
+        let _ = self.farm.deallocate(device, now);
+    }
+
+    fn kill(&mut self, device: DeviceId, now: VirtualTime) {
+        let _ = self.farm.kill(device, now);
+    }
+
+    fn round_losses(&mut self, round: u64, now: VirtualTime) -> Vec<DeviceId> {
+        let victims: Vec<DeviceId> = self
+            .farm
+            .active_devices()
+            .filter(|d| self.injector.device_loss(d.0, round, now))
+            .collect();
+        for _ in &victims {
+            self.losses.inc();
+        }
+        victims
+    }
+
+    fn farm(&self) -> &DeviceFarm {
+        &self.farm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultPlan, FaultRates};
+
+    #[test]
+    fn inert_faulty_pool_behaves_like_the_plain_farm() {
+        let mut pool = FaultyPool::new(DeviceFarm::new(2), FaultInjector::inert(1));
+        let now = VirtualTime::ZERO;
+        assert!(matches!(pool.allocate(now), PoolDecision::Granted(_)));
+        assert!(matches!(pool.allocate(now), PoolDecision::Granted(_)));
+        assert_eq!(pool.allocate(now), PoolDecision::Exhausted);
+        for round in 1..100 {
+            assert!(pool.round_losses(round, now).is_empty());
+        }
+        assert_eq!(pool.injector().stats().total_injected(), 0);
+    }
+
+    #[test]
+    fn refusals_and_losses_follow_the_plan() {
+        let mut rates = FaultRates::none();
+        rates.alloc_refusal = 0.5;
+        rates.device_loss = 0.2;
+        let inj = FaultInjector::new(FaultPlan::new(11, rates));
+        let mut pool = FaultyPool::new(DeviceFarm::new(64), inj);
+        let now = VirtualTime::ZERO;
+        let mut granted = 0usize;
+        let mut refused = 0usize;
+        for _ in 0..64 {
+            match pool.allocate(now) {
+                PoolDecision::Granted(_) => granted += 1,
+                PoolDecision::Refused => refused += 1,
+                PoolDecision::Exhausted => break,
+            }
+        }
+        assert!(granted > 0, "some allocations must succeed");
+        assert!(refused > 0, "rate 0.5 must refuse some allocations");
+        let mut lost = 0usize;
+        for round in 1..20 {
+            for d in pool.round_losses(round, now) {
+                pool.kill(d, now);
+                lost += 1;
+            }
+        }
+        assert!(lost > 0, "rate 0.2 must lose some devices");
+        assert_eq!(pool.lost_count(), lost);
+        let stats = pool.injector().stats();
+        assert_eq!(stats.total_injected(), refused + lost);
+    }
+
+    #[test]
+    fn loss_decisions_are_reproducible_for_a_seed() {
+        let mut rates = FaultRates::none();
+        rates.device_loss = 0.3;
+        let run = |seed| {
+            let inj = FaultInjector::new(FaultPlan::new(seed, rates));
+            let mut pool = FaultyPool::new(DeviceFarm::new(8), inj);
+            let now = VirtualTime::ZERO;
+            for _ in 0..8 {
+                let _ = pool.allocate(now);
+            }
+            let mut log = Vec::new();
+            for round in 1..30 {
+                for d in pool.round_losses(round, now) {
+                    pool.kill(d, now);
+                    log.push((round, d));
+                }
+            }
+            log
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should diverge");
+    }
+}

@@ -1,0 +1,266 @@
+//! The seam layers every session driver composes over [`super::step`].
+//!
+//! The reproduction has exactly three seams where a real testing cloud
+//! can misbehave, and each is an explicit layer trait here (DESIGN.md
+//! §12):
+//!
+//! * **device** — how drivers obtain/lose devices:
+//!   [`taopt_device::DevicePool`], with [`taopt_device::PlainPool`] as the
+//!   passthrough and [`taopt_chaos::FaultyPool`] as the fault-injecting
+//!   wrapper (refusals, scheduled losses). Latency spikes are *decided* at
+//!   this seam too (they are a device fault) but *applied* by the step,
+//!   which owns the emulators.
+//! * **bus** — how instance trace events reach the coordinator:
+//!   [`BusTransport`] decides a [`taopt_chaos::EventFate`] per published
+//!   event and the step repairs the surviving stream back into order with
+//!   [`crate::streaming`]'s sequence layer, so the coordinator only ever
+//!   sees a coordinator-view trace.
+//! * **enforcement** — how coordinator block rules land on devices:
+//!   [`Enforcement`], with [`DirectEnforcement`] wiring the coordinator
+//!   straight to the device list (no retry machinery at all) and
+//!   [`crate::resilience::BroadcastEnforcement`] routing every rule change
+//!   through the failure-prone broadcast channel with idempotent retry.
+//!
+//! A [`StepLayers`] bundle picks one implementation per seam.
+//! [`StepLayers::direct`] is the plain wiring — byte-identical to the
+//! pre-layer runtime — and [`StepLayers::chaos`] is the chaotic wiring;
+//! with an inert injector the chaotic wiring produces field-by-field the
+//! same session result as the direct one (pinned by test), which is what
+//! makes fault-free chaos runs a valid baseline.
+
+use taopt_chaos::{EventFate, FaultInjector, RecoveryKind};
+use taopt_toller::{InstanceId, SharedBlockList};
+use taopt_ui_model::{VirtualDuration, VirtualTime};
+
+use crate::resilience::BroadcastEnforcement;
+
+/// The bus seam: decides what happens to each event an instance publishes
+/// toward the coordinator. `lane` is a driver-scoped stream id (the
+/// instance id, offset per app in a campaign) so decisions stay
+/// deterministic and decorrelated across apps sharing one plan.
+pub trait BusTransport: Send {
+    /// The fate of event `seq` on `lane`.
+    fn fate(&self, lane: u32, seq: u64, now: VirtualTime) -> EventFate;
+
+    /// Called once per sequence gap the repair layer gave up on and
+    /// skipped — the moment a drop is *healed* rather than suffered.
+    fn gap_repaired(&self, lane: u32, now: VirtualTime);
+}
+
+/// The transparent bus: every event is delivered, nothing is recorded.
+/// Exists so harnesses can exercise the full lane machinery (sequence
+/// stamping + reorder repair) without a fault plan.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InertBus;
+
+impl BusTransport for InertBus {
+    fn fate(&self, _lane: u32, _seq: u64, _now: VirtualTime) -> EventFate {
+        EventFate::Deliver
+    }
+
+    fn gap_repaired(&self, _lane: u32, _now: VirtualTime) {}
+}
+
+/// The chaotic bus: fates come from a [`FaultInjector`] and every healed
+/// gap is recorded as a [`RecoveryKind::StreamRepaired`] recovery.
+#[derive(Debug, Clone)]
+pub struct FaultyBus {
+    injector: FaultInjector,
+}
+
+impl FaultyBus {
+    /// Wraps the injector's event seam.
+    pub fn new(injector: FaultInjector) -> Self {
+        FaultyBus { injector }
+    }
+}
+
+impl BusTransport for FaultyBus {
+    fn fate(&self, lane: u32, seq: u64, now: VirtualTime) -> EventFate {
+        self.injector.event_fate(lane, seq, now)
+    }
+
+    fn gap_repaired(&self, lane: u32, now: VirtualTime) {
+        self.injector
+            .record_recovery(now, now, Some(lane), RecoveryKind::StreamRepaired);
+    }
+}
+
+/// The enforcement seam: how the coordinator's block rules reach each
+/// instance's device-side list.
+pub trait Enforcement: Send {
+    /// Wires up a freshly booted instance. Returns the list the
+    /// coordinator should write its intent into: the device's own list
+    /// (direct wiring) or a shadow that [`Enforcement::reconcile`]
+    /// propagates.
+    fn register(&mut self, instance: InstanceId, actual: SharedBlockList) -> SharedBlockList;
+
+    /// Boot-time catch-up: pushes everything currently intended for
+    /// `instance` toward its device, with one immediate delivery attempt
+    /// per rule. Called right after registration. Implementations whose
+    /// deliveries cannot fail land everything synchronously, so a fresh
+    /// device starts its first round fully configured.
+    fn provision(&mut self, instance: InstanceId, now: VirtualTime);
+
+    /// Forgets a retired instance (undelivered rule changes die with it).
+    fn unregister(&mut self, instance: InstanceId);
+
+    /// One per-round reconciliation pass: propagate intended-vs-actual
+    /// rule diffs, retrying failed deliveries. Returns operations applied.
+    fn reconcile(&mut self, now: VirtualTime) -> usize;
+
+    /// Deliveries that needed at least one retry before landing.
+    fn reapplied(&self) -> usize;
+}
+
+/// The passthrough enforcement wiring: the coordinator writes rules
+/// directly into the device-side list, so there is nothing to provision,
+/// reconcile or retry — the inert path compiles down to no-ops.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DirectEnforcement;
+
+impl Enforcement for DirectEnforcement {
+    fn register(&mut self, _instance: InstanceId, actual: SharedBlockList) -> SharedBlockList {
+        actual
+    }
+
+    fn provision(&mut self, _instance: InstanceId, _now: VirtualTime) {}
+
+    fn unregister(&mut self, _instance: InstanceId) {}
+
+    fn reconcile(&mut self, _now: VirtualTime) -> usize {
+        0
+    }
+
+    fn reapplied(&self) -> usize {
+        0
+    }
+}
+
+/// One implementation per seam, bundled for [`super::SessionStep`].
+///
+/// The device seam is *not* held here — drivers own their pool because
+/// device grants flow driver → step, not step → driver — but the injector
+/// handle is, so the step can decide latency spikes (a device fault that
+/// must be applied inside the round, where the emulators live) and stamp
+/// recovery records for orphan re-dedication.
+pub struct StepLayers {
+    /// Bus seam; `None` skips lane bookkeeping entirely (the coordinator
+    /// reads instance traces directly, the pre-layer fast path).
+    pub(crate) bus: Option<Box<dyn BusTransport>>,
+    /// Enforcement seam.
+    pub(crate) enforcement: Box<dyn Enforcement>,
+    /// Chaos handle for latency decisions and recovery records; `None`
+    /// for plain wiring.
+    pub(crate) injector: Option<FaultInjector>,
+    /// Offset added to instance ids to form lane ids (decorrelates apps
+    /// sharing one fault plan in a campaign).
+    pub(crate) lane_base: u32,
+}
+
+impl std::fmt::Debug for StepLayers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StepLayers")
+            .field("bus", &self.bus.is_some())
+            .field("chaotic", &self.injector.is_some())
+            .field("lane_base", &self.lane_base)
+            .finish()
+    }
+}
+
+impl Default for StepLayers {
+    fn default() -> Self {
+        StepLayers::direct()
+    }
+}
+
+impl StepLayers {
+    /// The plain wiring: no bus decoration, direct enforcement, no
+    /// injector. Produces the pre-layer runtime byte-for-byte.
+    pub fn direct() -> Self {
+        StepLayers {
+            bus: None,
+            enforcement: Box::new(DirectEnforcement),
+            injector: None,
+            lane_base: 0,
+        }
+    }
+
+    /// The chaotic wiring: every seam consults `injector`, with lanes
+    /// offset by `lane_base`. An inert injector yields a run
+    /// field-by-field identical to [`StepLayers::direct`].
+    pub fn chaos(injector: &FaultInjector, lane_base: u32) -> Self {
+        StepLayers {
+            bus: Some(Box::new(FaultyBus::new(injector.clone()))),
+            enforcement: Box::new(
+                BroadcastEnforcement::new(injector.clone()).with_lane_base(lane_base),
+            ),
+            injector: Some(injector.clone()),
+            lane_base,
+        }
+    }
+
+    /// Latency-spike decision for `lane`'s round `round` (device seam;
+    /// applied by the step, which owns the emulator clocks).
+    pub(crate) fn latency_spike(
+        &self,
+        lane: u32,
+        round: u64,
+        now: VirtualTime,
+    ) -> Option<VirtualDuration> {
+        self.injector
+            .as_ref()
+            .and_then(|i| i.latency_spike(lane, round, now))
+    }
+
+    /// Records an orphaned-subspace re-dedication recovery, if a chaos
+    /// log is attached.
+    pub(crate) fn record_rededication(&self, since: VirtualTime, now: VirtualTime, heir_lane: u32) {
+        if let Some(i) = &self.injector {
+            i.record_recovery(
+                since,
+                now,
+                Some(heir_lane),
+                RecoveryKind::SubspaceRededicated,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taopt_toller::enforce::shared_block_list;
+    use taopt_toller::EntrypointRule;
+    use taopt_ui_model::AbstractScreenId;
+
+    #[test]
+    fn direct_enforcement_is_a_passthrough() {
+        let mut e = DirectEnforcement;
+        let actual = shared_block_list();
+        let handed = e.register(InstanceId(0), actual.clone());
+        handed
+            .write()
+            .block(EntrypointRule::new(AbstractScreenId(1), "w"));
+        // Writing to the handed-back list IS writing to the device list.
+        assert_eq!(actual.read().rules().len(), 1);
+        assert_eq!(e.reconcile(VirtualTime::ZERO), 0);
+        assert_eq!(e.reapplied(), 0);
+    }
+
+    #[test]
+    fn inert_bus_delivers_everything() {
+        let bus = InertBus;
+        for seq in 0..64 {
+            assert_eq!(bus.fate(3, seq, VirtualTime::ZERO), EventFate::Deliver);
+        }
+    }
+
+    #[test]
+    fn faulty_bus_with_inert_injector_delivers_everything() {
+        let bus = FaultyBus::new(FaultInjector::inert(7));
+        for seq in 0..64 {
+            assert_eq!(bus.fate(3, seq, VirtualTime::ZERO), EventFate::Deliver);
+        }
+    }
+}

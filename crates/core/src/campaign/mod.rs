@@ -8,21 +8,33 @@
 //! * [`step`] — [`step::SessionStep`], the reusable one-round driver
 //!   factored out of `session.rs` (`ParallelSession::run` is now a thin
 //!   loop over it);
+//! * [`layers`] — the seam layer traits ([`BusTransport`],
+//!   [`Enforcement`], plus the device seam in [`taopt_device::DevicePool`])
+//!   bundled as [`StepLayers`]: the step runs plain or chaotic depending
+//!   only on which implementations are plugged in;
 //! * [`lease`] — [`lease::LeaseLedger`], device → app ownership records
 //!   and lease-churn counters;
 //! * [`scheduler`] — [`scheduler::run_campaign`], the round loop:
 //!   parallel step phase, then a sequential boundary for leasing,
-//!   scheduled kills, replacements and session completion.
+//!   scheduled kills, rate-planned fault losses, replacements and session
+//!   completion. With [`scheduler::CampaignConfig::faults`] set, the whole
+//!   campaign runs under deterministic fault injection (a chaos campaign).
 //!
 //! See `DESIGN.md` §10 for the scheduler model and the determinism
-//! argument.
+//! argument, §12 for the layered runtime.
 
+pub mod layers;
 pub mod lease;
 pub mod scheduler;
 pub mod step;
 
+pub use layers::{BusTransport, DirectEnforcement, Enforcement, FaultyBus, InertBus, StepLayers};
 pub use lease::LeaseLedger;
 pub use scheduler::{
     run_campaign, AppReport, CampaignApp, CampaignConfig, CampaignResult, KillEvent,
 };
 pub use step::{instance_seed, MachineMeter, RoundOutcome, SessionFinish, SessionStep};
+
+// The bus seam re-decides `taopt_chaos::EventFate` per event; re-exported
+// so layer implementors need not depend on the chaos crate directly.
+pub use taopt_chaos::EventFate;

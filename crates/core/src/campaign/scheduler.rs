@@ -49,15 +49,23 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use taopt_app_sim::App;
-use taopt_device::{fair_targets_from, DeviceFarm};
+use taopt_chaos::{FaultInjector, FaultPlan, FaultStats, FaultyPool};
+use taopt_device::{fair_targets_from, DeviceFarm, DevicePool, PlainPool, PoolDecision};
 use taopt_ui_model::{Value, VirtualDuration, VirtualTime};
 
+use crate::campaign::layers::StepLayers;
 use crate::campaign::lease::LeaseLedger;
 use crate::campaign::step::{RoundOutcome, SessionStep};
 use crate::coordinator::CoordinatorEvent;
 use crate::resilience::{ReplacementQueue, RetryPolicy};
 use crate::session::{SessionConfig, SessionResult};
-use crate::streaming::CampaignBus;
+use crate::streaming::{CampaignBus, StreamStats};
+
+/// Lane offset between apps sharing one fault plan: app `i` draws its
+/// bus/latency/enforcement decisions from lanes `i << APP_LANE_SHIFT +
+/// instance`, so per-app fault streams are decorrelated yet reproducible.
+/// Requires every app's `d_max` to stay below `1 << APP_LANE_SHIFT`.
+const APP_LANE_SHIFT: u32 = 16;
 
 /// A deterministic mid-campaign device kill: at the end of global round
 /// `round`, the `victim % leased`-th currently leased device (in
@@ -97,6 +105,12 @@ pub struct CampaignConfig {
     /// Optional per-app-partitioned event bus; when set, every trace
     /// event is published on the app's partition.
     pub bus: Option<CampaignBus>,
+    /// Optional fault plan: when set, the whole campaign runs under
+    /// deterministic fault injection — the shared farm is wrapped in a
+    /// [`FaultyPool`] (allocation refusals, rate-planned device losses)
+    /// and every app's step gets the chaotic [`StepLayers`] on its own
+    /// lane range (bus fates, latency spikes, enforcement failures).
+    pub faults: Option<FaultPlan>,
     /// Hard stop (defensive; never reached by a healthy campaign).
     pub max_rounds: u64,
 }
@@ -109,6 +123,7 @@ impl Default for CampaignConfig {
             min_hold_rounds: 3,
             kills: Vec::new(),
             bus: None,
+            faults: None,
             max_rounds: 1_000_000,
         }
     }
@@ -127,6 +142,11 @@ pub struct AppReport {
     pub devices_lost: usize,
     /// Confirmed subspaces left without a live owner at the end.
     pub unresolved_orphans: usize,
+    /// Bus-repair counters across this app's instances (all zero without
+    /// a fault plan).
+    pub stream: StreamStats,
+    /// Enforcement deliveries that needed at least one retry.
+    pub enforcement_retries: usize,
     /// Global rounds this app sat with zero devices while unfinished.
     pub wait_rounds: u64,
     /// Global round at which the app finished.
@@ -161,6 +181,10 @@ pub struct CampaignResult {
     /// Work-steal count (not deterministic across worker counts; excluded
     /// from [`CampaignResult::coverage_report`]).
     pub steals: u64,
+    /// Aggregated fault/recovery statistics when a fault plan was set.
+    /// Order-independent counts only — the fault *log*'s interleaving is
+    /// thread-timing-dependent, so it stays out of compared reports.
+    pub fault_stats: Option<FaultStats>,
     /// Host-side milliseconds spent (informational only).
     pub host_ms: u64,
 }
@@ -267,6 +291,19 @@ impl CampaignResult {
                         "replacements".to_owned(),
                         Value::UInt(a.replacements as u64),
                     ),
+                    ("stream_gaps".to_owned(), Value::UInt(a.stream.gaps as u64)),
+                    (
+                        "stream_duplicates".to_owned(),
+                        Value::UInt(a.stream.duplicates as u64),
+                    ),
+                    (
+                        "stream_reordered".to_owned(),
+                        Value::UInt(a.stream.reordered as u64),
+                    ),
+                    (
+                        "enforcement_retries".to_owned(),
+                        Value::UInt(a.enforcement_retries as u64),
+                    ),
                     ("wait_rounds".to_owned(), Value::UInt(a.wait_rounds)),
                     ("finished_round".to_owned(), Value::UInt(a.finished_round)),
                     ("instances".to_owned(), Value::Array(instances)),
@@ -338,7 +375,14 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
     let tick = apps.iter().map(|a| a.config.tick).max().expect("non-empty");
     let total_want: usize = apps.iter().map(|a| a.config.instances).sum();
     let capacity = config.capacity.unwrap_or(total_want).max(1);
-    let mut farm = DeviceFarm::new(capacity);
+    let injector = config
+        .faults
+        .as_ref()
+        .map(|p| FaultInjector::new(p.clone()));
+    let mut pool: Box<dyn DevicePool> = match &injector {
+        Some(inj) => Box::new(FaultyPool::new(DeviceFarm::new(capacity), inj.clone())),
+        None => Box::new(PlainPool::new(capacity)),
+    };
     let mut ledger = LeaseLedger::new(apps.len());
     let retry = RetryPolicy {
         max_attempts: 6,
@@ -349,7 +393,14 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
         .enumerate()
         .map(|(i, a)| {
             let d_max = a.config.instances;
+            assert!(
+                d_max < (1usize << APP_LANE_SHIFT),
+                "app d_max must fit below the per-app lane range"
+            );
             let mut step = SessionStep::new(a.app, a.config).with_orphan_repair(true);
+            if let Some(inj) = &injector {
+                step = step.with_layers(StepLayers::chaos(inj, (i as u32) << APP_LANE_SHIFT));
+            }
             if let Some(bus) = &config.bus {
                 step = step.with_publisher(bus.sender(i));
             }
@@ -381,7 +432,8 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
     lease_boundary(
         &mut slots,
         &mut ledger,
-        &mut farm,
+        pool.as_mut(),
+        injector.as_ref(),
         round,
         VirtualTime::ZERO,
         config.min_hold_rounds,
@@ -427,11 +479,13 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
             s.done = out.done;
             for d in out.released {
                 ledger.release(d);
-                let _ = farm.deallocate(d, global_now);
+                pool.release(d, global_now);
             }
         }
 
-        // Boundary 2: scheduled device kills.
+        // Boundary 2: scheduled device kills, then rate-planned fault
+        // losses (empty without a fault plan). Both go through the same
+        // lease-kill → step-loss → replacement-queue path.
         if let Some(victims) = kills_by_round.remove(&round) {
             for v in victims {
                 let leased = ledger.leased_devices();
@@ -440,7 +494,7 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
                 }
                 let d = leased[(v as usize) % leased.len()];
                 let app = ledger.kill(d).expect("device was leased");
-                let _ = farm.kill(d, global_now);
+                pool.kill(d, global_now);
                 kills_counter.inc();
                 let s = slots[app].get_mut();
                 if let Some(step) = s.step.as_mut() {
@@ -449,6 +503,17 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
                 s.devices_lost += 1;
                 s.queue.device_lost(global_now);
             }
+        }
+        for d in pool.round_losses(round, global_now) {
+            let app = ledger.kill(d).expect("active device is leased");
+            pool.kill(d, global_now);
+            kills_counter.inc();
+            let s = slots[app].get_mut();
+            if let Some(step) = s.step.as_mut() {
+                step.lose_device(d);
+            }
+            s.devices_lost += 1;
+            s.queue.device_lost(global_now);
         }
 
         // Boundary 3: finish apps that reached their termination
@@ -460,7 +525,7 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
                 let fin = step.finish();
                 for d in fin.released {
                     ledger.release(d);
-                    let _ = farm.deallocate(d, global_now);
+                    pool.release(d, global_now);
                 }
                 s.report = Some(AppReport {
                     name: s.name.clone(),
@@ -468,6 +533,8 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
                     replacements: s.replacements,
                     devices_lost: s.devices_lost,
                     unresolved_orphans: fin.unresolved_orphans,
+                    stream: fin.stream,
+                    enforcement_retries: fin.enforcement_retries,
                     wait_rounds: s.wait_rounds,
                     finished_round: round,
                 });
@@ -482,7 +549,8 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
         lease_boundary(
             &mut slots,
             &mut ledger,
-            &mut farm,
+            pool.as_mut(),
+            injector.as_ref(),
             round,
             global_now,
             config.min_hold_rounds,
@@ -503,7 +571,7 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
             let fin = step.finish();
             for d in fin.released {
                 ledger.release(d);
-                let _ = farm.deallocate(d, end_now);
+                pool.release(d, end_now);
             }
             s.report = Some(AppReport {
                 name: s.name.clone(),
@@ -511,6 +579,8 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
                 replacements: s.replacements,
                 devices_lost: s.devices_lost,
                 unresolved_orphans: fin.unresolved_orphans,
+                stream: fin.stream,
+                enforcement_retries: fin.enforcement_retries,
                 wait_rounds: s.wait_rounds,
                 finished_round: round,
             });
@@ -527,12 +597,13 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
         wall_clock: tick * round,
         machine_time,
         capacity,
-        peak_active: farm.peak_active(),
+        peak_active: pool.peak_active(),
         grants: ledger.grants(),
         revocations,
         lease_conflicts: ledger.conflicts(),
-        farm_active_at_end: farm.active_count(),
+        farm_active_at_end: pool.active_count(),
         steals: steals.load(Ordering::Relaxed),
+        fault_stats: injector.as_ref().map(|i| i.stats()),
         host_ms: host_start.elapsed().as_millis() as u64,
         apps: reports,
     }
@@ -584,7 +655,8 @@ fn advance_parallel(slots: &[Mutex<Slot>], runnable: &[usize], workers: usize, s
 fn lease_boundary(
     slots: &mut [Mutex<Slot>],
     ledger: &mut LeaseLedger,
-    farm: &mut DeviceFarm,
+    pool: &mut dyn DevicePool,
+    injector: Option<&FaultInjector>,
     round: u64,
     global_now: VirtualTime,
     min_hold_rounds: u64,
@@ -613,7 +685,7 @@ fn lease_boundary(
     let desired: Vec<usize> = (0..n)
         .map(|i| (ledger.holdings(i) + want[i]).min(slots[i].get_mut().d_max))
         .collect();
-    let mut targets = fair_targets_from(farm.capacity(), &desired, (round as usize) % n.max(1));
+    let mut targets = fair_targets_from(pool.capacity(), &desired, (round as usize) % n.max(1));
 
     // Starvation repair: a starved app with a positive fair share may
     // revoke from a donor when the farm is exhausted.
@@ -621,7 +693,7 @@ fn lease_boundary(
         .filter(|&i| want[i] > 0 && ledger.holdings(i) == 0 && targets[i] > 0)
         .collect();
     for _ in &starved {
-        if farm.active_count() < farm.capacity() {
+        if pool.active_count() < pool.capacity() {
             break; // free capacity serves the starved app directly
         }
         // Donor: over-target holders first, then any holder past the
@@ -657,7 +729,7 @@ fn lease_boundary(
             break;
         };
         ledger.release(d);
-        let _ = farm.deallocate(d, global_now);
+        pool.release(d, global_now);
         *revocations += 1;
         revocations_counter.inc();
         // The donor sits this boundary out so the freed slot reaches the
@@ -688,18 +760,34 @@ fn lease_boundary(
             }
         }
         let Some((_, _, i)) = pick else { break };
-        let Ok(device) = farm.allocate(global_now) else {
-            break;
+        let device = match pool.allocate(global_now) {
+            PoolDecision::Granted(d) => d,
+            PoolDecision::Refused => {
+                // The cloud refused this app's attempt; it re-demands next
+                // boundary. Zeroing `want` guarantees the loop progresses
+                // even at pathological refusal rates.
+                want[i] = 0;
+                continue;
+            }
+            PoolDecision::Exhausted => break,
         };
         ledger.grant(i, device);
         let s = slots[i].get_mut();
-        s.step.as_mut().expect("live").grant(device);
+        let iid = s.step.as_mut().expect("live").grant(device);
         s.last_grant_round = round;
         want[i] -= 1;
         if !due[i].is_empty() {
-            due[i].remove(0);
+            let req = due[i].remove(0);
             s.replacements += 1;
             replacements_counter.inc();
+            if let Some(inj) = injector {
+                inj.record_recovery(
+                    req.lost_at,
+                    global_now,
+                    Some(((i as u32) << APP_LANE_SHIFT) + iid.0),
+                    taopt_chaos::RecoveryKind::DeviceReallocated,
+                );
+            }
         }
     }
 

@@ -12,6 +12,12 @@
 //! farm, so per-app resource budgets keep working when the farm is shared
 //! by the whole campaign. Driven by a farm of capacity `d_max`, the step
 //! reproduces the legacy session loop event-for-event.
+//!
+//! Fault behaviour is not a separate runtime: a [`StepLayers`] bundle
+//! plugs one implementation per seam (bus transport, enforcement channel,
+//! plus the chaos handle for latency spikes and recovery records) into
+//! the same round body, so plain, chaos and campaign runs differ only in
+//! wiring (DESIGN.md §12).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -23,9 +29,12 @@ use taopt_toller::{EntrypointRule, EventSender, InstanceId, InstrumentedInstance
 use taopt_ui_model::abstraction::abstract_hierarchy;
 use taopt_ui_model::{ActivityId, ScreenId, VirtualDuration, VirtualTime};
 
+use crate::analyzer::SubspaceId;
+use crate::campaign::layers::StepLayers;
 use crate::coordinator::TestCoordinator;
 use crate::metrics::curves::CurvePoint;
 use crate::session::{InstanceResult, RunMode, SessionConfig, SessionResult};
+use crate::streaming::{BusLane, StreamStats};
 
 /// Decorrelated per-instance seed stream (shared by every session flavor
 /// so serial, chaos and campaign runs boot identical instances).
@@ -96,6 +105,12 @@ pub struct SessionFinish {
     /// Confirmed subspaces left without a live owner (measured after the
     /// final repair pass, before the drain) — the liveness invariant.
     pub unresolved_orphans: usize,
+    /// Bus-repair counters summed over every lane this session ran
+    /// (all-zero when the bus layer was off or the plan stayed inert).
+    pub stream: StreamStats,
+    /// Enforcement deliveries that needed at least one retry (zero under
+    /// direct wiring).
+    pub enforcement_retries: usize,
 }
 
 /// One live instance plus scheduling bookkeeping.
@@ -110,6 +125,10 @@ struct ActiveInstance {
     jump_cursor: usize,
     /// Trace events already forwarded to the campaign bus.
     forwarded: usize,
+    /// Bus-seam lane state (present iff the layer bundle has a bus
+    /// transport): the coordinator then analyzes the lane's repaired
+    /// coordinator-view trace instead of the instance trace.
+    bus: Option<BusLane>,
 }
 
 /// Activity-partition plan: round-robin activity ownership plus static
@@ -193,6 +212,16 @@ pub struct SessionStep {
     /// (campaign behavior; the legacy serial session leaves them).
     repair_orphans: bool,
     publisher: Option<EventSender>,
+    /// Seam layer bundle (bus transport, enforcement channel, chaos
+    /// handle); [`StepLayers::direct`] unless a driver plugs in more.
+    layers: StepLayers,
+    /// Rounds advanced so far; keys per-round fault decisions (latency).
+    round: u64,
+    /// When each currently orphaned subspace became orphaned, so a repair
+    /// can be recorded with its true recovery latency.
+    orphaned_since: BTreeMap<SubspaceId, VirtualTime>,
+    /// Bus-repair counters folded in from retired lanes.
+    stream_total: StreamStats,
     round_counter: Counter,
     cover_counter: Counter,
     coordinator_errors: Counter,
@@ -245,6 +274,10 @@ impl SessionStep {
             pending_growth: 0,
             repair_orphans: false,
             publisher: None,
+            layers: StepLayers::direct(),
+            round: 0,
+            orphaned_since: BTreeMap::new(),
+            stream_total: StreamStats::default(),
             round_counter: telemetry.counter("session_rounds_total"),
             cover_counter: telemetry.counter("cover_events_total"),
             coordinator_errors: telemetry.counter("coordinator_errors_total"),
@@ -261,6 +294,13 @@ impl SessionStep {
     /// Publishes every trace event onto a campaign bus partition.
     pub fn with_publisher(mut self, publisher: EventSender) -> Self {
         self.publisher = Some(publisher);
+        self
+    }
+
+    /// Plugs in a seam layer bundle ([`StepLayers::chaos`] for fault
+    /// injection; the default is [`StepLayers::direct`]).
+    pub fn with_layers(mut self, layers: StepLayers) -> Self {
+        self.layers = layers;
         self
     }
 
@@ -309,7 +349,9 @@ impl SessionStep {
     }
 
     /// Boots a new instance on a granted device at the local clock.
-    pub fn grant(&mut self, device: DeviceId) {
+    /// Returns the booted instance's id (drivers use it to label
+    /// replacement recoveries).
+    pub fn grant(&mut self, device: DeviceId) -> InstanceId {
         debug_assert!(
             self.active.len() < self.config.instances,
             "grant beyond d_max"
@@ -343,7 +385,14 @@ impl SessionStep {
             owned_screens = plan.screens[slot].clone();
         }
         if self.config.mode.uses_taopt() {
-            self.coordinator.register_instance(iid, inst.blocklist());
+            // The enforcement layer decides what the coordinator writes
+            // into: the device list itself (direct wiring) or a shadow
+            // reconciled through the broadcast channel. Provisioning then
+            // gives every catch-up rule one immediate delivery attempt, so
+            // under fault-free wiring a new device starts fully configured.
+            let intent = self.layers.enforcement.register(iid, inst.blocklist());
+            self.coordinator.register_instance(iid, intent);
+            self.layers.enforcement.provision(iid, self.now);
         }
         // Startup (and auto-login) coverage happens at boot, before the
         // first tool step; account it like any other cover event.
@@ -365,15 +414,31 @@ impl SessionStep {
             owned_screens,
             jump_cursor: 0,
             forwarded: 0,
+            bus: self.layers.bus.is_some().then(BusLane::new),
         });
+        iid
     }
 
     /// Advances the session by one lock-step round of `tick`.
     pub fn advance_round(&mut self) -> RoundOutcome {
         self.now += self.config.tick;
+        self.round += 1;
         self.round_counter.inc();
         self.concurrency_timeline
             .push((self.now, self.active.len()));
+
+        // Device seam, latency: spikes are decided by the fault plan but
+        // applied here, where the emulator clocks live — the device
+        // stalls before it runs its round.
+        if self.layers.injector.is_some() {
+            for a in self.active.iter_mut() {
+                let lane = self.layers.lane_base + a.inst.id().0;
+                if let Some(extra) = self.layers.latency_spike(lane, self.round, self.now) {
+                    a.inst.emulator_mut().idle(extra);
+                }
+            }
+        }
+
         let deadline = if self.config.mode == RunMode::TaoptResource {
             self.now
         } else {
@@ -414,6 +479,16 @@ impl SessionStep {
                 a.forwarded = a.inst.trace().len();
             }
         }
+        // Bus seam: push new trace events through the transport; the
+        // lane repairs the survivors into the coordinator-view trace.
+        if let Some(bus) = &self.layers.bus {
+            for a in self.active.iter_mut() {
+                if let Some(lane_state) = a.bus.as_mut() {
+                    let lane = self.layers.lane_base + a.inst.id().0;
+                    lane_state.pump(bus.as_ref(), lane, a.inst.trace(), self.now);
+                }
+            }
+        }
         round_events.sort_by_key(|(t, _)| *t);
         self.cover_counter.add(round_events.len() as u64);
         let consumed = self.meter.consumed_as_of(self.now);
@@ -435,10 +510,14 @@ impl SessionStep {
                 .at(self.now)
                 .enter();
             for a in self.active.iter() {
-                match self
-                    .coordinator
-                    .process_trace(a.inst.id(), a.inst.trace(), self.now)
-                {
+                // With the bus layer engaged the coordinator sees only
+                // what survived the transport, in repaired order.
+                let view = a
+                    .bus
+                    .as_ref()
+                    .map(|lane| lane.coord_trace())
+                    .unwrap_or_else(|| a.inst.trace());
+                match self.coordinator.process_trace(a.inst.id(), view, self.now) {
                     Ok(confirmed) => newly_confirmed += confirmed.len(),
                     // A dedication failure is an internal-invariant breach;
                     // the session degrades to uncoordinated exploration for
@@ -505,12 +584,30 @@ impl SessionStep {
             }
         }
 
-        // Campaign-mode orphan repair: confirmed subspaces whose owner
-        // died without an heir are re-dedicated to a live instance.
-        if self.repair_orphans && self.config.mode.uses_taopt() {
+        // Orphan repair: confirmed subspaces whose owner died without an
+        // heir are re-dedicated to a live instance. `has_orphans` keeps
+        // the common empty case allocation-free.
+        if self.repair_orphans && self.config.mode.uses_taopt() && self.coordinator.has_orphans() {
             for sid in self.coordinator.orphaned_subspaces() {
-                let _ = self.coordinator.rededicate(sid, self.now);
+                self.orphaned_since.entry(sid).or_insert(self.now);
             }
+            for sid in self.coordinator.orphaned_subspaces() {
+                if let Some(heir) = self.coordinator.rededicate(sid, self.now) {
+                    let since = self.orphaned_since.remove(&sid).unwrap_or(self.now);
+                    self.layers.record_rededication(
+                        since,
+                        self.now,
+                        self.layers.lane_base + heir.0,
+                    );
+                }
+            }
+        }
+
+        // Enforcement seam: propagate intended rules onto devices,
+        // retrying failed broadcasts from previous rounds (a no-op under
+        // direct wiring, where intent and device list are the same).
+        if self.config.mode.uses_taopt() {
+            self.layers.enforcement.reconcile(self.now);
         }
 
         // Termination + growth bookkeeping.
@@ -560,7 +657,14 @@ impl SessionStep {
             // Give orphans one last chance while instances are still
             // registered, then measure the invariant.
             for sid in self.coordinator.orphaned_subspaces() {
-                let _ = self.coordinator.rededicate(sid, self.now);
+                let since = self.orphaned_since.remove(&sid).unwrap_or(self.now);
+                if let Some(heir) = self.coordinator.rededicate(sid, self.now) {
+                    self.layers.record_rededication(
+                        since,
+                        self.now,
+                        self.layers.lane_base + heir.0,
+                    );
+                }
             }
         }
         let unresolved_orphans = if uses_taopt {
@@ -597,6 +701,8 @@ impl SessionStep {
             result,
             released,
             unresolved_orphans,
+            stream: self.stream_total,
+            enforcement_retries: self.layers.enforcement.reapplied(),
         }
     }
 
@@ -610,6 +716,13 @@ impl SessionStep {
             }
             a.forwarded = a.inst.trace().len();
         }
+        if let Some(mut lane) = a.bus.take() {
+            // Deliver everything still in flight, then fold the lane's
+            // repair counters into the session total.
+            lane.flush();
+            self.stream_total = self.stream_total.merged(lane.stats());
+        }
+        self.layers.enforcement.unregister(a.inst.id());
         self.meter.stop(a.device, now);
         taopt_telemetry::global()
             .counter("instances_deallocated_total")

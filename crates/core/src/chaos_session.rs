@@ -1,44 +1,46 @@
 //! Parallel sessions under deterministic fault injection.
 //!
 //! [`run_with_chaos`] is the chaos-mode counterpart of
-//! [`crate::session::ParallelSession::run`]: the same lock-step
-//! virtual-time loop, but every seam a real testing cloud can break is
-//! routed through a [`FaultInjector`]:
+//! [`crate::session::ParallelSession::run`]. Both are thin drivers over
+//! the one round engine, [`crate::campaign::SessionStep`]; the only
+//! difference is which implementation is plugged into each seam layer:
 //!
-//! * **device farm** — instances can lose their device mid-run,
-//!   allocation attempts can be refused, actions can hit latency spikes;
-//! * **event bus** — the coordinator does not read instance traces
-//!   directly; it sees only the events that survive the bus (drops,
-//!   duplicates, delays), repaired into order by sequence numbers
-//!   ([`crate::streaming`]'s repair layer);
-//! * **enforcement** — block-rule broadcasts go through an
-//!   [`EnforcementBroadcaster`] and may fail to apply, being retried
-//!   idempotently until acknowledged.
+//! * **device seam** ([`taopt_device::DevicePool`]) — here a
+//!   [`taopt_chaos::FaultyPool`], so allocation attempts can be refused
+//!   and live devices can be killed on the fault schedule; the plain
+//!   driver uses [`taopt_device::PlainPool`];
+//! * **bus seam** ([`crate::campaign::BusTransport`]) — a `FaultyBus`
+//!   decides a fate (drop / duplicate / delay) per stamped event; the
+//!   coordinator sees only the repaired coordinator-view trace
+//!   ([`crate::streaming`]'s sequence-order repair);
+//! * **enforcement seam** ([`crate::campaign::Enforcement`]) — block-rule
+//!   intent goes to a shadow list and an [`EnforcementBroadcaster`]
+//!   reconciles it onto devices through the failure-prone channel,
+//!   retrying idempotently until acknowledged.
 //!
-//! The self-healing policies are the ones ISSUE'd by the paper's
+//! The self-healing policies are the ones demanded by the paper's
 //! deployment reality: lost devices are re-allocated with bounded
 //! retry/backoff, orphaned subspaces are re-dedicated to survivors, and
 //! no fault can make the session exceed `d_max` or run past its budget.
-//! With an inert injector the run degenerates to a plain coordinated
-//! session, which is the fault-free baseline chaos experiments compare
-//! against.
+//! With an inert injector every layer is observably a no-op and the run
+//! is **field-for-field equal** to a plain [`ParallelSession::run`] —
+//! the fault-free baseline chaos experiments compare against (and the
+//! parity test below pins).
+//!
+//! [`ParallelSession::run`]: crate::session::ParallelSession::run
+//! [`EnforcementBroadcaster`]: crate::resilience::EnforcementBroadcaster
 
-use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use taopt_app_sim::{App, MethodId};
-use taopt_chaos::{EventFate, FaultInjector, FaultLog, FaultStats, RecoveryKind};
-use taopt_device::DeviceFarm;
-use taopt_telemetry::Labels;
-use taopt_toller::{InstanceId, InstrumentedInstance};
-use taopt_ui_model::{Trace, TraceEvent, VirtualTime};
+use taopt_app_sim::App;
+use taopt_chaos::{FaultInjector, FaultLog, FaultStats, FaultyPool, RecoveryKind};
+use taopt_device::{DeviceFarm, DevicePool, PoolDecision};
 
-use crate::analyzer::SubspaceId;
-use crate::coordinator::TestCoordinator;
-use crate::metrics::curves::CurvePoint;
-use crate::resilience::{EnforcementBroadcaster, ReplacementQueue, RetryPolicy};
-use crate::session::{InstanceResult, SessionConfig, SessionResult};
-use crate::streaming::{Reorder, StreamStats};
+use crate::campaign::{SessionStep, StepLayers};
+use crate::resilience::{ReplacementQueue, RetryPolicy};
+use crate::session::{RunMode, SessionConfig, SessionResult};
+use crate::streaming::StreamStats;
+use taopt_ui_model::VirtualTime;
 
 /// Everything a chaos run produces: the ordinary session result plus the
 /// fault/recovery audit trail.
@@ -66,490 +68,110 @@ pub struct ChaosReport {
     pub unresolved_orphans: usize,
 }
 
-/// One live instance plus its chaos bookkeeping.
-struct ChaosInstance {
-    inst: InstrumentedInstance,
-    device: taopt_device::DeviceId,
-    allocated_at: VirtualTime,
-    last_new_screen: VirtualTime,
-    cover_events: Vec<(VirtualTime, MethodId)>,
-    /// Trace events already forwarded onto the (faulty) bus.
-    forwarded: usize,
-    /// Next sequence number to stamp.
-    seq: u64,
-    /// Events held back by a delay fault, re-sent next round.
-    delayed: Vec<(u64, TraceEvent)>,
-    /// Sequence-order repair for the coordinator-view trace.
-    repair: Reorder,
-    /// What the coordinator actually sees of this instance.
-    coord_trace: Trace,
-    stream: StreamStats,
-}
-
-impl ChaosInstance {
-    /// Forwards new trace events through the bus seam and appends the
-    /// survivors (in repaired order) to the coordinator-view trace.
-    fn pump_bus(&mut self, injector: &FaultInjector, now: VirtualTime) {
-        let iid = self.inst.id().0;
-        let gaps_before = self.stream.gaps;
-        let mut batch: Vec<(u64, TraceEvent)> = std::mem::take(&mut self.delayed);
-        for ev in &self.inst.trace().events()[self.forwarded..] {
-            let seq = self.seq;
-            self.seq += 1;
-            match injector.event_fate(iid, seq, now) {
-                EventFate::Deliver => batch.push((seq, ev.clone())),
-                EventFate::Drop => {}
-                EventFate::Duplicate => {
-                    batch.push((seq, ev.clone()));
-                    batch.push((seq, ev.clone()));
-                }
-                EventFate::Delay => self.delayed.push((seq, ev.clone())),
-            }
-        }
-        self.forwarded = self.inst.trace().len();
-        let published = batch.len() as u64;
-        let mut consumed = 0u64;
-        for (seq, ev) in batch {
-            for ready in self.repair.accept(seq, ev, &mut self.stream) {
-                self.coord_trace.push(ready);
-                consumed += 1;
-            }
-        }
-        // Mirror the streaming path's bus accounting so chaos and clean
-        // sessions expose the same series.
-        let telemetry = taopt_telemetry::global();
-        telemetry
-            .counter_labeled("bus_events_published_total", Labels::seam("bus"))
-            .add(published);
-        telemetry
-            .counter("stream_events_consumed_total")
-            .add(consumed);
-        for gap in gaps_before..self.stream.gaps {
-            let _ = gap;
-            injector.record_recovery(now, now, Some(iid), RecoveryKind::StreamRepaired);
-        }
-    }
-
-    /// Delivers everything still in flight (end of life for the stream).
-    fn flush_bus(&mut self, injector: &FaultInjector, now: VirtualTime) {
-        for (seq, ev) in std::mem::take(&mut self.delayed) {
-            for ready in self.repair.accept(seq, ev, &mut self.stream) {
-                self.coord_trace.push(ready);
-            }
-        }
-        for ready in self.repair.flush(&mut self.stream) {
-            self.coord_trace.push(ready);
-        }
-        let _ = (injector, now);
-    }
-}
-
 /// Runs a fault-injected parallel session to completion.
 ///
-/// Supports the duration-bounded modes ([`crate::session::RunMode`]
-/// `Baseline` and `TaoptDuration`; the coordinator runs only for TaOPT
-/// modes). The run is fully deterministic given `config.seed` and the
-/// injector's plan seed.
+/// All [`RunMode`]s are supported; the run is fully deterministic given
+/// `config.seed` and the injector's plan seed. The loop below is pure
+/// device-seam policy — boot, replace, kill — with every in-round fault
+/// (latency, bus, enforcement) handled inside
+/// [`SessionStep::advance_round`] by the chaos [`StepLayers`].
 pub fn run_with_chaos(
     app: Arc<App>,
     config: &SessionConfig,
     injector: &FaultInjector,
 ) -> ChaosReport {
-    let mut farm = DeviceFarm::new(config.instances);
-    let mut coordinator =
-        TestCoordinator::new(config.analyzer.clone()).with_stall_timeout(config.stall_timeout);
-    let mut broadcaster = EnforcementBroadcaster::new();
+    let telemetry = taopt_telemetry::global();
+    telemetry.counter("chaos_sessions_started_total").inc();
+    let round_counter = telemetry.counter("chaos_rounds_total");
+
+    let mut pool = FaultyPool::new(DeviceFarm::new(config.instances), injector.clone());
+    let mut step = SessionStep::new(app, config.clone())
+        .with_layers(StepLayers::chaos(injector, 0))
+        .with_orphan_repair(true);
     let mut replacements = ReplacementQueue::new(RetryPolicy {
         max_attempts: 6,
         backoff: config.tick,
     });
-    let mut active: Vec<ChaosInstance> = Vec::new();
-    let mut finished: Vec<InstanceResult> = Vec::new();
-    let mut next_instance = 0u32;
-    let mut union: BTreeSet<MethodId> = BTreeSet::new();
-    let mut union_curve: Vec<CurvePoint> = Vec::new();
-    let mut pending_boot: Vec<(VirtualTime, MethodId)> = Vec::new();
-    let mut concurrency_timeline: Vec<(VirtualTime, usize)> = Vec::new();
-    let mut orphaned_since: BTreeMap<SubspaceId, VirtualTime> = BTreeMap::new();
     let mut replaced = 0usize;
-    let mut now = VirtualTime::ZERO;
-    let end_at = VirtualTime::ZERO + config.duration;
-    let uses_taopt = config.mode.uses_taopt();
+    // A resource-mode session that can never hold a device (pathological
+    // refusal rates) would never burn its machine budget; bound it by
+    // wall clock with headroom for a fully serialized burn-down.
+    let wall_cap =
+        VirtualTime::ZERO + config.duration * (config.instances as u64).max(1) * 4 + config.tick;
 
-    // Boot helper: allocates a device (the caller has already cleared the
-    // refusal seam) and wires the instance through the broadcaster.
-    let boot = |farm: &mut DeviceFarm,
-                coordinator: &mut TestCoordinator,
-                broadcaster: &mut EnforcementBroadcaster,
-                active: &mut Vec<ChaosInstance>,
-                next_instance: &mut u32,
-                pending_boot: &mut Vec<(VirtualTime, MethodId)>,
-                now: VirtualTime|
-     -> bool {
-        let Ok(device) = farm.allocate(now) else {
-            return false;
-        };
-        let iid = InstanceId(*next_instance);
-        *next_instance += 1;
-        let seed = crate::campaign::instance_seed(config.seed, iid);
-        let inst = InstrumentedInstance::boot_with(
-            iid,
-            device,
-            Arc::clone(&app),
-            config.tool.build(seed),
-            seed ^ 0xabcd,
-            now,
-            config.emulator,
-        );
-        if uses_taopt {
-            // The coordinator writes intent to a shadow list; the
-            // broadcaster reconciles it onto the device through the
-            // failure-prone enforcement channel.
-            let shadow = broadcaster.register(iid, inst.blocklist());
-            coordinator.register_instance(iid, shadow);
-        }
-        let boot_covered: Vec<(VirtualTime, MethodId)> = inst
-            .emulator()
-            .coverage()
-            .covered()
-            .iter()
-            .map(|m| (now, *m))
-            .collect();
-        pending_boot.extend(boot_covered.iter().copied());
-        active.push(ChaosInstance {
-            inst,
-            device,
-            allocated_at: now,
-            last_new_screen: now,
-            cover_events: boot_covered,
-            forwarded: 0,
-            seq: 0,
-            delayed: Vec::new(),
-            repair: Reorder::default(),
-            coord_trace: Trace::new(),
-            stream: StreamStats::default(),
-        });
-        true
-    };
-
-    let retire = |mut a: ChaosInstance,
-                  device_alive: bool,
-                  farm: &mut DeviceFarm,
-                  coordinator: &mut TestCoordinator,
-                  broadcaster: &mut EnforcementBroadcaster,
-                  finished: &mut Vec<InstanceResult>,
-                  now: VirtualTime| {
-        a.flush_bus(injector, now);
-        if device_alive {
-            let _ = farm.deallocate(a.device, now);
-        }
-        if uses_taopt {
-            let visited: BTreeSet<_> = a
-                .inst
-                .trace()
-                .events()
-                .iter()
-                .map(|e| e.abstract_id)
-                .collect();
-            coordinator.unregister_instance_with_trace(a.inst.id(), &visited);
-            broadcaster.unregister(a.inst.id());
-        }
-        let em = a.inst.emulator();
-        finished.push(InstanceResult {
-            instance: a.inst.id(),
-            allocated_at: a.allocated_at,
-            deallocated_at: now,
-            covered: em.coverage().covered().clone(),
-            cover_events: a.cover_events.clone(),
-            crashes: em.crashes().unique_crashes().clone(),
-            crash_occurrences: em.crashes().occurrences().to_vec(),
-            device: a.device,
-            trace: a.inst.trace().clone(),
-        });
-        a.stream
-    };
-
-    for _ in 0..config.instances {
-        if injector.refuse_allocation(now) {
-            replacements.device_lost(now);
-            continue;
-        }
-        boot(
-            &mut farm,
-            &mut coordinator,
-            &mut broadcaster,
-            &mut active,
-            &mut next_instance,
-            &mut pending_boot,
-            now,
-        );
-    }
-
-    let telemetry = taopt_telemetry::global();
-    telemetry.counter("chaos_sessions_started_total").inc();
-    let round_counter = telemetry.counter("chaos_rounds_total");
-    let cover_counter = telemetry.counter("cover_events_total");
-    let coordinator_errors = telemetry.counter("coordinator_errors_total");
-
-    let mut stream_total = StreamStats::default();
     let mut round = 0u64;
     loop {
         round += 1;
-        round_counter.inc();
-        now += config.tick;
-        concurrency_timeline.push((now, active.len()));
-        let deadline = now.min(end_at);
-
-        // Latency spikes stall the device before it runs its round.
-        for a in active.iter_mut() {
-            if let Some(extra) = injector.latency_spike(a.inst.id().0, round, now) {
-                a.inst.emulator_mut().idle(extra);
+        // Device seam, replacements first: each lost device owes one
+        // recovery-tracked re-allocation, retried with backoff and
+        // abandoned after the retry budget. `d_max` is a hard ceiling.
+        for req in replacements.due(step.now()) {
+            if step.active_count() >= config.instances {
+                replacements.defer(req, step.now());
+                continue;
             }
-        }
-
-        // Step every instance to the round boundary.
-        let mut round_events: Vec<(VirtualTime, MethodId)> = std::mem::take(&mut pending_boot);
-        for a in active.iter_mut() {
-            for r in a.inst.run_until(deadline) {
-                if !r.newly_covered.is_empty() || r.new_screen {
-                    a.last_new_screen = r.time;
-                }
-                for m in &r.newly_covered {
-                    a.cover_events.push((r.time, *m));
-                    round_events.push((r.time, *m));
-                }
-            }
-        }
-        round_events.sort_by_key(|(t, _)| *t);
-        cover_counter.add(round_events.len() as u64);
-        let consumed = farm.consumed_as_of(now);
-        for (t, m) in round_events {
-            if union.insert(m) {
-                union_curve.push(CurvePoint {
-                    time: t,
-                    covered: union.len(),
-                    machine_time: consumed,
-                });
-            }
-        }
-
-        // Device-loss seam: kill scheduled victims; their unfinished
-        // subspaces are settled by the coordinator and a replacement is
-        // queued with bounded retry/backoff.
-        let mut i = 0;
-        while i < active.len() {
-            let iid = active[i].inst.id().0;
-            if injector.device_loss(iid, round, now) {
-                let a = active.swap_remove(i);
-                let _ = farm.kill(a.device, now);
-                stream_total = add_stream(
-                    stream_total,
-                    retire(
-                        a,
-                        false,
-                        &mut farm,
-                        &mut coordinator,
-                        &mut broadcaster,
-                        &mut finished,
-                        now,
-                    ),
-                );
-                replacements.device_lost(now);
-            } else {
-                i += 1;
-            }
-        }
-
-        // Bus seam: forward surviving events, then let the coordinator
-        // analyze the repaired coordinator-view traces.
-        for a in active.iter_mut() {
-            a.pump_bus(injector, now);
-            if uses_taopt
-                && coordinator
-                    .process_trace(a.inst.id(), &a.coord_trace, now)
-                    .is_err()
-            {
-                // A failed dedication degrades this round to uncoordinated
-                // exploration; the session keeps running.
-                coordinator_errors.inc();
-            }
-        }
-
-        // Orphan repair: any confirmed subspace whose owner died without
-        // an heir is re-dedicated to a live instance.
-        if uses_taopt {
-            for sid in coordinator.orphaned_subspaces() {
-                orphaned_since.entry(sid).or_insert(now);
-            }
-            for sid in coordinator.orphaned_subspaces() {
-                if let Some(heir) = coordinator.rededicate(sid, now) {
-                    let since = orphaned_since.remove(&sid).unwrap_or(now);
+            match pool.allocate(step.now()) {
+                PoolDecision::Granted(device) => {
+                    let iid = step.grant(device);
+                    replaced += 1;
                     injector.record_recovery(
-                        since,
-                        now,
-                        Some(heir.0),
-                        RecoveryKind::SubspaceRededicated,
+                        req.lost_at,
+                        step.now(),
+                        Some(iid.0),
+                        RecoveryKind::DeviceReallocated,
                     );
                 }
+                _ => replacements.defer(req, step.now()),
+            }
+        }
+        // Plain top-up to the step's demand, leaving headroom for
+        // replacements still backing off. A refusal here simply retries
+        // next round (demand persists), without replacement bookkeeping.
+        while step.demand() > replacements.outstanding() {
+            match pool.allocate(step.now()) {
+                PoolDecision::Granted(device) => {
+                    step.grant(device);
+                }
+                _ => break,
             }
         }
 
-        // Enforcement seam: push intended rules onto devices, retrying
-        // failed broadcasts from previous rounds.
-        if uses_taopt {
-            broadcaster.reconcile(injector, now);
+        round_counter.inc();
+        let out = step.advance_round();
+        // Stall-released devices go back before victims are drawn, so a
+        // device cannot be "killed" after its instance already retired.
+        for d in out.released {
+            pool.release(d, step.now());
         }
-
-        // Stall-based deallocation (TaOPT policy), then termination.
-        if uses_taopt {
-            let mut i = 0;
-            while i < active.len() {
-                if coordinator.should_deallocate(active[i].last_new_screen, now) {
-                    let a = active.swap_remove(i);
-                    stream_total = add_stream(
-                        stream_total,
-                        retire(
-                            a,
-                            true,
-                            &mut farm,
-                            &mut coordinator,
-                            &mut broadcaster,
-                            &mut finished,
-                            now,
-                        ),
-                    );
-                } else {
-                    i += 1;
-                }
+        // Device seam, losses: the schedule picks victims among devices
+        // still active; the pool charges and frees the slot, the step
+        // settles the instance, and a replacement is queued.
+        for device in pool.round_losses(round, step.now()) {
+            pool.kill(device, step.now());
+            if step.lose_device(device) {
+                replacements.device_lost(step.now());
             }
         }
-        if now >= end_at {
+        if out.done || (config.mode == RunMode::TaoptResource && step.now() >= wall_cap) {
             break;
         }
-
-        // Re-allocation: queued replacements first (recovery-tracked),
-        // then plain top-up to d_max for stall-deallocated slots. Every
-        // attempt passes the refusal seam; d_max is a hard ceiling.
-        for req in replacements.due(now) {
-            if active.len() >= config.instances {
-                replacements.defer(req, now);
-                continue;
-            }
-            if injector.refuse_allocation(now) {
-                replacements.defer(req, now);
-                continue;
-            }
-            if boot(
-                &mut farm,
-                &mut coordinator,
-                &mut broadcaster,
-                &mut active,
-                &mut next_instance,
-                &mut pending_boot,
-                now,
-            ) {
-                replaced += 1;
-                let latency_anchor = req.lost_at;
-                let new_iid = next_instance - 1;
-                injector.record_recovery(
-                    latency_anchor,
-                    now,
-                    Some(new_iid),
-                    RecoveryKind::DeviceReallocated,
-                );
-            } else {
-                replacements.defer(req, now);
-            }
-        }
-        while active.len() + replacements.outstanding() < config.instances {
-            if injector.refuse_allocation(now) {
-                break; // retried implicitly next round
-            }
-            if !boot(
-                &mut farm,
-                &mut coordinator,
-                &mut broadcaster,
-                &mut active,
-                &mut next_instance,
-                &mut pending_boot,
-                now,
-            ) {
-                break;
-            }
-        }
     }
 
-    // Give orphans one last chance while instances are still registered,
-    // then measure the invariant.
-    if uses_taopt {
-        for sid in coordinator.orphaned_subspaces() {
-            let since = orphaned_since.remove(&sid).unwrap_or(now);
-            if let Some(heir) = coordinator.rededicate(sid, now) {
-                injector.record_recovery(
-                    since,
-                    now,
-                    Some(heir.0),
-                    RecoveryKind::SubspaceRededicated,
-                );
-            }
-        }
+    let end = step.now();
+    let fin = step.finish();
+    for d in fin.released {
+        pool.release(d, end);
     }
-    let unresolved_orphans = if uses_taopt {
-        coordinator.orphaned_subspaces().len()
-    } else {
-        0
-    };
-
-    let end = now;
-    for a in active.drain(..) {
-        stream_total = add_stream(
-            stream_total,
-            retire(
-                a,
-                true,
-                &mut farm,
-                &mut coordinator,
-                &mut broadcaster,
-                &mut finished,
-                end,
-            ),
-        );
-    }
-    finished.sort_by_key(|r| r.instance);
-
-    // The coordinator is done: move the registry and decision log out
-    // instead of cloning them.
-    let machine_time = farm.consumed();
-    let (subspaces, coordinator_events) = coordinator.into_report();
-    let session = SessionResult {
-        tool: config.tool,
-        mode: config.mode,
-        instances: finished,
-        union_curve,
-        machine_time,
-        wall_clock: end.since(VirtualTime::ZERO),
-        subspaces,
-        coordinator_events,
-        concurrency_timeline,
-    };
     ChaosReport {
-        session,
+        session: fin.result,
         fault_log: injector.log_snapshot(),
         fault_stats: injector.stats(),
-        stream: stream_total,
-        devices_lost: farm.lost_count(),
+        stream: fin.stream,
+        devices_lost: pool.lost_count(),
         replacements: replaced,
         replacements_abandoned: replacements.given_up(),
-        enforcement_retries: broadcaster.reapplied(),
-        unresolved_orphans,
-    }
-}
-
-fn add_stream(a: StreamStats, b: StreamStats) -> StreamStats {
-    StreamStats {
-        gaps: a.gaps + b.gaps,
-        duplicates: a.duplicates + b.duplicates,
-        reordered: a.reordered + b.reordered,
+        enforcement_retries: fin.enforcement_retries,
+        unresolved_orphans: fin.unresolved_orphans,
     }
 }
 
@@ -557,7 +179,7 @@ fn add_stream(a: StreamStats, b: StreamStats) -> StreamStats {
 mod tests {
     use super::*;
     use crate::analyzer::AnalyzerConfig;
-    use crate::session::RunMode;
+    use crate::session::ParallelSession;
     use taopt_app_sim::{generate_app, GeneratorConfig};
     use taopt_chaos::{FaultPlan, FaultRates};
     use taopt_tools::ToolKind;
@@ -578,16 +200,84 @@ mod tests {
         Arc::new(generate_app(&GeneratorConfig::small("chaos-sess", 3)).unwrap())
     }
 
+    /// The parity pin: with an inert injector, every seam layer is a
+    /// no-op and the chaos driver must produce a session result equal
+    /// **field by field** to the plain driver, in every run mode.
     #[test]
-    fn inert_chaos_run_matches_a_plain_coordinated_run_shape() {
-        let cfg = quick_config();
-        let r = run_with_chaos(app(), &cfg, &FaultInjector::inert(1));
-        assert_eq!(r.fault_stats.total_injected(), 0);
-        assert_eq!(r.devices_lost, 0);
-        assert_eq!(r.stream, StreamStats::default());
-        assert!(r.session.union_coverage() > 0);
-        assert!(r.session.peak_concurrency() <= cfg.instances);
-        assert_eq!(r.unresolved_orphans, 0);
+    fn inert_chaos_run_equals_plain_run_field_by_field() {
+        for mode in [
+            RunMode::Baseline,
+            RunMode::TaoptDuration,
+            RunMode::TaoptResource,
+            RunMode::ActivityPartition,
+            RunMode::PatsMasterSlave,
+        ] {
+            let mut cfg = quick_config();
+            cfg.mode = mode;
+            cfg.seed = 42;
+            if mode == RunMode::TaoptResource {
+                cfg.analyzer = AnalyzerConfig::resource_mode();
+                cfg.analyzer.find_space.l_min = VirtualDuration::from_secs(45);
+                cfg.analyzer.analysis_interval = VirtualDuration::from_secs(20);
+            }
+            let plain = ParallelSession::run(app(), &cfg);
+            let report = run_with_chaos(app(), &cfg, &FaultInjector::inert(9));
+            assert_eq!(report.fault_stats.total_injected(), 0);
+            assert_eq!(report.devices_lost, 0);
+            assert_eq!(report.stream, StreamStats::default());
+            assert_eq!(report.unresolved_orphans, 0);
+            let chaos = report.session;
+            let fields = [
+                (
+                    "tool",
+                    format!("{:?}", plain.tool),
+                    format!("{:?}", chaos.tool),
+                ),
+                (
+                    "mode",
+                    format!("{:?}", plain.mode),
+                    format!("{:?}", chaos.mode),
+                ),
+                (
+                    "instances",
+                    format!("{:?}", plain.instances),
+                    format!("{:?}", chaos.instances),
+                ),
+                (
+                    "union_curve",
+                    format!("{:?}", plain.union_curve),
+                    format!("{:?}", chaos.union_curve),
+                ),
+                (
+                    "machine_time",
+                    format!("{:?}", plain.machine_time),
+                    format!("{:?}", chaos.machine_time),
+                ),
+                (
+                    "wall_clock",
+                    format!("{:?}", plain.wall_clock),
+                    format!("{:?}", chaos.wall_clock),
+                ),
+                (
+                    "subspaces",
+                    format!("{:?}", plain.subspaces),
+                    format!("{:?}", chaos.subspaces),
+                ),
+                (
+                    "coordinator_events",
+                    format!("{:?}", plain.coordinator_events),
+                    format!("{:?}", chaos.coordinator_events),
+                ),
+                (
+                    "concurrency_timeline",
+                    format!("{:?}", plain.concurrency_timeline),
+                    format!("{:?}", chaos.concurrency_timeline),
+                ),
+            ];
+            for (name, p, c) in fields {
+                assert_eq!(p, c, "{mode:?}: field `{name}` diverged under inert chaos");
+            }
+        }
     }
 
     #[test]
@@ -609,7 +299,7 @@ mod tests {
     fn device_losses_are_recovered_by_reallocation() {
         let cfg = quick_config();
         let mut rates = FaultRates::none();
-        rates.device_loss = 0.03; // per instance per 10 s round
+        rates.device_loss = 0.03; // per device per 10 s round
         let r = run_with_chaos(app(), &cfg, &FaultInjector::new(FaultPlan::new(5, rates)));
         assert!(r.devices_lost > 0, "schedule should kill devices");
         assert!(r.replacements > 0, "lost devices get replaced");

@@ -352,6 +352,16 @@ impl TestCoordinator {
             .collect()
     }
 
+    /// Whether any confirmed subspace is currently orphaned — the
+    /// allocation-free check the per-round repair pass runs first, since
+    /// orphans are rare even under churn.
+    pub fn has_orphans(&self) -> bool {
+        self.analyzer
+            .confirmed()
+            .filter(|s| !self.tombstoned.contains(&s.id))
+            .any(|s| s.owner.is_none_or(|o| !self.blocklists.contains_key(&o)))
+    }
+
     /// Re-dedicates an orphaned subspace to a currently registered
     /// instance: the heir's entrypoints are unblocked, everyone else's
     /// stay (idempotently) blocked. Returns the heir, or `None` when no

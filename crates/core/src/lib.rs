@@ -29,7 +29,15 @@
 //! * [`metrics`] — Jaccard/AJS coverage-overlap, UI-screen overlap
 //!   (Table 6) and coverage-curve utilities;
 //! * [`experiments`] — runnable reproductions of every table and figure
-//!   in the paper's evaluation.
+//!   in the paper's evaluation;
+//! * [`campaign`] — the **layered runtime**: the round-based
+//!   [`SessionStep`] engine every driver shares, the device / bus /
+//!   enforcement seam layers ([`StepLayers`]), and multi-app campaign
+//!   scheduling over a shared farm (optionally fault-injected via a
+//!   `FaultPlan`);
+//! * [`chaos_session`] + [`resilience`] — chaos-mode single sessions
+//!   ([`run_with_chaos`]) and the self-healing machinery (replacement
+//!   queues, enforcement broadcast with retry).
 //!
 //! ## Quickstart
 //!
@@ -79,13 +87,14 @@ pub mod theorem;
 
 pub use analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceId, SubspaceInfo};
 pub use campaign::{
-    run_campaign, AppReport, CampaignApp, CampaignConfig, CampaignResult, KillEvent, SessionStep,
+    run_campaign, AppReport, BusTransport, CampaignApp, CampaignConfig, CampaignResult,
+    DirectEnforcement, Enforcement, FaultyBus, InertBus, KillEvent, SessionStep, StepLayers,
 };
 pub use chaos_session::{run_with_chaos, ChaosReport};
 pub use conductance::{conductance, partition_score};
 pub use coordinator::{CoordinatorEvent, TestCoordinator};
 pub use error::TaoptError;
 pub use findspace::{find_space, FindSpaceConfig, SplitCandidate};
-pub use resilience::{EnforcementBroadcaster, ReplacementQueue, RetryPolicy};
+pub use resilience::{BroadcastEnforcement, EnforcementBroadcaster, ReplacementQueue, RetryPolicy};
 pub use session::{ParallelSession, RunMode, SessionConfig, SessionResult};
 pub use streaming::{StreamStats, StreamingAnalyzer};

@@ -14,6 +14,11 @@
 //! * [`ReplacementQueue`] — lost devices are re-allocated with bounded
 //!   retry and exponential backoff, so a burst of allocation refusals
 //!   delays recovery instead of wedging the session.
+//!
+//! [`BroadcastEnforcement`] packages the broadcaster + injector pair as
+//! the chaotic implementation of the enforcement seam layer
+//! ([`crate::campaign::Enforcement`]) that [`crate::campaign::StepLayers`]
+//! plugs into the one `SessionStep` runtime.
 
 use std::collections::BTreeMap;
 
@@ -80,12 +85,49 @@ pub struct EnforcementBroadcaster {
     endpoints: BTreeMap<InstanceId, Endpoint>,
     next_broadcast: u64,
     reapplied: usize,
+    /// Offset added to instance ids when keying the fault plan, so
+    /// several broadcasters sharing one plan (a campaign) draw
+    /// decorrelated failure streams.
+    lane_base: u32,
 }
 
 impl EnforcementBroadcaster {
     /// Creates an empty broadcaster.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Keys the fault plan with `lane_base + instance` instead of the raw
+    /// instance id.
+    pub fn with_lane_base(mut self, lane_base: u32) -> Self {
+        self.lane_base = lane_base;
+        self
+    }
+
+    /// Boot-time catch-up for a freshly registered instance: queues the
+    /// shadow → device diff (the rules the coordinator already holds for
+    /// everyone) and attempts each delivery once, immediately. Failures
+    /// stay pending for the next [`reconcile`](Self::reconcile). With an
+    /// inert injector every attempt lands, so the device starts its first
+    /// round exactly as it would under direct enforcement.
+    pub fn provision(&mut self, injector: &FaultInjector, instance: InstanceId, now: VirtualTime) {
+        let EnforcementBroadcaster {
+            endpoints,
+            next_broadcast,
+            reapplied,
+            lane_base,
+        } = self;
+        if let Some(ep) = endpoints.get_mut(&instance) {
+            Self::reconcile_endpoint(
+                *lane_base,
+                next_broadcast,
+                reapplied,
+                instance,
+                ep,
+                injector,
+                now,
+            );
+        }
     }
 
     /// Registers an instance's device-side block list and returns the
@@ -115,78 +157,102 @@ impl EnforcementBroadcaster {
     pub fn reconcile(&mut self, injector: &FaultInjector, now: VirtualTime) -> usize {
         let telemetry = taopt_telemetry::global();
         let _span = telemetry.span("broadcast").at(now).enter();
+        let EnforcementBroadcaster {
+            endpoints,
+            next_broadcast,
+            reapplied,
+            lane_base,
+        } = self;
+        let mut applied = 0;
+        for (iid, ep) in endpoints.iter_mut() {
+            applied += Self::reconcile_endpoint(
+                *lane_base,
+                next_broadcast,
+                reapplied,
+                *iid,
+                ep,
+                injector,
+                now,
+            );
+        }
+        applied
+    }
+
+    /// Diffs one endpoint's shadow vs device rules, queues the changes,
+    /// and attempts every pending delivery once through `injector`.
+    /// Failed deliveries stay queued. Returns operations applied.
+    fn reconcile_endpoint(
+        lane_base: u32,
+        next_broadcast: &mut u64,
+        reapplied: &mut usize,
+        iid: InstanceId,
+        ep: &mut Endpoint,
+        injector: &FaultInjector,
+        now: VirtualTime,
+    ) -> usize {
+        let telemetry = taopt_telemetry::global();
         let applied_counter = telemetry.counter("enforcement_applied_total");
         let retry_counter = telemetry.counter("enforcement_retries_total");
         let mut applied = 0;
-        for (iid, ep) in self.endpoints.iter_mut() {
-            let intended = ep.shadow.read().rules().to_vec();
-            let actual = ep.actual.read().rules().to_vec();
-            for rule in &intended {
-                let queued = ep.pending.iter().any(|p| !p.unblock && p.rule == *rule);
-                if !actual.contains(rule) && !queued {
+        let intended = ep.shadow.read().clone();
+        let (to_block, to_unblock) = ep.actual.read().diff_to(&intended);
+        for (rules, unblock) in [(to_block, false), (to_unblock, true)] {
+            for rule in rules {
+                let queued = ep
+                    .pending
+                    .iter()
+                    .any(|p| p.unblock == unblock && p.rule == rule);
+                if !queued {
                     ep.pending.push(PendingOp {
-                        rule: rule.clone(),
-                        unblock: false,
-                        broadcast: self.next_broadcast,
+                        rule,
+                        unblock,
+                        broadcast: *next_broadcast,
                         attempts: 0,
                         first_tried: now,
                     });
-                    self.next_broadcast += 1;
+                    *next_broadcast += 1;
                 }
             }
-            for rule in &actual {
-                let queued = ep.pending.iter().any(|p| p.unblock && p.rule == *rule);
-                if !intended.contains(rule) && !queued {
-                    ep.pending.push(PendingOp {
-                        rule: rule.clone(),
-                        unblock: true,
-                        broadcast: self.next_broadcast,
-                        attempts: 0,
-                        first_tried: now,
-                    });
-                    self.next_broadcast += 1;
-                }
-            }
-            ep.pending.retain_mut(|op| {
-                // The coordinator may have changed its mind (e.g. a
-                // re-dedication unblocking a rule queued for delivery);
-                // stale ops are dropped, not delivered.
-                let still_wanted = if op.unblock {
-                    !intended.contains(&op.rule)
-                } else {
-                    intended.contains(&op.rule)
-                };
-                if !still_wanted {
-                    return false;
-                }
-                let attempt = op.attempts;
-                op.attempts += 1;
-                if injector.enforcement_failure(iid.0, op.broadcast, attempt, now) {
-                    retry_counter.inc();
-                    return true; // retry next round
-                }
-                {
-                    let mut bl = ep.actual.write();
-                    if op.unblock {
-                        bl.unblock(&op.rule);
-                    } else {
-                        bl.block(op.rule.clone());
-                    }
-                }
-                applied += 1;
-                applied_counter.inc();
-                if attempt > 0 {
-                    injector.record_recovery(
-                        op.first_tried,
-                        now,
-                        Some(iid.0),
-                        RecoveryKind::EnforcementReapplied,
-                    );
-                    self.reapplied += 1;
-                }
-                false
-            });
         }
+        ep.pending.retain_mut(|op| {
+            // The coordinator may have changed its mind (e.g. a
+            // re-dedication unblocking a rule queued for delivery);
+            // stale ops are dropped, not delivered.
+            let still_wanted = if op.unblock {
+                !intended.contains(&op.rule)
+            } else {
+                intended.contains(&op.rule)
+            };
+            if !still_wanted {
+                return false;
+            }
+            let attempt = op.attempts;
+            op.attempts += 1;
+            if injector.enforcement_failure(lane_base + iid.0, op.broadcast, attempt, now) {
+                retry_counter.inc();
+                return true; // retry next round
+            }
+            {
+                let mut bl = ep.actual.write();
+                if op.unblock {
+                    bl.unblock(&op.rule);
+                } else {
+                    bl.block(op.rule.clone());
+                }
+            }
+            applied += 1;
+            applied_counter.inc();
+            if attempt > 0 {
+                injector.record_recovery(
+                    op.first_tried,
+                    now,
+                    Some(lane_base + iid.0),
+                    RecoveryKind::EnforcementReapplied,
+                );
+                *reapplied += 1;
+            }
+            false
+        });
         applied
     }
 
@@ -210,6 +276,61 @@ impl EnforcementBroadcaster {
                     && actual.iter().all(|r| intended.contains(r))
             }
         })
+    }
+}
+
+/// The chaotic implementation of the enforcement seam
+/// ([`crate::campaign::Enforcement`]): an [`EnforcementBroadcaster`]
+/// paired with the [`FaultInjector`] that decides which deliveries fail.
+///
+/// The coordinator writes intent into per-instance shadow lists; each
+/// round's [`reconcile`](crate::campaign::Enforcement::reconcile) pushes
+/// the shadow→device diff through the failure-prone channel with
+/// idempotent retry. Boot-time registration provisions the catch-up diff
+/// through the same channel with one immediate attempt, so with an inert
+/// injector every delivery lands synchronously and the wiring is
+/// observably identical to [`crate::campaign::DirectEnforcement`].
+#[derive(Debug)]
+pub struct BroadcastEnforcement {
+    broadcaster: EnforcementBroadcaster,
+    injector: FaultInjector,
+}
+
+impl BroadcastEnforcement {
+    /// Broadcast wiring drawing failures from `injector`.
+    pub fn new(injector: FaultInjector) -> Self {
+        BroadcastEnforcement {
+            broadcaster: EnforcementBroadcaster::new(),
+            injector,
+        }
+    }
+
+    /// Keys the fault plan with `lane_base + instance`.
+    pub fn with_lane_base(mut self, lane_base: u32) -> Self {
+        self.broadcaster = std::mem::take(&mut self.broadcaster).with_lane_base(lane_base);
+        self
+    }
+}
+
+impl crate::campaign::Enforcement for BroadcastEnforcement {
+    fn register(&mut self, instance: InstanceId, actual: SharedBlockList) -> SharedBlockList {
+        self.broadcaster.register(instance, actual)
+    }
+
+    fn provision(&mut self, instance: InstanceId, now: VirtualTime) {
+        self.broadcaster.provision(&self.injector, instance, now);
+    }
+
+    fn unregister(&mut self, instance: InstanceId) {
+        self.broadcaster.unregister(instance);
+    }
+
+    fn reconcile(&mut self, now: VirtualTime) -> usize {
+        self.broadcaster.reconcile(&self.injector, now)
+    }
+
+    fn reapplied(&self) -> usize {
+        self.broadcaster.reapplied()
     }
 }
 

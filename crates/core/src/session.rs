@@ -22,7 +22,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use taopt_app_sim::{App, CrashSignature, MethodId};
-use taopt_device::DeviceFarm;
+use taopt_device::{DevicePool, PlainPool, PoolDecision};
 use taopt_toller::InstanceId;
 use taopt_tools::ToolKind;
 use taopt_ui_model::{Trace, VirtualDuration, VirtualTime};
@@ -263,20 +263,23 @@ impl ParallelSession {
     /// The run is fully deterministic given `config.seed`. Internally this
     /// is a thin driver over [`SessionStep`] — the per-round loop factored
     /// out so the campaign scheduler (`crate::campaign`) can interleave
-    /// many sessions over one shared farm — paired with a private
-    /// [`DeviceFarm`] of capacity `d_max` that always satisfies demand,
-    /// which reproduces the legacy dedicated-slice behaviour exactly.
+    /// many sessions over one shared farm — allocating through the device
+    /// seam ([`taopt_device::DevicePool`]) from a private [`PlainPool`] of
+    /// capacity `d_max` that always satisfies demand, which reproduces the
+    /// legacy dedicated-slice behaviour exactly. Orphan repair is on, as
+    /// in every driver: a confirmed subspace whose owners all retired in
+    /// one round is re-dedicated to a survivor instead of being stranded.
     pub fn run(app: Arc<App>, config: &SessionConfig) -> SessionResult {
         taopt_telemetry::global()
             .counter("sessions_started_total")
             .inc();
-        let mut farm = DeviceFarm::new(config.instances);
-        let mut step = SessionStep::new(app, config.clone());
+        let mut pool = PlainPool::new(config.instances);
+        let mut step = SessionStep::new(app, config.clone()).with_orphan_repair(true);
         loop {
-            // A dedicated farm of capacity d_max can always satisfy the
+            // A dedicated pool of capacity d_max can always satisfy the
             // step's demand (demand() never exceeds d_max − active).
             while step.demand() > 0 {
-                let Ok(device) = farm.allocate(step.now()) else {
+                let PoolDecision::Granted(device) = pool.allocate(step.now()) else {
                     break;
                 };
                 step.grant(device);
@@ -284,7 +287,7 @@ impl ParallelSession {
             let out = step.advance_round();
             let now = step.now();
             for d in out.released {
-                let _ = farm.deallocate(d, now);
+                pool.release(d, now);
             }
             if out.done {
                 break;
@@ -293,7 +296,7 @@ impl ParallelSession {
         let end = step.now();
         let fin = step.finish();
         for d in fin.released {
-            let _ = farm.deallocate(d, end);
+            pool.release(d, end);
         }
         fin.result
     }

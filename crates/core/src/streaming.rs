@@ -48,6 +48,17 @@ pub struct StreamStats {
     pub reordered: usize,
 }
 
+impl StreamStats {
+    /// Component-wise sum (per-lane stats folded into a session total).
+    pub fn merged(self, other: StreamStats) -> StreamStats {
+        StreamStats {
+            gaps: self.gaps + other.gaps,
+            duplicates: self.duplicates + other.duplicates,
+            reordered: self.reordered + other.reordered,
+        }
+    }
+}
+
 /// Shared snapshot of the analyzer's findings.
 #[derive(Debug, Default)]
 struct Snapshot {
@@ -163,6 +174,110 @@ impl Reorder {
             out.extend(self.skip_gap(stats));
         }
         out
+    }
+}
+
+/// Per-instance state of the bus seam inside a [`crate::campaign`]
+/// session step: sequence stamping on the publish side, a
+/// [`crate::campaign::BusTransport`] fate decision per event, and
+/// [`Reorder`] repair of the survivors into the **coordinator-view
+/// trace** — the only trace the coordinator analyzes when the bus layer
+/// is engaged.
+#[derive(Debug)]
+pub(crate) struct BusLane {
+    /// Next sequence number to stamp.
+    seq: u64,
+    /// Instance trace events already pushed through the transport.
+    forwarded: usize,
+    /// Events held back by a delay fault, re-sent next pump.
+    delayed: Vec<(u64, TraceEvent)>,
+    repair: Reorder,
+    coord_trace: Trace,
+    stats: StreamStats,
+    published_counter: taopt_telemetry::Counter,
+    consumed_counter: taopt_telemetry::Counter,
+}
+
+impl BusLane {
+    pub(crate) fn new() -> Self {
+        let telemetry = taopt_telemetry::global();
+        BusLane {
+            seq: 0,
+            forwarded: 0,
+            delayed: Vec::new(),
+            repair: Reorder::default(),
+            coord_trace: Trace::new(),
+            stats: StreamStats::default(),
+            published_counter: telemetry.counter_labeled(
+                "bus_events_published_total",
+                taopt_telemetry::Labels::seam("bus"),
+            ),
+            consumed_counter: telemetry.counter("stream_events_consumed_total"),
+        }
+    }
+
+    /// Forwards `trace`'s new events through the transport and appends
+    /// the survivors, repaired into order, to the coordinator-view trace.
+    pub(crate) fn pump(
+        &mut self,
+        transport: &dyn crate::campaign::BusTransport,
+        lane: u32,
+        trace: &Trace,
+        now: VirtualTime,
+    ) {
+        let gaps_before = self.stats.gaps;
+        let mut batch: Vec<(u64, TraceEvent)> = std::mem::take(&mut self.delayed);
+        for ev in &trace.events()[self.forwarded..] {
+            let seq = self.seq;
+            self.seq += 1;
+            match transport.fate(lane, seq, now) {
+                crate::campaign::EventFate::Deliver => batch.push((seq, ev.clone())),
+                crate::campaign::EventFate::Drop => {}
+                crate::campaign::EventFate::Duplicate => {
+                    batch.push((seq, ev.clone()));
+                    batch.push((seq, ev.clone()));
+                }
+                crate::campaign::EventFate::Delay => self.delayed.push((seq, ev.clone())),
+            }
+        }
+        self.forwarded = trace.len();
+        let published = batch.len() as u64;
+        let mut consumed = 0u64;
+        for (seq, ev) in batch {
+            for ready in self.repair.accept(seq, ev, &mut self.stats) {
+                self.coord_trace.push(ready);
+                consumed += 1;
+            }
+        }
+        // Mirror the streaming path's bus accounting so chaos and clean
+        // sessions expose the same series.
+        self.published_counter.add(published);
+        self.consumed_counter.add(consumed);
+        for _ in gaps_before..self.stats.gaps {
+            transport.gap_repaired(lane, now);
+        }
+    }
+
+    /// Delivers everything still in flight (end of life for the lane).
+    pub(crate) fn flush(&mut self) {
+        for (seq, ev) in std::mem::take(&mut self.delayed) {
+            for ready in self.repair.accept(seq, ev, &mut self.stats) {
+                self.coord_trace.push(ready);
+            }
+        }
+        for ready in self.repair.flush(&mut self.stats) {
+            self.coord_trace.push(ready);
+        }
+    }
+
+    /// What the coordinator sees of this instance.
+    pub(crate) fn coord_trace(&self) -> &Trace {
+        &self.coord_trace
+    }
+
+    /// Repair counters so far.
+    pub(crate) fn stats(&self) -> StreamStats {
+        self.stats
     }
 }
 

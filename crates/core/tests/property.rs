@@ -330,7 +330,7 @@ mod campaign_props {
 
     /// A tiny campaign: `n` two-instance apps with short sessions, so a
     /// proptest case finishes in milliseconds of host time.
-    fn tiny_apps(n: usize, seed: u64) -> Vec<CampaignApp> {
+    pub fn tiny_apps(n: usize, seed: u64) -> Vec<CampaignApp> {
         (0..n)
             .map(|i| {
                 let mode = if i % 3 == 2 {
@@ -441,6 +441,118 @@ mod campaign_props {
                 );
                 prop_assert!(!app.session.instances.is_empty());
             }
+        }
+    }
+}
+
+mod chaos_campaign_props {
+    use proptest::prelude::*;
+
+    use taopt::campaign::{run_campaign, CampaignConfig};
+    use taopt_chaos::{FaultPlan, FaultRates};
+
+    use super::campaign_props::tiny_apps;
+
+    /// Moderate random rates: low enough that campaigns stay productive,
+    /// high enough that every seam fires across a test run.
+    fn arb_rates() -> impl Strategy<Value = FaultRates> {
+        (
+            0.0f64..0.05,
+            0.0f64..0.10,
+            0.0f64..0.05,
+            0.0f64..0.05,
+            0.0f64..0.05,
+            0.0f64..0.05,
+            0.0f64..0.30,
+        )
+            .prop_map(|(loss, refusal, spike, drop, dup, delay, enf)| {
+                let mut r = FaultRates::none();
+                r.device_loss = loss;
+                r.alloc_refusal = refusal;
+                r.latency_spike = spike;
+                r.event_drop = drop;
+                r.event_duplicate = dup;
+                r.event_delay = delay;
+                r.enforcement_failure = enf;
+                r
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn chaos_campaigns_terminate_and_heal_for_any_worker_count(
+            n_apps in 2usize..4,
+            plan_seed in 0u64..1_000,
+            seed in 0u64..1_000,
+            rates in arb_rates(),
+        ) {
+            // One fault plan, three worker counts: every run must
+            // terminate, respect each app's d_max and the farm capacity,
+            // leave no orphaned subspace, and — the determinism pin —
+            // produce byte-identical coverage reports and identical fault
+            // statistics regardless of parallelism.
+            let plan = FaultPlan::new(plan_seed, rates);
+            let mut reports = Vec::new();
+            let mut stats = Vec::new();
+            for workers in [1usize, 2, 4] {
+                let config = CampaignConfig {
+                    workers,
+                    faults: Some(plan.clone()),
+                    ..CampaignConfig::default()
+                };
+                let result = run_campaign(tiny_apps(n_apps, seed), &config);
+                prop_assert!(result.rounds < 10_000, "chaos campaign failed to converge");
+                prop_assert_eq!(result.lease_conflicts, 0);
+                prop_assert!(result.peak_active <= result.capacity);
+                prop_assert_eq!(result.farm_active_at_end, 0);
+                for app in &result.apps {
+                    prop_assert!(
+                        app.session.peak_concurrency() <= 2,
+                        "{} exceeded its d_max under faults",
+                        app.name
+                    );
+                    prop_assert_eq!(
+                        app.unresolved_orphans,
+                        0,
+                        "{} finished with orphaned subspaces",
+                        app.name
+                    );
+                }
+                reports.push(result.coverage_report());
+                stats.push(result.fault_stats.clone().expect("fault plan was set"));
+            }
+            prop_assert_eq!(&reports[0], &reports[1], "1 vs 2 workers diverged");
+            prop_assert_eq!(&reports[0], &reports[2], "1 vs 4 workers diverged");
+            prop_assert_eq!(&stats[0], &stats[1], "fault stats diverged at 2 workers");
+            prop_assert_eq!(&stats[0], &stats[2], "fault stats diverged at 4 workers");
+        }
+
+        #[test]
+        fn an_inert_fault_plan_is_byte_equivalent_to_no_plan(
+            n_apps in 2usize..4,
+            seed in 0u64..1_000,
+            workers in 1usize..4,
+        ) {
+            // Campaign-level inert parity: wiring the chaos layers with a
+            // zero-rate plan must not perturb a single byte of the
+            // deterministic coverage report.
+            let plain = run_campaign(
+                tiny_apps(n_apps, seed),
+                &CampaignConfig { workers, ..CampaignConfig::default() },
+            );
+            let inert = run_campaign(
+                tiny_apps(n_apps, seed),
+                &CampaignConfig {
+                    workers,
+                    faults: Some(FaultPlan::new(seed, FaultRates::none())),
+                    ..CampaignConfig::default()
+                },
+            );
+            prop_assert_eq!(plain.coverage_report(), inert.coverage_report());
+            let stats = inert.fault_stats.expect("fault plan was set");
+            prop_assert_eq!(stats.total_injected(), 0);
         }
     }
 }

@@ -10,6 +10,9 @@
 //!   collecting crash stack traces;
 //! * [`DeviceFarm`] — a bounded pool of devices with allocate/deallocate
 //!   and machine-time accounting (the "testing resources" of RQ4);
+//! * [`DevicePool`] — the device seam: the trait session drivers allocate
+//!   through, so a fault-injecting pool can replace the plain one without
+//!   the driver changing shape;
 //! * [`CrashCollector`] — logcat-style unique-crash deduplication by stack
 //!   signature.
 //!
@@ -25,6 +28,7 @@ pub mod emulator;
 pub mod error;
 pub mod farm;
 pub mod logcat;
+pub mod pool;
 pub mod triage;
 
 pub use clock::VirtualClock;
@@ -33,4 +37,5 @@ pub use emulator::{DeviceId, Emulator, EmulatorConfig};
 pub use error::DeviceError;
 pub use farm::{fair_targets, fair_targets_from, DeviceClass, DeviceFarm};
 pub use logcat::{CrashCollector, LogEntry, Logcat};
+pub use pool::{DevicePool, PlainPool, PoolDecision};
 pub use triage::{CrashGroup, TriageReport};

@@ -81,6 +81,34 @@ impl BlockList {
         &self.rules
     }
 
+    /// Whether `rule` is currently present.
+    pub fn contains(&self, rule: &EntrypointRule) -> bool {
+        self.rules.contains(rule)
+    }
+
+    /// The rule changes that would turn this list into `intended`,
+    /// as `(to_block, to_unblock)` in stable rule order.
+    ///
+    /// This is the primitive behind enforcement reconciliation: a
+    /// broadcaster diffs a device-side list against the coordinator's
+    /// intent and delivers exactly these operations, so retries stay
+    /// idempotent and nothing is re-sent once it has landed.
+    pub fn diff_to(&self, intended: &BlockList) -> (Vec<EntrypointRule>, Vec<EntrypointRule>) {
+        let to_block = intended
+            .rules
+            .iter()
+            .filter(|r| !self.contains(r))
+            .cloned()
+            .collect();
+        let to_unblock = self
+            .rules
+            .iter()
+            .filter(|r| !intended.contains(r))
+            .cloned()
+            .collect();
+        (to_block, to_unblock)
+    }
+
     /// Whether no entrypoints are blocked.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
@@ -160,6 +188,25 @@ mod tests {
         assert_eq!(bl.rules().len(), 1);
         bl.unblock(&r);
         assert!(bl.is_empty());
+    }
+
+    #[test]
+    fn diff_to_yields_exactly_the_missing_and_stale_rules() {
+        let mut actual = BlockList::new();
+        let mut intended = BlockList::new();
+        let keep = EntrypointRule::new(AbstractScreenId(1), "keep");
+        let stale = EntrypointRule::new(AbstractScreenId(2), "stale");
+        let missing = EntrypointRule::new(AbstractScreenId(3), "missing");
+        actual.block(keep.clone());
+        actual.block(stale.clone());
+        intended.block(keep.clone());
+        intended.block(missing.clone());
+        let (to_block, to_unblock) = actual.diff_to(&intended);
+        assert_eq!(to_block, vec![missing]);
+        assert_eq!(to_unblock, vec![stale]);
+        // A list is always in sync with itself.
+        let (b, u) = actual.diff_to(&actual.clone());
+        assert!(b.is_empty() && u.is_empty());
     }
 
     #[test]
