@@ -23,6 +23,7 @@ use taopt::session::RunMode;
 use taopt::{run_campaign, run_with_chaos, CampaignApp, CampaignConfig, ChaosReport};
 use taopt_bench::{load_apps, HarnessArgs, NamedApp};
 use taopt_chaos::{FaultInjector, FaultPlan, FaultRates, RecoveryKind};
+use taopt_telemetry::HistogramSnapshot;
 use taopt_tools::ToolKind;
 use taopt_ui_model::Value;
 
@@ -60,6 +61,37 @@ struct RateSummary {
     /// so percentiles are computed over the real distribution rather
     /// than a mean of per-app means.
     recovery_latencies_ms: Vec<u64>,
+    /// Samples the `chaos_recovery_latency_us` registry histogram gained
+    /// while this rate ran (the live-telemetry view of the same data).
+    registry_samples: u64,
+    /// p50 of the registry histogram delta, in µs.
+    registry_p50_us: u64,
+    /// p95 of the registry histogram delta, in µs.
+    registry_p95_us: u64,
+}
+
+/// Merged snapshot of every `chaos_recovery_latency_us` series.
+fn recovery_registry() -> Option<HistogramSnapshot> {
+    taopt_telemetry::global()
+        .snapshot()
+        .histogram_total("chaos_recovery_latency_us")
+}
+
+/// What the registry histogram gained between two snapshots.
+fn registry_delta(
+    before: Option<HistogramSnapshot>,
+    after: Option<HistogramSnapshot>,
+) -> Option<HistogramSnapshot> {
+    let after = after?;
+    Some(match before {
+        None => after,
+        Some(b) => HistogramSnapshot {
+            buckets: std::array::from_fn(|i| after.buckets[i].saturating_sub(b.buckets[i])),
+            count: after.count.saturating_sub(b.count),
+            sum: after.sum.saturating_sub(b.sum),
+            max: after.max,
+        },
+    })
 }
 
 impl RateSummary {
@@ -151,6 +183,18 @@ fn rate_json(rate: f64, s: &RateSummary, baseline: f64) -> Value {
             "unresolved_orphans".to_owned(),
             Value::UInt(s.unresolved_orphans as u64),
         ),
+        (
+            "registry_recovery_samples".to_owned(),
+            Value::UInt(s.registry_samples),
+        ),
+        (
+            "registry_recovery_p50_us".to_owned(),
+            Value::UInt(s.registry_p50_us),
+        ),
+        (
+            "registry_recovery_p95_us".to_owned(),
+            Value::UInt(s.registry_p95_us),
+        ),
     ])
 }
 
@@ -230,6 +274,7 @@ fn main() -> ExitCode {
     let mut rows: Vec<RateSummary> = Vec::new();
     for rate in &RATES {
         let mut summary = RateSummary::default();
+        let registry_before = recovery_registry();
         for (_, app) in &apps {
             let injector = if *rate == 0.0 {
                 FaultInjector::inert(args.seed)
@@ -240,13 +285,21 @@ fn main() -> ExitCode {
             summary.absorb(&report);
         }
         summary.mean_recovery_ms /= apps.len().max(1) as f64;
+        if let Some(delta) = registry_delta(registry_before, recovery_registry()) {
+            summary.registry_samples = delta.count;
+            summary.registry_p50_us = delta.quantile(0.5).unwrap_or(0);
+            summary.registry_p95_us = delta.quantile(0.95).unwrap_or(0);
+        }
         eprintln!(
-            "  rate {:.2}: coverage {}, {} faults, {} recoveries, p95 recovery {}ms",
+            "  rate {:.2}: coverage {}, {} faults, {} recoveries, p95 recovery {}ms \
+             (registry: {} samples, p95 {}us)",
             rate,
             summary.coverage,
             summary.injected,
             summary.recovered,
-            summary.latency_percentile_ms(95.0)
+            summary.latency_percentile_ms(95.0),
+            summary.registry_samples,
+            summary.registry_p95_us
         );
         rows.push(summary);
     }

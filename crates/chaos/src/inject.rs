@@ -57,10 +57,11 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Whether this injector can never inject anything (all rates zero).
-    /// Drivers use this to pick the passthrough wiring for seam layers.
+    /// Whether this injector can never inject anything (all rates zero,
+    /// including per-app overrides). Drivers use this to pick the
+    /// passthrough wiring for seam layers.
     pub fn is_inert(&self) -> bool {
-        self.plan.rates().is_zero()
+        self.plan.is_inert()
     }
 
     fn log_mut(&self) -> std::sync::MutexGuard<'_, FaultLog> {
@@ -143,7 +144,10 @@ impl FaultInjector {
         hit
     }
 
-    /// Records a recovery completed by the resilience layer.
+    /// Records a recovery completed by the resilience layer, mirroring
+    /// its virtual-time latency into the registry's
+    /// `chaos_recovery_latency_us` histogram (labeled per recovery kind),
+    /// so percentiles are live series instead of bench-only aggregates.
     pub fn record_recovery(
         &self,
         injected_at: VirtualTime,
@@ -151,7 +155,19 @@ impl FaultInjector {
         instance: Option<u32>,
         kind: RecoveryKind,
     ) {
-        taopt_telemetry::global().recovery(kind.label(), instance, recovered_at);
+        let telemetry = taopt_telemetry::global();
+        telemetry.recovery(kind.label(), instance, recovered_at);
+        let latency_us = recovered_at
+            .as_millis()
+            .saturating_sub(injected_at.as_millis())
+            .saturating_mul(1000);
+        telemetry
+            .registry()
+            .histogram(
+                "chaos_recovery_latency_us",
+                taopt_telemetry::Labels::kind(kind.label()),
+            )
+            .record(latency_us);
         self.log_mut()
             .record_recovery(injected_at, recovered_at, instance, kind);
     }

@@ -33,5 +33,5 @@ pub mod pool;
 
 pub use inject::{EventFate, FaultInjector};
 pub use log::{FaultKind, FaultLog, FaultRecord, FaultStats, RecoveryKind, RecoveryRecord};
-pub use plan::{FaultPlan, FaultRates, Seam};
-pub use pool::FaultyPool;
+pub use plan::{FaultPlan, FaultRates, Seam, APP_LANE_SHIFT};
+pub use pool::{FaultyLatency, FaultyPool};

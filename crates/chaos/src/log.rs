@@ -23,6 +23,10 @@ pub enum FaultKind {
     EventDelayed,
     /// A block-rule broadcast failed to apply at an instance.
     EnforcementFailed,
+    /// The whole campaign service was killed mid-campaign (process
+    /// crash); in-flight campaigns fall back to their last durable
+    /// checkpoint.
+    ServiceKilled,
 }
 
 impl FaultKind {
@@ -36,6 +40,7 @@ impl FaultKind {
             FaultKind::EventDuplicated => "event-duplicated",
             FaultKind::EventDelayed => "event-delayed",
             FaultKind::EnforcementFailed => "enforcement-failed",
+            FaultKind::ServiceKilled => "service-killed",
         }
     }
 }
@@ -57,6 +62,9 @@ pub enum RecoveryKind {
     EnforcementReapplied,
     /// The analyzer detected and tolerated a sequence gap or duplicate.
     StreamRepaired,
+    /// A killed campaign service restored an in-flight campaign from its
+    /// durable checkpoint and resumed it.
+    ServiceResumed,
 }
 
 impl RecoveryKind {
@@ -67,6 +75,7 @@ impl RecoveryKind {
             RecoveryKind::SubspaceRededicated => "subspace-rededicated",
             RecoveryKind::EnforcementReapplied => "enforcement-reapplied",
             RecoveryKind::StreamRepaired => "stream-repaired",
+            RecoveryKind::ServiceResumed => "service-resumed",
         }
     }
 }

@@ -10,11 +10,32 @@
 //! pool serves both the single-app chaos harness and a multi-app campaign
 //! without the fault stream depending on which app holds the device.
 
-use taopt_device::{DeviceFarm, DeviceId, DevicePool, PoolDecision};
+use taopt_device::{DeviceFarm, DeviceId, DeviceLatency, DevicePool, PoolDecision};
 use taopt_telemetry::{Counter, Labels};
-use taopt_ui_model::VirtualTime;
+use taopt_ui_model::{VirtualDuration, VirtualTime};
 
 use crate::inject::FaultInjector;
+
+/// The chaotic latency half of the device seam: spike decisions come
+/// from a [`FaultInjector`], keyed by `(lane, round)`, so the session
+/// step applies device stalls without ever touching the injector itself.
+#[derive(Debug, Clone)]
+pub struct FaultyLatency {
+    injector: FaultInjector,
+}
+
+impl FaultyLatency {
+    /// Wraps the injector's latency decisions.
+    pub fn new(injector: FaultInjector) -> Self {
+        FaultyLatency { injector }
+    }
+}
+
+impl DeviceLatency for FaultyLatency {
+    fn latency_spike(&self, lane: u32, round: u64, now: VirtualTime) -> Option<VirtualDuration> {
+        self.injector.latency_spike(lane, round, now)
+    }
+}
 
 /// A [`DeviceFarm`] wrapped in fault decisions from a [`FaultInjector`].
 #[derive(Debug)]

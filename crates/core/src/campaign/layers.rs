@@ -28,9 +28,10 @@
 //! same session result as the direct one (pinned by test), which is what
 //! makes fault-free chaos runs a valid baseline.
 
-use taopt_chaos::{EventFate, FaultInjector, RecoveryKind};
+use taopt_chaos::{EventFate, FaultInjector, FaultyLatency, RecoveryKind};
+use taopt_device::{DeviceLatency, NoLatency};
 use taopt_toller::{InstanceId, SharedBlockList};
-use taopt_ui_model::{VirtualDuration, VirtualTime};
+use taopt_ui_model::VirtualTime;
 
 use crate::resilience::BroadcastEnforcement;
 
@@ -139,19 +140,21 @@ impl Enforcement for DirectEnforcement {
 
 /// One implementation per seam, bundled for [`super::SessionStep`].
 ///
-/// The device seam is *not* held here — drivers own their pool because
-/// device grants flow driver → step, not step → driver — but the injector
-/// handle is, so the step can decide latency spikes (a device fault that
-/// must be applied inside the round, where the emulators live) and stamp
-/// recovery records for orphan re-dedication.
+/// The allocation half of the device seam is *not* held here — drivers
+/// own their pool because device grants flow driver → step, not step →
+/// driver — but its latency half is ([`DeviceLatency`]: spikes must be
+/// applied inside the round, where the emulators live), along with the
+/// injector handle for stamping recovery records on orphan re-dedication.
 pub struct StepLayers {
     /// Bus seam; `None` skips lane bookkeeping entirely (the coordinator
     /// reads instance traces directly, the pre-layer fast path).
     pub(crate) bus: Option<Box<dyn BusTransport>>,
     /// Enforcement seam.
     pub(crate) enforcement: Box<dyn Enforcement>,
-    /// Chaos handle for latency decisions and recovery records; `None`
-    /// for plain wiring.
+    /// Latency half of the device seam ([`NoLatency`] for plain wiring,
+    /// [`FaultyLatency`] for chaos): the step applies what it decides.
+    pub(crate) device: Box<dyn DeviceLatency>,
+    /// Chaos handle for recovery records; `None` for plain wiring.
     pub(crate) injector: Option<FaultInjector>,
     /// Offset added to instance ids to form lane ids (decorrelates apps
     /// sharing one fault plan in a campaign).
@@ -181,6 +184,7 @@ impl StepLayers {
         StepLayers {
             bus: None,
             enforcement: Box::new(DirectEnforcement),
+            device: Box::new(NoLatency),
             injector: None,
             lane_base: 0,
         }
@@ -195,22 +199,10 @@ impl StepLayers {
             enforcement: Box::new(
                 BroadcastEnforcement::new(injector.clone()).with_lane_base(lane_base),
             ),
+            device: Box::new(FaultyLatency::new(injector.clone())),
             injector: Some(injector.clone()),
             lane_base,
         }
-    }
-
-    /// Latency-spike decision for `lane`'s round `round` (device seam;
-    /// applied by the step, which owns the emulator clocks).
-    pub(crate) fn latency_spike(
-        &self,
-        lane: u32,
-        round: u64,
-        now: VirtualTime,
-    ) -> Option<VirtualDuration> {
-        self.injector
-            .as_ref()
-            .and_then(|i| i.latency_spike(lane, round, now))
     }
 
     /// Records an orphaned-subspace re-dedication recovery, if a chaos

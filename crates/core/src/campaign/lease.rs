@@ -88,6 +88,12 @@ impl LeaseLedger {
         self.owner.len()
     }
 
+    /// Every `(device, holder)` pair currently on lease, in device-id
+    /// order (digest material for checkpoint verification).
+    pub fn leases(&self) -> Vec<(DeviceId, usize)> {
+        self.owner.iter().map(|(d, a)| (*d, *a)).collect()
+    }
+
     /// Lifetime grants.
     pub fn grants(&self) -> u64 {
         self.grants

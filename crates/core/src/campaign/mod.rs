@@ -19,21 +19,30 @@
 //!   scheduled kills, rate-planned fault losses, replacements and session
 //!   completion. With [`scheduler::CampaignConfig::faults`] set, the whole
 //!   campaign runs under deterministic fault injection (a chaos campaign).
+//!   [`scheduler::Campaign`] is the same loop held open one round at a
+//!   time, for drivers that interleave checkpointing with execution;
+//! * [`snapshot`] — [`snapshot::CampaignDigest`], the round-boundary
+//!   fingerprint a durable checkpoint stores and a restore replay must
+//!   reproduce.
 //!
 //! See `DESIGN.md` §10 for the scheduler model and the determinism
-//! argument, §12 for the layered runtime.
+//! argument, §12 for the layered runtime, §13 for checkpoint/resume.
 
 pub mod layers;
 pub mod lease;
 pub mod scheduler;
+pub mod snapshot;
 pub mod step;
 
 pub use layers::{BusTransport, DirectEnforcement, Enforcement, FaultyBus, InertBus, StepLayers};
 pub use lease::LeaseLedger;
 pub use scheduler::{
-    run_campaign, AppReport, CampaignApp, CampaignConfig, CampaignResult, KillEvent,
+    run_campaign, AppReport, Campaign, CampaignApp, CampaignConfig, CampaignResult, KillEvent,
 };
-pub use step::{instance_seed, MachineMeter, RoundOutcome, SessionFinish, SessionStep};
+pub use snapshot::{CampaignDigest, SlotDigest};
+pub use step::{
+    instance_seed, MachineMeter, RoundOutcome, SessionFinish, SessionStep, StepProgress,
+};
 
 // The bus seam re-decides `taopt_chaos::EventFate` per event; re-exported
 // so layer implementors need not depend on the chaos crate directly.

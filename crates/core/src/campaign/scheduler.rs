@@ -49,23 +49,18 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use taopt_app_sim::App;
-use taopt_chaos::{FaultInjector, FaultPlan, FaultStats, FaultyPool};
+use taopt_chaos::{FaultInjector, FaultPlan, FaultStats, FaultyPool, APP_LANE_SHIFT};
 use taopt_device::{fair_targets_from, DeviceFarm, DevicePool, PlainPool, PoolDecision};
 use taopt_ui_model::{Value, VirtualDuration, VirtualTime};
 
 use crate::campaign::layers::StepLayers;
 use crate::campaign::lease::LeaseLedger;
+use crate::campaign::snapshot::{CampaignDigest, SlotDigest};
 use crate::campaign::step::{RoundOutcome, SessionStep};
 use crate::coordinator::CoordinatorEvent;
 use crate::resilience::{ReplacementQueue, RetryPolicy};
 use crate::session::{SessionConfig, SessionResult};
 use crate::streaming::{CampaignBus, StreamStats};
-
-/// Lane offset between apps sharing one fault plan: app `i` draws its
-/// bus/latency/enforcement decisions from lanes `i << APP_LANE_SHIFT +
-/// instance`, so per-app fault streams are decorrelated yet reproducible.
-/// Requires every app's `d_max` to stay below `1 << APP_LANE_SHIFT`.
-const APP_LANE_SHIFT: u32 = 16;
 
 /// A deterministic mid-campaign device kill: at the end of global round
 /// `round`, the `victim % leased`-th currently leased device (in
@@ -354,98 +349,169 @@ struct Slot {
     report: Option<AppReport>,
 }
 
-/// Runs a campaign to completion.
+/// A campaign paused between rounds: the round loop of [`run_campaign`]
+/// turned inside out, one [`Campaign::advance_round`] call at a time.
 ///
-/// Deterministic for a fixed set of apps, seeds and [`CampaignConfig`]
-/// (excluding `workers`, which must not change results — see the module
-/// docs and `tests/campaign.rs`).
-pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> CampaignResult {
-    assert!(!apps.is_empty(), "campaign needs at least one app");
-    let host_start = std::time::Instant::now();
-    let telemetry = taopt_telemetry::global();
-    telemetry.counter("campaigns_started_total").inc();
-    let rounds_counter = telemetry.counter("campaign_rounds_total");
-    let steals_counter = telemetry.counter("campaign_steals_total");
-    let revocations_counter = telemetry.counter("campaign_lease_revocations_total");
-    let kills_counter = telemetry.counter("campaign_device_kills_total");
-    let replacements_counter = telemetry.counter("campaign_replacements_total");
-    let active_apps_gauge = telemetry.gauge("campaign_active_apps");
+/// External drivers (the campaign service) use this to interleave
+/// checkpointing with execution: construct with [`Campaign::new`], call
+/// [`Campaign::advance_round`] until it returns `false`, take a
+/// [`Campaign::digest`] at any boundary, then [`Campaign::finish`]. The
+/// sequence is exactly the body of [`run_campaign`], so driving a
+/// campaign stepwise — or rebuilding one from its spec and replaying to
+/// a checkpointed round — produces byte-identical results at any worker
+/// count.
+pub struct Campaign {
+    slots: Vec<Mutex<Slot>>,
+    ledger: LeaseLedger,
+    pool: Box<dyn DevicePool>,
+    injector: Option<FaultInjector>,
+    kills_by_round: BTreeMap<u64, Vec<u64>>,
+    steals: AtomicU64,
+    revocations: u64,
+    round: u64,
+    tick: VirtualDuration,
+    capacity: usize,
+    workers: usize,
+    min_hold_rounds: u64,
+    max_rounds: u64,
+    host_start: std::time::Instant,
+    rounds_counter: taopt_telemetry::Counter,
+    steals_counter: taopt_telemetry::Counter,
+    revocations_counter: taopt_telemetry::Counter,
+    kills_counter: taopt_telemetry::Counter,
+    replacements_counter: taopt_telemetry::Counter,
+    active_apps_gauge: taopt_telemetry::Gauge,
+}
 
-    let workers = config.workers.max(1);
-    let tick = apps.iter().map(|a| a.config.tick).max().expect("non-empty");
-    let total_want: usize = apps.iter().map(|a| a.config.instances).sum();
-    let capacity = config.capacity.unwrap_or(total_want).max(1);
-    let injector = config
-        .faults
-        .as_ref()
-        .map(|p| FaultInjector::new(p.clone()));
-    let mut pool: Box<dyn DevicePool> = match &injector {
-        Some(inj) => Box::new(FaultyPool::new(DeviceFarm::new(capacity), inj.clone())),
-        None => Box::new(PlainPool::new(capacity)),
-    };
-    let mut ledger = LeaseLedger::new(apps.len());
-    let retry = RetryPolicy {
-        max_attempts: 6,
-        backoff: tick,
-    };
-    let mut slots: Vec<Mutex<Slot>> = apps
-        .into_iter()
-        .enumerate()
-        .map(|(i, a)| {
-            let d_max = a.config.instances;
-            assert!(
-                d_max < (1usize << APP_LANE_SHIFT),
-                "app d_max must fit below the per-app lane range"
-            );
-            let mut step = SessionStep::new(a.app, a.config).with_orphan_repair(true);
-            if let Some(inj) = &injector {
-                step = step.with_layers(StepLayers::chaos(inj, (i as u32) << APP_LANE_SHIFT));
-            }
-            if let Some(bus) = &config.bus {
-                step = step.with_publisher(bus.sender(i));
-            }
-            Mutex::new(Slot {
-                name: a.name,
-                d_max,
-                step: Some(step),
-                queue: ReplacementQueue::new(retry),
-                outcome: None,
-                done: false,
-                last_grant_round: 0,
-                wait_rounds: 0,
-                replacements: 0,
-                devices_lost: 0,
-                report: None,
-            })
-        })
-        .collect();
-
-    let mut kills_by_round: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
-    for k in &config.kills {
-        kills_by_round.entry(k.round).or_default().push(k.victim);
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("apps", &self.slots.len())
+            .field("round", &self.round)
+            .field("capacity", &self.capacity)
+            .finish()
     }
-    let steals = AtomicU64::new(0);
-    let mut revocations = 0u64;
-    let mut round: u64 = 0;
+}
 
-    // Initial leasing.
-    lease_boundary(
-        &mut slots,
-        &mut ledger,
-        pool.as_mut(),
-        injector.as_ref(),
-        round,
-        VirtualTime::ZERO,
-        config.min_hold_rounds,
-        &mut revocations,
-        &revocations_counter,
-        &replacements_counter,
-    );
+impl Campaign {
+    /// Sets up a campaign and performs the initial leasing boundary.
+    pub fn new(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Self {
+        assert!(!apps.is_empty(), "campaign needs at least one app");
+        let host_start = std::time::Instant::now();
+        let telemetry = taopt_telemetry::global();
+        telemetry.counter("campaigns_started_total").inc();
 
-    loop {
+        let workers = config.workers.max(1);
+        let tick = apps.iter().map(|a| a.config.tick).max().expect("non-empty");
+        let total_want: usize = apps.iter().map(|a| a.config.instances).sum();
+        let capacity = config.capacity.unwrap_or(total_want).max(1);
+        let injector = config
+            .faults
+            .as_ref()
+            .map(|p| FaultInjector::new(p.clone()));
+        let pool: Box<dyn DevicePool> = match &injector {
+            Some(inj) => Box::new(FaultyPool::new(DeviceFarm::new(capacity), inj.clone())),
+            None => Box::new(PlainPool::new(capacity)),
+        };
+        let ledger = LeaseLedger::new(apps.len());
+        let retry = RetryPolicy {
+            max_attempts: 6,
+            backoff: tick,
+        };
+        let slots: Vec<Mutex<Slot>> = apps
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let d_max = a.config.instances;
+                assert!(
+                    d_max < (1usize << APP_LANE_SHIFT),
+                    "app d_max must fit below the per-app lane range"
+                );
+                let mut step = SessionStep::new(a.app, a.config).with_orphan_repair(true);
+                if let Some(inj) = &injector {
+                    step = step.with_layers(StepLayers::chaos(inj, (i as u32) << APP_LANE_SHIFT));
+                }
+                if let Some(bus) = &config.bus {
+                    step = step.with_publisher(bus.sender(i));
+                }
+                Mutex::new(Slot {
+                    name: a.name,
+                    d_max,
+                    step: Some(step),
+                    queue: ReplacementQueue::new(retry),
+                    outcome: None,
+                    done: false,
+                    last_grant_round: 0,
+                    wait_rounds: 0,
+                    replacements: 0,
+                    devices_lost: 0,
+                    report: None,
+                })
+            })
+            .collect();
+
+        let mut kills_by_round: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for k in &config.kills {
+            kills_by_round.entry(k.round).or_default().push(k.victim);
+        }
+
+        let mut campaign = Campaign {
+            slots,
+            ledger,
+            pool,
+            injector,
+            kills_by_round,
+            steals: AtomicU64::new(0),
+            revocations: 0,
+            round: 0,
+            tick,
+            capacity,
+            workers,
+            min_hold_rounds: config.min_hold_rounds,
+            max_rounds: config.max_rounds,
+            host_start,
+            rounds_counter: telemetry.counter("campaign_rounds_total"),
+            steals_counter: telemetry.counter("campaign_steals_total"),
+            revocations_counter: telemetry.counter("campaign_lease_revocations_total"),
+            kills_counter: telemetry.counter("campaign_device_kills_total"),
+            replacements_counter: telemetry.counter("campaign_replacements_total"),
+            active_apps_gauge: telemetry.gauge("campaign_active_apps"),
+        };
+
+        // Initial leasing.
+        lease_boundary(
+            &mut campaign.slots,
+            &mut campaign.ledger,
+            campaign.pool.as_mut(),
+            campaign.injector.as_ref(),
+            campaign.round,
+            VirtualTime::ZERO,
+            campaign.min_hold_rounds,
+            &mut campaign.revocations,
+            &campaign.revocations_counter,
+            &campaign.replacements_counter,
+        );
+        campaign
+    }
+
+    /// Global rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Whether any app is still live (unfinished).
+    pub fn is_live(&self) -> bool {
+        self.slots.iter().any(|s| s.lock().step.is_some())
+    }
+
+    /// Advances the campaign one global round. Returns `false` once no
+    /// further round can run (all apps finished, nothing runnable, or
+    /// the `max_rounds` stop) — after which the driver must call
+    /// [`Campaign::finish`].
+    pub fn advance_round(&mut self) -> bool {
         let mut runnable: Vec<usize> = Vec::new();
         let mut live = 0usize;
-        for (i, slot) in slots.iter_mut().enumerate() {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
             let s = slot.get_mut();
             if let Some(step) = s.step.as_ref() {
                 live += 1;
@@ -456,47 +522,47 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
                 }
             }
         }
-        active_apps_gauge.set(live as i64);
+        self.active_apps_gauge.set(live as i64);
         if live == 0 {
-            break;
+            return false;
         }
         if runnable.is_empty() {
             // Unreachable for a healthy scheduler: the boundary below
             // always leaves at least one live app holding a device.
-            break;
+            return false;
         }
-        round += 1;
-        rounds_counter.inc();
+        self.round += 1;
+        self.rounds_counter.inc();
 
-        advance_parallel(&slots, &runnable, workers, &steals);
+        advance_parallel(&self.slots, &runnable, self.workers, &self.steals);
 
-        let global_now = VirtualTime::ZERO + tick * round;
+        let global_now = VirtualTime::ZERO + self.tick * self.round;
 
         // Boundary 1: stall-released devices back to the farm.
         for &i in &runnable {
-            let s = slots[i].get_mut();
+            let s = self.slots[i].get_mut();
             let out = s.outcome.take().expect("step advanced this round");
             s.done = out.done;
             for d in out.released {
-                ledger.release(d);
-                pool.release(d, global_now);
+                self.ledger.release(d);
+                self.pool.release(d, global_now);
             }
         }
 
         // Boundary 2: scheduled device kills, then rate-planned fault
         // losses (empty without a fault plan). Both go through the same
         // lease-kill → step-loss → replacement-queue path.
-        if let Some(victims) = kills_by_round.remove(&round) {
+        if let Some(victims) = self.kills_by_round.remove(&self.round) {
             for v in victims {
-                let leased = ledger.leased_devices();
+                let leased = self.ledger.leased_devices();
                 if leased.is_empty() {
                     break;
                 }
                 let d = leased[(v as usize) % leased.len()];
-                let app = ledger.kill(d).expect("device was leased");
-                pool.kill(d, global_now);
-                kills_counter.inc();
-                let s = slots[app].get_mut();
+                let app = self.ledger.kill(d).expect("device was leased");
+                self.pool.kill(d, global_now);
+                self.kills_counter.inc();
+                let s = self.slots[app].get_mut();
                 if let Some(step) = s.step.as_mut() {
                     step.lose_device(d);
                 }
@@ -504,11 +570,11 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
                 s.queue.device_lost(global_now);
             }
         }
-        for d in pool.round_losses(round, global_now) {
-            let app = ledger.kill(d).expect("active device is leased");
-            pool.kill(d, global_now);
-            kills_counter.inc();
-            let s = slots[app].get_mut();
+        for d in self.pool.round_losses(self.round, global_now) {
+            let app = self.ledger.kill(d).expect("active device is leased");
+            self.pool.kill(d, global_now);
+            self.kills_counter.inc();
+            let s = self.slots[app].get_mut();
             if let Some(step) = s.step.as_mut() {
                 step.lose_device(d);
             }
@@ -519,13 +585,13 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
         // Boundary 3: finish apps that reached their termination
         // condition.
         for &i in &runnable {
-            let s = slots[i].get_mut();
+            let s = self.slots[i].get_mut();
             if s.done && s.report.is_none() {
                 let step = s.step.take().expect("live app has a step");
                 let fin = step.finish();
                 for d in fin.released {
-                    ledger.release(d);
-                    pool.release(d, global_now);
+                    self.ledger.release(d);
+                    self.pool.release(d, global_now);
                 }
                 s.report = Some(AppReport {
                     name: s.name.clone(),
@@ -536,77 +602,141 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
                     stream: fin.stream,
                     enforcement_retries: fin.enforcement_retries,
                     wait_rounds: s.wait_rounds,
-                    finished_round: round,
+                    finished_round: self.round,
                 });
             }
         }
 
-        if round >= config.max_rounds {
-            break;
+        if self.round >= self.max_rounds {
+            return false;
         }
 
         // Boundary 4: leasing for the next round.
         lease_boundary(
-            &mut slots,
-            &mut ledger,
-            pool.as_mut(),
-            injector.as_ref(),
-            round,
+            &mut self.slots,
+            &mut self.ledger,
+            self.pool.as_mut(),
+            self.injector.as_ref(),
+            self.round,
             global_now,
-            config.min_hold_rounds,
-            &mut revocations,
-            &revocations_counter,
-            &replacements_counter,
+            self.min_hold_rounds,
+            &mut self.revocations,
+            &self.revocations_counter,
+            &self.replacements_counter,
         );
+        true
     }
-    steals_counter.add(steals.load(Ordering::Relaxed));
-    active_apps_gauge.set(0);
 
-    // Drain any still-live apps (max_rounds stop): finish them as-is.
-    let end_now = VirtualTime::ZERO + tick * round;
-    let mut reports: Vec<AppReport> = Vec::with_capacity(slots.len());
-    for slot in slots.iter_mut() {
-        let s = slot.get_mut();
-        if let Some(step) = s.step.take() {
-            let fin = step.finish();
-            for d in fin.released {
-                ledger.release(d);
-                pool.release(d, end_now);
-            }
-            s.report = Some(AppReport {
-                name: s.name.clone(),
-                session: fin.result,
-                replacements: s.replacements,
-                devices_lost: s.devices_lost,
-                unresolved_orphans: fin.unresolved_orphans,
-                stream: fin.stream,
-                enforcement_retries: fin.enforcement_retries,
-                wait_rounds: s.wait_rounds,
-                finished_round: round,
-            });
+    /// Fingerprints the campaign's logical state at the current round
+    /// boundary (see [`CampaignDigest`]). Every field is deterministic
+    /// for a fixed spec regardless of worker count, so digests taken at
+    /// the same round by an original run and a checkpoint replay must be
+    /// equal.
+    pub fn digest(&mut self) -> CampaignDigest {
+        let fault_stats = self.injector.as_ref().map(|i| i.stats());
+        let slots = self
+            .slots
+            .iter_mut()
+            .map(|slot| {
+                let s = slot.get_mut();
+                SlotDigest {
+                    name: s.name.clone(),
+                    progress: s.step.as_ref().map(|step| step.progress()),
+                    wait_rounds: s.wait_rounds,
+                    replacements: s.replacements as u64,
+                    devices_lost: s.devices_lost as u64,
+                }
+            })
+            .collect();
+        CampaignDigest {
+            round: self.round,
+            slots,
+            leased: self
+                .ledger
+                .leases()
+                .into_iter()
+                .map(|(d, a)| (d.0 as u64, a as u64))
+                .collect(),
+            grants: self.ledger.grants(),
+            releases: self.ledger.releases(),
+            kills: self.ledger.kills(),
+            conflicts: self.ledger.conflicts(),
+            pool_active: self.pool.active_count() as u64,
+            pool_lost: self.pool.lost_count() as u64,
+            pool_peak: self.pool.peak_active() as u64,
+            revocations: self.revocations,
+            faults_injected: fault_stats
+                .as_ref()
+                .map_or(0, |s| s.total_injected() as u64),
+            faults_recovered: fault_stats
+                .as_ref()
+                .map_or(0, |s| s.total_recovered() as u64),
         }
-        reports.push(s.report.take().expect("every app finished"));
     }
 
-    let machine_time = reports
-        .iter()
-        .fold(VirtualDuration::ZERO, |acc, r| acc + r.session.machine_time);
-    CampaignResult {
-        rounds: round,
-        tick,
-        wall_clock: tick * round,
-        machine_time,
-        capacity,
-        peak_active: pool.peak_active(),
-        grants: ledger.grants(),
-        revocations,
-        lease_conflicts: ledger.conflicts(),
-        farm_active_at_end: pool.active_count(),
-        steals: steals.load(Ordering::Relaxed),
-        fault_stats: injector.as_ref().map(|i| i.stats()),
-        host_ms: host_start.elapsed().as_millis() as u64,
-        apps: reports,
+    /// Finishes the campaign: drains any still-live apps and assembles
+    /// the result.
+    pub fn finish(mut self) -> CampaignResult {
+        self.steals_counter.add(self.steals.load(Ordering::Relaxed));
+        self.active_apps_gauge.set(0);
+
+        // Drain any still-live apps (max_rounds stop): finish them as-is.
+        let end_now = VirtualTime::ZERO + self.tick * self.round;
+        let mut reports: Vec<AppReport> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter_mut() {
+            let s = slot.get_mut();
+            if let Some(step) = s.step.take() {
+                let fin = step.finish();
+                for d in fin.released {
+                    self.ledger.release(d);
+                    self.pool.release(d, end_now);
+                }
+                s.report = Some(AppReport {
+                    name: s.name.clone(),
+                    session: fin.result,
+                    replacements: s.replacements,
+                    devices_lost: s.devices_lost,
+                    unresolved_orphans: fin.unresolved_orphans,
+                    stream: fin.stream,
+                    enforcement_retries: fin.enforcement_retries,
+                    wait_rounds: s.wait_rounds,
+                    finished_round: self.round,
+                });
+            }
+            reports.push(s.report.take().expect("every app finished"));
+        }
+
+        let machine_time = reports
+            .iter()
+            .fold(VirtualDuration::ZERO, |acc, r| acc + r.session.machine_time);
+        CampaignResult {
+            rounds: self.round,
+            tick: self.tick,
+            wall_clock: self.tick * self.round,
+            machine_time,
+            capacity: self.capacity,
+            peak_active: self.pool.peak_active(),
+            grants: self.ledger.grants(),
+            revocations: self.revocations,
+            lease_conflicts: self.ledger.conflicts(),
+            farm_active_at_end: self.pool.active_count(),
+            steals: self.steals.load(Ordering::Relaxed),
+            fault_stats: self.injector.as_ref().map(|i| i.stats()),
+            host_ms: self.host_start.elapsed().as_millis() as u64,
+            apps: reports,
+        }
     }
+}
+
+/// Runs a campaign to completion.
+///
+/// Deterministic for a fixed set of apps, seeds and [`CampaignConfig`]
+/// (excluding `workers`, which must not change results — see the module
+/// docs and `tests/campaign.rs`).
+pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> CampaignResult {
+    let mut campaign = Campaign::new(apps, config);
+    while campaign.advance_round() {}
+    campaign.finish()
 }
 
 /// Parallel phase: advance every runnable step by one round on a

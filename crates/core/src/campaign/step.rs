@@ -83,6 +83,37 @@ impl MachineMeter {
     }
 }
 
+/// A cheap, order-independent fingerprint of one session's progress,
+/// taken at a round boundary.
+///
+/// This is the per-app slice of a campaign digest (DESIGN.md §13): it
+/// pins everything scheduling can influence — the local clock, machine
+/// meter, union size, instance churn, and per-instance trace offsets
+/// (the positions feeding the coordinator's FindSpace analysis) — without
+/// serializing any live state. Two deterministic runs of the same spec
+/// agree on every field at every round boundary, so digest equality is
+/// how a checkpoint restore proves its replay converged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepProgress {
+    /// Rounds this session has advanced.
+    pub round: u64,
+    /// Local clock, in virtual ms.
+    pub now_ms: u64,
+    /// Machine time consumed as of the local clock, in virtual ms.
+    pub machine_ms: u64,
+    /// Methods in the union coverage set.
+    pub union: usize,
+    /// Instances already retired.
+    pub finished_instances: usize,
+    /// Next instance id to boot.
+    pub next_instance: u32,
+    /// Whether the termination condition was reached.
+    pub done: bool,
+    /// Per active instance, in boot order: `(instance id, device id,
+    /// trace length)`.
+    pub active: Vec<(u32, u64, u64)>,
+}
+
 /// What one round of a session produced for its scheduler.
 #[derive(Debug)]
 pub struct RoundOutcome {
@@ -325,6 +356,30 @@ impl SessionStep {
         self.meter.consumed_as_of(self.now)
     }
 
+    /// Fingerprints this session's progress (see [`StepProgress`]).
+    pub fn progress(&self) -> StepProgress {
+        StepProgress {
+            round: self.round,
+            now_ms: self.now.as_millis(),
+            machine_ms: self.meter.consumed_as_of(self.now).as_millis(),
+            union: self.union.len(),
+            finished_instances: self.finished.len(),
+            next_instance: self.next_instance,
+            done: self.done,
+            active: self
+                .active
+                .iter()
+                .map(|a| {
+                    (
+                        a.inst.id().0,
+                        a.device.0 as u64,
+                        a.inst.trace().len() as u64,
+                    )
+                })
+                .collect(),
+        }
+    }
+
     /// How many additional devices this session wants right now, honoring
     /// `d_max` and the mode's allocation policy.
     pub fn demand(&self) -> usize {
@@ -427,15 +482,14 @@ impl SessionStep {
         self.concurrency_timeline
             .push((self.now, self.active.len()));
 
-        // Device seam, latency: spikes are decided by the fault plan but
-        // applied here, where the emulator clocks live — the device
-        // stalls before it runs its round.
-        if self.layers.injector.is_some() {
-            for a in self.active.iter_mut() {
-                let lane = self.layers.lane_base + a.inst.id().0;
-                if let Some(extra) = self.layers.latency_spike(lane, self.round, self.now) {
-                    a.inst.emulator_mut().idle(extra);
-                }
+        // Device seam, latency half: spikes are decided behind the
+        // [`taopt_device::DeviceLatency`] layer but applied here, where
+        // the emulator clocks live — the device stalls before it runs
+        // its round. The plain wiring decides `None` for every lane.
+        for a in self.active.iter_mut() {
+            let lane = self.layers.lane_base + a.inst.id().0;
+            if let Some(extra) = self.layers.device.latency_spike(lane, self.round, self.now) {
+                a.inst.emulator_mut().idle(extra);
             }
         }
 

@@ -87,8 +87,9 @@ pub mod theorem;
 
 pub use analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceId, SubspaceInfo};
 pub use campaign::{
-    run_campaign, AppReport, BusTransport, CampaignApp, CampaignConfig, CampaignResult,
-    DirectEnforcement, Enforcement, FaultyBus, InertBus, KillEvent, SessionStep, StepLayers,
+    run_campaign, AppReport, BusTransport, Campaign, CampaignApp, CampaignConfig, CampaignDigest,
+    CampaignResult, DirectEnforcement, Enforcement, FaultyBus, InertBus, KillEvent, SessionStep,
+    StepLayers, StepProgress,
 };
 pub use chaos_session::{run_with_chaos, ChaosReport};
 pub use conductance::{conductance, partition_score};

@@ -37,5 +37,5 @@ pub use emulator::{DeviceId, Emulator, EmulatorConfig};
 pub use error::DeviceError;
 pub use farm::{fair_targets, fair_targets_from, DeviceClass, DeviceFarm};
 pub use logcat::{CrashCollector, LogEntry, Logcat};
-pub use pool::{DevicePool, PlainPool, PoolDecision};
+pub use pool::{DeviceLatency, DevicePool, NoLatency, PlainPool, PoolDecision};
 pub use triage::{CrashGroup, TriageReport};

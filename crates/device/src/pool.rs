@@ -89,6 +89,31 @@ pub trait DevicePool: Send {
     }
 }
 
+/// The latency half of the device seam: per-round stall decisions for
+/// the devices a session holds.
+///
+/// Latency spikes are a *device* fault, but they must be applied inside
+/// the session round, where the emulator clocks live — so the decision
+/// sits behind this trait (installed into the step's layer bundle) while
+/// the allocation half of the seam ([`DevicePool`]) stays with the
+/// driver. `lane` is a driver-scoped stream id (the instance id, offset
+/// per app in a campaign) so decisions are deterministic and decorrelated
+/// regardless of scheduling.
+pub trait DeviceLatency: Send {
+    /// Extra stall to apply to `lane`'s device in round `round`, if any.
+    fn latency_spike(&self, lane: u32, round: u64, now: VirtualTime) -> Option<VirtualDuration>;
+}
+
+/// The plain wiring: devices never stall.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoLatency;
+
+impl DeviceLatency for NoLatency {
+    fn latency_spike(&self, _lane: u32, _round: u64, _now: VirtualTime) -> Option<VirtualDuration> {
+        None
+    }
+}
+
 /// The inert pool: a [`DeviceFarm`] with no fault behaviour. Allocation
 /// failures map to [`PoolDecision::Exhausted`]; nothing is ever refused
 /// and no losses are scheduled.

@@ -1,0 +1,320 @@
+//! Durable, versioned campaign checkpoints.
+//!
+//! # File format (version 1)
+//!
+//! A checkpoint file is a one-line header followed by a JSON payload:
+//!
+//! ```text
+//! taopt-checkpoint v1 fnv64=<16 hex digits> len=<payload bytes>\n
+//! { ...payload... }
+//! ```
+//!
+//! The header pins the format version, an FNV-1a 64-bit checksum of the
+//! payload bytes, and the exact payload length. [`CheckpointStore::load`]
+//! validates all three before parsing, so truncation, bit rot and partial
+//! writes surface as [`ServiceError::Corrupt`] — never a panic and never
+//! a silently wrong resume. Writes go through a temp file plus atomic
+//! rename, so a crash *during* checkpointing leaves the previous
+//! checkpoint intact.
+//!
+//! The payload stores the campaign's [`CampaignSpec`] (its complete
+//! input), the round reached, and the [`CampaignDigest`] at that round.
+//! Restore rebuilds from the spec, replays to the round, and verifies the
+//! digest (DESIGN.md §13) — the runtime's determinism is what makes this
+//! small file a complete snapshot.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use taopt::CampaignDigest;
+use taopt_ui_model::json::Value;
+
+use crate::error::ServiceError;
+use crate::spec::CampaignSpec;
+
+/// Checkpoint format version this build reads and writes.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+const MAGIC: &str = "taopt-checkpoint";
+
+/// One durable snapshot of an in-flight (or not-yet-started) campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`] when written by this build).
+    pub version: u64,
+    /// Service-assigned campaign id.
+    pub campaign: u64,
+    /// Scheduling priority (higher runs first).
+    pub priority: u8,
+    /// Global round the campaign had completed. 0 with no digest means
+    /// the campaign was submitted but never started.
+    pub round: u64,
+    /// The campaign's complete input.
+    pub spec: CampaignSpec,
+    /// Digest at `round`; a restore replay must reproduce it exactly.
+    pub digest: Option<CampaignDigest>,
+}
+
+impl Checkpoint {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("version".to_owned(), Value::UInt(self.version)),
+            ("campaign".to_owned(), Value::UInt(self.campaign)),
+            ("priority".to_owned(), Value::UInt(self.priority as u64)),
+            ("round".to_owned(), Value::UInt(self.round)),
+            ("spec".to_owned(), self.spec.to_value()),
+        ];
+        if let Some(d) = &self.digest {
+            fields.push(("digest".to_owned(), d.to_value()));
+        }
+        Value::Object(fields)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ServiceError> {
+        let u = |key: &str| -> Result<u64, ServiceError> {
+            Ok(v.require(key)?.as_u64().ok_or_else(|| {
+                taopt_ui_model::json::JsonError::conversion(format!("field `{key}` must be a u64"))
+            })?)
+        };
+        let version = u("version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(ServiceError::UnsupportedVersion {
+                found: version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        Ok(Checkpoint {
+            version,
+            campaign: u("campaign")?,
+            priority: u("priority")? as u8,
+            round: u("round")?,
+            spec: CampaignSpec::from_value(v.require("spec")?)?,
+            digest: match v.get("digest") {
+                None | Some(Value::Null) => None,
+                Some(dv) => Some(CampaignDigest::from_value(dv)?),
+            },
+        })
+    }
+}
+
+/// FNV-1a 64-bit, the checksum in the checkpoint header.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A directory of checkpoint files, one per in-flight campaign.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, ServiceError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a campaign's checkpoint lives at.
+    pub fn path_for(&self, campaign: u64) -> PathBuf {
+        self.dir.join(format!("campaign-{campaign:08}.ckpt"))
+    }
+
+    /// Atomically writes `checkpoint`, replacing any previous snapshot of
+    /// the same campaign. The old file survives a crash mid-write.
+    pub fn save(&self, checkpoint: &Checkpoint) -> Result<PathBuf, ServiceError> {
+        let payload = checkpoint.to_value().to_json_string();
+        let header = format!(
+            "{MAGIC} v{} fnv64={:016x} len={}\n",
+            checkpoint.version,
+            fnv64(payload.as_bytes()),
+            payload.len()
+        );
+        let path = self.path_for(checkpoint.campaign);
+        let tmp = self
+            .dir
+            .join(format!("campaign-{:08}.ckpt.tmp", checkpoint.campaign));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(header.as_bytes())?;
+            f.write_all(payload.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        taopt_telemetry::global()
+            .counter("service_checkpoints_written_total")
+            .inc();
+        Ok(path)
+    }
+
+    /// Loads and validates the checkpoint at `path`. Truncated, corrupted
+    /// or alien files fail with a clean [`ServiceError`].
+    pub fn load(&self, path: &Path) -> Result<Checkpoint, ServiceError> {
+        let text = fs::read_to_string(path)?;
+        let display = path.display().to_string();
+        let corrupt = |reason: &str| ServiceError::Corrupt {
+            path: display.clone(),
+            reason: reason.to_owned(),
+        };
+        let (header, payload) = text
+            .split_once('\n')
+            .ok_or_else(|| corrupt("missing header line"))?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some(MAGIC) {
+            return Err(corrupt("bad magic"));
+        }
+        let version = parts
+            .next()
+            .and_then(|v| v.strip_prefix('v'))
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| corrupt("unreadable version"))?;
+        if version != CHECKPOINT_VERSION {
+            return Err(ServiceError::UnsupportedVersion {
+                found: version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        let expect_sum = parts
+            .next()
+            .and_then(|v| v.strip_prefix("fnv64="))
+            .and_then(|v| u64::from_str_radix(v, 16).ok())
+            .ok_or_else(|| corrupt("unreadable checksum"))?;
+        let expect_len = parts
+            .next()
+            .and_then(|v| v.strip_prefix("len="))
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| corrupt("unreadable length"))?;
+        if payload.len() != expect_len {
+            return Err(corrupt("payload length mismatch (truncated?)"));
+        }
+        if fnv64(payload.as_bytes()) != expect_sum {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let value = Value::parse(payload).map_err(ServiceError::Malformed)?;
+        Checkpoint::from_value(&value)
+    }
+
+    /// Every checkpoint file currently in the store, in campaign order.
+    pub fn list(&self) -> Result<Vec<PathBuf>, ServiceError> {
+        let mut paths: Vec<PathBuf> = fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+            .collect();
+        paths.sort();
+        Ok(paths)
+    }
+
+    /// Deletes a campaign's checkpoint (after completion). Missing files
+    /// are fine — completion can race a crash.
+    pub fn remove(&self, campaign: u64) {
+        let _ = fs::remove_file(self.path_for(campaign));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppSource, AppSpec};
+    use taopt::experiments::ExperimentScale;
+    use taopt::RunMode;
+    use taopt_tools::ToolKind;
+
+    fn tmp_store(tag: &str) -> CheckpointStore {
+        let dir =
+            std::env::temp_dir().join(format!("taopt-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        CheckpointStore::new(dir).unwrap()
+    }
+
+    fn sample(round: u64) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            campaign: 3,
+            priority: 7,
+            round,
+            spec: CampaignSpec::new(
+                "t",
+                vec![AppSpec {
+                    source: AppSource::Small {
+                        name: "a".to_owned(),
+                        seed: 1,
+                    },
+                    tool: ToolKind::Monkey,
+                    mode: RunMode::TaoptDuration,
+                    seed: 9,
+                }],
+                ExperimentScale::quick(),
+            ),
+            digest: None,
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_disk() {
+        let store = tmp_store("roundtrip");
+        let ckpt = sample(12);
+        let path = store.save(&ckpt).unwrap();
+        let back = store.load(&path).unwrap();
+        assert_eq!(ckpt, back);
+        assert_eq!(store.list().unwrap(), vec![path]);
+        store.remove(3);
+        assert!(store.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected_cleanly() {
+        let store = tmp_store("truncate");
+        let path = store.save(&sample(5)).unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+        for cut in [full.len() / 4, full.len() / 2, full.len() - 1] {
+            fs::write(&path, &full[..cut]).unwrap();
+            match store.load(&path) {
+                Err(ServiceError::Corrupt { .. }) => {}
+                other => panic!("expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_a_checksum_error() {
+        let store = tmp_store("flip");
+        let path = store.save(&sample(5)).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let idx = bytes.len() - 10;
+        bytes[idx] = bytes[idx].wrapping_add(1);
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.load(&path),
+            Err(ServiceError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn alien_and_future_version_files_are_rejected() {
+        let store = tmp_store("alien");
+        let path = store.path_for(1);
+        fs::write(&path, "not a checkpoint at all").unwrap();
+        assert!(matches!(
+            store.load(&path),
+            Err(ServiceError::Corrupt { .. })
+        ));
+        fs::write(&path, "taopt-checkpoint v99 fnv64=0 len=0\n").unwrap();
+        assert!(matches!(
+            store.load(&path),
+            Err(ServiceError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+}

@@ -1,0 +1,97 @@
+//! Service error taxonomy.
+//!
+//! Every failure mode the service can hit — including a corrupted or
+//! truncated checkpoint file — surfaces as a [`ServiceError`] value, never
+//! a panic: the durability contract is that a damaged checkpoint is
+//! *rejected cleanly* and the campaign reported failed, not that the whole
+//! service dies.
+
+use std::fmt;
+
+use taopt_ui_model::json::JsonError;
+
+/// Anything that can go wrong inside the campaign service.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Filesystem trouble reading or writing a checkpoint.
+    Io(std::io::Error),
+    /// A checkpoint file failed structural validation (bad magic, length
+    /// or checksum mismatch, truncation).
+    Corrupt {
+        /// Offending file.
+        path: String,
+        /// What failed.
+        reason: String,
+    },
+    /// A checkpoint was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u64,
+        /// Version this build supports.
+        supported: u64,
+    },
+    /// The checkpoint payload parsed as JSON but violated the schema.
+    Malformed(JsonError),
+    /// A spec referenced an app the catalog does not contain.
+    UnknownApp(String),
+    /// A replayed campaign diverged from its checkpointed digest.
+    DigestMismatch {
+        /// Round at which the digests were compared.
+        round: u64,
+        /// First divergent field.
+        detail: String,
+    },
+    /// The submission was refused by admission control.
+    Rejected(String),
+    /// No campaign with the given id.
+    UnknownCampaign(u64),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "checkpoint io: {e}"),
+            ServiceError::Corrupt { path, reason } => {
+                write!(f, "corrupt checkpoint {path}: {reason}")
+            }
+            ServiceError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "checkpoint version {found} unsupported (this build supports v{supported})"
+                )
+            }
+            ServiceError::Malformed(e) => write!(f, "malformed checkpoint payload: {e}"),
+            ServiceError::UnknownApp(name) => write!(f, "unknown catalog app `{name}`"),
+            ServiceError::DigestMismatch { round, detail } => {
+                write!(
+                    f,
+                    "replay diverged from checkpoint at round {round}: {detail}"
+                )
+            }
+            ServiceError::Rejected(why) => write!(f, "submission rejected: {why}"),
+            ServiceError::UnknownCampaign(id) => write!(f, "unknown campaign {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            ServiceError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<JsonError> for ServiceError {
+    fn from(e: JsonError) -> Self {
+        ServiceError::Malformed(e)
+    }
+}

@@ -1,0 +1,626 @@
+//! The persistent campaign service: a multi-tenant queue over one shared
+//! device-farm capacity budget.
+//!
+//! # Model
+//!
+//! Tenants [`CampaignService::submit`] serializable [`CampaignSpec`]s with
+//! a priority. A scheduler thread admits queued campaigns against the
+//! farm-capacity budget (highest priority first, FIFO within a priority)
+//! and runs each admitted campaign on its own runner thread, driving the
+//! deterministic [`Campaign`] round loop. When a waiting campaign
+//! outranks running ones and capacity is exhausted, the lowest-priority
+//! runners are asked to yield: they checkpoint at the next round boundary
+//! and re-queue (preemption is just an early resume).
+//!
+//! # Durability
+//!
+//! Every submission writes a round-0 checkpoint, and every runner
+//! re-checkpoints on a configurable round cadence, so at any instant each
+//! unfinished campaign has a durable snapshot. [`CampaignService::crash`]
+//! kills the service abruptly — no final checkpoints, mirroring a real
+//! process death — and [`CampaignService::recover`] rebuilds the whole
+//! queue from the checkpoint directory: every in-flight campaign resumes
+//! from its last snapshot by deterministic replay with digest
+//! verification, and completes byte-identical to an uninterrupted run
+//! (DESIGN.md §13).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use taopt::{Campaign, CampaignDigest};
+use taopt_chaos::{FaultKind, RecoveryKind};
+use taopt_telemetry::Labels;
+use taopt_ui_model::VirtualTime;
+
+use crate::checkpoint::{Checkpoint, CheckpointStore, CHECKPOINT_VERSION};
+use crate::error::ServiceError;
+use crate::spec::CampaignSpec;
+
+/// Service-level knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Total device capacity the service may lease out at once.
+    pub farm_capacity: usize,
+    /// Directory for durable checkpoints.
+    pub checkpoint_dir: PathBuf,
+    /// Rounds between durable checkpoints of a running campaign.
+    pub checkpoint_every: u64,
+}
+
+impl ServiceConfig {
+    /// Defaults: 16 devices, checkpoint every 8 rounds.
+    pub fn new(checkpoint_dir: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            farm_capacity: 16,
+            checkpoint_dir: checkpoint_dir.into(),
+            checkpoint_every: 8,
+        }
+    }
+}
+
+/// Service-assigned campaign handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CampaignId(pub u64);
+
+/// Scheduling priority; higher runs first.
+pub type Priority = u8;
+
+/// Where a campaign is in its service lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignStatus {
+    /// Waiting for capacity.
+    Queued,
+    /// Executing; `round` is the last completed global round.
+    Running {
+        /// Last completed global round.
+        round: u64,
+    },
+    /// Preempted (checkpointed and re-queued); resumes from `round`.
+    Paused {
+        /// Round the pause checkpoint was taken at.
+        round: u64,
+    },
+    /// Finished; the coverage report is available.
+    Done,
+    /// Could not run or resume.
+    Failed(
+        /// Human-readable reason.
+        String,
+    ),
+}
+
+struct Entry {
+    priority: Priority,
+    spec: CampaignSpec,
+    demand: usize,
+    status: CampaignStatus,
+    report: Option<String>,
+    resume_round: u64,
+    resume_digest: Option<CampaignDigest>,
+    pause: Arc<AtomicBool>,
+}
+
+struct State {
+    entries: BTreeMap<u64, Entry>,
+    /// Queued (or paused-and-requeued) campaign ids.
+    queue: Vec<u64>,
+    /// Currently running campaign ids.
+    running: Vec<u64>,
+    next_id: u64,
+    /// Graceful stop: drain the queue, then exit.
+    stop: bool,
+    /// Abrupt kill: exit *now*, no final checkpoints.
+    crashed: bool,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    store: CheckpointStore,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// The campaign service. Dropping it without [`CampaignService::shutdown`]
+/// or [`CampaignService::crash`] crashes it (abrupt, like process death).
+pub struct CampaignService {
+    shared: Arc<Shared>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl CampaignService {
+    /// Starts a service with an empty queue.
+    pub fn start(config: ServiceConfig) -> Result<Self, ServiceError> {
+        let store = CheckpointStore::new(config.checkpoint_dir.clone())?;
+        let shared = Arc::new(Shared {
+            config,
+            store,
+            state: Mutex::new(State {
+                entries: BTreeMap::new(),
+                queue: Vec::new(),
+                running: Vec::new(),
+                next_id: 1,
+                stop: false,
+                crashed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || scheduler_loop(&shared))
+        };
+        Ok(CampaignService {
+            shared,
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// Restarts a killed service from its checkpoint directory: every
+    /// readable checkpoint is re-enqueued at its stored priority and will
+    /// resume from its stored round. Unreadable checkpoints are left on
+    /// disk and reported, never panicked on.
+    pub fn recover(config: ServiceConfig) -> Result<(Self, RecoveryReport), ServiceError> {
+        let service = CampaignService::start(config)?;
+        let mut report = RecoveryReport::default();
+        let paths = service.shared.store.list()?;
+        for path in paths {
+            match service.shared.store.load(&path) {
+                Ok(ckpt) => {
+                    let id = service.enqueue_checkpoint(ckpt);
+                    report.resumed.push(id);
+                }
+                Err(e) => report.rejected.push((path, e)),
+            }
+        }
+        taopt_telemetry::global()
+            .counter("service_recoveries_total")
+            .inc();
+        Ok((service, report))
+    }
+
+    fn enqueue_checkpoint(&self, ckpt: Checkpoint) -> CampaignId {
+        let mut st = self.shared.state.lock();
+        let id = st.next_id.max(ckpt.campaign + 1);
+        st.next_id = id;
+        st.entries.insert(
+            ckpt.campaign,
+            Entry {
+                priority: ckpt.priority,
+                demand: ckpt.spec.device_demand(),
+                status: if ckpt.round > 0 {
+                    CampaignStatus::Paused { round: ckpt.round }
+                } else {
+                    CampaignStatus::Queued
+                },
+                report: None,
+                resume_round: ckpt.round,
+                resume_digest: ckpt.digest,
+                pause: Arc::new(AtomicBool::new(false)),
+                spec: ckpt.spec,
+            },
+        );
+        st.queue.push(ckpt.campaign);
+        self.shared.cv.notify_all();
+        CampaignId(ckpt.campaign)
+    }
+
+    /// Submits a campaign. Admission control rejects specs the farm can
+    /// never satisfy; accepted submissions are durable (a round-0
+    /// checkpoint hits disk before this returns).
+    pub fn submit(
+        &self,
+        spec: CampaignSpec,
+        priority: Priority,
+    ) -> Result<CampaignId, ServiceError> {
+        let demand = spec.device_demand();
+        if demand > self.shared.config.farm_capacity {
+            return Err(ServiceError::Rejected(format!(
+                "spec demands {demand} devices, farm has {}",
+                self.shared.config.farm_capacity
+            )));
+        }
+        // Validate the recipe up front: unknown apps fail the submitter,
+        // not a runner thread later.
+        let _ = spec.build()?;
+        let id = {
+            let mut st = self.shared.state.lock();
+            if st.stop || st.crashed {
+                return Err(ServiceError::Rejected(
+                    "service is shutting down".to_owned(),
+                ));
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            id
+        };
+        self.shared.store.save(&Checkpoint {
+            version: CHECKPOINT_VERSION,
+            campaign: id,
+            priority,
+            round: 0,
+            spec: spec.clone(),
+            digest: None,
+        })?;
+        {
+            let mut st = self.shared.state.lock();
+            st.entries.insert(
+                id,
+                Entry {
+                    priority,
+                    demand,
+                    status: CampaignStatus::Queued,
+                    report: None,
+                    resume_round: 0,
+                    resume_digest: None,
+                    pause: Arc::new(AtomicBool::new(false)),
+                    spec,
+                },
+            );
+            st.queue.push(id);
+        }
+        let t = taopt_telemetry::global();
+        t.counter("service_campaigns_submitted_total").inc();
+        self.shared.cv.notify_all();
+        Ok(CampaignId(id))
+    }
+
+    /// Current status of a campaign.
+    pub fn status(&self, id: CampaignId) -> Result<CampaignStatus, ServiceError> {
+        let st = self.shared.state.lock();
+        st.entries
+            .get(&id.0)
+            .map(|e| e.status.clone())
+            .ok_or(ServiceError::UnknownCampaign(id.0))
+    }
+
+    /// Blocks until a campaign reaches a terminal state, returning it.
+    pub fn wait(&self, id: CampaignId) -> Result<CampaignStatus, ServiceError> {
+        let mut st = self.shared.state.lock();
+        loop {
+            match st.entries.get(&id.0) {
+                None => return Err(ServiceError::UnknownCampaign(id.0)),
+                Some(e) => match &e.status {
+                    CampaignStatus::Done | CampaignStatus::Failed(_) => {
+                        return Ok(e.status.clone())
+                    }
+                    _ => {}
+                },
+            }
+            self.shared.cv.wait(&mut st);
+        }
+    }
+
+    /// Blocks until every submitted campaign is terminal.
+    pub fn wait_all(&self) {
+        let mut st = self.shared.state.lock();
+        while st
+            .entries
+            .values()
+            .any(|e| !matches!(e.status, CampaignStatus::Done | CampaignStatus::Failed(_)))
+        {
+            self.shared.cv.wait(&mut st);
+        }
+    }
+
+    /// The finished campaign's canonical coverage report
+    /// ([`taopt::CampaignResult::coverage_report`]), if it completed.
+    pub fn result(&self, id: CampaignId) -> Result<Option<String>, ServiceError> {
+        let st = self.shared.state.lock();
+        st.entries
+            .get(&id.0)
+            .map(|e| e.report.clone())
+            .ok_or(ServiceError::UnknownCampaign(id.0))
+    }
+
+    /// Kills the service abruptly: runners exit at their next round
+    /// boundary *without* writing a final checkpoint, exactly like a
+    /// process death. The last durable checkpoints stay on disk for
+    /// [`CampaignService::recover`].
+    pub fn crash(mut self) {
+        taopt_telemetry::global().fault(FaultKind::ServiceKilled.label(), None, VirtualTime::ZERO);
+        {
+            let mut st = self.shared.state.lock();
+            st.crashed = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful shutdown: waits for every queued and running campaign to
+    /// reach a terminal state, then stops the scheduler.
+    pub fn shutdown(mut self) {
+        self.wait_all();
+        {
+            let mut st = self.shared.state.lock();
+            st.stop = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Prometheus-format snapshot of the process-global telemetry
+    /// registry (the service's live status endpoint).
+    pub fn metrics_text(&self) -> String {
+        taopt_telemetry::global().render_prometheus()
+    }
+}
+
+impl Drop for CampaignService {
+    fn drop(&mut self) {
+        if let Some(h) = self.scheduler.take() {
+            {
+                let mut st = self.shared.state.lock();
+                st.crashed = true;
+            }
+            self.shared.cv.notify_all();
+            let _ = h.join();
+        }
+    }
+}
+
+/// What [`CampaignService::recover`] found in the checkpoint directory.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Campaigns re-enqueued from durable checkpoints.
+    pub resumed: Vec<CampaignId>,
+    /// Checkpoint files that failed validation, with their errors.
+    pub rejected: Vec<(PathBuf, ServiceError)>,
+}
+
+/// Scheduler: admits queued campaigns against the capacity budget and
+/// joins runner threads on exit.
+fn scheduler_loop(shared: &Arc<Shared>) {
+    let telemetry = taopt_telemetry::global();
+    let queue_gauge = telemetry.gauge("service_queue_depth");
+    let running_gauge = telemetry.gauge("service_running_campaigns");
+    let leased_gauge = telemetry.gauge("service_capacity_leased");
+    let preemptions = telemetry.counter("service_preemptions_total");
+    let mut runners: Vec<JoinHandle<()>> = Vec::new();
+
+    let mut st = shared.state.lock();
+    loop {
+        if st.crashed || (st.stop && st.queue.is_empty() && st.running.is_empty()) {
+            break;
+        }
+
+        // Highest priority first; FIFO (lowest id) within a priority.
+        let mut order: Vec<u64> = st.queue.clone();
+        order.sort_by_key(|id| {
+            let e = &st.entries[id];
+            (std::cmp::Reverse(e.priority), *id)
+        });
+        let mut leased: usize = st.running.iter().map(|id| st.entries[id].demand).sum();
+        for id in order {
+            let (demand, priority) = {
+                let e = &st.entries[&id];
+                (e.demand, e.priority)
+            };
+            if leased + demand <= shared.config.farm_capacity {
+                st.queue.retain(|q| *q != id);
+                st.running.push(id);
+                leased += demand;
+                let e = st.entries.get_mut(&id).expect("queued entry exists");
+                e.status = CampaignStatus::Running {
+                    round: e.resume_round,
+                };
+                let shared = Arc::clone(shared);
+                runners.push(std::thread::spawn(move || run_one(&shared, id)));
+            } else {
+                // Preemption: ask the lowest-priority strictly-outranked
+                // runners to yield until this campaign would fit. They
+                // checkpoint at their next boundary and re-queue; this
+                // campaign is admitted on a later pass once capacity
+                // actually frees.
+                let mut victims: Vec<(Priority, u64)> = st
+                    .running
+                    .iter()
+                    .map(|r| (st.entries[r].priority, *r))
+                    .filter(|(p, _)| *p < priority)
+                    .collect();
+                victims.sort();
+                let mut reclaimable = shared.config.farm_capacity - leased;
+                for (_, victim) in victims {
+                    if reclaimable >= demand {
+                        break;
+                    }
+                    let v = &st.entries[&victim];
+                    if !v.pause.swap(true, Ordering::SeqCst) {
+                        preemptions.inc();
+                    }
+                    reclaimable += v.demand;
+                }
+                // Strict priority order: do not backfill lower-priority
+                // campaigns past a blocked higher-priority one.
+                break;
+            }
+        }
+
+        queue_gauge.set(st.queue.len() as i64);
+        running_gauge.set(st.running.len() as i64);
+        leased_gauge.set(
+            st.running
+                .iter()
+                .map(|id| st.entries[id].demand)
+                .sum::<usize>() as i64,
+        );
+        shared.cv.wait(&mut st);
+    }
+    let crashed = st.crashed;
+    drop(st);
+    for h in runners {
+        let _ = h.join();
+    }
+    if !crashed {
+        queue_gauge.set(0);
+        running_gauge.set(0);
+        leased_gauge.set(0);
+    }
+}
+
+/// Runner: replays to the resume point if any, then drives the campaign
+/// round loop with cadence checkpoints until done, paused, or crashed.
+fn run_one(shared: &Arc<Shared>, id: u64) {
+    let telemetry = taopt_telemetry::global();
+    let round_gauge = telemetry
+        .registry()
+        .gauge("service_campaign_round", Labels::instance(id as u32));
+    let (spec, priority, resume_round, resume_digest, pause) = {
+        let st = shared.state.lock();
+        let e = &st.entries[&id];
+        (
+            e.spec.clone(),
+            e.priority,
+            e.resume_round,
+            e.resume_digest.clone(),
+            Arc::clone(&e.pause),
+        )
+    };
+
+    let fail = |why: String| {
+        let mut st = shared.state.lock();
+        st.running.retain(|r| *r != id);
+        if let Some(e) = st.entries.get_mut(&id) {
+            e.status = CampaignStatus::Failed(why);
+        }
+        drop(st);
+        shared.cv.notify_all();
+    };
+
+    let built = match spec.build() {
+        Ok(b) => b,
+        Err(e) => return fail(e.to_string()),
+    };
+    let (apps, config) = built;
+    let restore_start = Instant::now();
+    let mut campaign = Campaign::new(apps, &config);
+
+    // Deterministic replay back to the checkpointed round, then digest
+    // verification: a corrupted spec, a version skew, or a determinism
+    // regression all surface here as a clean failure.
+    if resume_round > 0 {
+        while campaign.round() < resume_round {
+            if !campaign.advance_round() {
+                break;
+            }
+        }
+        if campaign.round() != resume_round {
+            return fail(
+                ServiceError::DigestMismatch {
+                    round: campaign.round(),
+                    detail: format!("replay ended before checkpoint round {resume_round}"),
+                }
+                .to_string(),
+            );
+        }
+        if let Some(expected) = &resume_digest {
+            let actual = campaign.digest();
+            if let Some(divergence) = expected.diff(&actual) {
+                return fail(
+                    ServiceError::DigestMismatch {
+                        round: resume_round,
+                        detail: divergence,
+                    }
+                    .to_string(),
+                );
+            }
+        }
+        let latency_us = restore_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        telemetry
+            .registry()
+            .histogram("service_resume_latency_us", Labels::instance(id as u32))
+            .record(latency_us);
+        telemetry.recovery(
+            RecoveryKind::ServiceResumed.label(),
+            Some(id as u32),
+            VirtualTime::from_millis(spec.scale.tick.as_millis().saturating_mul(resume_round)),
+        );
+        telemetry.counter("service_resumes_total").inc();
+    }
+
+    let every = shared.config.checkpoint_every.max(1);
+    loop {
+        {
+            let st = shared.state.lock();
+            if st.crashed {
+                // Process death: no final checkpoint; the last durable one
+                // stands and recover() will replay past this point.
+                return;
+            }
+        }
+        if pause.swap(false, Ordering::SeqCst) {
+            let round = campaign.round();
+            let digest = campaign.digest();
+            let ckpt = Checkpoint {
+                version: CHECKPOINT_VERSION,
+                campaign: id,
+                priority,
+                round,
+                spec: spec.clone(),
+                digest: Some(digest.clone()),
+            };
+            if let Err(e) = shared.store.save(&ckpt) {
+                return fail(e.to_string());
+            }
+            let mut st = shared.state.lock();
+            st.running.retain(|r| *r != id);
+            if let Some(e) = st.entries.get_mut(&id) {
+                e.status = CampaignStatus::Paused { round };
+                e.resume_round = round;
+                e.resume_digest = Some(digest);
+            }
+            st.queue.push(id);
+            drop(st);
+            shared.cv.notify_all();
+            return;
+        }
+
+        let advanced = campaign.advance_round();
+        let round = campaign.round();
+        round_gauge.set(round as i64);
+        {
+            let mut st = shared.state.lock();
+            if let Some(e) = st.entries.get_mut(&id) {
+                e.status = CampaignStatus::Running { round };
+            }
+        }
+        if !advanced {
+            break;
+        }
+        if round.is_multiple_of(every) {
+            let digest = campaign.digest();
+            let ckpt = Checkpoint {
+                version: CHECKPOINT_VERSION,
+                campaign: id,
+                priority,
+                round,
+                spec: spec.clone(),
+                digest: Some(digest),
+            };
+            if let Err(e) = shared.store.save(&ckpt) {
+                return fail(e.to_string());
+            }
+        }
+    }
+
+    let report = campaign.finish().coverage_report();
+    shared.store.remove(id);
+    {
+        let mut st = shared.state.lock();
+        st.running.retain(|r| *r != id);
+        if let Some(e) = st.entries.get_mut(&id) {
+            e.status = CampaignStatus::Done;
+            e.report = Some(report);
+        }
+    }
+    telemetry.counter("service_campaigns_completed_total").inc();
+    shared.cv.notify_all();
+}
