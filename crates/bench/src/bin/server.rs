@@ -1,0 +1,303 @@
+//! Control-plane bench: two farm shards on loopback under mixed-priority
+//! wire load, with the long flagship campaign migrated shard A → shard B
+//! mid-flight. Writes `BENCH_server.json`.
+//!
+//! Flow: run every campaign directly ([`run_campaign`] via spec) for the
+//! uninterrupted reference reports, then start two [`CampaignService`]s
+//! behind [`serve`] on ephemeral loopback ports and submit all campaigns
+//! to shard A over the wire at mixed priorities (A's farm only fits two
+//! at a time, so queueing and admission run under load). Once the
+//! flagship is provably mid-flight, export its checkpoint from A (which
+//! preempts and detaches it) and import it into B, where it resumes by
+//! digest-verified replay. Every result is then collected over the wire.
+//!
+//! Exit gates (CI smoke): every wire-produced coverage report must be
+//! byte-identical to its direct reference, the migrated checkpoint must
+//! have been mid-flight (round > 0), shard A must answer 404 for the
+//! migrated campaign, and p95 status-route latency must stay under
+//! [`MAX_STATUS_P95_US`] of host time.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use taopt::report::TextTable;
+use taopt::run_campaign;
+use taopt::session::RunMode;
+use taopt_bench::{load_apps, HarnessArgs};
+use taopt_server::{serve, Client, ServerConfig};
+use taopt_service::checkpoint as ckpt_codec;
+use taopt_service::{
+    AppSource, AppSpec, CampaignService, CampaignSpec, CampaignStatus, ServiceConfig,
+};
+use taopt_tools::ToolKind;
+use taopt_ui_model::Value;
+
+/// Campaigns submitted to shard A.
+const CAMPAIGNS: usize = 6;
+
+/// Mixed submission priorities (higher runs first; campaign 0 is the
+/// flagship the migration targets).
+const PRIORITIES: [u8; CAMPAIGNS] = [9, 5, 3, 7, 2, 6];
+
+/// Host-time p95 gate on the status route, in µs. Status reads are the
+/// interactive path; they must stay fast while campaigns run and wait
+/// requests block.
+const MAX_STATUS_P95_US: u64 = 1_000_000;
+
+/// Checkpoint cadence in rounds.
+const CHECKPOINT_EVERY: u64 = 3;
+
+/// Wire-wait deadline per campaign.
+const WAIT: std::time::Duration = std::time::Duration::from_secs(600);
+
+/// Builds the bench's campaign specs: two catalog apps each, mixed
+/// tools, per-campaign seeds, demand capped so shard A fits exactly two
+/// campaigns at a time. Campaign 0 is the long flagship.
+fn build_specs(args: &HarnessArgs) -> Vec<CampaignSpec> {
+    let names: Vec<String> = load_apps(args.n_apps).into_iter().map(|(n, _)| n).collect();
+    (0..CAMPAIGNS)
+        .map(|i| {
+            let apps = (0..2)
+                .map(|j| AppSpec {
+                    source: AppSource::Catalog(names[(i + j) % names.len()].clone()),
+                    tool: if (i + j) % 2 == 0 {
+                        ToolKind::Monkey
+                    } else {
+                        ToolKind::Ape
+                    },
+                    mode: RunMode::TaoptDuration,
+                    seed: args.seed + (i * 2 + j) as u64 * 31,
+                })
+                .collect();
+            let mut spec = CampaignSpec::new(format!("bench-{i}"), apps, args.scale);
+            spec.capacity = Some(2 * args.scale.instances);
+            if i == 0 {
+                // Long enough that the migration provably lands mid-run.
+                spec.scale.duration = args.scale.duration * 4;
+            }
+            spec
+        })
+        .collect()
+}
+
+/// Starts one shard: a campaign service in `dir` behind a loopback
+/// server on an ephemeral port.
+fn shard(
+    dir: &std::path::Path,
+    demand: usize,
+) -> Result<(taopt_server::ServerHandle, Client), String> {
+    let mut config = ServiceConfig::new(dir);
+    config.farm_capacity = 2 * demand;
+    config.checkpoint_every = CHECKPOINT_EVERY;
+    let service = CampaignService::start(config).map_err(|e| format!("start service: {e}"))?;
+    let handle =
+        serve(service, ServerConfig::new("127.0.0.1:0")).map_err(|e| format!("serve: {e}"))?;
+    let client = Client::new(handle.addr());
+    Ok((handle, client))
+}
+
+fn main() -> ExitCode {
+    let args = HarnessArgs::parse();
+    let specs = build_specs(&args);
+    let demand = specs[0].device_demand();
+    eprintln!(
+        "server: {CAMPAIGNS} campaigns x demand {demand} over the wire, two shards, {:?}",
+        args.scale
+    );
+
+    // Uninterrupted references.
+    let direct_start = Instant::now();
+    let expected: Vec<String> = specs
+        .iter()
+        .map(|s| {
+            let (apps, config) = s.build().expect("bench spec builds");
+            run_campaign(apps, &config).coverage_report()
+        })
+        .collect();
+    let direct_ms = direct_start.elapsed().as_millis() as u64;
+    eprintln!("  direct reference runs: {direct_ms}ms");
+
+    let base = std::env::temp_dir().join(format!("taopt-bench-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let (handle_a, a) = match shard(&base.join("shard-a"), demand) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("server bench FAILED: shard A: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (handle_b, b) = match shard(&base.join("shard-b"), demand) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("server bench FAILED: shard B: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("  shard A {}, shard B {}", handle_a.addr(), handle_b.addr());
+
+    // Mixed-priority wire load onto shard A.
+    let wire_start = Instant::now();
+    let ids: Vec<_> = specs
+        .iter()
+        .zip(PRIORITIES)
+        .map(|(s, pri)| a.submit(s, pri).expect("wire submission admitted"))
+        .collect();
+
+    // Poll over the wire until the flagship is provably mid-flight and
+    // past its first checkpoints.
+    let poll_start = Instant::now();
+    loop {
+        match a.status(ids[0]).expect("known campaign") {
+            CampaignStatus::Running { round } if round >= 2 * CHECKPOINT_EVERY => break,
+            CampaignStatus::Done | CampaignStatus::Failed(_) => break,
+            _ if poll_start.elapsed().as_secs() > 60 => break,
+            _ => std::thread::sleep(std::time::Duration::from_millis(1)),
+        }
+    }
+
+    // Migrate the flagship A → B: export preempts at the next round
+    // boundary and detaches; the bytes travel verbatim; B verifies the
+    // checksum at decode and the digest during replay.
+    let migrate_start = Instant::now();
+    let text = match a.export_checkpoint_text(ids[0]) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("server bench FAILED: export from shard A: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let migrated_round = match ckpt_codec::decode(&text, "bench export") {
+        Ok(c) => c.round,
+        Err(e) => {
+            eprintln!("server bench FAILED: exported checkpoint unreadable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let migrated_id = match b.import_checkpoint_text(&text) {
+        Ok(id) => id,
+        Err(e) => {
+            eprintln!("server bench FAILED: import into shard B: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let migrate_ms = migrate_start.elapsed().as_millis() as u64;
+    let gone_from_a = a.status(ids[0]).err().and_then(|e| e.status()) == Some(404);
+    eprintln!(
+        "  migrated flagship at round {migrated_round} in {migrate_ms}ms \
+         (shard A 404s it: {gone_from_a})"
+    );
+
+    // Collect every result over the wire: the migrated flagship from B,
+    // the rest from A.
+    let mut table = TextTable::new(["Campaign", "Priority", "Shard", "Identical"]);
+    let mut all_identical = true;
+    for (i, id) in ids.iter().enumerate() {
+        let (client, shard_name, id) = if i == 0 {
+            (&b, "A->B", migrated_id)
+        } else {
+            (&a, "A", *id)
+        };
+        let status = client.wait(id, WAIT).expect("wire wait");
+        let report = if status == CampaignStatus::Done {
+            client.result(id).ok()
+        } else {
+            None
+        };
+        let identical = report.as_deref() == Some(expected[i].as_str());
+        all_identical &= identical;
+        table.row([
+            specs[i].name.clone(),
+            PRIORITIES[i].to_string(),
+            shard_name.to_owned(),
+            if identical { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    let wire_ms = wire_start.elapsed().as_millis() as u64;
+
+    println!(
+        "Control plane: {CAMPAIGNS} campaigns over the wire, two shards, \
+         flagship migrated mid-flight"
+    );
+    print!("{}", table.render());
+
+    // Request-latency accounting: the status route is the interactive
+    // path; wait-route samples legitimately block and are reported
+    // separately, not gated.
+    let snapshot = taopt_telemetry::global().snapshot();
+    let status_hist = snapshot
+        .histograms
+        .get("server_request_latency_us{kind=\"status\"}");
+    let (status_p50_us, status_p95_us, status_requests) = status_hist.map_or((0, 0, 0), |h| {
+        (
+            h.quantile(0.5).unwrap_or(0),
+            h.quantile(0.95).unwrap_or(0),
+            h.count,
+        )
+    });
+    let requests_total = snapshot.counter_total("server_requests_total");
+    let errors_total = snapshot.counter_total("server_errors_total");
+    let backpressure_total = snapshot.counter_total("server_backpressure_total");
+    let exports = snapshot.counter_total("service_exports_total");
+    let imports = snapshot.counter_total("service_imports_total");
+    println!(
+        "{requests_total} requests ({errors_total} error responses, \
+         {backpressure_total} shed), status p50 {:.1}ms / p95 {:.1}ms over \
+         {status_requests} reads, {exports} exports / {imports} imports, \
+         wire {wire_ms}ms (direct {direct_ms}ms)",
+        status_p50_us as f64 / 1000.0,
+        status_p95_us as f64 / 1000.0,
+    );
+
+    let doc = Value::Object(vec![
+        ("bench".to_owned(), Value::Str("server".to_owned())),
+        ("campaigns".to_owned(), Value::UInt(CAMPAIGNS as u64)),
+        ("farm_capacity".to_owned(), Value::UInt(2 * demand as u64)),
+        ("seed".to_owned(), Value::UInt(args.seed)),
+        ("checkpoint_every".to_owned(), Value::UInt(CHECKPOINT_EVERY)),
+        ("byte_identical".to_owned(), Value::Bool(all_identical)),
+        ("migrated_round".to_owned(), Value::UInt(migrated_round)),
+        ("gone_from_source".to_owned(), Value::Bool(gone_from_a)),
+        ("migrate_ms".to_owned(), Value::UInt(migrate_ms)),
+        ("requests_total".to_owned(), Value::UInt(requests_total)),
+        ("errors_total".to_owned(), Value::UInt(errors_total)),
+        (
+            "backpressure_total".to_owned(),
+            Value::UInt(backpressure_total),
+        ),
+        ("status_p50_us".to_owned(), Value::UInt(status_p50_us)),
+        ("status_p95_us".to_owned(), Value::UInt(status_p95_us)),
+        ("wire_ms".to_owned(), Value::UInt(wire_ms)),
+        ("direct_ms".to_owned(), Value::UInt(direct_ms)),
+    ]);
+    let json = doc.to_json_string();
+    let out = "BENCH_server.json";
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("server bench FAILED: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("server bench: wrote {out} ({} bytes)", json.len());
+    handle_a.stop().shutdown();
+    handle_b.stop().shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+
+    if !all_identical {
+        eprintln!("server bench FAILED: a wire-produced report diverged from its direct run");
+        return ExitCode::FAILURE;
+    }
+    if migrated_round == 0 {
+        eprintln!("server bench FAILED: the migrated checkpoint was not mid-flight");
+        return ExitCode::FAILURE;
+    }
+    if !gone_from_a {
+        eprintln!("server bench FAILED: shard A still knows the migrated campaign");
+        return ExitCode::FAILURE;
+    }
+    if status_p95_us > MAX_STATUS_P95_US {
+        eprintln!(
+            "server bench FAILED: p95 status latency {status_p95_us}us exceeds \
+             {MAX_STATUS_P95_US}us"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,226 @@
+//! A minimal, std-only HTTP/1.1 layer.
+//!
+//! The container this system builds in is offline, so no external HTTP
+//! stack is available — and none is needed: the control plane speaks a
+//! deliberately small subset of HTTP/1.1. One request per connection
+//! (`Connection: close`), bodies framed by `Content-Length`, no chunked
+//! transfer, no keep-alive, no TLS. Every limit is explicit so a
+//! misbehaving peer costs a bounded amount of memory and time, never an
+//! unbounded buffer or a hung worker.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Longest accepted request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Largest accepted request body (checkpoints with big specs fit with
+/// orders of magnitude to spare).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Socket read/write timeout: a stalled peer frees its worker.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parse- or framing-level HTTP failure (maps to 400, never a panic).
+#[derive(Debug)]
+pub struct HttpError(pub String);
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError(format!("io: {e}"))
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path without the query string (`/v1/campaigns/3`).
+    pub path: String,
+    /// Query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty without `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path split into non-empty segments
+    /// (`/v1/campaigns/3` → `["v1", "campaigns", "3"]`).
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Reads and parses one request from `stream`. Enforces [`MAX_HEAD_BYTES`]
+/// and [`MAX_BODY_BYTES`]; anything over budget or malformed is a clean
+/// [`HttpError`].
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut head = 0usize;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    head += line.len();
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError("empty request line".to_owned()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError("request line missing target".to_owned()))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError("request line missing version".to_owned()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError(format!("unsupported version {version}")));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        head += header.len();
+        if head > MAX_HEAD_BYTES {
+            return Err(HttpError("request head too large".to_owned()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| HttpError("unreadable content-length".to_owned()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| HttpError("body is not utf-8".to_owned()))?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q),
+        None => (target.clone(), ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_owned(), v.to_owned()),
+            None => (kv.to_owned(), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// One response about to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let value = taopt_ui_model::json::Value::Object(vec![(
+            "error".to_owned(),
+            taopt_ui_model::json::Value::Str(message.to_owned()),
+        )]);
+        Response::json(status, value.to_json_string())
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `response` to `stream` and flushes. Connection: close always —
+/// one request per connection keeps the worker pool's accounting exact.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    if response.status == 503 || response.status == 429 {
+        head.push_str("Retry-After: 1\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}

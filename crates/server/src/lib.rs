@@ -1,0 +1,63 @@
+//! # taopt-server — the campaign service on the network
+//!
+//! [`taopt-service`](taopt_service) answers "run many campaigns
+//! durably, in one process". This crate puts that service on the wire so
+//! one farm shard can serve many tenants — and so shards can hand
+//! campaigns to each other (DESIGN.md §14):
+//!
+//! - **Control plane** ([`server`]) — a std-only HTTP/1.1 API over
+//!   `TcpListener` (the build environment is offline; no external HTTP
+//!   stack): submit, status, bounded wait, result, Prometheus `/metrics`,
+//!   graceful drain. A bounded worker pool with explicit backpressure
+//!   (503 when the connection queue is full, 429 at the pending-campaign
+//!   cap) keeps the footprint fixed under any load — never a thread per
+//!   connection.
+//! - **Checkpoint migration** — `GET /v1/campaigns/{id}/checkpoint`
+//!   exports a campaign's durable `(spec, round, digest)` checkpoint,
+//!   preempting it first if it is mid-flight, and *detaches* it from the
+//!   shard; `POST /v1/campaigns/import` admits it elsewhere, where it
+//!   resumes by deterministic replay with the `CampaignDigest` verified
+//!   — so a campaign
+//!   migrated between shards finishes byte-identical to one that never
+//!   moved, and a tampered checkpoint is rejected cleanly.
+//! - **Typed client** ([`client`]) — a blocking client over `TcpStream`
+//!   with the same types the service uses in-process, plus
+//!   [`migrate`] composing export and import.
+//!
+//! ```no_run
+//! use taopt_server::{serve, Client, ServerConfig};
+//! use taopt_service::{AppSource, AppSpec, CampaignService, CampaignSpec, ServiceConfig};
+//! use taopt::experiments::ExperimentScale;
+//! use taopt::RunMode;
+//! use taopt_tools::ToolKind;
+//! use std::time::Duration;
+//!
+//! let service = CampaignService::start(ServiceConfig::new("/tmp/taopt-shard-a")).unwrap();
+//! let handle = serve(service, ServerConfig::new("127.0.0.1:0")).unwrap();
+//! let client = Client::new(handle.addr());
+//! let spec = CampaignSpec::new(
+//!     "nightly",
+//!     vec![AppSpec {
+//!         source: AppSource::Catalog("AbsWorkout".to_owned()),
+//!         tool: ToolKind::Monkey,
+//!         mode: RunMode::TaoptDuration,
+//!         seed: 7,
+//!     }],
+//!     ExperimentScale::quick(),
+//! );
+//! let id = client.submit(&spec, 5).unwrap();
+//! client.wait(id, Duration::from_secs(600)).unwrap();
+//! println!("{}", client.result(id).unwrap());
+//! handle.stop().shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod wire;
+
+pub use client::{migrate, Client, ClientError};
+pub use server::{serve, ServerConfig, ServerHandle};

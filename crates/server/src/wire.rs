@@ -1,0 +1,134 @@
+//! JSON wire schemas shared by the server routes and the typed client.
+//!
+//! Everything on the wire is either a checkpoint in its durable text
+//! format ([`taopt_service::checkpoint::encode`]) or a small JSON object
+//! built from these codecs, so the client and server cannot drift apart.
+
+use taopt_service::{CampaignId, CampaignStatus};
+use taopt_ui_model::json::{JsonError, Value};
+
+/// Renders a campaign status as its wire object:
+/// `{"id":3,"state":"running","round":7}`.
+pub fn status_to_value(id: CampaignId, status: &CampaignStatus) -> Value {
+    let mut fields = vec![("id".to_owned(), Value::UInt(id.0))];
+    match status {
+        CampaignStatus::Queued => {
+            fields.push(("state".to_owned(), Value::Str("queued".to_owned())));
+        }
+        CampaignStatus::Running { round } => {
+            fields.push(("state".to_owned(), Value::Str("running".to_owned())));
+            fields.push(("round".to_owned(), Value::UInt(*round)));
+        }
+        CampaignStatus::Paused { round } => {
+            fields.push(("state".to_owned(), Value::Str("paused".to_owned())));
+            fields.push(("round".to_owned(), Value::UInt(*round)));
+        }
+        CampaignStatus::Done => {
+            fields.push(("state".to_owned(), Value::Str("done".to_owned())));
+        }
+        CampaignStatus::Failed(reason) => {
+            fields.push(("state".to_owned(), Value::Str("failed".to_owned())));
+            fields.push(("reason".to_owned(), Value::Str(reason.clone())));
+        }
+    }
+    Value::Object(fields)
+}
+
+/// Parses the wire status object back into `(id, status)`.
+pub fn status_from_value(v: &Value) -> Result<(CampaignId, CampaignStatus), JsonError> {
+    let id = v
+        .require("id")?
+        .as_u64()
+        .ok_or_else(|| JsonError::conversion("id must be a u64"))?;
+    let state = v
+        .require("state")?
+        .as_str()
+        .ok_or_else(|| JsonError::conversion("state must be a string"))?;
+    let round = || -> Result<u64, JsonError> {
+        v.require("round")?
+            .as_u64()
+            .ok_or_else(|| JsonError::conversion("round must be a u64"))
+    };
+    let status = match state {
+        "queued" => CampaignStatus::Queued,
+        "running" => CampaignStatus::Running { round: round()? },
+        "paused" => CampaignStatus::Paused { round: round()? },
+        "done" => CampaignStatus::Done,
+        "failed" => CampaignStatus::Failed(
+            v.require("reason")?
+                .as_str()
+                .ok_or_else(|| JsonError::conversion("reason must be a string"))?
+                .to_owned(),
+        ),
+        other => {
+            return Err(JsonError::conversion(format!(
+                "unknown campaign state `{other}`"
+            )))
+        }
+    };
+    Ok((CampaignId(id), status))
+}
+
+/// `{"id":3}` — submit/import responses.
+pub fn id_to_value(id: CampaignId) -> Value {
+    Value::Object(vec![("id".to_owned(), Value::UInt(id.0))])
+}
+
+/// Parses an `{"id":3}` response.
+pub fn id_from_value(v: &Value) -> Result<CampaignId, JsonError> {
+    Ok(CampaignId(v.require("id")?.as_u64().ok_or_else(|| {
+        JsonError::conversion("id must be a u64")
+    })?))
+}
+
+/// `{"checkpointed":[1,2,3]}` — the drain response.
+pub fn drained_to_value(ids: &[CampaignId]) -> Value {
+    Value::Object(vec![(
+        "checkpointed".to_owned(),
+        Value::Array(ids.iter().map(|id| Value::UInt(id.0)).collect()),
+    )])
+}
+
+/// Parses the drain response.
+pub fn drained_from_value(v: &Value) -> Result<Vec<CampaignId>, JsonError> {
+    v.require("checkpointed")?
+        .as_array()
+        .ok_or_else(|| JsonError::conversion("checkpointed must be an array"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .map(CampaignId)
+                .ok_or_else(|| JsonError::conversion("checkpointed ids must be u64"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_roundtrips_every_state() {
+        for status in [
+            CampaignStatus::Queued,
+            CampaignStatus::Running { round: 7 },
+            CampaignStatus::Paused { round: 3 },
+            CampaignStatus::Done,
+            CampaignStatus::Failed("digest mismatch".to_owned()),
+        ] {
+            let text = status_to_value(CampaignId(9), &status).to_json_string();
+            let v = Value::parse(&text).unwrap();
+            let (id, back) = status_from_value(&v).unwrap();
+            assert_eq!(id, CampaignId(9));
+            assert_eq!(back, status);
+        }
+    }
+
+    #[test]
+    fn drain_list_roundtrips() {
+        let ids = vec![CampaignId(1), CampaignId(5), CampaignId(12)];
+        let text = drained_to_value(&ids).to_json_string();
+        let back = drained_from_value(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ids);
+    }
+}

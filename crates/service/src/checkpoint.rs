@@ -108,6 +108,66 @@ fn fnv64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Renders a checkpoint in the durable wire format (header line + JSON
+/// payload). The same bytes live on disk and travel over the network
+/// during shard migration, so the checksum protects both.
+pub fn encode(checkpoint: &Checkpoint) -> String {
+    let payload = checkpoint.to_value().to_json_string();
+    format!(
+        "{MAGIC} v{} fnv64={:016x} len={}\n{payload}",
+        checkpoint.version,
+        fnv64(payload.as_bytes()),
+        payload.len()
+    )
+}
+
+/// Parses and validates checkpoint text (the inverse of [`encode`]).
+/// `origin` names the source in errors — a file path, or a peer address
+/// for checkpoints received over the wire. Truncated, corrupted or alien
+/// input fails with a clean [`ServiceError`], never a panic.
+pub fn decode(text: &str, origin: &str) -> Result<Checkpoint, ServiceError> {
+    let corrupt = |reason: &str| ServiceError::Corrupt {
+        path: origin.to_owned(),
+        reason: reason.to_owned(),
+    };
+    let (header, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| corrupt("missing header line"))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(MAGIC) {
+        return Err(corrupt("bad magic"));
+    }
+    let version = parts
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse::<u64>().ok())
+        .ok_or_else(|| corrupt("unreadable version"))?;
+    if version != CHECKPOINT_VERSION {
+        return Err(ServiceError::UnsupportedVersion {
+            found: version,
+            supported: CHECKPOINT_VERSION,
+        });
+    }
+    let expect_sum = parts
+        .next()
+        .and_then(|v| v.strip_prefix("fnv64="))
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| corrupt("unreadable checksum"))?;
+    let expect_len = parts
+        .next()
+        .and_then(|v| v.strip_prefix("len="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or_else(|| corrupt("unreadable length"))?;
+    if payload.len() != expect_len {
+        return Err(corrupt("payload length mismatch (truncated?)"));
+    }
+    if fnv64(payload.as_bytes()) != expect_sum {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let value = Value::parse(payload).map_err(ServiceError::Malformed)?;
+    Checkpoint::from_value(&value)
+}
+
 /// A directory of checkpoint files, one per in-flight campaign.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
@@ -135,21 +195,14 @@ impl CheckpointStore {
     /// Atomically writes `checkpoint`, replacing any previous snapshot of
     /// the same campaign. The old file survives a crash mid-write.
     pub fn save(&self, checkpoint: &Checkpoint) -> Result<PathBuf, ServiceError> {
-        let payload = checkpoint.to_value().to_json_string();
-        let header = format!(
-            "{MAGIC} v{} fnv64={:016x} len={}\n",
-            checkpoint.version,
-            fnv64(payload.as_bytes()),
-            payload.len()
-        );
+        let text = encode(checkpoint);
         let path = self.path_for(checkpoint.campaign);
         let tmp = self
             .dir
             .join(format!("campaign-{:08}.ckpt.tmp", checkpoint.campaign));
         {
             let mut f = fs::File::create(&tmp)?;
-            f.write_all(header.as_bytes())?;
-            f.write_all(payload.as_bytes())?;
+            f.write_all(text.as_bytes())?;
             f.sync_all()?;
         }
         fs::rename(&tmp, &path)?;
@@ -163,47 +216,7 @@ impl CheckpointStore {
     /// or alien files fail with a clean [`ServiceError`].
     pub fn load(&self, path: &Path) -> Result<Checkpoint, ServiceError> {
         let text = fs::read_to_string(path)?;
-        let display = path.display().to_string();
-        let corrupt = |reason: &str| ServiceError::Corrupt {
-            path: display.clone(),
-            reason: reason.to_owned(),
-        };
-        let (header, payload) = text
-            .split_once('\n')
-            .ok_or_else(|| corrupt("missing header line"))?;
-        let mut parts = header.split_whitespace();
-        if parts.next() != Some(MAGIC) {
-            return Err(corrupt("bad magic"));
-        }
-        let version = parts
-            .next()
-            .and_then(|v| v.strip_prefix('v'))
-            .and_then(|v| v.parse::<u64>().ok())
-            .ok_or_else(|| corrupt("unreadable version"))?;
-        if version != CHECKPOINT_VERSION {
-            return Err(ServiceError::UnsupportedVersion {
-                found: version,
-                supported: CHECKPOINT_VERSION,
-            });
-        }
-        let expect_sum = parts
-            .next()
-            .and_then(|v| v.strip_prefix("fnv64="))
-            .and_then(|v| u64::from_str_radix(v, 16).ok())
-            .ok_or_else(|| corrupt("unreadable checksum"))?;
-        let expect_len = parts
-            .next()
-            .and_then(|v| v.strip_prefix("len="))
-            .and_then(|v| v.parse::<usize>().ok())
-            .ok_or_else(|| corrupt("unreadable length"))?;
-        if payload.len() != expect_len {
-            return Err(corrupt("payload length mismatch (truncated?)"));
-        }
-        if fnv64(payload.as_bytes()) != expect_sum {
-            return Err(corrupt("checksum mismatch"));
-        }
-        let value = Value::parse(payload).map_err(ServiceError::Malformed)?;
-        Checkpoint::from_value(&value)
+        decode(&text, &path.display().to_string())
     }
 
     /// Every checkpoint file currently in the store, in campaign order.
@@ -218,9 +231,23 @@ impl CheckpointStore {
     }
 
     /// Deletes a campaign's checkpoint (after completion). Missing files
-    /// are fine — completion can race a crash.
+    /// are fine — completion can race a crash — but any other I/O failure
+    /// is counted in `service_checkpoint_remove_errors_total` and logged,
+    /// because a checkpoint that cannot be deleted will be resurrected by
+    /// the next [`CampaignService::recover`](crate::CampaignService::recover).
     pub fn remove(&self, campaign: u64) {
-        let _ = fs::remove_file(self.path_for(campaign));
+        let path = self.path_for(campaign);
+        if let Err(e) = fs::remove_file(&path) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                taopt_telemetry::global()
+                    .counter("service_checkpoint_remove_errors_total")
+                    .inc();
+                eprintln!(
+                    "taopt-service: failed to remove checkpoint {}: {e}",
+                    path.display()
+                );
+            }
+        }
     }
 }
 
@@ -272,6 +299,38 @@ mod tests {
         assert_eq!(store.list().unwrap(), vec![path]);
         store.remove(3);
         assert!(store.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn wire_encode_decode_roundtrip() {
+        let ckpt = sample(7);
+        let text = encode(&ckpt);
+        assert!(text.starts_with("taopt-checkpoint v1 fnv64="));
+        let back = decode(&text, "peer:1234").unwrap();
+        assert_eq!(ckpt, back);
+        // A flipped payload byte fails the checksum with the origin named.
+        let mut bytes = text.into_bytes();
+        let idx = bytes.len() - 10;
+        bytes[idx] = bytes[idx].wrapping_add(1);
+        match decode(std::str::from_utf8(&bytes).unwrap(), "peer:1234") {
+            Err(ServiceError::Corrupt { path, .. }) => assert_eq!(path, "peer:1234"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_failure_is_counted_not_swallowed() {
+        let store = tmp_store("remove-err");
+        let counter = taopt_telemetry::global().counter("service_checkpoint_remove_errors_total");
+        // Missing file: fine, not an error.
+        let before = counter.get();
+        store.remove(42);
+        assert_eq!(counter.get(), before);
+        // A directory squatting on the checkpoint path: remove_file fails
+        // and the failure must be counted.
+        fs::create_dir_all(store.path_for(42)).unwrap();
+        store.remove(42);
+        assert_eq!(counter.get(), before + 1);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -104,6 +104,9 @@ struct Entry {
     resume_round: u64,
     resume_digest: Option<CampaignDigest>,
     pause: Arc<AtomicBool>,
+    /// Mid-export: the scheduler must not (re-)admit this campaign while
+    /// its checkpoint is being handed to another shard.
+    migrating: bool,
 }
 
 struct State {
@@ -117,6 +120,9 @@ struct State {
     stop: bool,
     /// Abrupt kill: exit *now*, no final checkpoints.
     crashed: bool,
+    /// Draining: every running campaign checkpoints and yields, nothing
+    /// new is admitted or accepted (the migration-ready quiescent state).
+    draining: bool,
 }
 
 struct Shared {
@@ -147,6 +153,7 @@ impl CampaignService {
                 next_id: 1,
                 stop: false,
                 crashed: false,
+                draining: false,
             }),
             cv: Condvar::new(),
         });
@@ -201,6 +208,7 @@ impl CampaignService {
                 resume_round: ckpt.round,
                 resume_digest: ckpt.digest,
                 pause: Arc::new(AtomicBool::new(false)),
+                migrating: false,
                 spec: ckpt.spec,
             },
         );
@@ -229,7 +237,7 @@ impl CampaignService {
         let _ = spec.build()?;
         let id = {
             let mut st = self.shared.state.lock();
-            if st.stop || st.crashed {
+            if st.stop || st.crashed || st.draining {
                 return Err(ServiceError::Rejected(
                     "service is shutting down".to_owned(),
                 ));
@@ -258,6 +266,7 @@ impl CampaignService {
                     resume_round: 0,
                     resume_digest: None,
                     pause: Arc::new(AtomicBool::new(false)),
+                    migrating: false,
                     spec,
                 },
             );
@@ -280,18 +289,49 @@ impl CampaignService {
 
     /// Blocks until a campaign reaches a terminal state, returning it.
     pub fn wait(&self, id: CampaignId) -> Result<CampaignStatus, ServiceError> {
+        loop {
+            if let Some(status) = self.wait_timeout(id, Duration::from_secs(3600))? {
+                return Ok(status);
+            }
+        }
+    }
+
+    /// Blocks until a campaign reaches a terminal state or `timeout`
+    /// elapses, whichever comes first. Returns `Ok(None)` on timeout —
+    /// the bounded primitive network handlers use so a slow campaign can
+    /// never hang a connection forever.
+    pub fn wait_timeout(
+        &self,
+        id: CampaignId,
+        timeout: Duration,
+    ) -> Result<Option<CampaignStatus>, ServiceError> {
+        let deadline = Instant::now() + timeout;
         let mut st = self.shared.state.lock();
         loop {
             match st.entries.get(&id.0) {
                 None => return Err(ServiceError::UnknownCampaign(id.0)),
                 Some(e) => match &e.status {
                     CampaignStatus::Done | CampaignStatus::Failed(_) => {
-                        return Ok(e.status.clone())
+                        return Ok(Some(e.status.clone()))
                     }
                     _ => {}
                 },
             }
-            self.shared.cv.wait(&mut st);
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let res = self.shared.cv.wait_for(&mut st, deadline - now);
+            if res.timed_out() {
+                // Re-check the status once before reporting the timeout:
+                // the state may have turned terminal as the clock ran out.
+                if let Some(e) = st.entries.get(&id.0) {
+                    if matches!(e.status, CampaignStatus::Done | CampaignStatus::Failed(_)) {
+                        return Ok(Some(e.status.clone()));
+                    }
+                }
+                return Ok(None);
+            }
         }
     }
 
@@ -334,9 +374,13 @@ impl CampaignService {
     }
 
     /// Graceful shutdown: waits for every queued and running campaign to
-    /// reach a terminal state, then stops the scheduler.
+    /// reach a terminal state, then stops the scheduler. After a
+    /// [`CampaignService::drain`] there is nothing to wait for — the
+    /// checkpointed queue stays durable on disk for a later recover.
     pub fn shutdown(mut self) {
-        self.wait_all();
+        if !self.shared.state.lock().draining {
+            self.wait_all();
+        }
         {
             let mut st = self.shared.state.lock();
             st.stop = true;
@@ -347,10 +391,180 @@ impl CampaignService {
         }
     }
 
+    /// Number of campaigns not yet terminal (queued, running or paused)
+    /// — the application-level load signal network front ends throttle
+    /// on.
+    pub fn pending_campaigns(&self) -> usize {
+        let st = self.shared.state.lock();
+        st.entries
+            .values()
+            .filter(|e| !matches!(e.status, CampaignStatus::Done | CampaignStatus::Failed(_)))
+            .count()
+    }
+
     /// Prometheus-format snapshot of the process-global telemetry
     /// registry (the service's live status endpoint).
     pub fn metrics_text(&self) -> String {
         taopt_telemetry::global().render_prometheus()
+    }
+
+    /// Graceful drain: stops accepting submissions, asks every running
+    /// campaign to checkpoint and yield, and blocks until the service is
+    /// quiescent. Returns the campaigns that now sit on disk as durable
+    /// checkpoints, ready for [`CampaignService::export_checkpoint`] or a
+    /// later [`CampaignService::recover`].
+    pub fn drain(&self) -> Vec<CampaignId> {
+        let mut st = self.shared.state.lock();
+        st.draining = true;
+        for id in st.running.clone() {
+            if let Some(e) = st.entries.get(&id) {
+                e.pause.store(true, Ordering::SeqCst);
+            }
+        }
+        self.shared.cv.notify_all();
+        while !st.running.is_empty() && !st.crashed {
+            self.shared.cv.wait(&mut st);
+        }
+        let checkpointed: Vec<CampaignId> = st
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                matches!(
+                    e.status,
+                    CampaignStatus::Queued | CampaignStatus::Paused { .. }
+                )
+            })
+            .map(|(id, _)| CampaignId(*id))
+            .collect();
+        drop(st);
+        taopt_telemetry::global()
+            .counter("service_drains_total")
+            .inc();
+        checkpointed
+    }
+
+    /// Exports a campaign's durable checkpoint for migration to another
+    /// shard, *detaching* it from this service: a running campaign is
+    /// preempted first (checkpoint at its next round boundary), then the
+    /// entry and its local checkpoint file are removed so the campaign
+    /// cannot run on both shards. Terminal campaigns cannot be exported.
+    pub fn export_checkpoint(&self, id: CampaignId) -> Result<Checkpoint, ServiceError> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if st.crashed || st.stop {
+                return Err(ServiceError::Rejected(
+                    "service is shutting down".to_owned(),
+                ));
+            }
+            let e = st
+                .entries
+                .get_mut(&id.0)
+                .ok_or(ServiceError::UnknownCampaign(id.0))?;
+            match e.status {
+                CampaignStatus::Done | CampaignStatus::Failed(_) => {
+                    return Err(ServiceError::Rejected(format!(
+                        "campaign {} is terminal; nothing to migrate",
+                        id.0
+                    )));
+                }
+                CampaignStatus::Running { .. } => {
+                    // Preempt, and pin the entry so the scheduler cannot
+                    // re-admit it between the pause and the detach.
+                    e.migrating = true;
+                    e.pause.store(true, Ordering::SeqCst);
+                    self.shared.cv.notify_all();
+                    self.shared.cv.wait(&mut st);
+                }
+                CampaignStatus::Queued | CampaignStatus::Paused { .. } => {
+                    e.migrating = true;
+                    break;
+                }
+            }
+        }
+        let ckpt = match self.shared.store.load(&self.shared.store.path_for(id.0)) {
+            Ok(c) => c,
+            Err(err) => {
+                // Leave the campaign schedulable: the export failed, the
+                // shard still owns it.
+                if let Some(e) = st.entries.get_mut(&id.0) {
+                    e.migrating = false;
+                }
+                self.shared.cv.notify_all();
+                return Err(err);
+            }
+        };
+        st.queue.retain(|q| *q != id.0);
+        st.entries.remove(&id.0);
+        drop(st);
+        self.shared.store.remove(id.0);
+        taopt_telemetry::global()
+            .counter("service_exports_total")
+            .inc();
+        self.shared.cv.notify_all();
+        Ok(ckpt)
+    }
+
+    /// Admits a checkpoint exported by another shard. The campaign gets a
+    /// fresh local id, its checkpoint is made durable here before this
+    /// returns, and it resumes by deterministic replay — the stored
+    /// [`CampaignDigest`] is verified at the checkpointed round, so a
+    /// tampered or diverging checkpoint fails the campaign with a clean
+    /// [`ServiceError::DigestMismatch`] rather than producing silently
+    /// wrong results. Admission control applies exactly as for
+    /// [`CampaignService::submit`].
+    pub fn import_checkpoint(&self, ckpt: Checkpoint) -> Result<CampaignId, ServiceError> {
+        let demand = ckpt.spec.device_demand();
+        if demand > self.shared.config.farm_capacity {
+            return Err(ServiceError::Rejected(format!(
+                "checkpoint demands {demand} devices, farm has {}",
+                self.shared.config.farm_capacity
+            )));
+        }
+        // Validate the recipe up front: unknown apps fail the importer.
+        let _ = ckpt.spec.build()?;
+        let id = {
+            let mut st = self.shared.state.lock();
+            if st.stop || st.crashed || st.draining {
+                return Err(ServiceError::Rejected(
+                    "service is shutting down".to_owned(),
+                ));
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            id
+        };
+        let ckpt = Checkpoint {
+            campaign: id,
+            ..ckpt
+        };
+        self.shared.store.save(&ckpt)?;
+        {
+            let mut st = self.shared.state.lock();
+            st.entries.insert(
+                id,
+                Entry {
+                    priority: ckpt.priority,
+                    demand,
+                    status: if ckpt.round > 0 {
+                        CampaignStatus::Paused { round: ckpt.round }
+                    } else {
+                        CampaignStatus::Queued
+                    },
+                    report: None,
+                    resume_round: ckpt.round,
+                    resume_digest: ckpt.digest,
+                    pause: Arc::new(AtomicBool::new(false)),
+                    migrating: false,
+                    spec: ckpt.spec,
+                },
+            );
+            st.queue.push(id);
+        }
+        taopt_telemetry::global()
+            .counter("service_imports_total")
+            .inc();
+        self.shared.cv.notify_all();
+        Ok(CampaignId(id))
     }
 }
 
@@ -388,12 +602,24 @@ fn scheduler_loop(shared: &Arc<Shared>) {
 
     let mut st = shared.state.lock();
     loop {
-        if st.crashed || (st.stop && st.queue.is_empty() && st.running.is_empty()) {
+        if st.crashed || (st.stop && st.running.is_empty() && (st.queue.is_empty() || st.draining))
+        {
             break;
         }
 
         // Highest priority first; FIFO (lowest id) within a priority.
-        let mut order: Vec<u64> = st.queue.clone();
+        // Entries mid-export and a draining service admit nothing: drain
+        // means "reach the quiescent all-checkpointed state", and an
+        // exported campaign must not restart under the exporter's feet.
+        let mut order: Vec<u64> = if st.draining {
+            Vec::new()
+        } else {
+            st.queue
+                .iter()
+                .copied()
+                .filter(|id| !st.entries[id].migrating)
+                .collect()
+        };
         order.sort_by_key(|id| {
             let e = &st.entries[id];
             (std::cmp::Reverse(e.priority), *id)

@@ -1,0 +1,132 @@
+//! Parser-level tests for the Prometheus text exposition: the rendered
+//! page must declare every family exactly once with a valid type, attach
+//! every sample to a declared family, and never emit the same series
+//! (name + label set) twice — the properties a scraping Prometheus
+//! relies on.
+
+use std::collections::{HashMap, HashSet};
+
+use taopt_telemetry::{Labels, Telemetry};
+
+/// Parses `text` as Prometheus text exposition and panics on any
+/// well-formedness violation. Returns `(families, series)` for
+/// content assertions.
+fn parse_exposition(text: &str) -> (HashMap<String, String>, HashSet<String>) {
+    let mut families: HashMap<String, String> = HashMap::new();
+    let mut series: HashSet<String> = HashSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE line names a family").to_owned();
+            let kind = parts.next().expect("TYPE line carries a type").to_owned();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown metric type in: {line}"
+            );
+            assert!(parts.next().is_none(), "trailing tokens in: {line}");
+            assert!(
+                families.insert(name.clone(), kind).is_none(),
+                "duplicate # TYPE for `{name}`"
+            );
+            continue;
+        }
+        assert!(
+            !line.starts_with('#'),
+            "unexpected comment (only # TYPE is emitted): {line}"
+        );
+        let (series_id, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unreadable sample value in: {line}"
+        );
+        assert!(
+            series.insert(series_id.to_owned()),
+            "duplicate series `{series_id}`"
+        );
+        let name = series_id.split('{').next().unwrap();
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| families.get(*f).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        assert!(
+            families.contains_key(family),
+            "sample `{series_id}` has no # TYPE declaration"
+        );
+        if family != name {
+            // Histogram suffix series must follow a histogram TYPE.
+            assert_eq!(families[family], "histogram");
+        }
+    }
+    (families, series)
+}
+
+#[test]
+fn exposition_is_wellformed_across_metric_kinds_and_labels() {
+    let t = Telemetry::new();
+    // Several series per family — labels must keep them distinct.
+    for kind in ["submit", "status", "wait"] {
+        t.counter_labeled("requests_total", Labels::kind(kind))
+            .inc();
+        let h = t.histogram_labeled("latency_us", Labels::kind(kind));
+        for sample in [3, 900, 70_000, 2_000_000] {
+            h.record(sample);
+        }
+    }
+    t.counter("errors_total").inc();
+    t.gauge("queue_depth").set(7);
+    for i in 0..3 {
+        t.counter_labeled("per_instance_total", Labels::instance(i))
+            .inc();
+    }
+
+    let text = t.render_prometheus();
+    let (families, series) = parse_exposition(&text);
+
+    assert_eq!(
+        families.get("requests_total").map(String::as_str),
+        Some("counter")
+    );
+    assert_eq!(
+        families.get("queue_depth").map(String::as_str),
+        Some("gauge")
+    );
+    assert_eq!(
+        families.get("latency_us").map(String::as_str),
+        Some("histogram")
+    );
+    // One declaration per family even with three labeled series each.
+    assert!(series.contains("requests_total{kind=\"submit\"}"));
+    assert!(series.contains("per_instance_total{instance=\"2\"}"));
+    assert!(series.contains("latency_us_count{kind=\"wait\"}"));
+    // Histogram buckets carry `le` spliced into the existing label set.
+    assert!(
+        series
+            .iter()
+            .any(|s| s.starts_with("latency_us_bucket{kind=\"submit\",le=\"")),
+        "no le-labeled bucket series rendered"
+    );
+}
+
+#[test]
+fn empty_registry_renders_an_empty_page() {
+    let (families, series) = parse_exposition(&Telemetry::new().render_prometheus());
+    assert!(families.is_empty());
+    assert!(series.is_empty());
+}
+
+#[test]
+fn global_registry_page_is_wellformed() {
+    // The process-global registry is what `/metrics` and `metrics_text()`
+    // serve; whatever other tests have recorded into it, it must parse.
+    taopt_telemetry::global()
+        .counter("prometheus_test_probe_total")
+        .inc();
+    let (families, series) = parse_exposition(&taopt_telemetry::global().render_prometheus());
+    assert!(families.contains_key("prometheus_test_probe_total"));
+    assert!(series.contains("prometheus_test_probe_total"));
+}

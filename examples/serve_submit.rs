@@ -1,0 +1,108 @@
+//! Control plane end to end: start two farm shards behind the network
+//! API, submit a campaign over the wire, preempt and migrate it
+//! mid-flight from shard A to shard B, and check the result is
+//! byte-identical to the uninterrupted in-process run.
+//!
+//! ```sh
+//! cargo run --release --example serve_submit
+//! ```
+
+use std::time::Duration;
+
+use taopt::campaign::run_campaign;
+use taopt::experiments::ExperimentScale;
+use taopt::RunMode;
+use taopt_server::{migrate, serve, Client, ServerConfig};
+use taopt_service::{AppSource, AppSpec, CampaignService, CampaignSpec, ServiceConfig};
+use taopt_tools::ToolKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A campaign spec: two catalog apps under different tools. The
+    //    spec is the campaign's complete, serializable input — which is
+    //    what makes checkpoints small and migration possible.
+    let mut scale = ExperimentScale::quick();
+    scale.duration = scale.duration * 4; // long enough to migrate mid-run
+    let spec = CampaignSpec::new(
+        "wire-demo",
+        vec![
+            AppSpec {
+                source: AppSource::Catalog("Zedge".to_owned()),
+                tool: ToolKind::Ape,
+                mode: RunMode::TaoptDuration,
+                seed: 7,
+            },
+            AppSpec {
+                source: AppSource::Catalog("Quizlet".to_owned()),
+                tool: ToolKind::Monkey,
+                mode: RunMode::TaoptDuration,
+                seed: 11,
+            },
+        ],
+        scale,
+    );
+
+    // The uninterrupted reference, straight through the campaign runtime.
+    let (apps, config) = spec.build()?;
+    let reference = run_campaign(apps, &config).coverage_report();
+
+    // 2. Two shards: each a durable campaign service behind a loopback
+    //    server on an ephemeral port.
+    let base = std::env::temp_dir().join(format!("taopt-serve-submit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let shard = |name: &str| -> Result<_, Box<dyn std::error::Error>> {
+        let mut config = ServiceConfig::new(base.join(name));
+        config.checkpoint_every = 2;
+        let service = CampaignService::start(config)?;
+        let handle = serve(service, ServerConfig::new("127.0.0.1:0"))?;
+        let client = Client::new(handle.addr());
+        Ok((handle, client))
+    };
+    let (handle_a, a) = shard("shard-a")?;
+    let (handle_b, b) = shard("shard-b")?;
+    println!("shard A on {}, shard B on {}", a.addr(), b.addr());
+
+    // 3. Submit over the wire and let it get provably mid-flight.
+    let id = a.submit(&spec, 5)?;
+    println!("submitted campaign {} to shard A", id.0);
+    loop {
+        match a.status(id)? {
+            taopt_service::CampaignStatus::Running { round } if round >= 2 => break,
+            taopt_service::CampaignStatus::Done => {
+                println!("campaign finished before the migration demo could preempt it");
+                break;
+            }
+            _ => std::thread::yield_now(),
+        }
+    }
+
+    // 4. Migrate A → B. Export preempts the campaign at its next round
+    //    boundary, checkpoints it, and detaches it from A (it now exists
+    //    only as the checkpoint bytes); import admits it on B, where it
+    //    resumes by replay with the digest verified.
+    let new_id = migrate(&a, &b, id)?;
+    println!(
+        "migrated: shard A now answers {:?}, shard B runs it as campaign {}",
+        a.status(id).unwrap_err().status(),
+        new_id.0
+    );
+
+    // 5. The migrated campaign finishes byte-identical to the run that
+    //    never moved.
+    let status = b.wait(new_id, Duration::from_secs(600))?;
+    let report = b.result(new_id)?;
+    println!("shard B finished with {status:?}");
+    assert_eq!(report, reference, "migrated run must be byte-identical");
+    println!(
+        "report is byte-identical to the uninterrupted in-process run \
+         ({} bytes)",
+        report.len()
+    );
+
+    // 6. Graceful end: drain checkpoints everything and stops admission.
+    let drained = b.drain()?;
+    println!("drained shard B ({} campaigns checkpointed)", drained.len());
+    handle_a.stop().shutdown();
+    handle_b.stop().shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+    Ok(())
+}
