@@ -61,8 +61,8 @@ fn bench_findspace(c: &mut Criterion) {
             ..FindSpaceConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("events", steps), &trace, |b, tr| {
-            let mut cache = SimilarityCache::new();
-            b.iter(|| find_space_candidates(tr.events(), &cfg, &mut cache, 1));
+            let cache = SimilarityCache::new();
+            b.iter(|| find_space_candidates(tr.events(), &cfg, &cache, 1));
         });
     }
     group.finish();

@@ -24,7 +24,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use taopt::campaign::{run_campaign, CampaignApp, CampaignConfig, CampaignResult};
+use taopt::experiments::ExperimentScale;
 use taopt::session::{ParallelSession, RunMode, SessionConfig, SessionResult};
+use taopt_app_sim::{generate_app, GeneratorConfig};
 use taopt_bench::{load_apps, HarnessArgs, NamedApp};
 use taopt_tools::ToolKind;
 use taopt_ui_model::{Value, VirtualDuration};
@@ -33,6 +35,15 @@ use taopt_ui_model::{Value, VirtualDuration};
 const SLICES: usize = 4;
 /// Speedup gate: campaign vs serial, virtual wall-clock.
 const MIN_SPEEDUP: f64 = 1.5;
+
+/// Farm mode: catalog size (synthetic apps).
+const FARM_APPS: usize = 100;
+/// Farm mode: shared device capacity.
+const FARM_CAPACITY: usize = 200;
+/// Farm mode: speedup gate at [`FARM_WORKERS`] workers.
+const MIN_FARM_SPEEDUP: f64 = 6.0;
+/// Farm mode: parallel-phase worker count for the measured arm.
+const FARM_WORKERS: usize = 8;
 
 fn app_config(args: &HarnessArgs, index: usize) -> SessionConfig {
     // Rotate the paper's three tools across the catalog; duration mode is
@@ -120,7 +131,169 @@ fn catalog(apps: &[NamedApp], args: &HarnessArgs) -> Vec<CampaignApp> {
         .collect()
 }
 
+/// Farm mode: a 100-app synthetic catalog on a 200-device shared farm,
+/// short sessions (the scheduler's packing, not per-app depth, is what
+/// is under test), campaign-scheduled at 1 and [`FARM_WORKERS`] workers
+/// against the serial one-app-at-a-time baseline.
+///
+/// All clocks are virtual (rounds × tick), so both gates are
+/// deterministic on shared hardware:
+/// * speedup: the [`FARM_WORKERS`]-worker campaign must finish the
+///   catalog ≥ [`MIN_FARM_SPEEDUP`]× faster than the serial baseline in
+///   virtual wall-clock;
+/// * determinism: the 1-worker and 8-worker campaigns must produce
+///   byte-identical coverage reports (worker count is a host-side
+///   throughput knob, never a result knob).
+fn farm(seed: u64) -> ExitCode {
+    let scale = ExperimentScale {
+        instances: 2,
+        duration: VirtualDuration::from_mins(4),
+        tick: VirtualDuration::from_secs(10),
+        stall_timeout: VirtualDuration::from_secs(45),
+        l_min_short: VirtualDuration::from_secs(40),
+        l_min_long: VirtualDuration::from_secs(100),
+        grid_points: 8,
+    };
+    let args = HarnessArgs {
+        scale,
+        n_apps: FARM_APPS,
+        seed,
+    };
+    eprintln!(
+        "campaign farm: {FARM_APPS} generated apps, capacity {FARM_CAPACITY} devices, \
+         workers [1, {FARM_WORKERS}], seed {seed}"
+    );
+    let apps: Vec<NamedApp> = (0..FARM_APPS)
+        .map(|i| {
+            let name = format!("farm-{i:03}");
+            let app = generate_app(&GeneratorConfig::small(&name, seed.wrapping_add(i as u64)))
+                .expect("generator config is valid");
+            (name, Arc::new(app))
+        })
+        .collect();
+
+    // Arm 1: serial — each app alone on a dedicated slice, one after
+    // another; the farm's virtual wall-clock is the sum.
+    let host = Instant::now();
+    let serial: Vec<(String, SessionResult)> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, (name, app))| {
+            let r = ParallelSession::run(Arc::clone(app), &app_config(&args, i));
+            (name.clone(), r)
+        })
+        .collect();
+    let serial_host_ms = host.elapsed().as_millis() as u64;
+    let serial_wall: VirtualDuration = serial
+        .iter()
+        .fold(VirtualDuration::ZERO, |acc, (_, r)| acc + r.wall_clock);
+    let serial_machine: VirtualDuration = serial
+        .iter()
+        .fold(VirtualDuration::ZERO, |acc, (_, r)| acc + r.machine_time);
+    eprintln!("  serial: wall {serial_wall} machine {serial_machine} host {serial_host_ms}ms");
+
+    // Arm 2: campaign at 1 and FARM_WORKERS workers over the shared farm.
+    let mut campaigns = Vec::new();
+    for workers in [1usize, FARM_WORKERS] {
+        let config = CampaignConfig {
+            workers,
+            capacity: Some(FARM_CAPACITY),
+            ..CampaignConfig::default()
+        };
+        let host = Instant::now();
+        let result = run_campaign(catalog(&apps, &args), &config);
+        let host_ms = host.elapsed().as_millis() as u64;
+        eprintln!(
+            "  campaign x{workers}: {} rounds, wall {}, peak {} active, {} grants, host {host_ms}ms",
+            result.rounds, result.wall_clock, result.peak_active, result.grants
+        );
+        campaigns.push((workers, result, host_ms));
+    }
+
+    let (_, measured, _) = campaigns
+        .iter()
+        .find(|(w, _, _)| *w == FARM_WORKERS)
+        .unwrap();
+    let speedup = serial_wall.as_millis() as f64 / measured.wall_clock.as_millis().max(1) as f64;
+    let deterministic = campaigns[0].1.coverage_report() == campaigns[1].1.coverage_report();
+
+    let doc = Value::Object(vec![
+        ("bench".to_owned(), Value::Str("campaign".to_owned())),
+        ("mode".to_owned(), Value::Str("farm".to_owned())),
+        ("n_apps".to_owned(), Value::UInt(FARM_APPS as u64)),
+        ("capacity".to_owned(), Value::UInt(FARM_CAPACITY as u64)),
+        ("seed".to_owned(), Value::UInt(seed)),
+        (
+            "serial".to_owned(),
+            Value::Object(vec![
+                ("wall_ms".to_owned(), Value::UInt(serial_wall.as_millis())),
+                (
+                    "machine_ms".to_owned(),
+                    Value::UInt(serial_machine.as_millis()),
+                ),
+                ("host_ms".to_owned(), Value::UInt(serial_host_ms)),
+            ]),
+        ),
+        (
+            "campaigns".to_owned(),
+            Value::Array(
+                campaigns
+                    .iter()
+                    .map(|(w, r, h)| campaign_json(r, *w, *h))
+                    .collect(),
+            ),
+        ),
+        ("speedup_virtual_wall".to_owned(), Value::Float(speedup)),
+        ("speedup_gate".to_owned(), Value::Float(MIN_FARM_SPEEDUP)),
+        ("deterministic".to_owned(), Value::Bool(deterministic)),
+    ]);
+    let json = doc.to_json_string();
+    let out = "BENCH_campaign.json";
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("campaign bench FAILED: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "campaign farm: serial wall {serial_wall} vs {FARM_WORKERS}-worker campaign wall {} \
+         -> speedup {speedup:.2}x; deterministic: {deterministic}; wrote {out} ({} bytes)",
+        measured.wall_clock,
+        json.len()
+    );
+
+    let mut failures = Vec::new();
+    if speedup < MIN_FARM_SPEEDUP {
+        failures.push(format!(
+            "speedup {speedup:.2}x below the {MIN_FARM_SPEEDUP}x farm gate"
+        ));
+    }
+    if !deterministic {
+        failures.push("1-worker and 8-worker campaigns diverged".to_owned());
+    }
+    if measured.lease_conflicts > 0 {
+        failures.push(format!(
+            "{} double-allocations observed",
+            measured.lease_conflicts
+        ));
+    }
+    if failures.is_empty() {
+        println!("campaign bench: OK");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("campaign bench FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.first().map(String::as_str) == Some("farm") {
+            let seed = argv.get(1).and_then(|s| s.parse().ok()).unwrap_or(2025);
+            return farm(seed);
+        }
+    }
     let args = HarnessArgs::parse();
     let apps = load_apps(args.n_apps);
     let capacity = SLICES * args.scale.instances;

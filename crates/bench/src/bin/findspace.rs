@@ -41,6 +41,23 @@ const ANALYZE_EVERY: usize = 50;
 const MIN_SPEEDUP: f64 = 5.0;
 /// Candidates requested per analysis (the analyzer's setting).
 const K: usize = 5;
+/// Abstract-screen population shape shared by all modes.
+const CLUSTERS: u32 = 5;
+const SCREENS_PER_CLUSTER: u32 = 8;
+
+/// Scaled replay: total appended events.
+const SCALED_EVENTS: usize = 1_000_000;
+/// Scaled replay: phase length (events per dwell cluster).
+const SCALED_PHASE: usize = 2_000;
+/// Scaled replay: analysis cadence (events appended per checkpoint).
+const SCALED_ANALYZE_EVERY: usize = 25;
+/// Scaled replay: the analyzer-style window is rebased once it reaches
+/// this many events, preferring a split-candidate boundary as the cut.
+const WINDOW_CAP: usize = 2_000;
+/// Scaled gate: vectorized-arm per-analysis p95, microseconds.
+const MAX_P95_US: u64 = 9;
+/// Scaled replay: full-rescan cross-checks sampled across the run.
+const CROSS_CHECKS: u64 = 24;
 
 /// Builds an event whose abstract screen identity is `label`.
 fn event(t_ms: u64, label: u32) -> TraceEvent {
@@ -76,8 +93,6 @@ fn next_rand(state: &mut u64) -> u64 {
 /// realistic distinct-screen population (~40 screens over 5 clusters)
 /// and genuine loose boundaries appear as phases change.
 fn synth_trace(n_events: usize, seed: u64) -> Vec<TraceEvent> {
-    const CLUSTERS: u32 = 5;
-    const SCREENS_PER_CLUSTER: u32 = 8;
     let mut rng = seed | 1;
     let mut events = Vec::with_capacity(n_events);
     let mut t_ms = 0u64;
@@ -106,6 +121,53 @@ fn synth_trace(n_events: usize, seed: u64) -> Vec<TraceEvent> {
     events
 }
 
+/// Streaming variant of [`synth_trace`] for the 1M-event scaled replay:
+/// events are minted one at a time from per-label templates (one tree
+/// build per distinct screen, `Arc`-cloned thereafter) so the replay
+/// never materializes the full trace.
+struct SynthStream {
+    templates: Vec<TraceEvent>,
+    rng: u64,
+    t_ms: u64,
+    cluster: u32,
+    produced: usize,
+}
+
+impl SynthStream {
+    fn new(seed: u64) -> Self {
+        SynthStream {
+            templates: (0..CLUSTERS * SCREENS_PER_CLUSTER)
+                .map(|l| event(0, l))
+                .collect(),
+            rng: seed | 1,
+            t_ms: 0,
+            cluster: 0,
+            produced: 0,
+        }
+    }
+
+    fn next_event(&mut self) -> TraceEvent {
+        if self.produced > 0 && self.produced.is_multiple_of(SCALED_PHASE) {
+            self.cluster = (self.cluster + 1) % CLUSTERS;
+        }
+        let r = next_rand(&mut self.rng);
+        let label = if r % 100 < 6 && self.cluster > 0 {
+            (r as u32 / 100) % self.cluster * SCREENS_PER_CLUSTER
+        } else {
+            self.cluster * SCREENS_PER_CLUSTER + (r as u32 / 100) % SCREENS_PER_CLUSTER
+        };
+        self.t_ms += if r.is_multiple_of(10) {
+            0
+        } else {
+            1500 + r % 1000
+        };
+        self.produced += 1;
+        let mut e = self.templates[label as usize].clone();
+        e.time = VirtualTime::from_millis(self.t_ms);
+        e
+    }
+}
+
 /// Bitwise equality of two candidate lists.
 fn identical(
     a: &[taopt::findspace::SplitCandidate],
@@ -117,23 +179,214 @@ fn identical(
             .all(|(x, y)| x.index == y.index && x.score.to_bits() == y.score.to_bits())
 }
 
+/// The scaled arm: a 1M-event windowed replay pitting the vectorized
+/// lane sweep over the default sharded cache against the scalar
+/// reference sweep over the 1-shard reference cache, checkpoint by
+/// checkpoint.
+///
+/// The window is rebased (analyzer-style: cut at a split-candidate
+/// boundary when one exists, else mid-window) whenever it reaches
+/// [`WINDOW_CAP`], so memory stays bounded and every analysis sees a
+/// realistic post-dedication window. Both arms share each rebase
+/// decision, which is taken from the scalar arm's output — legal only
+/// because the bit-identical gate proves the vectorized arm would have
+/// decided the same. Gates:
+/// * `bit_identical`: every checkpoint's candidates agree bitwise
+///   across arms, plus [`CROSS_CHECKS`] sampled full-rescan
+///   (`find_space_candidates`) agreements;
+/// * `engine_p95_us` ≤ [`MAX_P95_US`] on the vectorized arm.
+fn scaled(seed: u64) -> ExitCode {
+    let config = FindSpaceConfig {
+        l_min: VirtualDuration::from_mins(1),
+        ..FindSpaceConfig::default()
+    };
+    eprintln!(
+        "findspace scaled: {SCALED_EVENTS} events, window cap {WINDOW_CAP}, \
+         analysis every {SCALED_ANALYZE_EVERY}, seed {seed:#x}"
+    );
+    let mut stream = SynthStream::new(seed);
+    let vec_cache = SimilarityCache::new();
+    let ref_cache = SimilarityCache::with_shards(1);
+    let rescan_cache = SimilarityCache::new();
+    let mut vec_engine = FindSpaceEngine::new(config.clone());
+    let mut ref_engine = FindSpaceEngine::new(config.clone());
+    let histogram = taopt_telemetry::global().histogram("findspace_analysis_us");
+
+    // Warm both arms so the first measured checkpoint is not paying
+    // first-touch allocation.
+    {
+        let warm: Vec<TraceEvent> = (0..256)
+            .map(|_| SynthStream::new(seed ^ 1).next_event())
+            .collect();
+        let cache = SimilarityCache::new();
+        let mut engine = FindSpaceEngine::new(config.clone());
+        engine.extend_from(&warm, &cache);
+        let _ = engine.analyze(K);
+        let _ = engine.analyze_reference(K);
+    }
+
+    let mut window: Vec<TraceEvent> = Vec::with_capacity(WINDOW_CAP + ANALYZE_EVERY);
+    let mut produced = 0usize;
+    let mut analyses = 0u64;
+    let mut bit_identical = true;
+    let mut splits_found = 0u64;
+    let mut rebases = 0u64;
+    let mut cross_checked = 0u64;
+    let mut max_window = 0usize;
+    let cross_stride = (SCALED_EVENTS as u64 / SCALED_ANALYZE_EVERY as u64 / CROSS_CHECKS).max(1);
+    let t0 = Instant::now();
+    while produced < SCALED_EVENTS {
+        for _ in 0..SCALED_ANALYZE_EVERY {
+            if produced >= SCALED_EVENTS {
+                break;
+            }
+            window.push(stream.next_event());
+            produced += 1;
+        }
+        max_window = max_window.max(window.len());
+
+        // Vectorized arm: default lane width over the sharded cache.
+        // The timed region is exactly what the analyzer pays per pass.
+        let t = Instant::now();
+        vec_engine.extend_from(&window, &vec_cache);
+        let vec_out = vec_engine.analyze(K);
+        histogram.record(t.elapsed().as_micros() as u64);
+
+        // Scalar reference arm: verbatim pre-vectorization sweep over
+        // the 1-shard reference cache.
+        ref_engine.extend_from(&window, &ref_cache);
+        let ref_out = ref_engine.analyze_reference(K);
+        analyses += 1;
+
+        if !identical(&vec_out, &ref_out) {
+            bit_identical = false;
+        }
+        if !ref_out.is_empty() {
+            splits_found += 1;
+        }
+        if analyses.is_multiple_of(cross_stride) && cross_checked < CROSS_CHECKS {
+            cross_checked += 1;
+            if !identical(
+                &ref_out,
+                &find_space_candidates(&window, &config, &rescan_cache, K),
+            ) {
+                bit_identical = false;
+            }
+        }
+
+        if window.len() >= WINDOW_CAP {
+            let len = window.len();
+            let cut = ref_out
+                .first()
+                .map_or(len / 2, |c| c.index)
+                .clamp(5 * len / 8, 3 * len / 4);
+            window.drain(..cut);
+            vec_engine.reset();
+            ref_engine.reset();
+            rebases += 1;
+        }
+    }
+    let total = t0.elapsed();
+
+    let hist_snap = taopt_telemetry::global()
+        .snapshot()
+        .histogram_total("findspace_analysis_us");
+    let (p50_us, p95_us) = hist_snap.map_or((0, 0), |h| (h.p50(), h.p95()));
+    let doc = Value::Object(vec![
+        ("bench".to_owned(), Value::Str("findspace".to_owned())),
+        ("mode".to_owned(), Value::Str("scaled".to_owned())),
+        ("n_events".to_owned(), Value::UInt(SCALED_EVENTS as u64)),
+        ("seed".to_owned(), Value::UInt(seed)),
+        ("analyses".to_owned(), Value::UInt(analyses)),
+        (
+            "analyze_every".to_owned(),
+            Value::UInt(SCALED_ANALYZE_EVERY as u64),
+        ),
+        ("window_cap".to_owned(), Value::UInt(WINDOW_CAP as u64)),
+        ("max_window".to_owned(), Value::UInt(max_window as u64)),
+        ("rebases".to_owned(), Value::UInt(rebases)),
+        (
+            "checkpoints_with_split".to_owned(),
+            Value::UInt(splits_found),
+        ),
+        ("cross_checks".to_owned(), Value::UInt(cross_checked)),
+        (
+            "cache_entries".to_owned(),
+            Value::UInt(vec_cache.len() as u64),
+        ),
+        (
+            "cache_computations".to_owned(),
+            Value::UInt(vec_cache.computations()),
+        ),
+        ("total_us".to_owned(), Value::UInt(total.as_micros() as u64)),
+        ("engine_p50_us".to_owned(), Value::UInt(p50_us)),
+        ("engine_p95_us".to_owned(), Value::UInt(p95_us)),
+        ("p95_gate_us".to_owned(), Value::UInt(MAX_P95_US)),
+        ("bit_identical".to_owned(), Value::Bool(bit_identical)),
+    ]);
+    let json = doc.to_json_string();
+    let out = "BENCH_findspace.json";
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("findspace bench FAILED: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "findspace scaled: {analyses} analyses over {SCALED_EVENTS} events in {:.1}ms \
+         ({rebases} rebases, max window {max_window}); engine p50 {p50_us}us p95 {p95_us}us; \
+         bit-identical: {bit_identical}; {splits_found} checkpoints proposed a split; \
+         {cross_checked} rescan cross-checks; wrote {out} ({} bytes)",
+        total.as_secs_f64() * 1e3,
+        json.len()
+    );
+
+    let mut failures = Vec::new();
+    if !bit_identical {
+        failures.push("vectorized arm diverged from the scalar reference".to_owned());
+    }
+    if p95_us > MAX_P95_US {
+        failures.push(format!(
+            "engine p95 {p95_us}us above the {MAX_P95_US}us gate"
+        ));
+    }
+    if splits_found == 0 {
+        failures.push("replay never proposed a split — trace shape is not protective".to_owned());
+    }
+    if cross_checked == 0 {
+        failures.push("no full-rescan cross-checks ran".to_owned());
+    }
+    if failures.is_empty() {
+        println!("findspace bench: OK");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("findspace bench FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str).unwrap_or("quick");
-    let n_events = match mode {
-        "paper" => 40_000,
-        _ => 12_000,
-    };
     let seed: u64 = args
         .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0x7a0f_7a0f);
+    if mode == "scaled" {
+        return scaled(seed);
+    }
+    let n_events = match mode {
+        "paper" => 40_000,
+        _ => 12_000,
+    };
     let config = FindSpaceConfig {
         l_min: VirtualDuration::from_mins(1),
         ..FindSpaceConfig::default()
     };
 
-    eprintln!("findspace: {n_events} events, analysis every {ANALYZE_EVERY}, seed {seed:#x}");
+    eprintln!(
+        "findspace: {n_events} events, analysis every {SCALED_ANALYZE_EVERY}, seed {seed:#x}"
+    );
     let events = synth_trace(n_events, seed);
     let checkpoints: Vec<usize> = (1..=n_events / ANALYZE_EVERY)
         .map(|i| i * ANALYZE_EVERY)
@@ -143,23 +396,23 @@ fn main() -> ExitCode {
     // measured arms start from comparable conditions.
     {
         let warm = &events[..1000.min(events.len())];
-        let mut cache = SimilarityCache::new();
-        let _ = find_space_candidates(warm, &config, &mut cache, K);
+        let cache = SimilarityCache::new();
+        let _ = find_space_candidates(warm, &config, &cache, K);
         let mut engine = FindSpaceEngine::new(config.clone());
-        let mut cache = SimilarityCache::new();
-        engine.extend_from(warm, &mut cache);
+        let cache = SimilarityCache::new();
+        engine.extend_from(warm, &cache);
         let _ = engine.analyze(K);
     }
 
     // Arm 1: full rescan per checkpoint (the pre-engine analyzer path).
-    let mut rescan_cache = SimilarityCache::new();
+    let rescan_cache = SimilarityCache::new();
     let mut rescan_results = Vec::with_capacity(checkpoints.len());
     let t0 = Instant::now();
     for &end in &checkpoints {
         rescan_results.push(find_space_candidates(
             &events[..end],
             &config,
-            &mut rescan_cache,
+            &rescan_cache,
             K,
         ));
     }
@@ -168,12 +421,12 @@ fn main() -> ExitCode {
     // Arm 2: persistent engine fed only the appended events.
     let histogram = taopt_telemetry::global().histogram("findspace_analysis_us");
     let mut engine = FindSpaceEngine::new(config.clone());
-    let mut engine_cache = SimilarityCache::new();
+    let engine_cache = SimilarityCache::new();
     let mut engine_results = Vec::with_capacity(checkpoints.len());
     let t1 = Instant::now();
     for &end in &checkpoints {
         let t = Instant::now();
-        engine.extend_from(&events[..end], &mut engine_cache);
+        engine.extend_from(&events[..end], &engine_cache);
         engine_results.push(engine.analyze(K));
         histogram.record(t.elapsed().as_micros() as u64);
     }

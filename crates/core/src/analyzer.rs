@@ -14,11 +14,14 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 use taopt_toller::{EntrypointRule, InstanceId};
 use taopt_ui_model::{AbstractScreenId, Trace, VirtualDuration, VirtualTime};
 
-use crate::findspace::{FindSpaceConfig, FindSpaceEngine, SimilarityCache};
+use crate::findspace::{
+    FindSpaceConfig, FindSpaceEngine, ScreenArena, SimilarityCache, SplitCandidate,
+};
 
 /// Containment coefficient `|A∩B| / min(|A|, |B|)` (1.0 when either set
 /// is contained in the other; 0 when disjoint or either is empty).
@@ -62,6 +65,12 @@ pub struct AnalyzerConfig {
     /// against fragmenting a functionality into micro-subspaces whose
     /// blocking rules would partition the space too finely.
     pub min_subspace_screens: usize,
+    /// Host threads [`OnlineTraceAnalyzer::ingest_round`] may use for
+    /// the per-instance analysis phase. Results are byte-identical at
+    /// any value (the phase touches only per-instance state plus the
+    /// sharded, order-independent similarity cache); `1` keeps the
+    /// phase inline.
+    pub analysis_workers: usize,
 }
 
 impl AnalyzerConfig {
@@ -78,6 +87,7 @@ impl AnalyzerConfig {
             min_new_events: 10,
             merge_jaccard: 0.5,
             min_subspace_screens: 5,
+            analysis_workers: 1,
         }
     }
 
@@ -94,6 +104,7 @@ impl AnalyzerConfig {
             min_new_events: 20,
             merge_jaccard: 0.5,
             min_subspace_screens: 5,
+            analysis_workers: 1,
         }
     }
 }
@@ -135,12 +146,12 @@ struct InstanceState {
 }
 
 impl InstanceState {
-    fn new(config: &FindSpaceConfig) -> Self {
+    fn new(config: &FindSpaceConfig, arena: Arc<ScreenArena>) -> Self {
         InstanceState {
             last_run: None,
             last_len: 0,
             start_index: 0,
-            engine: FindSpaceEngine::new(config.clone()),
+            engine: FindSpaceEngine::with_arena(config.clone(), arena),
         }
     }
 }
@@ -152,11 +163,15 @@ pub struct OnlineTraceAnalyzer {
     subspaces: Vec<SubspaceInfo>,
     instances: HashMap<InstanceId, InstanceState>,
     similarity_cache: SimilarityCache,
+    /// Per-app screen interner shared by every instance's engine.
+    arena: Arc<ScreenArena>,
     /// Bumped on every subspace-registry mutation; lets snapshot
     /// publishers detect changes in `O(1)` instead of comparing vectors.
     version: u64,
     /// Per-analysis latency of the incremental FindSpace run, in µs.
     analysis_latency: taopt_telemetry::Histogram,
+    /// Live pair decisions held by the similarity cache.
+    cache_entries: taopt_telemetry::Gauge,
 }
 
 impl OnlineTraceAnalyzer {
@@ -167,9 +182,17 @@ impl OnlineTraceAnalyzer {
             subspaces: Vec::new(),
             instances: HashMap::new(),
             similarity_cache: SimilarityCache::new(),
+            arena: Arc::new(ScreenArena::new()),
             version: 0,
             analysis_latency: taopt_telemetry::global().histogram("findspace_analysis_us"),
+            cache_entries: taopt_telemetry::global().gauge("similarity_cache_entries"),
         }
+    }
+
+    /// The shared pairwise-similarity cache (sharded; see
+    /// [`SimilarityCache`]). Exposed for occupancy tests and gauges.
+    pub fn similarity_cache(&self) -> &SimilarityCache {
+        &self.similarity_cache
     }
 
     /// The configuration in use.
@@ -202,32 +225,55 @@ impl OnlineTraceAnalyzer {
         self.version
     }
 
-    /// Drops all per-instance analysis state (cursor + incremental
-    /// engine). Call when an instance retires or its device is replaced:
-    /// a successor re-using the id must not inherit a stale window.
+    /// Drops a retired instance's analysis state (cursor + incremental
+    /// engine) and evicts similarity-cache decisions that involve
+    /// screens **only this instance's window** had seen — pairs no
+    /// surviving engine can ask about again. Screens shared with any
+    /// live window are retained (their decisions stay hot), as are
+    /// screens from windows already rebased away, which the next
+    /// eviction or a cold recompute covers; the
+    /// `similarity_cache_entries` gauge tracks residual occupancy.
+    ///
+    /// Call when an instance retires or its device is replaced: a
+    /// successor re-using the id must not inherit a stale window.
     pub fn forget_instance(&mut self, instance: InstanceId) {
-        self.instances.remove(&instance);
+        let Some(state) = self.instances.remove(&instance) else {
+            return;
+        };
+        let mut dying: BTreeSet<u64> = state.engine.abstract_screen_ids().collect();
+        for other in self.instances.values() {
+            if dying.is_empty() {
+                break;
+            }
+            for id in other.engine.abstract_screen_ids() {
+                dying.remove(&id);
+            }
+        }
+        self.similarity_cache.evict_screens(&dying);
+        self.cache_entries.set(self.similarity_cache.len() as i64);
     }
 
-    /// Analyzes an instance's trace if it is due; returns the ids of
-    /// subspaces that became **newly confirmed** by this call.
-    pub fn maybe_analyze(
-        &mut self,
+    /// The per-instance half of an analysis: due-gating, engine
+    /// catch-up, and the FindSpace sweep. Touches only `state` and the
+    /// (thread-safe) `cache` — no registry access — so
+    /// [`ingest_round`](Self::ingest_round) may run it for many
+    /// instances concurrently with byte-identical results.
+    fn analysis_pass(
+        config: &AnalyzerConfig,
+        state: &mut InstanceState,
         instance: InstanceId,
         trace: &Trace,
         now: VirtualTime,
-    ) -> Vec<SubspaceId> {
-        let state = self
-            .instances
-            .entry(instance)
-            .or_insert_with(|| InstanceState::new(&self.config.find_space));
+        cache: &SimilarityCache,
+        latency: &taopt_telemetry::Histogram,
+    ) -> Option<(usize, Vec<SplitCandidate>)> {
         if let Some(last) = state.last_run {
-            if now.since(last) < self.config.analysis_interval {
-                return Vec::new();
+            if now.since(last) < config.analysis_interval {
+                return None;
             }
         }
-        if trace.len() < state.last_len + self.config.min_new_events {
-            return Vec::new();
+        if trace.len() < state.last_len + config.min_new_events {
+            return None;
         }
         state.last_run = Some(now);
         state.last_len = trace.len();
@@ -247,10 +293,133 @@ impl OnlineTraceAnalyzer {
             state.engine.reset();
         }
         let timer = std::time::Instant::now();
-        state.engine.extend_from(window, &mut self.similarity_cache);
+        state.engine.extend_from(window, cache);
         let candidates = state.engine.analyze(5);
-        self.analysis_latency
-            .record(timer.elapsed().as_micros() as u64);
+        latency.record(timer.elapsed().as_micros() as u64);
+        Some((start, candidates))
+    }
+
+    /// Analyzes an instance's trace if it is due; returns the ids of
+    /// subspaces that became **newly confirmed** by this call.
+    pub fn maybe_analyze(
+        &mut self,
+        instance: InstanceId,
+        trace: &Trace,
+        now: VirtualTime,
+    ) -> Vec<SubspaceId> {
+        let arena = self.arena.clone();
+        let state = self
+            .instances
+            .entry(instance)
+            .or_insert_with(|| InstanceState::new(&self.config.find_space, arena));
+        let Some((start, candidates)) = Self::analysis_pass(
+            &self.config,
+            state,
+            instance,
+            trace,
+            now,
+            &self.similarity_cache,
+            &self.analysis_latency,
+        ) else {
+            return Vec::new();
+        };
+        let confirmed = self.apply_candidates(instance, trace, start, candidates, now);
+        self.cache_entries.set(self.similarity_cache.len() as i64);
+        confirmed
+    }
+
+    /// Batched ingestion: one call per round covering every instance's
+    /// appended events, equivalent to calling
+    /// [`maybe_analyze`](Self::maybe_analyze) for each `(instance,
+    /// trace)` pair in slice order — the differential suite and the
+    /// golden-trace second arm pin the equivalence bit-for-bit.
+    ///
+    /// Phase A runs the per-instance [`analysis_pass`](Self::analysis_pass)
+    /// for the whole batch (across `analysis_workers` host threads when
+    /// configured — per-instance state is disjoint and the sharded
+    /// cache's decisions are order-independent, so any interleaving
+    /// yields the same bytes). Phase B then validates candidates and
+    /// mutates the subspace registry **sequentially in batch order**,
+    /// the same registry-mutation sequence the one-at-a-time path
+    /// produces.
+    ///
+    /// Instances must be distinct within one batch (the session feeds
+    /// each instance once per round); a duplicate is skipped.
+    pub fn ingest_round(
+        &mut self,
+        batch: &[(InstanceId, &Trace)],
+        now: VirtualTime,
+    ) -> Vec<SubspaceId> {
+        for (id, _) in batch {
+            let arena = self.arena.clone();
+            self.instances
+                .entry(*id)
+                .or_insert_with(|| InstanceState::new(&self.config.find_space, arena));
+        }
+        // Phase A: per-instance analysis, no registry access.
+        let mut results: Vec<Option<(usize, Vec<SplitCandidate>)>> = Vec::new();
+        results.resize_with(batch.len(), || None);
+        {
+            let config = &self.config;
+            let cache = &self.similarity_cache;
+            let latency = &self.analysis_latency;
+            let mut by_id: HashMap<InstanceId, &mut InstanceState> =
+                self.instances.iter_mut().map(|(k, v)| (*k, v)).collect();
+            let mut work: Vec<Option<(InstanceId, &Trace, &mut InstanceState)>> = batch
+                .iter()
+                .map(|(id, trace)| by_id.remove(id).map(|state| (*id, *trace, state)))
+                .collect();
+            debug_assert!(
+                work.iter().all(Option::is_some),
+                "duplicate instance in ingest_round batch"
+            );
+            let workers = config.analysis_workers.clamp(1, work.len().max(1));
+            if workers <= 1 {
+                for (item, slot) in work.iter_mut().zip(results.iter_mut()) {
+                    if let Some((id, trace, state)) = item {
+                        *slot = Self::analysis_pass(config, state, *id, trace, now, cache, latency);
+                    }
+                }
+            } else {
+                let chunk = work.len().div_ceil(workers);
+                std::thread::scope(|s| {
+                    for (wchunk, rchunk) in work.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
+                        s.spawn(move || {
+                            for (item, slot) in wchunk.iter_mut().zip(rchunk) {
+                                if let Some((id, trace, state)) = item {
+                                    *slot = Self::analysis_pass(
+                                        config, state, *id, trace, now, cache, latency,
+                                    );
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        // Phase B: sequential candidate application in batch order.
+        let mut confirmed = Vec::new();
+        for ((id, trace), result) in batch.iter().zip(results) {
+            if let Some((start, candidates)) = result {
+                confirmed.extend(self.apply_candidates(*id, trace, start, candidates, now));
+            }
+        }
+        self.cache_entries.set(self.similarity_cache.len() as i64);
+        confirmed
+    }
+
+    /// The sequential half of an analysis: turns the sweep's candidates
+    /// into a validated subspace report, rebases the instance's window
+    /// on acceptance, and registers the report. Must run in instance
+    /// order — it reads and mutates the shared subspace registry.
+    fn apply_candidates(
+        &mut self,
+        instance: InstanceId,
+        trace: &Trace,
+        start: usize,
+        candidates: Vec<SplitCandidate>,
+        now: VirtualTime,
+    ) -> Vec<SubspaceId> {
         let events = trace.events();
         for split in candidates {
             let abs = start + split.index;

@@ -27,7 +27,7 @@ use taopt_device::DeviceId;
 use taopt_telemetry::Counter;
 use taopt_toller::{EntrypointRule, EventSender, InstanceId, InstrumentedInstance};
 use taopt_ui_model::abstraction::abstract_hierarchy;
-use taopt_ui_model::{ActivityId, ScreenId, VirtualDuration, VirtualTime};
+use taopt_ui_model::{ActivityId, ScreenId, Trace, VirtualDuration, VirtualTime};
 
 use crate::analyzer::SubspaceId;
 use crate::campaign::layers::StepLayers;
@@ -563,20 +563,48 @@ impl SessionStep {
                 .span("analysis")
                 .at(self.now)
                 .enter();
-            for a in self.active.iter() {
-                // With the bus layer engaged the coordinator sees only
-                // what survived the transport, in repaired order.
-                let view = a
-                    .bus
-                    .as_ref()
-                    .map(|lane| lane.coord_trace())
-                    .unwrap_or_else(|| a.inst.trace());
-                match self.coordinator.process_trace(a.inst.id(), view, self.now) {
+            if self.config.batched_ingestion {
+                // Batched ingestion: one analyzer call for the whole
+                // round, equivalent to the per-instance loop below
+                // (golden-trace second arm pins the equality).
+                let batch: Vec<(InstanceId, &Trace)> = self
+                    .active
+                    .iter()
+                    .map(|a| {
+                        // With the bus layer engaged the coordinator sees
+                        // only what survived the transport, in repaired
+                        // order.
+                        let view = a
+                            .bus
+                            .as_ref()
+                            .map(|lane| lane.coord_trace())
+                            .unwrap_or_else(|| a.inst.trace());
+                        (a.inst.id(), view)
+                    })
+                    .collect();
+                match self.coordinator.process_traces(&batch, self.now) {
                     Ok(confirmed) => newly_confirmed += confirmed.len(),
                     // A dedication failure is an internal-invariant breach;
                     // the session degrades to uncoordinated exploration for
                     // this round instead of panicking.
                     Err(_) => self.coordinator_errors.inc(),
+                }
+            } else {
+                for a in self.active.iter() {
+                    // With the bus layer engaged the coordinator sees only
+                    // what survived the transport, in repaired order.
+                    let view = a
+                        .bus
+                        .as_ref()
+                        .map(|lane| lane.coord_trace())
+                        .unwrap_or_else(|| a.inst.trace());
+                    match self.coordinator.process_trace(a.inst.id(), view, self.now) {
+                        Ok(confirmed) => newly_confirmed += confirmed.len(),
+                        // A dedication failure is an internal-invariant
+                        // breach; the session degrades to uncoordinated
+                        // exploration for this round instead of panicking.
+                        Err(_) => self.coordinator_errors.inc(),
+                    }
                 }
             }
         }

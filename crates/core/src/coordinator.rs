@@ -247,6 +247,36 @@ impl TestCoordinator {
         Ok(confirmed)
     }
 
+    /// Batched [`process_trace`](Self::process_trace): feeds every
+    /// instance's trace for one round in a single analyzer call
+    /// ([`OnlineTraceAnalyzer::ingest_round`]) and dedicates each newly
+    /// confirmed subspace in confirmation order — the same dedication
+    /// sequence the per-instance loop produces (pinned by the
+    /// golden-trace second arm and the `parallel_equivalence` suite).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TaoptError::UnknownSubspace`] after
+    /// attempting every dedication; earlier successful dedications keep
+    /// their effect, exactly as in the serial loop.
+    pub fn process_traces(
+        &mut self,
+        batch: &[(InstanceId, &Trace)],
+        now: VirtualTime,
+    ) -> Result<Vec<SubspaceId>, TaoptError> {
+        let confirmed = self.analyzer.ingest_round(batch, now);
+        let mut first_err = None;
+        for sid in &confirmed {
+            if let Err(e) = self.dedicate(*sid, now) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(confirmed),
+        }
+    }
+
     /// Feeds a pre-built subspace report directly (used by streaming
     /// deployments and tests, bypassing `FindSpace`): registers it with
     /// the analyzer and dedicates it if it becomes newly confirmed.

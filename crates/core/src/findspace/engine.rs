@@ -12,8 +12,10 @@
 //! Per distinct abstract screen `j` (dense ids assigned in first-
 //! appearance order, so `first_occ` is strictly increasing):
 //!
-//! * the interning table and the `D×D` similarity relation, extended by
-//!   one row per *new* screen (`O(D)` cached tree-similarity decisions);
+//! * the interning table (shared per app via [`ScreenArena`]) and the
+//!   `D×D` similarity relation — a flat row-major symmetric matrix whose
+//!   buffer survives resets — extended by one row per *new* screen
+//!   (`O(D)` cached tree-similarity decisions);
 //! * `total_sim[j]` — events anywhere in the trace similar to screen `j`;
 //! * `first_occ[j]` / `last_occ[j]` — first and last occurrence position.
 //!
@@ -43,6 +45,26 @@
 //! `find_space_candidates` on the same prefix (pinned by proptests and
 //! the golden-trace fixture).
 //!
+//! # Vectorized sweep
+//!
+//! [`analyze`](FindSpaceEngine::analyze) runs the sweep *run-segmented*:
+//! both cursors (`first_occ` order, sorted `last_occ`) only move at `2D`
+//! positions, so between moves `overlap_whole` and the purity term are
+//! constants and the per-`p` work collapses to
+//! `(overlap_whole − pair_base[p]) → score`, evaluated over contiguous
+//! `pair_base` in fixed-width lanes the autovectorizer can pack
+//! (integer subtract, int→f64 convert, divide, add — element-wise, no
+//! horizontal operation, **no reassociation**: each lane performs the
+//! reference's operations in the reference's order on the reference's
+//! values, so the bits match lane width 1, 8, or 16 exactly —
+//! [`analyze_with_lanes`](FindSpaceEngine::analyze_with_lanes) lets the
+//! differential suite sweep widths). Eligibility hoists out of the loop
+//! entirely: `prefix_distinct_at` is nondecreasing, so the eligible
+//! region is a single `p` range found by binary search. The verbatim
+//! scalar loop survives as
+//! [`analyze_reference`](FindSpaceEngine::analyze_reference), the anchor
+//! the `parallel_equivalence` suite pins the lanes against.
+//!
 //! # Cost
 //!
 //! Feeding `ΔN` appended events costs `O(ΔN·D)` (interning, similarity
@@ -50,15 +72,63 @@
 //! the sweep plus `O(1)` amortized frontier advancement. The full-rescan
 //! path pays `O(N·D)` *per analysis* for the same answer.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use taopt_ui_model::TraceEvent;
 
-use super::{sigmoid, FindSpaceConfig, SimilarityCache, SplitCandidate};
+use super::{sigmoid, FindSpaceConfig, ScreenArena, SimilarityCache, SplitCandidate};
 
 /// Initial interning capacity: distinct abstract screens rarely exceed a
 /// few dozen per app, so one allocation covers the common case.
 pub(super) const SCREEN_CAPACITY_HINT: usize = 64;
+
+/// Lane width [`FindSpaceEngine::analyze`] uses: wide enough to fill an
+/// AVX2 register four times over at f64, small enough that short runs
+/// don't round up past `p_max`.
+pub const DEFAULT_LANES: usize = 8;
+
+/// Widest lane chunk [`FindSpaceEngine::analyze_with_lanes`] accepts
+/// (the score scratch buffer is this long).
+pub const MAX_LANES: usize = 16;
+
+/// Sentinel in `local_of_arena`: screen not interned in this window.
+const NO_LOCAL: u32 = u32::MAX;
+
+/// Scores `W` consecutive positions `q = start..start + W` of the
+/// fused sweep:
+///
+/// ```text
+/// (overlap_whole - pair_base[q]) as f64 / (n - q) as f64 + two_purity - 1.0
+/// ```
+///
+/// This is the reference expression verbatim, element-wise — the
+/// conversions are exact (both operands < 2^53), the divide and the
+/// two adds are IEEE ops in the reference's left-to-right association,
+/// and no cross-lane operation exists — so every lane's bits equal the
+/// scalar loop's. The const trip count and array-ref operand are what
+/// let the autovectorizer turn this into packed convert/divide when
+/// the target CPU has the instructions (the bench builds with
+/// `target-cpu=native`); on baseline targets it unrolls to the same
+/// scalar sequence.
+#[inline]
+fn score_chunk<const W: usize>(
+    pair_base: &[i64],
+    start: usize,
+    n: usize,
+    overlap_whole: i64,
+    two_purity: f64,
+) -> [f64; W] {
+    let pb: &[i64; W] = pair_base[start..start + W]
+        .try_into()
+        .expect("chunk is W long");
+    let mut out = [0.0f64; W];
+    for l in 0..W {
+        let overlap = overlap_whole - pb[l];
+        let overlap_score = overlap as f64 / (n - (start + l)) as f64;
+        out[l] = overlap_score + two_purity - 1.0;
+    }
+    out
+}
 
 /// Persistent incremental `FindSpace` state for one instance's
 /// append-only trace window.
@@ -72,12 +142,19 @@ pub(super) const SCREEN_CAPACITY_HINT: usize = 64;
 #[derive(Debug)]
 pub struct FindSpaceEngine {
     config: FindSpaceConfig,
-    /// Abstract-screen id → dense index, in first-appearance order.
-    index: HashMap<u64, usize>,
+    /// Shared per-app interner: abstract id → stable arena id.
+    arena: Arc<ScreenArena>,
+    /// Arena id → dense local index (`NO_LOCAL` when absent). Reused
+    /// across resets: only entries named in `arena_ids` are ever set.
+    local_of_arena: Vec<u32>,
+    /// Arena id of every dense local screen, in first-appearance order.
+    arena_ids: Vec<u32>,
     /// One representative event per dense screen id.
     reps: Vec<TraceEvent>,
-    /// `D×D` pairwise similarity (diagonal true).
-    sim: Vec<Vec<bool>>,
+    /// `D×D` pairwise similarity (diagonal true): flat row-major with
+    /// stride `sim_stride`, symmetric, buffer retained across resets.
+    sim: Vec<bool>,
+    sim_stride: usize,
     /// Dense screen id of every ingested event.
     ev_idx: Vec<usize>,
     /// Event timestamps in millis (for `p_max`).
@@ -108,13 +185,23 @@ pub struct FindSpaceEngine {
 }
 
 impl FindSpaceEngine {
-    /// Creates an empty engine.
+    /// Creates an empty engine with a private screen arena.
     pub fn new(config: FindSpaceConfig) -> Self {
+        Self::with_arena(config, Arc::new(ScreenArena::new()))
+    }
+
+    /// Creates an empty engine sharing `arena` — all engines analyzing
+    /// one app should share one arena so screens intern once per app,
+    /// not once per instance per reset.
+    pub fn with_arena(config: FindSpaceConfig, arena: Arc<ScreenArena>) -> Self {
         FindSpaceEngine {
             config,
-            index: HashMap::with_capacity(SCREEN_CAPACITY_HINT),
+            arena,
+            local_of_arena: Vec::new(),
+            arena_ids: Vec::new(),
             reps: Vec::new(),
             sim: Vec::new(),
+            sim_stride: 0,
             ev_idx: Vec::new(),
             times: Vec::new(),
             first_occ: Vec::new(),
@@ -146,15 +233,32 @@ impl FindSpaceEngine {
         self.reps.len()
     }
 
-    /// Forgets all ingested events (keeps the config and allocations).
+    /// Abstract-screen ids of every distinct screen in the current
+    /// window (first-appearance order) — the unit of scoped cache
+    /// eviction when an instance is forgotten.
+    pub fn abstract_screen_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.reps.iter().map(|e| e.abstract_id.0)
+    }
+
+    /// Forgets all ingested events (keeps the config and allocations:
+    /// the arena interning, the similarity-matrix buffer, and every
+    /// per-screen/per-position vector's capacity survive, so re-feeding
+    /// the next window allocates nothing).
     ///
     /// Must be called whenever the window this engine mirrors is rebased
     /// or replaced — an accepted split moving the analysis start, or the
     /// instance being re-dedicated onto a replacement device.
     pub fn reset(&mut self) {
-        self.index.clear();
+        for &aid in &self.arena_ids {
+            self.local_of_arena[aid as usize] = NO_LOCAL;
+        }
+        self.arena_ids.clear();
+        let d = self.reps.len();
+        for j in 0..d {
+            let base = j * self.sim_stride;
+            self.sim[base..base + d].fill(false);
+        }
         self.reps.clear();
-        self.sim.clear();
         self.ev_idx.clear();
         self.times.clear();
         self.first_occ.clear();
@@ -175,24 +279,26 @@ impl FindSpaceEngine {
     /// [`len`](Self::len) are fed, earlier ones are assumed unchanged.
     /// `cache` supplies (and accumulates) pairwise similarity decisions;
     /// pass the same per-app cache as the rescan path.
-    pub fn extend_from(&mut self, window: &[TraceEvent], cache: &mut SimilarityCache) {
+    pub fn extend_from(&mut self, window: &[TraceEvent], cache: &SimilarityCache) {
         for e in &window[self.len().min(window.len())..] {
             self.push(e, cache);
         }
     }
 
     /// Ingests one appended event.
-    pub fn push(&mut self, event: &TraceEvent, cache: &mut SimilarityCache) {
+    pub fn push(&mut self, event: &TraceEvent, cache: &SimilarityCache) {
         let pos = self.ev_idx.len();
         let id = self.intern(event, cache);
         self.times.push(event.time.as_millis());
         self.ev_idx.push(id);
+        let d = self.reps.len();
         // The event is similar to itself, so `total_sim[id]` is covered
-        // by the loop (the diagonal is true).
-        for j in 0..self.reps.len() {
-            if self.sim[j][id] {
-                self.total_sim[j] += 1;
-            }
+        // (the diagonal is true). The relation is symmetric, so the
+        // column `sim[j][id]` is read as the contiguous row `id` — an
+        // unconditional, lane-packable integer add.
+        let row = &self.sim[id * self.sim_stride..id * self.sim_stride + d];
+        for (ts, &s) in self.total_sim.iter_mut().zip(row) {
+            *ts += s as i64;
         }
         self.last_occ[id] = pos;
         if pos == 0 {
@@ -200,10 +306,9 @@ impl FindSpaceEngine {
             self.prefix_present[id] = true;
             self.prefix_count[id] = 1;
             self.prefix_distinct = 1;
-            for x in 0..self.reps.len() {
-                if self.sim[id][x] {
-                    self.weight[x] += 1;
-                }
+            let row = &self.sim[id * self.sim_stride..id * self.sim_stride + d];
+            for (w, &s) in self.weight.iter_mut().zip(row) {
+                *w += s as usize;
             }
             self.pair_base.push(1); // (id, 0) is the only in-prefix pair
             self.prefix_distinct_at.push(1);
@@ -211,26 +316,52 @@ impl FindSpaceEngine {
         }
     }
 
+    /// Grows the flat similarity matrix to hold at least `screens` rows,
+    /// re-laying existing rows onto the wider stride. Doubling growth:
+    /// `O(log D)` re-layouts per engine *lifetime*, zero per reset.
+    fn ensure_sim_capacity(&mut self, screens: usize) {
+        if screens <= self.sim_stride {
+            return;
+        }
+        let mut stride = self.sim_stride.max(SCREEN_CAPACITY_HINT / 2);
+        while stride < screens {
+            stride *= 2;
+        }
+        let mut grown = vec![false; stride * stride];
+        let d = self.reps.len();
+        for j in 0..d {
+            let src = j * self.sim_stride;
+            let dst = j * stride;
+            grown[dst..dst + d].copy_from_slice(&self.sim[src..src + d]);
+        }
+        self.sim = grown;
+        self.sim_stride = stride;
+    }
+
     /// Interns the event's abstract screen, extending the similarity
     /// relation and per-screen state for a new screen. Returns the dense
     /// id.
-    fn intern(&mut self, event: &TraceEvent, cache: &mut SimilarityCache) -> usize {
-        let key = event.abstract_id.0;
-        if let Some(&id) = self.index.get(&key) {
-            return id;
+    fn intern(&mut self, event: &TraceEvent, cache: &SimilarityCache) -> usize {
+        let aid = self.arena.resolve(event) as usize;
+        if self.local_of_arena.len() <= aid {
+            self.local_of_arena.resize(aid + 1, NO_LOCAL);
+        }
+        if self.local_of_arena[aid] != NO_LOCAL {
+            return self.local_of_arena[aid] as usize;
         }
         let id = self.reps.len();
-        self.index.insert(key, id);
+        self.local_of_arena[aid] = id as u32;
+        self.arena_ids.push(aid as u32);
+        self.ensure_sim_capacity(id + 1);
+        let stride = self.sim_stride;
         // New similarity row/column against every existing representative
         // — the same ordered cache lookups the rescan path performs.
-        let mut row = Vec::with_capacity(id + 1);
-        for (j, rep) in self.reps.iter().enumerate() {
-            let s = cache.similar(rep, event, self.config.similarity_threshold);
-            row.push(s);
-            self.sim[j].push(s);
+        for j in 0..id {
+            let s = cache.similar(&self.reps[j], event, self.config.similarity_threshold);
+            self.sim[j * stride + id] = s;
+            self.sim[id * stride + j] = s;
         }
-        row.push(true);
-        self.sim.push(row);
+        self.sim[id * stride + id] = true;
         self.reps.push(event.clone());
         self.first_occ.push(self.ev_idx.len());
         self.last_occ.push(self.ev_idx.len());
@@ -240,8 +371,11 @@ impl FindSpaceEngine {
         // A screen first seen now cannot be in the frontier prefix, so
         // its weight is the count of prefix-distinct screens similar to
         // it.
-        let w = (0..id)
-            .filter(|&j| self.prefix_present[j] && self.sim[j][id])
+        let row = &self.sim[id * stride..id * stride + id];
+        let w = row
+            .iter()
+            .zip(&self.prefix_present[..id])
+            .filter(|&(&s, &p)| s && p)
             .count();
         self.weight.push(w);
         id
@@ -274,12 +408,13 @@ impl FindSpaceEngine {
                 self.prefix_present[e] = true;
                 self.prefix_distinct += 1;
                 // Pairs (e, i) for i < p: prior prefix events similar to
-                // the newly distinct screen.
-                for x in 0..self.reps.len() {
-                    if self.sim[e][x] {
-                        pairs += self.prefix_count[x] as i64;
-                        self.weight[x] += 1;
-                    }
+                // the newly distinct screen. Row `e` is contiguous and
+                // the updates unconditional — integer lanes, exact.
+                let d = self.reps.len();
+                let row = &self.sim[e * self.sim_stride..e * self.sim_stride + d];
+                for ((&s, &c), w) in row.iter().zip(&self.prefix_count).zip(&mut self.weight) {
+                    pairs += s as i64 * c as i64;
+                    *w += s as usize;
                 }
             }
             // Pairs (j, p): prefix-distinct screens similar to the event
@@ -293,29 +428,217 @@ impl FindSpaceEngine {
         }
     }
 
-    /// Returns up to `k` qualifying splits of the ingested window in
-    /// ascending score order — bit-identical to
-    /// [`find_space_candidates`](super::find_space_candidates) on the
-    /// same events with the same cache.
-    pub fn analyze(&mut self, k: usize) -> Vec<SplitCandidate> {
+    /// Shared preamble of both sweeps: frontier advancement, sample
+    /// size, sorted last-occurrence scratch. Returns `(n, pm, d,
+    /// sample_size)` or `None` when the window can't split.
+    fn prepare_sweep(&mut self, k: usize) -> Option<(usize, usize, usize, usize)> {
         let n = self.ev_idx.len();
-        let Some(pm) = self.p_max() else {
-            return Vec::new();
-        };
+        let pm = self.p_max()?;
         if pm == 0 || k == 0 {
-            return Vec::new();
+            return None;
         }
         self.advance_to(pm);
         let d = self.reps.len();
-
         // sample_size = |Set(S[p_max+1 : N])|: screens whose last
         // occurrence falls in the reserved tail.
         let sample_size = self.last_occ.iter().filter(|&&l| l > pm).count().max(1);
-
         self.sorted_last.clear();
         self.sorted_last.extend_from_slice(&self.last_occ);
         self.sorted_last.sort_unstable();
+        Some((n, pm, d, sample_size))
+    }
 
+    /// Shared tail of both sweeps: k-best selection with near-duplicate
+    /// suppression. The reference stable-sorts by score; push order is
+    /// ascending `p`, so that equals the strict total order (score,
+    /// index). The dedup keeps at most `k` candidates and each kept one
+    /// masks at most 10 neighbours (`|Δindex| ≤ 5`), so only the `11k`
+    /// smallest can influence the output — select them instead of
+    /// sorting the whole list.
+    /// The selection order: (score, index) — a *strict* total order
+    /// (`total_cmp` plus the index tiebreak means no two distinct
+    /// candidates compare equal), which is what makes threshold pruning
+    /// in the lane sweep exact.
+    fn cmp_candidates(a: &SplitCandidate, b: &SplitCandidate) -> std::cmp::Ordering {
+        a.score.total_cmp(&b.score).then(a.index.cmp(&b.index))
+    }
+
+    fn select_best(mut qualifying: Vec<SplitCandidate>, k: usize) -> Vec<SplitCandidate> {
+        let cmp = Self::cmp_candidates;
+        let m = k.saturating_mul(11);
+        if m < qualifying.len() {
+            qualifying.select_nth_unstable_by(m, cmp);
+            qualifying.truncate(m);
+        }
+        qualifying.sort_unstable_by(cmp);
+        let mut out: Vec<SplitCandidate> = Vec::new();
+        for c in qualifying {
+            if out.len() >= k {
+                break;
+            }
+            if out.iter().all(|o| o.index.abs_diff(c.index) > 5) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Returns up to `k` qualifying splits of the ingested window in
+    /// ascending score order — bit-identical to
+    /// [`find_space_candidates`](super::find_space_candidates) on the
+    /// same events with the same cache. Runs the vectorized sweep at
+    /// [`DEFAULT_LANES`].
+    pub fn analyze(&mut self, k: usize) -> Vec<SplitCandidate> {
+        self.analyze_with_lanes(k, DEFAULT_LANES)
+    }
+
+    /// The vectorized sweep at an explicit lane width in
+    /// `1..=`[`MAX_LANES`] (clamped): runs are segmented where both
+    /// cursors are constant, and each run's scores are evaluated over
+    /// contiguous `pair_base` in `lanes`-wide chunks. Every width
+    /// produces bit-identical output — the per-`p` expression performs
+    /// the reference's operations in the reference's order, lanes only
+    /// batch independent `p`s — which the `parallel_equivalence` suite
+    /// sweeps to prove.
+    pub fn analyze_with_lanes(&mut self, k: usize, lanes: usize) -> Vec<SplitCandidate> {
+        let Some((n, pm, d, sample_size)) = self.prepare_sweep(k) else {
+            return Vec::new();
+        };
+        let lanes = lanes.clamp(1, MAX_LANES);
+        // Eligibility is monotone in `p`: `prefix_distinct_at` is
+        // nondecreasing, so "first eligible p" is a binary search and
+        // the per-p checks vanish from the loop.
+        let elig_start = self.prefix_distinct_at[..=pm]
+            .partition_point(|&pd| pd < self.config.min_prefix_distinct)
+            .max(self.config.min_prefix_events)
+            .max(1);
+
+        // Exact streaming top-`m` selection: only the `m = 11k` smallest
+        // candidates (by the strict (score, index) order) can influence
+        // [`select_best`]'s output. `bound` is the `m`-th smallest seen
+        // so far (set at each compaction); any later candidate ≥ bound
+        // already has `m` candidates strictly below it, so dropping it
+        // cannot change the selected set — the sweep stays bit-identical
+        // to the reference while the common case (a poor score deep in
+        // the window) costs one comparison instead of a push.
+        let m_sel = k.saturating_mul(11).max(1);
+        let mut qualifying: Vec<SplitCandidate> = Vec::with_capacity(2 * m_sel);
+        let mut bound_score = f64::INFINITY;
+        let max_score = self.config.max_score;
+        let mut buf = [0.0f64; MAX_LANES];
+        let mut overlap_whole: i64 = 0; // Σ total_sim[j] over first_occ[j] < p
+        let mut fo = 0usize; // cursor over first_occ (ascending)
+        let mut lo = 0usize; // cursor over sorted_last
+        let mut cached_lo = usize::MAX;
+        let mut two_purity = 0.0f64;
+        let mut p = 1usize;
+        while p <= pm {
+            while fo < d && self.first_occ[fo] < p {
+                overlap_whole += self.total_sim[fo];
+                fo += 1;
+            }
+            while lo < d && self.sorted_last[lo] < p {
+                lo += 1;
+            }
+            // The sigmoid (the one transcendental in the sweep) is
+            // re-evaluated only when `lo` moved — same inputs, same bits
+            // as the reference's per-`lo` memoization.
+            if lo != cached_lo {
+                cached_lo = lo;
+                let suffix_distinct = d - lo;
+                two_purity = 2.0 * sigmoid(suffix_distinct as f64 / sample_size as f64 - 1.0);
+            }
+            // Run end: the cursors next move at `first_occ[fo] + 1` /
+            // `sorted_last[lo] + 1` (both ≥ p + 1 since the advances
+            // above ran to fixpoint), so until then `overlap_whole` and
+            // `two_purity` are run constants.
+            let next_fo = if fo < d {
+                self.first_occ[fo] + 1
+            } else {
+                usize::MAX
+            };
+            let next_lo = if lo < d {
+                self.sorted_last[lo] + 1
+            } else {
+                usize::MAX
+            };
+            let run_end = next_fo.min(next_lo).min(pm + 1).max(p + 1);
+            let mut start = p.max(elig_start);
+            while start < run_end {
+                let m = lanes.min(run_end - start);
+                // The lane kernel: element-wise over contiguous
+                // `pair_base`, no cross-lane operation, the reference's
+                // expression verbatim (`overlap_score + two_purity - 1.0`
+                // associates left-to-right exactly as the scalar loop).
+                // Full chunks go through the const-width builds, whose
+                // fixed trip count and array-ref operands are what the
+                // autovectorizer needs to emit packed convert/divide;
+                // ragged tails fall back to the identical scalar
+                // expression.
+                match m {
+                    16 => buf[..16].copy_from_slice(&score_chunk::<16>(
+                        &self.pair_base,
+                        start,
+                        n,
+                        overlap_whole,
+                        two_purity,
+                    )),
+                    8 => buf[..8].copy_from_slice(&score_chunk::<8>(
+                        &self.pair_base,
+                        start,
+                        n,
+                        overlap_whole,
+                        two_purity,
+                    )),
+                    4 => buf[..4].copy_from_slice(&score_chunk::<4>(
+                        &self.pair_base,
+                        start,
+                        n,
+                        overlap_whole,
+                        two_purity,
+                    )),
+                    _ => {
+                        for (l, s) in buf[..m].iter_mut().enumerate() {
+                            let q = start + l;
+                            let overlap = overlap_whole - self.pair_base[q];
+                            let overlap_score = overlap as f64 / (n - q) as f64;
+                            *s = overlap_score + two_purity - 1.0;
+                        }
+                    }
+                }
+                for (l, &s) in buf[..m].iter().enumerate() {
+                    // `s <= bound_score` is the cheap form of the prune:
+                    // a strictly larger score already has `m_sel`
+                    // candidates ordering strictly before it, so it can
+                    // never reach `select_best`'s window; score ties
+                    // (where the index tiebreak would matter) are kept.
+                    if s < max_score && s <= bound_score {
+                        qualifying.push(SplitCandidate {
+                            index: start + l,
+                            score: s,
+                        });
+                        if qualifying.len() == 2 * m_sel {
+                            qualifying.select_nth_unstable_by(m_sel - 1, Self::cmp_candidates);
+                            qualifying.truncate(m_sel);
+                            bound_score = qualifying[m_sel - 1].score;
+                        }
+                    }
+                }
+                start += m;
+            }
+            p = run_end;
+        }
+        Self::select_best(qualifying, k)
+    }
+
+    /// The scalar reference sweep, kept verbatim as the anchor of the
+    /// differential suite: [`analyze`](Self::analyze) must match it
+    /// bit-for-bit at every lane width (and both must match
+    /// [`find_space_candidates`](super::find_space_candidates)).
+    pub fn analyze_reference(&mut self, k: usize) -> Vec<SplitCandidate> {
+        let Some((n, pm, d, sample_size)) = self.prepare_sweep(k) else {
+            return Vec::new();
+        };
         let mut qualifying: Vec<SplitCandidate> = Vec::with_capacity(pm);
         let mut overlap_whole: i64 = 0; // Σ total_sim[j] over first_occ[j] < p
         let mut fo = 0usize; // cursor over first_occ (ascending)
@@ -353,31 +676,7 @@ impl FindSpaceEngine {
                 }
             }
         }
-        // The reference stable-sorts by score; push order is ascending
-        // `p`, so that equals the strict total order (score, index). The
-        // dedup keeps at most `k` candidates and each kept one masks at
-        // most 10 neighbours (`|Δindex| ≤ 5`), so only the `11k`
-        // smallest can influence the output — select them instead of
-        // sorting the whole list.
-        let cmp = |a: &SplitCandidate, b: &SplitCandidate| {
-            a.score.total_cmp(&b.score).then(a.index.cmp(&b.index))
-        };
-        let m = k.saturating_mul(11);
-        if m < qualifying.len() {
-            qualifying.select_nth_unstable_by(m, cmp);
-            qualifying.truncate(m);
-        }
-        qualifying.sort_unstable_by(cmp);
-        let mut out: Vec<SplitCandidate> = Vec::new();
-        for c in qualifying {
-            if out.len() >= k {
-                break;
-            }
-            if out.iter().all(|o| o.index.abs_diff(c.index) > 5) {
-                out.push(c);
-            }
-        }
-        out
+        Self::select_best(qualifying, k)
     }
 }
 
@@ -415,12 +714,12 @@ mod tests {
         let events = two_cluster_trace(40, 60);
         let c = cfg(30);
         let mut engine = FindSpaceEngine::new(c.clone());
-        let mut engine_cache = SimilarityCache::new();
-        let mut rescan_cache = SimilarityCache::new();
+        let engine_cache = SimilarityCache::new();
+        let rescan_cache = SimilarityCache::new();
         for end in 1..=events.len() {
-            engine.extend_from(&events[..end], &mut engine_cache);
+            engine.extend_from(&events[..end], &engine_cache);
             let inc = engine.analyze(5);
-            let full = find_space_candidates(&events[..end], &c, &mut rescan_cache, 5);
+            let full = find_space_candidates(&events[..end], &c, &rescan_cache, 5);
             assert_identical(&inc, &full, &format!("prefix {end}"));
         }
     }
@@ -431,15 +730,15 @@ mod tests {
         let c = cfg(20);
         for chunk in [1usize, 3, 7, 17, 50] {
             let mut engine = FindSpaceEngine::new(c.clone());
-            let mut engine_cache = SimilarityCache::new();
-            let mut rescan_cache = SimilarityCache::new();
+            let engine_cache = SimilarityCache::new();
+            let rescan_cache = SimilarityCache::new();
             let mut end = 0;
             while end < events.len() {
                 end = (end + chunk).min(events.len());
-                engine.extend_from(&events[..end], &mut engine_cache);
+                engine.extend_from(&events[..end], &engine_cache);
                 assert_identical(
                     &engine.analyze(5),
-                    &find_space_candidates(&events[..end], &c, &mut rescan_cache, 5),
+                    &find_space_candidates(&events[..end], &c, &rescan_cache, 5),
                     &format!("chunk {chunk} prefix {end}"),
                 );
             }
@@ -450,32 +749,71 @@ mod tests {
     fn reset_matches_fresh_engine() {
         let events = two_cluster_trace(30, 50);
         let c = cfg(20);
-        let mut cache = SimilarityCache::new();
+        let cache = SimilarityCache::new();
         let mut used = FindSpaceEngine::new(c.clone());
-        used.extend_from(&events, &mut cache);
+        used.extend_from(&events, &cache);
         let _ = used.analyze(5);
         // Simulated re-dedication: the window rebases to index 30.
         used.reset();
         assert_eq!(used.len(), 0);
-        used.extend_from(&events[30..], &mut cache);
+        used.extend_from(&events[30..], &cache);
         let mut fresh = FindSpaceEngine::new(c.clone());
-        fresh.extend_from(&events[30..], &mut cache);
+        fresh.extend_from(&events[30..], &cache);
         assert_identical(&used.analyze(5), &fresh.analyze(5), "after reset");
         assert_identical(
             &used.analyze(5),
-            &find_space_candidates(&events[30..], &c, &mut SimilarityCache::new(), 5),
+            &find_space_candidates(&events[30..], &c, &SimilarityCache::new(), 5),
             "reset vs rescan",
         );
     }
 
     #[test]
+    fn lane_widths_and_reference_agree() {
+        let events = two_cluster_trace(40, 60);
+        let c = cfg(25);
+        let cache = SimilarityCache::new();
+        let mut reference = FindSpaceEngine::new(c.clone());
+        reference.extend_from(&events, &cache);
+        let anchor = reference.analyze_reference(5);
+        assert!(!anchor.is_empty(), "trace should split");
+        for lanes in [1usize, 2, 3, 4, 8, 16, 64] {
+            let mut engine = FindSpaceEngine::new(c.clone());
+            engine.extend_from(&events, &cache);
+            assert_identical(
+                &engine.analyze_with_lanes(5, lanes),
+                &anchor,
+                &format!("lanes {lanes}"),
+            );
+        }
+    }
+
+    #[test]
+    fn shared_arena_engines_agree_with_private_arena() {
+        let events = two_cluster_trace(30, 40);
+        let c = cfg(20);
+        let cache = SimilarityCache::new();
+        let arena = Arc::new(ScreenArena::new());
+        let mut shared_a = FindSpaceEngine::with_arena(c.clone(), arena.clone());
+        let mut shared_b = FindSpaceEngine::with_arena(c.clone(), arena.clone());
+        let mut private = FindSpaceEngine::new(c.clone());
+        // Feed b a shifted window first so the arena's id assignment
+        // order differs from either engine's local first-appearance
+        // order — arena ids must never leak into results.
+        shared_b.extend_from(&events[25..], &cache);
+        shared_a.extend_from(&events, &cache);
+        private.extend_from(&events, &cache);
+        assert_identical(&shared_a.analyze(5), &private.analyze(5), "shared arena");
+        assert_eq!(arena.len(), private.distinct_screens());
+    }
+
+    #[test]
     fn empty_and_short_windows_yield_nothing() {
         let mut engine = FindSpaceEngine::new(cfg(60));
-        let mut cache = SimilarityCache::new();
+        let cache = SimilarityCache::new();
         assert!(engine.analyze(5).is_empty());
-        engine.push(&ev(0, "A"), &mut cache);
+        engine.push(&ev(0, "A"), &cache);
         assert!(engine.analyze(5).is_empty());
-        engine.push(&ev(2, "B"), &mut cache);
+        engine.push(&ev(2, "B"), &cache);
         // Two events spanning 2 s cannot reserve a 60 s tail.
         assert!(engine.analyze(5).is_empty());
     }
@@ -493,13 +831,13 @@ mod tests {
         }
         let c = cfg(15);
         let mut engine = FindSpaceEngine::new(c.clone());
-        let mut engine_cache = SimilarityCache::new();
-        let mut rescan_cache = SimilarityCache::new();
+        let engine_cache = SimilarityCache::new();
+        let rescan_cache = SimilarityCache::new();
         for end in (5..=events.len()).step_by(5) {
-            engine.extend_from(&events[..end], &mut engine_cache);
+            engine.extend_from(&events[..end], &engine_cache);
             assert_identical(
                 &engine.analyze(5),
-                &find_space_candidates(&events[..end], &c, &mut rescan_cache, 5),
+                &find_space_candidates(&events[..end], &c, &rescan_cache, 5),
                 &format!("dup-ts prefix {end}"),
             );
         }

@@ -25,6 +25,7 @@
 //! trace costs `O(ΔN·D + P)`; tests assert all three agree (the engine
 //! bit-identically).
 
+mod arena;
 mod engine;
 
 use std::collections::HashMap;
@@ -32,66 +33,14 @@ use std::collections::HashMap;
 use taopt_ui_model::similarity::{tree_similarity, DEFAULT_SIMILARITY_THRESHOLD};
 use taopt_ui_model::{TraceEvent, VirtualDuration};
 
+pub use arena::ScreenArena;
 pub use engine::FindSpaceEngine;
+// The cache lives in `ui-model` next to `tree_similarity` (it is a pure
+// function of hierarchies); re-exported here where every consumer — the
+// engine, the rescan reference, the analyzer — already imports it.
+pub use taopt_ui_model::similarity::SimilarityCache;
 
 use engine::SCREEN_CAPACITY_HINT;
-
-/// A persistent cache of pairwise screen-similarity decisions, keyed by
-/// abstract-screen-id pairs. One cache serves a whole parallel run: the
-/// analyzer re-runs `FindSpace` every few seconds per instance and the
-/// distinct-screen population is shared, so cached decisions eliminate the
-/// dominant `O(D²)` tree-similarity cost of repeated analyses.
-#[derive(Debug)]
-pub struct SimilarityCache {
-    decisions: HashMap<(u64, u64), bool>,
-}
-
-impl Default for SimilarityCache {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl SimilarityCache {
-    /// Creates an empty cache pre-sized for a typical app's
-    /// distinct-screen population.
-    pub fn new() -> Self {
-        Self::with_screen_capacity(SCREEN_CAPACITY_HINT)
-    }
-
-    /// Creates an empty cache pre-sized for `screens` distinct abstract
-    /// screens (one decision per unordered pair).
-    pub fn with_screen_capacity(screens: usize) -> Self {
-        SimilarityCache {
-            decisions: HashMap::with_capacity(screens * screens.saturating_sub(1) / 2),
-        }
-    }
-
-    /// Number of cached pair decisions.
-    pub fn len(&self) -> usize {
-        self.decisions.len()
-    }
-
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.decisions.is_empty()
-    }
-
-    fn similar(&mut self, a: &TraceEvent, b: &TraceEvent, threshold: f64) -> bool {
-        if a.abstract_id == b.abstract_id {
-            return true;
-        }
-        let key = if a.abstract_id.0 <= b.abstract_id.0 {
-            (a.abstract_id.0, b.abstract_id.0)
-        } else {
-            (b.abstract_id.0, a.abstract_id.0)
-        };
-        *self
-            .decisions
-            .entry(key)
-            .or_insert_with(|| tree_similarity(&a.abstraction, &b.abstraction) >= threshold)
-    }
-}
 
 /// Tunables for `FindSpace`.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,7 +94,7 @@ pub fn sigmoid(x: f64) -> f64 {
 fn similarity_relation(
     events: &[TraceEvent],
     threshold: f64,
-    cache: &mut SimilarityCache,
+    cache: &SimilarityCache,
 ) -> (HashMap<u64, usize>, Vec<Vec<bool>>) {
     let mut index: HashMap<u64, usize> =
         HashMap::with_capacity(events.len().min(SCREEN_CAPACITY_HINT));
@@ -189,7 +138,7 @@ fn p_max(events: &[TraceEvent], l_min: VirtualDuration) -> Option<usize> {
 /// See the crate-level quickstart; unit tests below exercise hand-built
 /// traces with an obvious two-cluster structure.
 pub fn find_space(events: &[TraceEvent], config: &FindSpaceConfig) -> Option<SplitCandidate> {
-    find_space_candidates(events, config, &mut SimilarityCache::new(), 1)
+    find_space_candidates(events, config, &SimilarityCache::new(), 1)
         .into_iter()
         .next()
 }
@@ -203,7 +152,7 @@ pub fn find_space(events: &[TraceEvent], config: &FindSpaceConfig) -> Option<Spl
 pub fn find_space_candidates(
     events: &[TraceEvent],
     config: &FindSpaceConfig,
-    cache: &mut SimilarityCache,
+    cache: &SimilarityCache,
     k: usize,
 ) -> Vec<SplitCandidate> {
     let n = events.len();

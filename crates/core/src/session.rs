@@ -94,6 +94,12 @@ pub struct SessionConfig {
     pub analyzer: AnalyzerConfig,
     /// Emulator timing and flakiness knobs for every device.
     pub emulator: taopt_device::EmulatorConfig,
+    /// Feed the round's traces to the analyzer as one batch
+    /// ([`crate::coordinator::TestCoordinator::process_traces`]) instead
+    /// of one call per instance. Byte-identical either way (the
+    /// golden-trace fixture runs both arms); `false` forces the legacy
+    /// serial loop.
+    pub batched_ingestion: bool,
 }
 
 impl SessionConfig {
@@ -115,6 +121,7 @@ impl SessionConfig {
             stall_timeout: VirtualDuration::from_mins(3),
             analyzer,
             emulator: taopt_device::EmulatorConfig::default(),
+            batched_ingestion: true,
         }
     }
 

@@ -146,15 +146,15 @@ proptest! {
         let mut cfg = fs_config();
         cfg.l_min = VirtualDuration::from_secs(l_min_secs);
         let mut engine = FindSpaceEngine::new(cfg.clone());
-        let mut engine_cache = SimilarityCache::new();
-        let mut rescan_cache = SimilarityCache::new();
+        let engine_cache = SimilarityCache::new();
+        let rescan_cache = SimilarityCache::new();
         let mut end = 0usize;
         while end < events.len() {
             end = (end + chunk).min(events.len());
-            engine.extend_from(&events[..end], &mut engine_cache);
+            engine.extend_from(&events[..end], &engine_cache);
             prop_assert_eq!(engine.len(), end);
             let inc = engine.analyze(5);
-            let full = find_space_candidates(&events[..end], &cfg, &mut rescan_cache, 5);
+            let full = find_space_candidates(&events[..end], &cfg, &rescan_cache, 5);
             prop_assert_eq!(inc.len(), full.len());
             for (a, b) in inc.iter().zip(&full) {
                 prop_assert_eq!(a.index, b.index);
@@ -174,21 +174,21 @@ proptest! {
         // brand-new engine — and from the rescan reference.
         let cfg = fs_config();
         let rebase = rebase_num * events.len().saturating_sub(1) / 100;
-        let mut cache = SimilarityCache::new();
+        let cache = SimilarityCache::new();
         let mut reused = FindSpaceEngine::new(cfg.clone());
-        reused.extend_from(&events, &mut cache);
+        reused.extend_from(&events, &cache);
         let _ = reused.analyze(5);
         reused.reset();
         prop_assert!(reused.is_empty());
-        reused.extend_from(&events[rebase..], &mut cache);
+        reused.extend_from(&events[rebase..], &cache);
         let mut fresh = FindSpaceEngine::new(cfg.clone());
-        fresh.extend_from(&events[rebase..], &mut SimilarityCache::new());
+        fresh.extend_from(&events[rebase..], &SimilarityCache::new());
         let a = reused.analyze(5);
         let b = fresh.analyze(5);
         let c = find_space_candidates(
             &events[rebase..],
             &cfg,
-            &mut SimilarityCache::new(),
+            &SimilarityCache::new(),
             5,
         );
         prop_assert_eq!(a.len(), b.len());

@@ -42,8 +42,16 @@ fn golden_config() -> SessionConfig {
 }
 
 /// Runs the golden session and renders its decision log canonically.
-fn render_golden() -> String {
-    let config = golden_config();
+///
+/// `batched` selects the ingestion path: `false` drives the analyzer
+/// one instance at a time (the path the fixture was recorded on),
+/// `true` routes every round through `Coordinator::process_traces`. The
+/// fixture is shared — batched ingestion promises byte-identical
+/// decisions, so both arms must render the same log without
+/// regeneration.
+fn render_golden(batched: bool) -> String {
+    let mut config = golden_config();
+    config.batched_ingestion = batched;
     let app = Arc::new(generate_app(&GeneratorConfig::small("golden", 2)).unwrap());
     let result = ParallelSession::run(app, &config);
 
@@ -124,7 +132,7 @@ fn render_golden() -> String {
 
 #[test]
 fn serial_session_reproduces_golden_trace() {
-    let current = render_golden();
+    let current = render_golden(false);
     if std::env::var("TAOPT_GOLDEN_REGEN").is_ok() {
         std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
         std::fs::write(FIXTURE, &current).unwrap();
@@ -138,6 +146,29 @@ fn serial_session_reproduces_golden_trace() {
         "find_space/coordinator decisions diverged from the checked-in \
          golden trace; if the change is intentional, regenerate with \
          TAOPT_GOLDEN_REGEN=1"
+    );
+}
+
+/// The batched-ingestion arm renders the *same* per-round scores and
+/// dedication log as the serial arm, against the unchanged fixture.
+/// This is the end-to-end seal on the parallel hot paths: if sharding,
+/// vectorization, or batching perturbs one split index, one score
+/// micro-unit, or one dedication, this diverges.
+#[test]
+fn batched_session_reproduces_golden_trace() {
+    if std::env::var("TAOPT_GOLDEN_REGEN").is_ok() {
+        return; // the serial arm owns regeneration
+    }
+    let golden = match std::fs::read_to_string(FIXTURE) {
+        Ok(g) => g,
+        Err(_) => return, // first regen run creates it
+    };
+    assert_eq!(
+        render_golden(true),
+        golden,
+        "batched ingestion diverged from the serial golden trace; the \
+         batched path must be byte-identical — do NOT regenerate the \
+         fixture to paper over this"
     );
 }
 
