@@ -15,15 +15,21 @@
 //! * determinism: 1-worker and 4-worker campaigns must produce
 //!   byte-identical coverage reports.
 //!
+//! `farm` mode scales to a 100-app catalog and adds the host-side
+//! compute-pool gates (see [`farm`]): per-round host p50/p95, zero
+//! thread spawns after warmup, and pooled host time strictly below the
+//! legacy nested-spawn path.
+//!
 //! ```text
 //! cargo run --release -p taopt-bench --bin campaign -- [quick|paper] [n_apps] [seed]
+//! cargo run --release -p taopt-bench --bin campaign -- farm [seed]
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use taopt::campaign::{run_campaign, CampaignApp, CampaignConfig, CampaignResult};
+use taopt::campaign::{run_campaign, Campaign, CampaignApp, CampaignConfig, CampaignResult};
 use taopt::experiments::ExperimentScale;
 use taopt::session::{ParallelSession, RunMode, SessionConfig, SessionResult};
 use taopt_app_sim::{generate_app, GeneratorConfig};
@@ -83,7 +89,16 @@ fn per_app_json(name: &str, session: &SessionResult) -> Value {
 }
 
 fn campaign_json(result: &CampaignResult, workers: usize, host_ms: u64) -> Value {
-    Value::Object(vec![
+    campaign_json_extra(result, workers, host_ms, Vec::new())
+}
+
+fn campaign_json_extra(
+    result: &CampaignResult,
+    workers: usize,
+    host_ms: u64,
+    extra: Vec<(String, Value)>,
+) -> Value {
+    let mut fields = vec![
         ("workers".to_owned(), Value::UInt(workers as u64)),
         ("rounds".to_owned(), Value::UInt(result.rounds)),
         (
@@ -107,17 +122,27 @@ fn campaign_json(result: &CampaignResult, workers: usize, host_ms: u64) -> Value
         ),
         ("steals".to_owned(), Value::UInt(result.steals)),
         ("host_ms".to_owned(), Value::UInt(host_ms)),
-        (
-            "apps".to_owned(),
-            Value::Array(
-                result
-                    .apps
-                    .iter()
-                    .map(|a| per_app_json(&a.name, &a.session))
-                    .collect(),
-            ),
+    ];
+    fields.extend(extra);
+    fields.push((
+        "apps".to_owned(),
+        Value::Array(
+            result
+                .apps
+                .iter()
+                .map(|a| per_app_json(&a.name, &a.session))
+                .collect(),
         ),
-    ])
+    ));
+    Value::Object(fields)
+}
+
+/// The `p`-th percentile of an ascending-sorted sample (nearest-rank).
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
 }
 
 fn catalog(apps: &[NamedApp], args: &HarnessArgs) -> Vec<CampaignApp> {
@@ -131,19 +156,83 @@ fn catalog(apps: &[NamedApp], args: &HarnessArgs) -> Vec<CampaignApp> {
         .collect()
 }
 
+/// One farm arm driven round by round so per-round host time and thread
+/// churn are observable from outside the campaign.
+struct FarmArm {
+    result: CampaignResult,
+    /// Total host milliseconds, `Campaign::new` through `finish`.
+    host_ms: u64,
+    /// Per-round host microseconds, ascending.
+    round_us: Vec<u64>,
+    /// `host_threads_spawned_total` delta after warmup (pool construction
+    /// plus the first round) — must be 0 for the persistent pool, and is
+    /// the per-round churn for the legacy scoped-thread path.
+    spawned_after_warmup: u64,
+}
+
+/// Runs one farm campaign stepwise: `scoped` replays the pre-pool
+/// nested-`thread::scope` path, otherwise the persistent compute pool
+/// is budgeted at `host_threads`.
+fn run_farm_arm(
+    apps: &[NamedApp],
+    args: &HarnessArgs,
+    host_threads: usize,
+    scoped: bool,
+) -> FarmArm {
+    let config = CampaignConfig {
+        workers: FARM_WORKERS,
+        host_threads: if scoped { 0 } else { host_threads },
+        scoped_threads: scoped,
+        capacity: Some(FARM_CAPACITY),
+        ..CampaignConfig::default()
+    };
+    let spawn_counter = taopt_telemetry::global().counter("host_threads_spawned_total");
+    let host = Instant::now();
+    let mut campaign = Campaign::new(catalog(apps, args), &config);
+    let mut round_us = Vec::new();
+    // Warmup: pool construction and the first round (lazy per-app state).
+    let t0 = Instant::now();
+    let mut live = campaign.advance_round();
+    round_us.push(t0.elapsed().as_micros() as u64);
+    let after_warmup = spawn_counter.get();
+    while live {
+        let t0 = Instant::now();
+        live = campaign.advance_round();
+        round_us.push(t0.elapsed().as_micros() as u64);
+    }
+    let spawned_after_warmup = spawn_counter.get() - after_warmup;
+    let result = campaign.finish();
+    let host_ms = host.elapsed().as_millis() as u64;
+    round_us.sort_unstable();
+    FarmArm {
+        result,
+        host_ms,
+        round_us,
+        spawned_after_warmup,
+    }
+}
+
 /// Farm mode: a 100-app synthetic catalog on a 200-device shared farm,
 /// short sessions (the scheduler's packing, not per-app depth, is what
-/// is under test), campaign-scheduled at 1 and [`FARM_WORKERS`] workers
-/// against the serial one-app-at-a-time baseline.
+/// is under test), campaign-scheduled under the persistent compute pool
+/// at host budgets 1 and [`FARM_WORKERS`], against both the serial
+/// one-app-at-a-time baseline and the legacy per-round
+/// `thread::scope` path at [`FARM_WORKERS`] workers.
 ///
-/// All clocks are virtual (rounds × tick), so both gates are
-/// deterministic on shared hardware:
-/// * speedup: the [`FARM_WORKERS`]-worker campaign must finish the
-///   catalog ≥ [`MIN_FARM_SPEEDUP`]× faster than the serial baseline in
-///   virtual wall-clock;
-/// * determinism: the 1-worker and 8-worker campaigns must produce
-///   byte-identical coverage reports (worker count is a host-side
-///   throughput knob, never a result knob).
+/// Virtual clocks (rounds × tick) keep the result-side gates
+/// deterministic on shared hardware; host-side gates compare the two
+/// in-process host measurements of the same workload:
+/// * speedup: the pooled [`FARM_WORKERS`]-budget campaign must finish
+///   the catalog ≥ [`MIN_FARM_SPEEDUP`]× faster than the serial
+///   baseline in virtual wall-clock;
+/// * determinism: legacy, pool×1 and pool×[`FARM_WORKERS`] coverage
+///   reports must be byte-identical (the host budget is a throughput
+///   knob, never a result knob);
+/// * no churn: after warmup the pooled arm must spawn **zero** host
+///   threads — `host_threads_spawned_total` stays flat across rounds;
+/// * no regression: pooled host_ms must be strictly below the legacy
+///   nested-spawn arm at the same worker count (min of two runs each,
+///   damping scheduler noise).
 fn farm(seed: u64) -> ExitCode {
     let scale = ExperimentScale {
         instances: 2,
@@ -161,7 +250,7 @@ fn farm(seed: u64) -> ExitCode {
     };
     eprintln!(
         "campaign farm: {FARM_APPS} generated apps, capacity {FARM_CAPACITY} devices, \
-         workers [1, {FARM_WORKERS}], seed {seed}"
+         host budgets [1, {FARM_WORKERS}] + legacy scoped x{FARM_WORKERS}, seed {seed}"
     );
     let apps: Vec<NamedApp> = (0..FARM_APPS)
         .map(|i| {
@@ -192,31 +281,66 @@ fn farm(seed: u64) -> ExitCode {
         .fold(VirtualDuration::ZERO, |acc, (_, r)| acc + r.machine_time);
     eprintln!("  serial: wall {serial_wall} machine {serial_machine} host {serial_host_ms}ms");
 
-    // Arm 2: campaign at 1 and FARM_WORKERS workers over the shared farm.
-    let mut campaigns = Vec::new();
-    for workers in [1usize, FARM_WORKERS] {
-        let config = CampaignConfig {
-            workers,
-            capacity: Some(FARM_CAPACITY),
-            ..CampaignConfig::default()
-        };
-        let host = Instant::now();
-        let result = run_campaign(catalog(&apps, &args), &config);
-        let host_ms = host.elapsed().as_millis() as u64;
+    // Arm 2: the legacy per-round thread::scope path at FARM_WORKERS
+    // workers (the pre-pool baseline, reproduced in-process), then the
+    // persistent pool at host budgets 1 and FARM_WORKERS. The legacy and
+    // pool-8 arms run twice and keep the faster host measurement, so the
+    // strict pool-beats-legacy gate compares minima, not scheduler noise.
+    let legacy_a = run_farm_arm(&apps, &args, 0, true);
+    let legacy_b = run_farm_arm(&apps, &args, 0, true);
+    let legacy_host_ms = legacy_a.host_ms.min(legacy_b.host_ms);
+    let legacy = legacy_a;
+    let pool_1 = run_farm_arm(&apps, &args, 1, false);
+    let pool_8a = run_farm_arm(&apps, &args, FARM_WORKERS, false);
+    let pool_8b = run_farm_arm(&apps, &args, FARM_WORKERS, false);
+    let pool_8_host_ms = pool_8a.host_ms.min(pool_8b.host_ms);
+    let pool_8 = pool_8a;
+    for (tag, arm) in [
+        (format!("legacy x{FARM_WORKERS}"), &legacy),
+        ("pool x1".to_owned(), &pool_1),
+        (format!("pool x{FARM_WORKERS}"), &pool_8),
+    ] {
         eprintln!(
-            "  campaign x{workers}: {} rounds, wall {}, peak {} active, {} grants, host {host_ms}ms",
-            result.rounds, result.wall_clock, result.peak_active, result.grants
+            "  {tag}: {} rounds, wall {}, host {}ms (p50 {}us p95 {}us), \
+             {} threads spawned after warmup",
+            arm.result.rounds,
+            arm.result.wall_clock,
+            arm.host_ms,
+            percentile(&arm.round_us, 50),
+            percentile(&arm.round_us, 95),
+            arm.spawned_after_warmup
         );
-        campaigns.push((workers, result, host_ms));
     }
 
-    let (_, measured, _) = campaigns
-        .iter()
-        .find(|(w, _, _)| *w == FARM_WORKERS)
-        .unwrap();
-    let speedup = serial_wall.as_millis() as f64 / measured.wall_clock.as_millis().max(1) as f64;
-    let deterministic = campaigns[0].1.coverage_report() == campaigns[1].1.coverage_report();
+    let speedup =
+        serial_wall.as_millis() as f64 / pool_8.result.wall_clock.as_millis().max(1) as f64;
+    let reference = legacy.result.coverage_report();
+    let deterministic = reference == pool_1.result.coverage_report()
+        && reference == pool_8.result.coverage_report();
 
+    let arm_json = |arm: &FarmArm, host_ms: u64, budget: usize, scoped: bool| {
+        campaign_json_extra(
+            &arm.result,
+            FARM_WORKERS,
+            host_ms,
+            vec![
+                ("host_threads".to_owned(), Value::UInt(budget as u64)),
+                ("scoped_threads".to_owned(), Value::Bool(scoped)),
+                (
+                    "host_us_p50".to_owned(),
+                    Value::UInt(percentile(&arm.round_us, 50)),
+                ),
+                (
+                    "host_us_p95".to_owned(),
+                    Value::UInt(percentile(&arm.round_us, 95)),
+                ),
+                (
+                    "threads_spawned".to_owned(),
+                    Value::UInt(arm.spawned_after_warmup),
+                ),
+            ],
+        )
+    };
     let doc = Value::Object(vec![
         ("bench".to_owned(), Value::Str("campaign".to_owned())),
         ("mode".to_owned(), Value::Str("farm".to_owned())),
@@ -236,12 +360,11 @@ fn farm(seed: u64) -> ExitCode {
         ),
         (
             "campaigns".to_owned(),
-            Value::Array(
-                campaigns
-                    .iter()
-                    .map(|(w, r, h)| campaign_json(r, *w, *h))
-                    .collect(),
-            ),
+            Value::Array(vec![
+                arm_json(&legacy, legacy_host_ms, FARM_WORKERS, true),
+                arm_json(&pool_1, pool_1.host_ms, 1, false),
+                arm_json(&pool_8, pool_8_host_ms, FARM_WORKERS, false),
+            ]),
         ),
         ("speedup_virtual_wall".to_owned(), Value::Float(speedup)),
         ("speedup_gate".to_owned(), Value::Float(MIN_FARM_SPEEDUP)),
@@ -254,9 +377,10 @@ fn farm(seed: u64) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "campaign farm: serial wall {serial_wall} vs {FARM_WORKERS}-worker campaign wall {} \
-         -> speedup {speedup:.2}x; deterministic: {deterministic}; wrote {out} ({} bytes)",
-        measured.wall_clock,
+        "campaign farm: serial wall {serial_wall} vs pool x{FARM_WORKERS} campaign wall {} \
+         -> speedup {speedup:.2}x; host {pool_8_host_ms}ms pooled vs {legacy_host_ms}ms legacy; \
+         deterministic: {deterministic}; wrote {out} ({} bytes)",
+        pool_8.result.wall_clock,
         json.len()
     );
 
@@ -267,12 +391,25 @@ fn farm(seed: u64) -> ExitCode {
         ));
     }
     if !deterministic {
-        failures.push("1-worker and 8-worker campaigns diverged".to_owned());
+        failures.push("legacy, pool x1 and pool x8 campaigns diverged".to_owned());
     }
-    if measured.lease_conflicts > 0 {
+    if pool_8.spawned_after_warmup != 0 || pool_8b.spawned_after_warmup != 0 {
+        failures.push(format!(
+            "pooled arm spawned {} host threads after warmup (must be 0)",
+            pool_8
+                .spawned_after_warmup
+                .max(pool_8b.spawned_after_warmup)
+        ));
+    }
+    if pool_8_host_ms >= legacy_host_ms {
+        failures.push(format!(
+            "pooled host {pool_8_host_ms}ms not below legacy nested-spawn {legacy_host_ms}ms"
+        ));
+    }
+    if pool_8.result.lease_conflicts > 0 {
         failures.push(format!(
             "{} double-allocations observed",
-            measured.lease_conflicts
+            pool_8.result.lease_conflicts
         ));
     }
     if failures.is_empty() {

@@ -16,9 +16,12 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
-use taopt_toller::{EntrypointRule, InstanceId};
-use taopt_ui_model::{AbstractScreenId, Trace, VirtualDuration, VirtualTime};
+use parking_lot::Mutex;
 
+use taopt_toller::{EntrypointRule, InstanceId};
+use taopt_ui_model::{AbstractScreenId, Trace, TraceEvent, VirtualDuration, VirtualTime};
+
+use crate::campaign::pool::ComputePool;
 use crate::findspace::{
     FindSpaceConfig, FindSpaceEngine, ScreenArena, SimilarityCache, SplitCandidate,
 };
@@ -66,11 +69,27 @@ pub struct AnalyzerConfig {
     /// blocking rules would partition the space too finely.
     pub min_subspace_screens: usize,
     /// Host threads [`OnlineTraceAnalyzer::ingest_round`] may use for
-    /// the per-instance analysis phase. Results are byte-identical at
-    /// any value (the phase touches only per-instance state plus the
-    /// sharded, order-independent similarity cache); `1` keeps the
-    /// phase inline.
+    /// the per-instance analysis phase **when no compute pool is
+    /// attached** (the legacy per-call scoped-thread path). Results are
+    /// byte-identical at any value (the phase touches only per-instance
+    /// state plus the sharded, order-independent similarity cache);
+    /// `1` keeps the phase inline.
+    ///
+    /// Deprecated knob: superseded by the campaign-wide host budget
+    /// (`CampaignConfig::host_threads`). With a pool attached via
+    /// [`OnlineTraceAnalyzer::set_compute`] the worker count is derived
+    /// from the pool's budget and this value is ignored — one knob for
+    /// the whole campaign instead of one per analyzer.
     pub analysis_workers: usize,
+    /// Minimum summed window length (events past each instance's
+    /// `start_index`, over the whole batch) before phase A is shipped
+    /// to an attached [`ComputePool`]. Below it the batch runs inline:
+    /// job submission, worker wake-up and the per-item event clone cost
+    /// more than a few microsecond sweeps return. Purely a *where*
+    /// knob — results are byte-identical either way (the
+    /// `pooled_ingestion_*` law pins it at 0, engaging the pool for
+    /// every batch).
+    pub pool_min_window: usize,
 }
 
 impl AnalyzerConfig {
@@ -88,6 +107,7 @@ impl AnalyzerConfig {
             merge_jaccard: 0.5,
             min_subspace_screens: 5,
             analysis_workers: 1,
+            pool_min_window: 4096,
         }
     }
 
@@ -105,6 +125,7 @@ impl AnalyzerConfig {
             merge_jaccard: 0.5,
             min_subspace_screens: 5,
             analysis_workers: 1,
+            pool_min_window: 4096,
         }
     }
 }
@@ -162,7 +183,14 @@ pub struct OnlineTraceAnalyzer {
     config: AnalyzerConfig,
     subspaces: Vec<SubspaceInfo>,
     instances: HashMap<InstanceId, InstanceState>,
-    similarity_cache: SimilarityCache,
+    /// `Arc` so pooled phase-A tasks can hold the cache without
+    /// borrowing the analyzer; the cache is internally thread-safe and
+    /// its decisions are order-independent.
+    similarity_cache: Arc<SimilarityCache>,
+    /// Campaign-wide host budget for phase A of
+    /// [`ingest_round`](Self::ingest_round); `None` falls back to the
+    /// legacy `analysis_workers` scoped-thread path.
+    compute: Option<Arc<ComputePool>>,
     /// Per-app screen interner shared by every instance's engine.
     arena: Arc<ScreenArena>,
     /// Bumped on every subspace-registry mutation; lets snapshot
@@ -172,6 +200,26 @@ pub struct OnlineTraceAnalyzer {
     analysis_latency: taopt_telemetry::Histogram,
     /// Live pair decisions held by the similarity cache.
     cache_entries: taopt_telemetry::Gauge,
+    /// Batch-contract violations: duplicate instances skipped by
+    /// [`ingest_round`](Self::ingest_round) (release builds skip and
+    /// count; debug builds assert).
+    duplicates_counter: taopt_telemetry::Counter,
+}
+
+/// A split candidate that survived validation: everything the apply
+/// step needs to rebase the instance's window and register the report.
+///
+/// Producing one reads only the trace window and config thresholds —
+/// never the subspace registry — which is exactly why candidate
+/// validation runs in phase A, concurrently across instances, while
+/// only [`OnlineTraceAnalyzer::apply_validated`] stays sequential in
+/// batch order (DESIGN.md §16).
+#[derive(Debug)]
+struct ValidatedSplit {
+    /// Absolute trace index of the accepted split.
+    split_at: usize,
+    entry: EntrypointRule,
+    screens: BTreeSet<AbstractScreenId>,
 }
 
 impl OnlineTraceAnalyzer {
@@ -181,12 +229,24 @@ impl OnlineTraceAnalyzer {
             config,
             subspaces: Vec::new(),
             instances: HashMap::new(),
-            similarity_cache: SimilarityCache::new(),
+            similarity_cache: Arc::new(SimilarityCache::new()),
+            compute: None,
             arena: Arc::new(ScreenArena::new()),
             version: 0,
             analysis_latency: taopt_telemetry::global().histogram("findspace_analysis_us"),
             cache_entries: taopt_telemetry::global().gauge("similarity_cache_entries"),
+            duplicates_counter: taopt_telemetry::global()
+                .counter("analyzer_duplicate_instance_total"),
         }
+    }
+
+    /// Attaches a campaign-wide [`ComputePool`]: phase A of
+    /// [`ingest_round`](Self::ingest_round) is then scheduled on it
+    /// whenever its budget and the batch allow parallelism, superseding
+    /// the per-analyzer `analysis_workers` knob (one budget for the
+    /// whole campaign). Results are byte-identical either way.
+    pub fn set_compute(&mut self, pool: Arc<ComputePool>) {
+        self.compute = Some(pool);
     }
 
     /// The shared pairwise-similarity cache (sharded; see
@@ -253,39 +313,51 @@ impl OnlineTraceAnalyzer {
         self.cache_entries.set(self.similarity_cache.len() as i64);
     }
 
-    /// The per-instance half of an analysis: due-gating, engine
-    /// catch-up, and the FindSpace sweep. Touches only `state` and the
-    /// (thread-safe) `cache` — no registry access — so
-    /// [`ingest_round`](Self::ingest_round) may run it for many
-    /// instances concurrently with byte-identical results.
-    fn analysis_pass(
+    /// Due-gating half of an analysis: interval and growth checks,
+    /// advancing the cursor when due. Cheap and registry-map-bound
+    /// (`&mut InstanceState`), so every ingestion path decides dueness
+    /// inline before shipping the expensive sweep anywhere.
+    fn analysis_due(
         config: &AnalyzerConfig,
         state: &mut InstanceState,
+        trace_len: usize,
+        now: VirtualTime,
+    ) -> bool {
+        if let Some(last) = state.last_run {
+            if now.since(last) < config.analysis_interval {
+                return false;
+            }
+        }
+        if trace_len < state.last_len + config.min_new_events {
+            return false;
+        }
+        state.last_run = Some(now);
+        state.last_len = trace_len;
+        true
+    }
+
+    /// The per-instance sweep: engine catch-up plus the FindSpace
+    /// analysis. Touches only `state` and the (thread-safe) `cache` —
+    /// no registry access — so [`ingest_round`](Self::ingest_round) may
+    /// run it for many instances concurrently with byte-identical
+    /// results.
+    fn analysis_sweep(
+        state: &mut InstanceState,
         instance: InstanceId,
-        trace: &Trace,
+        events: &[TraceEvent],
         now: VirtualTime,
         cache: &SimilarityCache,
         latency: &taopt_telemetry::Histogram,
-    ) -> Option<(usize, Vec<SplitCandidate>)> {
-        if let Some(last) = state.last_run {
-            if now.since(last) < config.analysis_interval {
-                return None;
-            }
-        }
-        if trace.len() < state.last_len + config.min_new_events {
-            return None;
-        }
-        state.last_run = Some(now);
-        state.last_len = trace.len();
-        // Span opens after the due-gating above, so it times actual
-        // FindSpace runs rather than every per-round poll.
+    ) -> (usize, Vec<SplitCandidate>) {
+        // Span opens after due-gating, so it times actual FindSpace
+        // runs rather than every per-round poll.
         let _span = taopt_telemetry::global()
             .span("findspace")
             .instance(instance.0)
             .at(now)
             .enter();
-        let start = state.start_index.min(trace.len());
-        let window = &trace.events()[start..];
+        let start = state.start_index.min(events.len());
+        let window = &events[start..];
         // The engine mirrors `window` incrementally: only events appended
         // since the last analysis are fed. A shrunk window means the
         // trace was replaced under this id — start over.
@@ -296,7 +368,27 @@ impl OnlineTraceAnalyzer {
         state.engine.extend_from(window, cache);
         let candidates = state.engine.analyze(5);
         latency.record(timer.elapsed().as_micros() as u64);
-        Some((start, candidates))
+        (start, candidates)
+    }
+
+    /// One instance's complete phase-A work: due-gating, sweep, and
+    /// candidate validation. Registry-free throughout.
+    fn analyze_one(
+        config: &AnalyzerConfig,
+        state: &mut InstanceState,
+        instance: InstanceId,
+        trace: &Trace,
+        now: VirtualTime,
+        cache: &SimilarityCache,
+        latency: &taopt_telemetry::Histogram,
+    ) -> Option<ValidatedSplit> {
+        if !Self::analysis_due(config, state, trace.len(), now) {
+            return None;
+        }
+        let events = trace.events();
+        let (start, candidates) =
+            Self::analysis_sweep(state, instance, events, now, cache, latency);
+        Self::validate_candidates(config.min_subspace_screens, events, start, candidates)
     }
 
     /// Analyzes an instance's trace if it is due; returns the ids of
@@ -312,18 +404,27 @@ impl OnlineTraceAnalyzer {
             .instances
             .entry(instance)
             .or_insert_with(|| InstanceState::new(&self.config.find_space, arena));
-        let Some((start, candidates)) = Self::analysis_pass(
-            &self.config,
+        if !Self::analysis_due(&self.config, state, trace.len(), now) {
+            return Vec::new();
+        }
+        let (start, candidates) = Self::analysis_sweep(
             state,
             instance,
-            trace,
+            trace.events(),
             now,
             &self.similarity_cache,
             &self.analysis_latency,
-        ) else {
-            return Vec::new();
+        );
+        let validated = Self::validate_candidates(
+            self.config.min_subspace_screens,
+            trace.events(),
+            start,
+            candidates,
+        );
+        let confirmed = match validated {
+            Some(v) => self.apply_validated(instance, v, now),
+            None => Vec::new(),
         };
-        let confirmed = self.apply_candidates(instance, trace, start, candidates, now);
         self.cache_entries.set(self.similarity_cache.len() as i64);
         confirmed
     }
@@ -334,17 +435,22 @@ impl OnlineTraceAnalyzer {
     /// trace)` pair in slice order — the differential suite and the
     /// golden-trace second arm pin the equivalence bit-for-bit.
     ///
-    /// Phase A runs the per-instance [`analysis_pass`](Self::analysis_pass)
-    /// for the whole batch (across `analysis_workers` host threads when
-    /// configured — per-instance state is disjoint and the sharded
-    /// cache's decisions are order-independent, so any interleaving
-    /// yields the same bytes). Phase B then validates candidates and
-    /// mutates the subspace registry **sequentially in batch order**,
-    /// the same registry-mutation sequence the one-at-a-time path
-    /// produces.
+    /// Phase A runs the registry-free work for the whole batch —
+    /// due-gating, the per-instance sweep, **and candidate validation**
+    /// ([`validate_candidates`](Self::validate_candidates) reads only
+    /// the trace window and config thresholds) — on the attached
+    /// [`ComputePool`] when one is set (the campaign-wide budget), else
+    /// across the legacy `analysis_workers` scoped threads. Per-instance
+    /// state is disjoint and the sharded cache's decisions are
+    /// order-independent, so any interleaving yields the same bytes.
+    /// Phase B then applies validated splits — registry mutation plus
+    /// window rebase only — **sequentially in batch order**, the same
+    /// mutation sequence the one-at-a-time path produces.
     ///
     /// Instances must be distinct within one batch (the session feeds
-    /// each instance once per round); a duplicate is skipped.
+    /// each instance once per round); a duplicate is skipped — debug
+    /// builds assert, release builds count the skip in the
+    /// `analyzer_duplicate_instance_total` counter.
     pub fn ingest_round(
         &mut self,
         batch: &[(InstanceId, &Trace)],
@@ -356,71 +462,199 @@ impl OnlineTraceAnalyzer {
                 .entry(*id)
                 .or_insert_with(|| InstanceState::new(&self.config.find_space, arena));
         }
-        // Phase A: per-instance analysis, no registry access.
-        let mut results: Vec<Option<(usize, Vec<SplitCandidate>)>> = Vec::new();
-        results.resize_with(batch.len(), || None);
-        {
-            let config = &self.config;
-            let cache = &self.similarity_cache;
-            let latency = &self.analysis_latency;
-            let mut by_id: HashMap<InstanceId, &mut InstanceState> =
-                self.instances.iter_mut().map(|(k, v)| (*k, v)).collect();
-            let mut work: Vec<Option<(InstanceId, &Trace, &mut InstanceState)>> = batch
-                .iter()
-                .map(|(id, trace)| by_id.remove(id).map(|state| (*id, *trace, state)))
-                .collect();
-            debug_assert!(
-                work.iter().all(Option::is_some),
-                "duplicate instance in ingest_round batch"
-            );
-            let workers = config.analysis_workers.clamp(1, work.len().max(1));
-            if workers <= 1 {
-                for (item, slot) in work.iter_mut().zip(results.iter_mut()) {
-                    if let Some((id, trace, state)) = item {
-                        *slot = Self::analysis_pass(config, state, *id, trace, now, cache, latency);
-                    }
-                }
-            } else {
-                let chunk = work.len().div_ceil(workers);
-                std::thread::scope(|s| {
-                    for (wchunk, rchunk) in work.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
-                        s.spawn(move || {
-                            for (item, slot) in wchunk.iter_mut().zip(rchunk) {
-                                if let Some((id, trace, state)) = item {
-                                    *slot = Self::analysis_pass(
-                                        config, state, *id, trace, now, cache, latency,
-                                    );
-                                }
-                            }
-                        });
-                    }
-                });
-            }
-        }
-        // Phase B: sequential candidate application in batch order.
+        // Phase A: per-instance analysis + candidate validation, no
+        // registry access. The pooled path pays a per-item event-clone
+        // and a job submission to make work owned, so it only engages
+        // when the pool can actually parallelize AND there is enough
+        // window volume to amortize that overhead — dueness and window
+        // sizes are deterministic, so the routing is too.
+        let window_sum: usize = batch
+            .iter()
+            .map(|(id, trace)| {
+                self.instances
+                    .get(id)
+                    .map_or(0, |s| trace.len().saturating_sub(s.start_index))
+            })
+            .sum();
+        let pooled = self.compute.as_ref().is_some_and(|p| p.budget() > 1)
+            && batch.len() > 1
+            && window_sum >= self.config.pool_min_window;
+        let results: Vec<Option<ValidatedSplit>> = if pooled {
+            self.phase_a_pooled(batch, now)
+        } else {
+            self.phase_a_scoped(batch, now)
+        };
+        // Phase B: sequential application in batch order.
         let mut confirmed = Vec::new();
-        for ((id, trace), result) in batch.iter().zip(results) {
-            if let Some((start, candidates)) = result {
-                confirmed.extend(self.apply_candidates(*id, trace, start, candidates, now));
+        for ((id, _), result) in batch.iter().zip(results) {
+            if let Some(v) = result {
+                confirmed.extend(self.apply_validated(*id, v, now));
             }
         }
         self.cache_entries.set(self.similarity_cache.len() as i64);
         confirmed
     }
 
-    /// The sequential half of an analysis: turns the sweep's candidates
-    /// into a validated subspace report, rebases the instance's window
-    /// on acceptance, and registers the report. Must run in instance
-    /// order — it reads and mutates the shared subspace registry.
-    fn apply_candidates(
+    /// Phase A on borrowed state: inline when `analysis_workers` is 1,
+    /// else the legacy per-call `std::thread::scope` spawn (kept as the
+    /// differential baseline the equivalence suite races the pool
+    /// against).
+    fn phase_a_scoped(
         &mut self,
-        instance: InstanceId,
-        trace: &Trace,
+        batch: &[(InstanceId, &Trace)],
+        now: VirtualTime,
+    ) -> Vec<Option<ValidatedSplit>> {
+        let mut results: Vec<Option<ValidatedSplit>> = Vec::new();
+        results.resize_with(batch.len(), || None);
+        let config = &self.config;
+        let cache: &SimilarityCache = &self.similarity_cache;
+        let latency = &self.analysis_latency;
+        let duplicates = &self.duplicates_counter;
+        let mut by_id: HashMap<InstanceId, &mut InstanceState> =
+            self.instances.iter_mut().map(|(k, v)| (*k, v)).collect();
+        let mut work: Vec<Option<(InstanceId, &Trace, &mut InstanceState)>> = batch
+            .iter()
+            .map(|(id, trace)| {
+                let item = by_id.remove(id).map(|state| (*id, *trace, state));
+                if item.is_none() {
+                    duplicates.inc();
+                }
+                item
+            })
+            .collect();
+        debug_assert!(
+            work.iter().all(Option::is_some),
+            "duplicate instance in ingest_round batch"
+        );
+        let workers = config.analysis_workers.clamp(1, work.len().max(1));
+        if workers <= 1 {
+            for (item, slot) in work.iter_mut().zip(results.iter_mut()) {
+                if let Some((id, trace, state)) = item {
+                    *slot = Self::analyze_one(config, state, *id, trace, now, cache, latency);
+                }
+            }
+        } else {
+            let chunk = work.len().div_ceil(workers);
+            let spawn_counter = taopt_telemetry::global().counter("host_threads_spawned_total");
+            std::thread::scope(|s| {
+                for (wchunk, rchunk) in work.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
+                    spawn_counter.inc();
+                    s.spawn(move || {
+                        for (item, slot) in wchunk.iter_mut().zip(rchunk) {
+                            if let Some((id, trace, state)) = item {
+                                *slot = Self::analyze_one(
+                                    config, state, *id, trace, now, cache, latency,
+                                );
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        results
+    }
+
+    /// Phase A on the campaign's persistent [`ComputePool`].
+    ///
+    /// The pool requires owned `'static` jobs (no borrowed scopes under
+    /// `forbid(unsafe_code)`), so each *due* instance's state moves out
+    /// of the registry map and its trace events are cloned into the job
+    /// (an `Arc` bump per event — the sweep walks the whole window
+    /// anyway). Skipped instances (not due, or duplicates) cost
+    /// nothing. States return to the map before phase B runs.
+    fn phase_a_pooled(
+        &mut self,
+        batch: &[(InstanceId, &Trace)],
+        now: VirtualTime,
+    ) -> Vec<Option<ValidatedSplit>> {
+        let pool = Arc::clone(self.compute.as_ref().expect("pooled phase requires a pool"));
+        struct IngestItem {
+            instance: InstanceId,
+            state: InstanceState,
+            events: Vec<TraceEvent>,
+            result: Option<ValidatedSplit>,
+        }
+        // Not-due states are re-inserted only after the whole batch is
+        // scanned, so a duplicate id reliably finds its state missing
+        // (same detection the scoped path gets from `by_id.remove`).
+        let mut not_due: Vec<(InstanceId, InstanceState)> = Vec::new();
+        let mut slots: Vec<Mutex<Option<IngestItem>>> = Vec::with_capacity(batch.len());
+        for (id, trace) in batch {
+            let item = match self.instances.remove(id) {
+                None => {
+                    self.duplicates_counter.inc();
+                    debug_assert!(false, "duplicate instance in ingest_round batch");
+                    None
+                }
+                Some(mut state) => {
+                    if Self::analysis_due(&self.config, &mut state, trace.len(), now) {
+                        Some(IngestItem {
+                            instance: *id,
+                            state,
+                            events: trace.events().to_vec(),
+                            result: None,
+                        })
+                    } else {
+                        not_due.push((*id, state));
+                        None
+                    }
+                }
+            };
+            slots.push(Mutex::new(item));
+        }
+        for (id, state) in not_due {
+            self.instances.insert(id, state);
+        }
+        let slots = Arc::new(slots);
+        let job_slots = Arc::clone(&slots);
+        let cache = Arc::clone(&self.similarity_cache);
+        let latency = self.analysis_latency.clone();
+        let min_screens = self.config.min_subspace_screens;
+        pool.run(batch.len(), move |k, _worker| {
+            let mut guard = job_slots[k].lock();
+            if let Some(item) = guard.as_mut() {
+                let (start, candidates) = Self::analysis_sweep(
+                    &mut item.state,
+                    item.instance,
+                    &item.events,
+                    now,
+                    &cache,
+                    &latency,
+                );
+                item.result =
+                    Self::validate_candidates(min_screens, &item.events, start, candidates);
+            }
+        });
+        // `run` returns only after every task finished and dropped its
+        // job clone: reclaim states and results in batch order.
+        let mut results = Vec::with_capacity(batch.len());
+        for slot in slots.iter() {
+            match slot.lock().take() {
+                Some(item) => {
+                    self.instances.insert(item.instance, item.state);
+                    results.push(item.result);
+                }
+                None => results.push(None),
+            }
+        }
+        results
+    }
+
+    /// Turns the sweep's candidates into a validated subspace report:
+    /// the first candidate that passes every structural check wins.
+    ///
+    /// Pure function of the trace window and config thresholds —
+    /// **registry-read-free** (the proof obligation of DESIGN.md §16's
+    /// boundary slimming): every input is frozen before phase A starts,
+    /// so running this concurrently across instances cannot change any
+    /// result. Only [`apply_validated`](Self::apply_validated) — the
+    /// registry mutation and window rebase — must stay sequential.
+    fn validate_candidates(
+        min_subspace_screens: usize,
+        events: &[TraceEvent],
         start: usize,
         candidates: Vec<SplitCandidate>,
-        now: VirtualTime,
-    ) -> Vec<SubspaceId> {
-        let events = trace.events();
+    ) -> Option<ValidatedSplit> {
         for split in candidates {
             let abs = start + split.index;
             if abs == 0 {
@@ -476,24 +710,40 @@ impl OnlineTraceAnalyzer {
                     }
                 }
             }
-            if screens.len() < self.config.min_subspace_screens || screens.contains(&host_screen) {
+            if screens.len() < min_subspace_screens || screens.contains(&host_screen) {
                 continue;
             }
-            let entry = EntrypointRule::new(host_screen, &*rid);
-            // Future analyses for this instance start inside the subspace:
-            // the window rebases to `abs`, so the engine restarts empty
-            // and is re-fed from there on the next due analysis.
-            // Infallible: this method is only reached from `maybe_analyze`,
-            // which inserts the state for `instance` before calling here.
-            let state = self.instances.get_mut(&instance).expect("state exists");
-            state.start_index = abs;
-            state.engine.reset();
-            return self
-                .register_report(instance, entry, screens, now)
-                .into_iter()
-                .collect();
+            return Some(ValidatedSplit {
+                split_at: abs,
+                entry: EntrypointRule::new(host_screen, &*rid),
+                screens,
+            });
         }
-        Vec::new()
+        None
+    }
+
+    /// The sequential half of an analysis: rebases the instance's
+    /// window and registers the validated report. Must run in batch
+    /// order — it mutates the shared subspace registry, and merge
+    /// decisions depend on what earlier reports already registered.
+    fn apply_validated(
+        &mut self,
+        instance: InstanceId,
+        v: ValidatedSplit,
+        now: VirtualTime,
+    ) -> Vec<SubspaceId> {
+        // Future analyses for this instance start inside the subspace:
+        // the window rebases to `split_at`, so the engine restarts empty
+        // and is re-fed from there on the next due analysis.
+        // Infallible: every ingestion path inserts the state for
+        // `instance` before calling here (and the pooled path returns
+        // moved-out states to the map before phase B).
+        let state = self.instances.get_mut(&instance).expect("state exists");
+        state.start_index = v.split_at;
+        state.engine.reset();
+        self.register_report(instance, v.entry, v.screens, now)
+            .into_iter()
+            .collect()
     }
 
     /// Registers a subspace report directly (used by tests and by offline
@@ -692,6 +942,65 @@ mod tests {
         // Immediately re-analyzing is throttled.
         let again = a.maybe_analyze(InstanceId(0), &trace, now);
         assert!(again.is_empty());
+    }
+
+    /// Analyzer + trace ready for ingestion (the trace is long enough
+    /// to be due immediately under `resource_mode` gating).
+    fn due_setup() -> (OnlineTraceAnalyzer, Trace, VirtualTime) {
+        use crate::findspace::tests::two_cluster_trace;
+        let mut cfg = AnalyzerConfig::resource_mode();
+        cfg.find_space.l_min = VirtualDuration::from_secs(20);
+        // Engage the pool for any batch size; the default threshold
+        // keeps short windows inline.
+        cfg.pool_min_window = 0;
+        let a = OnlineTraceAnalyzer::new(cfg);
+        let trace: Trace = two_cluster_trace(30, 50).into_iter().collect();
+        let now = trace.end_time().unwrap();
+        (a, trace, now)
+    }
+
+    // The duplicate-instance batch contract has two enforcement arms:
+    // debug builds assert (the caller is buggy), release builds skip the
+    // duplicate and count it so the seam is observable in production.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "duplicate instance in ingest_round batch")]
+    fn duplicate_instance_in_batch_asserts_in_debug() {
+        let (mut a, trace, now) = due_setup();
+        a.ingest_round(&[(InstanceId(0), &trace), (InstanceId(0), &trace)], now);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn duplicate_instance_in_batch_is_skipped_and_counted() {
+        let before = taopt_telemetry::global()
+            .counter("analyzer_duplicate_instance_total")
+            .get();
+        let (mut a, trace, now) = due_setup();
+        let confirmed = a.ingest_round(&[(InstanceId(0), &trace), (InstanceId(0), &trace)], now);
+        let after = taopt_telemetry::global()
+            .counter("analyzer_duplicate_instance_total")
+            .get();
+        assert_eq!(after - before, 1, "exactly one skipped duplicate counted");
+        // The duplicate is skipped, not analyzed twice: the batch is
+        // equivalent to a single-entry one.
+        let (mut b, trace_b, now_b) = due_setup();
+        let single = b.ingest_round(&[(InstanceId(0), &trace_b)], now_b);
+        assert_eq!(confirmed, single);
+        assert_eq!(a.subspaces().len(), b.subspaces().len());
+    }
+
+    #[test]
+    fn pooled_ingestion_matches_inline() {
+        let (mut inline, trace, now) = due_setup();
+        let (mut pooled, trace_p, _) = due_setup();
+        pooled.set_compute(crate::campaign::pool::ComputePool::new(4));
+        let batch_a = [(InstanceId(0), &trace), (InstanceId(1), &trace)];
+        let batch_b = [(InstanceId(0), &trace_p), (InstanceId(1), &trace_p)];
+        let a = inline.ingest_round(&batch_a, now);
+        let b = pooled.ingest_round(&batch_b, now);
+        assert_eq!(a, b);
+        assert_eq!(inline.subspaces(), pooled.subspaces());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   only on which implementations are plugged in;
 //! * [`lease`] — [`lease::LeaseLedger`], device → app ownership records
 //!   and lease-churn counters;
+//! * [`pool`] — [`pool::ComputePool`], the persistent campaign-wide
+//!   host-thread budget: one condvar-parked work-stealing pool serving
+//!   both the per-app step tasks and the analyzer's phase-A tasks
+//!   (replacing the per-round scoped-thread spawns);
 //! * [`scheduler`] — [`scheduler::run_campaign`], the round loop:
 //!   parallel step phase, then a sequential boundary for leasing,
 //!   scheduled kills, rate-planned fault losses, replacements and session
@@ -30,12 +34,14 @@
 
 pub mod layers;
 pub mod lease;
+pub mod pool;
 pub mod scheduler;
 pub mod snapshot;
 pub mod step;
 
 pub use layers::{BusTransport, DirectEnforcement, Enforcement, FaultyBus, InertBus, StepLayers};
 pub use lease::LeaseLedger;
+pub use pool::ComputePool;
 pub use scheduler::{
     run_campaign, AppReport, Campaign, CampaignApp, CampaignConfig, CampaignResult, KillEvent,
 };

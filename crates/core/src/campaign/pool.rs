@@ -1,0 +1,357 @@
+//! Persistent host compute pool shared by every parallel hot path.
+//!
+//! Before this module, each campaign round spawned and joined fresh
+//! scoped worker threads in `advance_parallel`, and every app's
+//! `ingest_round` spawned *another* `analysis_workers` scoped threads
+//! inside the round — nested oversubscription (`workers ×
+//! analysis_workers` live threads at the worst point) plus per-round
+//! spawn/join churn on the host. [`ComputePool`] replaces both call
+//! sites with one long-lived budget: `host_threads - 1` workers are
+//! spawned once per [`super::scheduler::Campaign`] (or once per process
+//! for single-app sessions, via [`ComputePool::shared`]), park on a
+//! condvar while idle, and serve both consumers — per-app step tasks
+//! and phase-A analysis tasks.
+//!
+//! # Scheduling model
+//!
+//! A [`ComputePool::run`] call publishes one *job*: `tasks` indexed
+//! units plus a closure invoked as `f(task_index, worker_id)`. Task
+//! indices are claimed from a shared atomic cursor, so idle workers
+//! steal whatever is left regardless of which consumer published it —
+//! the same self-scheduling loop the old scoped paths used, minus the
+//! thread churn. The *calling* thread always participates as worker 0
+//! before blocking, which keeps two invariants:
+//!
+//! * **budget**: at most `host_threads` threads ever execute tasks
+//!   (the caller plus `host_threads - 1` pool workers);
+//! * **progress under nesting**: a step task may itself call
+//!   [`ComputePool::run`] (the analyzer's phase A). The nested caller
+//!   first drains its own job's cursor, and a thread only blocks when
+//!   every task of its job is claimed — each claimed task is then
+//!   actively executing on some non-blocked thread, so completion (and
+//!   thus wake-up) is always reachable. No thread ever waits while
+//!   holding an unexecuted claimed task.
+//!
+//! # Determinism
+//!
+//! The pool adds no ordering of its own: tasks are independent by
+//! contract (each touches disjoint state behind its own lock), exactly
+//! as the scoped-thread predecessors required. The differential law in
+//! `crates/core/tests/parallel_equivalence.rs` pins pool-scheduled
+//! analysis byte-identical to the scoped-thread and serial paths, and
+//! the campaign determinism suites pin whole-campaign reports across
+//! `host_threads` budgets. See `DESIGN.md` §16.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+/// One published batch of tasks: `run` is invoked as `(task, worker)`
+/// for every claimed index, `next` is the claim cursor, and `done`
+/// counts finished tasks (the submitter waits on `done_cv` until
+/// `done == tasks`).
+struct JobState {
+    run: Box<dyn Fn(usize, usize) + Send + Sync>,
+    tasks: usize,
+    next: AtomicUsize,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+impl JobState {
+    /// Claims and executes tasks until the cursor is exhausted, then
+    /// reports how many this thread completed.
+    fn participate(&self, worker_id: usize) {
+        let mut completed = 0usize;
+        loop {
+            let k = self.next.fetch_add(1, Ordering::Relaxed);
+            if k >= self.tasks {
+                break;
+            }
+            (self.run)(k, worker_id);
+            completed += 1;
+        }
+        if completed > 0 {
+            let mut done = self.done.lock();
+            *done += completed;
+            if *done == self.tasks {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Whether every task index has been claimed (not necessarily
+    /// finished) — an exhausted job is dead weight in the queue.
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.tasks
+    }
+}
+
+/// Queue of live jobs plus the shutdown latch, under one small mutex
+/// (locked only to publish, scan, or park — task execution never holds
+/// it).
+struct PoolQueue {
+    jobs: Vec<Arc<JobState>>,
+    shutdown: bool,
+}
+
+/// State shared between the pool handle and its worker threads.
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    work_ready: Condvar,
+}
+
+impl PoolShared {
+    /// Returns some job with unclaimed tasks, pruning exhausted ones;
+    /// `None` means the queue is empty (caller may park).
+    fn next_job(&self) -> Option<Arc<JobState>> {
+        let mut q = self.queue.lock();
+        q.jobs.retain(|j| !j.exhausted());
+        q.jobs.first().cloned()
+    }
+}
+
+/// A persistent work-stealing thread pool sized by one campaign-wide
+/// `host_threads` budget (see [`crate::campaign::CampaignConfig::host_threads`]).
+///
+/// Created once per campaign (or per process, [`ComputePool::shared`])
+/// and threaded down to every consumer as an `Arc`; dropping the last
+/// handle signals shutdown and joins the workers. A budget of 1 spawns
+/// no threads at all — [`ComputePool::run`] then executes inline, so
+/// serial configurations pay nothing.
+pub struct ComputePool {
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
+    budget: usize,
+}
+
+impl std::fmt::Debug for ComputePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComputePool")
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ComputePool {
+    /// Creates a pool with the given host-thread budget, spawning
+    /// `budget - 1` long-lived workers (the submitting thread is the
+    /// budget's first member). `0` means auto-detect:
+    /// [`std::thread::available_parallelism`].
+    ///
+    /// Every spawn increments the `host_threads_spawned_total` counter;
+    /// the farm bench samples it to prove rounds stop spawning threads
+    /// after warm-up.
+    pub fn new(host_threads: usize) -> Arc<ComputePool> {
+        let budget = if host_threads == 0 {
+            auto_threads()
+        } else {
+            host_threads
+        };
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: Vec::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let spawn_counter = taopt_telemetry::global().counter("host_threads_spawned_total");
+        let threads = (1..budget)
+            .map(|worker_id| {
+                spawn_counter.inc();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("taopt-pool-{worker_id}"))
+                    .spawn(move || worker_loop(&shared, worker_id))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Arc::new(ComputePool {
+            shared,
+            threads,
+            budget,
+        })
+    }
+
+    /// The process-local shared pool (auto-detected budget), used by the
+    /// single-app `run`/`run_with_chaos` paths so they ride the same
+    /// machinery as campaigns. Created on first use, never dropped.
+    pub fn shared() -> Arc<ComputePool> {
+        static SHARED: OnceLock<Arc<ComputePool>> = OnceLock::new();
+        Arc::clone(SHARED.get_or_init(|| ComputePool::new(0)))
+    }
+
+    /// The host-thread budget (≥ 1): the maximum number of threads that
+    /// ever execute tasks concurrently, counting the submitter.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Executes `f(task, worker)` for every `task in 0..tasks`,
+    /// returning when all have finished. Tasks must be independent
+    /// (any may run concurrently with any other, on any thread).
+    ///
+    /// With a budget of 1 — or a single task — this is a plain inline
+    /// loop: no queue, no locks, no allocation. Otherwise the job is
+    /// published to the pool, the calling thread claims tasks alongside
+    /// the workers, and then parks until the last straggler finishes.
+    pub fn run<F>(&self, tasks: usize, f: F)
+    where
+        F: Fn(usize, usize) + Send + Sync + 'static,
+    {
+        if tasks == 0 {
+            return;
+        }
+        if self.budget <= 1 || tasks == 1 {
+            for k in 0..tasks {
+                f(k, 0);
+            }
+            return;
+        }
+        let job = Arc::new(JobState {
+            run: Box::new(f),
+            tasks,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut q = self.shared.queue.lock();
+            q.jobs.push(Arc::clone(&job));
+        }
+        // Wake only as many workers as could usefully help: the caller
+        // claims tasks itself, so a `tasks`-unit job needs at most
+        // `tasks - 1` helpers. A broadcast here would stampede the whole
+        // budget through the scheduler for every small nested job.
+        for _ in 0..(tasks - 1).min(self.budget - 1) {
+            self.shared.work_ready.notify_one();
+        }
+        // The caller is worker 0: it drains its own job's cursor before
+        // blocking, so a nested `run` from inside a task cannot deadlock
+        // (see module docs).
+        job.participate(0);
+        let mut done = job.done.lock();
+        while *done < job.tasks {
+            job.done_cv.wait(&mut done);
+        }
+        drop(done);
+        // Drop our queue entry eagerly so the job's captures (slot Arcs,
+        // traces) are not pinned until the next worker scan.
+        let mut q = self.shared.queue.lock();
+        q.jobs.retain(|j| !Arc::ptr_eq(j, &job));
+    }
+}
+
+impl Drop for ComputePool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock();
+            q.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The long-lived worker body: grab a job with unclaimed tasks, help
+/// finish it, park when the queue is empty.
+fn worker_loop(shared: &PoolShared, worker_id: usize) {
+    loop {
+        if let Some(job) = shared.next_job() {
+            job.participate(worker_id);
+            continue;
+        }
+        let mut q = shared.queue.lock();
+        if q.shutdown {
+            return;
+        }
+        if q.jobs.iter().all(|j| j.exhausted()) {
+            shared.work_ready.wait(&mut q);
+        }
+    }
+}
+
+/// The auto-detected host budget: `std::thread::available_parallelism`,
+/// falling back to 1 on platforms that cannot report it.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = ComputePool::new(4);
+        let hits: Arc<Vec<AtomicU64>> = Arc::new((0..97).map(|_| AtomicU64::new(0)).collect());
+        let h = Arc::clone(&hits);
+        pool.run(97, move |k, _| {
+            h[k].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn budget_one_runs_inline() {
+        let pool = ComputePool::new(1);
+        assert_eq!(pool.budget(), 1);
+        let sum = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&sum);
+        pool.run(10, move |k, w| {
+            assert_eq!(w, 0, "inline path is the caller only");
+            s.fetch_add(k as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn nested_submission_completes() {
+        // A task that itself publishes a job — the analyzer's phase A
+        // running inside a step task. Must not deadlock at any budget.
+        for budget in [2, 3, 8] {
+            let pool = ComputePool::new(budget);
+            let total = Arc::new(AtomicU64::new(0));
+            let outer_pool = Arc::clone(&pool);
+            let outer_total = Arc::clone(&total);
+            pool.run(6, move |_, _| {
+                let inner_total = Arc::clone(&outer_total);
+                outer_pool.run(5, move |_, _| {
+                    inner_total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 30, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn sequential_jobs_reuse_the_same_workers() {
+        let before = taopt_telemetry::global()
+            .counter("host_threads_spawned_total")
+            .get();
+        let pool = ComputePool::new(3);
+        let after_new = taopt_telemetry::global()
+            .counter("host_threads_spawned_total")
+            .get();
+        for _ in 0..20 {
+            let flag = Arc::new(AtomicU64::new(0));
+            let f = Arc::clone(&flag);
+            pool.run(8, move |_, _| {
+                f.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(flag.load(Ordering::Relaxed), 8);
+        }
+        let after_runs = taopt_telemetry::global()
+            .counter("host_threads_spawned_total")
+            .get();
+        assert_eq!(after_new - before, 2, "budget 3 spawns exactly 2 workers");
+        assert_eq!(after_runs, after_new, "run() never spawns");
+    }
+}

@@ -7,14 +7,19 @@
 //!
 //! 1. **Parallel phase** — every *runnable* app (live, holding at least
 //!    one device) advances its [`SessionStep`] by one round. Steps touch
-//!    only their own state, so a work-stealing worker pool executes them
-//!    concurrently: workers claim step indices from a shared atomic
-//!    cursor, and a claim that lands outside a worker's static share
-//!    (`index % workers`) counts as a steal.
+//!    only their own state, so the campaign's persistent [`ComputePool`]
+//!    (one `host_threads` budget built at [`Campaign::new`], shared with
+//!    every app's phase-A analysis — no per-round thread spawns)
+//!    executes them concurrently: threads claim step indices from the
+//!    job's atomic cursor, and a claim that lands outside a thread's
+//!    home lane counts as a steal. Each step also snapshots its device
+//!    demand here, so the boundary need not recompute it.
 //! 2. **Sequential boundary** — all shared-state decisions (farm
 //!    allocation, lease grants and revocations, scheduled device kills,
 //!    replacement retries, session completion) happen on the scheduler
-//!    thread in ascending app-index order.
+//!    thread in ascending app-index order. Candidate *validation* is
+//!    not such a decision — it reads only frozen per-instance traces —
+//!    and runs in the parallel phase (DESIGN.md §16).
 //!
 //! # Determinism
 //!
@@ -55,6 +60,7 @@ use taopt_ui_model::{Value, VirtualDuration, VirtualTime};
 
 use crate::campaign::layers::StepLayers;
 use crate::campaign::lease::LeaseLedger;
+use crate::campaign::pool::ComputePool;
 use crate::campaign::snapshot::{CampaignDigest, SlotDigest};
 use crate::campaign::step::{RoundOutcome, SessionStep};
 use crate::coordinator::CoordinatorEvent;
@@ -89,7 +95,22 @@ pub struct CampaignApp {
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// Worker threads for the parallel phase (1 = sequential).
+    ///
+    /// Deprecated alias: when [`CampaignConfig::host_threads`] is 0,
+    /// a `workers` value > 1 is taken as the host-thread budget so old
+    /// configs keep their parallelism. With `scoped_threads` it also
+    /// sizes the legacy per-round scoped spawn.
     pub workers: usize,
+    /// Host compute-thread budget shared by the whole campaign: the
+    /// persistent [`ComputePool`] serving both round advancement and
+    /// phase-A analysis is sized once from this. `0` = auto-detect
+    /// ([`std::thread::available_parallelism`]).
+    pub host_threads: usize,
+    /// Use the legacy per-round `std::thread::scope` spawns instead of
+    /// the persistent pool. Kept as the differential baseline: the farm
+    /// bench measures the pool against it in-process, and the
+    /// equivalence suites pin byte-identical results across both.
+    pub scoped_threads: bool,
     /// Shared farm capacity; defaults to the sum of every app's `d_max`
     /// (uncontended).
     pub capacity: Option<usize>,
@@ -110,10 +131,26 @@ pub struct CampaignConfig {
     pub max_rounds: u64,
 }
 
+impl CampaignConfig {
+    /// The host-thread budget this config resolves to: `host_threads`
+    /// when set; else a legacy `workers > 1` value; else auto-detect.
+    pub fn effective_host_threads(&self) -> usize {
+        if self.host_threads > 0 {
+            self.host_threads
+        } else if self.workers > 1 {
+            self.workers
+        } else {
+            crate::campaign::pool::auto_threads()
+        }
+    }
+}
+
 impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
             workers: 1,
+            host_threads: 0,
+            scoped_threads: false,
             capacity: None,
             min_hold_rounds: 3,
             kills: Vec::new(),
@@ -341,6 +378,13 @@ struct Slot {
     step: Option<SessionStep>,
     queue: ReplacementQueue,
     outcome: Option<RoundOutcome>,
+    /// Device demand captured right after the step's round in the
+    /// parallel phase (boundary prework, DESIGN.md §16): `demand()` is a
+    /// pure read of step state, and nothing between the parallel phase
+    /// and the leasing boundary changes it except a boundary-2 device
+    /// kill, which clears the snapshot. Consumed (`take`) every leasing
+    /// boundary so a stale value can never leak into a later round.
+    demand_snapshot: Option<usize>,
     done: bool,
     last_grant_round: u64,
     wait_rounds: u64,
@@ -361,21 +405,31 @@ struct Slot {
 /// a checkpointed round — produces byte-identical results at any worker
 /// count.
 pub struct Campaign {
-    slots: Vec<Mutex<Slot>>,
+    /// Shared with in-flight pool tasks during the parallel phase (the
+    /// pool requires owned `'static` jobs), exclusively ours at every
+    /// boundary — [`ComputePool::run`] returns only after all tasks
+    /// finish and drop their clones.
+    slots: Arc<Vec<Mutex<Slot>>>,
     ledger: LeaseLedger,
     pool: Box<dyn DevicePool>,
+    /// The campaign-wide host compute budget (tentpole of DESIGN.md
+    /// §16): sized once from the config, serves both step advancement
+    /// and every analyzer's phase A.
+    compute: Arc<ComputePool>,
     injector: Option<FaultInjector>,
     kills_by_round: BTreeMap<u64, Vec<u64>>,
-    steals: AtomicU64,
+    steals: Arc<AtomicU64>,
     revocations: u64,
     round: u64,
     tick: VirtualDuration,
     capacity: usize,
     workers: usize,
+    scoped_threads: bool,
     min_hold_rounds: u64,
     max_rounds: u64,
     host_start: std::time::Instant,
     rounds_counter: taopt_telemetry::Counter,
+    round_host_us: taopt_telemetry::Histogram,
     steals_counter: taopt_telemetry::Counter,
     revocations_counter: taopt_telemetry::Counter,
     kills_counter: taopt_telemetry::Counter,
@@ -402,6 +456,14 @@ impl Campaign {
         telemetry.counter("campaigns_started_total").inc();
 
         let workers = config.workers.max(1);
+        // One persistent host budget for the whole campaign. The legacy
+        // scoped-thread baseline spawns per round instead, so it gets an
+        // inert budget-1 pool (no idle workers).
+        let compute = ComputePool::new(if config.scoped_threads {
+            1
+        } else {
+            config.effective_host_threads()
+        });
         let tick = apps.iter().map(|a| a.config.tick).max().expect("non-empty");
         let total_want: usize = apps.iter().map(|a| a.config.instances).sum();
         let capacity = config.capacity.unwrap_or(total_want).max(1);
@@ -428,6 +490,9 @@ impl Campaign {
                     "app d_max must fit below the per-app lane range"
                 );
                 let mut step = SessionStep::new(a.app, a.config).with_orphan_repair(true);
+                if !config.scoped_threads {
+                    step = step.with_compute(Arc::clone(&compute));
+                }
                 if let Some(inj) = &injector {
                     step = step.with_layers(StepLayers::chaos(inj, (i as u32) << APP_LANE_SHIFT));
                 }
@@ -440,6 +505,7 @@ impl Campaign {
                     step: Some(step),
                     queue: ReplacementQueue::new(retry),
                     outcome: None,
+                    demand_snapshot: None,
                     done: false,
                     last_grant_round: 0,
                     wait_rounds: 0,
@@ -456,21 +522,24 @@ impl Campaign {
         }
 
         let mut campaign = Campaign {
-            slots,
+            slots: Arc::new(slots),
             ledger,
             pool,
+            compute,
             injector,
             kills_by_round,
-            steals: AtomicU64::new(0),
+            steals: Arc::new(AtomicU64::new(0)),
             revocations: 0,
             round: 0,
             tick,
             capacity,
             workers,
+            scoped_threads: config.scoped_threads,
             min_hold_rounds: config.min_hold_rounds,
             max_rounds: config.max_rounds,
             host_start,
             rounds_counter: telemetry.counter("campaign_rounds_total"),
+            round_host_us: telemetry.histogram("campaign_round_host_us"),
             steals_counter: telemetry.counter("campaign_steals_total"),
             revocations_counter: telemetry.counter("campaign_lease_revocations_total"),
             kills_counter: telemetry.counter("campaign_device_kills_total"),
@@ -480,7 +549,7 @@ impl Campaign {
 
         // Initial leasing.
         lease_boundary(
-            &mut campaign.slots,
+            &campaign.slots,
             &mut campaign.ledger,
             campaign.pool.as_mut(),
             campaign.injector.as_ref(),
@@ -509,10 +578,11 @@ impl Campaign {
     /// the `max_rounds` stop) — after which the driver must call
     /// [`Campaign::finish`].
     pub fn advance_round(&mut self) -> bool {
+        let host_timer = self.round_host_us.timer();
         let mut runnable: Vec<usize> = Vec::new();
         let mut live = 0usize;
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            let s = slot.get_mut();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let s = &mut *slot.lock();
             if let Some(step) = s.step.as_ref() {
                 live += 1;
                 if step.active_count() > 0 {
@@ -534,13 +604,20 @@ impl Campaign {
         self.round += 1;
         self.rounds_counter.inc();
 
-        advance_parallel(&self.slots, &runnable, self.workers, &self.steals);
+        advance_parallel(
+            &self.slots,
+            runnable.clone(),
+            &self.compute,
+            self.scoped_threads,
+            self.workers,
+            &self.steals,
+        );
 
         let global_now = VirtualTime::ZERO + self.tick * self.round;
 
         // Boundary 1: stall-released devices back to the farm.
         for &i in &runnable {
-            let s = self.slots[i].get_mut();
+            let s = &mut *self.slots[i].lock();
             let out = s.outcome.take().expect("step advanced this round");
             s.done = out.done;
             for d in out.released {
@@ -562,10 +639,13 @@ impl Campaign {
                 let app = self.ledger.kill(d).expect("device was leased");
                 self.pool.kill(d, global_now);
                 self.kills_counter.inc();
-                let s = self.slots[app].get_mut();
+                let s = &mut *self.slots[app].lock();
                 if let Some(step) = s.step.as_mut() {
                     step.lose_device(d);
                 }
+                // The loss changes what the step will ask for, so the
+                // parallel-phase demand snapshot is stale.
+                s.demand_snapshot = None;
                 s.devices_lost += 1;
                 s.queue.device_lost(global_now);
             }
@@ -574,10 +654,11 @@ impl Campaign {
             let app = self.ledger.kill(d).expect("active device is leased");
             self.pool.kill(d, global_now);
             self.kills_counter.inc();
-            let s = self.slots[app].get_mut();
+            let s = &mut *self.slots[app].lock();
             if let Some(step) = s.step.as_mut() {
                 step.lose_device(d);
             }
+            s.demand_snapshot = None;
             s.devices_lost += 1;
             s.queue.device_lost(global_now);
         }
@@ -585,7 +666,7 @@ impl Campaign {
         // Boundary 3: finish apps that reached their termination
         // condition.
         for &i in &runnable {
-            let s = self.slots[i].get_mut();
+            let s = &mut *self.slots[i].lock();
             if s.done && s.report.is_none() {
                 let step = s.step.take().expect("live app has a step");
                 let fin = step.finish();
@@ -608,12 +689,15 @@ impl Campaign {
         }
 
         if self.round >= self.max_rounds {
+            if let Some(t0) = host_timer {
+                self.round_host_us.record(t0.elapsed().as_micros() as u64);
+            }
             return false;
         }
 
         // Boundary 4: leasing for the next round.
         lease_boundary(
-            &mut self.slots,
+            &self.slots,
             &mut self.ledger,
             self.pool.as_mut(),
             self.injector.as_ref(),
@@ -624,6 +708,9 @@ impl Campaign {
             &self.revocations_counter,
             &self.replacements_counter,
         );
+        if let Some(t0) = host_timer {
+            self.round_host_us.record(t0.elapsed().as_micros() as u64);
+        }
         true
     }
 
@@ -636,9 +723,9 @@ impl Campaign {
         let fault_stats = self.injector.as_ref().map(|i| i.stats());
         let slots = self
             .slots
-            .iter_mut()
+            .iter()
             .map(|slot| {
-                let s = slot.get_mut();
+                let s = slot.lock();
                 SlotDigest {
                     name: s.name.clone(),
                     progress: s.step.as_ref().map(|step| step.progress()),
@@ -683,8 +770,8 @@ impl Campaign {
         // Drain any still-live apps (max_rounds stop): finish them as-is.
         let end_now = VirtualTime::ZERO + self.tick * self.round;
         let mut reports: Vec<AppReport> = Vec::with_capacity(self.slots.len());
-        for slot in self.slots.iter_mut() {
-            let s = slot.get_mut();
+        for slot in self.slots.iter() {
+            let s = &mut *slot.lock();
             if let Some(step) = s.step.take() {
                 let fin = step.finish();
                 for d in fin.released {
@@ -739,41 +826,71 @@ pub fn run_campaign(apps: Vec<CampaignApp>, config: &CampaignConfig) -> Campaign
     campaign.finish()
 }
 
-/// Parallel phase: advance every runnable step by one round on a
-/// work-stealing pool. Steps touch only their own state, so execution
-/// order cannot affect results.
-fn advance_parallel(slots: &[Mutex<Slot>], runnable: &[usize], workers: usize, steals: &AtomicU64) {
-    let advance = |slot: &Mutex<Slot>| {
-        let mut s = slot.lock();
-        let out = s
-            .step
-            .as_mut()
-            .expect("runnable app has a step")
-            .advance_round();
-        s.outcome = Some(out);
-    };
+/// Advances one runnable slot's step and captures the boundary prework:
+/// the round outcome plus a demand snapshot the leasing boundary can
+/// consume without re-walking step state (DESIGN.md §16).
+fn advance_slot(slot: &Mutex<Slot>) {
+    let s = &mut *slot.lock();
+    let step = s.step.as_mut().expect("runnable app has a step");
+    let out = step.advance_round();
+    let demand = step.demand();
+    s.outcome = Some(out);
+    s.demand_snapshot = Some(demand);
+}
+
+/// Parallel phase: advance every runnable step by one round. Steps
+/// touch only their own state, so execution order cannot affect
+/// results.
+///
+/// The default path hands the batch to the campaign's persistent
+/// [`ComputePool`]; `scoped_threads` keeps the old per-round
+/// `std::thread::scope` spawn as an in-process differential baseline
+/// (the farm bench races the two on identical inputs).
+fn advance_parallel(
+    slots: &Arc<Vec<Mutex<Slot>>>,
+    runnable: Vec<usize>,
+    compute: &ComputePool,
+    scoped_threads: bool,
+    workers: usize,
+    steals: &Arc<AtomicU64>,
+) {
+    if !scoped_threads {
+        let nw = compute.budget().min(runnable.len()).max(1);
+        let slots = Arc::clone(slots);
+        let steals = Arc::clone(steals);
+        compute.run(runnable.len(), move |k, w| {
+            // Static home assignment is round-robin; a claim outside the
+            // home share is a steal.
+            if k % nw != w % nw {
+                steals.fetch_add(1, Ordering::Relaxed);
+            }
+            advance_slot(&slots[runnable[k]]);
+        });
+        return;
+    }
     let nw = workers.min(runnable.len());
     if nw <= 1 {
-        for &i in runnable {
-            advance(&slots[i]);
+        for &i in &runnable {
+            advance_slot(&slots[i]);
         }
         return;
     }
+    let spawn_counter = taopt_telemetry::global().counter("host_threads_spawned_total");
     let cursor = AtomicUsize::new(0);
+    let runnable = &runnable;
     std::thread::scope(|scope| {
         for w in 0..nw {
             let cursor = &cursor;
+            spawn_counter.inc();
             scope.spawn(move || loop {
                 let k = cursor.fetch_add(1, Ordering::SeqCst);
                 if k >= runnable.len() {
                     break;
                 }
-                // Static home assignment is round-robin; a claim outside
-                // the home share is a steal.
                 if k % nw != w {
                     steals.fetch_add(1, Ordering::Relaxed);
                 }
-                advance(&slots[runnable[k]]);
+                advance_slot(&slots[runnable[k]]);
             });
         }
     });
@@ -783,7 +900,7 @@ fn advance_parallel(slots: &[Mutex<Slot>], runnable: &[usize], workers: usize, s
 /// max-min-fair grants, replacement bookkeeping.
 #[allow(clippy::too_many_arguments)]
 fn lease_boundary(
-    slots: &mut [Mutex<Slot>],
+    slots: &[Mutex<Slot>],
     ledger: &mut LeaseLedger,
     pool: &mut dyn DevicePool,
     injector: Option<&FaultInjector>,
@@ -801,19 +918,28 @@ fn lease_boundary(
     let mut due: Vec<Vec<crate::resilience::ReplacementRequest>> = vec![Vec::new(); n];
     let mut want = vec![0usize; n];
     for i in 0..n {
-        let s = slots[i].get_mut();
+        let s = &mut *slots[i].lock();
+        // Consume the parallel-phase demand snapshot unconditionally:
+        // even a skipped (finished) slot must not carry one forward.
+        let snapshot = s.demand_snapshot.take();
         let Some(step) = s.step.as_ref() else {
             continue;
         };
         due[i] = s.queue.due(global_now);
         let cap = s.d_max.saturating_sub(step.active_count());
-        want[i] = step.demand().max(due[i].len().min(cap));
+        // Demand was captured right after the step's round (boundary
+        // prework); a boundary-2 kill cleared it, and apps that did not
+        // run this round (waiting, or the initial boundary) never had
+        // one — those recompute here.
+        let demand = snapshot.unwrap_or_else(|| step.demand());
+        debug_assert_eq!(demand, step.demand(), "stale demand snapshot");
+        want[i] = demand.max(due[i].len().min(cap));
     }
 
     // Max-min fair targets with a rotating remainder so contended slots
     // cycle through apps instead of pinning to low indices.
     let desired: Vec<usize> = (0..n)
-        .map(|i| (ledger.holdings(i) + want[i]).min(slots[i].get_mut().d_max))
+        .map(|i| (ledger.holdings(i) + want[i]).min(slots[i].lock().d_max))
         .collect();
     let mut targets = fair_targets_from(pool.capacity(), &desired, (round as usize) % n.max(1));
 
@@ -834,7 +960,7 @@ fn lease_boundary(
             if h == 0 {
                 continue;
             }
-            let s = slots[j].get_mut();
+            let s = slots[j].lock();
             if s.step.is_none() {
                 continue;
             }
@@ -854,10 +980,11 @@ fn lease_boundary(
             }
         }
         let Some((_, _, _, j)) = donor else { break };
-        let s = slots[j].get_mut();
+        let mut s = slots[j].lock();
         let Some(d) = s.step.as_mut().and_then(|st| st.shrink_one()) else {
             break;
         };
+        drop(s);
         ledger.release(d);
         pool.release(d, global_now);
         *revocations += 1;
@@ -876,7 +1003,7 @@ fn lease_boundary(
             if want[i] == 0 || ledger.holdings(i) >= targets[i] {
                 continue;
             }
-            let s = slots[i].get_mut();
+            let s = slots[i].lock();
             if s.step.is_none() {
                 continue;
             }
@@ -902,7 +1029,7 @@ fn lease_boundary(
             PoolDecision::Exhausted => break,
         };
         ledger.grant(i, device);
-        let s = slots[i].get_mut();
+        let s = &mut *slots[i].lock();
         let iid = s.step.as_mut().expect("live").grant(device);
         s.last_grant_round = round;
         want[i] -= 1;
@@ -923,7 +1050,7 @@ fn lease_boundary(
 
     // Unserved replacement demand retries later with backoff.
     for i in 0..n {
-        let s = slots[i].get_mut();
+        let s = &mut *slots[i].lock();
         for req in std::mem::take(&mut due[i]) {
             s.queue.defer(req, global_now);
         }

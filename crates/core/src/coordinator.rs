@@ -95,6 +95,13 @@ impl TestCoordinator {
         &self.analyzer
     }
 
+    /// Attaches the campaign-wide compute pool to the analyzer (see
+    /// [`OnlineTraceAnalyzer::set_compute`]): batched ingestion then
+    /// runs its phase A on the shared host budget.
+    pub fn set_compute(&mut self, pool: std::sync::Arc<crate::campaign::pool::ComputePool>) {
+        self.analyzer.set_compute(pool);
+    }
+
     /// Decision log.
     pub fn events(&self) -> &[CoordinatorEvent] {
         &self.events

@@ -88,8 +88,8 @@ pub mod theorem;
 pub use analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceId, SubspaceInfo};
 pub use campaign::{
     run_campaign, AppReport, BusTransport, Campaign, CampaignApp, CampaignConfig, CampaignDigest,
-    CampaignResult, DirectEnforcement, Enforcement, FaultyBus, InertBus, KillEvent, SessionStep,
-    StepLayers, StepProgress,
+    CampaignResult, ComputePool, DirectEnforcement, Enforcement, FaultyBus, InertBus, KillEvent,
+    SessionStep, StepLayers, StepProgress,
 };
 pub use chaos_session::{run_with_chaos, ChaosReport};
 pub use conductance::{conductance, partition_score};

@@ -15,7 +15,10 @@
 //!    with `analyze_reference` and the full-rescan reference;
 //! 3. `batched_ingestion_*`: `ingest_round` (at 1 and several analysis
 //!    workers) agrees with one-at-a-time `maybe_analyze` calls — same
-//!    confirmations per round, same final registry, same cache content.
+//!    confirmations per round, same final registry, same cache content;
+//! 4. `pooled_ingestion_*`: `ingest_round` through a persistent
+//!    [`ComputePool`] of any budget agrees with both the serial loop
+//!    and the legacy scoped-thread path — the pool is pure mechanism.
 //!
 //! Plus the concurrency stress test (8 threads hammering one sharded
 //! cache) and the `forget_instance` occupancy test.
@@ -27,6 +30,7 @@ use proptest::prelude::*;
 
 use taopt::analyzer::{AnalyzerConfig, OnlineTraceAnalyzer};
 use taopt::findspace::{find_space_candidates, FindSpaceConfig, FindSpaceEngine, SimilarityCache};
+use taopt::ComputePool;
 use taopt_toller::InstanceId;
 use taopt_ui_model::abstraction::{AbstractHierarchy, AbstractNode};
 use taopt_ui_model::{
@@ -94,6 +98,9 @@ fn analyzer_config(workers: usize) -> AnalyzerConfig {
     c.min_new_events = 5;
     c.min_subspace_screens = 2;
     c.analysis_workers = workers;
+    // Every batch in these suites is small; drop the pool routing
+    // threshold so the pooled arm genuinely exercises the pool.
+    c.pool_min_window = 0;
     c
 }
 
@@ -251,6 +258,63 @@ proptest! {
         prop_assert_eq!(
             serial.similarity_cache().snapshot(),
             threaded.similarity_cache().snapshot()
+        );
+    }
+
+    /// Suite 4: pooled ingestion ≡ scoped ≡ serial. Attaching a
+    /// persistent [`ComputePool`] of any budget to the analyzer changes
+    /// only *where* phase A runs, never what it computes: per-round
+    /// confirmations, the final subspace registry, and the
+    /// similarity-cache content all match both the one-at-a-time serial
+    /// reference and the legacy per-round scoped-thread path.
+    #[test]
+    fn pooled_ingestion_equivalent_to_scoped(
+        traces in arb_instance_traces(),
+        chunk in 3usize..=20,
+        budget_sel in 0usize..4,
+    ) {
+        let budget = [1usize, 2, 4, 8][budget_sel];
+        let mut serial = OnlineTraceAnalyzer::new(analyzer_config(1));
+        let mut scoped = OnlineTraceAnalyzer::new(analyzer_config(4));
+        let mut pooled = OnlineTraceAnalyzer::new(analyzer_config(1));
+        pooled.set_compute(ComputePool::new(budget));
+        let rounds = traces
+            .iter()
+            .map(|t| t.len().div_ceil(chunk))
+            .max()
+            .unwrap_or(0);
+        for round in 0..rounds {
+            let now = VirtualTime::from_secs((round as u64 + 1) * 15);
+            let prefixes: Vec<(InstanceId, Trace)> = traces
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let end = ((round + 1) * chunk).min(t.len());
+                    (InstanceId(i as u32), t[..end].iter().cloned().collect())
+                })
+                .collect();
+            let mut serial_confirmed = Vec::new();
+            for (id, trace) in &prefixes {
+                serial_confirmed.extend(serial.maybe_analyze(*id, trace, now));
+            }
+            let batch: Vec<(InstanceId, &Trace)> =
+                prefixes.iter().map(|(id, t)| (*id, t)).collect();
+            let scoped_confirmed = scoped.ingest_round(&batch, now);
+            let pooled_confirmed = pooled.ingest_round(&batch, now);
+            prop_assert_eq!(&serial_confirmed, &scoped_confirmed, "round {} (scoped)", round);
+            prop_assert_eq!(
+                &serial_confirmed,
+                &pooled_confirmed,
+                "round {} (pool budget {})",
+                round,
+                budget
+            );
+        }
+        prop_assert_eq!(serial.subspaces(), scoped.subspaces());
+        prop_assert_eq!(serial.subspaces(), pooled.subspaces());
+        prop_assert_eq!(
+            serial.similarity_cache().snapshot(),
+            pooled.similarity_cache().snapshot()
         );
     }
 }

@@ -80,8 +80,14 @@ pub struct CampaignSpec {
     pub apps: Vec<AppSpec>,
     /// Per-app experiment scale (instances, duration, tick, ...).
     pub scale: ExperimentScale,
-    /// Worker threads for the parallel phase.
+    /// Worker threads for the parallel phase (legacy alias of
+    /// `host_threads`; see [`CampaignConfig::workers`]).
     pub workers: usize,
+    /// Campaign-wide host compute-thread budget shared by round
+    /// advancement and analysis (`0` = auto-detect). Never affects
+    /// results — only host-side speed — so a checkpoint written under
+    /// one budget restores byte-identical under another.
+    pub host_threads: usize,
     /// Shared farm capacity override.
     pub capacity: Option<usize>,
     /// Rounds a lease is protected from starvation revocation.
@@ -103,6 +109,7 @@ impl CampaignSpec {
             apps,
             scale,
             workers: defaults.workers,
+            host_threads: defaults.host_threads,
             capacity: defaults.capacity,
             min_hold_rounds: defaults.min_hold_rounds,
             max_rounds: defaults.max_rounds,
@@ -136,6 +143,8 @@ impl CampaignSpec {
         }
         let config = CampaignConfig {
             workers: self.workers,
+            host_threads: self.host_threads,
+            scoped_threads: false,
             capacity: self.capacity,
             min_hold_rounds: self.min_hold_rounds,
             kills: self.kills.clone(),
@@ -184,6 +193,10 @@ impl CampaignSpec {
             ("apps".to_owned(), Value::Array(apps)),
             ("scale".to_owned(), scale_to_value(&self.scale)),
             ("workers".to_owned(), Value::UInt(self.workers as u64)),
+            (
+                "host_threads".to_owned(),
+                Value::UInt(self.host_threads as u64),
+            ),
             (
                 "capacity".to_owned(),
                 self.capacity.map_or(Value::Null, |c| Value::UInt(c as u64)),
@@ -274,6 +287,16 @@ impl CampaignSpec {
             apps,
             scale: scale_from_value(v.require("scale")?)?,
             workers: u("workers")? as usize,
+            // Optional for back-compat: checkpoints written before the
+            // host-budget knob parse as 0 (auto-detect) — safe because
+            // the budget never affects results.
+            host_threads: match v.get("host_threads") {
+                None | Some(Value::Null) => 0,
+                Some(h) => h
+                    .as_u64()
+                    .ok_or_else(|| JsonError::conversion("host_threads must be a u64"))?
+                    as usize,
+            },
             capacity: match v.get("capacity") {
                 None | Some(Value::Null) => None,
                 Some(c) => Some(
@@ -382,6 +405,7 @@ mod tests {
             ExperimentScale::quick(),
         );
         spec.workers = 2;
+        spec.host_threads = 3;
         spec.capacity = Some(4);
         spec.kills = vec![KillEvent {
             round: 9,
@@ -407,10 +431,32 @@ mod tests {
         assert_eq!(apps[0].name, "alpha");
         assert_eq!(apps[1].name, "AbsWorkout");
         assert_eq!(config.workers, 2);
+        assert_eq!(config.host_threads, 3);
+        assert!(!config.scoped_threads);
         assert_eq!(config.capacity, Some(4));
         assert_eq!(config.kills.len(), 1);
         assert!(config.faults.is_some());
         assert_eq!(spec.device_demand(), 4);
+    }
+
+    #[test]
+    fn pre_host_threads_checkpoint_parses_as_auto() {
+        // A spec serialized before the host-budget knob existed has no
+        // `host_threads` field; it must parse as 0 (auto-detect).
+        let spec = sample();
+        let v = spec.to_value();
+        let Value::Object(fields) = v else {
+            panic!("spec serializes to an object")
+        };
+        let legacy = Value::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "host_threads")
+                .collect(),
+        );
+        let back = CampaignSpec::from_value(&legacy).unwrap();
+        assert_eq!(back.host_threads, 0);
+        assert_eq!(back.workers, spec.workers);
     }
 
     #[test]

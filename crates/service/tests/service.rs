@@ -145,6 +145,79 @@ proptest! {
         let _ = fs::remove_dir_all(store.dir());
     }
 
+    /// Host-budget law: the campaign compute-pool budget is pure mechanism
+    /// and never affects results — the coverage report is byte-identical
+    /// across `host_threads` ∈ {1, 2, 4, 8}, and a campaign checkpointed
+    /// under one budget resumes byte-identically under another (the budget
+    /// travels through the durable checkpoint encoding both ways).
+    #[test]
+    fn host_threads_never_affect_results(
+        n_apps in 1usize..4,
+        seed in 0u64..500,
+        budget_sel in 0usize..4,
+        resume_sel in 0usize..4,
+        stop_round in 1u64..10,
+    ) {
+        let budgets = [1usize, 2, 4, 8];
+        let mut spec = tiny_spec(n_apps, seed, 2);
+        spec.host_threads = 1;
+        let reference = direct_report(&spec);
+        for b in [2usize, 4, 8] {
+            let mut s = spec.clone();
+            s.host_threads = b;
+            prop_assert_eq!(
+                direct_report(&s),
+                reference.clone(),
+                "host_threads={} diverged from host_threads=1",
+                b
+            );
+        }
+
+        // Checkpoint under one budget, resume under another.
+        let mut run_spec = spec.clone();
+        run_spec.host_threads = budgets[budget_sel];
+        let (apps, config) = run_spec.build().unwrap();
+        let mut campaign = Campaign::new(apps, &config);
+        let mut live = true;
+        while live && campaign.round() < stop_round {
+            live = campaign.advance_round();
+        }
+        if !live {
+            prop_assert_eq!(campaign.finish().coverage_report(), reference);
+            return Ok(());
+        }
+        let digest = campaign.digest();
+        drop(campaign);
+        let store = CheckpointStore::new(scratch(&format!(
+            "prop-host-{n_apps}-{seed}-{budget_sel}-{resume_sel}-{stop_round}"
+        )))
+        .unwrap();
+        let path = store
+            .save(&Checkpoint {
+                version: CHECKPOINT_VERSION,
+                campaign: 1,
+                priority: 0,
+                round: stop_round,
+                spec: run_spec.clone(),
+                digest: Some(digest),
+            })
+            .unwrap();
+        let ckpt = store.load(&path).unwrap();
+        prop_assert_eq!(&ckpt.spec, &run_spec);
+
+        let mut resumed_spec = ckpt.spec;
+        resumed_spec.host_threads = budgets[resume_sel];
+        let (apps, config) = resumed_spec.build().unwrap();
+        let mut resumed = Campaign::new(apps, &config);
+        while resumed.round() < ckpt.round {
+            prop_assert!(resumed.advance_round(), "replay ended early");
+        }
+        prop_assert_eq!(ckpt.digest.unwrap().diff(&resumed.digest()), None);
+        while resumed.advance_round() {}
+        prop_assert_eq!(resumed.finish().coverage_report(), reference);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
     /// Any truncation or byte flip of a checkpoint file must surface as a
     /// clean `Err` — never a panic, never a silently wrong resume.
     #[test]

@@ -113,6 +113,41 @@ fn exposition_is_wellformed_across_metric_kinds_and_labels() {
 }
 
 #[test]
+fn campaign_round_host_us_renders_log2_buckets() {
+    // The campaign scheduler records per-round host time into this log2
+    // histogram; /metrics must expose it with cumulative power-of-two
+    // `le` boundaries at exactly the occupied buckets, plus sum/count.
+    let t = Telemetry::new();
+    let h = t.histogram("campaign_round_host_us");
+    for us in [0u64, 90, 300, 300, 4096] {
+        h.record(us);
+    }
+
+    let text = t.render_prometheus();
+    let (families, series) = parse_exposition(&text);
+    assert_eq!(
+        families.get("campaign_round_host_us").map(String::as_str),
+        Some("histogram")
+    );
+    // 0 → [0,1); 90 → [64,128); 300×2 → [256,512); 4096 → [4096,8192).
+    assert!(text.contains("campaign_round_host_us_bucket{le=\"1\"} 1"));
+    assert!(text.contains("campaign_round_host_us_bucket{le=\"128\"} 2"));
+    assert!(text.contains("campaign_round_host_us_bucket{le=\"512\"} 4"));
+    assert!(text.contains("campaign_round_host_us_bucket{le=\"8192\"} 5"));
+    assert!(text.contains("campaign_round_host_us_sum 4786"));
+    assert!(text.contains("campaign_round_host_us_count 5"));
+    // Exactly the occupied boundaries — the renderer closes with +Inf
+    // only when the trailing buckets hold samples.
+    assert_eq!(
+        series
+            .iter()
+            .filter(|s| s.starts_with("campaign_round_host_us_bucket"))
+            .count(),
+        4
+    );
+}
+
+#[test]
 fn empty_registry_renders_an_empty_page() {
     let (families, series) = parse_exposition(&Telemetry::new().render_prometheus());
     assert!(families.is_empty());

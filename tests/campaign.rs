@@ -77,6 +77,53 @@ fn campaign_is_deterministic_across_worker_counts() {
 }
 
 #[test]
+fn campaign_is_deterministic_across_host_budgets() {
+    // The compute-pool counterpart of the worker-count law: the host
+    // thread budget decides only how fast rounds advance, never what
+    // they compute. Reports are byte-identical across budgets, with and
+    // without the legacy scoped-thread path, at fixed logical workers.
+    let reference = {
+        let config = CampaignConfig {
+            workers: 2,
+            host_threads: 1,
+            capacity: Some(7),
+            ..CampaignConfig::default()
+        };
+        run_campaign(catalog(), &config).coverage_report()
+    };
+    for host_threads in [2usize, 4, 8] {
+        let config = CampaignConfig {
+            workers: 2,
+            host_threads,
+            capacity: Some(7),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(catalog(), &config).coverage_report();
+        assert_eq!(
+            reference, report,
+            "host_threads={host_threads} diverged from host_threads=1"
+        );
+    }
+    let scoped = {
+        let config = CampaignConfig {
+            workers: 2,
+            scoped_threads: true,
+            capacity: Some(7),
+            ..CampaignConfig::default()
+        };
+        run_campaign(catalog(), &config).coverage_report()
+    };
+    assert_eq!(reference, scoped, "legacy scoped-thread path diverged");
+    // Host timing is observability, never part of the report — but it
+    // must be *recorded*: every round lands in the global histogram
+    // that /metrics surfaces.
+    let snap = taopt_telemetry::global()
+        .histogram("campaign_round_host_us")
+        .snapshot();
+    assert!(snap.count > 0, "campaign rounds recorded no host timings");
+}
+
+#[test]
 fn shared_farm_never_double_allocates() {
     let before = taopt_telemetry::global()
         .counter("campaign_lease_conflicts_total")
