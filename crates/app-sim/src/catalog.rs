@@ -6,6 +6,7 @@
 //! track the relative coverage magnitudes reported in Table 4.
 
 use crate::app::App;
+use crate::evolution::AppEvolution;
 use crate::generator::{generate_app, GeneratorConfig};
 
 /// Relative size of an app's code base and UI space.
@@ -102,9 +103,29 @@ impl CatalogEntry {
         cfg
     }
 
-    /// Generates the synthetic app for this entry.
+    /// Generates the synthetic app for this entry (version 0).
     pub fn generate(&self) -> App {
         generate_app(&self.config()).expect("catalog configs are well-formed")
+    }
+
+    /// The release-train model for this entry, seeded from the app name so
+    /// every version of every catalog app is reproducible.
+    pub fn evolution(&self) -> AppEvolution {
+        AppEvolution::new(self.seed().rotate_left(17) ^ 0xe501)
+    }
+
+    /// Generates version `version` of this app: the base build with
+    /// `version` release diffs folded in (version 0 = [`Self::generate`]).
+    pub fn generate_version(&self, version: u64) -> App {
+        let evo = self.evolution();
+        let mut app = self.generate();
+        for v in 0..version {
+            app = evo
+                .evolve(&app, v)
+                .expect("catalog evolution is well-formed")
+                .0;
+        }
+        app
     }
 }
 
@@ -309,6 +330,21 @@ mod tests {
             xl.method_count(),
             small.method_count()
         );
+    }
+
+    #[test]
+    fn versioned_catalog_is_deterministic_and_grows() {
+        let e = catalog_entries()
+            .into_iter()
+            .find(|e| e.name == "Sketch")
+            .unwrap();
+        let v2a = e.generate_version(2);
+        let v2b = e.generate_version(2);
+        assert_eq!(v2a.method_count(), v2b.method_count());
+        assert_eq!(v2a.screen_count(), v2b.screen_count());
+        let v0 = e.generate_version(0);
+        assert!(v2a.method_count() > v0.method_count());
+        assert!(v2a.screen_count() > v0.screen_count());
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub enum AppSimError {
     BadWeight(f64),
     /// The login spec references a missing screen or action.
     BadLoginSpec,
+    /// An evolution op referenced a missing entity or would create a
+    /// duplicate.
+    EvolutionTarget(String),
 }
 
 impl fmt::Display for AppSimError {
@@ -49,6 +52,7 @@ impl fmt::Display for AppSimError {
             AppSimError::BadLoginSpec => {
                 write!(f, "login spec references a missing screen or action")
             }
+            AppSimError::EvolutionTarget(msg) => write!(f, "evolution op invalid: {msg}"),
         }
     }
 }
@@ -73,6 +77,7 @@ mod tests {
             AppSimError::ActionNotAvailable(ActionId(0)),
             AppSimError::BadWeight(-1.0),
             AppSimError::BadLoginSpec,
+            AppSimError::EvolutionTarget("missing action".into()),
         ];
         for e in errs {
             let m = e.to_string();

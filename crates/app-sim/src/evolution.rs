@@ -1,0 +1,860 @@
+//! App evolution: versioned apps derived from a base spec plus ordered diffs.
+//!
+//! Continuous testing (CEL) treats a mobile app as a *sequence of releases*,
+//! not a single frozen binary. This module gives the synthetic AUTs that
+//! release axis: a [`VersionDiff`] is a serializable, ordered list of
+//! [`VersionOp`]s that derives version N+1 from version N — widget renames,
+//! added affordances, screen splits, flow rewires, injected *regression*
+//! crashes and method-table growth, the edit kinds release notes are made
+//! of. [`AppEvolution`] samples such diffs deterministically from a seed so
+//! a whole release train is reproducible from `(base config, seed)`.
+//!
+//! The companion [`VersionDiff::touched`] computes the *touched surface* of
+//! a diff against the old version — the abstract screen identities and
+//! widget resource ids whose rendering changes — which is exactly the
+//! information a warm-started analyzer needs to decide which learned
+//! subspaces survive the release boundary and which must be re-discovered.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taopt_ui_model::abstraction::abstract_hierarchy;
+use taopt_ui_model::{AbstractScreenId, ActionId, ActionKind, JsonError, ScreenId, Value};
+
+use crate::app::App;
+use crate::crash::{CrashPoint, CrashSignature};
+use crate::error::AppSimError;
+use crate::method::MethodId;
+use crate::spec::{ActionSpec, ScreenSpec};
+
+/// One edit applied to an app when deriving version N+1 from version N.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VersionOp {
+    /// Change the resource id of the widget carrying an action (a refactor
+    /// that breaks recorded widget selectors but not app structure).
+    RenameWidget {
+        /// The action whose widget is renamed.
+        action: ActionId,
+        /// The new resource id.
+        new_rid: String,
+    },
+    /// Rename a screen (changes every widget rid derived from the screen
+    /// name, so the screen abstracts to a fresh identity).
+    RenameScreen {
+        /// The screen being renamed.
+        screen: ScreenId,
+        /// The new screen name (must stay app-unique).
+        new_name: String,
+    },
+    /// Add a new self-contained affordance to a screen, with fresh handler
+    /// methods (a small feature addition).
+    AddLocalAction {
+        /// The hosting screen.
+        screen: ScreenId,
+        /// Gesture class of the new affordance.
+        kind: ActionKind,
+        /// Resource id of the new widget.
+        widget_rid: String,
+        /// Number of fresh handler methods to allocate.
+        methods: usize,
+    },
+    /// Split a screen in two: the later half of its affordances move to a
+    /// fresh screen reachable by a new click (a screen decomposition
+    /// refactor).
+    SplitScreen {
+        /// The screen being split.
+        screen: ScreenId,
+        /// Name of the freshly created screen (must stay app-unique).
+        new_name: String,
+        /// Fresh screen-entry methods allocated to the new screen.
+        methods: usize,
+    },
+    /// Rewire a multi-screen flow so its final screen changes (a checkout
+    /// path redesign). Flows do not render, so this touches no screen
+    /// surface.
+    RewireFlow {
+        /// Index of the flow in [`App::flows`].
+        flow: usize,
+        /// Screen replacing the flow's last member.
+        replace_with: ScreenId,
+    },
+    /// Inject a regression crash on an existing action — the defect a new
+    /// release ships and a longitudinal campaign must catch.
+    InjectCrash {
+        /// The action gaining the latent fault.
+        action: ActionId,
+        /// Per-execution firing probability once armed.
+        probability: f64,
+        /// Distinct in-functionality screens required before arming.
+        min_local_depth: usize,
+        /// Dedup signature of the injected fault.
+        signature: CrashSignature,
+    },
+    /// Grow a screen's method table with fresh methods (code growth that
+    /// raises the coverage denominator without changing the UI).
+    GrowMethods {
+        /// The screen whose method table grows.
+        screen: ScreenId,
+        /// Number of fresh methods appended.
+        count: usize,
+    },
+}
+
+/// The surface of an app version a diff touches: abstract screen
+/// identities whose rendering changes, and widget resource ids that are
+/// renamed away or newly introduced.
+///
+/// Both sets are expressed against the *old* version — they are matched
+/// against learned analyzer state (subspace screen sets and entrypoint
+/// rules) to decide what survives the release boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TouchedSurface {
+    /// Abstract identities (all feed pages) of screens whose rendering
+    /// changes.
+    pub screens: BTreeSet<AbstractScreenId>,
+    /// Widget resource ids renamed away or introduced.
+    pub widget_rids: BTreeSet<String>,
+}
+
+impl TouchedSurface {
+    /// Whether the diff touches nothing observable.
+    pub fn is_empty(&self) -> bool {
+        self.screens.is_empty() && self.widget_rids.is_empty()
+    }
+}
+
+/// An ordered, serializable set of edits deriving version
+/// [`VersionDiff::to_version`] from [`VersionDiff::from_version`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VersionDiff {
+    /// The version this diff applies to.
+    pub from_version: u64,
+    /// The version this diff produces.
+    pub to_version: u64,
+    /// Edits, applied in order.
+    pub ops: Vec<VersionOp>,
+}
+
+impl VersionDiff {
+    /// An empty diff (version bump with no observable change — a
+    /// re-release of the same binary).
+    pub fn empty(from_version: u64) -> Self {
+        VersionDiff {
+            from_version,
+            to_version: from_version + 1,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Whether the diff carries no edits.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Signatures of the regression crashes this diff injects.
+    pub fn injected_signatures(&self) -> Vec<CrashSignature> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                VersionOp::InjectCrash { signature, .. } => Some(*signature),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Applies the diff to an app, producing the next version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppSimError::EvolutionTarget`] when an op references a
+    /// missing screen/action/flow or would create a duplicate screen name,
+    /// and propagates assembly errors from the rebuilt app.
+    pub fn apply(&self, app: &App) -> Result<App, AppSimError> {
+        let mut screens: Vec<ScreenSpec> = app.screens().cloned().collect();
+        let mut flows = app.flows().to_vec();
+        let mut method_count = app.method_count();
+        let mut next_action = screens
+            .iter()
+            .flat_map(|s| s.actions.iter())
+            .map(|a| a.id.0)
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut next_screen = screens.iter().map(|s| s.id.0).max().map_or(0, |m| m + 1);
+
+        let alloc_methods = |method_count: &mut usize, n: usize| -> Vec<MethodId> {
+            let ids = (*method_count..*method_count + n)
+                .map(|m| MethodId(m as u32))
+                .collect();
+            *method_count += n;
+            ids
+        };
+
+        for op in &self.ops {
+            match op {
+                VersionOp::RenameWidget { action, new_rid } => {
+                    let a = screens
+                        .iter_mut()
+                        .flat_map(|s| s.actions.iter_mut())
+                        .find(|a| a.id == *action)
+                        .ok_or_else(|| {
+                            AppSimError::EvolutionTarget(format!("missing action {action}"))
+                        })?;
+                    a.widget_rid = new_rid.clone();
+                }
+                VersionOp::RenameScreen { screen, new_name } => {
+                    if screens.iter().any(|s| s.name == *new_name) {
+                        return Err(AppSimError::EvolutionTarget(format!(
+                            "duplicate screen name {new_name}"
+                        )));
+                    }
+                    let s = screens
+                        .iter_mut()
+                        .find(|s| s.id == *screen)
+                        .ok_or_else(|| {
+                            AppSimError::EvolutionTarget(format!("missing screen {screen}"))
+                        })?;
+                    s.name = new_name.clone();
+                }
+                VersionOp::AddLocalAction {
+                    screen,
+                    kind,
+                    widget_rid,
+                    methods,
+                } => {
+                    let handler = alloc_methods(&mut method_count, *methods);
+                    let s = screens
+                        .iter_mut()
+                        .find(|s| s.id == *screen)
+                        .ok_or_else(|| {
+                            AppSimError::EvolutionTarget(format!("missing screen {screen}"))
+                        })?;
+                    s.actions.push(
+                        ActionSpec::local(ActionId(next_action), *kind, widget_rid, "new feature")
+                            .with_methods(handler),
+                    );
+                    next_action += 1;
+                }
+                VersionOp::SplitScreen {
+                    screen,
+                    new_name,
+                    methods,
+                } => {
+                    if screens.iter().any(|s| s.name == *new_name) {
+                        return Err(AppSimError::EvolutionTarget(format!(
+                            "duplicate screen name {new_name}"
+                        )));
+                    }
+                    let entry_methods = alloc_methods(&mut method_count, *methods);
+                    let s = screens
+                        .iter_mut()
+                        .find(|s| s.id == *screen)
+                        .ok_or_else(|| {
+                            AppSimError::EvolutionTarget(format!("missing screen {screen}"))
+                        })?;
+                    let keep = s.actions.len().div_ceil(2);
+                    let moved = s.actions.split_off(keep);
+                    let new_id = ScreenId(next_screen);
+                    next_screen += 1;
+                    let connector_rid = format!("{}_goto_{}", s.name, new_name);
+                    s.actions.push(ActionSpec::click_to(
+                        ActionId(next_action),
+                        &connector_rid,
+                        "More",
+                        new_id,
+                    ));
+                    next_action += 1;
+                    let mut fresh =
+                        ScreenSpec::new(new_id, s.activity, s.functionality, new_name.clone());
+                    fresh.actions = moved;
+                    fresh.decorations = s.decorations;
+                    fresh.methods = entry_methods;
+                    screens.push(fresh);
+                }
+                VersionOp::RewireFlow { flow, replace_with } => {
+                    if !screens.iter().any(|s| s.id == *replace_with) {
+                        return Err(AppSimError::EvolutionTarget(format!(
+                            "missing screen {replace_with}"
+                        )));
+                    }
+                    let f = flows.get_mut(*flow).ok_or_else(|| {
+                        AppSimError::EvolutionTarget(format!("missing flow {flow}"))
+                    })?;
+                    if let Some(last) = f.screens.last_mut() {
+                        *last = *replace_with;
+                    }
+                }
+                VersionOp::InjectCrash {
+                    action,
+                    probability,
+                    min_local_depth,
+                    signature,
+                } => {
+                    let a = screens
+                        .iter_mut()
+                        .flat_map(|s| s.actions.iter_mut())
+                        .find(|a| a.id == *action)
+                        .ok_or_else(|| {
+                            AppSimError::EvolutionTarget(format!("missing action {action}"))
+                        })?;
+                    a.crash = Some(CrashPoint::new(*probability, *min_local_depth, *signature));
+                }
+                VersionOp::GrowMethods { screen, count } => {
+                    let grown = alloc_methods(&mut method_count, *count);
+                    let s = screens
+                        .iter_mut()
+                        .find(|s| s.id == *screen)
+                        .ok_or_else(|| {
+                            AppSimError::EvolutionTarget(format!("missing screen {screen}"))
+                        })?;
+                    s.methods.extend(grown);
+                }
+            }
+        }
+
+        App::assemble(
+            app.name().to_owned(),
+            screens,
+            app.functionalities().to_vec(),
+            app.start_screen(),
+            flows,
+            app.login().copied(),
+            method_count,
+            app.startup_methods().to_vec(),
+        )
+    }
+
+    /// The surface this diff touches, expressed against the old version
+    /// `base` (which must be the version the diff applies to).
+    ///
+    /// Ops that change no rendering (flow rewires, crash injections,
+    /// method growth) touch nothing — learned analyzer state remains valid
+    /// across them, which is what makes regression crashes *catchable by a
+    /// warm start*: the subspace hosting the injected fault is re-dedicated
+    /// immediately instead of re-discovered.
+    pub fn touched(&self, base: &App) -> TouchedSurface {
+        let mut t = TouchedSurface::default();
+        let touch = |sid: ScreenId, t: &mut TouchedSurface| {
+            if let Some(s) = base.screen(sid) {
+                let pages = s.feed.as_ref().map(|f| f.pages).unwrap_or(0);
+                for pg in 0..=pages {
+                    t.screens
+                        .insert(abstract_hierarchy(&base.render_screen_page(sid, 0, pg)).id());
+                }
+            }
+        };
+        for op in &self.ops {
+            match op {
+                VersionOp::RenameWidget { action, new_rid } => {
+                    if let Some(host) = base.screen_of_action(*action) {
+                        touch(host, &mut t);
+                        if let Some(a) = base.screen(host).and_then(|s| s.action(*action)) {
+                            t.widget_rids.insert(a.widget_rid.clone());
+                        }
+                    }
+                    t.widget_rids.insert(new_rid.clone());
+                }
+                VersionOp::RenameScreen { screen, .. }
+                | VersionOp::AddLocalAction { screen, .. }
+                | VersionOp::SplitScreen { screen, .. } => touch(*screen, &mut t),
+                VersionOp::RewireFlow { .. }
+                | VersionOp::InjectCrash { .. }
+                | VersionOp::GrowMethods { .. } => {}
+            }
+        }
+        t
+    }
+
+    /// Serializes to a JSON value.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("from_version".into(), Value::UInt(self.from_version)),
+            ("to_version".into(), Value::UInt(self.to_version)),
+            (
+                "ops".into(),
+                Value::Array(self.ops.iter().map(op_to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes from a JSON value produced by [`VersionDiff::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on missing fields or unknown op tags.
+    pub fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let from_version = require_u64(v, "from_version")?;
+        let to_version = require_u64(v, "to_version")?;
+        let ops = v
+            .require("ops")?
+            .as_array()
+            .ok_or_else(|| JsonError::conversion("`ops` must be an array"))?
+            .iter()
+            .map(op_from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(VersionDiff {
+            from_version,
+            to_version,
+            ops,
+        })
+    }
+}
+
+fn require_u64(v: &Value, key: &str) -> Result<u64, JsonError> {
+    v.require(key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::conversion(format!("`{key}` must be an integer")))
+}
+
+fn require_str(v: &Value, key: &str) -> Result<String, JsonError> {
+    Ok(v.require(key)?
+        .as_str()
+        .ok_or_else(|| JsonError::conversion(format!("`{key}` must be a string")))?
+        .to_owned())
+}
+
+fn kind_to_str(k: ActionKind) -> &'static str {
+    match k {
+        ActionKind::Click => "click",
+        ActionKind::LongClick => "long_click",
+        ActionKind::Scroll => "scroll",
+        ActionKind::SetText => "set_text",
+        ActionKind::Swipe => "swipe",
+        _ => "click",
+    }
+}
+
+fn kind_from_str(s: &str) -> Result<ActionKind, JsonError> {
+    Ok(match s {
+        "click" => ActionKind::Click,
+        "long_click" => ActionKind::LongClick,
+        "scroll" => ActionKind::Scroll,
+        "set_text" => ActionKind::SetText,
+        "swipe" => ActionKind::Swipe,
+        other => {
+            return Err(JsonError::conversion(format!(
+                "unknown action kind `{other}`"
+            )))
+        }
+    })
+}
+
+fn op_to_value(op: &VersionOp) -> Value {
+    let fields = match op {
+        VersionOp::RenameWidget { action, new_rid } => vec![
+            ("op".into(), Value::Str("rename_widget".into())),
+            ("action".into(), Value::UInt(action.0 as u64)),
+            ("new_rid".into(), Value::Str(new_rid.clone())),
+        ],
+        VersionOp::RenameScreen { screen, new_name } => vec![
+            ("op".into(), Value::Str("rename_screen".into())),
+            ("screen".into(), Value::UInt(screen.0 as u64)),
+            ("new_name".into(), Value::Str(new_name.clone())),
+        ],
+        VersionOp::AddLocalAction {
+            screen,
+            kind,
+            widget_rid,
+            methods,
+        } => vec![
+            ("op".into(), Value::Str("add_local_action".into())),
+            ("screen".into(), Value::UInt(screen.0 as u64)),
+            ("kind".into(), Value::Str(kind_to_str(*kind).into())),
+            ("widget_rid".into(), Value::Str(widget_rid.clone())),
+            ("methods".into(), Value::UInt(*methods as u64)),
+        ],
+        VersionOp::SplitScreen {
+            screen,
+            new_name,
+            methods,
+        } => vec![
+            ("op".into(), Value::Str("split_screen".into())),
+            ("screen".into(), Value::UInt(screen.0 as u64)),
+            ("new_name".into(), Value::Str(new_name.clone())),
+            ("methods".into(), Value::UInt(*methods as u64)),
+        ],
+        VersionOp::RewireFlow { flow, replace_with } => vec![
+            ("op".into(), Value::Str("rewire_flow".into())),
+            ("flow".into(), Value::UInt(*flow as u64)),
+            ("replace_with".into(), Value::UInt(replace_with.0 as u64)),
+        ],
+        VersionOp::InjectCrash {
+            action,
+            probability,
+            min_local_depth,
+            signature,
+        } => vec![
+            ("op".into(), Value::Str("inject_crash".into())),
+            ("action".into(), Value::UInt(action.0 as u64)),
+            ("probability".into(), Value::Float(*probability)),
+            (
+                "min_local_depth".into(),
+                Value::UInt(*min_local_depth as u64),
+            ),
+            ("signature".into(), Value::UInt(signature.0)),
+        ],
+        VersionOp::GrowMethods { screen, count } => vec![
+            ("op".into(), Value::Str("grow_methods".into())),
+            ("screen".into(), Value::UInt(screen.0 as u64)),
+            ("count".into(), Value::UInt(*count as u64)),
+        ],
+    };
+    Value::Object(fields)
+}
+
+fn op_from_value(v: &Value) -> Result<VersionOp, JsonError> {
+    let tag = require_str(v, "op")?;
+    Ok(match tag.as_str() {
+        "rename_widget" => VersionOp::RenameWidget {
+            action: ActionId(require_u64(v, "action")? as u32),
+            new_rid: require_str(v, "new_rid")?,
+        },
+        "rename_screen" => VersionOp::RenameScreen {
+            screen: ScreenId(require_u64(v, "screen")? as u32),
+            new_name: require_str(v, "new_name")?,
+        },
+        "add_local_action" => VersionOp::AddLocalAction {
+            screen: ScreenId(require_u64(v, "screen")? as u32),
+            kind: kind_from_str(&require_str(v, "kind")?)?,
+            widget_rid: require_str(v, "widget_rid")?,
+            methods: require_u64(v, "methods")? as usize,
+        },
+        "split_screen" => VersionOp::SplitScreen {
+            screen: ScreenId(require_u64(v, "screen")? as u32),
+            new_name: require_str(v, "new_name")?,
+            methods: require_u64(v, "methods")? as usize,
+        },
+        "rewire_flow" => VersionOp::RewireFlow {
+            flow: require_u64(v, "flow")? as usize,
+            replace_with: ScreenId(require_u64(v, "replace_with")? as u32),
+        },
+        "inject_crash" => VersionOp::InjectCrash {
+            action: ActionId(require_u64(v, "action")? as u32),
+            probability: v
+                .require("probability")?
+                .as_f64()
+                .ok_or_else(|| JsonError::conversion("`probability` must be a number"))?,
+            min_local_depth: require_u64(v, "min_local_depth")? as usize,
+            signature: CrashSignature(require_u64(v, "signature")?),
+        },
+        "grow_methods" => VersionOp::GrowMethods {
+            screen: ScreenId(require_u64(v, "screen")? as u32),
+            count: require_u64(v, "count")? as usize,
+        },
+        other => return Err(JsonError::conversion(format!("unknown op `{other}`"))),
+    })
+}
+
+/// A deterministic release-train model: samples one [`VersionDiff`] per
+/// version boundary from a seed, with knobs for how much of each edit kind
+/// a release carries.
+///
+/// Every release injects [`AppEvolution::regression_crashes`] fresh,
+/// shallow-armed crash points — the regressions a longitudinal campaign is
+/// graded on catching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppEvolution {
+    /// Seed decorrelating release trains (mixed with app name and version).
+    pub seed: u64,
+    /// Widget resource-id renames per release.
+    pub widget_renames: usize,
+    /// Screen renames per release.
+    pub screen_renames: usize,
+    /// New local affordances per release.
+    pub added_actions: usize,
+    /// Screen splits per release.
+    pub screen_splits: usize,
+    /// Flow rewires per release.
+    pub flow_rewires: usize,
+    /// Injected regression crashes per release.
+    pub regression_crashes: usize,
+    /// Screens receiving method-table growth per release.
+    pub method_growth: usize,
+    /// Firing probability of injected regression crashes.
+    pub crash_probability: f64,
+    /// Arming depth of injected regression crashes (kept shallow so a
+    /// release-length campaign can realistically reach them).
+    pub crash_min_depth: usize,
+}
+
+impl AppEvolution {
+    /// A moderate release train: a few renames and additions per release,
+    /// one split, one rewire, one injected regression crash.
+    pub fn new(seed: u64) -> Self {
+        AppEvolution {
+            seed,
+            widget_renames: 2,
+            screen_renames: 1,
+            added_actions: 1,
+            screen_splits: 1,
+            flow_rewires: 1,
+            regression_crashes: 1,
+            method_growth: 1,
+            crash_probability: 0.55,
+            crash_min_depth: 2,
+        }
+    }
+
+    /// Samples the diff taking `app` (at `from_version`) to the next
+    /// version. Deterministic in `(self, app name, from_version)`.
+    pub fn diff(&self, app: &App, from_version: u64) -> VersionDiff {
+        let to_version = from_version + 1;
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, app.name(), from_version));
+        let mut ops = Vec::new();
+
+        let mut protected: BTreeSet<ScreenId> = BTreeSet::new();
+        protected.insert(app.start_screen());
+        if let Some(l) = app.login() {
+            protected.insert(l.login_screen);
+            protected.insert(l.home_screen);
+        }
+
+        let screens: Vec<&ScreenSpec> = app.screens().collect();
+        let open_screens: Vec<&ScreenSpec> = screens
+            .iter()
+            .copied()
+            .filter(|s| !protected.contains(&s.id))
+            .collect();
+        let nav_actions: Vec<(&ScreenSpec, &ActionSpec)> = screens
+            .iter()
+            .copied()
+            .flat_map(|s| s.actions.iter().map(move |a| (s, a)))
+            .filter(|(_, a)| !a.targets.is_empty())
+            .collect();
+
+        for i in pick_distinct(&mut rng, nav_actions.len(), self.widget_renames) {
+            let (_, a) = nav_actions[i];
+            ops.push(VersionOp::RenameWidget {
+                action: a.id,
+                new_rid: format!("{}_v{}", a.widget_rid, to_version),
+            });
+        }
+        for i in pick_distinct(&mut rng, open_screens.len(), self.screen_renames) {
+            let s = open_screens[i];
+            ops.push(VersionOp::RenameScreen {
+                screen: s.id,
+                new_name: format!("{}V{}", s.name, to_version),
+            });
+        }
+        let kinds = [
+            ActionKind::Scroll,
+            ActionKind::SetText,
+            ActionKind::LongClick,
+        ];
+        for (n, i) in pick_distinct(&mut rng, open_screens.len(), self.added_actions)
+            .into_iter()
+            .enumerate()
+        {
+            let s = open_screens[i];
+            ops.push(VersionOp::AddLocalAction {
+                screen: s.id,
+                kind: kinds[n % kinds.len()],
+                widget_rid: format!("{}_v{}_w{}", s.name, to_version, n),
+                methods: 3,
+            });
+        }
+        let splittable: Vec<&ScreenSpec> = open_screens
+            .iter()
+            .copied()
+            .filter(|s| s.actions.len() >= 2)
+            .collect();
+        for i in pick_distinct(&mut rng, splittable.len(), self.screen_splits) {
+            let s = splittable[i];
+            ops.push(VersionOp::SplitScreen {
+                screen: s.id,
+                new_name: format!("{}SplitV{}", s.name, to_version),
+                methods: 4,
+            });
+        }
+        if !app.flows().is_empty() {
+            for _ in 0..self.flow_rewires {
+                let flow = rng.gen_range(0..app.flows().len());
+                let replace_with = screens[rng.gen_range(0..screens.len())].id;
+                ops.push(VersionOp::RewireFlow { flow, replace_with });
+            }
+        }
+        let mut cluster_sizes: BTreeMap<_, usize> = BTreeMap::new();
+        for s in &screens {
+            *cluster_sizes.entry(s.functionality).or_insert(0) += 1;
+        }
+        let reachable = |s: &ScreenSpec| cluster_sizes[&s.functionality] > self.crash_min_depth;
+        let mut crashable: Vec<(&ScreenSpec, &ActionSpec)> = nav_actions
+            .iter()
+            .copied()
+            .filter(|(s, a)| a.crash.is_none() && s.is_entry && reachable(s))
+            .collect();
+        if crashable.is_empty() {
+            crashable = nav_actions
+                .iter()
+                .copied()
+                .filter(|(s, a)| a.crash.is_none() && reachable(s))
+                .collect();
+        }
+        for i in pick_distinct(&mut rng, crashable.len(), self.regression_crashes) {
+            let (_, a) = crashable[i];
+            ops.push(VersionOp::InjectCrash {
+                action: a.id,
+                probability: self.crash_probability,
+                min_local_depth: self.crash_min_depth,
+                signature: CrashSignature(rng.gen::<u64>()),
+            });
+        }
+        for i in pick_distinct(&mut rng, open_screens.len(), self.method_growth) {
+            let s = open_screens[i];
+            ops.push(VersionOp::GrowMethods {
+                screen: s.id,
+                count: 5,
+            });
+        }
+
+        VersionDiff {
+            from_version,
+            to_version,
+            ops,
+        }
+    }
+
+    /// Samples the next diff and applies it, returning the next version and
+    /// the diff that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AppSimError`] from [`VersionDiff::apply`].
+    pub fn evolve(&self, app: &App, from_version: u64) -> Result<(App, VersionDiff), AppSimError> {
+        let diff = self.diff(app, from_version);
+        Ok((diff.apply(app)?, diff))
+    }
+}
+
+/// Seed mixer: decorrelates (seed, app name, version) triples.
+fn mix(seed: u64, name: &str, from_version: u64) -> u64 {
+    let mut h = seed ^ (from_version + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Partial Fisher–Yates: `k` distinct indices out of `0..pool_len`.
+fn pick_distinct(rng: &mut StdRng, pool_len: usize, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..pool_len).collect();
+    let k = k.min(pool_len);
+    for i in 0..k {
+        let j = rng.gen_range(i..pool_len);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_app, GeneratorConfig};
+
+    fn base() -> App {
+        generate_app(&GeneratorConfig::small("Evo", 7)).expect("valid app")
+    }
+
+    #[test]
+    fn empty_diff_is_identity() {
+        let app = base();
+        let next = VersionDiff::empty(0).apply(&app).expect("apply");
+        assert_eq!(next.method_count(), app.method_count());
+        assert_eq!(next.screen_count(), app.screen_count());
+        for s in app.screens() {
+            assert_eq!(
+                abstract_hierarchy(&app.render_screen(s.id, 0)).id(),
+                abstract_hierarchy(&next.render_screen(s.id, 0)).id(),
+            );
+        }
+    }
+
+    #[test]
+    fn diff_is_deterministic() {
+        let app = base();
+        let evo = AppEvolution::new(11);
+        assert_eq!(evo.diff(&app, 3), evo.diff(&app, 3));
+        assert_ne!(evo.diff(&app, 0), evo.diff(&app, 1));
+    }
+
+    #[test]
+    fn diff_round_trips_through_json() {
+        let app = base();
+        let diff = AppEvolution::new(5).diff(&app, 0);
+        assert!(!diff.is_empty());
+        let json = diff.to_value().to_json_string();
+        let back = VersionDiff::from_value(&Value::parse(&json).expect("parse")).expect("decode");
+        assert_eq!(back, diff);
+    }
+
+    #[test]
+    fn evolve_grows_methods_and_injects_regression() {
+        let app = base();
+        let evo = AppEvolution::new(5);
+        let (next, diff) = evo.evolve(&app, 0).expect("evolve");
+        assert!(next.method_count() > app.method_count());
+        let sigs = diff.injected_signatures();
+        assert_eq!(sigs.len(), 1);
+        let planted = next
+            .screens()
+            .flat_map(|s| s.actions.iter())
+            .any(|a| a.crash.as_ref().map(|c| c.signature) == Some(sigs[0]));
+        assert!(planted, "injected crash must land on an action");
+    }
+
+    #[test]
+    fn touched_surface_tracks_renamed_screens() {
+        let app = base();
+        let diff = AppEvolution::new(5).diff(&app, 0);
+        let touched = diff.touched(&app);
+        assert!(!touched.is_empty());
+        for op in &diff.ops {
+            if let VersionOp::RenameScreen { screen, .. } = op {
+                let old = abstract_hierarchy(&app.render_screen(*screen, 0)).id();
+                assert!(touched.screens.contains(&old));
+                let next = diff.apply(&app).expect("apply");
+                let new = abstract_hierarchy(&next.render_screen(*screen, 0)).id();
+                assert_ne!(old, new, "renamed screen must abstract differently");
+            }
+        }
+    }
+
+    #[test]
+    fn split_preserves_validity_and_reachability() {
+        let app = base();
+        let mut diff = VersionDiff::empty(0);
+        let victim = app
+            .screens()
+            .find(|s| s.id != app.start_screen() && s.actions.len() >= 2)
+            .expect("splittable screen");
+        diff.ops.push(VersionOp::SplitScreen {
+            screen: victim.id,
+            new_name: "Fresh".into(),
+            methods: 4,
+        });
+        let next = diff.apply(&app).expect("apply");
+        assert_eq!(next.screen_count(), app.screen_count() + 1);
+        let host = next.screen(victim.id).expect("old screen survives");
+        assert!(host
+            .actions
+            .iter()
+            .any(|a| a.targets.iter().any(|t| next.screen(t.screen).is_some())));
+    }
+
+    #[test]
+    fn untouched_screens_keep_their_identity_across_a_release() {
+        let app = base();
+        let evo = AppEvolution::new(9);
+        let (next, diff) = evo.evolve(&app, 0).expect("evolve");
+        let touched = diff.touched(&app);
+        for s in app.screens() {
+            let old = abstract_hierarchy(&app.render_screen(s.id, 0)).id();
+            if !touched.screens.contains(&old) {
+                let new = abstract_hierarchy(&next.render_screen(s.id, 0)).id();
+                assert_eq!(old, new, "untouched screen {} must keep identity", s.name);
+            }
+        }
+    }
+}

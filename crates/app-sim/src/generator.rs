@@ -28,6 +28,7 @@ use crate::app::App;
 use crate::builder::AppBuilder;
 use crate::crash::{CrashPoint, CrashSignature};
 use crate::error::AppSimError;
+use crate::evolution::VersionDiff;
 use crate::functionality::STOCK_FUNCTIONALITY_NAMES;
 use crate::spec::LoginSpec;
 
@@ -144,13 +145,35 @@ impl GeneratorConfig {
     }
 }
 
-/// Generates an app from the given shape configuration.
+/// Generates version 0 of an app from the given shape configuration.
+///
+/// Equivalent to [`derive_app`] with no diffs: an app *version* is always
+/// `base spec + ordered diffs`, and this is the zero-diff case.
 ///
 /// # Errors
 ///
 /// Propagates [`AppSimError`] from app assembly; a well-formed config
 /// always produces a valid app.
 pub fn generate_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
+    derive_app(config, &[])
+}
+
+/// Derives an app version as `base spec + ordered diffs`: builds the base
+/// app for `config`, then folds each [`VersionDiff`] in order.
+///
+/// # Errors
+///
+/// Propagates [`AppSimError`] from the base build or any diff application.
+pub fn derive_app(config: &GeneratorConfig, diffs: &[VersionDiff]) -> Result<App, AppSimError> {
+    let mut app = base_app(config)?;
+    for diff in diffs {
+        app = diff.apply(&app)?;
+    }
+    Ok(app)
+}
+
+/// Builds the base (version 0) app: the one-shot generative model.
+fn base_app(config: &GeneratorConfig) -> Result<App, AppSimError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut b = AppBuilder::new(config.name.clone());
 

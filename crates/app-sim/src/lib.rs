@@ -36,6 +36,7 @@ pub mod builder;
 pub mod catalog;
 pub mod crash;
 pub mod error;
+pub mod evolution;
 pub mod functionality;
 pub mod generator;
 pub mod method;
@@ -47,8 +48,9 @@ pub use builder::AppBuilder;
 pub use catalog::{catalog, catalog_entries, CatalogEntry};
 pub use crash::{CrashPoint, CrashSignature};
 pub use error::AppSimError;
+pub use evolution::{AppEvolution, TouchedSurface, VersionDiff, VersionOp};
 pub use functionality::{Functionality, FunctionalityId};
-pub use generator::{generate_app, GeneratorConfig};
+pub use generator::{derive_app, generate_app, GeneratorConfig};
 pub use method::MethodId;
 pub use runtime::{AppRuntime, StepOutcome};
 pub use spec::{ActionSpec, FeedSpec, FlowRule, LoginSpec, ScreenSpec, TransitionTarget};

@@ -33,7 +33,7 @@ use taopt::campaign::{run_campaign, Campaign, CampaignApp, CampaignConfig, Campa
 use taopt::experiments::ExperimentScale;
 use taopt::session::{ParallelSession, RunMode, SessionConfig, SessionResult};
 use taopt_app_sim::{generate_app, GeneratorConfig};
-use taopt_bench::{load_apps, HarnessArgs, NamedApp};
+use taopt_bench::{load_apps, BenchReport, HarnessArgs, NamedApp};
 use taopt_tools::ToolKind;
 use taopt_ui_model::{Value, VirtualDuration};
 
@@ -370,57 +370,43 @@ fn farm(seed: u64) -> ExitCode {
         ("speedup_gate".to_owned(), Value::Float(MIN_FARM_SPEEDUP)),
         ("deterministic".to_owned(), Value::Bool(deterministic)),
     ]);
-    let json = doc.to_json_string();
+    let mut report = BenchReport::new("campaign bench");
     let out = "BENCH_campaign.json";
-    if let Err(e) = std::fs::write(out, &json) {
-        eprintln!("campaign bench FAILED: cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
+    let bytes = report.write_json(out, &doc);
     println!(
         "campaign farm: serial wall {serial_wall} vs pool x{FARM_WORKERS} campaign wall {} \
          -> speedup {speedup:.2}x; host {pool_8_host_ms}ms pooled vs {legacy_host_ms}ms legacy; \
-         deterministic: {deterministic}; wrote {out} ({} bytes)",
+         deterministic: {deterministic}; wrote {out} ({bytes} bytes)",
         pool_8.result.wall_clock,
-        json.len()
     );
 
-    let mut failures = Vec::new();
-    if speedup < MIN_FARM_SPEEDUP {
-        failures.push(format!(
-            "speedup {speedup:.2}x below the {MIN_FARM_SPEEDUP}x farm gate"
-        ));
-    }
-    if !deterministic {
-        failures.push("legacy, pool x1 and pool x8 campaigns diverged".to_owned());
-    }
-    if pool_8.spawned_after_warmup != 0 || pool_8b.spawned_after_warmup != 0 {
-        failures.push(format!(
-            "pooled arm spawned {} host threads after warmup (must be 0)",
-            pool_8
-                .spawned_after_warmup
-                .max(pool_8b.spawned_after_warmup)
-        ));
-    }
-    if pool_8_host_ms >= legacy_host_ms {
-        failures.push(format!(
-            "pooled host {pool_8_host_ms}ms not below legacy nested-spawn {legacy_host_ms}ms"
-        ));
-    }
-    if pool_8.result.lease_conflicts > 0 {
-        failures.push(format!(
+    report.gate(speedup >= MIN_FARM_SPEEDUP, || {
+        format!("speedup {speedup:.2}x below the {MIN_FARM_SPEEDUP}x farm gate")
+    });
+    report.gate(deterministic, || {
+        "legacy, pool x1 and pool x8 campaigns diverged".to_owned()
+    });
+    report.gate(
+        pool_8.spawned_after_warmup == 0 && pool_8b.spawned_after_warmup == 0,
+        || {
+            format!(
+                "pooled arm spawned {} host threads after warmup (must be 0)",
+                pool_8
+                    .spawned_after_warmup
+                    .max(pool_8b.spawned_after_warmup)
+            )
+        },
+    );
+    report.gate(pool_8_host_ms < legacy_host_ms, || {
+        format!("pooled host {pool_8_host_ms}ms not below legacy nested-spawn {legacy_host_ms}ms")
+    });
+    report.gate(pool_8.result.lease_conflicts == 0, || {
+        format!(
             "{} double-allocations observed",
             pool_8.result.lease_conflicts
-        ));
-    }
-    if failures.is_empty() {
-        println!("campaign bench: OK");
-        ExitCode::SUCCESS
-    } else {
-        for f in &failures {
-            eprintln!("campaign bench FAILED: {f}");
-        }
-        ExitCode::FAILURE
-    }
+        )
+    });
+    report.finish()
 }
 
 fn main() -> ExitCode {
@@ -524,44 +510,26 @@ fn main() -> ExitCode {
         ("speedup_virtual_wall".to_owned(), Value::Float(speedup)),
         ("deterministic".to_owned(), Value::Bool(deterministic)),
     ]);
-    let json = doc.to_json_string();
+    let mut report = BenchReport::new("campaign bench");
     let out = "BENCH_campaign.json";
-    if let Err(e) = std::fs::write(out, &json) {
-        eprintln!("campaign bench FAILED: cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
+    let bytes = report.write_json(out, &doc);
     println!(
         "campaign bench: serial wall {} vs campaign wall {} -> speedup {speedup:.2}x \
-         (machine {} vs {}); deterministic: {deterministic}; wrote {out} ({} bytes)",
-        serial_wall,
-        four_workers.wall_clock,
-        serial_machine,
-        four_workers.machine_time,
-        json.len()
+         (machine {} vs {}); deterministic: {deterministic}; wrote {out} ({bytes} bytes)",
+        serial_wall, four_workers.wall_clock, serial_machine, four_workers.machine_time,
     );
 
-    let mut failures = Vec::new();
-    if speedup < MIN_SPEEDUP {
-        failures.push(format!(
-            "speedup {speedup:.2}x below the {MIN_SPEEDUP}x gate"
-        ));
-    }
-    if !deterministic {
-        failures.push("1-worker and 4-worker campaigns diverged".to_owned());
-    }
-    if four_workers.lease_conflicts > 0 {
-        failures.push(format!(
+    report.gate(speedup >= MIN_SPEEDUP, || {
+        format!("speedup {speedup:.2}x below the {MIN_SPEEDUP}x gate")
+    });
+    report.gate(deterministic, || {
+        "1-worker and 4-worker campaigns diverged".to_owned()
+    });
+    report.gate(four_workers.lease_conflicts == 0, || {
+        format!(
             "{} double-allocations observed",
             four_workers.lease_conflicts
-        ));
-    }
-    if failures.is_empty() {
-        println!("campaign bench: OK");
-        ExitCode::SUCCESS
-    } else {
-        for f in &failures {
-            eprintln!("campaign bench FAILED: {f}");
-        }
-        ExitCode::FAILURE
-    }
+        )
+    });
+    report.finish()
 }

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use taopt::report::{pct, TextTable};
 use taopt::session::RunMode;
 use taopt::{run_campaign, run_with_chaos, CampaignApp, CampaignConfig, ChaosReport};
-use taopt_bench::{load_apps, HarnessArgs, NamedApp};
+use taopt_bench::{load_apps, BenchReport, HarnessArgs, NamedApp};
 use taopt_chaos::{FaultInjector, FaultPlan, FaultRates, RecoveryKind};
 use taopt_telemetry::HistogramSnapshot;
 use taopt_tools::ToolKind;
@@ -388,12 +388,9 @@ fn main() -> ExitCode {
         ),
         ("faulted_campaign".to_owned(), campaign_json),
     ]);
-    let json = doc.to_json_string();
+    let mut report = BenchReport::new("chaos bench");
     let out = "BENCH_chaos.json";
-    if let Err(e) = std::fs::write(out, &json) {
-        eprintln!("chaos bench FAILED: cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
+    let bytes = report.write_json(out, &doc);
 
     let gate_row = RATES
         .iter()
@@ -402,24 +399,17 @@ fn main() -> ExitCode {
     let retention = rows[gate_row].coverage as f64 / baseline;
     println!(
         "chaos bench: retention {:.1}% at rate {GATE_RATE:.2}, campaign deterministic: \
-         {campaign_deterministic}; wrote {out} ({} bytes)",
+         {campaign_deterministic}; wrote {out} ({bytes} bytes)",
         retention * 100.0,
-        json.len()
     );
-    if retention < MIN_RETENTION {
-        eprintln!(
-            "chaos bench FAILED: retention {retention:.3} at rate {GATE_RATE:.2} \
-             below gate {MIN_RETENTION:.2}"
-        );
-        return ExitCode::FAILURE;
-    }
-    if orphans != 0 {
-        eprintln!("chaos bench FAILED: {orphans} unresolved orphaned subspaces (expect 0)");
-        return ExitCode::FAILURE;
-    }
-    if !campaign_deterministic {
-        eprintln!("chaos bench FAILED: faulted campaign differs between 1 and 4 workers");
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
+    report.gate(retention >= MIN_RETENTION, || {
+        format!("retention {retention:.3} at rate {GATE_RATE:.2} below gate {MIN_RETENTION:.2}")
+    });
+    report.gate(orphans == 0, || {
+        format!("{orphans} unresolved orphaned subspaces (expect 0)")
+    });
+    report.gate(campaign_deterministic, || {
+        "faulted campaign differs between 1 and 4 workers".to_owned()
+    });
+    report.finish()
 }

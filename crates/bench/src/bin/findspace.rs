@@ -29,6 +29,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use taopt::findspace::{find_space_candidates, FindSpaceConfig, FindSpaceEngine, SimilarityCache};
+use taopt_bench::BenchReport;
 use taopt_ui_model::abstraction::abstract_hierarchy;
 use taopt_ui_model::{
     Action, ActionId, ActivityId, ScreenId, TraceEvent, UiHierarchy, Value, VirtualDuration,
@@ -324,45 +325,30 @@ fn scaled(seed: u64) -> ExitCode {
         ("p95_gate_us".to_owned(), Value::UInt(MAX_P95_US)),
         ("bit_identical".to_owned(), Value::Bool(bit_identical)),
     ]);
-    let json = doc.to_json_string();
+    let mut report = BenchReport::new("findspace bench");
     let out = "BENCH_findspace.json";
-    if let Err(e) = std::fs::write(out, &json) {
-        eprintln!("findspace bench FAILED: cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
+    let bytes = report.write_json(out, &doc);
     println!(
         "findspace scaled: {analyses} analyses over {SCALED_EVENTS} events in {:.1}ms \
          ({rebases} rebases, max window {max_window}); engine p50 {p50_us}us p95 {p95_us}us; \
          bit-identical: {bit_identical}; {splits_found} checkpoints proposed a split; \
-         {cross_checked} rescan cross-checks; wrote {out} ({} bytes)",
+         {cross_checked} rescan cross-checks; wrote {out} ({bytes} bytes)",
         total.as_secs_f64() * 1e3,
-        json.len()
     );
 
-    let mut failures = Vec::new();
-    if !bit_identical {
-        failures.push("vectorized arm diverged from the scalar reference".to_owned());
-    }
-    if p95_us > MAX_P95_US {
-        failures.push(format!(
-            "engine p95 {p95_us}us above the {MAX_P95_US}us gate"
-        ));
-    }
-    if splits_found == 0 {
-        failures.push("replay never proposed a split — trace shape is not protective".to_owned());
-    }
-    if cross_checked == 0 {
-        failures.push("no full-rescan cross-checks ran".to_owned());
-    }
-    if failures.is_empty() {
-        println!("findspace bench: OK");
-        ExitCode::SUCCESS
-    } else {
-        for f in &failures {
-            eprintln!("findspace bench FAILED: {f}");
-        }
-        ExitCode::FAILURE
-    }
+    report.gate(bit_identical, || {
+        "vectorized arm diverged from the scalar reference".to_owned()
+    });
+    report.gate(p95_us <= MAX_P95_US, || {
+        format!("engine p95 {p95_us}us above the {MAX_P95_US}us gate")
+    });
+    report.gate(splits_found > 0, || {
+        "replay never proposed a split — trace shape is not protective".to_owned()
+    });
+    report.gate(cross_checked > 0, || {
+        "no full-rescan cross-checks ran".to_owned()
+    });
+    report.finish()
 }
 
 fn main() -> ExitCode {
@@ -483,40 +469,25 @@ fn main() -> ExitCode {
         ("speedup".to_owned(), Value::Float(speedup)),
         ("bit_identical".to_owned(), Value::Bool(all_identical)),
     ]);
-    let json = doc.to_json_string();
+    let mut report = BenchReport::new("findspace bench");
     let out = "BENCH_findspace.json";
-    if let Err(e) = std::fs::write(out, &json) {
-        eprintln!("findspace bench FAILED: cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
+    let bytes = report.write_json(out, &doc);
     println!(
         "findspace bench: {analyses} analyses over {n_events} events -> rescan {:.1}ms, \
          engine {:.1}ms, speedup {speedup:.1}x; bit-identical: {all_identical}; \
-         {splits_found} checkpoints proposed a split; wrote {out} ({} bytes)",
+         {splits_found} checkpoints proposed a split; wrote {out} ({bytes} bytes)",
         rescan.as_secs_f64() * 1e3,
         engine_total.as_secs_f64() * 1e3,
-        json.len()
     );
 
-    let mut failures = Vec::new();
-    if !all_identical {
-        failures.push("engine diverged from full-rescan reference".to_owned());
-    }
-    if speedup < MIN_SPEEDUP {
-        failures.push(format!(
-            "speedup {speedup:.2}x below the {MIN_SPEEDUP}x gate"
-        ));
-    }
-    if splits_found == 0 {
-        failures.push("replay never proposed a split — trace shape is not protective".to_owned());
-    }
-    if failures.is_empty() {
-        println!("findspace bench: OK");
-        ExitCode::SUCCESS
-    } else {
-        for f in &failures {
-            eprintln!("findspace bench FAILED: {f}");
-        }
-        ExitCode::FAILURE
-    }
+    report.gate(all_identical, || {
+        "engine diverged from full-rescan reference".to_owned()
+    });
+    report.gate(speedup >= MIN_SPEEDUP, || {
+        format!("speedup {speedup:.2}x below the {MIN_SPEEDUP}x gate")
+    });
+    report.gate(splits_found > 0, || {
+        "replay never proposed a split — trace shape is not protective".to_owned()
+    });
+    report.finish()
 }

@@ -23,7 +23,7 @@ use std::time::Instant;
 use taopt::report::TextTable;
 use taopt::run_campaign;
 use taopt::session::RunMode;
-use taopt_bench::{load_apps, HarnessArgs};
+use taopt_bench::{load_apps, BenchReport, HarnessArgs};
 use taopt_server::{serve, Client, ServerConfig};
 use taopt_service::checkpoint as ckpt_codec;
 use taopt_service::{
@@ -269,35 +269,25 @@ fn main() -> ExitCode {
         ("wire_ms".to_owned(), Value::UInt(wire_ms)),
         ("direct_ms".to_owned(), Value::UInt(direct_ms)),
     ]);
-    let json = doc.to_json_string();
+    let mut report = BenchReport::new("server bench");
     let out = "BENCH_server.json";
-    if let Err(e) = std::fs::write(out, &json) {
-        eprintln!("server bench FAILED: cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
-    println!("server bench: wrote {out} ({} bytes)", json.len());
+    let bytes = report.write_json(out, &doc);
+    println!("server bench: wrote {out} ({bytes} bytes)");
     handle_a.stop().shutdown();
     handle_b.stop().shutdown();
     let _ = std::fs::remove_dir_all(&base);
 
-    if !all_identical {
-        eprintln!("server bench FAILED: a wire-produced report diverged from its direct run");
-        return ExitCode::FAILURE;
-    }
-    if migrated_round == 0 {
-        eprintln!("server bench FAILED: the migrated checkpoint was not mid-flight");
-        return ExitCode::FAILURE;
-    }
-    if !gone_from_a {
-        eprintln!("server bench FAILED: shard A still knows the migrated campaign");
-        return ExitCode::FAILURE;
-    }
-    if status_p95_us > MAX_STATUS_P95_US {
-        eprintln!(
-            "server bench FAILED: p95 status latency {status_p95_us}us exceeds \
-             {MAX_STATUS_P95_US}us"
-        );
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
+    report.gate(all_identical, || {
+        "a wire-produced report diverged from its direct run".to_owned()
+    });
+    report.gate(migrated_round > 0, || {
+        "the migrated checkpoint was not mid-flight".to_owned()
+    });
+    report.gate(gone_from_a, || {
+        "shard A still knows the migrated campaign".to_owned()
+    });
+    report.gate(status_p95_us <= MAX_STATUS_P95_US, || {
+        format!("p95 status latency {status_p95_us}us exceeds {MAX_STATUS_P95_US}us")
+    });
+    report.finish()
 }

@@ -23,7 +23,7 @@ use std::time::Instant;
 use taopt::report::TextTable;
 use taopt::run_campaign;
 use taopt::session::RunMode;
-use taopt_bench::{load_apps, HarnessArgs};
+use taopt_bench::{load_apps, BenchReport, HarnessArgs};
 use taopt_service::{
     AppSource, AppSpec, CampaignService, CampaignSpec, CampaignStatus, CheckpointStore,
     ServiceConfig,
@@ -241,30 +241,21 @@ fn main() -> ExitCode {
         ("direct_ms".to_owned(), Value::UInt(direct_ms)),
         ("recover_drain_ms".to_owned(), Value::UInt(recover_ms)),
     ]);
-    let json = doc.to_json_string();
+    let mut report = BenchReport::new("service bench");
     let out = "BENCH_service.json";
-    if let Err(e) = std::fs::write(out, &json) {
-        eprintln!("service bench FAILED: cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
-    println!("service bench: wrote {out} ({} bytes)", json.len());
+    let bytes = report.write_json(out, &doc);
+    println!("service bench: wrote {out} ({bytes} bytes)");
     service.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 
-    if !all_identical {
-        eprintln!("service bench FAILED: a recovered campaign diverged from its direct run");
-        return ExitCode::FAILURE;
-    }
-    if mid_flight == 0 {
-        eprintln!("service bench FAILED: no campaign was mid-flight at the kill");
-        return ExitCode::FAILURE;
-    }
-    if resume_p95_us > MAX_RESUME_P95_US {
-        eprintln!(
-            "service bench FAILED: p95 resume latency {resume_p95_us}us exceeds \
-             {MAX_RESUME_P95_US}us"
-        );
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
+    report.gate(all_identical, || {
+        "a recovered campaign diverged from its direct run".to_owned()
+    });
+    report.gate(mid_flight > 0, || {
+        "no campaign was mid-flight at the kill".to_owned()
+    });
+    report.gate(resume_p95_us <= MAX_RESUME_P95_US, || {
+        format!("p95 resume latency {resume_p95_us}us exceeds {MAX_RESUME_P95_US}us")
+    });
+    report.finish()
 }

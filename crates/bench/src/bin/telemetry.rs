@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use taopt::run_with_chaos;
 use taopt::session::RunMode;
-use taopt_bench::{load_apps, HarnessArgs};
+use taopt_bench::{load_apps, BenchReport, HarnessArgs};
 use taopt_chaos::{FaultInjector, FaultPlan, FaultRates};
 use taopt_telemetry::HistogramSnapshot;
 use taopt_tools::ToolKind;
@@ -139,41 +139,33 @@ fn main() -> ExitCode {
         json.len()
     );
 
-    let mut failures: Vec<String> = Vec::new();
-    if snapshot.is_empty() {
-        failures.push("metrics snapshot is empty".to_owned());
-    }
+    let mut report = BenchReport::new("telemetry smoke");
+    report.gate(!snapshot.is_empty(), || {
+        "metrics snapshot is empty".to_owned()
+    });
     for name in REQUIRED_COUNTERS {
-        if snapshot.counter_total(name) == 0 {
-            failures.push(format!("counter {name} never incremented"));
-        }
+        report.gate(snapshot.counter_total(name) > 0, || {
+            format!("counter {name} never incremented")
+        });
     }
     for series in REQUIRED_HISTOGRAMS {
-        match snapshot.histograms.get(series) {
-            Some(h) if !h.is_empty() => {}
-            _ => failures.push(format!("histogram {series} is missing or empty")),
-        }
+        report.gate(
+            snapshot
+                .histograms
+                .get(series)
+                .is_some_and(|h| !h.is_empty()),
+            || format!("histogram {series} is missing or empty"),
+        );
     }
-    if last.is_empty() {
-        failures.push("flight recorder is empty".to_owned());
-    }
-    if !in_order {
-        failures.push("flight replay out of sequence order".to_owned());
-    }
-    if parsed_len != last.len() {
-        failures.push(format!(
+    report.gate(!last.is_empty(), || "flight recorder is empty".to_owned());
+    report.gate(in_order, || {
+        "flight replay out of sequence order".to_owned()
+    });
+    report.gate(parsed_len == last.len(), || {
+        format!(
             "flight JSON round-trip lost events ({parsed_len} != {})",
             last.len()
-        ));
-    }
-
-    if failures.is_empty() {
-        println!("telemetry smoke: OK");
-        ExitCode::SUCCESS
-    } else {
-        for f in &failures {
-            eprintln!("telemetry smoke FAILED: {f}");
-        }
-        ExitCode::FAILURE
-    }
+        )
+    });
+    report.finish()
 }

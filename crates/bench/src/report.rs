@@ -1,0 +1,121 @@
+//! Shared `BENCH_*.json` writer and gate-exit plumbing for the bench
+//! binaries.
+//!
+//! Every gated bench bin ends the same way: serialize a JSON document to
+//! `BENCH_<name>.json`, evaluate a handful of pass/fail gates, print one
+//! `<label> FAILED: <reason>` line per broken gate (or `<label>: OK`),
+//! and exit non-zero when anything failed. [`BenchReport`] centralizes
+//! that tail so the bins only state their gates.
+
+use std::process::ExitCode;
+
+use taopt_ui_model::Value;
+
+/// Collects gate failures for one bench binary and turns them into the
+/// process exit code.
+#[derive(Debug)]
+pub struct BenchReport {
+    label: String,
+    failures: Vec<String>,
+}
+
+impl BenchReport {
+    /// A report for the bin labelled `label` (e.g. `"campaign bench"`);
+    /// the label prefixes every failure line and the final OK line.
+    pub fn new(label: impl Into<String>) -> Self {
+        BenchReport {
+            label: label.into(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Serializes `doc` to `path`, recording a failure if the write
+    /// fails. Returns the bytes written (0 on failure) so callers can
+    /// keep reporting the artifact size.
+    pub fn write_json(&mut self, path: &str, doc: &Value) -> usize {
+        let json = doc.to_json_string();
+        match std::fs::write(path, &json) {
+            Ok(()) => json.len(),
+            Err(e) => {
+                self.fail(format!("cannot write {path}: {e}"));
+                0
+            }
+        }
+    }
+
+    /// Records a failure when `ok` is false; the message is built lazily.
+    pub fn gate(&mut self, ok: bool, msg: impl FnOnce() -> String) {
+        if !ok {
+            self.failures.push(msg());
+        }
+    }
+
+    /// Records an unconditional failure.
+    pub fn fail(&mut self, msg: impl Into<String>) {
+        self.failures.push(msg.into());
+    }
+
+    /// Whether any gate has failed so far.
+    pub fn is_failing(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Prints the verdict — `<label>: OK`, or one `<label> FAILED: ...`
+    /// line per broken gate — and returns the matching exit code.
+    pub fn finish(self) -> ExitCode {
+        if self.failures.is_empty() {
+            println!("{}: OK", self.label);
+            ExitCode::SUCCESS
+        } else {
+            for f in &self.failures {
+                eprintln!("{} FAILED: {f}", self.label);
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_succeeds() {
+        let mut r = BenchReport::new("t");
+        r.gate(true, || unreachable!("gate message built only on failure"));
+        assert!(!r.is_failing());
+        // ExitCode is opaque (no PartialEq); compare debug renderings.
+        assert_eq!(
+            format!("{:?}", r.finish()),
+            format!("{:?}", ExitCode::SUCCESS)
+        );
+    }
+
+    #[test]
+    fn any_failed_gate_fails_the_exit() {
+        let mut r = BenchReport::new("t");
+        r.gate(false, || "broken".to_owned());
+        r.fail("also broken");
+        assert!(r.is_failing());
+        assert_eq!(
+            format!("{:?}", r.finish()),
+            format!("{:?}", ExitCode::FAILURE)
+        );
+    }
+
+    #[test]
+    fn write_json_reports_bytes_and_records_io_failures() {
+        let dir = std::env::temp_dir().join(format!("taopt-bench-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let mut r = BenchReport::new("t");
+        let doc = Value::Object(vec![("x".to_owned(), Value::UInt(1))]);
+        let n = r.write_json(path.to_str().unwrap(), &doc);
+        assert_eq!(n, std::fs::read(&path).unwrap().len());
+        assert!(!r.is_failing());
+        // A directory path cannot be written as a file.
+        assert_eq!(r.write_json(dir.to_str().unwrap(), &doc), 0);
+        assert!(r.is_failing());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,6 +25,7 @@ use crate::campaign::pool::ComputePool;
 use crate::findspace::{
     FindSpaceConfig, FindSpaceEngine, ScreenArena, SimilarityCache, SplitCandidate,
 };
+use crate::warmstart::{WarmStart, WarmSubspace};
 
 /// Containment coefficient `|A∩B| / min(|A|, |B|)` (1.0 when either set
 /// is contained in the other; 0 when disjoint or either is empty).
@@ -240,6 +241,70 @@ impl OnlineTraceAnalyzer {
         }
     }
 
+    /// Creates an analyzer seeded from a previous campaign's
+    /// [`WarmStart`] bundle.
+    ///
+    /// The pure accelerators (similarity decisions, arena reps) are
+    /// seeded unconditionally — they can only skip computes. Each bundled
+    /// subspace enters the registry already-confirmed with **no owner and
+    /// no reporters**: the coordinator's `register_instance` then blocks
+    /// its entrypoints on every booting instance, and the per-round
+    /// orphan-repair pass re-dedicates it at the first round — "untouched
+    /// subspaces are re-dedicated immediately". Callers are responsible
+    /// for invalidating the bundle against the release diff first
+    /// ([`WarmStart::invalidate`]).
+    pub fn with_warm_start(config: AnalyzerConfig, warm: &WarmStart) -> Self {
+        let mut a = Self::new(config);
+        let seeded = a.similarity_cache.seed(warm.similarity.iter());
+        a.cache_entries.set(a.similarity_cache.len() as i64);
+        // Gauge-consistency contract with `forget_instance`: on a fresh
+        // cache every bundled entry inserts exactly once, so the gauge
+        // equals the seed count — seeded entries are never double-counted.
+        debug_assert_eq!(
+            a.similarity_cache.len(),
+            seeded,
+            "warm-start seeded a non-fresh similarity cache"
+        );
+        for rep in &warm.arena_reps {
+            a.arena.resolve(rep);
+        }
+        for ws in &warm.subspaces {
+            let id = SubspaceId(a.subspaces.len() as u32);
+            a.subspaces.push(SubspaceInfo {
+                id,
+                entrypoints: ws.entrypoints.clone(),
+                screens: ws.screens.clone(),
+                reporters: BTreeSet::new(),
+                confirmed: true,
+                first_reported: VirtualTime::ZERO,
+                owner: None,
+            });
+        }
+        if !a.subspaces.is_empty() {
+            a.version += 1;
+        }
+        a
+    }
+
+    /// Captures the learned state of this analyzer as a [`WarmStart`]
+    /// bundle for the next version's campaign. Call before instances are
+    /// forgotten (retirement evicts cache entries). `coverage_baseline`
+    /// is the capturing session's final union coverage.
+    pub fn warm_start(&self, coverage_baseline: usize) -> WarmStart {
+        WarmStart {
+            subspaces: self
+                .confirmed()
+                .map(|s| WarmSubspace {
+                    entrypoints: s.entrypoints.clone(),
+                    screens: s.screens.clone(),
+                })
+                .collect(),
+            similarity: self.similarity_cache.snapshot().into_iter().collect(),
+            arena_reps: self.arena.reps_snapshot(),
+            coverage_baseline,
+        }
+    }
+
     /// Attaches a campaign-wide [`ComputePool`]: phase A of
     /// [`ingest_round`](Self::ingest_round) is then scheduled on it
     /// whenever its budget and the batch allow parallelism, superseding
@@ -437,7 +502,7 @@ impl OnlineTraceAnalyzer {
     ///
     /// Phase A runs the registry-free work for the whole batch —
     /// due-gating, the per-instance sweep, **and candidate validation**
-    /// ([`validate_candidates`](Self::validate_candidates) reads only
+    /// (`validate_candidates` reads only
     /// the trace window and config thresholds) — on the attached
     /// [`ComputePool`] when one is set (the campaign-wide budget), else
     /// across the legacy `analysis_workers` scoped threads. Per-instance
@@ -1001,6 +1066,50 @@ mod tests {
         let b = pooled.ingest_round(&batch_b, now);
         assert_eq!(a, b);
         assert_eq!(inline.subspaces(), pooled.subspaces());
+    }
+
+    #[test]
+    fn warm_seeding_does_not_double_count_cache_entries() {
+        let warm = WarmStart {
+            similarity: vec![((1, 2), true), ((1, 3), false)],
+            ..WarmStart::default()
+        };
+        let mut a = OnlineTraceAnalyzer::with_warm_start(AnalyzerConfig::resource_mode(), &warm);
+        assert_eq!(a.similarity_cache().len(), 2);
+        // Re-seeding the same entries inserts nothing: the gauge set in
+        // `with_warm_start` counted each decision exactly once.
+        assert_eq!(a.similarity_cache().seed(warm.similarity.iter()), 0);
+        assert_eq!(a.similarity_cache().len(), 2);
+        // `forget_instance` on an unknown instance must not disturb the
+        // seeded entries (both paths move the same gauge).
+        a.forget_instance(InstanceId(99));
+        assert_eq!(a.similarity_cache().len(), 2);
+    }
+
+    #[test]
+    fn warm_start_round_trips_confirmed_subspaces_ownerless() {
+        let mut a = OnlineTraceAnalyzer::new(AnalyzerConfig::resource_mode());
+        let id = a
+            .register_report(
+                InstanceId(0),
+                rule(1, "tab_a"),
+                screens(&[10, 11]),
+                VirtualTime::ZERO,
+            )
+            .unwrap();
+        a.set_owner(id, InstanceId(0));
+        let warm = a.warm_start(123);
+        assert_eq!(warm.subspaces.len(), 1);
+        assert_eq!(warm.coverage_baseline, 123);
+        // Seeded subspaces arrive confirmed but ownerless and
+        // reporter-free: the coordinator blocks them everywhere and the
+        // orphan-repair pass re-dedicates them at round 1.
+        let b = OnlineTraceAnalyzer::with_warm_start(AnalyzerConfig::duration_mode(), &warm);
+        let seeded: Vec<_> = b.confirmed().collect();
+        assert_eq!(seeded.len(), 1);
+        assert_eq!(seeded[0].owner, None);
+        assert!(seeded[0].reporters.is_empty());
+        assert_eq!(seeded[0].entrypoints, vec![rule(1, "tab_a")]);
     }
 
     #[test]

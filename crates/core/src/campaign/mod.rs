@@ -25,6 +25,10 @@
 //!   campaign runs under deterministic fault injection (a chaos campaign).
 //!   [`scheduler::Campaign`] is the same loop held open one round at a
 //!   time, for drivers that interleave checkpointing with execution;
+//! * [`sequence`] — [`sequence::run_campaign_sequence`], longitudinal
+//!   sequences over app releases: one campaign per version, threading
+//!   [`crate::warmstart::WarmStart`] bundles across release boundaries
+//!   and emitting per-version [`sequence::EvolutionReport`]s;
 //! * [`snapshot`] — [`snapshot::CampaignDigest`], the round-boundary
 //!   fingerprint a durable checkpoint stores and a restore replay must
 //!   reproduce.
@@ -36,6 +40,7 @@ pub mod layers;
 pub mod lease;
 pub mod pool;
 pub mod scheduler;
+pub mod sequence;
 pub mod snapshot;
 pub mod step;
 
@@ -44,6 +49,9 @@ pub use lease::LeaseLedger;
 pub use pool::ComputePool;
 pub use scheduler::{
     run_campaign, AppReport, Campaign, CampaignApp, CampaignConfig, CampaignResult, KillEvent,
+};
+pub use sequence::{
+    run_campaign_sequence, CampaignSequence, EvolutionAppReport, EvolutionReport, VersionOutcome,
 };
 pub use snapshot::{CampaignDigest, SlotDigest};
 pub use step::{

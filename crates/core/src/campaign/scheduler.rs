@@ -183,6 +183,12 @@ pub struct AppReport {
     pub wait_rounds: u64,
     /// Global round at which the app finished.
     pub finished_round: u64,
+    /// Learned analyzer state captured for the next version's campaign
+    /// (present iff the app's config set `capture_warm_start` and its
+    /// mode ran TaOPT). Deliberately excluded from
+    /// [`CampaignResult::coverage_report`]: the bundle is an input to the
+    /// *next* campaign, not part of this one's compared outcome.
+    pub warm: Option<crate::warmstart::WarmStart>,
 }
 
 /// The complete outcome of a campaign run.
@@ -684,6 +690,7 @@ impl Campaign {
                     enforcement_retries: fin.enforcement_retries,
                     wait_rounds: s.wait_rounds,
                     finished_round: self.round,
+                    warm: fin.warm,
                 });
             }
         }
@@ -788,6 +795,7 @@ impl Campaign {
                     enforcement_retries: fin.enforcement_retries,
                     wait_rounds: s.wait_rounds,
                     finished_round: self.round,
+                    warm: fin.warm,
                 });
             }
             reports.push(s.report.take().expect("every app finished"));

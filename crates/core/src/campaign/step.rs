@@ -142,6 +142,9 @@ pub struct SessionFinish {
     /// Enforcement deliveries that needed at least one retry (zero under
     /// direct wiring).
     pub enforcement_retries: usize,
+    /// Learned analyzer state captured for the next version's campaign
+    /// (present iff the config asked for it and the mode ran TaOPT).
+    pub warm: Option<crate::warmstart::WarmStart>,
 }
 
 /// One live instance plus scheduling bookkeeping.
@@ -280,8 +283,13 @@ impl SessionStep {
         } else {
             None
         };
-        let coordinator =
-            TestCoordinator::new(config.analyzer.clone()).with_stall_timeout(config.stall_timeout);
+        let coordinator = match config.warm_start.as_deref() {
+            Some(warm) if config.mode.uses_taopt() => {
+                TestCoordinator::with_warm_start(config.analyzer.clone(), warm)
+            }
+            _ => TestCoordinator::new(config.analyzer.clone()),
+        }
+        .with_stall_timeout(config.stall_timeout);
         let budget = config.effective_budget();
         SessionStep {
             app,
@@ -766,6 +774,11 @@ impl SessionStep {
         } else {
             0
         };
+        // Capture the warm bundle *before* draining: retiring an instance
+        // evicts its similarity-cache entries, and the bundle should carry
+        // everything the campaign learned.
+        let warm = (self.config.capture_warm_start && uses_taopt)
+            .then(|| self.coordinator.analyzer().warm_start(self.union.len()));
         let end = self.now;
         let mut released = Vec::new();
         while !self.active.is_empty() {
@@ -797,6 +810,7 @@ impl SessionStep {
             unresolved_orphans,
             stream: self.stream_total,
             enforcement_retries: self.layers.enforcement.reapplied(),
+            warm,
         }
     }
 

@@ -79,6 +79,22 @@ impl TestCoordinator {
         }
     }
 
+    /// Creates a coordinator whose analyzer is seeded from a previous
+    /// campaign's [`WarmStart`](crate::warmstart::WarmStart) bundle (see
+    /// [`OnlineTraceAnalyzer::with_warm_start`]). Seeded subspaces arrive
+    /// confirmed and ownerless, so [`Self::register_instance`] blocks
+    /// them on every booting instance and the session's orphan-repair
+    /// pass re-dedicates each at the first round.
+    pub fn with_warm_start(config: AnalyzerConfig, warm: &crate::warmstart::WarmStart) -> Self {
+        TestCoordinator {
+            analyzer: OnlineTraceAnalyzer::with_warm_start(config, warm),
+            blocklists: BTreeMap::new(),
+            stall_timeout: VirtualDuration::from_mins(1),
+            events: Vec::new(),
+            tombstoned: std::collections::BTreeSet::new(),
+        }
+    }
+
     /// Overrides the stall timeout.
     pub fn with_stall_timeout(mut self, timeout: VirtualDuration) -> Self {
         self.stall_timeout = timeout;
@@ -572,6 +588,35 @@ mod tests {
             c.orphaned_subspaces().is_empty(),
             "tombstones are not orphans"
         );
+    }
+
+    #[test]
+    fn warm_seeded_subspaces_block_everyone_then_rededicate_immediately() {
+        use crate::warmstart::{WarmStart, WarmSubspace};
+        let warm = WarmStart {
+            subspaces: vec![WarmSubspace {
+                entrypoints: vec![rule(1, "tab_shop")],
+                screens: screens(&[5, 6, 7]),
+            }],
+            ..WarmStart::default()
+        };
+        let mut c = TestCoordinator::with_warm_start(AnalyzerConfig::duration_mode(), &warm);
+        // Booting instances inherit the block: carried territory is
+        // sealed until an owner is chosen.
+        let bl0 = shared_block_list();
+        let bl1 = shared_block_list();
+        c.register_instance(InstanceId(0), bl0.clone());
+        c.register_instance(InstanceId(1), bl1.clone());
+        assert_eq!(bl0.read().rules().len(), 1);
+        assert_eq!(bl1.read().rules().len(), 1);
+        // Ownerless + confirmed = orphaned: the per-round repair pass
+        // re-dedicates at the first opportunity.
+        let orphans = c.orphaned_subspaces();
+        assert_eq!(orphans.len(), 1);
+        let heir = c.rededicate(orphans[0], VirtualTime::from_secs(10));
+        assert_eq!(heir, Some(InstanceId(0)));
+        assert!(bl0.read().is_empty(), "heir regains access");
+        assert_eq!(bl1.read().rules().len(), 1, "non-owner stays blocked");
     }
 
     #[test]

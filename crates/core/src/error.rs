@@ -18,6 +18,8 @@ pub enum TaoptError {
     BadConfig(String),
     /// A subspace id was referenced that does not exist.
     UnknownSubspace(u32),
+    /// Deriving the next app version in a campaign sequence failed.
+    Evolution(String),
 }
 
 impl fmt::Display for TaoptError {
@@ -28,6 +30,7 @@ impl fmt::Display for TaoptError {
             }
             TaoptError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
             TaoptError::UnknownSubspace(id) => write!(f, "unknown subspace id {id}"),
+            TaoptError::Evolution(msg) => write!(f, "app evolution failed: {msg}"),
         }
     }
 }
@@ -48,5 +51,6 @@ mod tests {
         .contains('3'));
         assert!(TaoptError::BadConfig("x".into()).to_string().contains('x'));
         assert!(TaoptError::UnknownSubspace(7).to_string().contains('7'));
+        assert!(TaoptError::Evolution("y".into()).to_string().contains('y'));
     }
 }

@@ -104,6 +104,22 @@ impl ScreenArena {
         self.inner.read().expect("screen arena poisoned").reps[id as usize].clone()
     }
 
+    /// A snapshot of every interned representative event, sorted by
+    /// abstract id so the snapshot is independent of interning race order
+    /// (arena ids themselves never leak into results). Used to capture
+    /// warm-start bundles; re-interning the snapshot into a fresh arena
+    /// pre-seeds it without affecting any analysis outcome.
+    pub fn reps_snapshot(&self) -> Vec<TraceEvent> {
+        let mut reps = self
+            .inner
+            .read()
+            .expect("screen arena poisoned")
+            .reps
+            .clone();
+        reps.sort_by_key(|e| e.abstract_id.0);
+        reps
+    }
+
     /// The abstract-screen id behind an arena id.
     pub fn abstract_id(&self, id: u32) -> u64 {
         self.inner.read().expect("screen arena poisoned").reps[id as usize]

@@ -487,13 +487,13 @@ impl FindSpaceEngine {
     /// ascending score order — bit-identical to
     /// [`find_space_candidates`](super::find_space_candidates) on the
     /// same events with the same cache. Runs the vectorized sweep at
-    /// [`DEFAULT_LANES`].
+    /// `DEFAULT_LANES`.
     pub fn analyze(&mut self, k: usize) -> Vec<SplitCandidate> {
         self.analyze_with_lanes(k, DEFAULT_LANES)
     }
 
     /// The vectorized sweep at an explicit lane width in
-    /// `1..=`[`MAX_LANES`] (clamped): runs are segmented where both
+    /// `1..=MAX_LANES` (clamped): runs are segmented where both
     /// cursors are constant, and each run's scores are evaluated over
     /// contiguous `pair_base` in `lanes`-wide chunks. Every width
     /// produces bit-identical output — the per-`p` expression performs

@@ -84,12 +84,14 @@ pub mod resilience;
 pub mod session;
 pub mod streaming;
 pub mod theorem;
+pub mod warmstart;
 
 pub use analyzer::{AnalyzerConfig, OnlineTraceAnalyzer, SubspaceId, SubspaceInfo};
 pub use campaign::{
-    run_campaign, AppReport, BusTransport, Campaign, CampaignApp, CampaignConfig, CampaignDigest,
-    CampaignResult, ComputePool, DirectEnforcement, Enforcement, FaultyBus, InertBus, KillEvent,
-    SessionStep, StepLayers, StepProgress,
+    run_campaign, run_campaign_sequence, AppReport, BusTransport, Campaign, CampaignApp,
+    CampaignConfig, CampaignDigest, CampaignResult, CampaignSequence, ComputePool,
+    DirectEnforcement, Enforcement, EvolutionAppReport, EvolutionReport, FaultyBus, InertBus,
+    KillEvent, SessionStep, StepLayers, StepProgress, VersionOutcome,
 };
 pub use chaos_session::{run_with_chaos, ChaosReport};
 pub use conductance::{conductance, partition_score};
@@ -99,3 +101,4 @@ pub use findspace::{find_space, FindSpaceConfig, SplitCandidate};
 pub use resilience::{BroadcastEnforcement, EnforcementBroadcaster, ReplacementQueue, RetryPolicy};
 pub use session::{ParallelSession, RunMode, SessionConfig, SessionResult};
 pub use streaming::{StreamStats, StreamingAnalyzer};
+pub use warmstart::{WarmReuse, WarmStart, WarmSubspace};

@@ -100,6 +100,14 @@ pub struct SessionConfig {
     /// golden-trace fixture runs both arms); `false` forces the legacy
     /// serial loop.
     pub batched_ingestion: bool,
+    /// Learned analyzer state from a previous version's campaign. When
+    /// set (and the mode runs the TaOPT coordinator), the analyzer boots
+    /// seeded with it instead of cold; see [`crate::warmstart`].
+    pub warm_start: Option<Arc<crate::warmstart::WarmStart>>,
+    /// Capture a [`crate::warmstart::WarmStart`] bundle when the session
+    /// finishes (TaOPT modes only), surfaced through
+    /// `SessionFinish::warm` / `AppReport::warm`.
+    pub capture_warm_start: bool,
 }
 
 impl SessionConfig {
@@ -122,6 +130,8 @@ impl SessionConfig {
             analyzer,
             emulator: taopt_device::EmulatorConfig::default(),
             batched_ingestion: true,
+            warm_start: None,
+            capture_warm_start: false,
         }
     }
 

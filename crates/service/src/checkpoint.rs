@@ -48,8 +48,15 @@ pub struct Checkpoint {
     /// Scheduling priority (higher runs first).
     pub priority: u8,
     /// Global round the campaign had completed. 0 with no digest means
-    /// the campaign was submitted but never started.
+    /// the campaign was submitted but never started. For evolution
+    /// campaigns this is the round *within* [`Checkpoint::sequence_version`].
     pub round: u64,
+    /// For evolution campaigns, the release version `round` belongs to
+    /// (the sequence cursor). Plain campaigns — and every checkpoint
+    /// written before the evolution section existed — use 0, which is why
+    /// the field is serialized only when nonzero and an absent field
+    /// parses as 0.
+    pub sequence_version: u64,
     /// The campaign's complete input.
     pub spec: CampaignSpec,
     /// Digest at `round`; a restore replay must reproduce it exactly.
@@ -65,6 +72,12 @@ impl Checkpoint {
             ("round".to_owned(), Value::UInt(self.round)),
             ("spec".to_owned(), self.spec.to_value()),
         ];
+        if self.sequence_version > 0 {
+            fields.push((
+                "sequence_version".to_owned(),
+                Value::UInt(self.sequence_version),
+            ));
+        }
         if let Some(d) = &self.digest {
             fields.push(("digest".to_owned(), d.to_value()));
         }
@@ -89,6 +102,14 @@ impl Checkpoint {
             campaign: u("campaign")?,
             priority: u("priority")? as u8,
             round: u("round")?,
+            // Optional for back-compat: pre-evolution checkpoints have no
+            // sequence cursor and resume at version 0.
+            sequence_version: match v.get("sequence_version") {
+                None | Some(Value::Null) => 0,
+                Some(sv) => sv.as_u64().ok_or_else(|| {
+                    taopt_ui_model::json::JsonError::conversion("sequence_version must be a u64")
+                })?,
+            },
             spec: CampaignSpec::from_value(v.require("spec")?)?,
             digest: match v.get("digest") {
                 None | Some(Value::Null) => None,
@@ -272,6 +293,7 @@ mod tests {
             campaign: 3,
             priority: 7,
             round,
+            sequence_version: 0,
             spec: CampaignSpec::new(
                 "t",
                 vec![AppSpec {
@@ -316,6 +338,21 @@ mod tests {
             Err(ServiceError::Corrupt { path, .. }) => assert_eq!(path, "peer:1234"),
             other => panic!("expected Corrupt, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sequence_cursor_roundtrips_and_defaults_to_zero() {
+        // Nonzero cursor survives the wire format.
+        let mut ckpt = sample(4);
+        ckpt.sequence_version = 2;
+        let back = decode(&encode(&ckpt), "test").unwrap();
+        assert_eq!(back.sequence_version, 2);
+        // Cursor 0 is omitted from the payload, so the bytes written for a
+        // plain campaign are exactly the pre-evolution format — and any
+        // old checkpoint without the field parses as version 0.
+        let legacy = encode(&sample(4));
+        assert!(!legacy.contains("sequence_version"));
+        assert_eq!(decode(&legacy, "test").unwrap().sequence_version, 0);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! - **Live status** — per-campaign rounds, queue depth, leased capacity
 //!   and resume latency are published through the process-global
 //!   [`taopt_telemetry`] registry ([`CampaignService::metrics_text`]).
+//! - **Longitudinal campaigns** — a spec with an [`EvolutionSpec`]
+//!   section runs one campaign per app release ([`taopt::CampaignSequence`]),
+//!   threading warm-start analyzer state across versions; checkpoints
+//!   carry a sequence cursor so a killed release train resumes
+//!   mid-version, and the final report combines every release's
+//!   [`taopt::EvolutionReport`] with its coverage report.
 //!
 //! ```no_run
 //! use taopt_service::{AppSource, AppSpec, CampaignSpec, CampaignService, ServiceConfig};
@@ -57,4 +63,4 @@ pub use error::ServiceError;
 pub use service::{
     CampaignId, CampaignService, CampaignStatus, Priority, RecoveryReport, ServiceConfig,
 };
-pub use spec::{AppSource, AppSpec, CampaignSpec};
+pub use spec::{AppSource, AppSpec, CampaignSpec, EvolutionSpec};

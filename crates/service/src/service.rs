@@ -33,9 +33,11 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use taopt::{Campaign, CampaignDigest};
+use taopt::{Campaign, CampaignDigest, CampaignSequence};
+use taopt_app_sim::AppEvolution;
 use taopt_chaos::{FaultKind, RecoveryKind};
 use taopt_telemetry::Labels;
+use taopt_ui_model::json::Value;
 use taopt_ui_model::VirtualTime;
 
 use crate::checkpoint::{Checkpoint, CheckpointStore, CHECKPOINT_VERSION};
@@ -102,6 +104,8 @@ struct Entry {
     status: CampaignStatus,
     report: Option<String>,
     resume_round: u64,
+    /// Release version `resume_round` belongs to (0 for plain campaigns).
+    resume_sequence_version: u64,
     resume_digest: Option<CampaignDigest>,
     pause: Arc<AtomicBool>,
     /// Mid-export: the scheduler must not (re-)admit this campaign while
@@ -199,13 +203,14 @@ impl CampaignService {
             Entry {
                 priority: ckpt.priority,
                 demand: ckpt.spec.device_demand(),
-                status: if ckpt.round > 0 {
+                status: if ckpt.round > 0 || ckpt.sequence_version > 0 {
                     CampaignStatus::Paused { round: ckpt.round }
                 } else {
                     CampaignStatus::Queued
                 },
                 report: None,
                 resume_round: ckpt.round,
+                resume_sequence_version: ckpt.sequence_version,
                 resume_digest: ckpt.digest,
                 pause: Arc::new(AtomicBool::new(false)),
                 migrating: false,
@@ -251,6 +256,7 @@ impl CampaignService {
             campaign: id,
             priority,
             round: 0,
+            sequence_version: 0,
             spec: spec.clone(),
             digest: None,
         })?;
@@ -264,6 +270,7 @@ impl CampaignService {
                     status: CampaignStatus::Queued,
                     report: None,
                     resume_round: 0,
+                    resume_sequence_version: 0,
                     resume_digest: None,
                     pause: Arc::new(AtomicBool::new(false)),
                     migrating: false,
@@ -545,13 +552,14 @@ impl CampaignService {
                 Entry {
                     priority: ckpt.priority,
                     demand,
-                    status: if ckpt.round > 0 {
+                    status: if ckpt.round > 0 || ckpt.sequence_version > 0 {
                         CampaignStatus::Paused { round: ckpt.round }
                     } else {
                         CampaignStatus::Queued
                     },
                     report: None,
                     resume_round: ckpt.round,
+                    resume_sequence_version: ckpt.sequence_version,
                     resume_digest: ckpt.digest,
                     pause: Arc::new(AtomicBool::new(false)),
                     migrating: false,
@@ -692,86 +700,105 @@ fn scheduler_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Runner: replays to the resume point if any, then drives the campaign
-/// round loop with cadence checkpoints until done, paused, or crashed.
-fn run_one(shared: &Arc<Shared>, id: u64) {
-    let telemetry = taopt_telemetry::global();
-    let round_gauge = telemetry
-        .registry()
-        .gauge("service_campaign_round", Labels::instance(id as u32));
-    let (spec, priority, resume_round, resume_digest, pause) = {
-        let st = shared.state.lock();
-        let e = &st.entries[&id];
-        (
-            e.spec.clone(),
-            e.priority,
-            e.resume_round,
-            e.resume_digest.clone(),
-            Arc::clone(&e.pause),
-        )
-    };
+/// Marks a campaign failed and wakes every waiter.
+fn record_failure(shared: &Arc<Shared>, id: u64, why: String) {
+    let mut st = shared.state.lock();
+    st.running.retain(|r| *r != id);
+    if let Some(e) = st.entries.get_mut(&id) {
+        e.status = CampaignStatus::Failed(why);
+    }
+    drop(st);
+    shared.cv.notify_all();
+}
 
-    let fail = |why: String| {
+/// Marks a campaign done with its report and drops its checkpoint.
+fn record_completion(shared: &Arc<Shared>, id: u64, report: String) {
+    shared.store.remove(id);
+    {
         let mut st = shared.state.lock();
         st.running.retain(|r| *r != id);
         if let Some(e) = st.entries.get_mut(&id) {
-            e.status = CampaignStatus::Failed(why);
+            e.status = CampaignStatus::Done;
+            e.report = Some(report);
         }
-        drop(st);
-        shared.cv.notify_all();
-    };
-
-    let built = match spec.build() {
-        Ok(b) => b,
-        Err(e) => return fail(e.to_string()),
-    };
-    let (apps, config) = built;
-    let restore_start = Instant::now();
-    let mut campaign = Campaign::new(apps, &config);
-
-    // Deterministic replay back to the checkpointed round, then digest
-    // verification: a corrupted spec, a version skew, or a determinism
-    // regression all surface here as a clean failure.
-    if resume_round > 0 {
-        while campaign.round() < resume_round {
-            if !campaign.advance_round() {
-                break;
-            }
-        }
-        if campaign.round() != resume_round {
-            return fail(
-                ServiceError::DigestMismatch {
-                    round: campaign.round(),
-                    detail: format!("replay ended before checkpoint round {resume_round}"),
-                }
-                .to_string(),
-            );
-        }
-        if let Some(expected) = &resume_digest {
-            let actual = campaign.digest();
-            if let Some(divergence) = expected.diff(&actual) {
-                return fail(
-                    ServiceError::DigestMismatch {
-                        round: resume_round,
-                        detail: divergence,
-                    }
-                    .to_string(),
-                );
-            }
-        }
-        let latency_us = restore_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        telemetry
-            .registry()
-            .histogram("service_resume_latency_us", Labels::instance(id as u32))
-            .record(latency_us);
-        telemetry.recovery(
-            RecoveryKind::ServiceResumed.label(),
-            Some(id as u32),
-            VirtualTime::from_millis(spec.scale.tick.as_millis().saturating_mul(resume_round)),
-        );
-        telemetry.counter("service_resumes_total").inc();
     }
+    taopt_telemetry::global()
+        .counter("service_campaigns_completed_total")
+        .inc();
+    shared.cv.notify_all();
+}
 
+/// Deterministic replay of a freshly built campaign back to a
+/// checkpointed round, then digest verification: a corrupted spec, a
+/// version skew, or a determinism regression all surface here as a clean
+/// failure.
+fn replay_to(
+    campaign: &mut Campaign,
+    round: u64,
+    digest: Option<&CampaignDigest>,
+) -> Result<(), ServiceError> {
+    while campaign.round() < round {
+        if !campaign.advance_round() {
+            break;
+        }
+    }
+    if campaign.round() != round {
+        return Err(ServiceError::DigestMismatch {
+            round: campaign.round(),
+            detail: format!("replay ended before checkpoint round {round}"),
+        });
+    }
+    if let Some(expected) = digest {
+        let actual = campaign.digest();
+        if let Some(divergence) = expected.diff(&actual) {
+            return Err(ServiceError::DigestMismatch {
+                round,
+                detail: divergence,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Records resume telemetry after a successful replay.
+fn note_resume(id: u64, spec: &CampaignSpec, resume_round: u64, restore_start: Instant) {
+    let telemetry = taopt_telemetry::global();
+    let latency_us = restore_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    telemetry
+        .registry()
+        .histogram("service_resume_latency_us", Labels::instance(id as u32))
+        .record(latency_us);
+    telemetry.recovery(
+        RecoveryKind::ServiceResumed.label(),
+        Some(id as u32),
+        VirtualTime::from_millis(spec.scale.tick.as_millis().saturating_mul(resume_round)),
+    );
+    telemetry.counter("service_resumes_total").inc();
+}
+
+/// Outcome of driving one campaign's round loop.
+enum Drive {
+    /// The campaign exhausted its rounds; the caller finishes it.
+    Completed,
+    /// The runner must exit now: crashed, paused-and-requeued, or failed
+    /// (terminal state already recorded).
+    Exit,
+}
+
+/// Drives a campaign's rounds with pause handling and cadence
+/// checkpoints. `sequence_version` is the release the rounds belong to
+/// (0 for plain campaigns) — it rides into every checkpoint written here.
+#[allow(clippy::too_many_arguments)]
+fn drive_rounds(
+    shared: &Arc<Shared>,
+    id: u64,
+    spec: &CampaignSpec,
+    priority: Priority,
+    sequence_version: u64,
+    pause: &AtomicBool,
+    round_gauge: &taopt_telemetry::Gauge,
+    campaign: &mut Campaign,
+) -> Drive {
     let every = shared.config.checkpoint_every.max(1);
     loop {
         {
@@ -779,7 +806,7 @@ fn run_one(shared: &Arc<Shared>, id: u64) {
             if st.crashed {
                 // Process death: no final checkpoint; the last durable one
                 // stands and recover() will replay past this point.
-                return;
+                return Drive::Exit;
             }
         }
         if pause.swap(false, Ordering::SeqCst) {
@@ -790,23 +817,26 @@ fn run_one(shared: &Arc<Shared>, id: u64) {
                 campaign: id,
                 priority,
                 round,
+                sequence_version,
                 spec: spec.clone(),
                 digest: Some(digest.clone()),
             };
             if let Err(e) = shared.store.save(&ckpt) {
-                return fail(e.to_string());
+                record_failure(shared, id, e.to_string());
+                return Drive::Exit;
             }
             let mut st = shared.state.lock();
             st.running.retain(|r| *r != id);
             if let Some(e) = st.entries.get_mut(&id) {
                 e.status = CampaignStatus::Paused { round };
                 e.resume_round = round;
+                e.resume_sequence_version = sequence_version;
                 e.resume_digest = Some(digest);
             }
             st.queue.push(id);
             drop(st);
             shared.cv.notify_all();
-            return;
+            return Drive::Exit;
         }
 
         let advanced = campaign.advance_round();
@@ -819,7 +849,7 @@ fn run_one(shared: &Arc<Shared>, id: u64) {
             }
         }
         if !advanced {
-            break;
+            return Drive::Completed;
         }
         if round.is_multiple_of(every) {
             let digest = campaign.digest();
@@ -828,25 +858,132 @@ fn run_one(shared: &Arc<Shared>, id: u64) {
                 campaign: id,
                 priority,
                 round,
+                sequence_version,
                 spec: spec.clone(),
                 digest: Some(digest),
             };
             if let Err(e) = shared.store.save(&ckpt) {
-                return fail(e.to_string());
+                record_failure(shared, id, e.to_string());
+                return Drive::Exit;
             }
         }
     }
+}
 
-    let report = campaign.finish().coverage_report();
-    shared.store.remove(id);
-    {
-        let mut st = shared.state.lock();
-        st.running.retain(|r| *r != id);
-        if let Some(e) = st.entries.get_mut(&id) {
-            e.status = CampaignStatus::Done;
-            e.report = Some(report);
+/// Runner: replays to the resume point if any, then drives the campaign
+/// round loop with cadence checkpoints until done, paused, or crashed.
+/// Specs with an evolution section run the whole release train in here,
+/// one campaign per version, with the checkpoint cursor tracking which
+/// release the stored round belongs to.
+fn run_one(shared: &Arc<Shared>, id: u64) {
+    let telemetry = taopt_telemetry::global();
+    let round_gauge = telemetry
+        .registry()
+        .gauge("service_campaign_round", Labels::instance(id as u32));
+    let (spec, priority, resume_round, resume_sequence, resume_digest, pause) = {
+        let st = shared.state.lock();
+        let e = &st.entries[&id];
+        (
+            e.spec.clone(),
+            e.priority,
+            e.resume_round,
+            e.resume_sequence_version,
+            e.resume_digest.clone(),
+            Arc::clone(&e.pause),
+        )
+    };
+
+    let built = match spec.build() {
+        Ok(b) => b,
+        Err(e) => return record_failure(shared, id, e.to_string()),
+    };
+    let (apps, config) = built;
+    let restore_start = Instant::now();
+
+    let Some(evo) = spec.evolution else {
+        // Plain single-version campaign.
+        let mut campaign = Campaign::new(apps, &config);
+        if resume_round > 0 {
+            if let Err(e) = replay_to(&mut campaign, resume_round, resume_digest.as_ref()) {
+                return record_failure(shared, id, e.to_string());
+            }
+            note_resume(id, &spec, resume_round, restore_start);
         }
+        match drive_rounds(
+            shared,
+            id,
+            &spec,
+            priority,
+            0,
+            &pause,
+            &round_gauge,
+            &mut campaign,
+        ) {
+            Drive::Exit => return,
+            Drive::Completed => {}
+        }
+        let report = campaign.finish().coverage_report();
+        return record_completion(shared, id, report);
+    };
+
+    // Evolution campaign: one deterministic campaign per release.
+    // Releases before the checkpoint cursor are replayed in full (their
+    // results rebuild the warm-start state the interrupted release was
+    // seeded from); the cursor release replays to its stored round and
+    // verifies the digest; everything after runs live.
+    let resumed = resume_round > 0 || resume_sequence > 0;
+    let mut sequence =
+        CampaignSequence::new(apps, AppEvolution::new(evo.seed), evo.versions, evo.warm);
+    let mut versions_out: Vec<Value> = Vec::new();
+    while !sequence.is_done() {
+        let version = sequence.version();
+        let run_apps = match sequence.begin_version() {
+            Ok(a) => a,
+            Err(e) => return record_failure(shared, id, e.to_string()),
+        };
+        let mut campaign = Campaign::new(run_apps, &config);
+        if version < resume_sequence {
+            while campaign.advance_round() {}
+        } else {
+            if resumed && version == resume_sequence {
+                if let Err(e) = replay_to(&mut campaign, resume_round, resume_digest.as_ref()) {
+                    return record_failure(shared, id, e.to_string());
+                }
+                note_resume(id, &spec, resume_round, restore_start);
+            }
+            match drive_rounds(
+                shared,
+                id,
+                &spec,
+                priority,
+                version,
+                &pause,
+                &round_gauge,
+                &mut campaign,
+            ) {
+                Drive::Exit => return,
+                Drive::Completed => {}
+            }
+        }
+        let result = campaign.finish();
+        let coverage = result.coverage_report();
+        let report = sequence.complete_version(&result);
+        versions_out.push(Value::Object(vec![
+            ("version".to_owned(), Value::UInt(version)),
+            ("evolution".to_owned(), report.to_value()),
+            (
+                "coverage".to_owned(),
+                match Value::parse(&coverage) {
+                    Ok(v) => v,
+                    Err(_) => Value::Str(coverage),
+                },
+            ),
+        ]));
     }
-    telemetry.counter("service_campaigns_completed_total").inc();
-    shared.cv.notify_all();
+    let report = Value::Object(vec![
+        ("name".to_owned(), Value::Str(spec.name.clone())),
+        ("versions".to_owned(), Value::Array(versions_out)),
+    ])
+    .to_json_string();
+    record_completion(shared, id, report);
 }

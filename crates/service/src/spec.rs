@@ -58,6 +58,50 @@ impl AppSource {
     }
 }
 
+/// Longitudinal-sequence section of a campaign spec: run the campaign
+/// once per app release instead of once, evolving every app between
+/// versions and optionally threading warm-start analyzer state across
+/// release boundaries.
+///
+/// Absent from pre-evolution specs (and their checkpoints); parsing
+/// defaults to `None`, which means a plain single-version campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvolutionSpec {
+    /// Seed of the [`taopt_app_sim::AppEvolution`] release sampler.
+    pub seed: u64,
+    /// Total releases to run (`1` = only `V0`).
+    pub versions: u64,
+    /// Thread [`taopt::WarmStart`] bundles across release boundaries.
+    pub warm: bool,
+}
+
+impl EvolutionSpec {
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("seed".to_owned(), Value::UInt(self.seed)),
+            ("versions".to_owned(), Value::UInt(self.versions)),
+            ("warm".to_owned(), Value::Bool(self.warm)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let u = |key: &str| -> Result<u64, JsonError> {
+            v.require(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::conversion(format!("evolution `{key}` must be a u64")))
+        };
+        let warm = match v.require("warm")? {
+            Value::Bool(b) => *b,
+            _ => return Err(JsonError::conversion("evolution `warm` must be a bool")),
+        };
+        Ok(EvolutionSpec {
+            seed: u("seed")?,
+            versions: u("versions")?.max(1),
+            warm,
+        })
+    }
+}
+
 /// One app slot of a campaign spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppSpec {
@@ -98,6 +142,8 @@ pub struct CampaignSpec {
     pub kills: Vec<KillEvent>,
     /// Optional deterministic fault plan.
     pub faults: Option<FaultPlan>,
+    /// Optional longitudinal sequence over app releases.
+    pub evolution: Option<EvolutionSpec>,
 }
 
 impl CampaignSpec {
@@ -115,6 +161,7 @@ impl CampaignSpec {
             max_rounds: defaults.max_rounds,
             kills: Vec::new(),
             faults: None,
+            evolution: None,
         }
     }
 
@@ -210,6 +257,9 @@ impl CampaignSpec {
         ];
         if let Some(plan) = &self.faults {
             fields.push(("faults".to_owned(), plan.to_value()));
+        }
+        if let Some(evo) = self.evolution {
+            fields.push(("evolution".to_owned(), evo.to_value()));
         }
         Value::Object(fields)
     }
@@ -312,6 +362,13 @@ impl CampaignSpec {
                 None | Some(Value::Null) => None,
                 Some(fv) => Some(FaultPlan::from_value(fv)?),
             },
+            // Optional for back-compat: pre-evolution specs (and their
+            // checkpoints) have no `evolution` section and stay plain
+            // single-version campaigns.
+            evolution: match v.get("evolution") {
+                None | Some(Value::Null) => None,
+                Some(ev) => Some(EvolutionSpec::from_value(ev)?),
+            },
         })
     }
 }
@@ -412,6 +469,11 @@ mod tests {
             victim: 3,
         }];
         spec.faults = Some(FaultPlan::new(5, FaultRates::uniform(0.01)));
+        spec.evolution = Some(EvolutionSpec {
+            seed: 77,
+            versions: 3,
+            warm: true,
+        });
         spec
     }
 
@@ -457,6 +519,43 @@ mod tests {
         let back = CampaignSpec::from_value(&legacy).unwrap();
         assert_eq!(back.host_threads, 0);
         assert_eq!(back.workers, spec.workers);
+    }
+
+    #[test]
+    fn pre_evolution_spec_parses_as_single_version() {
+        // A spec serialized before the evolution section existed must
+        // parse with `evolution: None` (a plain one-version campaign).
+        let spec = sample();
+        let v = spec.to_value();
+        let Value::Object(fields) = v else {
+            panic!("spec serializes to an object")
+        };
+        let legacy = Value::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "evolution")
+                .collect(),
+        );
+        let back = CampaignSpec::from_value(&legacy).unwrap();
+        assert_eq!(back.evolution, None);
+        assert_eq!(back.apps, spec.apps);
+    }
+
+    #[test]
+    fn checked_in_legacy_fixture_still_parses_and_builds() {
+        // The fixture is a spec file written by the pre-evolution format
+        // (no `evolution`, no `host_threads`, no `faults`) — exactly what
+        // an old v1-header checkpoint embeds. It must keep parsing and
+        // materializing forever.
+        let text = include_str!("../testdata/legacy_spec_v1.json");
+        let spec = CampaignSpec::from_value(&Value::parse(text).unwrap()).unwrap();
+        assert_eq!(spec.name, "legacy-smoke");
+        assert_eq!(spec.evolution, None);
+        assert_eq!(spec.host_threads, 0);
+        assert_eq!(spec.faults, None);
+        let (apps, config) = spec.build().unwrap();
+        assert_eq!(apps.len(), 2);
+        assert_eq!(config.capacity, Some(4));
     }
 
     #[test]

@@ -15,9 +15,10 @@ use taopt::{Campaign, KillEvent, RunMode};
 use taopt_chaos::{FaultPlan, FaultRates};
 use taopt_service::{
     AppSource, AppSpec, CampaignService, CampaignSpec, CampaignStatus, Checkpoint, CheckpointStore,
-    ServiceConfig, ServiceError, CHECKPOINT_VERSION,
+    EvolutionSpec, ServiceConfig, ServiceError, CHECKPOINT_VERSION,
 };
 use taopt_tools::ToolKind;
+use taopt_ui_model::json::Value;
 use taopt_ui_model::VirtualDuration;
 
 /// A fresh scratch dir under the system temp root.
@@ -123,6 +124,7 @@ proptest! {
                 campaign: 1,
                 priority: 0,
                 round: stop_round,
+                sequence_version: 0,
                 spec: spec.clone(),
                 digest: Some(digest),
             })
@@ -198,6 +200,7 @@ proptest! {
                 campaign: 1,
                 priority: 0,
                 round: stop_round,
+                sequence_version: 0,
                 spec: run_spec.clone(),
                 digest: Some(digest),
             })
@@ -234,6 +237,7 @@ proptest! {
                 campaign: 9,
                 priority: 2,
                 round: 6,
+                sequence_version: 0,
                 spec: tiny_spec(2, 42, 1),
                 digest: None,
             })
@@ -429,6 +433,7 @@ fn tampered_digest_fails_the_resume_cleanly() {
             campaign: 1,
             priority: 0,
             round: campaign.round(),
+            sequence_version: 0,
             spec,
             digest: Some(digest),
         })
@@ -449,6 +454,110 @@ fn tampered_digest_fails_the_resume_cleanly() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// A small evolution spec: `versions` releases of two TaOPT-mode apps
+/// with warm-start threading.
+fn evolution_spec(seed: u64, versions: u64) -> CampaignSpec {
+    let mut spec = tiny_spec(2, seed, 2);
+    spec.evolution = Some(EvolutionSpec {
+        seed: seed ^ 0xe0,
+        versions,
+        warm: true,
+    });
+    spec
+}
+
+#[test]
+fn evolution_campaign_reports_every_release() {
+    let dir = scratch("evolution");
+    let mut config = ServiceConfig::new(&dir);
+    config.farm_capacity = 8;
+    let service = CampaignService::start(config).unwrap();
+
+    let id = service.submit(evolution_spec(61, 3), 4).unwrap();
+    assert_eq!(service.wait(id).unwrap(), CampaignStatus::Done);
+    let report = service.result(id).unwrap().unwrap();
+    let v = Value::parse(&report).unwrap();
+    let versions = v.require("versions").unwrap().as_array().unwrap();
+    assert_eq!(versions.len(), 3);
+    for (i, ver) in versions.iter().enumerate() {
+        assert_eq!(
+            ver.require("version").unwrap().as_u64(),
+            Some(i as u64),
+            "versions out of order"
+        );
+        // Each release carries its evolution report and a full coverage
+        // report.
+        let evo = ver.require("evolution").unwrap();
+        assert!(evo.require("apps").unwrap().as_array().unwrap().len() == 2);
+        assert!(ver.require("coverage").is_ok());
+    }
+    service.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evolution_mid_version_crash_recovers_byte_identical() {
+    // Reference: the same evolution spec run uninterrupted.
+    let spec = evolution_spec(62, 3);
+    let ref_dir = scratch("evo-ref");
+    let mut ref_config = ServiceConfig::new(&ref_dir);
+    ref_config.farm_capacity = 8;
+    let reference = {
+        let service = CampaignService::start(ref_config).unwrap();
+        let id = service.submit(spec.clone(), 4).unwrap();
+        assert_eq!(service.wait(id).unwrap(), CampaignStatus::Done);
+        let report = service.result(id).unwrap().unwrap();
+        service.shutdown();
+        report
+    };
+    let _ = fs::remove_dir_all(&ref_dir);
+
+    // Interrupted run: checkpoint every round, kill the service once a
+    // checkpoint lands *inside* a later release (sequence cursor ≥ 1).
+    let dir = scratch("evo-crash");
+    let mut config = ServiceConfig::new(&dir);
+    config.farm_capacity = 8;
+    config.checkpoint_every = 1;
+    let service = CampaignService::start(config.clone()).unwrap();
+    let id = service.submit(spec, 4).unwrap();
+    let store = CheckpointStore::new(&dir).unwrap();
+    let mut saw_mid_version = false;
+    for _ in 0..200_000 {
+        if let Ok(ckpt) = store.load(&store.path_for(id.0)) {
+            if ckpt.sequence_version >= 1 && ckpt.round >= 1 {
+                saw_mid_version = true;
+                break;
+            }
+        }
+        if matches!(
+            service.status(id).unwrap(),
+            CampaignStatus::Done | CampaignStatus::Failed(_)
+        ) {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert!(
+        saw_mid_version,
+        "campaign never checkpointed inside a later release"
+    );
+    service.crash();
+
+    let (service, recovery) = CampaignService::recover(config).unwrap();
+    assert!(recovery.rejected.is_empty());
+    assert_eq!(recovery.resumed, vec![id]);
+    assert_eq!(service.wait(id).unwrap(), CampaignStatus::Done);
+    assert_eq!(
+        service.result(id).unwrap().as_deref(),
+        Some(reference.as_str()),
+        "mid-version resume diverged from uninterrupted release train"
+    );
+    let store = CheckpointStore::new(&dir).unwrap();
+    assert!(store.list().unwrap().is_empty());
+    service.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn recover_reports_unreadable_checkpoints_without_dying() {
     let dir = scratch("reject");
@@ -459,6 +568,7 @@ fn recover_reports_unreadable_checkpoints_without_dying() {
             campaign: 1,
             priority: 0,
             round: 0,
+            sequence_version: 0,
             spec: tiny_spec(1, 50, 1),
             digest: None,
         })

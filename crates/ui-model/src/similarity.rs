@@ -187,6 +187,26 @@ impl SimilarityCache {
         evicted
     }
 
+    /// Seeds the cache with precomputed pair decisions (e.g. a warm-start
+    /// bundle from a previous campaign), skipping pairs already present;
+    /// returns how many entries were actually inserted.
+    ///
+    /// Seeding is a pure accelerator: a decision is a pure function of the
+    /// pair, so a pre-seeded entry only skips the compute that would have
+    /// produced the identical value.
+    pub fn seed<'a>(&self, entries: impl IntoIterator<Item = &'a ((u64, u64), bool)>) -> usize {
+        let mut inserted = 0;
+        for ((a, b), decision) in entries {
+            let key = if a <= b { (*a, *b) } else { (*b, *a) };
+            let shard = &self.shards[shard_of(key, self.mask)];
+            let mut map = shard.write().expect("similarity shard poisoned");
+            if map.insert(key, *decision).is_none() {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
     /// Deterministic snapshot of every cached decision, merged across
     /// shards in ascending key order — the post-state comparator of the
     /// differential and stress tests (shard layout never leaks into it).
